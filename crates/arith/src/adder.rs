@@ -1,0 +1,425 @@
+//! Carry-propagate adders: ripple-carry, carry-lookahead, carry-select and
+//! Kogge–Stone parallel-prefix.
+//!
+//! The paper's datapath uses "fast carry-propagate adders" for the 3X/5X/7X
+//! precomputation and the final 128-bit addition; the architecture sweep in
+//! the ablation bench (`adders`) compares the four families implemented
+//! here on the delay/area plane.
+
+use mfm_gatesim::{NetId, Netlist};
+
+/// The adder architectures available to the generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdderKind {
+    /// Ripple-carry: minimal area, linear delay.
+    Ripple,
+    /// Two-level carry-lookahead over 4-bit groups.
+    CarryLookahead,
+    /// Carry-select with square-root-balanced group sizes.
+    CarrySelect,
+    /// Kogge–Stone parallel prefix: logarithmic delay, largest area.
+    KoggeStone,
+}
+
+impl AdderKind {
+    /// All architectures, for sweeps.
+    pub const ALL: [AdderKind; 4] = [
+        AdderKind::Ripple,
+        AdderKind::CarryLookahead,
+        AdderKind::CarrySelect,
+        AdderKind::KoggeStone,
+    ];
+}
+
+/// The nets produced by an adder generator.
+#[derive(Debug, Clone)]
+pub struct AdderPorts {
+    /// Sum bits, LSB first, same width as the inputs.
+    pub sum: Vec<NetId>,
+    /// Carry out of the most significant position.
+    pub cout: NetId,
+}
+
+/// Builds an adder of the chosen architecture.
+///
+/// Both operands must have the same width; `cin` is the carry-in net (use
+/// [`Netlist::zero`] for none).
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn build_adder(
+    n: &mut Netlist,
+    kind: AdderKind,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+) -> AdderPorts {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    assert!(!a.is_empty(), "zero-width adder");
+    match kind {
+        AdderKind::Ripple => ripple(n, a, b, cin),
+        AdderKind::CarryLookahead => carry_lookahead(n, a, b, cin),
+        AdderKind::CarrySelect => carry_select(n, a, b, cin),
+        AdderKind::KoggeStone => kogge_stone(n, a, b, cin),
+    }
+}
+
+/// Functional twin: `a + b + cin` truncated to `width` bits plus carry-out.
+pub fn adder_func(a: u128, b: u128, cin: bool, width: u32) -> (u128, bool) {
+    assert!(width <= 127, "functional twin supports up to 127 bits");
+    let mask = (1u128 << width) - 1;
+    let full = (a & mask) + (b & mask) + cin as u128;
+    (full & mask, full >> width != 0)
+}
+
+fn ripple(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> AdderPorts {
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = n.full_adder(x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    AdderPorts { sum, cout: carry }
+}
+
+/// Recursive block carry-lookahead: 4-bit blocks whose (G, P) pairs feed a
+/// recursively built lookahead layer, giving `O(log₄ n)` carry depth — the
+/// classic 74182-style structure generalized to any width.
+fn carry_lookahead(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> AdderPorts {
+    let width = a.len();
+    let g: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| n.and2(x, y)).collect();
+    let p: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| n.xor2(x, y)).collect();
+    let gp: Vec<(NetId, NetId)> = g.into_iter().zip(p.iter().copied()).collect();
+    let (carries, gg, gpp) = lookahead(n, &gp, cin);
+    let sum: Vec<NetId> = (0..width).map(|i| n.xor2(p[i], carries[i])).collect();
+    let pc = n.and2(gpp, cin);
+    let cout = n.or2(gg, pc);
+    AdderPorts { sum, cout }
+}
+
+/// Balanced OR tree over term nets using OR2/OR3.
+fn or_tree(n: &mut Netlist, mut terms: Vec<NetId>) -> NetId {
+    debug_assert!(!terms.is_empty());
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(3));
+        for ch in terms.chunks(3) {
+            next.push(match ch {
+                [x] => *x,
+                [x, y] => n.or2(*x, *y),
+                [x, y, z] => n.or3(*x, *y, *z),
+                _ => unreachable!(),
+            });
+        }
+        terms = next;
+    }
+    terms[0]
+}
+
+/// Two-level lookahead *group* functions for a block of up to 4 (g, p)
+/// pairs: returns the block's (G, P).
+fn block4_gp(n: &mut Netlist, gp: &[(NetId, NetId)]) -> (NetId, NetId) {
+    debug_assert!(!gp.is_empty() && gp.len() <= 4);
+    let top = gp.len() - 1;
+    // G = g_top | p_top g_{top-1} | … | (p_top…p_1) g_0
+    let mut gterms: Vec<NetId> = vec![gp[top].0];
+    for j in (0..top).rev() {
+        let mut run = gp[j + 1].1;
+        for k in (j + 2)..=top {
+            run = n.and2(run, gp[k].1);
+        }
+        gterms.push(n.and2(run, gp[j].0));
+    }
+    let g = or_tree(n, gterms);
+    let mut p = gp[0].1;
+    for pair in &gp[1..] {
+        p = n.and2(p, pair.1);
+    }
+    (g, p)
+}
+
+/// Two-level lookahead carries for a block of up to 4 (g, p) pairs:
+/// returns the carries *out of* positions 0..len given the block carry-in.
+fn block4_carries(n: &mut Netlist, gp: &[(NetId, NetId)], cin: NetId) -> Vec<NetId> {
+    debug_assert!(!gp.is_empty() && gp.len() <= 4);
+    let mut pp = Vec::with_capacity(gp.len());
+    pp.push(gp[0].1);
+    for i in 1..gp.len() {
+        let prev = pp[i - 1];
+        pp.push(n.and2(gp[i].1, prev));
+    }
+    let mut carries = Vec::with_capacity(gp.len());
+    for i in 0..gp.len() {
+        // c_{i+1} = g_i | p_i g_{i-1} | … | (p_i…p_0) cin
+        let mut terms: Vec<NetId> = vec![gp[i].0];
+        for j in (0..i).rev() {
+            let mut run = gp[j + 1].1;
+            for k in (j + 2)..=i {
+                run = n.and2(run, gp[k].1);
+            }
+            terms.push(n.and2(run, gp[j].0));
+        }
+        terms.push(n.and2(pp[i], cin));
+        carries.push(or_tree(n, terms));
+    }
+    carries
+}
+
+/// Recursive lookahead over arbitrarily many (g, p) pairs. Returns the
+/// carry *into* every position (index 0 = `cin`) plus the overall (G, P).
+fn lookahead(
+    n: &mut Netlist,
+    gp: &[(NetId, NetId)],
+    cin: NetId,
+) -> (Vec<NetId>, NetId, NetId) {
+    if gp.len() <= 4 {
+        let (g, p) = block4_gp(n, gp);
+        let mut into = vec![cin];
+        if gp.len() > 1 {
+            into.extend(block4_carries(n, &gp[..gp.len() - 1], cin));
+        }
+        return (into, g, p);
+    }
+    // Compute each 4-bit block's (G, P), recurse over blocks, then expand
+    // each block's internal carries from its block carry-in.
+    let blocks: Vec<&[(NetId, NetId)]> = gp.chunks(4).collect();
+    let block_gp: Vec<(NetId, NetId)> = blocks.iter().map(|blk| block4_gp(n, blk)).collect();
+    let (block_cins, gg, pp) = lookahead(n, &block_gp, cin);
+    let mut into = Vec::with_capacity(gp.len());
+    for (blk, &bcin) in blocks.iter().zip(&block_cins) {
+        into.push(bcin);
+        if blk.len() > 1 {
+            let carries = block4_carries(n, &blk[..blk.len() - 1], bcin);
+            into.extend(carries);
+        }
+    }
+    (into, gg, pp)
+}
+
+/// Carry-select with fixed 8-bit groups: each non-first group computes both
+/// possible sums with ripple chains and selects on the incoming carry.
+fn carry_select(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> AdderPorts {
+    let width = a.len();
+    let group = 8usize;
+    let mut sum = Vec::with_capacity(width);
+    let mut carry = cin;
+    let mut base = 0usize;
+    let mut first = true;
+    while base < width {
+        let m = (width - base).min(group);
+        if first {
+            let ports = ripple(n, &a[base..base + m], &b[base..base + m], carry);
+            sum.extend(ports.sum);
+            carry = ports.cout;
+            first = false;
+        } else {
+            let zero = n.zero();
+            let one = n.one();
+            let p0 = ripple(n, &a[base..base + m], &b[base..base + m], zero);
+            let p1 = ripple(n, &a[base..base + m], &b[base..base + m], one);
+            for i in 0..m {
+                sum.push(n.mux2(carry, p0.sum[i], p1.sum[i]));
+            }
+            carry = n.mux2(carry, p0.cout, p1.cout);
+        }
+        base += m;
+    }
+    AdderPorts { sum, cout: carry }
+}
+
+/// Kogge–Stone parallel-prefix adder.
+fn kogge_stone(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> AdderPorts {
+    let width = a.len();
+    // Bit-level generate/propagate; fold the carry-in into position 0.
+    let mut g: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| n.and2(x, y)).collect();
+    let p: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| n.xor2(x, y)).collect();
+    // g0' = g0 | (p0 & cin)
+    let pc = n.and2(p[0], cin);
+    g[0] = n.or2(g[0], pc);
+    let mut gp: Vec<(NetId, NetId)> = g.into_iter().zip(p.iter().copied()).collect();
+
+    let mut dist = 1usize;
+    while dist < width {
+        let prev = gp.clone();
+        for i in dist..width {
+            let (gi, pi) = prev[i];
+            let (gj, pj) = prev[i - dist];
+            // (G, P) = (gi | (pi & gj), pi & pj)
+            let t = n.and2(pi, gj);
+            let gnew = n.or2(gi, t);
+            let pnew = n.and2(pi, pj);
+            gp[i] = (gnew, pnew);
+        }
+        dist *= 2;
+    }
+    // Carry into position i is G of prefix [0..i-1]; c0 = cin.
+    let mut sum = Vec::with_capacity(width);
+    sum.push(n.xor2(p[0], cin));
+    for i in 1..width {
+        sum.push(n.xor2(p[i], gp[i - 1].0));
+    }
+    AdderPorts {
+        sum,
+        cout: gp[width - 1].0,
+    }
+}
+
+/// Builds a subtractor `a − b` as `a + ~b + 1` using the given architecture.
+/// Returns the two's-complement difference (carry-out high means no borrow).
+pub fn build_subtractor(
+    n: &mut Netlist,
+    kind: AdderKind,
+    a: &[NetId],
+    b: &[NetId],
+) -> AdderPorts {
+    let nb: Vec<NetId> = b.iter().map(|&x| n.not(x)).collect();
+    let one = n.one();
+    build_adder(n, kind, a, &nb, one)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary};
+
+    fn check_adder(kind: AdderKind, width: usize, cases: &[(u128, u128, bool)]) {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", width);
+        let b = n.input_bus("b", width);
+        let cin = n.input("cin");
+        let ports = build_adder(&mut n, kind, &a, &b, cin);
+        n.output_bus("sum", &ports.sum);
+        n.check().unwrap();
+        let mut sim = Simulator::new(&n);
+        for &(x, y, c) in cases {
+            sim.set_bus(&a, x);
+            sim.set_bus(&b, y);
+            sim.set_net(cin, c);
+            sim.settle();
+            let (want_sum, want_cout) = adder_func(x, y, c, width as u32);
+            assert_eq!(
+                sim.read_bus(&ports.sum),
+                want_sum,
+                "{kind:?} w={width} {x}+{y}+{c}"
+            );
+            assert_eq!(
+                sim.read_net(ports.cout),
+                want_cout,
+                "{kind:?} w={width} cout of {x}+{y}+{c}"
+            );
+        }
+    }
+
+    fn standard_cases(width: u32) -> Vec<(u128, u128, bool)> {
+        let mask = if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        let mut v = vec![
+            (0, 0, false),
+            (mask, 1, false),
+            (mask, mask, true),
+            (0x5555_5555_5555_5555 & mask, 0xAAAA_AAAA_AAAA_AAAA & mask, false),
+            (1 & mask, mask, true),
+        ];
+        // A deterministic pseudo-random sweep.
+        let mut s = 0x9e37_79b9_7f4a_7c15u128;
+        for _ in 0..40 {
+            s = s.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(0x9e37);
+            let x = s & mask;
+            s = s.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(0x9e37);
+            let y = s & mask;
+            v.push((x, y, s & (1 << 40) != 0));
+        }
+        v
+    }
+
+    #[test]
+    fn ripple_16() {
+        check_adder(AdderKind::Ripple, 16, &standard_cases(16));
+    }
+
+    #[test]
+    fn cla_16_and_67() {
+        check_adder(AdderKind::CarryLookahead, 16, &standard_cases(16));
+        check_adder(AdderKind::CarryLookahead, 67, &standard_cases(67));
+    }
+
+    #[test]
+    fn csel_16_and_66() {
+        check_adder(AdderKind::CarrySelect, 16, &standard_cases(16));
+        check_adder(AdderKind::CarrySelect, 66, &standard_cases(66));
+    }
+
+    #[test]
+    fn kogge_stone_16_64_127() {
+        check_adder(AdderKind::KoggeStone, 16, &standard_cases(16));
+        check_adder(AdderKind::KoggeStone, 64, &standard_cases(64));
+        check_adder(AdderKind::KoggeStone, 127, &standard_cases(127));
+    }
+
+    #[test]
+    fn odd_widths() {
+        for kind in AdderKind::ALL {
+            check_adder(kind, 1, &[(0, 0, false), (1, 1, true), (1, 0, true)]);
+            check_adder(kind, 5, &standard_cases(5));
+            check_adder(kind, 13, &standard_cases(13));
+        }
+    }
+
+    #[test]
+    fn exhaustive_4bit_all_kinds() {
+        for kind in AdderKind::ALL {
+            let mut cases = Vec::new();
+            for x in 0..16u128 {
+                for y in 0..16u128 {
+                    cases.push((x, y, false));
+                    cases.push((x, y, true));
+                }
+            }
+            check_adder(kind, 4, &cases);
+        }
+    }
+
+    #[test]
+    fn subtractor() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", 16);
+        let b = n.input_bus("b", 16);
+        let ports = build_subtractor(&mut n, AdderKind::KoggeStone, &a, &b);
+        let mut sim = Simulator::new(&n);
+        for (x, y) in [(100u128, 30u128), (30, 100), (0, 0), (65535, 1)] {
+            sim.set_bus(&a, x);
+            sim.set_bus(&b, y);
+            sim.settle();
+            let want = x.wrapping_sub(y) & 0xFFFF;
+            assert_eq!(sim.read_bus(&ports.sum), want, "{x}-{y}");
+            assert_eq!(sim.read_net(ports.cout), x >= y, "borrow of {x}-{y}");
+        }
+    }
+
+    #[test]
+    fn delay_ordering_ripple_slowest_ks_fastest() {
+        use mfm_gatesim::TimingAnalysis;
+        let mut delays = Vec::new();
+        for kind in AdderKind::ALL {
+            let mut n = Netlist::new(TechLibrary::cmos45lp());
+            let a = n.input_bus("a", 64);
+            let b = n.input_bus("b", 64);
+            let zero = n.zero();
+            let ports = build_adder(&mut n, kind, &a, &b, zero);
+            n.output_bus("sum", &ports.sum);
+            let sta = TimingAnalysis::new(&n).report();
+            delays.push((kind, sta.critical_delay_ps, n.area_um2()));
+        }
+        let get = |k: AdderKind| delays.iter().find(|(x, _, _)| *x == k).unwrap().1;
+        assert!(get(AdderKind::KoggeStone) < get(AdderKind::CarryLookahead));
+        assert!(get(AdderKind::CarryLookahead) < get(AdderKind::Ripple));
+        assert!(get(AdderKind::CarrySelect) < get(AdderKind::Ripple));
+        // Area: Kogge–Stone is the largest, ripple the smallest.
+        let area = |k: AdderKind| delays.iter().find(|(x, _, _)| *x == k).unwrap().2;
+        assert!(area(AdderKind::KoggeStone) > area(AdderKind::Ripple));
+    }
+}

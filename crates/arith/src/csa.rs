@@ -1,0 +1,166 @@
+//! Carry-save compressors: 3:2 (full-adder vectors) and 4:2.
+
+use mfm_gatesim::{NetId, Netlist};
+
+/// Result of a carry-save compression step: a sum vector (weight 1) and a
+/// carry vector (weight 2, i.e. already shifted left by one position).
+#[derive(Debug, Clone)]
+pub struct CsaPorts {
+    /// Sum bits at the same weight as the inputs.
+    pub sum: Vec<NetId>,
+    /// Carry bits, one weight higher; index `i` has weight `i+1`.
+    /// Bit 0 of this vector is the carry out of position 0.
+    pub carry: Vec<NetId>,
+}
+
+/// 3:2 carry-save adder over three equal-width vectors.
+///
+/// The result satisfies `a + b + c = sum + (carry << 1)` (with the carry
+/// vector one bit wider conceptually; the top carry is the last element).
+pub fn csa32(n: &mut Netlist, a: &[NetId], b: &[NetId], c: &[NetId]) -> CsaPorts {
+    assert!(a.len() == b.len() && b.len() == c.len());
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (s, co) = n.full_adder(a[i], b[i], c[i]);
+        sum.push(s);
+        carry.push(co);
+    }
+    CsaPorts { sum, carry }
+}
+
+/// 4:2 compressor over four equal-width vectors, built from two 3:2 layers
+/// with an internal horizontal carry chain (the classical structure).
+///
+/// Satisfies `a + b + c + d = sum + (carry << 1) + (cout << width)` — the
+/// final horizontal carry out is returned separately.
+pub fn csa42(
+    n: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    c: &[NetId],
+    d: &[NetId],
+) -> (CsaPorts, NetId) {
+    assert!(a.len() == b.len() && b.len() == c.len() && c.len() == d.len());
+    let width = a.len();
+    let mut sum = Vec::with_capacity(width);
+    let mut carry = Vec::with_capacity(width);
+    let mut hin = n.zero();
+    for i in 0..width {
+        // First level: a+b+c → s1, horizontal carry h (weight i+1).
+        let (s1, h) = n.full_adder(a[i], b[i], c[i]);
+        // Second level: s1 + d + h_in → sum, vertical carry.
+        let (s2, v) = n.full_adder(s1, d[i], hin);
+        sum.push(s2);
+        carry.push(v);
+        hin = h;
+    }
+    (CsaPorts { sum, carry }, hin)
+}
+
+/// Single-bit 4:2 compressor cell (without the horizontal carry input):
+/// `a + b + c + d = sum + 2·carry + 2·hout`. Used by the column-oriented
+/// 4:2 reduction tree, where `hout` chains into the neighbouring column's
+/// bit pool.
+pub fn csa42_bit(
+    n: &mut Netlist,
+    a: NetId,
+    b: NetId,
+    c: NetId,
+    d: NetId,
+) -> ((NetId, NetId), NetId) {
+    let (s1, hout) = n.full_adder(a, b, c);
+    let (sum, carry) = n.half_adder(s1, d);
+    ((sum, carry), hout)
+}
+
+/// Functional twin of [`csa32`].
+pub fn csa32_func(a: u128, b: u128, c: u128, width: u32) -> (u128, u128) {
+    let mask = if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    let sum = (a ^ b ^ c) & mask;
+    let carry = ((a & b) | (a & c) | (b & c)) & mask;
+    (sum, carry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary};
+
+    #[test]
+    fn csa32_preserves_sum() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", 16);
+        let b = n.input_bus("b", 16);
+        let c = n.input_bus("c", 16);
+        let ports = csa32(&mut n, &a, &b, &c);
+        let mut sim = Simulator::new(&n);
+        for (x, y, z) in [(1u128, 2u128, 3u128), (0xFFFF, 0xFFFF, 0xFFFF), (0x1234, 0x5678, 0x9ABC)] {
+            sim.set_bus(&a, x);
+            sim.set_bus(&b, y);
+            sim.set_bus(&c, z);
+            sim.settle();
+            let s = sim.read_bus(&ports.sum);
+            let co = sim.read_bus(&ports.carry);
+            assert_eq!(s + (co << 1), x + y + z, "{x}+{y}+{z}");
+            let (fs, fc) = csa32_func(x, y, z, 16);
+            assert_eq!(s, fs);
+            assert_eq!(co, fc);
+        }
+    }
+
+    #[test]
+    fn csa42_preserves_sum() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", 16);
+        let b = n.input_bus("b", 16);
+        let c = n.input_bus("c", 16);
+        let d = n.input_bus("d", 16);
+        let (ports, cout) = csa42(&mut n, &a, &b, &c, &d);
+        let mut sim = Simulator::new(&n);
+        let cases = [
+            (1u128, 2u128, 3u128, 4u128),
+            (0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF),
+            (0x1234, 0x5678, 0x9ABC, 0xDEF0),
+            (0, 0, 0, 0),
+        ];
+        for (w, x, y, z) in cases {
+            sim.set_bus(&a, w);
+            sim.set_bus(&b, x);
+            sim.set_bus(&c, y);
+            sim.set_bus(&d, z);
+            sim.settle();
+            let s = sim.read_bus(&ports.sum);
+            let co = sim.read_bus(&ports.carry);
+            let h = sim.read_net(cout) as u128;
+            assert_eq!(s + (co << 1) + (h << 16), w + x + y + z, "{w}+{x}+{y}+{z}");
+        }
+    }
+
+    #[test]
+    fn csa42_exhaustive_small() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", 3);
+        let b = n.input_bus("b", 3);
+        let c = n.input_bus("c", 3);
+        let d = n.input_bus("d", 3);
+        let (ports, cout) = csa42(&mut n, &a, &b, &c, &d);
+        let mut sim = Simulator::new(&n);
+        for v in 0..(1u128 << 12) {
+            let (w, x, y, z) = (v & 7, (v >> 3) & 7, (v >> 6) & 7, (v >> 9) & 7);
+            sim.set_bus(&a, w);
+            sim.set_bus(&b, x);
+            sim.set_bus(&c, y);
+            sim.set_bus(&d, z);
+            sim.settle();
+            let s = sim.read_bus(&ports.sum);
+            let co = sim.read_bus(&ports.carry);
+            let h = sim.read_net(cout) as u128;
+            assert_eq!(s + (co << 1) + (h << 3), w + x + y + z);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Arithmetic netlist generators and bit-exact functional twins for the
+//! SOCC'17 multi-format multiplier reproduction.
+//!
+//! Every hardware generator in this crate comes in two forms:
+//!
+//! 1. a **netlist generator** that instantiates gates into an
+//!    [`mfm_gatesim::Netlist`], and
+//! 2. a **functional twin** — a pure integer function with the same
+//!    bit-level behaviour — used to test the netlist and to build fast
+//!    word-level models.
+//!
+//! Modules:
+//!
+//! - [`adder`] — ripple-carry, carry-lookahead, carry-select and
+//!   Kogge–Stone carry-propagate adders.
+//! - [`csa`] — 3:2 and 4:2 carry-save compressors.
+//! - [`tree`] — Dadda-style column compression of a partial-product array.
+//! - [`recode`] — radix-4/radix-8 Booth and minimally redundant radix-16
+//!   recoders (Sec. II of the paper).
+//! - [`multiples`] — precomputation of the odd multiples 3X, 5X, 7X.
+//! - [`ppgen`] — partial-product row generation with sign-extension
+//!   reduction/correction (Fig. 1).
+//! - [`mult`] — complete 64×64 multipliers (radix-4, radix-8, radix-16;
+//!   combinational and two-stage pipelined) reproducing Tables I–III.
+//!
+//! # Example
+//!
+//! ```
+//! use mfm_gatesim::{Netlist, Simulator, TechLibrary};
+//! use mfm_arith::adder::{build_adder, AdderKind};
+//!
+//! let mut n = Netlist::new(TechLibrary::cmos45lp());
+//! let a = n.input_bus("a", 16);
+//! let b = n.input_bus("b", 16);
+//! let zero = n.zero();
+//! let sum = build_adder(&mut n, AdderKind::KoggeStone, &a, &b, zero);
+//! let mut sim = Simulator::new(&n);
+//! sim.set_bus(&a, 1234);
+//! sim.set_bus(&b, 4321);
+//! sim.settle();
+//! assert_eq!(sim.read_bus(&sum.sum), 1234 + 4321);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod csa;
+pub mod mult;
+pub mod multiples;
+pub mod ppgen;
+pub mod recode;
+pub mod tree;
+
+pub use adder::{build_adder, AdderKind};
+pub use mult::{build_multiplier, MultiplierConfig, MultiplierPorts, Pipelining, Radix, TreeStyle};

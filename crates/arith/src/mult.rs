@@ -1,0 +1,418 @@
+//! Complete 64×64 unsigned multipliers (Sec. II of the paper):
+//! radix-16 (the paper's choice), radix-4 Booth (the baseline of
+//! Sec. II-A) and radix-8 Booth (the ablation).
+//!
+//! Block attribution matches the paper's critical-path decomposition:
+//! `precomp` (odd-multiple adders), `recode`, `PPGEN`, `TREE`, `CPA`, plus
+//! `PIPE` for pipeline registers. Two pipelining options are provided:
+//!
+//! - [`Pipelining::Combinational`] — the flat unit of Fig. 2 (Table I/II).
+//! - [`Pipelining::TwoStage`] — the two-stage unit of Table III. The
+//!   register cut is placed where it costs the fewest flip-flops, as the
+//!   paper reports doing: after pre-computation/recoding for radix-16 and
+//!   radix-8 (registering the odd multiples and recoded digits), and after
+//!   the reduction TREE for radix-4 (registering the two 128-bit
+//!   carry-save operands; radix-4 has no pre-computation stage to cut at).
+
+use crate::adder::{build_adder, AdderKind};
+use crate::multiples::build_multiples;
+use crate::ppgen::build_pp_array;
+use crate::recode::{booth4_recoder, booth8_recoder, radix16_recoder, RecodedDigit};
+use crate::tree::{reduce_to_two, reduce_to_two_42};
+use mfm_gatesim::{NetId, Netlist};
+
+/// Reduction-tree compressor style (the paper: "3:2 or 4:2 carry-save
+/// adders").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TreeStyle {
+    /// Dadda schedule of 3:2 full adders (minimal compressor count).
+    #[default]
+    Dadda,
+    /// Rows of 4:2 compressors (halves the height per level).
+    FourTwo,
+}
+
+/// Multiplier radix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Radix {
+    /// Radix-4 Booth: 33 partial products, no pre-computation.
+    R4,
+    /// Radix-8 Booth: 22 partial products, 3X pre-computed.
+    R8,
+    /// Minimally redundant radix-16: 17 partial products, 3X/5X/7X
+    /// pre-computed. The paper's design point.
+    R16,
+}
+
+impl Radix {
+    /// log2 of the radix (columns between PP rows).
+    pub const fn log2(self) -> usize {
+        match self {
+            Radix::R4 => 2,
+            Radix::R8 => 3,
+            Radix::R16 => 4,
+        }
+    }
+
+    /// Largest multiple of X a digit can select.
+    pub const fn max_multiple(self) -> usize {
+        match self {
+            Radix::R4 => 2,
+            Radix::R8 => 4,
+            Radix::R16 => 8,
+        }
+    }
+
+    /// Number of partial products for a 64-bit operand.
+    pub const fn pp_count(self) -> usize {
+        match self {
+            Radix::R4 => 33,
+            Radix::R8 => 22,
+            Radix::R16 => 17,
+        }
+    }
+}
+
+/// Pipeline structure of the generated multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pipelining {
+    /// Single-cycle combinational datapath.
+    #[default]
+    Combinational,
+    /// Two stages with minimal-register cut placement (Table III).
+    TwoStage,
+}
+
+/// Configuration for [`build_multiplier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MultiplierConfig {
+    /// Recoding radix.
+    pub radix: Radix,
+    /// Pipeline structure.
+    pub pipelining: Pipelining,
+    /// Architecture of the final 128-bit carry-propagate adder.
+    pub cpa: AdderKind,
+    /// Architecture of the odd-multiple pre-computation adders.
+    pub precompute_adder: AdderKind,
+    /// Compressor style of the reduction tree.
+    pub tree: TreeStyle,
+}
+
+impl MultiplierConfig {
+    /// The paper's design point: radix-16, combinational.
+    pub fn radix16() -> Self {
+        MultiplierConfig {
+            radix: Radix::R16,
+            pipelining: Pipelining::Combinational,
+            cpa: AdderKind::KoggeStone,
+            // Carry-lookahead balances the precompute delay/area the way
+            // the paper's Table I decomposition suggests (pre-comp slower
+            // than the final CPA, compact enough to keep radix-16 smaller
+            // than radix-4 overall).
+            precompute_adder: AdderKind::CarryLookahead,
+            tree: TreeStyle::Dadda,
+        }
+    }
+
+    /// Returns the same configuration with a 4:2-compressor tree.
+    pub fn with_tree(mut self, tree: TreeStyle) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// The baseline: radix-4 Booth, combinational.
+    pub fn radix4() -> Self {
+        MultiplierConfig {
+            radix: Radix::R4,
+            ..Self::radix16()
+        }
+    }
+
+    /// The ablation: radix-8 Booth, combinational.
+    pub fn radix8() -> Self {
+        MultiplierConfig {
+            radix: Radix::R8,
+            ..Self::radix16()
+        }
+    }
+
+    /// Returns the same configuration pipelined in two stages.
+    pub fn pipelined(mut self) -> Self {
+        self.pipelining = Pipelining::TwoStage;
+        self
+    }
+}
+
+impl Default for MultiplierConfig {
+    fn default() -> Self {
+        Self::radix16()
+    }
+}
+
+/// The primary ports of a generated multiplier.
+#[derive(Debug, Clone)]
+pub struct MultiplierPorts {
+    /// 64-bit multiplicand input.
+    pub x: Vec<NetId>,
+    /// 64-bit multiplier input.
+    pub y: Vec<NetId>,
+    /// 128-bit product output.
+    pub p: Vec<NetId>,
+    /// Clock cycles from operand application to valid product
+    /// (0 = combinational, 2 = two-stage pipelined, matching the paper's
+    /// "both implementations have the same latency of 2 clock cycles").
+    pub latency: u32,
+}
+
+/// Builds a 64×64 unsigned multiplier into `n` and returns its ports.
+///
+/// # Example
+///
+/// ```
+/// use mfm_gatesim::{Netlist, Simulator, TechLibrary};
+/// use mfm_arith::{build_multiplier, MultiplierConfig};
+///
+/// let mut n = Netlist::new(TechLibrary::cmos45lp());
+/// let m = build_multiplier(&mut n, MultiplierConfig::radix16());
+/// let mut sim = Simulator::new(&n);
+/// sim.set_bus(&m.x, 6);
+/// sim.set_bus(&m.y, 7);
+/// sim.settle();
+/// assert_eq!(sim.read_bus(&m.p), 42);
+/// ```
+pub fn build_multiplier(n: &mut Netlist, cfg: MultiplierConfig) -> MultiplierPorts {
+    let x = n.input_bus("x", 64);
+    let y = n.input_bus("y", 64);
+
+    // Recoding of Y (parallel with pre-computation, as in Fig. 2).
+    let mut digits: Vec<RecodedDigit> = n.in_block("recode", |n| match cfg.radix {
+        Radix::R4 => booth4_recoder(n, &y),
+        Radix::R8 => booth8_recoder(n, &y),
+        Radix::R16 => radix16_recoder(n, &y),
+    });
+
+    // Pre-computation of the multiples of X.
+    let m = n.in_block("precomp", |n| {
+        build_multiples(n, &x, cfg.radix.max_multiple(), cfg.precompute_adder)
+    });
+    let mut buses: Vec<Vec<NetId>> = (1..=cfg.radix.max_multiple())
+        .map(|k| m.bus(k).to_vec())
+        .collect();
+
+    // Radix-16/8 two-stage cut: register the multiples and the recoded
+    // digits (the fewest bits crossing the boundary).
+    if cfg.pipelining == Pipelining::TwoStage && cfg.radix != Radix::R4 {
+        n.in_block("PIPE", |n| {
+            for bus in &mut buses {
+                *bus = bus
+                    .iter()
+                    .map(|&b| {
+                        if n.const_value(b).is_some() {
+                            b // shifted-in zeros need no register
+                        } else {
+                            n.dff(b)
+                        }
+                    })
+                    .collect();
+            }
+            for d in &mut digits {
+                if n.const_value(d.sign).is_none() {
+                    d.sign = n.dff(d.sign);
+                }
+                for s in &mut d.sel {
+                    if n.const_value(*s).is_none() {
+                        *s = n.dff(*s);
+                    }
+                }
+            }
+        });
+    }
+
+    // PP generation with sign-extension correction.
+    let arr = n.in_block("PPGEN", |n| {
+        build_pp_array(n, &buses, &digits, cfg.radix.log2(), 128)
+    });
+
+    // Reduction tree.
+    let (mut ra, mut rb) = n.in_block("TREE", |n| match cfg.tree {
+        TreeStyle::Dadda => reduce_to_two(n, arr),
+        TreeStyle::FourTwo => reduce_to_two_42(n, arr, &[]),
+    });
+
+    // Radix-4 two-stage cut: register the two carry-save operands.
+    if cfg.pipelining == Pipelining::TwoStage && cfg.radix == Radix::R4 {
+        n.in_block("PIPE", |n| {
+            ra = ra
+                .iter()
+                .map(|&b| if n.const_value(b).is_some() { b } else { n.dff(b) })
+                .collect();
+            rb = rb
+                .iter()
+                .map(|&b| if n.const_value(b).is_some() { b } else { n.dff(b) })
+                .collect();
+        });
+    }
+
+    // Final carry-propagate addition.
+    let zero = n.zero();
+    let p = n.in_block("CPA", |n| build_adder(n, cfg.cpa, &ra, &rb, zero).sum);
+
+    // Output register for pipelined units so each stage is cut.
+    let (p, latency) = if cfg.pipelining == Pipelining::TwoStage {
+        let q = n.in_block("PIPE", |n| n.dff_bus(&p));
+        (q, 2)
+    } else {
+        (p, 0)
+    };
+
+    n.output_bus("p", &p);
+    MultiplierPorts { x, y, p, latency }
+}
+
+/// Functional twin: the 128-bit product.
+pub fn multiply_func(x: u64, y: u64) -> u128 {
+    (x as u128) * (y as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary, TimingAnalysis};
+
+    fn sample_pairs(count: usize) -> Vec<(u64, u64)> {
+        let mut v = vec![
+            (0, 0),
+            (1, 1),
+            (u64::MAX, u64::MAX),
+            (u64::MAX, 1),
+            (1, u64::MAX),
+            (0x8000_0000_0000_0000, 2),
+            (0xDEAD_BEEF_CAFE_F00D, 0x0123_4567_89AB_CDEF),
+        ];
+        let mut s = 0x6A09_E667_F3BC_C908u64;
+        while v.len() < count {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = s;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            v.push((a, s));
+        }
+        v
+    }
+
+    fn check_combinational(cfg: MultiplierConfig) {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let m = build_multiplier(&mut n, cfg);
+        n.check().unwrap();
+        assert_eq!(m.latency, 0);
+        let mut sim = Simulator::new(&n);
+        for (x, y) in sample_pairs(20) {
+            sim.set_bus(&m.x, x as u128);
+            sim.set_bus(&m.y, y as u128);
+            sim.settle();
+            assert_eq!(sim.read_bus(&m.p), multiply_func(x, y), "{x:#x}*{y:#x}");
+        }
+    }
+
+    #[test]
+    fn radix16_combinational_correct() {
+        check_combinational(MultiplierConfig::radix16());
+    }
+
+    #[test]
+    fn radix16_four_two_tree_correct() {
+        check_combinational(MultiplierConfig::radix16().with_tree(TreeStyle::FourTwo));
+    }
+
+    #[test]
+    fn radix4_four_two_tree_correct() {
+        check_combinational(MultiplierConfig::radix4().with_tree(TreeStyle::FourTwo));
+    }
+
+    #[test]
+    fn radix4_combinational_correct() {
+        check_combinational(MultiplierConfig::radix4());
+    }
+
+    #[test]
+    fn radix8_combinational_correct() {
+        check_combinational(MultiplierConfig::radix8());
+    }
+
+    fn check_pipelined(cfg: MultiplierConfig) {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let m = build_multiplier(&mut n, cfg.pipelined());
+        n.check().unwrap();
+        assert_eq!(m.latency, 2);
+        assert!(n.dff_count() > 0);
+        let mut sim = Simulator::new(&n);
+        let pairs = sample_pairs(10);
+        // Fill the pipeline, checking each result two cycles after issue.
+        let mut expected = std::collections::VecDeque::new();
+        for &(x, y) in &pairs {
+            sim.step_cycle(&[(&m.x, x as u128), (&m.y, y as u128)]);
+            expected.push_back(multiply_func(x, y));
+            if expected.len() > 2 {
+                let want = expected.pop_front().unwrap();
+                assert_eq!(sim.read_bus(&m.p), want);
+            }
+        }
+        // Drain.
+        for _ in 0..2 {
+            sim.step_cycle(&[]);
+            if let Some(want) = expected.pop_front() {
+                assert_eq!(sim.read_bus(&m.p), want);
+            }
+        }
+    }
+
+    #[test]
+    fn radix16_pipelined_correct() {
+        check_pipelined(MultiplierConfig::radix16());
+    }
+
+    #[test]
+    fn radix4_pipelined_correct() {
+        check_pipelined(MultiplierConfig::radix4());
+    }
+
+    #[test]
+    fn radix4_is_faster_but_larger_than_radix16() {
+        // The paper's Table I vs Table II comparison. Area is compared with
+        // the slack-based sizing model at each design's own achievable
+        // period, which is how synthesis areas are reported (see
+        // `TimingAnalysis::sized_area_um2`).
+        let mut n16 = Netlist::new(TechLibrary::cmos45lp());
+        build_multiplier(&mut n16, MultiplierConfig::radix16());
+        let ta16 = TimingAnalysis::new(&n16);
+        let sta16 = ta16.report();
+
+        let mut n4 = Netlist::new(TechLibrary::cmos45lp());
+        build_multiplier(&mut n4, MultiplierConfig::radix4());
+        let ta4 = TimingAnalysis::new(&n4);
+        let sta4 = ta4.report();
+
+        assert!(
+            sta4.critical_delay_ps < sta16.critical_delay_ps,
+            "radix-4 ({:.0} ps) should be faster than radix-16 ({:.0} ps)",
+            sta4.critical_delay_ps,
+            sta16.critical_delay_ps
+        );
+        let a4 = ta4.sized_area_um2(sta4.min_period_ps);
+        let a16 = ta16.sized_area_um2(sta16.min_period_ps);
+        assert!(
+            a4 > a16,
+            "radix-4 ({a4:.0} µm² sized) should be larger than radix-16 ({a16:.0} µm² sized)"
+        );
+    }
+
+    #[test]
+    fn radix16_critical_path_visits_expected_blocks() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        build_multiplier(&mut n, MultiplierConfig::radix16());
+        let sta = TimingAnalysis::new(&n).report();
+        let blocks: Vec<&str> = sta.segments.iter().map(|s| s.block.as_str()).collect();
+        // The critical path must end in the CPA and traverse the TREE.
+        assert_eq!(blocks.last().copied(), Some("CPA"), "{blocks:?}");
+        assert!(blocks.contains(&"TREE"), "{blocks:?}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Precomputation of multiplicand multiples (the paper's *pre-comp* block).
+//!
+//! Radix-16 PP generation needs all multiples 1X…8X. The even ones are
+//! wiring (left shifts); the odd ones 3X, 5X, 7X each need one
+//! carry-propagate addition: `3X = X + 2X`, `5X = X + 4X`, `7X = 8X − X`,
+//! and `6X = 3X << 1` (all as in Sec. II of the paper).
+
+use crate::adder::{build_adder, build_subtractor, AdderKind};
+use mfm_gatesim::{NetId, Netlist};
+
+/// The multiples `1X..=maxX` as equal-width buses; `bus(k)` is `k·X`.
+#[derive(Debug, Clone)]
+pub struct Multiples {
+    buses: Vec<Vec<NetId>>,
+    width: usize,
+}
+
+impl Multiples {
+    /// The bus for multiple `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or greater than the generated maximum.
+    pub fn bus(&self, k: usize) -> &[NetId] {
+        assert!(k >= 1 && k <= self.buses.len(), "multiple {k} not generated");
+        &self.buses[k - 1]
+    }
+
+    /// Number of multiples generated (the maximum `k`).
+    pub fn max(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Width of every multiple bus in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Zero-pads a bus to `width` bits.
+fn pad(n: &Netlist, bus: &[NetId], width: usize) -> Vec<NetId> {
+    let mut v = bus.to_vec();
+    while v.len() < width {
+        v.push(n.zero());
+    }
+    v
+}
+
+/// Left-shifts a bus by `k` within `width` bits (zero fill).
+fn shl(n: &Netlist, bus: &[NetId], k: usize, width: usize) -> Vec<NetId> {
+    let mut v = vec![n.zero(); k];
+    v.extend_from_slice(bus);
+    v.truncate(width);
+    pad(n, &v, width)
+}
+
+/// Builds the multiples `1X..=max` of the 64-bit operand `x`.
+///
+/// All buses share the same width, `64 + ceil(log2(max))` bits, so the
+/// PPGEN mux rows are uniform. Only the odd multiples beyond 1 instantiate
+/// adders; the paper's observation that `6X` is a shift of `3X` is applied.
+///
+/// # Panics
+///
+/// Panics unless `max` is 2, 4 or 8 (radix 4, 8, 16 respectively).
+pub fn build_multiples(
+    n: &mut Netlist,
+    x: &[NetId],
+    max: usize,
+    adder: AdderKind,
+) -> Multiples {
+    let extra = match max {
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        _ => panic!("unsupported maximum multiple {max}"),
+    };
+    let width = x.len() + extra;
+    let x1 = pad(n, x, width);
+    let mut buses = vec![x1.clone()];
+    if max >= 2 {
+        buses.push(shl(n, x, 1, width));
+    }
+    if max >= 4 {
+        // 3X = X + 2X
+        let x2 = shl(n, x, 1, width);
+        let zero = n.zero();
+        let three = build_adder(n, adder, &x1, &x2, zero).sum;
+        buses.push(three);
+        buses.push(shl(n, x, 2, width));
+    }
+    if max >= 8 {
+        // 5X = X + 4X
+        let x4 = shl(n, x, 2, width);
+        let zero = n.zero();
+        let five = build_adder(n, adder, &x1, &x4, zero).sum;
+        buses.push(five);
+        // 6X = 3X << 1
+        let three = buses[2].clone();
+        buses.push(shl(n, &three, 1, width));
+        // 7X = 8X − X
+        let x8 = shl(n, x, 3, width);
+        let seven = build_subtractor(n, adder, &x8, &x1).sum;
+        buses.push(seven);
+        buses.push(shl(n, x, 3, width));
+    }
+    Multiples { buses, width }
+}
+
+/// Functional twin: `k · x` as a `u128`.
+pub fn multiple_func(x: u64, k: usize) -> u128 {
+    (x as u128) * (k as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary};
+
+    fn check(max: usize) {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let x = n.input_bus("x", 64);
+        let m = build_multiples(&mut n, &x, max, AdderKind::CarryLookahead);
+        assert_eq!(m.max(), max);
+        let mut sim = Simulator::new(&n);
+        let values = [
+            0u64,
+            1,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0xDEAD_BEEF_CAFE_F00D,
+            0x0123_4567_89AB_CDEF,
+        ];
+        for &v in &values {
+            sim.set_bus(&x, v as u128);
+            sim.settle();
+            for k in 1..=max {
+                assert_eq!(
+                    sim.read_bus(m.bus(k)),
+                    multiple_func(v, k),
+                    "{k}X of {v:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radix4_multiples() {
+        check(2);
+    }
+
+    #[test]
+    fn radix8_multiples() {
+        check(4);
+    }
+
+    #[test]
+    fn radix16_multiples() {
+        check(8);
+    }
+
+    #[test]
+    fn only_odd_multiples_cost_adders() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let x = n.input_bus("x", 64);
+        let before = n.cell_count();
+        let _ = build_multiples(&mut n, &x, 2, AdderKind::CarryLookahead);
+        assert_eq!(n.cell_count(), before, "1X and 2X are pure wiring");
+    }
+
+    #[test]
+    fn widths_are_uniform() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let x = n.input_bus("x", 64);
+        let m = build_multiples(&mut n, &x, 8, AdderKind::KoggeStone);
+        assert_eq!(m.width(), 67);
+        for k in 1..=8 {
+            assert_eq!(m.bus(k).len(), 67, "{k}X width");
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Partial-product generation (the paper's Fig. 1) with sign-extension
+//! reduction and correction.
+//!
+//! Each recoded digit selects a multiple of X through a one-hot mux; an
+//! XOR rank complements the row when the digit is negative. Instead of
+//! sign-extending every row to the full product width, the standard
+//! correction scheme is used: a negative-capable row at offset `o` with
+//! width `w` contributes
+//!
+//! ```text
+//! (m + s)·2^o + (¬s)·2^(o+w) + (2^(o+w) − 2^(o+w+1))
+//! ```
+//!
+//! where `m` is the XOR-complemented row and `s` the sign bit. The last
+//! term is data-independent and accumulates across rows into a single
+//! hard-wired constant added to the array.
+
+use crate::recode::RecodedDigit;
+use crate::tree::PpArray;
+use mfm_gatesim::{NetId, Netlist};
+
+/// Adds one partial-product row for `digit` at column `offset`.
+///
+/// `multiples[k-1]` must be the bus for `k·X`; all buses must share one
+/// width. `correction` accumulates the data-independent constant.
+/// `window` optionally restricts the row to the half-open column range
+/// `[window.0, window.1)` *in row-local bit positions* — bits outside are
+/// blanked (used by the dual-lane binary32 array, Fig. 4).
+pub fn add_pp_row(
+    n: &mut Netlist,
+    arr: &mut PpArray,
+    multiples: &[Vec<NetId>],
+    digit: &RecodedDigit,
+    offset: usize,
+    correction: &mut u128,
+    window: Option<(usize, usize)>,
+) {
+    let width = multiples[0].len();
+    let (lo, hi) = window.unwrap_or((0, width));
+    let negatable = n.const_value(digit.sign) != Some(false);
+
+    for j in lo..hi.min(width) {
+        // One-hot select: OR over (sel_k & multiple_k[j]), mapped the way a
+        // synthesizer would — AOI22 pairs merged with NAND/NOR levels.
+        let terms: Vec<(NetId, NetId)> = digit
+            .sel
+            .iter()
+            .enumerate()
+            .map(|(k, &sel)| (sel, multiples[k][j]))
+            .collect();
+        let acc = one_hot_select(n, &terms);
+        // Complement the row when the digit is negative.
+        let bit = n.xor2(acc, digit.sign);
+        arr.add_bit(offset + j, bit);
+    }
+
+    if negatable {
+        // +s at the row LSB completes the two's complement.
+        arr.add_bit(offset + lo, digit.sign);
+        // ¬s and the constant replace the sign extension.
+        let k = offset + hi.min(width);
+        if k < arr.width() {
+            let ns = n.not(digit.sign);
+            arr.add_bit(k, ns);
+            *correction = correction.wrapping_add(1u128 << k);
+            if k + 1 < 128 {
+                *correction = correction.wrapping_sub(1u128 << (k + 1));
+            }
+        }
+    }
+}
+
+/// OR of AND pairs — `(s₁&d₁) | (s₂&d₂) | …` — built from AOI22 cells
+/// merged by NAND2/OR levels, the structure a one-hot mux maps to in a
+/// standard-cell library (Fig. 1's "8:1 Mux").
+pub fn one_hot_select(n: &mut Netlist, terms: &[(NetId, NetId)]) -> NetId {
+    // Level 1: AOI22 per pair of terms → inverted or-of-two.
+    let mut inverted: Vec<NetId> = Vec::with_capacity(terms.len().div_ceil(2));
+    for ch in terms.chunks(2) {
+        match ch {
+            [(s, d)] => {
+                let t = n.and2(*s, *d);
+                inverted.push(n.not(t));
+            }
+            [(s1, d1), (s2, d2)] => {
+                inverted.push(n.aoi22(*s1, *d1, *s2, *d2));
+            }
+            _ => unreachable!(),
+        }
+    }
+    // Level 2+: NAND2 combines two inverted groups into a positive OR;
+    // OR2 then merges positives.
+    let mut positives: Vec<NetId> = Vec::with_capacity(inverted.len().div_ceil(2));
+    for ch in inverted.chunks(2) {
+        match ch {
+            [x] => positives.push(n.not(*x)),
+            [x, y] => positives.push(n.nand2(*x, *y)),
+            _ => unreachable!(),
+        }
+    }
+    while positives.len() > 1 {
+        let mut next = Vec::with_capacity(positives.len().div_ceil(2));
+        for ch in positives.chunks(2) {
+            match ch {
+                [x] => next.push(*x),
+                [x, y] => next.push(n.or2(*x, *y)),
+                _ => unreachable!(),
+            }
+        }
+        positives = next;
+    }
+    positives[0]
+}
+
+/// Builds the complete PP array for a recoded operand: one row per digit,
+/// spaced `log2(radix)` columns apart, plus the sign-extension correction
+/// constant.
+pub fn build_pp_array(
+    n: &mut Netlist,
+    multiples: &[Vec<NetId>],
+    digits: &[RecodedDigit],
+    radix_log2: usize,
+    product_width: usize,
+) -> PpArray {
+    let mut arr = PpArray::new(product_width);
+    let mut correction = 0u128;
+    for (i, digit) in digits.iter().enumerate() {
+        add_pp_row(
+            n,
+            &mut arr,
+            multiples,
+            digit,
+            radix_log2 * i,
+            &mut correction,
+            None,
+        );
+    }
+    arr.add_constant(n, truncate_to(correction, product_width));
+    arr
+}
+
+fn truncate_to(v: u128, width: usize) -> u128 {
+    if width >= 128 {
+        v
+    } else {
+        v & ((1u128 << width) - 1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Functional twin
+// ---------------------------------------------------------------------
+
+/// Functional twin of the whole PP array: returns the addends (as
+/// `(offset-applied)` 128-bit values) whose wrapping sum is `x·y mod 2^128`.
+///
+/// Mirrors [`build_pp_array`] exactly: complemented rows, +s bits, ¬s bits
+/// and the correction constant.
+pub fn pp_array_func(x: u64, digits: &[i8], radix_log2: usize, row_width: usize) -> Vec<u128> {
+    let row_mask = (1u128 << row_width) - 1;
+    let mut addends = Vec::new();
+    let mut correction = 0u128;
+    for (i, &d) in digits.iter().enumerate() {
+        let offset = radix_log2 * i;
+        let s = d < 0;
+        let mag = d.unsigned_abs() as u128;
+        let mut m = (x as u128).wrapping_mul(mag) & row_mask;
+        if s {
+            m = !m & row_mask;
+        }
+        addends.push(m.wrapping_shl(offset as u32));
+        // The last digit of every radix is non-negative by construction;
+        // all earlier rows carry sign-handling bits.
+        if i + 1 < digits.len() {
+            if s {
+                addends.push(1u128.wrapping_shl(offset as u32));
+            }
+            let k = offset + row_width;
+            if k < 128 {
+                if !s {
+                    addends.push(1u128 << k);
+                }
+                correction = correction.wrapping_add(1u128 << k);
+                if k + 1 < 128 {
+                    correction = correction.wrapping_sub(1u128 << (k + 1));
+                }
+            }
+        }
+    }
+    addends.push(correction);
+    addends
+}
+
+/// Sums the functional PP array and checks it equals the product; returns
+/// the sum. Exposed for tests and the Fig. 4 occupancy report.
+pub fn pp_array_sum(x: u64, digits: &[i8], radix_log2: usize, row_width: usize) -> u128 {
+    pp_array_func(x, digits, radix_log2, row_width)
+        .into_iter()
+        .fold(0u128, |a, b| a.wrapping_add(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiples::build_multiples;
+    use crate::recode::{booth4_digits, booth8_digits, radix16_digits};
+    use crate::recode::{booth4_recoder, booth8_recoder, radix16_recoder};
+    use crate::tree::reduce_to_two;
+    use crate::AdderKind;
+    use mfm_gatesim::{Simulator, TechLibrary};
+
+    fn sample_pairs() -> Vec<(u64, u64)> {
+        let mut v = vec![
+            (0, 0),
+            (1, 1),
+            (u64::MAX, u64::MAX),
+            (u64::MAX, 1),
+            (0x8000_0000_0000_0000, 0xFFFF_FFFF_FFFF_FFFF),
+            (0xDEAD_BEEF_CAFE_F00D, 0x0123_4567_89AB_CDEF),
+            (3, 7),
+        ];
+        let mut s = 0xB504_F333_F9DE_6484u64;
+        for _ in 0..40 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = s;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            v.push((a, s));
+        }
+        v
+    }
+
+    #[test]
+    fn functional_array_sums_to_product_radix16() {
+        for (x, y) in sample_pairs() {
+            let sum = pp_array_sum(x, &radix16_digits(y), 4, 68);
+            assert_eq!(sum, (x as u128).wrapping_mul(y as u128), "{x:#x}*{y:#x}");
+        }
+    }
+
+    #[test]
+    fn functional_array_sums_to_product_radix4() {
+        for (x, y) in sample_pairs() {
+            let sum = pp_array_sum(x, &booth4_digits(y), 2, 66);
+            assert_eq!(sum, (x as u128).wrapping_mul(y as u128), "{x:#x}*{y:#x}");
+        }
+    }
+
+    #[test]
+    fn functional_array_sums_to_product_radix8() {
+        for (x, y) in sample_pairs() {
+            let sum = pp_array_sum(x, &booth8_digits(y), 3, 67);
+            assert_eq!(sum, (x as u128).wrapping_mul(y as u128), "{x:#x}*{y:#x}");
+        }
+    }
+
+    /// End-to-end netlist check: recoder + multiples + PP array + tree,
+    /// finished with a word-level addition of the two operands.
+    fn check_netlist_array(
+        radix_log2: usize,
+        max_mult: usize,
+        recoder: impl Fn(&mut mfm_gatesim::Netlist, &[mfm_gatesim::NetId]) -> Vec<RecodedDigit>,
+    ) {
+        let mut n = mfm_gatesim::Netlist::new(TechLibrary::cmos45lp());
+        let x = n.input_bus("x", 64);
+        let y = n.input_bus("y", 64);
+        let digits = recoder(&mut n, &y);
+        let mult = build_multiples(&mut n, &x, max_mult, AdderKind::CarryLookahead);
+        let buses: Vec<Vec<mfm_gatesim::NetId>> =
+            (1..=max_mult).map(|k| mult.bus(k).to_vec()).collect();
+        let arr = build_pp_array(&mut n, &buses, &digits, radix_log2, 128);
+        let (ra, rb) = reduce_to_two(&mut n, arr);
+        let mut sim = Simulator::new(&n);
+        for (xv, yv) in sample_pairs().into_iter().take(12) {
+            sim.set_bus(&x, xv as u128);
+            sim.set_bus(&y, yv as u128);
+            sim.settle();
+            let got = sim.read_bus(&ra).wrapping_add(sim.read_bus(&rb));
+            assert_eq!(got, (xv as u128).wrapping_mul(yv as u128), "{xv:#x}*{yv:#x}");
+        }
+    }
+
+    #[test]
+    fn netlist_array_radix16() {
+        check_netlist_array(4, 8, |n, y| radix16_recoder(n, y));
+    }
+
+    #[test]
+    fn netlist_array_radix4() {
+        check_netlist_array(2, 2, |n, y| booth4_recoder(n, y));
+    }
+
+    #[test]
+    fn netlist_array_radix8() {
+        check_netlist_array(3, 4, |n, y| booth8_recoder(n, y));
+    }
+
+    #[test]
+    fn array_heights_match_paper() {
+        // Radix-16: 17 rows; radix-4: 33 rows. The max column height is
+        // bounded by the row count (plus sign-handling bits).
+        let mut n = mfm_gatesim::Netlist::new(TechLibrary::cmos45lp());
+        let x = n.input_bus("x", 64);
+        let y = n.input_bus("y", 64);
+        let digits = radix16_recoder(&mut n, &y);
+        let mult = build_multiples(&mut n, &x, 8, AdderKind::CarryLookahead);
+        let buses: Vec<Vec<mfm_gatesim::NetId>> = (1..=8).map(|k| mult.bus(k).to_vec()).collect();
+        let arr = build_pp_array(&mut n, &buses, &digits, 4, 128);
+        let h = arr.max_height();
+        assert!(
+            (17..=19).contains(&h),
+            "radix-16 array height {h} should be ~17"
+        );
+    }
+}

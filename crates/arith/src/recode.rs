@@ -1,0 +1,376 @@
+//! Multiplier-operand recoding: minimally redundant radix-16 (the paper's
+//! scheme, Sec. II), radix-4 Booth (the baseline, Sec. II-A) and radix-8
+//! Booth (the ablation the paper argues against implementing).
+//!
+//! Each recoder exists as a functional twin returning signed digits and as
+//! a netlist generator producing a sign bit plus a one-hot magnitude
+//! selector per digit — the exact interface the PPGEN mux of Fig. 1 needs.
+
+use mfm_gatesim::{NetId, Netlist};
+
+/// Number of radix-16 digits recoded from a 64-bit operand (16 + the
+/// transfer digit — the "(n+1)/4" of the paper, i.e. 17 partial products).
+pub const RADIX16_DIGITS: usize = 17;
+/// Number of radix-4 Booth digits for a 64-bit unsigned operand.
+pub const RADIX4_DIGITS: usize = 33;
+/// Number of radix-8 Booth digits for a 64-bit unsigned operand.
+pub const RADIX8_DIGITS: usize = 22;
+
+// ---------------------------------------------------------------------
+// Functional twins
+// ---------------------------------------------------------------------
+
+/// Recodes `y` into 17 minimally redundant radix-16 digits in `[-8, 8]`.
+///
+/// Carry-free recoding: each 4-bit group `Yᵢ` emits the transfer digit
+/// `tᵢ = MSB(Yᵢ)` and the digit `dᵢ = Yᵢ − 16·tᵢ + tᵢ₋₁`; the final digit
+/// is `t₁₅` (the paper's 17th partial product, worth `0` or `X·16¹⁶`).
+///
+/// # Example
+///
+/// ```
+/// use mfm_arith::recode::radix16_digits;
+///
+/// let d = radix16_digits(0xF); // 15 = 16 - 1
+/// assert_eq!(d[0], -1);
+/// assert_eq!(d[1], 1);
+/// ```
+pub fn radix16_digits(y: u64) -> [i8; RADIX16_DIGITS] {
+    let mut d = [0i8; RADIX16_DIGITS];
+    let mut t_prev = 0i8;
+    for (i, digit) in d.iter_mut().take(16).enumerate() {
+        let yi = ((y >> (4 * i)) & 0xF) as i8;
+        let t = (yi >> 3) & 1;
+        *digit = yi - 16 * t + t_prev;
+        t_prev = t;
+    }
+    d[16] = t_prev;
+    d
+}
+
+/// Recodes `y` into 33 radix-4 Booth digits in `[-2, 2]`.
+pub fn booth4_digits(y: u64) -> [i8; RADIX4_DIGITS] {
+    let bit = |k: i32| -> i8 {
+        if (0..64).contains(&k) {
+            ((y >> k) & 1) as i8
+        } else {
+            0
+        }
+    };
+    let mut d = [0i8; RADIX4_DIGITS];
+    for (i, digit) in d.iter_mut().enumerate() {
+        let i = i as i32;
+        *digit = bit(2 * i - 1) + bit(2 * i) - 2 * bit(2 * i + 1);
+    }
+    d
+}
+
+/// Recodes `y` into 22 radix-8 Booth digits in `[-4, 4]`.
+pub fn booth8_digits(y: u64) -> [i8; RADIX8_DIGITS] {
+    let bit = |k: i32| -> i8 {
+        if (0..64).contains(&k) {
+            ((y >> k) & 1) as i8
+        } else {
+            0
+        }
+    };
+    let mut d = [0i8; RADIX8_DIGITS];
+    for (i, digit) in d.iter_mut().enumerate() {
+        let i = i as i32;
+        *digit = bit(3 * i - 1) + bit(3 * i) + 2 * bit(3 * i + 1) - 4 * bit(3 * i + 2);
+    }
+    d
+}
+
+/// Reconstructs the operand value from digits: `Σ dᵢ · radixⁱ`.
+/// Used by the round-trip property tests.
+pub fn digits_value(digits: &[i8], radix: u32) -> i128 {
+    digits
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d as i128) * (radix as i128).pow(i as u32))
+        .sum()
+}
+
+// ---------------------------------------------------------------------
+// Netlist recoders
+// ---------------------------------------------------------------------
+
+/// One recoded digit at the netlist level: a sign and a one-hot magnitude.
+///
+/// `sel[m-1]` is high when the digit magnitude is `m`; all-low means the
+/// digit is zero. A set `sign` with magnitude zero is a harmless "negative
+/// zero" (the PP row logic cancels it exactly).
+#[derive(Debug, Clone)]
+pub struct RecodedDigit {
+    /// High for negative digits.
+    pub sign: NetId,
+    /// One-hot magnitude selectors for magnitudes `1..=sel.len()`.
+    pub sel: Vec<NetId>,
+}
+
+/// Builds the radix-16 recoder over a 64-bit operand bus.
+/// Returns the 17 recoded digits; the last digit is the transfer digit
+/// (magnitude ∈ {0, 1}, never negative).
+///
+/// # Panics
+///
+/// Panics if `y` is not 64 bits wide.
+pub fn radix16_recoder(n: &mut Netlist, y: &[NetId]) -> Vec<RecodedDigit> {
+    assert_eq!(y.len(), 64);
+    let zero = n.zero();
+    let mut out = Vec::with_capacity(RADIX16_DIGITS);
+    for i in 0..16 {
+        let b = [y[4 * i], y[4 * i + 1], y[4 * i + 2], y[4 * i + 3]];
+        let t_in = if i > 0 { y[4 * i - 1] } else { zero };
+        // u = (b2 b1 b0) + t_in  (4-bit result, ≤ 8).
+        let u0 = n.xor2(b[0], t_in);
+        let c0 = n.and2(b[0], t_in);
+        let u1 = n.xor2(b[1], c0);
+        let c1 = n.and2(b[1], c0);
+        let u2 = n.xor2(b[2], c1);
+        let u3 = n.and2(b[2], c1);
+        // Minterms over u (0..8); u3 high means exactly 8.
+        let nu0 = n.not(u0);
+        let nu1 = n.not(u1);
+        let nu2 = n.not(u2);
+        let nu3 = n.not(u3);
+        let mut eq = Vec::with_capacity(9);
+        for k in 0..8u32 {
+            let l0 = if k & 1 == 1 { u0 } else { nu0 };
+            let l1 = if k & 2 == 2 { u1 } else { nu1 };
+            let l2 = if k & 4 == 4 { u2 } else { nu2 };
+            let m01 = n.and2(l0, l1);
+            let m012 = n.and2(m01, l2);
+            eq.push(n.and2(m012, nu3));
+        }
+        eq.push(u3); // u == 8
+        // sel_m = (!b3 & eq[m]) | (b3 & eq[8-m]).
+        let sign = b[3];
+        let nsign = n.not(sign);
+        let sel = (1..=8usize)
+            .map(|m| {
+                let pos = n.and2(nsign, eq[m]);
+                let neg = n.and2(sign, eq[8 - m]);
+                n.or2(pos, neg)
+            })
+            .collect();
+        out.push(RecodedDigit { sign, sel });
+    }
+    // Transfer digit: magnitude 1 iff y[63].
+    let mut sel = vec![zero; 8];
+    sel[0] = y[63];
+    out.push(RecodedDigit { sign: zero, sel });
+    out
+}
+
+/// Builds the radix-4 Booth recoder over a 64-bit operand bus.
+/// Returns 33 digits with magnitudes 1..2.
+///
+/// # Panics
+///
+/// Panics if `y` is not 64 bits wide.
+pub fn booth4_recoder(n: &mut Netlist, y: &[NetId]) -> Vec<RecodedDigit> {
+    assert_eq!(y.len(), 64);
+    let zero = n.zero();
+    let bit = |k: i32| -> NetId {
+        if (0..64).contains(&k) {
+            y[k as usize]
+        } else {
+            zero
+        }
+    };
+    (0..RADIX4_DIGITS as i32)
+        .map(|i| {
+            let a = bit(2 * i + 1); // weight -2
+            let b = bit(2 * i);
+            let c = bit(2 * i - 1);
+            let sel1 = n.xor2(b, c);
+            let e = n.xnor2(b, c);
+            let ab = n.xor2(a, b);
+            let sel2 = n.and2(e, ab);
+            RecodedDigit {
+                sign: a,
+                sel: vec![sel1, sel2],
+            }
+        })
+        .collect()
+}
+
+/// Builds the radix-8 Booth recoder over a 64-bit operand bus.
+/// Returns 22 digits with magnitudes 1..4.
+///
+/// # Panics
+///
+/// Panics if `y` is not 64 bits wide.
+pub fn booth8_recoder(n: &mut Netlist, y: &[NetId]) -> Vec<RecodedDigit> {
+    assert_eq!(y.len(), 64);
+    let zero = n.zero();
+    let bit = |k: i32| -> NetId {
+        if (0..64).contains(&k) {
+            y[k as usize]
+        } else {
+            zero
+        }
+    };
+    (0..RADIX8_DIGITS as i32)
+        .map(|i| {
+            let a = bit(3 * i + 2); // weight -4
+            let b = bit(3 * i + 1); // weight +2
+            let c = bit(3 * i); // weight +1
+            let d = bit(3 * i - 1); // weight +1
+            // v = c + d + 2b ∈ 0..4
+            let u0 = n.xor2(c, d);
+            let k = n.and2(c, d);
+            let u1 = n.xor2(b, k);
+            let u2 = n.and2(b, k);
+            let nu0 = n.not(u0);
+            let nu1 = n.not(u1);
+            let nu2 = n.not(u2);
+            let eq0 = {
+                let t = n.and2(nu0, nu1);
+                n.and2(t, nu2)
+            };
+            let eq1 = {
+                let t = n.and2(u0, nu1);
+                n.and2(t, nu2)
+            };
+            let eq2 = {
+                let t = n.and2(nu0, u1);
+                n.and2(t, nu2)
+            };
+            let eq3 = {
+                let t = n.and2(u0, u1);
+                n.and2(t, nu2)
+            };
+            let eq4 = u2;
+            let eq = [eq0, eq1, eq2, eq3, eq4];
+            let sign = a;
+            let nsign = n.not(sign);
+            let sel = (1..=4usize)
+                .map(|m| {
+                    let pos = n.and2(nsign, eq[m]);
+                    let neg = n.and2(sign, eq[4 - m]);
+                    n.or2(pos, neg)
+                })
+                .collect();
+            RecodedDigit { sign, sel }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary};
+
+    fn sample_values() -> Vec<u64> {
+        let mut v = vec![
+            0,
+            1,
+            0xF,
+            0x8,
+            0x7F,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0xFFFF_FFFF_0000_0001,
+            0x0123_4567_89AB_CDEF,
+        ];
+        let mut s = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..60 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v.push(s);
+        }
+        v
+    }
+
+    #[test]
+    fn radix16_roundtrip() {
+        for y in sample_values() {
+            let d = radix16_digits(y);
+            assert_eq!(digits_value(&d, 16), y as i128, "y={y:#x}");
+            assert!(d.iter().all(|&x| (-8..=8).contains(&x)));
+            assert!(d[16] == 0 || d[16] == 1, "transfer digit");
+        }
+    }
+
+    #[test]
+    fn booth4_roundtrip() {
+        for y in sample_values() {
+            let d = booth4_digits(y);
+            assert_eq!(digits_value(&d, 4), y as i128, "y={y:#x}");
+            assert!(d.iter().all(|&x| (-2..=2).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn booth8_roundtrip() {
+        for y in sample_values() {
+            let d = booth8_digits(y);
+            assert_eq!(digits_value(&d, 8), y as i128, "y={y:#x}");
+            assert!(d.iter().all(|&x| (-4..=4).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn radix16_digit_counts_match_paper() {
+        // "for n = 64 the number of PPs is 17"
+        assert_eq!(radix16_digits(0).len(), 17);
+        assert_eq!(booth4_digits(0).len(), 33);
+    }
+
+    /// Reads a digit back from sign + one-hot nets.
+    fn read_digit(sim: &Simulator<'_>, d: &RecodedDigit) -> i8 {
+        let mut mag = 0i8;
+        for (i, &s) in d.sel.iter().enumerate() {
+            if sim.read_net(s) {
+                assert_eq!(mag, 0, "one-hot violated");
+                mag = (i + 1) as i8;
+            }
+        }
+        if sim.read_net(d.sign) {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    fn check_net_recoder(
+        build: impl Fn(&mut mfm_gatesim::Netlist, &[mfm_gatesim::NetId]) -> Vec<RecodedDigit>,
+        func: impl Fn(u64) -> Vec<i8>,
+    ) {
+        let mut n = mfm_gatesim::Netlist::new(TechLibrary::cmos45lp());
+        let y = n.input_bus("y", 64);
+        let digits = build(&mut n, &y);
+        let mut sim = Simulator::new(&n);
+        for val in sample_values() {
+            sim.set_bus(&y, val as u128);
+            sim.settle();
+            let want = func(val);
+            for (i, d) in digits.iter().enumerate() {
+                // A "negative zero" (sign set, magnitude 0) is equivalent
+                // to +0; normalize before comparing.
+                let got = read_digit(&sim, d);
+                assert_eq!(got, want[i], "y={val:#x} digit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix16_netlist_matches_functional() {
+        check_net_recoder(
+            |n, y| radix16_recoder(n, y),
+            |y| radix16_digits(y).to_vec(),
+        );
+    }
+
+    #[test]
+    fn booth4_netlist_matches_functional() {
+        check_net_recoder(|n, y| booth4_recoder(n, y), |y| booth4_digits(y).to_vec());
+    }
+
+    #[test]
+    fn booth8_netlist_matches_functional() {
+        check_net_recoder(|n, y| booth8_recoder(n, y), |y| booth8_digits(y).to_vec());
+    }
+}

@@ -1,0 +1,486 @@
+//! Column-oriented partial-product array and Dadda reduction to two
+//! operands (the paper's TREE block).
+//!
+//! The array is kept as per-column bit lists; [`reduce_to_two`] compresses
+//! it with full/half adders following Dadda's minimal-stage schedule, which
+//! bounds the tree depth at `⌈log1.5(h/2)⌉` stages for an initial height
+//! `h` — the property that makes radix-16 (height 17) shallower than
+//! radix-4 (height 33), the core of the paper's power argument.
+
+use mfm_gatesim::{NetId, Netlist};
+
+/// A partial-product bit array organized by column (bit weight).
+#[derive(Debug, Clone)]
+pub struct PpArray {
+    cols: Vec<Vec<NetId>>,
+}
+
+impl PpArray {
+    /// Creates an empty array of `width` columns; bits above the width are
+    /// discarded on insertion (arithmetic is mod 2^width).
+    pub fn new(width: usize) -> Self {
+        PpArray {
+            cols: vec![Vec::new(); width],
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Adds a bit of weight `2^col`; silently drops bits beyond the width.
+    pub fn add_bit(&mut self, col: usize, net: NetId) {
+        if col < self.cols.len() {
+            self.cols[col].push(net);
+        }
+    }
+
+    /// Adds a row of consecutive bits starting at `offset`.
+    pub fn add_row(&mut self, offset: usize, bits: &[NetId]) {
+        for (i, &b) in bits.iter().enumerate() {
+            self.add_bit(offset + i, b);
+        }
+    }
+
+    /// Adds the set bits of a constant word as hard-wired ones.
+    pub fn add_constant(&mut self, n: &Netlist, value: u128) {
+        let one = n.one();
+        for col in 0..self.cols.len().min(128) {
+            if (value >> col) & 1 == 1 {
+                self.add_bit(col, one);
+            }
+        }
+    }
+
+    /// Current maximum column height.
+    pub fn max_height(&self) -> usize {
+        self.cols.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Height of each column, LSB first.
+    pub fn height_profile(&self) -> Vec<usize> {
+        self.cols.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of bits in the array.
+    pub fn bit_count(&self) -> usize {
+        self.cols.iter().map(Vec::len).sum()
+    }
+
+    /// The bits currently in a column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column(&self, col: usize) -> &[NetId] {
+        &self.cols[col]
+    }
+}
+
+/// The Dadda target-height sequence: 2, 3, 4, 6, 9, 13, 19, 28, …
+fn dadda_targets(max: usize) -> Vec<usize> {
+    let mut t = vec![2usize];
+    while *t.last().expect("non-empty") < max {
+        let last = *t.last().expect("non-empty");
+        t.push(last * 3 / 2);
+    }
+    t
+}
+
+/// Reduces the array to two operands using full/half adders on Dadda's
+/// schedule. Returns `(row_a, row_b)`, each `width` bits, such that
+/// `row_a + row_b ≡ Σ array (mod 2^width)`.
+///
+/// Empty column positions are filled with constant zero.
+pub fn reduce_to_two(n: &mut Netlist, arr: PpArray) -> (Vec<NetId>, Vec<NetId>) {
+    reduce_to_two_seam(n, arr, &[])
+}
+
+/// Like [`reduce_to_two`], but with *seams*: every carry generated from
+/// column `seam_col − 1` into column `seam_col` is ANDed with the
+/// corresponding `pass` net. Driving a `pass` low makes the column ranges
+/// on either side arithmetically independent — this is how the
+/// dual-binary32 mode of the multi-format multiplier sections the array
+/// at bit 64 (Fig. 4), and how the quad-binary16 extension sections it at
+/// bits 32/64/96 — while int64/binary64 (pass high) keep full carry
+/// propagation.
+pub fn reduce_to_two_seam(
+    n: &mut Netlist,
+    mut arr: PpArray,
+    seams: &[(usize, NetId)],
+) -> (Vec<NetId>, Vec<NetId>) {
+    let width = arr.width();
+    reduce_to_height(n, &mut arr, 2, seams);
+    let zero = n.zero();
+    let mut row_a = Vec::with_capacity(width);
+    let mut row_b = Vec::with_capacity(width);
+    for col in 0..width {
+        let c = &arr.cols[col];
+        row_a.push(c.first().copied().unwrap_or(zero));
+        row_b.push(c.get(1).copied().unwrap_or(zero));
+    }
+    (row_a, row_b)
+}
+
+/// Compresses the array in place until every column height is at most
+/// `target_height` (≥ 2), following Dadda's schedule, with an optional
+/// carry seam (see [`reduce_to_two_seam`]). Used by the pipeline-placement
+/// study to register a partially reduced array.
+pub fn reduce_to_height(
+    n: &mut Netlist,
+    arr: &mut PpArray,
+    target_height: usize,
+    seams: &[(usize, NetId)],
+) {
+    assert!(target_height >= 2);
+    let width = arr.width();
+    let mut height = arr.max_height();
+    if height <= target_height {
+        return;
+    }
+    let gate_carry = |n: &mut Netlist, carry: NetId, into_col: usize| -> NetId {
+        match seams.iter().find(|(c, _)| *c == into_col) {
+            Some(&(_, pass)) => n.and2(carry, pass),
+            None => carry,
+        }
+    };
+    let targets = dadda_targets(height - 1);
+    for &target in targets.iter().rev() {
+        if target >= height || target < target_height {
+            continue;
+        }
+        for col in 0..width {
+            // Keep compressing until this column fits the target.
+            // Carries pushed into col+1 are counted when we get there.
+            while arr.cols[col].len() > target {
+                let excess = arr.cols[col].len() - target;
+                if excess == 1 {
+                    // Half adder: 2 bits → 1 sum + 1 carry.
+                    let a = arr.cols[col].remove(0);
+                    let b = arr.cols[col].remove(0);
+                    let (s, c) = n.half_adder(a, b);
+                    let c = gate_carry(n, c, col + 1);
+                    arr.cols[col].push(s);
+                    arr.add_bit(col + 1, c);
+                } else {
+                    // Full adder: 3 bits → 1 sum + 1 carry.
+                    let a = arr.cols[col].remove(0);
+                    let b = arr.cols[col].remove(0);
+                    let c0 = arr.cols[col].remove(0);
+                    let (s, c) = n.full_adder(a, b, c0);
+                    let c = gate_carry(n, c, col + 1);
+                    arr.cols[col].push(s);
+                    arr.add_bit(col + 1, c);
+                }
+            }
+        }
+        height = arr.max_height().max(2);
+        if height <= target_height {
+            break;
+        }
+    }
+}
+
+/// Reduces the array to two operands using rows of **4:2 compressors**
+/// (the paper: "the reduction … is implemented by 3:2 or 4:2 carry-save
+/// adders"). Each level halves the array height: every column contributes
+/// groups of four bits to a compressor whose horizontal carry chains into
+/// the next column's compressor of the same level (carry-free across the
+/// row, since the 4:2 `cout` is independent of `cin`). Left-over groups
+/// of 3/2 use full/half adders. Seams gate both vertical carries and the
+/// horizontal chain.
+pub fn reduce_to_two_42(
+    n: &mut Netlist,
+    mut arr: PpArray,
+    seams: &[(usize, NetId)],
+) -> (Vec<NetId>, Vec<NetId>) {
+    let width = arr.width();
+    let gate = |n: &mut Netlist, bit: NetId, into_col: usize| -> NetId {
+        match seams.iter().find(|(c, _)| *c == into_col) {
+            Some(&(_, pass)) => n.and2(bit, pass),
+            None => bit,
+        }
+    };
+    while arr.max_height() > 2 {
+        let mut next = PpArray::new(width);
+        // Horizontal carry entering each column's compressors this level.
+        let mut hin: Vec<Vec<NetId>> = vec![Vec::new(); width + 1];
+        for col in 0..width {
+            let mut bits: Vec<NetId> = arr.cols[col].drain(..).collect();
+            // Horizontal carries from the previous column join this
+            // column's bit pool at the same weight.
+            bits.extend(hin[col].drain(..));
+            let mut i = 0;
+            while bits.len() - i >= 4 {
+                let (ports, hout) =
+                    crate::csa::csa42_bit(n, bits[i], bits[i + 1], bits[i + 2], bits[i + 3]);
+                next.add_bit(col, ports.0);
+                let c = gate(n, ports.1, col + 1);
+                next.add_bit(col + 1, c);
+                if col + 1 < width {
+                    let h = gate(n, hout, col + 1);
+                    hin[col + 1].push(h);
+                }
+                i += 4;
+            }
+            match bits.len() - i {
+                3 => {
+                    let (s, c) = n.full_adder(bits[i], bits[i + 1], bits[i + 2]);
+                    next.add_bit(col, s);
+                    let c = gate(n, c, col + 1);
+                    next.add_bit(col + 1, c);
+                }
+                2 => {
+                    let (s, c) = n.half_adder(bits[i], bits[i + 1]);
+                    next.add_bit(col, s);
+                    let c = gate(n, c, col + 1);
+                    next.add_bit(col + 1, c);
+                }
+                1 => next.add_bit(col, bits[i]),
+                _ => {}
+            }
+        }
+        arr = next;
+    }
+    let zero = n.zero();
+    let mut row_a = Vec::with_capacity(width);
+    let mut row_b = Vec::with_capacity(width);
+    for col in 0..width {
+        let c = &arr.cols[col];
+        row_a.push(c.first().copied().unwrap_or(zero));
+        row_b.push(c.get(1).copied().unwrap_or(zero));
+    }
+    (row_a, row_b)
+}
+
+/// Number of 3:2 stages Dadda reduction needs for an initial height.
+/// Used by tests and the figure reports to compare tree depths.
+pub fn dadda_stage_count(height: usize) -> usize {
+    if height <= 2 {
+        return 0;
+    }
+    dadda_targets(height - 1)
+        .into_iter()
+        .filter(|&t| t < height)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary};
+
+    #[test]
+    fn dadda_sequence() {
+        assert_eq!(dadda_targets(17), vec![2, 3, 4, 6, 9, 13, 19]);
+        assert_eq!(dadda_stage_count(3), 1);
+        assert_eq!(dadda_stage_count(17), 6); // targets 13,9,6,4,3,2 applied
+        assert_eq!(dadda_stage_count(33), 8); // 28,19,13,9,6,4,3,2
+        assert_eq!(dadda_stage_count(2), 0);
+    }
+
+    #[test]
+    fn radix16_tree_is_shallower_than_radix4() {
+        // The paper's core structural claim.
+        assert!(dadda_stage_count(17) < dadda_stage_count(33));
+    }
+
+    fn run_reduction(rows: &[(usize, u128, usize)], width: usize) {
+        // rows: (offset, value, bits)
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let mut buses = Vec::new();
+        for (i, &(_, _, bits)) in rows.iter().enumerate() {
+            buses.push(n.input_bus(&format!("r{i}"), bits));
+        }
+        let mut arr = PpArray::new(width);
+        for (i, &(off, _, _)) in rows.iter().enumerate() {
+            arr.add_row(off, &buses[i]);
+        }
+        let (ra, rb) = reduce_to_two(&mut n, arr);
+        let mut sim = Simulator::new(&n);
+        for (i, &(_, v, _)) in rows.iter().enumerate() {
+            sim.set_bus(&buses[i], v);
+        }
+        sim.settle();
+        let got = sim.read_bus(&ra).wrapping_add(sim.read_bus(&rb));
+        let mask = if width == 128 {
+            u128::MAX
+        } else {
+            (1 << width) - 1
+        };
+        let want: u128 = rows
+            .iter()
+            .fold(0u128, |acc, &(off, v, _)| acc.wrapping_add(v << off))
+            & mask;
+        assert_eq!(got & mask, want);
+    }
+
+    #[test]
+    fn reduce_three_rows() {
+        run_reduction(&[(0, 0xFF, 8), (2, 0xAB, 8), (5, 0x3C, 8)], 16);
+    }
+
+    #[test]
+    fn reduce_seventeen_rows() {
+        // Mirrors the radix-16 array height.
+        let rows: Vec<(usize, u128, usize)> = (0..17)
+            .map(|i| (4 * i, (0x9E37_79B9u128 >> (i % 13)) & 0xFFFF, 16))
+            .collect();
+        run_reduction(&rows, 84);
+    }
+
+    #[test]
+    fn reduce_with_constants() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", 8);
+        let mut arr = PpArray::new(16);
+        arr.add_row(0, &a);
+        arr.add_constant(&n, 0b1010_1100);
+        let (ra, rb) = reduce_to_two(&mut n, arr);
+        let mut sim = Simulator::new(&n);
+        sim.set_bus(&a, 0x5A);
+        sim.settle();
+        let got = sim.read_bus(&ra) + sim.read_bus(&rb);
+        assert_eq!(got, 0x5A + 0b1010_1100);
+    }
+
+    #[test]
+    fn bits_beyond_width_are_dropped_mod_2n() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", 8);
+        let mut arr = PpArray::new(8);
+        arr.add_row(4, &a); // top 4 bits fall off
+        let (ra, rb) = reduce_to_two(&mut n, arr);
+        let mut sim = Simulator::new(&n);
+        sim.set_bus(&a, 0xFF);
+        sim.settle();
+        let got = (sim.read_bus(&ra) + sim.read_bus(&rb)) & 0xFF;
+        assert_eq!(got, (0xFFu128 << 4) & 0xFF);
+    }
+
+    #[test]
+    fn seam_isolates_halves() {
+        // Two rows whose sum carries across column 4; with the seam open
+        // (pass = 1) the carry propagates, with it closed the halves are
+        // independent mod 2^4.
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let c = n.input_bus("c", 8);
+        let pass = n.input("pass");
+        let mut arr = PpArray::new(8);
+        arr.add_row(0, &a);
+        arr.add_row(0, &b);
+        arr.add_row(0, &c);
+        let (ra, rb) = reduce_to_two_seam(&mut n, arr, &[(4, pass)]);
+        let mut sim = Simulator::new(&n);
+        // 0xF + 0xF + 0xF = 0x2D: lower nibble sum 45 mod 16 = 13, carries 2.
+        for (x, y, z) in [(0x0Fu128, 0x0Fu128, 0x0Fu128), (0x13, 0x2F, 0x0E)] {
+            for pass_v in [0u128, 1u128] {
+                sim.set_bus(&a, x);
+                sim.set_bus(&b, y);
+                sim.set_bus(&c, z);
+                sim.set_bus(&[pass], pass_v);
+                sim.settle();
+                // The final CPA must also respect the seam: emulate it at
+                // word level (split add when pass = 0).
+                let ra_v = sim.read_bus(&ra);
+                let rb_v = sim.read_bus(&rb);
+                if pass_v == 1 {
+                    assert_eq!((ra_v + rb_v) & 0xFF, (x + y + z) & 0xFF);
+                } else {
+                    let lo = (ra_v & 0xF) + (rb_v & 0xF);
+                    assert_eq!(lo & 0xF, (x + y + z) & 0xF, "lower half mod 16");
+                    let hi = (ra_v >> 4) + (rb_v >> 4);
+                    assert_eq!(
+                        hi & 0xF,
+                        ((x >> 4) + (y >> 4) + (z >> 4)) & 0xF,
+                        "upper half sums only upper bits"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_to_height_partial() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let buses: Vec<Vec<mfm_gatesim::NetId>> =
+            (0..9).map(|i| n.input_bus(&format!("r{i}"), 8)).collect();
+        let mut arr = PpArray::new(12);
+        for b in &buses {
+            arr.add_row(0, b);
+        }
+        reduce_to_height(&mut n, &mut arr, 4, &[]);
+        assert!(arr.max_height() <= 4);
+        assert!(arr.max_height() > 2, "should stop at 4, not reduce fully");
+    }
+
+    #[test]
+    fn four_two_reduction_preserves_sums() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let buses: Vec<Vec<mfm_gatesim::NetId>> =
+            (0..17).map(|i| n.input_bus(&format!("r{i}"), 12)).collect();
+        let mut arr = PpArray::new(24);
+        for (i, b) in buses.iter().enumerate() {
+            arr.add_row(i % 8, b);
+        }
+        let (ra, rb) = reduce_to_two_42(&mut n, arr, &[]);
+        let mut sim = Simulator::new(&n);
+        let mut s = 0x1357_9BDFu128;
+        for _ in 0..10 {
+            let mut want = 0u128;
+            for (i, b) in buses.iter().enumerate() {
+                s = s.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+                let v = s & 0xFFF;
+                sim.set_bus(b, v);
+                want = want.wrapping_add(v << (i % 8));
+            }
+            sim.settle();
+            let got = sim.read_bus(&ra).wrapping_add(sim.read_bus(&rb));
+            assert_eq!(got & 0xFF_FFFF, want & 0xFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn four_two_seam_isolates_halves() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let c = n.input_bus("c", 8);
+        let d = n.input_bus("d", 8);
+        let zero = n.zero();
+        let mut arr = PpArray::new(8);
+        for bus in [&a, &b, &c, &d] {
+            arr.add_row(0, bus);
+        }
+        let (ra, rb) = reduce_to_two_42(&mut n, arr, &[(4, zero)]);
+        let mut sim = Simulator::new(&n);
+        for (w, x, y, z) in [(0xFFu128, 0xFF, 0xFF, 0xFF), (0x1B, 0x2C, 0x3D, 0x4E)] {
+            sim.set_bus(&a, w);
+            sim.set_bus(&b, x);
+            sim.set_bus(&c, y);
+            sim.set_bus(&d, z);
+            sim.settle();
+            let ra_v = sim.read_bus(&ra);
+            let rb_v = sim.read_bus(&rb);
+            let lo = ((ra_v & 0xF) + (rb_v & 0xF)) & 0xF;
+            assert_eq!(lo, (w + x + y + z) & 0xF, "lower half");
+            let hi = ((ra_v >> 4) + (rb_v >> 4)) & 0xF;
+            assert_eq!(hi, ((w >> 4) + (x >> 4) + (y >> 4) + (z >> 4)) & 0xF);
+        }
+    }
+
+    #[test]
+    fn profile_and_counts() {
+        let n = Netlist::new(TechLibrary::cmos45lp());
+        let mut arr = PpArray::new(4);
+        arr.add_bit(0, n.one());
+        arr.add_bit(0, n.zero());
+        arr.add_bit(2, n.one());
+        assert_eq!(arr.height_profile(), vec![2, 0, 1, 0]);
+        assert_eq!(arr.max_height(), 2);
+        assert_eq!(arr.bit_count(), 3);
+    }
+}

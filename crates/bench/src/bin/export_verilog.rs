@@ -1,0 +1,71 @@
+//! Exports the reproduction's netlists as structural Verilog.
+//!
+//! Usage: `export_verilog [radix16|radix4|radix8|unit|unit_pipelined|reducer|quad] [out.v]`
+//!
+//! Without an output path the Verilog is printed to stdout.
+
+use mfm_arith::{build_multiplier, MultiplierConfig};
+use mfm_gatesim::export::to_verilog;
+use mfm_gatesim::{Netlist, TechLibrary};
+use mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
+use mfmult::quad::build_quad_lane_array;
+use mfmult::reduce::build_reducer;
+use mfmult::structural::build_unit;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "unit".to_owned());
+    let out_path = std::env::args().nth(2);
+
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let module = match which.as_str() {
+        "radix16" => {
+            build_multiplier(&mut n, MultiplierConfig::radix16());
+            "mult64_radix16"
+        }
+        "radix4" => {
+            build_multiplier(&mut n, MultiplierConfig::radix4());
+            "mult64_radix4"
+        }
+        "radix8" => {
+            build_multiplier(&mut n, MultiplierConfig::radix8());
+            "mult64_radix8"
+        }
+        "unit" => {
+            build_unit(&mut n);
+            "mfmult_comb"
+        }
+        "unit_pipelined" => {
+            build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+            "mfmult_pipe3"
+        }
+        "reducer" => {
+            build_reducer(&mut n);
+            "b64_to_b32_reducer"
+        }
+        "quad" => {
+            build_quad_lane_array(&mut n);
+            "quad_b16_array"
+        }
+        other => {
+            eprintln!(
+                "unknown design {other}; use radix16|radix4|radix8|unit|unit_pipelined|reducer|quad"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let v = to_verilog(&n, module);
+    eprintln!(
+        "// {} cells, {} nets, {} DFFs",
+        n.cell_count(),
+        n.net_count(),
+        n.dff_count()
+    );
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, v).expect("write verilog");
+            eprintln!("wrote {p}");
+        }
+        None => print!("{v}"),
+    }
+}

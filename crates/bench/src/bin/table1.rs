@@ -1,0 +1,24 @@
+//! Regenerates Table I: latency, area and critical path of the 64×64
+//! radix-16 multiplier.
+
+use mfm_bench::paper_values;
+use mfm_evalkit::experiments::table1;
+
+fn main() {
+    let r = table1();
+    println!("=== Table I: 64x64 radix-16 multiplier ===\n");
+    println!("{r}");
+    println!("--- paper (45nm commercial synthesis) ---");
+    for (b, ps) in paper_values::T1_PATH_PS {
+        println!("  {b:8} {ps:6.0} ps");
+    }
+    let (ps, fo4, um2, nand2) = paper_values::T1_TOTALS;
+    println!("  TOTAL    {ps:6.0} ps ({fo4:.0} FO4), {um2:.0} um2 ({:.1}K NAND2)", nand2 / 1000.0);
+    println!(
+        "\nshape check: measured {:.0} ps ({:.1} FO4), sized area {:.0} um2 ({:.1}K NAND2)",
+        r.latency_ps,
+        r.latency_fo4,
+        r.area_um2_sized,
+        r.area_nand2 / 1000.0
+    );
+}

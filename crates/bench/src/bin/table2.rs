@@ -1,0 +1,43 @@
+//! Regenerates Table II: latency, area and critical path of the 64×64
+//! radix-4 Booth multiplier. Pass `--radix8` to also build the radix-8
+//! ablation the paper argues against implementing.
+
+use mfm_bench::paper_values;
+use mfm_evalkit::experiments::{table1, table2, table2_radix8};
+
+fn main() {
+    let want_r8 = std::env::args().any(|a| a == "--radix8");
+    let r4 = table2();
+    println!("=== Table II: 64x64 radix-4 multiplier ===\n");
+    println!("{r4}");
+    println!("--- paper (45nm commercial synthesis) ---");
+    for (b, ps) in paper_values::T2_PATH_PS {
+        println!("  {b:8} {ps:6.0} ps");
+    }
+    let (ps, fo4, um2, nand2) = paper_values::T2_TOTALS;
+    println!("  TOTAL    {ps:6.0} ps ({fo4:.0} FO4), {um2:.0} um2 ({:.1}K NAND2)", nand2 / 1000.0);
+
+    let r16 = table1();
+    println!("\n=== Radix-4 vs radix-16 (Sec. II-A) ===");
+    println!(
+        "delay ratio r4/r16: measured {:.2} (paper {:.2}) — radix-4 is faster",
+        r4.latency_ps / r16.latency_ps,
+        paper_values::T2_TOTALS.0 / paper_values::T1_TOTALS.0
+    );
+    println!(
+        "area  ratio r4/r16: measured {:.2} (paper {:.2}) — radix-4 is larger",
+        r4.area_um2_sized / r16.area_um2_sized,
+        paper_values::T2_TOTALS.2 / paper_values::T1_TOTALS.2
+    );
+
+    if want_r8 {
+        let r8 = table2_radix8();
+        println!("\n=== Ablation: radix-8 (not built in the paper) ===\n");
+        println!("{r8}");
+        println!(
+            "radix-8 needs the 3X pre-computation like radix-16 but keeps a \
+             deeper tree ({} rows vs 17): delay {:.0} ps, sized area {:.0} um2",
+            22, r8.latency_ps, r8.area_um2_sized
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Table III: power dissipation at 100 MHz for the radix-4
+//! and radix-16 multipliers, combinational and two-stage pipelined.
+//!
+//! Usage: `table3 [--vectors N] [--seed S]` (defaults: 400 vectors).
+
+use mfm_bench::paper_values;
+use mfm_evalkit::experiments::table3;
+
+fn arg_value(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let vectors = arg_value("--vectors", 400) as usize;
+    let seed = arg_value("--seed", 2017);
+    let t = table3(vectors, seed);
+    println!("=== Table III: power at 100 MHz, radix-4 vs radix-16 ===\n");
+    println!("{t}");
+    println!("--- paper ---");
+    for (name, r4, r16, ratio) in paper_values::T3 {
+        println!("  {name:20} r4 {r4:5.1} mW   r16 {r16:5.1} mW   ratio {ratio:.2}");
+    }
+    let comb = &t.rows[0];
+    let pipe = &t.rows[1];
+    println!("\nshape check:");
+    println!(
+        "  pipelining favours radix-16 (glitch suppression): ratio {:.2} -> {:.2} (paper 0.94 -> 0.89)",
+        comb.3, pipe.3
+    );
+    println!(
+        "  pipelined radix-16 wins: ratio {:.2} < 1 (paper 0.89)",
+        pipe.3
+    );
+    if comb.3 >= 1.0 {
+        println!(
+            "  note: the combinational ratio ({:.2}) lands slightly above 1 in this \
+             model (paper: 0.94);\n  see EXPERIMENTS.md — our event-driven glitch \
+             model penalizes the radix-16 CPA/PPGEN more\n  than the authors' flow, \
+             while the pipelined comparison (the paper's actual design point)\n  \
+             reproduces with margin.",
+            comb.3
+        );
+    }
+}

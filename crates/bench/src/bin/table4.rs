@@ -1,0 +1,10 @@
+//! Regenerates Table IV: the binary interchange format parameters of
+//! IEEE 754-2008.
+
+use mfm_evalkit::experiments::table4;
+
+fn main() {
+    println!("=== Table IV: IEEE 754-2008 binary formats ===\n");
+    println!("{}", table4());
+    println!("(exact reproduction — these are the standard's constants)");
+}

@@ -1,0 +1,88 @@
+//! Regenerates Table V: power dissipation and power efficiency of the
+//! 3-stage pipelined multi-format unit for each format.
+//!
+//! Usage: `table5 [--ops N] [--seed S]` (default: 300 operations/format).
+
+use mfm_bench::paper_values;
+use mfm_evalkit::experiments::table5;
+
+fn arg_value(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let ops = arg_value("--ops", 300) as usize;
+    let seed = arg_value("--seed", 2017);
+    let want_quad = std::env::args().any(|a| a == "--quad");
+    let t = table5(ops, seed);
+    println!("=== Table V: power and power efficiency per format ===\n");
+    println!("{t}");
+    println!(
+        "--- paper (fmax = {:.0} MHz, cycle {:.0} ps) ---",
+        paper_values::PIPE.1,
+        paper_values::PIPE.0
+    );
+    for (name, p100, pmax, gflops, eff) in paper_values::T5 {
+        println!(
+            "  {name:18} {p100:5.2} mW @100   {pmax:6.2} mW @fmax   {gflops:4.2} GFLOPS   {eff:6.2} GFLOPS/W"
+        );
+    }
+    println!("\nshape check:");
+    let find = |n: &str| t.rows.iter().find(|r| r.format == n).expect("row");
+    let int = find("int64");
+    let b64 = find("binary64");
+    let dual = find("binary32 (dual)");
+    let single = find("binary32 (single)");
+    println!(
+        "  power ordering int64 > binary64 > dual b32 > single b32: {:.2} > {:.2} > {:.2} > {:.2}",
+        int.power_mw_100, b64.power_mw_100, dual.power_mw_100, single.power_mw_100
+    );
+    println!(
+        "  binary64/int64 power ratio: {:.2} (paper 0.81)",
+        b64.power_mw_100 / int.power_mw_100
+    );
+    println!(
+        "  efficiency ordering dual >> single > binary64 > int64: {:.1} > {:.1} > {:.1} > {:.1} GFLOPS/W",
+        dual.efficiency_gflops_w,
+        single.efficiency_gflops_w,
+        b64.efficiency_gflops_w,
+        int.efficiency_gflops_w
+    );
+    println!(
+        "  dual/single efficiency: {:.2}x (paper {:.2}x)",
+        dual.efficiency_gflops_w / single.efficiency_gflops_w,
+        38.68 / 26.53
+    );
+
+    if want_quad {
+        use mfm_evalkit::montecarlo::measure_unit;
+        use mfm_gatesim::{Netlist, TechLibrary, TimingAnalysis};
+        use mfmult::pipeline::{build_pipelined_unit_opts, PipelinePlacement};
+        use mfmult::{Format, UnitOptions};
+        println!("\n=== Extension: quad binary16 row (quad-enabled unit build) ===");
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_pipelined_unit_opts(
+            &mut n,
+            PipelinePlacement::Fig5,
+            UnitOptions { quad_lanes: true },
+        );
+        let fmax = TimingAnalysis::new(&n).report().max_freq_mhz();
+        let p = measure_unit(&n, &u, Format::QuadBinary16, ops, seed);
+        let p100 = p.total_mw_at(100.0);
+        let pmax = p.total_mw_at(fmax);
+        let gflops = 4.0 * fmax * 1e-3;
+        println!(
+            "  binary16 (quad)    {p100:5.2} mW @100   {pmax:6.2} mW @fmax   {gflops:4.2} GFLOPS   {:6.2} GFLOPS/W",
+            gflops / (pmax * 1e-3)
+        );
+        println!(
+            "  four half-precision multiplications per cycle extend the paper's\n  \
+             precision/power trade-off one format further down."
+        );
+    }
+}

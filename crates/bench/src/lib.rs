@@ -1,0 +1,54 @@
+//! Benchmark harness for the SOCC'17 multi-format multiplier reproduction.
+//!
+//! Binaries (run with `cargo run --release -p mfm-bench --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table I — radix-16 64×64 latency/area/critical path |
+//! | `table2` | Table II — radix-4 Booth (plus `--radix8` ablation) |
+//! | `table3` | Table III — power @100 MHz, combinational vs pipelined |
+//! | `table4` | Table IV — IEEE 754-2008 binary format parameters |
+//! | `table5` | Table V — per-format power/throughput/efficiency |
+//! | `figures` | Fig. 1–6 structural reports + ablation studies |
+//!
+//! Criterion benches (`cargo bench -p mfm-bench`): software throughput of
+//! the functional unit per format, the softfloat reference, gate-level
+//! simulation speed, and netlist construction/STA cost.
+//!
+//! Each table binary prints the measured values next to the paper's
+//! published numbers so the reproduced *shape* can be checked at a glance
+//! (absolute values differ — our substrate is a calibrated gate-level
+//! model, not the authors' synthesis flow; see EXPERIMENTS.md).
+
+/// Paper-published reference values, used by the binaries to print
+/// paper-vs-measured comparisons.
+pub mod paper_values {
+    /// Table I: radix-16 critical path (pre-comp, PPGEN, TREE, CPA) in ps.
+    pub const T1_PATH_PS: [(&str, f64); 4] = [
+        ("precomp", 578.0),
+        ("PPGEN", 258.0),
+        ("TREE", 571.0),
+        ("CPA", 445.0),
+    ];
+    /// Table I: total latency ps / FO4 / area µm² / NAND2.
+    pub const T1_TOTALS: (f64, f64, f64, f64) = (1852.0, 29.0, 50_562.0, 47_800.0);
+    /// Table II: radix-4 critical path in ps.
+    pub const T2_PATH_PS: [(&str, f64); 3] =
+        [("PPGEN", 313.0), ("TREE", 739.0), ("CPA", 454.0)];
+    /// Table II totals.
+    pub const T2_TOTALS: (f64, f64, f64, f64) = (1506.0, 23.0, 60_204.0, 56_900.0);
+    /// Table III: (config, radix-4 mW, radix-16 mW, ratio).
+    pub const T3: [(&str, f64, f64, f64); 2] = [
+        ("Combinational", 12.3, 11.5, 0.94),
+        ("two-stage pipelined", 8.7, 7.7, 0.89),
+    ];
+    /// Table V rows: (format, mW@100MHz, mW@880MHz, GFLOPS, GFLOPS/W).
+    pub const T5: [(&str, f64, f64, f64, f64); 4] = [
+        ("int64", 8.90, 78.32, 0.88, 11.24),
+        ("binary64", 7.20, 63.36, 0.88, 13.89),
+        ("binary32 (dual)", 5.17, 45.50, 1.76, 38.68),
+        ("binary32 (single)", 3.77, 33.18, 0.88, 26.53),
+    ];
+    /// Pipelined unit: paper's critical path ps and max frequency MHz.
+    pub const PIPE: (f64, f64) = (1120.0, 880.0);
+}

@@ -1,0 +1,266 @@
+//! Word-level bit-exact functional model of the multi-format unit.
+//!
+//! [`FunctionalUnit::execute`] produces exactly the outputs the gate-level
+//! model produces (verified by cross-model tests), at software speed. The
+//! floating-point lanes implement the Fig. 3 speculative normalize-and-
+//! round datapath via [`mfm_softfloat::paper::speculative_round`] and the
+//! input/output formatter semantics documented in
+//! [`mfm_softfloat::paper`]: subnormal operands flush to zero, results
+//! whose biased exponent leaves `[1, max−1]` flush to zero or saturate to
+//! infinity, and NaN/infinity operands are detected and bypassed.
+
+use crate::format::{Format, MultResult, Operation};
+use mfm_softfloat::paper::{paper_mul_bits, paper_mul_bits_rne};
+use mfm_softfloat::{BinaryFormat, Flags, BINARY16, BINARY32, BINARY64};
+
+/// Floating-point rounding style of the unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingStyle {
+    /// The paper's hardware: round-to-nearest by injection without a
+    /// sticky bit (ties away from zero).
+    #[default]
+    Injection,
+    /// The sticky-bit extension the paper lists as unimplemented: exact
+    /// IEEE round-to-nearest-even (still with the unit's flush-to-zero
+    /// exponent-range handling).
+    NearestEvenSticky,
+}
+
+/// The fast functional model of the multi-format multiplier.
+///
+/// Stateless: each [`FunctionalUnit::execute`] call is one operation
+/// (one clock cycle of the pipelined hardware at full throughput).
+///
+/// # Example
+///
+/// ```
+/// use mfmult::{FunctionalUnit, Operation};
+///
+/// let unit = FunctionalUnit::new();
+/// let r = unit.execute(Operation::binary64_from_f64(2.5, -4.0));
+/// assert_eq!(r.b64_product_f64(), -10.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FunctionalUnit {
+    rounding: RoundingStyle,
+}
+
+impl FunctionalUnit {
+    /// Creates the unit with the paper's injection rounding.
+    pub fn new() -> Self {
+        FunctionalUnit {
+            rounding: RoundingStyle::Injection,
+        }
+    }
+
+    /// Creates the unit with the sticky-bit RNE extension.
+    ///
+    /// ```
+    /// use mfmult::functional::FunctionalUnit;
+    ///
+    /// let unit = FunctionalUnit::with_nearest_even();
+    /// // RNE mode matches the host FPU on every normal product.
+    /// assert_eq!(unit.mul_f64(0.1, 0.2), 0.1 * 0.2);
+    /// ```
+    pub fn with_nearest_even() -> Self {
+        FunctionalUnit {
+            rounding: RoundingStyle::NearestEvenSticky,
+        }
+    }
+
+    /// The unit's rounding style.
+    pub fn rounding(&self) -> RoundingStyle {
+        self.rounding
+    }
+
+    fn lane_mul(&self, fmt: &BinaryFormat, a: u64, b: u64) -> (u64, Flags) {
+        match self.rounding {
+            RoundingStyle::Injection => paper_mul_bits(fmt, a, b),
+            RoundingStyle::NearestEvenSticky => paper_mul_bits_rne(fmt, a, b),
+        }
+    }
+
+    /// Executes one operation.
+    pub fn execute(&self, op: Operation) -> MultResult {
+        match op.format {
+            Format::Int64 => {
+                let p = (op.xa as u128) * (op.yb as u128);
+                MultResult {
+                    format: op.format,
+                    ph: (p >> 64) as u64,
+                    pl: p as u64,
+                    flags_lo: Flags::NONE,
+                    flags_hi: Flags::NONE,
+                }
+            }
+            Format::Binary64 => {
+                let (p, flags) = self.lane_mul(&BINARY64, op.xa, op.yb);
+                MultResult {
+                    format: op.format,
+                    ph: p,
+                    pl: 0,
+                    flags_lo: flags,
+                    flags_hi: Flags::NONE,
+                }
+            }
+            Format::DualBinary32 | Format::SingleBinary32 => {
+                let (lo, flags_lo) =
+                    self.lane_mul(&BINARY32, op.xa & 0xFFFF_FFFF, op.yb & 0xFFFF_FFFF);
+                let (hi, flags_hi) = self.lane_mul(&BINARY32, op.xa >> 32, op.yb >> 32);
+                MultResult {
+                    format: op.format,
+                    ph: (lo & 0xFFFF_FFFF) | (hi << 32),
+                    pl: 0,
+                    flags_lo,
+                    flags_hi,
+                }
+            }
+            Format::QuadBinary16 => {
+                let mut ph = 0u64;
+                let mut flags = [Flags::NONE; 4];
+                for k in 0..4 {
+                    let (p, f) = self.lane_mul(
+                        &BINARY16,
+                        (op.xa >> (16 * k)) & 0xFFFF,
+                        (op.yb >> (16 * k)) & 0xFFFF,
+                    );
+                    ph |= (p & 0xFFFF) << (16 * k);
+                    flags[k] = f;
+                }
+                MultResult {
+                    format: op.format,
+                    ph,
+                    pl: 0,
+                    // Lanes 0/1 accumulate into the lo flag set, 2/3 into hi.
+                    flags_lo: flags[0] | flags[1],
+                    flags_hi: flags[2] | flags[3],
+                }
+            }
+        }
+    }
+
+    /// Convenience: multiply two doubles through the unit.
+    pub fn mul_f64(&self, a: f64, b: f64) -> f64 {
+        self.execute(Operation::binary64_from_f64(a, b))
+            .b64_product_f64()
+    }
+
+    /// Convenience: multiply two pairs of floats in one operation,
+    /// returning `(x·y, w·z)`.
+    pub fn mul_dual_f32(&self, x: f32, y: f32, w: f32, z: f32) -> (f32, f32) {
+        self.execute(Operation::dual_binary32_from_f32(x, y, w, z))
+            .b32_products_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_softfloat::paper::paper_mul_bits;
+    use mfm_softfloat::{BINARY32, BINARY64};
+
+    fn rng_vals(n: usize) -> Vec<u64> {
+        let mut s = 0xA5A5_5A5A_DEAD_BEEFu64;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn int64_full_product() {
+        let unit = FunctionalUnit::new();
+        for w in rng_vals(40).chunks(2) {
+            let (x, y) = (w[0], w[1]);
+            let r = unit.execute(Operation::int64(x, y));
+            assert_eq!(r.int_product(), (x as u128) * (y as u128));
+        }
+        assert_eq!(
+            unit.execute(Operation::int64(u64::MAX, u64::MAX)).int_product(),
+            (u64::MAX as u128) * (u64::MAX as u128)
+        );
+    }
+
+    #[test]
+    fn binary64_matches_oracle_on_random_bits() {
+        let unit = FunctionalUnit::new();
+        for w in rng_vals(200).chunks(2) {
+            let (a, b) = (w[0], w[1]);
+            let r = unit.execute(Operation::binary64(a, b));
+            let (want, want_flags) = paper_mul_bits(&BINARY64, a, b);
+            assert_eq!(r.ph, want, "a={a:#x} b={b:#x}");
+            assert_eq!(r.flags_lo.bits(), want_flags.bits());
+        }
+    }
+
+    #[test]
+    fn dual_lanes_are_independent() {
+        let unit = FunctionalUnit::new();
+        for w in rng_vals(200).chunks(4) {
+            let (x, y, wz, z) = (w[0] as u32, w[1] as u32, w[2] as u32, w[3] as u32);
+            let r = unit.execute(Operation::dual_binary32(x, y, wz, z));
+            let (lo, hi) = r.b32_products();
+            let (want_lo, _) = paper_mul_bits(&BINARY32, x as u64, y as u64);
+            let (want_hi, _) = paper_mul_bits(&BINARY32, wz as u64, z as u64);
+            assert_eq!(lo as u64, want_lo);
+            assert_eq!(hi as u64, want_hi);
+            // Swapping the other lane's operands must not change this lane.
+            let r2 = unit.execute(Operation::dual_binary32(x, y, z, wz));
+            assert_eq!(r2.b32_products().0, lo);
+        }
+    }
+
+    #[test]
+    fn single_lane_is_lower() {
+        let unit = FunctionalUnit::new();
+        let r = unit.execute(Operation::single_binary32_from_f32(3.0, 7.0));
+        assert_eq!(r.b32_product_f32(), 21.0);
+        // Upper lane computed 0 × 0 = 0, no flags.
+        assert!(r.flags_hi.is_empty());
+    }
+
+    #[test]
+    fn host_float_helpers() {
+        let unit = FunctionalUnit::new();
+        assert_eq!(unit.mul_f64(1.5, -2.0), -3.0);
+        assert_eq!(unit.mul_dual_f32(2.0, 3.0, -1.0, 4.0), (6.0, -4.0));
+    }
+
+    #[test]
+    fn rne_mode_matches_host_on_random_normals() {
+        let unit = FunctionalUnit::with_nearest_even();
+        assert_eq!(unit.rounding(), super::RoundingStyle::NearestEvenSticky);
+        let mut s = 0xB7E1_5162_8AED_2A6Au64;
+        for _ in 0..500 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = f64::from_bits(((1023 - 30 + (s % 60)) << 52) | (s >> 12 & ((1 << 52) - 1)));
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = f64::from_bits(((1023 - 30 + (s % 60)) << 52) | (s >> 12 & ((1 << 52) - 1)));
+            assert_eq!(unit.mul_f64(a, b).to_bits(), (a * b).to_bits(), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn rounding_styles_differ_only_on_ties() {
+        let inj = FunctionalUnit::new();
+        let rne = FunctionalUnit::with_nearest_even();
+        let a = 1.0 + f64::powi(2.0, -26);
+        let b = 1.0 + f64::powi(2.0, -27);
+        assert_ne!(inj.mul_f64(a, b).to_bits(), rne.mul_f64(a, b).to_bits());
+        assert_eq!(rne.mul_f64(a, b), a * b);
+        // Non-tied product: identical.
+        assert_eq!(inj.mul_f64(1.3, 7.7).to_bits(), rne.mul_f64(1.3, 7.7).to_bits());
+    }
+
+    #[test]
+    fn specials_route_through_formatter() {
+        let unit = FunctionalUnit::new();
+        let r = unit.execute(Operation::binary64_from_f64(f64::INFINITY, 0.0));
+        assert!(r.b64_product_f64().is_nan());
+        assert!(r.flags_lo.invalid());
+        let r = unit.execute(Operation::single_binary32_from_f32(f32::NAN, 1.0));
+        assert!(r.b32_product_f32().is_nan());
+    }
+}

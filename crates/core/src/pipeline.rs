@@ -1,0 +1,165 @@
+//! The 3-stage pipelined unit of Fig. 5 and the register-placement study
+//! of Sec. III-D.
+//!
+//! The paper settles on the placement with the fewest pipeline registers:
+//!
+//! - **stage 1** — input formatter, pre-computation, recoding (registers:
+//!   the odd multiples and the recoded digits);
+//! - **stage 2** — PPGEN + TREE (registers: the two carry-save operands);
+//! - **stage 3** — rounding CPAs, normalization, S&EH select, output
+//!   formatter (output registers).
+//!
+//! Two alternatives the paper reports trying (and rejecting) are also
+//! buildable for the ablation: registers after PPGEN ("the critical path
+//! moved in stage-1" — here stage 1 grows to include PPGEN) and registers
+//! inside the TREE ("stage-3 became critical").
+
+use crate::structural::{build_unit_full, StageCuts, StructuralPorts, UnitOptions};
+use mfm_gatesim::Netlist;
+
+/// Pipeline register placements (Sec. III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PipelinePlacement {
+    /// The paper's chosen placement (Fig. 5): cut after pre-comp/recode
+    /// and after the TREE.
+    #[default]
+    Fig5,
+    /// Alternative: cut after PPGEN (registers the whole PP array).
+    AfterPpgen,
+    /// Alternative: cut inside the TREE at array height 4.
+    InsideTree,
+}
+
+impl PipelinePlacement {
+    /// All placements, for the ablation sweep.
+    pub const ALL: [PipelinePlacement; 3] = [
+        PipelinePlacement::Fig5,
+        PipelinePlacement::AfterPpgen,
+        PipelinePlacement::InsideTree,
+    ];
+}
+
+/// Ports of the pipelined unit (same shape as the combinational unit;
+/// `latency` is 3).
+pub type PipelinedPorts = StructuralPorts;
+
+/// Builds the 3-stage pipelined multi-format unit.
+///
+/// # Example
+///
+/// ```
+/// use mfm_gatesim::{Netlist, Simulator, TechLibrary};
+/// use mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
+///
+/// let mut n = Netlist::new(TechLibrary::cmos45lp());
+/// let u = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+/// assert_eq!(u.latency, 3);
+/// let mut sim = Simulator::new(&n);
+/// // Issue one int64 operation and clock it through the three stages
+/// // (the result is captured by the output register on the third edge
+/// // after issue).
+/// sim.step_cycle(&[(&u.frmt, 0), (&u.xa, 7), (&u.yb, 6)]);
+/// sim.step_cycle(&[]);
+/// sim.step_cycle(&[]);
+/// sim.step_cycle(&[]);
+/// assert_eq!(sim.read_bus(&u.pl), 42);
+/// ```
+pub fn build_pipelined_unit(n: &mut Netlist, placement: PipelinePlacement) -> PipelinedPorts {
+    build_pipelined_unit_opts(n, placement, UnitOptions::default())
+}
+
+/// Builds the 3-stage pipelined unit with explicit [`UnitOptions`]
+/// (e.g. the quad-binary16 extension lanes).
+pub fn build_pipelined_unit_opts(
+    n: &mut Netlist,
+    placement: PipelinePlacement,
+    opts: UnitOptions,
+) -> PipelinedPorts {
+    let cuts = match placement {
+        PipelinePlacement::Fig5 => StageCuts {
+            after_precomp: true,
+            after_tree: true,
+            outputs: true,
+            ..StageCuts::default()
+        },
+        PipelinePlacement::AfterPpgen => StageCuts {
+            after_ppgen: true,
+            after_tree: true,
+            outputs: true,
+            ..StageCuts::default()
+        },
+        PipelinePlacement::InsideTree => StageCuts {
+            after_precomp: true,
+            inside_tree: true,
+            outputs: true,
+            ..StageCuts::default()
+        },
+    };
+    build_unit_full(n, cuts, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary, TimingAnalysis};
+
+    #[test]
+    fn fig5_has_fewest_registers() {
+        // The paper chose Fig. 5's placement because it has "the lowest
+        // number of pipeline registers among the tried placements".
+        let mut counts = Vec::new();
+        for placement in PipelinePlacement::ALL {
+            let mut n = Netlist::new(TechLibrary::cmos45lp());
+            build_pipelined_unit(&mut n, placement);
+            counts.push((placement, n.dff_count()));
+        }
+        let get = |p: PipelinePlacement| counts.iter().find(|(q, _)| *q == p).unwrap().1;
+        assert!(
+            get(PipelinePlacement::Fig5) < get(PipelinePlacement::AfterPpgen),
+            "{counts:?}"
+        );
+        assert!(
+            get(PipelinePlacement::Fig5) < get(PipelinePlacement::InsideTree),
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn pipelined_unit_is_faster_per_cycle_than_combinational() {
+        let mut nc = Netlist::new(TechLibrary::cmos45lp());
+        crate::structural::build_unit(&mut nc);
+        let comb = TimingAnalysis::new(&nc).report();
+
+        let mut np = Netlist::new(TechLibrary::cmos45lp());
+        build_pipelined_unit(&mut np, PipelinePlacement::Fig5);
+        let pipe = TimingAnalysis::new(&np).report();
+
+        assert!(pipe.min_period_ps < comb.min_period_ps / 1.8);
+    }
+
+    #[test]
+    fn pipelined_results_flow_with_latency_three() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+        assert_eq!(u.latency, 3);
+        let mut sim = Simulator::new(&n);
+        let pairs: Vec<(u64, u64)> = vec![(3, 5), (1000, 1000), (u64::MAX, 2), (7, 0)];
+        let mut expected = std::collections::VecDeque::new();
+        for &(x, y) in &pairs {
+            sim.step_cycle(&[(&u.frmt, 0), (&u.xa, x as u128), (&u.yb, y as u128)]);
+            expected.push_back((x as u128) * (y as u128));
+            if expected.len() > 3 {
+                let want = expected.pop_front().unwrap();
+                let got = (sim.read_bus(&u.ph) << 64) | sim.read_bus(&u.pl);
+                assert_eq!(got, want);
+            }
+        }
+        for _ in 0..3 {
+            sim.step_cycle(&[]);
+            if let Some(want) = expected.pop_front() {
+                let got = (sim.read_bus(&u.ph) << 64) | sim.read_bus(&u.pl);
+                assert_eq!(got, want);
+            }
+        }
+    }
+}

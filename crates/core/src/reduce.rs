@@ -1,0 +1,273 @@
+//! The binary64→binary32 error-free reduction unit (Sec. IV: Algorithm 1,
+//! Fig. 6) — functional model, gate-level netlist and the lossy extension.
+//!
+//! The hardware checks three conditions:
+//!
+//! 1. `Eb32 = Eb64 − 896 > 0` — computed by a **5-bit CPA** over exponent
+//!    bits 7–11, because the 7 LSBs of −896 are zero (the constant
+//!    `11001` in Fig. 6 is `(4096 − 896) >> 7 = 25`);
+//! 2. `Eb64 − 1151 < 0` — a **12-bit CPA** adding `4096 − 1151 = 2945 =`
+//!    `1011 1000 0001` (the odd constant shown in Fig. 6);
+//! 3. the 29 significand LSBs are zero — an **OR tree** over `M[28:0]`.
+//!
+//! When all three pass, the mux emits the binary32 encoding
+//! `{sign, Eb32[7:0], M[51:29]}`; otherwise the operand stays binary64.
+
+use mfm_arith::adder::{build_adder, AdderKind};
+use mfm_gatesim::{NetId, Netlist};
+use mfm_softfloat::convert;
+use mfm_softfloat::RoundingMode;
+
+/// Functional model: Algorithm 1 exactly as published.
+/// Re-exported from [`mfm_softfloat::convert::reduce_b64_to_b32`].
+pub fn reduce(bits: u64) -> Option<u32> {
+    convert::reduce_b64_to_b32(bits)
+}
+
+/// Extension (paper future work direction): lossy reduction with a bound
+/// on the relative error. Reduces whenever the IEEE-rounded binary32 value
+/// is finite, normal and within `max_rel_err` of the binary64 original.
+/// `max_rel_err = 0.0` accepts exactly the error-free set plus values whose
+/// 29 dropped bits round away losslessly (a superset of Algorithm 1).
+pub fn reduce_with_tolerance(bits: u64, max_rel_err: f64) -> Option<u32> {
+    let x = f64::from_bits(bits);
+    if !x.is_finite() || x == 0.0 {
+        return None;
+    }
+    let (narrow, _) = convert::b64_to_b32_ieee(bits, RoundingMode::NearestEven);
+    let back = f32::from_bits(narrow);
+    if !back.is_finite() || back == 0.0 || back.is_subnormal() {
+        return None;
+    }
+    let err = ((back as f64 - x) / x).abs();
+    if err <= max_rel_err {
+        Some(narrow)
+    } else {
+        None
+    }
+}
+
+/// Ports of the gate-level reduction unit.
+#[derive(Debug, Clone)]
+pub struct ReducerPorts {
+    /// 64-bit binary64 input.
+    pub input: Vec<NetId>,
+    /// 32-bit binary32 encoding (valid when `reduced` is high).
+    pub b32: Vec<NetId>,
+    /// High when the input was reduced error-free.
+    pub reduced: NetId,
+    /// The Fig. 6 output mux: `{32'b0, b32}` when reduced, else the input.
+    pub out64: Vec<NetId>,
+}
+
+/// Builds the Fig. 6 reduction hardware into `n`.
+///
+/// # Example
+///
+/// ```
+/// use mfm_gatesim::{Netlist, Simulator, TechLibrary};
+/// use mfmult::reduce::build_reducer;
+///
+/// let mut n = Netlist::new(TechLibrary::cmos45lp());
+/// let ports = build_reducer(&mut n);
+/// let mut sim = Simulator::new(&n);
+/// sim.set_bus(&ports.input, 1.5f64.to_bits() as u128);
+/// sim.settle();
+/// assert!(sim.read_net(ports.reduced));
+/// assert_eq!(sim.read_bus(&ports.b32) as u32, 1.5f32.to_bits());
+/// ```
+pub fn build_reducer(n: &mut Netlist) -> ReducerPorts {
+    let input = n.input_bus("b64_in", 64);
+    let ports = build_reducer_on(n, &input);
+    n.output_bus("b32", &ports.b32);
+    n.output_bus("reduced", &[ports.reduced]);
+    n.output_bus("out64", &ports.out64);
+    ports
+}
+
+/// Builds the Fig. 6 reduction logic over an *existing* 64-bit bus —
+/// the form used to embed the reducer into the multi-format unit's output
+/// formatter, as Sec. IV proposes ("the small hardware of Fig. 6 can be
+/// easily included in the multi-format multiplier of Fig. 5").
+///
+/// # Panics
+///
+/// Panics if `input` is not 64 bits wide.
+pub fn build_reducer_on(n: &mut Netlist, input: &[NetId]) -> ReducerPorts {
+    assert_eq!(input.len(), 64);
+    let input = input.to_vec();
+    n.begin_block("REDUCE");
+
+    let sign = input[63];
+    let eb64: Vec<NetId> = (52..63).map(|i| input[i]).collect();
+    let frac_hi: Vec<NetId> = (29..52).map(|i| input[i]).collect();
+
+    // (1) Eb32 = Eb64 − 896 via a 5-bit CPA on bits 7..11 (constant 11001).
+    let zero = n.zero();
+    let one = n.one();
+    let a5 = vec![eb64[7], eb64[8], eb64[9], eb64[10], zero];
+    let b5 = vec![one, zero, zero, one, one]; // 25 = 0b11001, LSB first
+    let sum5 = build_adder(n, AdderKind::Ripple, &a5, &b5, zero);
+    let eb32_hi = sum5.sum[0]; // bit 7 of Eb32
+    let neg1 = sum5.sum[4]; // sign bit (bit 11 of the 12-bit difference)
+    // Eb32 > 0 ⟺ not negative and not zero.
+    let mut low_or = n.zero();
+    for &b in &eb64[0..7] {
+        low_or = n.or2(low_or, b);
+    }
+    let mut mid_or = low_or;
+    for &b in &sum5.sum[0..4] {
+        mid_or = n.or2(mid_or, b);
+    }
+    let not_neg1 = n.not(neg1);
+    let c1 = n.and2(not_neg1, mid_or);
+
+    // (2) Eb64 − 1151 < 0 via a 12-bit CPA (constant 1011 1000 0001 = 2945).
+    let mut a12: Vec<NetId> = eb64.clone();
+    a12.push(zero);
+    let k2945 = 2945u64;
+    let b12: Vec<NetId> = (0..12).map(|i| n.lit((k2945 >> i) & 1 == 1)).collect();
+    let sum12 = build_adder(n, AdderKind::Ripple, &a12, &b12, zero);
+    let c2 = sum12.sum[11]; // negative ⟺ in range
+
+    // (3) OR tree over the 29 significand LSBs.
+    let mut tree: Vec<NetId> = (0..29).map(|i| input[i]).collect();
+    while tree.len() > 1 {
+        let mut next = Vec::with_capacity(tree.len().div_ceil(3));
+        for ch in tree.chunks(3) {
+            next.push(match ch {
+                [x] => *x,
+                [x, y] => n.or2(*x, *y),
+                [x, y, z] => n.or3(*x, *y, *z),
+                _ => unreachable!(),
+            });
+        }
+        tree = next;
+    }
+    let nonzero = tree[0];
+    let zero_ok = n.not(nonzero);
+
+    let c12 = n.and2(c1, c2);
+    let reduced = n.and2(c12, zero_ok);
+
+    // binary32 assembly: {sign, Eb32[7:0], M[51:29]}.
+    let mut b32 = Vec::with_capacity(32);
+    b32.extend_from_slice(&frac_hi); // bits 0..22
+    b32.extend_from_slice(&eb64[0..7]); // exponent bits 0..6 unchanged
+    b32.push(eb32_hi); // exponent bit 7
+    b32.push(sign); // bit 31
+
+    // Fig. 6 output mux.
+    let out64: Vec<NetId> = (0..64)
+        .map(|i| {
+            let reduced_bit = if i < 32 { b32[i] } else { zero };
+            n.mux2(reduced, input[i], reduced_bit)
+        })
+        .collect();
+
+    n.end_block();
+    ReducerPorts {
+        input,
+        b32,
+        reduced,
+        out64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Simulator, TechLibrary};
+
+    fn rng_bits(ncases: usize) -> Vec<u64> {
+        let mut s = 0xFEED_FACE_CAFE_BEEFu64;
+        (0..ncases)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn netlist_matches_algorithm1() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_reducer(&mut n);
+        n.check().unwrap();
+        let mut sim = Simulator::new(&n);
+
+        let mut cases: Vec<u64> = vec![
+            0,
+            1.5f64.to_bits(),
+            (-2.25f64).to_bits(),
+            0.1f64.to_bits(),
+            1e300f64.to_bits(),
+            1e-300f64.to_bits(),
+            f64::NAN.to_bits(),
+            f64::INFINITY.to_bits(),
+            (f32::MIN_POSITIVE as f64).to_bits(),
+            (f32::MAX as f64).to_bits(),
+            897u64 << 52,
+            896u64 << 52,
+            1150u64 << 52,
+            1151u64 << 52,
+        ];
+        // Random exactly-representable values (zero low 29 bits) and fully
+        // random ones.
+        for r in rng_bits(100) {
+            cases.push(r);
+            cases.push(r & !((1u64 << 29) - 1));
+        }
+        for bits in cases {
+            sim.set_bus(&ports.input, bits as u128);
+            sim.settle();
+            let want = reduce(bits);
+            assert_eq!(
+                sim.read_net(ports.reduced),
+                want.is_some(),
+                "reduced flag for {bits:#x}"
+            );
+            if let Some(w) = want {
+                assert_eq!(sim.read_bus(&ports.b32) as u32, w, "b32 of {bits:#x}");
+                assert_eq!(sim.read_bus(&ports.out64) as u64, w as u64);
+            } else {
+                assert_eq!(sim.read_bus(&ports.out64) as u64, bits, "passthrough");
+            }
+        }
+    }
+
+    #[test]
+    fn tolerance_extension_supersets_error_free() {
+        for bits in rng_bits(200) {
+            if let Some(exact) = reduce(bits) {
+                // Error-free reductions are always accepted at tolerance 0.
+                assert_eq!(reduce_with_tolerance(bits, 0.0), Some(exact));
+            }
+        }
+        // A value needing 53 bits reduces only with tolerance.
+        let x = 0.1f64;
+        assert_eq!(reduce(x.to_bits()), None);
+        assert!(reduce_with_tolerance(x.to_bits(), 1e-7).is_some());
+        assert_eq!(reduce_with_tolerance(x.to_bits(), 1e-12), None);
+    }
+
+    #[test]
+    fn tolerance_rejects_out_of_range() {
+        assert_eq!(reduce_with_tolerance(1e300f64.to_bits(), 1.0), None);
+        assert_eq!(reduce_with_tolerance(f64::NAN.to_bits(), 1.0), None);
+        assert_eq!(reduce_with_tolerance(1e-300f64.to_bits(), 1.0), None);
+    }
+
+    #[test]
+    fn reducer_is_small() {
+        // The paper argues this hardware is "small" and easily included;
+        // sanity-check it against the full multiplier scale.
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        build_reducer(&mut n);
+        assert!(
+            n.area_nand2() < 500.0,
+            "reducer should be a few hundred gates, got {:.0}",
+            n.area_nand2()
+        );
+    }
+}

@@ -1,0 +1,1325 @@
+//! Gate-level structural model of the multi-format multiplier (Fig. 5
+//! without the pipeline registers; see [`crate::pipeline`] for the 3-stage
+//! unit).
+//!
+//! Block structure mirrors the paper:
+//!
+//! - `FMT` — input formatter: routes operand bits per format, inserts the
+//!   implicit significand bits, flushes subnormal operands.
+//! - `SPEC` — special-value classification (NaN/∞/zero per lane).
+//! - `recode` / `precomp` — radix-16 recoding of Y and the 3X/5X/7X
+//!   adders for X.
+//! - `PPGEN` — partial-product rows with per-mode windows: full 67-bit
+//!   rows for int64/binary64, lane-sectioned windows for dual binary32
+//!   (Fig. 4), with per-mode sign-extension correction constants.
+//! - `TREE` — Dadda reduction with the column-63/64 carry seam killed in
+//!   dual mode.
+//! - `ROUND` — the Fig. 3 speculative normalize-and-round: two injection
+//!   CSAs, two split 128-bit CPAs, normalization muxes.
+//! - `SEH` — sign and exponent handling: one 13-bit datapath shared by
+//!   binary64 and the upper binary32 lane, one 10-bit datapath for the
+//!   lower lane; exponent add in stage 2, speculative `+1` and select in
+//!   stage 3, as the paper describes.
+//! - `OFMT` — output formatter: special-value bypass (NaN/∞/zero),
+//!   overflow/underflow handling, and `PH`/`PL` assembly.
+//!
+//! The 2-bit `frmt` input selects the datapath configuration and is used
+//! unregistered throughout: a format change must drain the pipeline (each
+//! Table V measurement holds the format constant, as the paper does).
+//! All *data*-dependent side information — exponent fields, operand
+//! classification, NaN payloads — is registered through the same pipeline
+//! ranks as the significand datapath.
+
+use crate::lanes::{
+    FULL_WINDOW, LOWER_ROWS, LOWER_WINDOW, SEAM_COL, UPPER_ROWS, UPPER_WINDOW,
+};
+use mfm_arith::adder::{build_adder, AdderKind};
+use mfm_arith::multiples::build_multiples;
+use mfm_arith::ppgen::one_hot_select;
+use mfm_arith::recode::radix16_recoder;
+use mfm_arith::tree::{reduce_to_height, reduce_to_two_seam, PpArray};
+use mfm_gatesim::{NetId, Netlist};
+
+/// The primary ports of the structural unit.
+#[derive(Debug, Clone)]
+pub struct StructuralPorts {
+    /// First 64-bit operand (`x`, binary64 `a`, or `{w32, x32}`).
+    pub xa: Vec<NetId>,
+    /// Second 64-bit operand (`y`, binary64 `b`, or `{z32, y32}`).
+    pub yb: Vec<NetId>,
+    /// 2-bit format select: 0 = int64, 1 = binary64, 2 = dual binary32,
+    /// 3 = quad binary16 (extension).
+    pub frmt: Vec<NetId>,
+    /// High 64-bit output.
+    pub ph: Vec<NetId>,
+    /// Low 64-bit output (int64 only).
+    pub pl: Vec<NetId>,
+    /// Flag outputs: `[invalid_lo, overflow_lo, underflow_lo,
+    /// invalid_hi, overflow_hi, underflow_hi]`. The `_lo` set serves the
+    /// binary64 result and the lower binary32 lane; `_hi` the upper lane.
+    pub flags: Vec<NetId>,
+    /// Pipeline latency in cycles (0 for the combinational build).
+    pub latency: u32,
+}
+
+/// Per-lane classification nets (stage-1 outputs, piped forward).
+#[derive(Clone)]
+struct LaneClass {
+    a_nan: NetId,
+    any_nan: NetId,
+    invalid: NetId,
+    any_inf: NetId,
+    any_zero: NetId,
+    sign_p: NetId,
+}
+
+impl LaneClass {
+    fn reg(&self, n: &mut Netlist) -> LaneClass {
+        LaneClass {
+            a_nan: n.dff(self.a_nan),
+            any_nan: n.dff(self.any_nan),
+            invalid: n.dff(self.invalid),
+            any_inf: n.dff(self.any_inf),
+            any_zero: n.dff(self.any_zero),
+            sign_p: n.dff(self.sign_p),
+        }
+    }
+}
+
+/// Data-dependent side information piped alongside the significand array.
+#[derive(Clone)]
+struct SideBundle {
+    ea_main: Vec<NetId>,
+    eb_main: Vec<NetId>,
+    ea_lo: Vec<NetId>,
+    eb_lo: Vec<NetId>,
+    ea_q: Vec<Vec<NetId>>,
+    eb_q: Vec<Vec<NetId>>,
+    xa_pay: Vec<NetId>,
+    yb_pay: Vec<NetId>,
+    cls_b64: LaneClass,
+    cls_lo: LaneClass,
+    cls_hi: LaneClass,
+    cls_q: Vec<LaneClass>,
+}
+
+impl SideBundle {
+    fn reg(&self, n: &mut Netlist) -> SideBundle {
+        SideBundle {
+            ea_main: reg_bus(n, &self.ea_main),
+            eb_main: reg_bus(n, &self.eb_main),
+            ea_lo: reg_bus(n, &self.ea_lo),
+            eb_lo: reg_bus(n, &self.eb_lo),
+            ea_q: self.ea_q.iter().map(|b| reg_bus(n, b)).collect(),
+            eb_q: self.eb_q.iter().map(|b| reg_bus(n, b)).collect(),
+            xa_pay: reg_bus(n, &self.xa_pay),
+            yb_pay: reg_bus(n, &self.yb_pay),
+            cls_b64: self.cls_b64.reg(n),
+            cls_lo: self.cls_lo.reg(n),
+            cls_hi: self.cls_hi.reg(n),
+            cls_q: self.cls_q.iter().map(|c| c.reg(n)).collect(),
+        }
+    }
+}
+
+/// Exponent sums piped from stage 2 into stage 3.
+#[derive(Clone)]
+struct ExpSums {
+    e0_main: Vec<NetId>,
+    e0_lo: Vec<NetId>,
+    e0_q: Vec<Vec<NetId>>,
+}
+
+impl ExpSums {
+    fn reg(&self, n: &mut Netlist) -> ExpSums {
+        ExpSums {
+            e0_main: reg_bus(n, &self.e0_main),
+            e0_lo: reg_bus(n, &self.e0_lo),
+            e0_q: self.e0_q.iter().map(|b| reg_bus(n, b)).collect(),
+        }
+    }
+}
+
+/// Where pipeline registers are requested by the pipelined builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct StageCuts {
+    /// Register after FMT + precomp + recode (stage 1/2 boundary).
+    pub after_precomp: bool,
+    /// Register the PP array bits (alternative stage 1/2 boundary).
+    pub after_ppgen: bool,
+    /// Register the partially reduced array at height ≤ 4 (alternative
+    /// stage 2/3 boundary, "registers inside TREE").
+    pub inside_tree: bool,
+    /// Register after TREE (stage 2/3 boundary).
+    pub after_tree: bool,
+    /// Register the outputs.
+    pub outputs: bool,
+}
+
+impl StageCuts {
+    fn rank1(&self) -> bool {
+        self.after_precomp || self.after_ppgen
+    }
+    fn rank2(&self) -> bool {
+        self.after_tree || self.inside_tree
+    }
+}
+
+/// Build-time options of the structural unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnitOptions {
+    /// Enable the quad-binary16 extension lanes (`frmt = 3`). Off by
+    /// default: the paper's unit has three formats, and the extension
+    /// costs ~13 % of the maximum clock frequency. With the option off
+    /// every quad gate constant-folds away and the netlist is exactly the
+    /// paper-faithful unit; `frmt = 3` is then undefined.
+    pub quad_lanes: bool,
+}
+
+/// Registers a bus, skipping constant bits.
+fn reg_bus(n: &mut Netlist, bus: &[NetId]) -> Vec<NetId> {
+    bus.iter()
+        .map(|&b| {
+            if n.const_value(b).is_some() {
+                b
+            } else {
+                n.dff(b)
+            }
+        })
+        .collect()
+}
+
+/// Registers every bit of a PP array.
+fn reg_array(n: &mut Netlist, arr: &PpArray) -> PpArray {
+    let mut regged = PpArray::new(arr.width());
+    for col in 0..arr.width() {
+        for &bit in arr.column(col) {
+            let q = if n.const_value(bit).is_some() {
+                bit
+            } else {
+                n.dff(bit)
+            };
+            regged.add_bit(col, q);
+        }
+    }
+    regged
+}
+
+/// Builds the combinational multi-format unit.
+///
+/// # Example
+///
+/// ```
+/// use mfm_gatesim::{Netlist, Simulator, TechLibrary};
+/// use mfmult::structural::build_unit;
+///
+/// let mut n = Netlist::new(TechLibrary::cmos45lp());
+/// let u = build_unit(&mut n);
+/// let mut sim = Simulator::new(&n);
+/// sim.set_bus(&u.frmt, 0); // int64
+/// sim.set_bus(&u.xa, 123);
+/// sim.set_bus(&u.yb, 456);
+/// sim.settle();
+/// assert_eq!(sim.read_bus(&u.pl), 123 * 456);
+/// ```
+pub fn build_unit(n: &mut Netlist) -> StructuralPorts {
+    build_unit_with_cuts(n, StageCuts::default())
+}
+
+/// Builds the combinational unit with the quad-binary16 extension lanes
+/// enabled (`frmt = 3` computes four binary16 products).
+pub fn build_unit_quad(n: &mut Netlist) -> StructuralPorts {
+    build_unit_full(n, StageCuts::default(), UnitOptions { quad_lanes: true })
+}
+
+pub(crate) fn build_unit_with_cuts(n: &mut Netlist, cuts: StageCuts) -> StructuralPorts {
+    build_unit_full(n, cuts, UnitOptions::default())
+}
+
+pub(crate) fn build_unit_full(
+    n: &mut Netlist,
+    cuts: StageCuts,
+    opts: UnitOptions,
+) -> StructuralPorts {
+    let xa = n.input_bus("xa", 64);
+    let yb = n.input_bus("yb", 64);
+    let frmt = n.input_bus("frmt", 2);
+
+    // Format decode: 0 = int64, 1 = binary64, 2 = dual binary32,
+    // 3 = quad binary16 (extension).
+    let sectioned = frmt[1];
+    let is_full = n.not(sectioned); // int64 or binary64: full carry chains
+    let not_dual = is_full; // historical alias: col-64 carries pass
+    let nf0 = n.not(frmt[0]);
+    let is_b64 = n.and2(is_full, frmt[0]);
+    let is_int = n.and2(is_full, nf0);
+    let not_int = n.not(is_int);
+    // With the quad extension disabled `is_quad` is the constant zero,
+    // and every quad-specific gate below constant-folds away, leaving the
+    // exact paper-faithful netlist.
+    let (is_dual, is_quad) = if opts.quad_lanes {
+        (n.and2(sectioned, nf0), n.and2(sectioned, frmt[0]))
+    } else {
+        (sectioned, n.zero())
+    };
+    let not_quad = n.not(is_quad);
+    let not_dualmode = n.not(is_dual);
+    let zero = n.zero();
+
+    // ==================================================================
+    // Stage 1: FMT, SPEC, field extraction, recode, precomp.
+    // ==================================================================
+    n.begin_block("FMT");
+    let or_range = |n: &mut Netlist, bus: &[NetId], lo: usize, hi: usize| {
+        or_tree(n, bus[lo..=hi].to_vec())
+    };
+    let a64_norm = or_range(n, &xa, 52, 62);
+    let b64_norm = or_range(n, &yb, 52, 62);
+    let alo_norm = or_range(n, &xa, 23, 30);
+    let blo_norm = or_range(n, &yb, 23, 30);
+    let ahi_norm = or_range(n, &xa, 55, 62);
+    let bhi_norm = or_range(n, &yb, 55, 62);
+    // Quad-lane (binary16) nonzero-exponent detectors, lane 0..3.
+    let (aq_norm, bq_norm): (Vec<NetId>, Vec<NetId>) = if opts.quad_lanes {
+        (
+            (0..4).map(|k| or_range(n, &xa, 16 * k + 10, 16 * k + 14)).collect(),
+            (0..4).map(|k| or_range(n, &yb, 16 * k + 10, 16 * k + 14)).collect(),
+        )
+    } else {
+        (vec![zero; 4], vec![zero; 4])
+    };
+
+    let fmt_operand = |n: &mut Netlist,
+                       w: &[NetId],
+                       norm64: NetId,
+                       norm_lo: NetId,
+                       norm_hi: NetId,
+                       norm_q: &[NetId]|
+     -> Vec<NetId> {
+        (0..64)
+            .map(|j| {
+                let b64v = match j {
+                    0..=51 => n.and2(w[j], norm64),
+                    52 => norm64,
+                    _ => zero,
+                };
+                let dualv = match j {
+                    0..=22 => n.and2(w[j], norm_lo),
+                    23 => norm_lo,
+                    32..=54 => n.and2(w[j], norm_hi),
+                    55 => norm_hi,
+                    _ => zero,
+                };
+                let t = n.mux2(is_b64, w[j], b64v);
+                let s = if opts.quad_lanes {
+                    let lane = j / 16;
+                    let quadv = match j % 16 {
+                        0..=9 => n.and2(w[j], norm_q[lane]),
+                        10 => norm_q[lane],
+                        _ => zero,
+                    };
+                    n.mux2(frmt[0], dualv, quadv)
+                } else {
+                    dualv
+                };
+                n.mux2(sectioned, t, s)
+            })
+            .collect()
+    };
+    let x_sig = fmt_operand(n, &xa, a64_norm, alo_norm, ahi_norm, &aq_norm);
+    let y_sig = fmt_operand(n, &yb, b64_norm, blo_norm, bhi_norm, &bq_norm);
+    n.end_block();
+
+    n.begin_block("SPEC");
+    let and_range = |n: &mut Netlist, bus: &[NetId], lo: usize, hi: usize| {
+        and_tree(n, bus[lo..=hi].to_vec())
+    };
+    let classify = |n: &mut Netlist,
+                    exp: (usize, usize),
+                    frac: (usize, usize),
+                    sign: usize,
+                    a_norm: NetId,
+                    b_norm: NetId,
+                    xa: &[NetId],
+                    yb: &[NetId]|
+     -> LaneClass {
+        let a_ones = and_range(n, xa, exp.0, exp.1);
+        let b_ones = and_range(n, yb, exp.0, exp.1);
+        let a_frac_nz = or_range(n, xa, frac.0, frac.1);
+        let b_frac_nz = or_range(n, yb, frac.0, frac.1);
+        let a_nan = n.and2(a_ones, a_frac_nz);
+        let b_nan = n.and2(b_ones, b_frac_nz);
+        let any_nan = n.or2(a_nan, b_nan);
+        let na_frac = n.not(a_frac_nz);
+        let nb_frac = n.not(b_frac_nz);
+        let a_inf = n.and2(a_ones, na_frac);
+        let b_inf = n.and2(b_ones, nb_frac);
+        let any_inf = n.or2(a_inf, b_inf);
+        let a_zero = n.not(a_norm);
+        let b_zero = n.not(b_norm);
+        let any_zero = n.or2(a_zero, b_zero);
+        let iz1 = n.and2(a_inf, b_zero);
+        let iz2 = n.and2(b_inf, a_zero);
+        let inf_zero = n.or2(iz1, iz2);
+        // Signaling NaN: NaN with the fraction MSB clear.
+        let na_quiet = n.not(xa[frac.1]);
+        let nb_quiet = n.not(yb[frac.1]);
+        let a_snan = n.and2(a_nan, na_quiet);
+        let b_snan = n.and2(b_nan, nb_quiet);
+        let snan = n.or2(a_snan, b_snan);
+        let invalid = n.or2(inf_zero, snan);
+        let sign_p = n.xor2(xa[sign], yb[sign]);
+        LaneClass {
+            a_nan,
+            any_nan,
+            invalid,
+            any_inf,
+            any_zero,
+            sign_p,
+        }
+    };
+    let cls_b64 = classify(n, (52, 62), (0, 51), 63, a64_norm, b64_norm, &xa, &yb);
+    let cls_lo = classify(n, (23, 30), (0, 22), 31, alo_norm, blo_norm, &xa, &yb);
+    let cls_hi = classify(n, (55, 62), (32, 54), 63, ahi_norm, bhi_norm, &xa, &yb);
+    let cls_q: Vec<LaneClass> = if opts.quad_lanes {
+        (0..4)
+            .map(|k| {
+                classify(
+                    n,
+                    (16 * k + 10, 16 * k + 14),
+                    (16 * k, 16 * k + 9),
+                    16 * k + 15,
+                    aq_norm[k],
+                    bq_norm[k],
+                    &xa,
+                    &yb,
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    n.end_block();
+
+    // Exponent field extraction (stage 1; the adds happen in stage 2).
+    n.begin_block("SEH");
+    let main_field = |n: &mut Netlist, w: &[NetId]| -> Vec<NetId> {
+        (0..11)
+            .map(|i| {
+                let b64bit = w[52 + i];
+                let dualbit = if i < 8 { w[55 + i] } else { zero };
+                n.mux2(sectioned, b64bit, dualbit)
+            })
+            .collect()
+    };
+    let ea_main = main_field(n, &xa);
+    let eb_main = main_field(n, &yb);
+    let ea_lo: Vec<NetId> = (0..8).map(|i| xa[23 + i]).collect();
+    let eb_lo: Vec<NetId> = (0..8).map(|i| yb[23 + i]).collect();
+    // Quad lanes: 5-bit binary16 exponent fields.
+    let (ea_q, eb_q): (Vec<Vec<NetId>>, Vec<Vec<NetId>>) = if opts.quad_lanes {
+        (
+            (0..4)
+                .map(|k| (0..5).map(|i| xa[16 * k + 10 + i]).collect())
+                .collect(),
+            (0..4)
+                .map(|k| (0..5).map(|i| yb[16 * k + 10 + i]).collect())
+                .collect(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    n.end_block();
+
+    let mut side = SideBundle {
+        ea_main,
+        eb_main,
+        ea_lo,
+        eb_lo,
+        ea_q,
+        eb_q,
+        xa_pay: xa.clone(),
+        yb_pay: yb.clone(),
+        cls_b64,
+        cls_lo,
+        cls_hi,
+        cls_q,
+    };
+
+    // Stage 1 must fit the target cycle alongside the input formatter, so
+    // the unit uses parallel-prefix adders for the odd multiples ("fast
+    // carry-propagate adders", Sec. II).
+    let mut digits = n.in_block("recode", |n| radix16_recoder(n, &y_sig));
+    let m = n.in_block("precomp", |n| {
+        build_multiples(n, &x_sig, 8, AdderKind::KoggeStone)
+    });
+    let mut buses: Vec<Vec<NetId>> = (1..=8).map(|k| m.bus(k).to_vec()).collect();
+
+    // ---- rank-1 registers --------------------------------------------
+    if cuts.after_precomp {
+        n.in_block("PIPE", |n| {
+            for bus in &mut buses {
+                *bus = reg_bus(n, bus);
+            }
+            for d in &mut digits {
+                if n.const_value(d.sign).is_none() {
+                    d.sign = n.dff(d.sign);
+                }
+                d.sel = reg_bus(n, &d.sel);
+            }
+        });
+    }
+    if cuts.rank1() && !cuts.after_ppgen {
+        side = n.in_block("PIPE", |n| side.reg(n));
+    }
+
+    // ==================================================================
+    // Stage 2: PPGEN + TREE; exponent adds.
+    // ==================================================================
+    n.begin_block("PPGEN");
+    let mut arr = PpArray::new(128);
+    let row_w = FULL_WINDOW.1; // 67
+    // Mode-mask helper: bit0 = full (int64/binary64), bit1 = dual,
+    // bit2 = quad. Returns the net that is high exactly in those modes
+    // (None when the mask covers every mode).
+    let mode_net = |mask: u8| -> Option<NetId> {
+        match mask {
+            0b111 => None,
+            0b001 => Some(is_full),
+            0b010 => Some(is_dual),
+            0b100 => Some(is_quad),
+            0b011 => Some(not_quad),
+            0b101 => Some(not_dualmode),
+            0b110 => Some(sectioned),
+            _ => unreachable!("empty mode mask"),
+        }
+    };
+    for (i, digit) in digits.iter().enumerate() {
+        let offset = 4 * i;
+        let is_transfer = i == 16;
+        let dual_window = if LOWER_ROWS.contains(&i) {
+            Some(LOWER_WINDOW)
+        } else if UPPER_ROWS.contains(&i) {
+            Some(UPPER_WINDOW)
+        } else {
+            None
+        };
+        // Quad lanes own rows {4k, 4k+1, 4k+2}; every fourth row and the
+        // transfer row are identically zero in quad mode.
+        let quad_window = if opts.quad_lanes && i < 16 && i % 4 != 3 {
+            let lane = i / 4;
+            Some((16 * lane, 16 * lane + 14))
+        } else {
+            None
+        };
+        let contains = |w: Option<(usize, usize)>, j: usize| {
+            w.is_some_and(|(lo, hi)| j >= lo && j < hi)
+        };
+        for j in 0..row_w {
+            let terms: Vec<(NetId, NetId)> = digit
+                .sel
+                .iter()
+                .enumerate()
+                .map(|(k, &sel)| (sel, buses[k][j]))
+                .collect();
+            let acc = one_hot_select(n, &terms);
+            let bit = n.xor2(acc, digit.sign);
+            let mask = 0b001
+                | if contains(dual_window, j) { 0b010 } else { 0 }
+                | if contains(quad_window, j) { 0b100 } else { 0 };
+            let bit = match mode_net(mask) {
+                None => bit,
+                Some(m) => n.and2(bit, m),
+            };
+            arr.add_bit(offset + j, bit);
+        }
+        if !is_transfer {
+            // +s (two's-complement completion) and ¬s (sign-extension
+            // replacement) bits, at each mode's window edges; coincident
+            // positions merge their mode masks.
+            let mut plus_s: Vec<(usize, u8)> = vec![(offset, 0b001)];
+            let mut not_s: Vec<(usize, u8)> = vec![(offset + FULL_WINDOW.1, 0b001)];
+            if let Some((lo, hi)) = dual_window {
+                plus_s.push((offset + lo, 0b010));
+                not_s.push((offset + hi, 0b010));
+            }
+            if let Some((lo, hi)) = quad_window {
+                plus_s.push((offset + lo, 0b100));
+                not_s.push((offset + hi, 0b100));
+            }
+            let merge = |mut v: Vec<(usize, u8)>| -> Vec<(usize, u8)> {
+                v.sort_unstable();
+                let mut out: Vec<(usize, u8)> = Vec::new();
+                for (pos, m) in v {
+                    match out.last_mut() {
+                        Some((p, mm)) if *p == pos => *mm |= m,
+                        _ => out.push((pos, m)),
+                    }
+                }
+                out
+            };
+            for (pos, mask) in merge(plus_s) {
+                if pos < 128 {
+                    let bit = match mode_net(mask) {
+                        None => digit.sign,
+                        Some(m) => n.and2(digit.sign, m),
+                    };
+                    arr.add_bit(pos, bit);
+                }
+            }
+            let ns = n.not(digit.sign);
+            for (pos, mask) in merge(not_s) {
+                if pos < 128 {
+                    let bit = match mode_net(mask) {
+                        None => ns,
+                        Some(m) => n.and2(ns, m),
+                    };
+                    arr.add_bit(pos, bit);
+                }
+            }
+        }
+    }
+    let k_full = crate::lanes::full_correction();
+    let k_dual = (crate::lanes::dual_correction_low() as u128)
+        .wrapping_add(crate::lanes::dual_correction_high());
+    let k_quad: u128 = if opts.quad_lanes {
+        (0..4).fold(0u128, |acc, k| {
+            acc.wrapping_add(crate::quad::lane_correction(k))
+        })
+    } else {
+        0
+    };
+    let one = n.one();
+    for col in 0..128 {
+        let mask = if (k_full >> col) & 1 == 1 { 0b001 } else { 0 }
+            | if (k_dual >> col) & 1 == 1 { 0b010 } else { 0 }
+            | if (k_quad >> col) & 1 == 1 { 0b100 } else { 0 };
+        if mask == 0 {
+            continue;
+        }
+        match mode_net(mask) {
+            None => arr.add_bit(col, one),
+            Some(m) => arr.add_bit(col, m),
+        }
+    }
+    n.end_block();
+
+    if cuts.after_ppgen {
+        arr = n.in_block("PIPE", |n| reg_array(n, &arr));
+        side = n.in_block("PIPE", |n| side.reg(n));
+    }
+
+    // Carry seams: column 64 passes only in the full-width formats;
+    // columns 32 and 96 are additionally cut in quad mode. (With the quad
+    // option off their pass nets are constant one and the gates fold.)
+    let seams = [
+        (32usize, not_quad),
+        (SEAM_COL, not_dual),
+        (96usize, not_quad),
+    ];
+    let (s_vec, c_vec) = if cuts.inside_tree {
+        n.in_block("TREE", |n| reduce_to_height(n, &mut arr, 4, &seams));
+        arr = n.in_block("PIPE", |n| reg_array(n, &arr));
+        n.in_block("TREE", |n| reduce_to_two_seam(n, arr, &seams))
+    } else {
+        n.in_block("TREE", |n| reduce_to_two_seam(n, arr, &seams))
+    };
+
+    // Exponent adds (stage 2): E0 = Ea + Eb − bias.
+    n.begin_block("SEH");
+    let ext = |n: &mut Netlist, v: &[NetId], width: usize| -> Vec<NetId> {
+        let mut v = v.to_vec();
+        while v.len() < width {
+            v.push(n.zero());
+        }
+        v
+    };
+    let bias_main: Vec<NetId> = (0..13)
+        .map(|i| {
+            let b64bit = n.lit((7169u64 >> i) & 1 == 1); // 8192 − 1023
+            let dualbit = n.lit((8065u64 >> i) & 1 == 1); // 8192 − 127
+            n.mux2(is_dual, b64bit, dualbit)
+        })
+        .collect();
+    let ea13 = ext(n, &side.ea_main, 13);
+    let eb13 = ext(n, &side.eb_main, 13);
+    let s_main = build_adder(n, AdderKind::CarryLookahead, &ea13, &eb13, zero);
+    let e0_main = build_adder(n, AdderKind::CarryLookahead, &s_main.sum, &bias_main, zero).sum;
+
+    let bias_lo: Vec<NetId> = (0..10).map(|i| n.lit((897u64 >> i) & 1 == 1)).collect(); // 1024 − 127
+    let ea10 = ext(n, &side.ea_lo, 10);
+    let eb10 = ext(n, &side.eb_lo, 10);
+    let s_lo = build_adder(n, AdderKind::CarryLookahead, &ea10, &eb10, zero);
+    let e0_lo = build_adder(n, AdderKind::CarryLookahead, &s_lo.sum, &bias_lo, zero).sum;
+
+    // Quad lanes: four 8-bit binary16 exponent paths (bias 15).
+    let e0_q: Vec<Vec<NetId>> = if opts.quad_lanes {
+        let bias_q: Vec<NetId> = (0..8).map(|i| n.lit((241u64 >> i) & 1 == 1)).collect(); // 256 − 15
+        (0..4)
+            .map(|k| {
+                let ea8 = ext(n, &side.ea_q[k], 8);
+                let eb8 = ext(n, &side.eb_q[k], 8);
+                let s = build_adder(n, AdderKind::CarryLookahead, &ea8, &eb8, zero);
+                build_adder(n, AdderKind::CarryLookahead, &s.sum, &bias_q, zero).sum
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    n.end_block();
+    let mut exps = ExpSums {
+        e0_main,
+        e0_lo,
+        e0_q,
+    };
+
+    // ---- rank-2 registers --------------------------------------------
+    let (s_vec, c_vec) = if cuts.after_tree {
+        n.in_block("PIPE", |n| (reg_bus(n, &s_vec), reg_bus(n, &c_vec)))
+    } else {
+        (s_vec, c_vec)
+    };
+    if cuts.rank2() {
+        (side, exps) = n.in_block("PIPE", |n| (side.reg(n), exps.reg(n)));
+    }
+
+    // ==================================================================
+    // Stage 3: ROUND (CSAs + CPAs + normalization), SEH select, OFMT.
+    // ==================================================================
+    n.begin_block("ROUND");
+    let mut r1 = vec![zero; 128];
+    let mut r0 = vec![zero; 128];
+    r1[52] = is_b64;
+    r0[51] = is_b64;
+    r1[23] = is_dual;
+    r0[22] = is_dual;
+    r1[87] = is_dual;
+    r0[86] = is_dual;
+    // Quad lanes: product MSB at 32k+21, kept LSB 32k+11 → inject 10/9.
+    if opts.quad_lanes {
+        for k in 0..4 {
+            r1[32 * k + 10] = is_quad;
+            r0[32 * k + 9] = is_quad;
+        }
+    }
+
+    let csa_then_cpa = |n: &mut Netlist, r: &[NetId]| -> Vec<NetId> {
+        let mut sum = Vec::with_capacity(128);
+        let mut carry = Vec::with_capacity(128);
+        for i in 0..128 {
+            let (s, c) = n.full_adder(s_vec[i], c_vec[i], r[i]);
+            sum.push(s);
+            carry.push(c);
+        }
+        let mut shifted = Vec::with_capacity(128);
+        shifted.push(zero);
+        for i in 0..127 {
+            match seams.iter().find(|(c, _)| *c == i + 1) {
+                Some(&(_, pass)) => shifted.push(n.and2(carry[i], pass)),
+                None => shifted.push(carry[i]),
+            }
+        }
+        // Sectioned CPA with carry-select: each upper section is computed
+        // for both carry-in values and selected by the (mode-gated) carry
+        // of the section below, so a seam costs one mux, not a ripple.
+        // The paper-faithful unit needs one seam (column 64, two 64-bit
+        // sections); the quad-enabled unit sections at every 32 columns.
+        let one = n.one();
+        let width = if opts.quad_lanes { 32 } else { 64 };
+        let sec0 = build_adder(
+            n,
+            AdderKind::KoggeStone,
+            &sum[..width],
+            &shifted[..width],
+            zero,
+        );
+        let mut out = sec0.sum;
+        let mut cout = sec0.cout;
+        for s in 1..128 / width {
+            let lo = width * s;
+            let pass = seams
+                .iter()
+                .find(|(c, _)| *c == lo)
+                .map(|&(_, p)| p)
+                .expect("seam at every section boundary");
+            let cin = n.and2(cout, pass);
+            let a0 = build_adder(
+                n,
+                AdderKind::KoggeStone,
+                &sum[lo..lo + width],
+                &shifted[lo..lo + width],
+                zero,
+            );
+            let a1 = build_adder(
+                n,
+                AdderKind::KoggeStone,
+                &sum[lo..lo + width],
+                &shifted[lo..lo + width],
+                one,
+            );
+            for i in 0..width {
+                out.push(n.mux2(cin, a0.sum[i], a1.sum[i]));
+            }
+            cout = n.mux2(cin, a0.cout, a1.cout);
+        }
+        out
+    };
+    let p1 = csa_then_cpa(n, &r1);
+    let p0 = csa_then_cpa(n, &r0);
+
+    // Normalization selects: the MSB of the P0 adder per lane (see
+    // mfm_softfloat::paper for why P0, not P1).
+    let sel_b64 = p0[105];
+    let sel_lo = p0[47];
+    let sel_hi = p0[111];
+    let sel_main = n.mux2(is_dual, sel_b64, sel_hi);
+
+    let norm_frac = |n: &mut Netlist, sel: NetId, msb: usize, p: usize| -> Vec<NetId> {
+        (0..p - 1)
+            .map(|k| {
+                let b1 = p1[msb - p + 1 + k];
+                let b0 = p0[msb - p + k];
+                n.mux2(sel, b0, b1)
+            })
+            .collect()
+    };
+    let frac_b64 = norm_frac(n, sel_b64, 105, 53);
+    let frac_lo = norm_frac(n, sel_lo, 47, 24);
+    let frac_hi = norm_frac(n, sel_hi, 111, 24);
+    // Quad lanes: product MSB at 32k+21, 11-bit significands.
+    let sel_q: Vec<NetId> = if opts.quad_lanes {
+        (0..4).map(|k| p0[32 * k + 21]).collect()
+    } else {
+        Vec::new()
+    };
+    let frac_q: Vec<Vec<NetId>> = (0..4.min(sel_q.len()))
+        .map(|k| norm_frac(n, sel_q[k], 32 * k + 21, 11))
+        .collect();
+    n.end_block();
+
+    // SEH stage 3: speculative +1, select, range checks.
+    n.begin_block("SEH");
+    let (e_main, unf_main, ovf_main) = exponent_select(
+        n,
+        &exps.e0_main,
+        sel_main,
+        &|n, i| {
+            let b64bit = n.lit((6145u64 >> i) & 1 == 1); // 8192 − 2047
+            let dualbit = n.lit((7937u64 >> i) & 1 == 1); // 8192 − 255
+            n.mux2(is_dual, b64bit, dualbit)
+        },
+    );
+    let (e_lo, unf_lo_raw, ovf_lo_raw) =
+        exponent_select(n, &exps.e0_lo, sel_lo, &|n, i| {
+            n.lit((769u64 >> i) & 1 == 1) // 1024 − 255
+        });
+    let mut e_q = Vec::with_capacity(4);
+    let mut unf_q = Vec::with_capacity(4);
+    let mut ovf_q = Vec::with_capacity(4);
+    if opts.quad_lanes {
+        for k in 0..4 {
+            let (e, unf, ovf) = exponent_select(n, &exps.e0_q[k], sel_q[k], &|n, i| {
+                n.lit((225u64 >> i) & 1 == 1) // 256 − 31
+            });
+            e_q.push(e);
+            unf_q.push(unf);
+            ovf_q.push(ovf);
+        }
+    }
+    n.end_block();
+
+    // ==================================================================
+    // OFMT: per-format result words, special bypass, PH/PL assembly.
+    // ==================================================================
+    n.begin_block("OFMT");
+    let out_b64 = lane_output(
+        n,
+        &side.cls_b64,
+        &side.xa_pay,
+        &side.yb_pay,
+        (52, 62),
+        51,
+        63,
+        &frac_b64,
+        &e_main[..11],
+        unf_main,
+        ovf_main,
+    );
+    let out_lo = lane_output(
+        n,
+        &side.cls_lo,
+        &side.xa_pay,
+        &side.yb_pay,
+        (23, 30),
+        22,
+        31,
+        &frac_lo,
+        &e_lo[..8],
+        unf_lo_raw,
+        ovf_lo_raw,
+    );
+    let out_hi = lane_output(
+        n,
+        &side.cls_hi,
+        &side.xa_pay,
+        &side.yb_pay,
+        (55, 62),
+        54,
+        63,
+        &frac_hi,
+        &e_main[..8],
+        unf_main,
+        ovf_main,
+    );
+
+    // Quad lanes: 16-bit output words assembled from each lane's operand
+    // slice, fraction, exponent and flags.
+    let out_q: Vec<Vec<NetId>> = (0..4.min(e_q.len()))
+        .map(|k| {
+            let xa_slice = &side.xa_pay[16 * k..16 * k + 16];
+            let yb_slice = &side.yb_pay[16 * k..16 * k + 16];
+            lane_output(
+                n,
+                &side.cls_q[k],
+                xa_slice,
+                yb_slice,
+                (10, 14),
+                9,
+                15,
+                &frac_q[k],
+                &e_q[k][..5],
+                unf_q[k],
+                ovf_q[k],
+            )
+        })
+        .collect();
+
+    let ph: Vec<NetId> = (0..64)
+        .map(|i| {
+            let dual_bit = if i < 32 { out_lo[i] } else { out_hi[i] };
+            let t = n.mux2(is_b64, p0[64 + i], out_b64[i]);
+            let t = n.mux2(is_dual, t, dual_bit);
+            if opts.quad_lanes {
+                n.mux2(is_quad, t, out_q[i / 16][i % 16])
+            } else {
+                t
+            }
+        })
+        .collect();
+    let pl: Vec<NetId> = (0..64).map(|i| n.and2(p0[i], is_int)).collect();
+
+    let lane_flags = |n: &mut Netlist, cls: &LaneClass, unf: NetId, ovf: NetId| {
+        let ns = n.or2(cls.any_nan, cls.any_inf);
+        let ns = n.or2(ns, cls.any_zero);
+        let normal = n.not(ns);
+        let normal_fp = n.and2(normal, not_int);
+        let u = n.and2(unf, normal_fp);
+        let o = n.and2(ovf, normal_fp);
+        let inv = n.and2(cls.invalid, not_int);
+        (inv, o, u)
+    };
+    let (inv_b64, ovf_b64, unf_b64) = lane_flags(n, &side.cls_b64, unf_main, ovf_main);
+    let (inv_lo, ovf_lo, unf_lo) = lane_flags(n, &side.cls_lo, unf_lo_raw, ovf_lo_raw);
+    let (inv_hi, ovf_hi, unf_hi) = lane_flags(n, &side.cls_hi, unf_main, ovf_main);
+    // The exported flag set serves the paper's three formats; quad-lane
+    // flags stay internal (the extension's 16-bit words carry their own
+    // NaN/Inf/zero encodings). Gate the outputs off in quad mode.
+    let t = n.mux2(is_dual, inv_b64, inv_lo);
+    let inv_out_lo = n.and2(t, not_quad);
+    let t = n.mux2(is_dual, ovf_b64, ovf_lo);
+    let ovf_out_lo = n.and2(t, not_quad);
+    let t = n.mux2(is_dual, unf_b64, unf_lo);
+    let unf_out_lo = n.and2(t, not_quad);
+    let inv_out_hi = n.and2(inv_hi, is_dual);
+    let ovf_out_hi = n.and2(ovf_hi, is_dual);
+    let unf_out_hi = n.and2(unf_hi, is_dual);
+    n.end_block();
+
+    let flags = vec![
+        inv_out_lo, ovf_out_lo, unf_out_lo, inv_out_hi, ovf_out_hi, unf_out_hi,
+    ];
+
+    let (ph, pl, flags, latency) = if cuts.outputs {
+        let r = n.in_block("PIPE", |n| {
+            (reg_bus(n, &ph), reg_bus(n, &pl), reg_bus(n, &flags))
+        });
+        (r.0, r.1, r.2, 3)
+    } else {
+        (ph, pl, flags, 0)
+    };
+
+    n.output_bus("ph", &ph);
+    n.output_bus("pl", &pl);
+    n.output_bus("flags", &flags);
+
+    StructuralPorts {
+        xa,
+        yb,
+        frmt,
+        ph,
+        pl,
+        flags,
+        latency,
+    }
+}
+
+/// Stage-3 exponent logic: the stage-2 sum is incremented speculatively
+/// and *both* candidates are range-checked in parallel with the rounding
+/// CPAs; the normalization bit then selects exponent and flags with a
+/// single mux rank ("the exponent is incremented speculatively in stage-3,
+/// and then the right exponent is selected once [the product MSB] is
+/// determined"). `max_neg(i)` yields bit `i` of `2^width − max_field`.
+fn exponent_select(
+    n: &mut Netlist,
+    e0: &[NetId],
+    sel: NetId,
+    max_neg: &dyn Fn(&mut Netlist, usize) -> NetId,
+) -> (Vec<NetId>, NetId, NetId) {
+    let width = e0.len();
+    let zero = n.zero();
+    let e1 = increment(n, e0);
+    let mneg: Vec<NetId> = (0..width).map(|i| max_neg(n, i)).collect();
+    let check = |n: &mut Netlist, e: &[NetId]| -> (NetId, NetId) {
+        let neg = e[width - 1];
+        let any = or_tree(n, e.to_vec());
+        let nany = n.not(any);
+        let unf = n.or2(neg, nany);
+        let d = build_adder(n, AdderKind::CarryLookahead, e, &mneg, zero);
+        let ovf = n.not(d.sum[width - 1]);
+        (unf, ovf)
+    };
+    let (unf0, ovf0) = check(n, e0);
+    let (unf1, ovf1) = check(n, &e1);
+    let e: Vec<NetId> = (0..width).map(|i| n.mux2(sel, e0[i], e1[i])).collect();
+    let unf = n.mux2(sel, unf0, unf1);
+    let ovf = n.mux2(sel, ovf0, ovf1);
+    (e, unf, ovf)
+}
+
+/// Balanced OR reduction.
+fn or_tree(n: &mut Netlist, mut v: Vec<NetId>) -> NetId {
+    debug_assert!(!v.is_empty());
+    while v.len() > 1 {
+        let mut next = Vec::with_capacity(v.len().div_ceil(3));
+        for ch in v.chunks(3) {
+            next.push(match ch {
+                [x] => *x,
+                [x, y] => n.or2(*x, *y),
+                [x, y, z] => n.or3(*x, *y, *z),
+                _ => unreachable!(),
+            });
+        }
+        v = next;
+    }
+    v[0]
+}
+
+/// Balanced AND reduction.
+fn and_tree(n: &mut Netlist, mut v: Vec<NetId>) -> NetId {
+    debug_assert!(!v.is_empty());
+    while v.len() > 1 {
+        let mut next = Vec::with_capacity(v.len().div_ceil(3));
+        for ch in v.chunks(3) {
+            next.push(match ch {
+                [x] => *x,
+                [x, y] => n.and2(*x, *y),
+                [x, y, z] => n.and3(*x, *y, *z),
+                _ => unreachable!(),
+            });
+        }
+        v = next;
+    }
+    v[0]
+}
+
+/// Parallel-prefix incrementer: bit `i` flips iff all lower bits are one.
+/// Logarithmic depth; the exponent widths here (≤ 13) keep it tiny.
+fn increment(n: &mut Netlist, v: &[NetId]) -> Vec<NetId> {
+    let mut out = Vec::with_capacity(v.len());
+    out.push(n.not(v[0]));
+    for i in 1..v.len() {
+        let all_ones = and_tree(n, v[..i].to_vec());
+        out.push(n.xor2(v[i], all_ones));
+    }
+    out
+}
+
+/// Builds one lane's output word with the special-value priority chain:
+/// NaN (propagated quieted / canonical on invalid) → infinity (operand
+/// or overflow) → zero (operand or underflow) → normal
+/// `{sign, exp, frac}`. Bits below the lane's fraction field are zero.
+#[allow(clippy::too_many_arguments)]
+fn lane_output(
+    n: &mut Netlist,
+    cls: &LaneClass,
+    a: &[NetId],
+    b: &[NetId],
+    exp: (usize, usize),
+    frac_msb: usize,
+    sign_pos: usize,
+    frac: &[NetId],
+    e_field: &[NetId],
+    unf: NetId,
+    ovf: NetId,
+) -> Vec<NetId> {
+    let zero = n.zero();
+    let one = n.one();
+    let lane_lo = frac_msb + 1 - frac.len();
+    let mut out = Vec::with_capacity(sign_pos + 1);
+    let inf_like = n.or2(cls.any_inf, ovf);
+    let zero_like = n.or2(cls.any_zero, unf);
+    let is_nan_out = n.or2(cls.any_nan, cls.invalid);
+    for j in 0..=sign_pos {
+        let normal_bit = if j >= lane_lo && j <= frac_msb {
+            frac[j - lane_lo]
+        } else if j >= exp.0 && j <= exp.1 {
+            e_field[j - exp.0]
+        } else if j == sign_pos {
+            cls.sign_p
+        } else {
+            zero
+        };
+        let zero_bit = if j == sign_pos { cls.sign_p } else { zero };
+        let inf_bit = if j >= exp.0 && j <= exp.1 {
+            one
+        } else if j == sign_pos {
+            cls.sign_p
+        } else {
+            zero
+        };
+        let nan_bit = if j < lane_lo {
+            zero
+        } else {
+            // Propagate the first NaN operand, quieted; an invalid
+            // operation without NaN operands yields the canonical qNaN.
+            let a_q = if j == frac_msb { one } else { a[j] };
+            let b_q = if j == frac_msb { one } else { b[j] };
+            let prop = n.mux2(cls.a_nan, b_q, a_q);
+            let qnan_bit = if (j >= exp.0 && j <= exp.1) || j == frac_msb {
+                one
+            } else {
+                zero
+            };
+            n.mux2(cls.any_nan, qnan_bit, prop)
+        };
+        let t = n.mux2(zero_like, normal_bit, zero_bit);
+        let t = n.mux2(inf_like, t, inf_bit);
+        let t = n.mux2(is_nan_out, t, nan_bit);
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Format, Operation};
+    use crate::functional::FunctionalUnit;
+    use mfm_gatesim::{Simulator, TechLibrary};
+
+    fn rng(n: usize) -> Vec<u64> {
+        let mut s = 0x0123_4567_89AB_CDEFu64;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                s
+            })
+            .collect()
+    }
+
+    /// Drives the combinational unit with an operation and reads back the
+    /// result.
+    fn run(
+        sim: &mut Simulator<'_>,
+        u: &StructuralPorts,
+        op: Operation,
+    ) -> (u64, u64, u64) {
+        sim.set_bus(&u.frmt, op.format.encoding() as u128);
+        sim.set_bus(&u.xa, op.xa as u128);
+        sim.set_bus(&u.yb, op.yb as u128);
+        sim.settle();
+        (
+            sim.read_bus(&u.ph) as u64,
+            sim.read_bus(&u.pl) as u64,
+            sim.read_bus(&u.flags) as u64,
+        )
+    }
+
+    fn functional_flags(r: &crate::format::MultResult) -> u64 {
+        let enc = |f: mfm_softfloat::Flags| -> u64 {
+            (f.invalid() as u64) | ((f.overflow() as u64) << 1) | ((f.underflow() as u64) << 2)
+        };
+        enc(r.flags_lo) | (enc(r.flags_hi) << 3)
+    }
+
+    #[test]
+    fn structural_matches_functional_all_formats() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit(&mut n);
+        n.check().unwrap();
+        let mut sim = Simulator::new(&n);
+        let func = FunctionalUnit::new();
+
+        let words = rng(160);
+        for w in words.chunks(2) {
+            let (a, b) = (w[0], w[1]);
+            for op in [
+                Operation::int64(a, b),
+                Operation::binary64(a, b),
+                Operation {
+                    format: Format::DualBinary32,
+                    xa: a,
+                    yb: b,
+                },
+            ] {
+                let want = func.execute(op);
+                let (ph, pl, flags) = run(&mut sim, &u, op);
+                assert_eq!(ph, want.ph, "{op:?} PH");
+                if op.format == Format::Int64 {
+                    assert_eq!(pl, want.pl, "{op:?} PL");
+                }
+                assert_eq!(flags, functional_flags(&want), "{op:?} flags");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_handles_directed_fp_corners() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit(&mut n);
+        let mut sim = Simulator::new(&n);
+        let func = FunctionalUnit::new();
+
+        let b64_cases: Vec<(f64, f64)> = vec![
+            (1.5, 2.25),
+            (-3.0, 7.0),
+            (0.0, -5.0),
+            (f64::INFINITY, 2.0),
+            (f64::INFINITY, 0.0),
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (1e300, 1e300),
+            (1e-300, 1e-300),
+            (f64::MIN_POSITIVE, 0.5),
+            (f64::from_bits(1), 2.0), // subnormal operand
+        ];
+        for (a, b) in b64_cases {
+            let op = Operation::binary64_from_f64(a, b);
+            let want = func.execute(op);
+            let (ph, _, flags) = run(&mut sim, &u, op);
+            assert_eq!(ph, want.ph, "{a} × {b}");
+            assert_eq!(flags, functional_flags(&want), "{a} × {b} flags");
+        }
+
+        let b32_cases: Vec<(f32, f32, f32, f32)> = vec![
+            (1.5, 2.0, -3.0, 0.5),
+            (1e20, 1e20, 1e-30, 1e-30),
+            (f32::NAN, 1.0, f32::INFINITY, 0.0),
+            (0.0, -0.0, -1.0, 1.0),
+            (f32::MAX, 2.0, f32::MIN_POSITIVE, 0.5),
+        ];
+        for (x, y, w, z) in b32_cases {
+            let op = Operation::dual_binary32_from_f32(x, y, w, z);
+            let want = func.execute(op);
+            let (ph, _, flags) = run(&mut sim, &u, op);
+            assert_eq!(ph, want.ph, "({x}×{y}, {w}×{z})");
+            assert_eq!(flags, functional_flags(&want), "({x}×{y}, {w}×{z}) flags");
+        }
+    }
+
+    #[test]
+    fn structural_quad_binary16_matches_functional() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit_quad(&mut n);
+        let mut sim = Simulator::new(&n);
+        let func = FunctionalUnit::new();
+
+        // Random encodings (covering NaN/Inf/zero/subnormal patterns) plus
+        // directed normal cases.
+        let mut cases: Vec<([u16; 4], [u16; 4])> = vec![
+            ([0x3C00; 4], [0x4000; 4]), // 1.0 × 2.0 per lane
+            (
+                [0x3E00, 0xC200, 0x0001, 0x7C00],
+                [0x4000, 0x3C00, 0x3C00, 0x0000],
+            ), // 1.5×2, -3×1, subnormal×1, inf×0
+            ([0x7BFF; 4], [0x7BFF; 4]), // max × max → overflow
+        ];
+        for w in rng(40).chunks(2) {
+            let x = [
+                w[0] as u16,
+                (w[0] >> 16) as u16,
+                (w[0] >> 32) as u16,
+                (w[0] >> 48) as u16,
+            ];
+            let y = [
+                w[1] as u16,
+                (w[1] >> 16) as u16,
+                (w[1] >> 32) as u16,
+                (w[1] >> 48) as u16,
+            ];
+            cases.push((x, y));
+        }
+        for (x, y) in cases {
+            let op = Operation::quad_binary16(x, y);
+            let want = func.execute(op);
+            sim.set_bus(&u.frmt, 3);
+            sim.set_bus(&u.xa, op.xa as u128);
+            sim.set_bus(&u.yb, op.yb as u128);
+            sim.settle();
+            assert_eq!(
+                sim.read_bus(&u.ph) as u64,
+                want.ph,
+                "quad {x:?} × {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quad_mode_does_not_disturb_other_formats() {
+        // Interleave quad and dual/int operations on the same netlist.
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit_quad(&mut n);
+        let mut sim = Simulator::new(&n);
+        let func = FunctionalUnit::new();
+        for w in rng(24).chunks(2) {
+            for op in [
+                Operation::quad_binary16(
+                    [w[0] as u16, 0x3C00, 0x4200, (w[0] >> 48) as u16],
+                    [w[1] as u16, 0x3555, 0x4100, (w[1] >> 48) as u16],
+                ),
+                Operation::int64(w[0], w[1]),
+                Operation {
+                    format: Format::DualBinary32,
+                    xa: w[0],
+                    yb: w[1],
+                },
+            ] {
+                let want = func.execute(op);
+                sim.set_bus(&u.frmt, op.format.encoding() as u128);
+                sim.set_bus(&u.xa, op.xa as u128);
+                sim.set_bus(&u.yb, op.yb as u128);
+                sim.settle();
+                assert_eq!(sim.read_bus(&u.ph) as u64, want.ph, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn int64_uses_both_output_ports() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit(&mut n);
+        let mut sim = Simulator::new(&n);
+        let (ph, pl, _) = run(&mut sim, &u, Operation::int64(u64::MAX, u64::MAX));
+        let p = ((ph as u128) << 64) | pl as u128;
+        assert_eq!(p, (u64::MAX as u128) * (u64::MAX as u128));
+    }
+
+    #[test]
+    fn fp_formats_zero_the_low_port() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit(&mut n);
+        let mut sim = Simulator::new(&n);
+        let (_, pl, _) = run(&mut sim, &u, Operation::binary64_from_f64(1.5, 2.5));
+        assert_eq!(pl, 0, "PL is not used for FP formats");
+    }
+}

@@ -1,0 +1,30 @@
+//! Evaluation kit for the SOCC'17 multi-format multiplier reproduction:
+//! operand workloads, Monte-Carlo power measurement and one module per
+//! table/figure of the paper's evaluation.
+//!
+//! - [`workload`] — pseudo-random operand generators per format (the
+//!   paper's "Monte Carlo simulation by generating pseudo-random input
+//!   patterns"), plus generators for reducible binary64 values (Sec. IV).
+//! - [`montecarlo`] — drives a gate-level netlist with a workload and
+//!   derives a [`mfm_gatesim::PowerBreakdown`].
+//! - [`experiments`] — regenerates every table: each function returns a
+//!   serializable report struct with a `Display` that prints the same
+//!   rows the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use mfm_evalkit::workload::OperandGen;
+//! use mfmult::Format;
+//!
+//! let mut gen = OperandGen::new(42);
+//! let op = gen.operation(Format::Binary64);
+//! assert_eq!(op.format, Format::Binary64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod montecarlo;
+pub mod workload;

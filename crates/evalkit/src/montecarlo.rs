@@ -1,0 +1,158 @@
+//! Monte-Carlo power measurement: drive a netlist with a workload and
+//! derive activity-based power figures.
+
+use crate::workload::OperandGen;
+use mfm_arith::MultiplierPorts;
+use mfm_gatesim::{Netlist, PowerBreakdown, PowerEstimator, Simulator};
+use mfmult::{Format, StructuralPorts};
+
+/// Measures a combinational 64×64 multiplier: applies `vectors` uniform
+/// random operand pairs and counts switched energy per vector.
+pub fn measure_multiplier_combinational(
+    netlist: &Netlist,
+    ports: &MultiplierPorts,
+    vectors: usize,
+    seed: u64,
+) -> PowerBreakdown {
+    assert_eq!(ports.latency, 0, "use measure_multiplier_pipelined");
+    let mut gen = OperandGen::new(seed);
+    let mut sim = Simulator::new(netlist);
+    // One warm-up vector so the first measured transition set is typical.
+    let (x, y) = gen.int64_pair();
+    sim.set_bus(&ports.x, x as u128);
+    sim.set_bus(&ports.y, y as u128);
+    sim.settle();
+    sim.reset_activity();
+    for _ in 0..vectors {
+        let (x, y) = gen.int64_pair();
+        sim.set_bus(&ports.x, x as u128);
+        sim.set_bus(&ports.y, y as u128);
+        sim.settle();
+    }
+    PowerEstimator::from_activity(netlist, &sim, vectors as u64)
+}
+
+/// Measures a pipelined 64×64 multiplier: issues one operation per cycle
+/// for `cycles` cycles (after a pipeline-depth warm-up).
+pub fn measure_multiplier_pipelined(
+    netlist: &Netlist,
+    ports: &MultiplierPorts,
+    cycles: usize,
+    seed: u64,
+) -> PowerBreakdown {
+    assert!(ports.latency > 0, "use measure_multiplier_combinational");
+    let mut gen = OperandGen::new(seed);
+    let mut sim = Simulator::new(netlist);
+    for _ in 0..ports.latency {
+        let (x, y) = gen.int64_pair();
+        sim.step_cycle(&[(&ports.x, x as u128), (&ports.y, y as u128)]);
+    }
+    sim.reset_activity();
+    for _ in 0..cycles {
+        let (x, y) = gen.int64_pair();
+        sim.step_cycle(&[(&ports.x, x as u128), (&ports.y, y as u128)]);
+    }
+    PowerEstimator::from_activity(netlist, &sim, sim.cycles())
+}
+
+/// Measures the multi-format unit in one format: issues one operation per
+/// cycle (pipelined) or one vector per step (combinational).
+pub fn measure_unit(
+    netlist: &Netlist,
+    ports: &StructuralPorts,
+    format: Format,
+    ops: usize,
+    seed: u64,
+) -> PowerBreakdown {
+    let mut gen = OperandGen::new(seed);
+    let mut sim = Simulator::new(netlist);
+    let frmt = format.encoding() as u128;
+    if ports.latency > 0 {
+        for _ in 0..ports.latency {
+            let op = gen.operation(format);
+            sim.step_cycle(&[
+                (&ports.frmt, frmt),
+                (&ports.xa, op.xa as u128),
+                (&ports.yb, op.yb as u128),
+            ]);
+        }
+        sim.reset_activity();
+        for _ in 0..ops {
+            let op = gen.operation(format);
+            sim.step_cycle(&[
+                (&ports.frmt, frmt),
+                (&ports.xa, op.xa as u128),
+                (&ports.yb, op.yb as u128),
+            ]);
+        }
+        PowerEstimator::from_activity(netlist, &sim, sim.cycles())
+    } else {
+        let op = gen.operation(format);
+        sim.set_bus(&ports.frmt, frmt);
+        sim.set_bus(&ports.xa, op.xa as u128);
+        sim.set_bus(&ports.yb, op.yb as u128);
+        sim.settle();
+        sim.reset_activity();
+        for _ in 0..ops {
+            let op = gen.operation(format);
+            sim.set_bus(&ports.xa, op.xa as u128);
+            sim.set_bus(&ports.yb, op.yb as u128);
+            sim.settle();
+        }
+        PowerEstimator::from_activity(netlist, &sim, ops as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_arith::{build_multiplier, MultiplierConfig};
+    use mfm_gatesim::TechLibrary;
+    use mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
+    use mfmult::structural::build_unit;
+
+    #[test]
+    fn combinational_measurement_is_reproducible() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_multiplier(&mut n, MultiplierConfig::radix16());
+        let p1 = measure_multiplier_combinational(&n, &ports, 10, 99);
+        let p2 = measure_multiplier_combinational(&n, &ports, 10, 99);
+        assert_eq!(p1.dynamic_pj_per_op, p2.dynamic_pj_per_op);
+        assert!(p1.dynamic_pj_per_op > 0.0);
+    }
+
+    #[test]
+    fn pipelined_measurement_includes_clock_energy() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_multiplier(&mut n, MultiplierConfig::radix16().pipelined());
+        let p = measure_multiplier_pipelined(&n, &ports, 10, 7);
+        assert!(p.clock_pj_per_op > 0.0);
+        assert!(p.dynamic_pj_per_op > 0.0);
+    }
+
+    #[test]
+    fn unit_formats_order_by_activity() {
+        // int64 exercises the full 64×64 array; binary64 only 53×53 of it;
+        // the binary32 formats even less. The energy ordering is the core
+        // of the paper's Table V.
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit(&mut n);
+        let e_int = measure_unit(&n, &u, Format::Int64, 30, 5).energy_pj_per_op();
+        let e_b64 = measure_unit(&n, &u, Format::Binary64, 30, 5).energy_pj_per_op();
+        let e_single = measure_unit(&n, &u, Format::SingleBinary32, 30, 5).energy_pj_per_op();
+        assert!(e_int > e_b64, "int64 {e_int:.1} pJ ≤ binary64 {e_b64:.1} pJ");
+        assert!(
+            e_b64 > e_single,
+            "binary64 {e_b64:.1} pJ ≤ single b32 {e_single:.1} pJ"
+        );
+    }
+
+    #[test]
+    fn pipelined_unit_measurement_runs() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+        let p = measure_unit(&n, &u, Format::DualBinary32, 10, 11);
+        assert!(p.energy_pj_per_op() > 0.0);
+        assert_eq!(p.ops, 10);
+    }
+}

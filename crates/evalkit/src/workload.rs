@@ -1,0 +1,249 @@
+//! Pseudo-random operand generation per format.
+//!
+//! The paper estimates power with "pseudo-random input patterns". For the
+//! integer format that is uniform 64-bit words; for the floating-point
+//! formats this module generates *valid finite normal* operands whose
+//! exponents are drawn from a window around the bias so products neither
+//! overflow nor underflow (overflow/underflow bypass logic would otherwise
+//! idle large parts of the datapath and skew the power numbers).
+
+use mfmult::{Format, Operation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic operand generator (seeded, reproducible).
+#[derive(Debug)]
+pub struct OperandGen {
+    rng: StdRng,
+}
+
+impl OperandGen {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        OperandGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform 64-bit unsigned pair.
+    pub fn int64_pair(&mut self) -> (u64, u64) {
+        (self.rng.gen(), self.rng.gen())
+    }
+
+    /// A finite normal binary64 encoding with exponent within
+    /// `bias ± spread`.
+    pub fn b64_normal(&mut self, spread: i64) -> u64 {
+        let sign: u64 = self.rng.gen_range(0..2);
+        let exp = (1023 + self.rng.gen_range(-spread..=spread)) as u64;
+        let frac: u64 = self.rng.gen::<u64>() & ((1 << 52) - 1);
+        (sign << 63) | (exp << 52) | frac
+    }
+
+    /// A finite normal binary32 encoding with exponent within
+    /// `bias ± spread`.
+    pub fn b32_normal(&mut self, spread: i64) -> u32 {
+        let sign: u32 = self.rng.gen_range(0..2);
+        let exp = (127 + self.rng.gen_range(-spread..=spread)) as u32;
+        let frac: u32 = self.rng.gen::<u32>() & ((1 << 23) - 1);
+        (sign << 31) | (exp << 23) | frac
+    }
+
+    /// A random operation of the given format with valid operands.
+    pub fn operation(&mut self, format: Format) -> Operation {
+        match format {
+            Format::Int64 => {
+                let (x, y) = self.int64_pair();
+                Operation::int64(x, y)
+            }
+            Format::Binary64 => {
+                Operation::binary64(self.b64_normal(400), self.b64_normal(400))
+            }
+            Format::DualBinary32 => Operation::dual_binary32(
+                self.b32_normal(40),
+                self.b32_normal(40),
+                self.b32_normal(40),
+                self.b32_normal(40),
+            ),
+            Format::SingleBinary32 => {
+                Operation::single_binary32(self.b32_normal(40), self.b32_normal(40))
+            }
+            Format::QuadBinary16 => Operation::quad_binary16(
+                [
+                    self.b16_normal(4),
+                    self.b16_normal(4),
+                    self.b16_normal(4),
+                    self.b16_normal(4),
+                ],
+                [
+                    self.b16_normal(4),
+                    self.b16_normal(4),
+                    self.b16_normal(4),
+                    self.b16_normal(4),
+                ],
+            ),
+        }
+    }
+
+    /// A finite normal binary16 encoding with exponent within
+    /// `bias ± spread`.
+    pub fn b16_normal(&mut self, spread: i64) -> u16 {
+        let sign: u16 = self.rng.gen_range(0..2);
+        let exp = (15 + self.rng.gen_range(-spread..=spread)) as u16;
+        let frac: u16 = self.rng.gen::<u16>() & ((1 << 10) - 1);
+        (sign << 15) | (exp << 10) | frac
+    }
+
+    /// Advances a correlated operand pair: each bit of each word flips
+    /// with probability `p_flip` between consecutive vectors. `p_flip =
+    /// 0.5` is the uncorrelated (maximum-activity) case; small values
+    /// model slowly varying operands. Used by the activity-sweep ablation.
+    pub fn correlated_step(&mut self, state: &mut (u64, u64), p_flip: f64) -> (u64, u64) {
+        let flip_word = |rng: &mut StdRng| -> u64 {
+            let mut m = 0u64;
+            for i in 0..64 {
+                if rng.gen::<f64>() < p_flip {
+                    m |= 1 << i;
+                }
+            }
+            m
+        };
+        state.0 ^= flip_word(&mut self.rng);
+        state.1 ^= flip_word(&mut self.rng);
+        *state
+    }
+
+    /// A binary64 value guaranteed reducible by Algorithm 1: exponent in
+    /// `(896, 1151)` and the 29 significand LSBs zero.
+    pub fn reducible_b64(&mut self) -> u64 {
+        let sign: u64 = self.rng.gen_range(0..2);
+        let exp: u64 = self.rng.gen_range(897..1151);
+        let frac: u64 = (self.rng.gen::<u64>() & ((1 << 52) - 1)) & !((1 << 29) - 1);
+        (sign << 63) | (exp << 52) | frac
+    }
+
+    /// A binary64 that is *representable in binary32 with probability
+    /// `p_reducible`* — models a workload where a fraction of doubles fit
+    /// single precision (the paper's motivation for Sec. IV).
+    pub fn mixed_b64(&mut self, p_reducible: f64) -> u64 {
+        if self.rng.gen::<f64>() < p_reducible {
+            self.reducible_b64()
+        } else {
+            self.b64_normal(600)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_softfloat::convert::reduce_b64_to_b32;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = OperandGen::new(7);
+        let mut b = OperandGen::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.int64_pair(), b.int64_pair());
+        }
+    }
+
+    #[test]
+    fn b64_normals_are_finite_normal() {
+        let mut g = OperandGen::new(1);
+        for _ in 0..200 {
+            let x = f64::from_bits(g.b64_normal(400));
+            assert!(x.is_finite() && x != 0.0 && !x.is_subnormal());
+        }
+    }
+
+    #[test]
+    fn b32_normals_are_finite_normal() {
+        let mut g = OperandGen::new(2);
+        for _ in 0..200 {
+            let x = f32::from_bits(g.b32_normal(40));
+            assert!(x.is_finite() && x != 0.0 && !x.is_subnormal());
+        }
+    }
+
+    #[test]
+    fn b64_products_rarely_leave_range() {
+        // The spread is chosen so products of two operands stay normal.
+        let mut g = OperandGen::new(3);
+        let mut bad = 0;
+        for _ in 0..500 {
+            let a = f64::from_bits(g.b64_normal(400));
+            let b = f64::from_bits(g.b64_normal(400));
+            let p = a * b;
+            if !p.is_finite() || p == 0.0 || p.is_subnormal() {
+                bad += 1;
+            }
+        }
+        assert!(bad < 25, "{bad}/500 products left the normal range");
+    }
+
+    #[test]
+    fn reducible_values_reduce() {
+        let mut g = OperandGen::new(4);
+        for _ in 0..200 {
+            let bits = g.reducible_b64();
+            assert!(reduce_b64_to_b32(bits).is_some(), "{bits:#x}");
+        }
+    }
+
+    #[test]
+    fn mixed_ratio_roughly_holds() {
+        let mut g = OperandGen::new(5);
+        let n = 1000;
+        let reducible = (0..n)
+            .filter(|_| reduce_b64_to_b32(g.mixed_b64(0.5)).is_some())
+            .count();
+        assert!(
+            (350..=650).contains(&reducible),
+            "expected ≈50% reducible, got {reducible}/1000"
+        );
+    }
+
+    #[test]
+    fn operations_have_requested_format() {
+        let mut g = OperandGen::new(6);
+        for f in Format::ALL {
+            assert_eq!(g.operation(f).format, f);
+        }
+        // Single-lane ops keep the upper operands zero.
+        let op = g.operation(Format::SingleBinary32);
+        assert_eq!(op.xa >> 32, 0);
+        // Quad operands are four valid normal binary16 encodings.
+        let op = g.operation(Format::QuadBinary16);
+        assert_eq!(op.format, Format::QuadBinary16);
+        for k in 0..4 {
+            let e = (op.xa >> (16 * k + 10)) & 0x1F;
+            assert!(e > 0 && e < 31, "lane {k} exponent {e}");
+        }
+    }
+
+    #[test]
+    fn b16_normals_are_finite_normal() {
+        let mut g = OperandGen::new(8);
+        for _ in 0..200 {
+            let enc = g.b16_normal(4);
+            let e = (enc >> 10) & 0x1F;
+            assert!(e > 0 && e < 31);
+        }
+    }
+
+    #[test]
+    fn correlated_steps_flip_expected_fraction() {
+        let mut g = OperandGen::new(9);
+        let mut state = (0u64, 0u64);
+        let mut flips = 0u32;
+        let n = 200;
+        let mut prev = state;
+        for _ in 0..n {
+            let (x, y) = g.correlated_step(&mut state, 0.25);
+            flips += (x ^ prev.0).count_ones() + (y ^ prev.1).count_ones();
+            prev = (x, y);
+        }
+        let rate = flips as f64 / (n as f64 * 128.0);
+        assert!((0.2..0.3).contains(&rate), "flip rate {rate}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Activity-based power estimation.
+//!
+//! Dynamic energy is `Σ_cells toggles(output) × E_sw(kind)`; for sequential
+//! netlists every DFF additionally draws its internal clock energy each
+//! cycle. Leakage is proportional to area. Power at a frequency `f` is
+//! `E_per_op × f + P_leak`, mirroring the paper's methodology of estimating
+//! at 100 MHz and scaling linearly ("to have an easily scalable value to
+//! any frequency").
+
+use crate::netlist::Netlist;
+use crate::sim::Simulator;
+use crate::tech::CellKind;
+use std::collections::HashMap;
+
+/// Energy and power figures derived from one activity measurement.
+#[derive(Debug, Clone)]
+pub struct PowerBreakdown {
+    /// Number of operations (input vectors or clock cycles) measured.
+    pub ops: u64,
+    /// Average switched energy per operation, in picojoules (data activity).
+    pub dynamic_pj_per_op: f64,
+    /// Average clock-tree/register energy per cycle, in picojoules.
+    pub clock_pj_per_op: f64,
+    /// Leakage power in milliwatts (frequency independent).
+    pub leakage_mw: f64,
+    /// Per-top-level-block dynamic energy, `(name, pJ/op)`, sorted by name.
+    pub per_block_pj: Vec<(String, f64)>,
+    /// Per-cell-kind dynamic energy, pJ/op.
+    pub per_kind_pj: Vec<(CellKind, f64)>,
+    /// Total committed transitions per op (a glitching metric).
+    pub transitions_per_op: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in milliwatts at the given clock frequency.
+    ///
+    /// One operation is assumed per clock cycle, as in the paper.
+    pub fn total_mw_at(&self, freq_mhz: f64) -> f64 {
+        // pJ/op × ops/s = pJ × 1e6 × MHz / s = µW × MHz → mW needs /1e3.
+        (self.dynamic_pj_per_op + self.clock_pj_per_op) * freq_mhz * 1e-3 + self.leakage_mw
+    }
+
+    /// Dynamic-only power in milliwatts at the given frequency.
+    pub fn dynamic_mw_at(&self, freq_mhz: f64) -> f64 {
+        (self.dynamic_pj_per_op + self.clock_pj_per_op) * freq_mhz * 1e-3
+    }
+
+    /// Energy per operation in picojoules (dynamic + clock).
+    pub fn energy_pj_per_op(&self) -> f64 {
+        self.dynamic_pj_per_op + self.clock_pj_per_op
+    }
+}
+
+/// Computes power figures from a simulator's accumulated activity.
+#[derive(Debug)]
+pub struct PowerEstimator;
+
+impl PowerEstimator {
+    /// Derives a [`PowerBreakdown`] from the activity recorded in `sim`.
+    ///
+    /// `ops` is the number of operations the activity corresponds to: the
+    /// number of input vectors for a combinational run, or the number of
+    /// clock cycles for a sequential run (pass `sim.cycles()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops == 0`.
+    pub fn from_activity(netlist: &Netlist, sim: &Simulator<'_>, ops: u64) -> PowerBreakdown {
+        assert!(ops > 0, "power estimation needs at least one operation");
+        let tech = netlist.tech();
+        let toggles = sim.toggles();
+
+        let mut total_fj = 0.0f64;
+        let mut per_block: HashMap<&str, f64> = HashMap::new();
+        let mut per_kind: HashMap<CellKind, f64> = HashMap::new();
+        for cell in netlist.cells() {
+            // Self (internal + output) energy per output transition.
+            let t = toggles[cell.output.index()] as f64;
+            let mut e = t * tech.params(cell.kind).energy_fj;
+            // Input-pin energy: every transition of a driving net charges
+            // this cell's gate capacitance — the fanout-load component of
+            // dynamic power.
+            let in_fj = tech.params(cell.kind).input_fj;
+            for &inp in &cell.inputs[..cell.kind.arity()] {
+                e += toggles[inp.index()] as f64 * in_fj;
+            }
+            if e == 0.0 {
+                continue;
+            }
+            total_fj += e;
+            *per_block
+                .entry(netlist.top_level_block_name(cell.block))
+                .or_insert(0.0) += e;
+            *per_kind.entry(cell.kind).or_insert(0.0) += e;
+        }
+
+        let clock_fj = sim.cycles() as f64 * netlist.dff_count() as f64 * tech.dff_clock_energy_fj;
+
+        let mut per_block_pj: Vec<(String, f64)> = per_block
+            .into_iter()
+            .map(|(k, fj)| (k.to_owned(), fj / 1000.0 / ops as f64))
+            .collect();
+        per_block_pj.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut per_kind_pj: Vec<(CellKind, f64)> = per_kind
+            .into_iter()
+            .map(|(k, fj)| (k, fj / 1000.0 / ops as f64))
+            .collect();
+        per_kind_pj.sort_by_key(|(k, _)| format!("{k:?}"));
+
+        PowerBreakdown {
+            ops,
+            dynamic_pj_per_op: total_fj / 1000.0 / ops as f64,
+            clock_pj_per_op: clock_fj / 1000.0 / ops as f64,
+            leakage_mw: netlist.area_um2() * tech.leakage_nw_per_um2 * 1e-6,
+            per_block_pj,
+            per_kind_pj,
+            transitions_per_op: sim.total_events() as f64 / ops as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::tech::TechLibrary;
+
+    #[test]
+    fn energy_scales_with_toggles() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input("a");
+        let y = n.not(a);
+        n.output_bus("y", &[y]);
+        let mut sim = Simulator::new(&n);
+        // Toggle the input 10 times → the inverter output toggles 10 times.
+        for i in 0..10 {
+            sim.set_net(a, i % 2 == 0);
+            sim.settle();
+        }
+        let p = PowerEstimator::from_activity(&n, &sim, 10);
+        let params = n.tech().params(crate::tech::CellKind::Inv);
+        // 10 output toggles × self energy + 10 input toggles × pin energy.
+        let expect_pj = 10.0 * (params.energy_fj + params.input_fj) / 1000.0 / 10.0;
+        assert!((p.dynamic_pj_per_op - expect_pj).abs() < 1e-12);
+        assert_eq!(p.clock_pj_per_op, 0.0, "no DFFs, no clock energy");
+        assert!(p.leakage_mw > 0.0);
+    }
+
+    #[test]
+    fn clock_energy_charged_per_cycle() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let d = n.input("d");
+        let q = n.dff(d);
+        n.output_bus("q", &[q]);
+        let mut sim = Simulator::new(&n);
+        for _ in 0..5 {
+            sim.step_cycle(&[(&[d], 0)]);
+        }
+        let p = PowerEstimator::from_activity(&n, &sim, sim.cycles());
+        assert_eq!(p.ops, 5);
+        // Data never changes; only clock energy is drawn.
+        assert_eq!(p.dynamic_pj_per_op, 0.0);
+        let expect = n.tech().dff_clock_energy_fj / 1000.0;
+        assert!((p.clock_pj_per_op - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_frequency() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.xor2(a, b);
+        n.output_bus("y", &[y]);
+        let mut sim = Simulator::new(&n);
+        for i in 0..4u128 {
+            sim.set_bus(&[a, b], i);
+            sim.settle();
+        }
+        let p = PowerEstimator::from_activity(&n, &sim, 4);
+        let p100 = p.dynamic_mw_at(100.0);
+        let p880 = p.dynamic_mw_at(880.0);
+        assert!((p880 / p100 - 8.8).abs() < 1e-9);
+        assert!(p.total_mw_at(100.0) > p100, "leakage adds on top");
+    }
+
+    #[test]
+    fn per_block_attribution_sums_to_total() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.in_block("A", |n| n.xor2(a, b));
+        let y = n.in_block("B", |n| n.and2(x, a));
+        n.output_bus("y", &[y]);
+        let mut sim = Simulator::new(&n);
+        for i in 0..8u128 {
+            sim.set_bus(&[a, b], i % 4);
+            sim.settle();
+        }
+        let p = PowerEstimator::from_activity(&n, &sim, 8);
+        let sum: f64 = p.per_block_pj.iter().map(|(_, e)| e).sum();
+        assert!((sum - p.dynamic_pj_per_op).abs() < 1e-12);
+    }
+}

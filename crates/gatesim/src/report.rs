@@ -1,0 +1,115 @@
+//! Fixed-width text tables for the benchmark binaries.
+//!
+//! The table/figure regeneration binaries print their results in the same
+//! tabular form the paper uses; this module is the tiny formatter they
+//! share.
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// use mfm_gatesim::report::Table;
+///
+/// let mut t = Table::new(&["format", "power [mW]"]);
+/// t.row(&["int64", "8.90"]);
+/// t.row(&["binary64", "7.20"]);
+/// let s = t.to_string();
+/// assert!(s.contains("int64"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < w.len() {
+                    w[i] = w[i].max(cell.len());
+                } else {
+                    w.push(cell.len());
+                }
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let sep: String = w
+            .iter()
+            .map(|&n| "-".repeat(n + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            w.iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                    format!(" {cell:<n$} ")
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "y"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-' || c == '+'));
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1", "2"]);
+        t.row(&[]);
+        let s = t.to_string();
+        assert!(s.contains('1') && s.contains('2'));
+    }
+}

@@ -1,0 +1,451 @@
+//! Static timing analysis: longest combinational paths, per-block
+//! decomposition and minimum clock period.
+//!
+//! Arrival times are propagated in topological order. Sources are primary
+//! inputs (arrival 0) and DFF outputs (arrival = clk→q). Sinks are DFF D
+//! pins (which add the setup time to the required period) and primary
+//! output nets. The critical path is traced back through the argmax input
+//! of every cell and reported as *segments* — consecutive runs of cells in
+//! the same top-level block — which is exactly how the paper's Table I/II
+//! decompose their critical paths (pre-comp | PPGEN | TREE | CPA).
+
+use crate::netlist::{CellId, Driver, NetId, Netlist};
+use crate::tech::CellKind;
+
+/// One run of consecutive critical-path cells within a top-level block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// Top-level block name.
+    pub block: String,
+    /// Delay contributed by this segment, in picoseconds.
+    pub delay_ps: f64,
+    /// Number of cells in this segment.
+    pub cells: usize,
+}
+
+/// The result of a timing analysis.
+#[derive(Debug, Clone)]
+pub struct StaReport {
+    /// Longest combinational delay from any source to any net, in ps.
+    pub critical_delay_ps: f64,
+    /// Cells on the critical path, source to sink.
+    pub critical_path: Vec<CellId>,
+    /// Critical path decomposed into per-block segments, in path order.
+    pub segments: Vec<PathSegment>,
+    /// Minimum clock period in ps: the worst of (arrival at a DFF D pin +
+    /// setup) and (arrival at a primary output). Equals
+    /// `critical_delay_ps` for purely combinational netlists.
+    pub min_period_ps: f64,
+    /// Longest delay of each path class, in ps:
+    /// input→output, input→register, register→register, register→output.
+    /// `None` when the class has no path.
+    pub class_delays: PathClassDelays,
+}
+
+/// Longest delay per path class (all in picoseconds, setup not included).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PathClassDelays {
+    /// Primary input → primary output.
+    pub in_to_out: Option<f64>,
+    /// Primary input → DFF D pin.
+    pub in_to_reg: Option<f64>,
+    /// DFF Q → DFF D pin (includes clk→q).
+    pub reg_to_reg: Option<f64>,
+    /// DFF Q → primary output (includes clk→q).
+    pub reg_to_out: Option<f64>,
+}
+
+impl StaReport {
+    /// Maximum clock frequency in MHz implied by [`StaReport::min_period_ps`].
+    pub fn max_freq_mhz(&self) -> f64 {
+        1.0e6 / self.min_period_ps
+    }
+
+    /// Critical delay in FO4 units for the given FO4 delay.
+    pub fn critical_delay_fo4(&self, fo4_ps: f64) -> f64 {
+        self.critical_delay_ps / fo4_ps
+    }
+}
+
+/// Runs static timing analysis over a netlist.
+#[derive(Debug)]
+pub struct TimingAnalysis<'a> {
+    netlist: &'a Netlist,
+    /// Arrival time per net in ps (0 for unreached nets).
+    arrival: Vec<f64>,
+    /// Which source class reaches each net: bit0 = from input, bit1 = from register.
+    reach: Vec<u8>,
+    /// For tracing: the cell driving each net's worst arrival, if any.
+    worst_cell: Vec<Option<CellId>>,
+    /// For tracing: the input net responsible for the worst arrival.
+    worst_input: Vec<Option<NetId>>,
+}
+
+const FROM_INPUT: u8 = 1;
+const FROM_REG: u8 = 2;
+
+impl<'a> TimingAnalysis<'a> {
+    /// Analyzes the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a combinational cycle; validate with [`Netlist::check`]
+    /// first for a recoverable error.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let order = netlist
+            .topo_order()
+            .expect("TimingAnalysis requires an acyclic netlist");
+        let tech = netlist.tech();
+        let clk2q = tech.params(CellKind::Dff).delay_ps;
+
+        let mut arrival = vec![0.0f64; netlist.net_count()];
+        let mut reach = vec![0u8; netlist.net_count()];
+        let mut worst_cell: Vec<Option<CellId>> = vec![None; netlist.net_count()];
+        let mut worst_input: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+
+        for &net in netlist.inputs() {
+            reach[net.index()] = FROM_INPUT;
+        }
+        for (_, cell) in netlist.dffs() {
+            arrival[cell.output.index()] = clk2q;
+            reach[cell.output.index()] = FROM_REG;
+        }
+
+        for cell_id in order {
+            let cell = &netlist.cells()[cell_id.index()];
+            let d = tech.params(cell.kind).delay_ps;
+            let mut best = f64::NEG_INFINITY;
+            let mut best_in = cell.inputs[0];
+            let mut r = 0u8;
+            for &inp in &cell.inputs[..cell.kind.arity()] {
+                r |= reach[inp.index()];
+                if arrival[inp.index()] > best {
+                    best = arrival[inp.index()];
+                    best_in = inp;
+                }
+            }
+            let out = cell.output.index();
+            arrival[out] = best + d;
+            reach[out] = r;
+            worst_cell[out] = Some(cell_id);
+            worst_input[out] = Some(best_in);
+        }
+
+        TimingAnalysis {
+            netlist,
+            arrival,
+            reach,
+            worst_cell,
+            worst_input,
+        }
+    }
+
+    /// Arrival time of a net in ps.
+    pub fn arrival_ps(&self, net: NetId) -> f64 {
+        self.arrival[net.index()]
+    }
+
+    /// Builds the full report.
+    pub fn report(&self) -> StaReport {
+        let netlist = self.netlist;
+        let tech = netlist.tech();
+        let setup = tech.dff_setup_ps;
+
+        // Find the global worst net (critical path endpoint).
+        let mut worst_net: Option<NetId> = None;
+        let mut worst = 0.0f64;
+        // Endpoints: DFF D pins and primary outputs; fall back to all nets
+        // for netlists without declared outputs.
+        let mut endpoints: Vec<NetId> = Vec::new();
+        for (_, cell) in netlist.dffs() {
+            endpoints.push(cell.inputs[0]);
+        }
+        for (_, nets) in netlist.output_buses() {
+            endpoints.extend(nets.iter().copied());
+        }
+        if endpoints.is_empty() {
+            endpoints = (0..netlist.net_count() as u32).map(NetId).collect();
+        }
+        for &net in &endpoints {
+            if self.arrival[net.index()] > worst {
+                worst = self.arrival[net.index()];
+                worst_net = Some(net);
+            }
+        }
+
+        let critical_path = worst_net.map(|n| self.trace(n)).unwrap_or_default();
+        let segments = self.segment(&critical_path);
+
+        // Path classes and min period.
+        let mut class = PathClassDelays::default();
+        let upd = |slot: &mut Option<f64>, v: f64| {
+            if slot.is_none_or(|cur| v > cur) {
+                *slot = Some(v);
+            }
+        };
+        let mut min_period = 0.0f64;
+        for (_, cell) in netlist.dffs() {
+            let d_pin = cell.inputs[0];
+            let a = self.arrival[d_pin.index()];
+            let r = self.reach[d_pin.index()];
+            if r & FROM_INPUT != 0 {
+                upd(&mut class.in_to_reg, a);
+            }
+            if r & FROM_REG != 0 {
+                upd(&mut class.reg_to_reg, a);
+            }
+            if r == 0 {
+                // Constant-fed register: still needs setup.
+                upd(&mut class.in_to_reg, a);
+            }
+            min_period = min_period.max(a + setup);
+        }
+        for (_, nets) in netlist.output_buses() {
+            for &net in nets {
+                let a = self.arrival[net.index()];
+                let r = self.reach[net.index()];
+                if r & FROM_INPUT != 0 {
+                    upd(&mut class.in_to_out, a);
+                }
+                if r & FROM_REG != 0 {
+                    upd(&mut class.reg_to_out, a);
+                }
+                min_period = min_period.max(a);
+            }
+        }
+        if min_period == 0.0 {
+            min_period = worst;
+        }
+
+        StaReport {
+            critical_delay_ps: worst,
+            critical_path,
+            segments,
+            min_period_ps: min_period,
+            class_delays: class,
+        }
+    }
+
+    /// Per-cell timing slack against a target period: `required − arrival`
+    /// of each cell's output net. Required times are propagated backward
+    /// from DFF D pins (period − setup) and primary outputs (period).
+    /// Cells whose outputs reach no timing endpoint get `f64::INFINITY`.
+    pub fn cell_slacks(&self, period_ps: f64) -> Vec<f64> {
+        let netlist = self.netlist;
+        let tech = netlist.tech();
+        let mut required = vec![f64::INFINITY; netlist.net_count()];
+        for (_, cell) in netlist.dffs() {
+            let r = period_ps - tech.dff_setup_ps;
+            let d = cell.inputs[0].index();
+            required[d] = required[d].min(r);
+        }
+        for (_, nets) in netlist.output_buses() {
+            for &net in nets {
+                required[net.index()] = required[net.index()].min(period_ps);
+            }
+        }
+        let order = netlist.topo_order().expect("acyclic (checked in new)");
+        for &cell_id in order.iter().rev() {
+            let cell = &netlist.cells()[cell_id.index()];
+            let d = tech.params(cell.kind).delay_ps;
+            let r_out = required[cell.output.index()];
+            if r_out.is_finite() {
+                let r_in = r_out - d;
+                for &inp in &cell.inputs[..cell.kind.arity()] {
+                    let ri = &mut required[inp.index()];
+                    *ri = ri.min(r_in);
+                }
+            }
+        }
+        netlist
+            .cells()
+            .iter()
+            .map(|c| required[c.output.index()] - self.arrival[c.output.index()])
+            .collect()
+    }
+
+    /// Area with a first-order gate-sizing model: synthesis under a timing
+    /// constraint upsizes cells on near-critical paths. Cells are weighted
+    /// by slack relative to `period_ps`:
+    ///
+    /// | slack / period | weight |
+    /// |---|---|
+    /// | < 5 %  | 1.7 |
+    /// | < 15 % | 1.35 |
+    /// | < 30 % | 1.1 |
+    /// | else   | 1.0 |
+    ///
+    /// This approximates why the paper's radix-4 unit — whose large
+    /// reduction tree puts many more cells near the critical path — comes
+    /// out *larger* than radix-16 after synthesis even though its cell
+    /// count advantage per partial product is small.
+    pub fn sized_area_um2(&self, period_ps: f64) -> f64 {
+        let netlist = self.netlist;
+        let tech = netlist.tech();
+        let slacks = self.cell_slacks(period_ps);
+        netlist
+            .cells()
+            .iter()
+            .zip(&slacks)
+            .map(|(c, &s)| {
+                let rel = s / period_ps;
+                let w = if rel < 0.05 {
+                    1.7
+                } else if rel < 0.15 {
+                    1.35
+                } else if rel < 0.30 {
+                    1.1
+                } else {
+                    1.0
+                };
+                tech.params(c.kind).area_um2 * w
+            })
+            .sum()
+    }
+
+    /// Traces the critical path ending at `net`, source to sink.
+    fn trace(&self, net: NetId) -> Vec<CellId> {
+        let mut path = Vec::new();
+        let mut cur = net;
+        while let Some(cell_id) = self.worst_cell[cur.index()] {
+            path.push(cell_id);
+            match self.worst_input[cur.index()] {
+                Some(prev) => cur = prev,
+                None => break,
+            }
+            // Stop at DFF outputs (their `worst_cell` is None because DFFs
+            // are not in the combinational topo order).
+            if let Driver::Cell(c) = self.netlist.driver(cur) {
+                if self.netlist.cells()[c.index()].kind == CellKind::Dff {
+                    break;
+                }
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Collapses a path into per-top-level-block segments.
+    fn segment(&self, path: &[CellId]) -> Vec<PathSegment> {
+        let netlist = self.netlist;
+        let tech = netlist.tech();
+        let mut out: Vec<PathSegment> = Vec::new();
+        for &cell_id in path {
+            let cell = &netlist.cells()[cell_id.index()];
+            let block = netlist.top_level_block_name(cell.block).to_owned();
+            let d = tech.params(cell.kind).delay_ps;
+            match out.last_mut() {
+                Some(seg) if seg.block == block => {
+                    seg.delay_ps += d;
+                    seg.cells += 1;
+                }
+                _ => out.push(PathSegment {
+                    block,
+                    delay_ps: d,
+                    cells: 1,
+                }),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::tech::TechLibrary;
+
+    fn fresh() -> Netlist {
+        Netlist::new(TechLibrary::cmos45lp())
+    }
+
+    #[test]
+    fn chain_delay_adds_up() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let mut x = a;
+        for _ in 0..10 {
+            x = n.cell(CellKind::Inv, &[x]);
+        }
+        n.output_bus("y", &[x]);
+        let sta = TimingAnalysis::new(&n).report();
+        let inv = n.tech().params(CellKind::Inv).delay_ps;
+        assert!((sta.critical_delay_ps - 10.0 * inv).abs() < 1e-9);
+        assert_eq!(sta.critical_path.len(), 10);
+        assert_eq!(sta.segments.len(), 1);
+        assert_eq!(sta.segments[0].cells, 10);
+    }
+
+    #[test]
+    fn worst_of_two_paths_wins() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let b = n.input("b");
+        // Slow path: XOR chain; fast path: single NAND.
+        let mut slow = a;
+        for _ in 0..5 {
+            slow = n.cell(CellKind::Xor2, &[slow, b]);
+        }
+        let fast = n.nand2(a, b);
+        let y = n.and2(slow, fast);
+        n.output_bus("y", &[y]);
+        let sta = TimingAnalysis::new(&n).report();
+        let xor = n.tech().params(CellKind::Xor2).delay_ps;
+        let and = n.tech().params(CellKind::And2).delay_ps;
+        assert!((sta.critical_delay_ps - (5.0 * xor + and)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segments_follow_blocks() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let stage1 = n.in_block("STAGE1", |n| {
+            let x = n.cell(CellKind::Inv, &[a]);
+            n.cell(CellKind::Inv, &[x])
+        });
+        let out = n.in_block("STAGE2", |n| n.cell(CellKind::Inv, &[stage1]));
+        n.output_bus("y", &[out]);
+        let sta = TimingAnalysis::new(&n).report();
+        assert_eq!(sta.segments.len(), 2);
+        assert_eq!(sta.segments[0].block, "STAGE1");
+        assert_eq!(sta.segments[0].cells, 2);
+        assert_eq!(sta.segments[1].block, "STAGE2");
+    }
+
+    #[test]
+    fn min_period_includes_register_overhead() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let x = n.cell(CellKind::Xor2, &[a, a]); // not folded: raw cell
+        let q = n.dff(x);
+        let y = n.cell(CellKind::Xor2, &[q, q]);
+        let q2 = n.dff(y);
+        n.output_bus("y", &[q2]);
+        let sta = TimingAnalysis::new(&n).report();
+        let tech = n.tech();
+        let xor = tech.params(CellKind::Xor2).delay_ps;
+        let clk2q = tech.params(CellKind::Dff).delay_ps;
+        let setup = tech.dff_setup_ps;
+        // reg→reg path: clk2q + xor + setup; in→reg path: xor + setup.
+        let expect = (clk2q + xor + setup).max(xor + setup);
+        assert!((sta.min_period_ps - expect).abs() < 1e-9);
+        assert_eq!(sta.class_delays.reg_to_reg, Some(clk2q + xor));
+        assert_eq!(sta.class_delays.in_to_reg, Some(xor));
+        assert!(sta.max_freq_mhz() > 0.0);
+    }
+
+    #[test]
+    fn combinational_min_period_is_critical_delay() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let y = n.cell(CellKind::Inv, &[a]);
+        n.output_bus("y", &[y]);
+        let sta = TimingAnalysis::new(&n).report();
+        assert_eq!(sta.min_period_ps, sta.critical_delay_ps);
+        assert_eq!(
+            sta.class_delays.in_to_out,
+            Some(n.tech().params(CellKind::Inv).delay_ps)
+        );
+    }
+}

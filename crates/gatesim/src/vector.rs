@@ -1,0 +1,75 @@
+//! Bit-vector helpers for driving and reading buses.
+
+/// Converts a slice of bits (LSB first) to an integer.
+///
+/// # Panics
+///
+/// Panics if more than 128 bits are given.
+pub fn bits_to_u128(bits: &[bool]) -> u128 {
+    assert!(bits.len() <= 128);
+    bits.iter()
+        .enumerate()
+        .fold(0u128, |acc, (i, &b)| acc | ((b as u128) << i))
+}
+
+/// Converts the low `width` bits of `value` to a bit vector (LSB first).
+pub fn u128_to_bits(value: u128, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Sign-extends a `width`-bit two's-complement value held in a `u128` to
+/// an `i128`.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 128.
+pub fn sign_extend(value: u128, width: u32) -> i128 {
+    assert!(width >= 1 && width <= 128);
+    if width == 128 {
+        return value as i128;
+    }
+    let masked = value & ((1u128 << width) - 1);
+    let sign = 1u128 << (width - 1);
+    if masked & sign != 0 {
+        (masked as i128) - (1i128 << width)
+    } else {
+        masked as i128
+    }
+}
+
+/// Truncates an `i128` to a `width`-bit two's-complement pattern in a `u128`.
+pub fn truncate(value: i128, width: u32) -> u128 {
+    if width == 128 {
+        value as u128
+    } else {
+        (value as u128) & ((1u128 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let v = 0b1011_0010u128;
+        assert_eq!(bits_to_u128(&u128_to_bits(v, 8)), v);
+        assert_eq!(u128_to_bits(v, 4), vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0b1111, 4), -1);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+        assert_eq!(sign_extend(0b1000, 4), -8);
+        assert_eq!(sign_extend(u128::MAX, 128), -1);
+    }
+
+    #[test]
+    fn truncate_roundtrip() {
+        for v in [-8i128, -1, 0, 3, 7] {
+            assert_eq!(sign_extend(truncate(v, 4), 4), v);
+        }
+        assert_eq!(truncate(-1, 128), u128::MAX);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests of the event-driven simulator against a direct
+//! topological evaluation: whatever glitches occur (and however inertial
+//! cancellation filters them), the *settled* values must equal the pure
+//! combinational function of the inputs.
+
+use mfm_gatesim::{CellKind, NetId, Netlist, Simulator, TechLibrary};
+use proptest::prelude::*;
+
+/// Combinational cell kinds usable in random netlists.
+const KINDS: [CellKind; 15] = [
+    CellKind::Inv,
+    CellKind::Buf,
+    CellKind::Nand2,
+    CellKind::Nand3,
+    CellKind::Nor2,
+    CellKind::Nor3,
+    CellKind::And2,
+    CellKind::And3,
+    CellKind::Or2,
+    CellKind::Or3,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+    CellKind::Aoi21,
+    CellKind::Maj3,
+];
+
+/// Builds a random DAG netlist: cells only reference earlier nets, so
+/// instantiation order is a topological order.
+fn random_netlist(
+    n_inputs: usize,
+    cell_choices: &[(usize, usize, usize, usize, usize)],
+) -> (Netlist, Vec<NetId>, Vec<NetId>) {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let inputs = n.input_bus("in", n_inputs);
+    let mut nets: Vec<NetId> = inputs.clone();
+    for &(kind_idx, a, b, c, d) in cell_choices {
+        let kind = KINDS[kind_idx % KINDS.len()];
+        let pick = |i: usize| nets[i % nets.len()];
+        let ins: Vec<NetId> = (0..kind.arity())
+            .map(|slot| pick([a, b, c, d][slot]))
+            .collect();
+        let out = n.cell(kind, &ins);
+        nets.push(out);
+    }
+    let outputs: Vec<NetId> = nets.iter().rev().take(8).copied().collect();
+    n.output_bus("out", &outputs);
+    (n, inputs, outputs)
+}
+
+/// Evaluates the netlist directly in topological (creation) order.
+fn reference_eval(n: &Netlist, inputs: &[NetId], value: u64) -> Vec<bool> {
+    let mut vals = vec![false; n.net_count()];
+    vals[n.one().index()] = true;
+    for (i, net) in inputs.iter().enumerate() {
+        vals[net.index()] = (value >> i) & 1 == 1;
+    }
+    for cell in n.cells() {
+        let a = vals[cell.inputs[0].index()];
+        let b = vals[cell.inputs[1].index()];
+        let c = vals[cell.inputs[2].index()];
+        let d = vals[cell.inputs[3].index()];
+        vals[cell.output.index()] = cell.kind.eval(a, b, c, d);
+    }
+    vals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn settled_values_match_reference(
+        cells in proptest::collection::vec(
+            (0usize..15, 0usize..64, 0usize..64, 0usize..64, 0usize..64),
+            1..120,
+        ),
+        vectors in proptest::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let (n, inputs, outputs) = random_netlist(10, &cells);
+        prop_assert!(n.check().is_ok());
+        let mut sim = Simulator::new(&n);
+        for v in vectors {
+            sim.set_bus(&inputs, (v & 0x3FF) as u128);
+            sim.settle();
+            let want = reference_eval(&n, &inputs, v & 0x3FF);
+            for &o in &outputs {
+                prop_assert_eq!(
+                    sim.read_net(o),
+                    want[o.index()],
+                    "net {:?} after vector {:#x}",
+                    o,
+                    v
+                );
+            }
+        }
+    }
+
+    /// After settling, re-applying the same inputs produces no events.
+    #[test]
+    fn settle_is_idempotent(
+        cells in proptest::collection::vec(
+            (0usize..15, 0usize..32, 0usize..32, 0usize..32, 0usize..32),
+            1..60,
+        ),
+        v in any::<u64>(),
+    ) {
+        let (n, inputs, _) = random_netlist(8, &cells);
+        let mut sim = Simulator::new(&n);
+        sim.set_bus(&inputs, (v & 0xFF) as u128);
+        sim.settle();
+        sim.set_bus(&inputs, (v & 0xFF) as u128);
+        let events = sim.settle();
+        prop_assert_eq!(events, 0, "same inputs must cause no transitions");
+    }
+
+    /// Toggle counts are conserved: toggling an input there and back leaves
+    /// every net at its original value (and an even toggle count).
+    #[test]
+    fn there_and_back_restores_state(
+        cells in proptest::collection::vec(
+            (0usize..15, 0usize..32, 0usize..32, 0usize..32, 0usize..32),
+            1..60,
+        ),
+        v in any::<u64>(),
+        flip_bit in 0usize..8,
+    ) {
+        let (n, inputs, outputs) = random_netlist(8, &cells);
+        let mut sim = Simulator::new(&n);
+        let base = (v & 0xFF) as u128;
+        sim.set_bus(&inputs, base);
+        sim.settle();
+        let before: Vec<bool> = outputs.iter().map(|&o| sim.read_net(o)).collect();
+        sim.set_bus(&inputs, base ^ (1 << flip_bit));
+        sim.settle();
+        sim.set_bus(&inputs, base);
+        sim.settle();
+        let after: Vec<bool> = outputs.iter().map(|&o| sim.read_net(o)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

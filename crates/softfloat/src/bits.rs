@@ -1,0 +1,214 @@
+//! Packing, unpacking and classification of binary FP encodings.
+//!
+//! All functions here operate on raw encodings held in a `u64` (so they
+//! support binary16/32/64; binary128 is parameter-only in this crate) and a
+//! [`BinaryFormat`] describing the layout.
+
+use crate::format::BinaryFormat;
+
+/// Classification of a binary floating-point datum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpClass {
+    /// Positive or negative zero.
+    Zero,
+    /// Subnormal (denormalized) number.
+    Subnormal,
+    /// Normal finite number.
+    Normal,
+    /// Positive or negative infinity.
+    Infinity,
+    /// Quiet NaN (MSB of the trailing significand set).
+    QuietNan,
+    /// Signaling NaN.
+    SignalingNan,
+}
+
+impl FpClass {
+    /// Returns `true` for either NaN class.
+    pub const fn is_nan(self) -> bool {
+        matches!(self, FpClass::QuietNan | FpClass::SignalingNan)
+    }
+
+    /// Returns `true` for zero, subnormal or normal.
+    pub const fn is_finite(self) -> bool {
+        matches!(self, FpClass::Zero | FpClass::Subnormal | FpClass::Normal)
+    }
+}
+
+/// An unpacked binary floating-point datum.
+///
+/// For finite nonzero values the significand is *normalized*: the MSB of
+/// [`Unpacked::significand`] is at bit `p - 1` and the value represented is
+/// `(-1)^sign × significand × 2^(exponent - (p - 1))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unpacked {
+    /// Sign bit.
+    pub sign: bool,
+    /// Unbiased exponent of the (normalized) value. For subnormal inputs
+    /// this is smaller than `emin`.
+    pub exponent: i32,
+    /// Normalized significand with the integer bit at position `p - 1`;
+    /// zero for zeros.
+    pub significand: u64,
+    /// Classification of the original encoding.
+    pub class: FpClass,
+}
+
+/// Splits an encoding into raw `(sign, exponent_field, significand_field)`.
+///
+/// # Example
+///
+/// ```
+/// use mfm_softfloat::{bits, BINARY32};
+///
+/// let (s, e, m) = bits::split(&BINARY32, 0xC0A0_0000); // -5.0f32
+/// assert!(s);
+/// assert_eq!(e, 0x81);
+/// assert_eq!(m, 0x20_0000);
+/// ```
+pub fn split(fmt: &BinaryFormat, bits: u64) -> (bool, u64, u64) {
+    let sign = (bits >> fmt.sign_bit()) & 1 == 1;
+    let exp = (bits >> fmt.trailing_significand) & fmt.exponent_mask();
+    let sig = bits & fmt.significand_mask();
+    (sign, exp, sig)
+}
+
+/// Assembles an encoding from raw fields.
+///
+/// # Panics
+///
+/// Panics in debug builds if a field exceeds its width.
+pub fn join(fmt: &BinaryFormat, sign: bool, exponent_field: u64, significand_field: u64) -> u64 {
+    debug_assert!(exponent_field <= fmt.exponent_mask());
+    debug_assert!(significand_field <= fmt.significand_mask());
+    ((sign as u64) << fmt.sign_bit())
+        | (exponent_field << fmt.trailing_significand)
+        | significand_field
+}
+
+/// Classifies an encoding.
+pub fn classify(fmt: &BinaryFormat, bits: u64) -> FpClass {
+    let (_, exp, sig) = split(fmt, bits);
+    if exp == fmt.exponent_mask() {
+        if sig == 0 {
+            FpClass::Infinity
+        } else if sig >> (fmt.trailing_significand - 1) & 1 == 1 {
+            FpClass::QuietNan
+        } else {
+            FpClass::SignalingNan
+        }
+    } else if exp == 0 {
+        if sig == 0 {
+            FpClass::Zero
+        } else {
+            FpClass::Subnormal
+        }
+    } else {
+        FpClass::Normal
+    }
+}
+
+/// Unpacks an encoding, normalizing subnormal significands.
+///
+/// For NaN and infinity inputs the significand/exponent fields of the result
+/// are not meaningful beyond `class`.
+pub fn unpack(fmt: &BinaryFormat, bits: u64) -> Unpacked {
+    let (sign, exp, sig) = split(fmt, bits);
+    let class = classify(fmt, bits);
+    match class {
+        FpClass::Zero => Unpacked {
+            sign,
+            exponent: 0,
+            significand: 0,
+            class,
+        },
+        FpClass::Subnormal => {
+            // Normalize: shift the significand up until its MSB reaches
+            // position p-1, decrementing the exponent accordingly.
+            let shift = fmt.trailing_significand + 1 - (64 - sig.leading_zeros());
+            Unpacked {
+                sign,
+                exponent: fmt.emin() - shift as i32,
+                significand: sig << shift,
+                class,
+            }
+        }
+        FpClass::Normal => Unpacked {
+            sign,
+            exponent: exp as i32 - fmt.bias,
+            significand: sig | fmt.implicit_bit(),
+            class,
+        },
+        FpClass::Infinity | FpClass::QuietNan | FpClass::SignalingNan => Unpacked {
+            sign,
+            exponent: fmt.emax + 1,
+            significand: sig,
+            class,
+        },
+    }
+}
+
+/// Quiets a NaN encoding (sets the MSB of the trailing significand).
+pub fn quiet(fmt: &BinaryFormat, bits: u64) -> u64 {
+    bits | (1u64 << (fmt.trailing_significand - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{BINARY32, BINARY64};
+
+    #[test]
+    fn classify_binary32_corners() {
+        assert_eq!(classify(&BINARY32, 0), FpClass::Zero);
+        assert_eq!(classify(&BINARY32, 0x8000_0000), FpClass::Zero);
+        assert_eq!(classify(&BINARY32, 1), FpClass::Subnormal);
+        assert_eq!(classify(&BINARY32, 0x007f_ffff), FpClass::Subnormal);
+        assert_eq!(classify(&BINARY32, 0x0080_0000), FpClass::Normal);
+        assert_eq!(classify(&BINARY32, 0x7f7f_ffff), FpClass::Normal);
+        assert_eq!(classify(&BINARY32, 0x7f80_0000), FpClass::Infinity);
+        assert_eq!(classify(&BINARY32, 0xff80_0000), FpClass::Infinity);
+        assert_eq!(classify(&BINARY32, 0x7fc0_0000), FpClass::QuietNan);
+        assert_eq!(classify(&BINARY32, 0x7f80_0001), FpClass::SignalingNan);
+    }
+
+    #[test]
+    fn unpack_matches_host_f32() {
+        for &x in &[1.0f32, -2.5, 0.75, 1234.5678, 3.0e-39 /* subnormal */] {
+            let u = unpack(&BINARY32, x.to_bits() as u64);
+            if u.class.is_finite() && u.class != FpClass::Zero {
+                let v = (u.significand as f64) * 2f64.powi(u.exponent - 23);
+                let v = if u.sign { -v } else { v };
+                assert!(
+                    ((v - x as f64) / x as f64).abs() < 1e-7,
+                    "{x}: got {v}, unpacked {u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_normalizes_subnormals() {
+        // Smallest positive subnormal: value 2^-149 = significand 2^23 × 2^(-172-... )
+        let u = unpack(&BINARY32, 1);
+        assert_eq!(u.class, FpClass::Subnormal);
+        assert_eq!(u.significand, 1 << 23);
+        assert_eq!(u.exponent, -149);
+        // value = 2^23 * 2^(exponent - 23) = 2^-149. OK.
+    }
+
+    #[test]
+    fn join_split_roundtrip() {
+        for bits in [0u64, 0x3ff0_0000_0000_0000, 0xc008_0000_0000_0000, 0x1] {
+            let (s, e, m) = split(&BINARY64, bits);
+            assert_eq!(join(&BINARY64, s, e, m), bits);
+        }
+    }
+
+    #[test]
+    fn quiet_makes_qnan() {
+        let snan = 0x7f80_0001u64;
+        assert_eq!(classify(&BINARY32, snan), FpClass::SignalingNan);
+        assert_eq!(classify(&BINARY32, quiet(&BINARY32, snan)), FpClass::QuietNan);
+    }
+}

@@ -1,0 +1,276 @@
+//! Format conversions, including the paper's error-free binary64→binary32
+//! reduction predicate (Algorithm 1).
+
+use crate::bits::{self, FpClass};
+use crate::flags::Flags;
+use crate::format::{BINARY32, BINARY64};
+use crate::round::{round_shift_right, RoundingMode};
+
+/// Exactly widens a binary32 encoding to binary64 (always error-free).
+///
+/// # Example
+///
+/// ```
+/// use mfm_softfloat::convert::b32_to_b64;
+///
+/// assert_eq!(b32_to_b64(1.5f32.to_bits()), 1.5f64.to_bits());
+/// ```
+pub fn b32_to_b64(x: u32) -> u64 {
+    let u = bits::unpack(&BINARY32, x as u64);
+    match u.class {
+        FpClass::Zero => BINARY64.zero_bits(u.sign),
+        FpClass::Infinity => BINARY64.inf_bits() | ((u.sign as u64) << 63),
+        FpClass::QuietNan | FpClass::SignalingNan => {
+            // Preserve the payload in the top bits of the wider significand.
+            let (sign, _, sig) = bits::split(&BINARY32, x as u64);
+            let wide_sig = sig << (52 - 23);
+            let quieted = wide_sig | (1u64 << 51);
+            bits::join(&BINARY64, sign, BINARY64.exponent_mask(), quieted)
+        }
+        FpClass::Subnormal | FpClass::Normal => {
+            // The normalized significand and exponent always fit binary64.
+            let sig53 = u.significand << (52 - 23);
+            let exp_field = (u.exponent + BINARY64.bias) as u64;
+            bits::join(&BINARY64, u.sign, exp_field, sig53 & BINARY64.significand_mask())
+        }
+    }
+}
+
+/// Narrows a binary64 encoding to binary32 with IEEE rounding.
+///
+/// Returns the binary32 encoding and the exception flags raised.
+pub fn b64_to_b32_ieee(x: u64, mode: RoundingMode) -> (u32, Flags) {
+    let u = bits::unpack(&BINARY64, x);
+    match u.class {
+        FpClass::Zero => (BINARY32.zero_bits(u.sign) as u32, Flags::NONE),
+        FpClass::Infinity => (
+            (BINARY32.inf_bits() | ((u.sign as u64) << 31)) as u32,
+            Flags::NONE,
+        ),
+        FpClass::QuietNan | FpClass::SignalingNan => {
+            let (sign, _, sig) = bits::split(&BINARY64, x);
+            let narrow = (sig >> (52 - 23)) & BINARY32.significand_mask();
+            let flags = if u.class == FpClass::SignalingNan {
+                Flags::INVALID
+            } else {
+                Flags::NONE
+            };
+            let out = bits::join(
+                &BINARY32,
+                sign,
+                BINARY32.exponent_mask(),
+                narrow | (1 << 22),
+            );
+            (out as u32, flags)
+        }
+        FpClass::Subnormal | FpClass::Normal => {
+            let mut flags = Flags::NONE;
+            let e = u.exponent;
+            if e < BINARY32.emin() {
+                // Tiny in binary32: round at the subnormal quantum.
+                let extra = (BINARY32.emin() - e) as u32;
+                let discard = (53 - 24) + extra.min(64);
+                let (rounded, inexact) =
+                    round_shift_right(u.significand as u128, discard, u.sign, mode);
+                if inexact {
+                    flags |= Flags::UNDERFLOW | Flags::INEXACT;
+                }
+                let rounded = rounded as u64;
+                if rounded == BINARY32.implicit_bit() {
+                    return (bits::join(&BINARY32, u.sign, 1, 0) as u32, flags);
+                }
+                return (bits::join(&BINARY32, u.sign, 0, rounded) as u32, flags);
+            }
+            let (mut rounded, inexact) =
+                round_shift_right(u.significand as u128, 53 - 24, u.sign, mode);
+            if inexact {
+                flags |= Flags::INEXACT;
+            }
+            let mut e = e;
+            if rounded == 1u128 << 24 {
+                rounded >>= 1;
+                e += 1;
+            }
+            if e > BINARY32.emax {
+                flags |= Flags::OVERFLOW | Flags::INEXACT;
+                let out = match mode {
+                    RoundingMode::NearestEven | RoundingMode::NearestAway => {
+                        BINARY32.inf_bits() | ((u.sign as u64) << 31)
+                    }
+                    RoundingMode::TowardZero => BINARY32.max_finite_bits(u.sign),
+                    RoundingMode::TowardPositive => {
+                        if u.sign {
+                            BINARY32.max_finite_bits(true)
+                        } else {
+                            BINARY32.inf_bits()
+                        }
+                    }
+                    RoundingMode::TowardNegative => {
+                        if u.sign {
+                            BINARY32.inf_bits() | (1 << 31)
+                        } else {
+                            BINARY32.max_finite_bits(false)
+                        }
+                    }
+                };
+                return (out as u32, flags);
+            }
+            let exp_field = (e + BINARY32.bias) as u64;
+            let sig_field = (rounded as u64) & BINARY32.significand_mask();
+            (bits::join(&BINARY32, u.sign, exp_field, sig_field) as u32, flags)
+        }
+    }
+}
+
+/// The paper's Algorithm 1: error-free binary64→binary32 reduction.
+///
+/// Returns `Some(binary32)` exactly when the paper's three hardware checks
+/// pass:
+///
+/// 1. `Eb32 = Eb64 − 896 > 0` (the biased binary32 exponent is positive, so
+///    the result is a normal binary32 number);
+/// 2. `Eb64 − 1151 < 0` (the biased binary32 exponent is below the all-ones
+///    field, so the result is finite);
+/// 3. the 29 LSBs of the binary64 trailing significand are all zero (the
+///    value fits in 24 significand bits).
+///
+/// When all three hold the reduction is *error-free*: converting the result
+/// back to binary64 recovers `x` exactly (property-tested).
+///
+/// Note the algorithm, exactly as published, does **not** reduce zeros
+/// (check 1 fails for `Eb64 = 0`); see [`reduce_b64_to_b32_with_zero`] for
+/// the natural extension.
+///
+/// # Example
+///
+/// ```
+/// use mfm_softfloat::convert::reduce_b64_to_b32;
+///
+/// assert_eq!(reduce_b64_to_b32(1.5f64.to_bits()), Some(1.5f32.to_bits()));
+/// assert_eq!(reduce_b64_to_b32(1e300f64.to_bits()), None); // out of range
+/// assert_eq!(reduce_b64_to_b32(0.1f64.to_bits()), None); // needs 53 bits
+/// ```
+pub fn reduce_b64_to_b32(x: u64) -> Option<u32> {
+    let (sign, eb64, sig) = bits::split(&BINARY64, x);
+    let eb64 = eb64 as i64;
+    // Range checking (exponent), as two's-complement sign tests like the
+    // 5-bit and 12-bit CPAs of Fig. 6.
+    let eb32 = eb64 - 896;
+    if eb32 <= 0 {
+        return None;
+    }
+    if eb64 - 1151 >= 0 {
+        return None;
+    }
+    // Check the 29 LSBs of the significand for non-zero bits (the OR tree).
+    if sig & ((1u64 << 29) - 1) != 0 {
+        return None;
+    }
+    let sig32 = (sig >> 29) & BINARY32.significand_mask();
+    Some(bits::join(&BINARY32, sign, eb32 as u64, sig32) as u32)
+}
+
+/// Extension of [`reduce_b64_to_b32`] that also reduces signed zeros
+/// (which are trivially error-free). This covers the most common value the
+/// published checks miss.
+pub fn reduce_b64_to_b32_with_zero(x: u64) -> Option<u32> {
+    if bits::classify(&BINARY64, x) == FpClass::Zero {
+        let (sign, _, _) = bits::split(&BINARY64, x);
+        return Some(BINARY32.zero_bits(sign) as u32);
+    }
+    reduce_b64_to_b32(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_matches_host() {
+        for &x in &[0.0f32, -0.0, 1.5, -2.25, 1e-40, f32::MAX, f32::MIN_POSITIVE] {
+            assert_eq!(
+                f64::from_bits(b32_to_b64(x.to_bits())),
+                x as f64,
+                "{x}"
+            );
+        }
+        assert!(f64::from_bits(b32_to_b64(f32::NAN.to_bits())).is_nan());
+        assert_eq!(
+            f64::from_bits(b32_to_b64(f32::NEG_INFINITY.to_bits())),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn narrowing_matches_host_cast() {
+        // Rust `as f32` performs IEEE RNE narrowing.
+        for &x in &[
+            0.0f64,
+            -0.0,
+            1.5,
+            0.1,
+            1e300,
+            -1e300,
+            1e-300,
+            3.4028235e38,
+            3.4028236e38,
+            f64::MIN_POSITIVE,
+            6.0e-39,
+        ] {
+            let (got, _) = b64_to_b32_ieee(x.to_bits(), RoundingMode::NearestEven);
+            assert_eq!(got, (x as f32).to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn narrowing_flags() {
+        let (_, f) = b64_to_b32_ieee(1e300f64.to_bits(), RoundingMode::NearestEven);
+        assert!(f.overflow() && f.inexact());
+        let (_, f) = b64_to_b32_ieee(1e-300f64.to_bits(), RoundingMode::NearestEven);
+        assert!(f.underflow() && f.inexact());
+        let (_, f) = b64_to_b32_ieee(1.5f64.to_bits(), RoundingMode::NearestEven);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn reduction_accepts_exactly_representable_normals() {
+        for &x in &[1.0f64, 1.5, -2.25, 65536.0, 0.03125, -1.9999998807907104] {
+            let got = reduce_b64_to_b32(x.to_bits());
+            assert_eq!(got, Some((x as f32).to_bits()), "{x}");
+            // Error-free: round-trip recovers the original.
+            assert_eq!(b32_to_b64(got.unwrap()), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn reduction_rejects_out_of_range_and_inexact() {
+        assert_eq!(reduce_b64_to_b32(1e300f64.to_bits()), None);
+        assert_eq!(reduce_b64_to_b32(1e-300f64.to_bits()), None);
+        assert_eq!(reduce_b64_to_b32(0.1f64.to_bits()), None);
+        assert_eq!(reduce_b64_to_b32(f64::NAN.to_bits()), None);
+        assert_eq!(reduce_b64_to_b32(f64::INFINITY.to_bits()), None);
+        // Zero fails the published Eb32 > 0 check.
+        assert_eq!(reduce_b64_to_b32(0.0f64.to_bits()), None);
+        assert_eq!(reduce_b64_to_b32_with_zero(0.0f64.to_bits()), Some(0));
+        assert_eq!(
+            reduce_b64_to_b32_with_zero((-0.0f64).to_bits()),
+            Some(0x8000_0000)
+        );
+    }
+
+    #[test]
+    fn reduction_boundary_exponents() {
+        // Smallest reducible: Eb64 = 897 → Eb32 = 1 → value 2^-126.
+        let x = f64::from_bits(897u64 << 52);
+        assert_eq!(x, f32::MIN_POSITIVE as f64);
+        assert!(reduce_b64_to_b32(x.to_bits()).is_some());
+        // One below: Eb64 = 896 → rejected.
+        let y = f64::from_bits(896u64 << 52);
+        assert!(reduce_b64_to_b32(y.to_bits()).is_none());
+        // Largest reducible exponent: Eb64 = 1150 → Eb32 = 254.
+        let z = f64::from_bits(1150u64 << 52);
+        assert!(reduce_b64_to_b32(z.to_bits()).is_some());
+        let w = f64::from_bits(1151u64 << 52);
+        assert!(reduce_b64_to_b32(w.to_bits()).is_none());
+    }
+}

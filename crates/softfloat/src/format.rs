@@ -1,0 +1,219 @@
+//! Binary interchange format parameters (IEEE 754-2008, the paper's Table IV).
+//!
+//! Each [`BinaryFormat`] collects the derived quantities of one of the
+//! standard binary interchange formats. The four standard formats are
+//! provided as constants; [`BinaryFormat::from_storage_width`] looks one up
+//! by storage width.
+
+/// Parameters of an IEEE 754-2008 binary interchange format.
+///
+/// The field names follow the standard (and the paper's Table IV):
+///
+/// | quantity | binary16 | binary32 | binary64 | binary128 |
+/// |---|---|---|---|---|
+/// | storage (bits)      | 16 | 32 | 64  | 128 |
+/// | precision p (bits)  | 11 | 24 | 53  | 113 |
+/// | exponent w (bits)   | 5  | 8  | 11  | 15  |
+/// | emax                | 15 | 127| 1023| 16383 |
+/// | bias                | 15 | 127| 1023| 16383 |
+/// | trailing significand| 10 | 23 | 52  | 112 |
+///
+/// # Example
+///
+/// ```
+/// use mfm_softfloat::BINARY64;
+///
+/// assert_eq!(BINARY64.precision, 53);
+/// assert_eq!(BINARY64.bias, 1023);
+/// assert_eq!(BINARY64.emin(), -1022);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BinaryFormat {
+    /// Total storage width `k` in bits (sign + exponent + trailing significand).
+    pub storage: u32,
+    /// Precision `p` in bits: the significand *including* the implicit
+    /// integer bit.
+    pub precision: u32,
+    /// Exponent field width `w` in bits.
+    pub exponent_bits: u32,
+    /// Maximum unbiased exponent `emax`.
+    pub emax: i32,
+    /// Exponent bias (equal to `emax` for the standard formats).
+    pub bias: i32,
+    /// Trailing significand field width `t = p - 1` in bits.
+    pub trailing_significand: u32,
+}
+
+/// IEEE 754-2008 binary16 (half precision).
+pub const BINARY16: BinaryFormat = BinaryFormat::new(16, 11, 5);
+/// IEEE 754-2008 binary32 (single precision).
+pub const BINARY32: BinaryFormat = BinaryFormat::new(32, 24, 8);
+/// IEEE 754-2008 binary64 (double precision).
+pub const BINARY64: BinaryFormat = BinaryFormat::new(64, 53, 11);
+/// IEEE 754-2008 binary128 (quadruple precision).
+pub const BINARY128: BinaryFormat = BinaryFormat::new(128, 113, 15);
+
+impl BinaryFormat {
+    /// Builds a format from storage width, precision and exponent width.
+    ///
+    /// The remaining Table IV quantities are derived:
+    /// `emax = 2^(w-1) - 1`, `bias = emax`, `t = p - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time for `const` uses) if the widths are
+    /// inconsistent, i.e. `1 + w + (p - 1) != k`.
+    pub const fn new(storage: u32, precision: u32, exponent_bits: u32) -> Self {
+        assert!(1 + exponent_bits + (precision - 1) == storage);
+        let emax = (1i32 << (exponent_bits - 1)) - 1;
+        BinaryFormat {
+            storage,
+            precision,
+            exponent_bits,
+            emax,
+            bias: emax,
+            trailing_significand: precision - 1,
+        }
+    }
+
+    /// Looks up one of the four standard formats by storage width.
+    ///
+    /// Returns `None` for widths other than 16, 32, 64 or 128.
+    pub const fn from_storage_width(bits: u32) -> Option<Self> {
+        match bits {
+            16 => Some(BINARY16),
+            32 => Some(BINARY32),
+            64 => Some(BINARY64),
+            128 => Some(BINARY128),
+            _ => None,
+        }
+    }
+
+    /// Minimum unbiased exponent of a normal number, `emin = 1 - emax`.
+    pub const fn emin(&self) -> i32 {
+        1 - self.emax
+    }
+
+    /// All-ones exponent field value (encodes infinities and NaNs).
+    pub const fn exponent_mask(&self) -> u64 {
+        (1u64 << self.exponent_bits) - 1
+    }
+
+    /// Bit mask of the trailing significand field.
+    pub const fn significand_mask(&self) -> u64 {
+        (1u64 << self.trailing_significand) - 1
+    }
+
+    /// Position of the sign bit (storage width minus one).
+    pub const fn sign_bit(&self) -> u32 {
+        self.storage - 1
+    }
+
+    /// The implicit integer bit of a normal significand, `2^(p-1)`.
+    pub const fn implicit_bit(&self) -> u64 {
+        1u64 << self.trailing_significand
+    }
+
+    /// Encoding of positive infinity.
+    pub const fn inf_bits(&self) -> u64 {
+        self.exponent_mask() << self.trailing_significand
+    }
+
+    /// Encoding of the canonical quiet NaN (sign 0, MSB of significand set).
+    pub const fn qnan_bits(&self) -> u64 {
+        self.inf_bits() | (1u64 << (self.trailing_significand - 1))
+    }
+
+    /// Encoding of the largest finite number with the given sign.
+    pub const fn max_finite_bits(&self, sign: bool) -> u64 {
+        let mag = ((self.exponent_mask() - 1) << self.trailing_significand)
+            | self.significand_mask();
+        if sign {
+            mag | (1u64 << self.sign_bit())
+        } else {
+            mag
+        }
+    }
+
+    /// Encoding of zero with the given sign.
+    pub const fn zero_bits(&self, sign: bool) -> u64 {
+        if sign {
+            1u64 << self.sign_bit()
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table IV, row by row.
+    #[test]
+    fn table_iv_binary16() {
+        assert_eq!(BINARY16.storage, 16);
+        assert_eq!(BINARY16.precision, 11);
+        assert_eq!(BINARY16.exponent_bits, 5);
+        assert_eq!(BINARY16.emax, 15);
+        assert_eq!(BINARY16.bias, 15);
+        assert_eq!(BINARY16.trailing_significand, 10);
+    }
+
+    #[test]
+    fn table_iv_binary32() {
+        assert_eq!(BINARY32.storage, 32);
+        assert_eq!(BINARY32.precision, 24);
+        assert_eq!(BINARY32.exponent_bits, 8);
+        assert_eq!(BINARY32.emax, 127);
+        assert_eq!(BINARY32.bias, 127);
+        assert_eq!(BINARY32.trailing_significand, 23);
+    }
+
+    #[test]
+    fn table_iv_binary64() {
+        assert_eq!(BINARY64.storage, 64);
+        assert_eq!(BINARY64.precision, 53);
+        assert_eq!(BINARY64.exponent_bits, 11);
+        assert_eq!(BINARY64.emax, 1023);
+        assert_eq!(BINARY64.bias, 1023);
+        assert_eq!(BINARY64.trailing_significand, 52);
+    }
+
+    #[test]
+    fn table_iv_binary128() {
+        assert_eq!(BINARY128.storage, 128);
+        assert_eq!(BINARY128.precision, 113);
+        assert_eq!(BINARY128.exponent_bits, 15);
+        assert_eq!(BINARY128.emax, 16383);
+        assert_eq!(BINARY128.bias, 16383);
+        assert_eq!(BINARY128.trailing_significand, 112);
+    }
+
+    #[test]
+    fn lookup_by_width() {
+        assert_eq!(BinaryFormat::from_storage_width(16), Some(BINARY16));
+        assert_eq!(BinaryFormat::from_storage_width(32), Some(BINARY32));
+        assert_eq!(BinaryFormat::from_storage_width(64), Some(BINARY64));
+        assert_eq!(BinaryFormat::from_storage_width(128), Some(BINARY128));
+        assert_eq!(BinaryFormat::from_storage_width(80), None);
+    }
+
+    #[test]
+    fn derived_encodings_binary32() {
+        assert_eq!(BINARY32.inf_bits(), 0x7f80_0000);
+        assert_eq!(BINARY32.qnan_bits(), 0x7fc0_0000);
+        assert_eq!(BINARY32.max_finite_bits(false), 0x7f7f_ffff);
+        assert_eq!(BINARY32.max_finite_bits(true), 0xff7f_ffff);
+        assert_eq!(BINARY32.zero_bits(true), 0x8000_0000);
+        assert_eq!(BINARY32.emin(), -126);
+    }
+
+    #[test]
+    fn derived_encodings_binary64() {
+        assert_eq!(BINARY64.inf_bits(), 0x7ff0_0000_0000_0000);
+        assert_eq!(BINARY64.qnan_bits(), 0x7ff8_0000_0000_0000);
+        assert_eq!(BINARY64.max_finite_bits(false), 0x7fef_ffff_ffff_ffff);
+        assert_eq!(BINARY64.emin(), -1022);
+    }
+}

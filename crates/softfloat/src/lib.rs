@@ -1,0 +1,48 @@
+//! Reference IEEE 754-2008 software floating point for the SOCC'17
+//! multi-format multiplier reproduction.
+//!
+//! This crate provides the *golden model* the hardware models in
+//! [`mfmult`](https://example.invalid) are verified against:
+//!
+//! - [`format`](mod@crate::format) — the binary interchange format parameters of IEEE
+//!   754-2008 Table 3.5 (the paper's Table IV): binary16, binary32,
+//!   binary64 and binary128.
+//! - [`bits`] — packing/unpacking and classification of binary encodings.
+//! - [`mul`] — correctly rounded multiplication for binary16/32/64 in all
+//!   five IEEE rounding-direction attributes, with subnormal support and
+//!   exception flags.
+//! - [`paper`] — the *paper-mode* multiplication implemented by the SOCC'17
+//!   unit: round-to-nearest by injection without a sticky bit (no
+//!   tie-to-even) and no subnormal rounding (subnormals are flushed).
+//! - [`convert`] — format conversions, including the error-free
+//!   binary64→binary32 reduction predicate of the paper's Algorithm 1.
+//!
+//! # Example
+//!
+//! ```
+//! use mfm_softfloat::{B64, RoundingMode};
+//!
+//! let a = B64::from_f64(1.5);
+//! let b = B64::from_f64(2.25);
+//! let (p, flags) = a.mul(b, RoundingMode::NearestEven);
+//! assert_eq!(p.to_f64(), 1.5 * 2.25);
+//! assert!(!flags.inexact());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod convert;
+pub mod flags;
+pub mod format;
+pub mod mul;
+pub mod paper;
+pub mod round;
+pub mod types;
+
+pub use bits::FpClass;
+pub use flags::Flags;
+pub use format::{BinaryFormat, BINARY128, BINARY16, BINARY32, BINARY64};
+pub use round::RoundingMode;
+pub use types::{B16, B32, B64};

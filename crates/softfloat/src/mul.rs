@@ -1,0 +1,352 @@
+//! Correctly rounded IEEE 754 multiplication.
+//!
+//! [`mul_bits`] implements the full standard semantics — subnormal operands
+//! and results, all five rounding-direction attributes, NaN propagation and
+//! exception flags — for any format whose storage fits in a `u64`
+//! (binary16/32/64). It is the golden reference the hardware models are
+//! tested against.
+
+use crate::bits::{self, FpClass};
+use crate::flags::Flags;
+use crate::format::BinaryFormat;
+use crate::round::{round_shift_right, RoundingMode};
+
+/// Multiplies two encodings of format `fmt`, returning the correctly
+/// rounded product encoding and the raised exception flags.
+///
+/// # Example
+///
+/// ```
+/// use mfm_softfloat::{mul::mul_bits, BINARY32, RoundingMode};
+///
+/// let a = 1.5f32.to_bits() as u64;
+/// let b = (-2.0f32).to_bits() as u64;
+/// let (p, flags) = mul_bits(&BINARY32, a, b, RoundingMode::NearestEven);
+/// assert_eq!(p as u32, (-3.0f32).to_bits());
+/// assert!(flags.is_empty());
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `fmt.storage > 64` (binary128 multiplication is
+/// out of scope for this crate; its parameters exist for Table IV only).
+pub fn mul_bits(fmt: &BinaryFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, Flags) {
+    debug_assert!(fmt.storage <= 64, "mul_bits supports formats up to 64 bits");
+    let ua = bits::unpack(fmt, a);
+    let ub = bits::unpack(fmt, b);
+    let sign = ua.sign ^ ub.sign;
+
+    // NaN propagation: any signaling NaN raises invalid; the delivered
+    // result is the first NaN operand, quieted.
+    if ua.class.is_nan() || ub.class.is_nan() {
+        let mut flags = Flags::NONE;
+        if ua.class == FpClass::SignalingNan || ub.class == FpClass::SignalingNan {
+            flags |= Flags::INVALID;
+        }
+        let nan = if ua.class.is_nan() { a } else { b };
+        return (bits::quiet(fmt, nan), flags);
+    }
+
+    // Infinity × zero is invalid; infinity × anything else is infinity.
+    if ua.class == FpClass::Infinity || ub.class == FpClass::Infinity {
+        if ua.class == FpClass::Zero || ub.class == FpClass::Zero {
+            return (fmt.qnan_bits(), Flags::INVALID);
+        }
+        let inf = fmt.inf_bits() | ((sign as u64) << fmt.sign_bit());
+        return (inf, Flags::NONE);
+    }
+
+    if ua.class == FpClass::Zero || ub.class == FpClass::Zero {
+        return (fmt.zero_bits(sign), Flags::NONE);
+    }
+
+    mul_finite(fmt, sign, ua.exponent, ua.significand, ub.exponent, ub.significand, mode)
+}
+
+/// Multiplies two normalized finite nonzero unpacked operands.
+fn mul_finite(
+    fmt: &BinaryFormat,
+    sign: bool,
+    ea: i32,
+    ma: u64,
+    eb: i32,
+    mb: u64,
+    mode: RoundingMode,
+) -> (u64, Flags) {
+    let p = fmt.precision;
+    // ma, mb ∈ [2^(p-1), 2^p) so the product has its MSB at 2p-1 or 2p-2.
+    let prod = (ma as u128) * (mb as u128);
+    let top = 127 - prod.leading_zeros() as i32; // bit index of the product MSB
+    debug_assert!(top == 2 * p as i32 - 1 || top == 2 * p as i32 - 2);
+
+    // Exponent of the MSB weight: value = prod × 2^(ea + eb − 2(p−1)).
+    let e = ea + eb + top - 2 * (p as i32 - 1);
+
+    let mut flags = Flags::NONE;
+
+    if e < fmt.emin() {
+        // Tiny result: round at the subnormal quantum in a single rounding
+        // step (all discarded bits contribute to the sticky).
+        let extra_shift = (fmt.emin() - e) as u32;
+        let discard = (top as u32 + 1).saturating_sub(p) + extra_shift;
+        let (rounded, inexact) = round_shift_right(prod, discard, sign, mode);
+        if inexact {
+            // Default exception handling: underflow is signaled when the
+            // result is both tiny (before rounding) and inexact.
+            flags |= Flags::UNDERFLOW | Flags::INEXACT;
+        }
+        let rounded = rounded as u64;
+        debug_assert!(rounded <= fmt.implicit_bit());
+        if rounded == fmt.implicit_bit() {
+            // Rounded up to the smallest normal.
+            return (bits::join(fmt, sign, 1, 0), flags);
+        }
+        return (bits::join(fmt, sign, 0, rounded), flags);
+    }
+
+    // Normal path: keep p bits.
+    let discard = (top as u32 + 1) - p;
+    let (mut rounded, inexact) = round_shift_right(prod, discard, sign, mode);
+    if inexact {
+        flags |= Flags::INEXACT;
+    }
+    let mut e = e;
+    if rounded == (1u128 << p) {
+        // Rounding carried out of the significand: 1.11…1 → 10.0…0.
+        rounded >>= 1;
+        e += 1;
+    }
+    debug_assert!(rounded >= 1u128 << (p - 1) && rounded < 1u128 << p);
+
+    if e > fmt.emax {
+        flags |= Flags::OVERFLOW | Flags::INEXACT;
+        return (overflow_result(fmt, sign, mode), flags);
+    }
+
+    let exp_field = (e + fmt.bias) as u64;
+    let sig_field = (rounded as u64) & fmt.significand_mask();
+    (bits::join(fmt, sign, exp_field, sig_field), flags)
+}
+
+/// The result delivered on overflow, per rounding mode.
+fn overflow_result(fmt: &BinaryFormat, sign: bool, mode: RoundingMode) -> u64 {
+    let inf = fmt.inf_bits() | ((sign as u64) << fmt.sign_bit());
+    match mode {
+        RoundingMode::NearestEven | RoundingMode::NearestAway => inf,
+        RoundingMode::TowardZero => fmt.max_finite_bits(sign),
+        RoundingMode::TowardPositive => {
+            if sign {
+                fmt.max_finite_bits(true)
+            } else {
+                inf
+            }
+        }
+        RoundingMode::TowardNegative => {
+            if sign {
+                inf
+            } else {
+                fmt.max_finite_bits(false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{BINARY16, BINARY32, BINARY64};
+
+    fn mul32(a: f32, b: f32) -> (u64, Flags) {
+        mul_bits(
+            &BINARY32,
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            RoundingMode::NearestEven,
+        )
+    }
+
+    fn mul64(a: f64, b: f64) -> (u64, Flags) {
+        mul_bits(&BINARY64, a.to_bits(), b.to_bits(), RoundingMode::NearestEven)
+    }
+
+    #[test]
+    fn simple_products_match_host_f32() {
+        let cases = [
+            (1.5f32, 2.25),
+            (-3.0, 7.0),
+            (0.1, 0.2),
+            (1e30, 1e8),
+            (1e-30, 1e-20),
+            (std::f32::consts::PI, std::f32::consts::E),
+        ];
+        for (a, b) in cases {
+            let (p, _) = mul32(a, b);
+            assert_eq!(p as u32, (a * b).to_bits(), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn simple_products_match_host_f64() {
+        let cases = [
+            (1.5f64, 2.25),
+            (-3.0, 7.0),
+            (0.1, 0.2),
+            (1e300, 1e8),
+            (1e-300, 1e-20),
+            (std::f64::consts::PI, std::f64::consts::E),
+        ];
+        for (a, b) in cases {
+            let (p, _) = mul64(a, b);
+            assert_eq!(p, (a * b).to_bits(), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        let (p, flags) = mul32(1e38, 1e38);
+        assert_eq!(p as u32, f32::INFINITY.to_bits());
+        assert!(flags.overflow() && flags.inexact());
+    }
+
+    #[test]
+    fn overflow_directed_modes() {
+        let big = f32::MAX.to_bits() as u64;
+        let two = 2.0f32.to_bits() as u64;
+        let (p, _) = mul_bits(&BINARY32, big, two, RoundingMode::TowardZero);
+        assert_eq!(p as u32, f32::MAX.to_bits());
+        let (p, _) = mul_bits(&BINARY32, big, two, RoundingMode::TowardNegative);
+        assert_eq!(p as u32, f32::MAX.to_bits());
+        let (p, _) = mul_bits(&BINARY32, big, two, RoundingMode::TowardPositive);
+        assert_eq!(p as u32, f32::INFINITY.to_bits());
+        // Negative overflow.
+        let nbig = (-f32::MAX).to_bits() as u64;
+        let (p, _) = mul_bits(&BINARY32, nbig, two, RoundingMode::TowardPositive);
+        assert_eq!(p as u32, (-f32::MAX).to_bits());
+        let (p, _) = mul_bits(&BINARY32, nbig, two, RoundingMode::TowardNegative);
+        assert_eq!(p as u32, f32::NEG_INFINITY.to_bits());
+    }
+
+    #[test]
+    fn underflow_to_subnormal_matches_host() {
+        // Inexact tiny results signal underflow…
+        let inexact_pairs = [(1.0e-30f32, 1.0e-15), (1.5e-20, 2.5e-25)];
+        for (a, b) in inexact_pairs {
+            let (p, flags) = mul32(a, b);
+            assert_eq!(p as u32, (a * b).to_bits(), "{a} * {b}");
+            assert!(flags.underflow(), "{a} * {b} should signal underflow");
+        }
+        // …but exact subnormal results do not (IEEE default handling).
+        let exact_pairs = [(f32::MIN_POSITIVE, 0.5f32), (f32::MIN_POSITIVE, 0.9999999)];
+        for (a, b) in exact_pairs {
+            let (p, flags) = mul32(a, b);
+            assert_eq!(p as u32, (a * b).to_bits(), "{a} * {b}");
+            assert!(!flags.underflow(), "{a} * {b} is exact: no underflow");
+        }
+    }
+
+    #[test]
+    fn subnormal_operands_match_host() {
+        let sub = f32::from_bits(0x0000_1234);
+        let (p, _) = mul32(sub, 1e20);
+        assert_eq!(p as u32, (sub * 1e20).to_bits());
+        let (p, _) = mul32(sub, sub);
+        assert_eq!(p as u32, (sub * sub).to_bits());
+    }
+
+    #[test]
+    fn zeros_and_signs() {
+        let (p, flags) = mul32(0.0, -5.0);
+        assert_eq!(p as u32, (-0.0f32).to_bits());
+        assert!(flags.is_empty());
+        let (p, _) = mul32(-0.0, -5.0);
+        assert_eq!(p as u32, 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn inf_times_zero_is_invalid() {
+        let (p, flags) = mul32(f32::INFINITY, 0.0);
+        assert!(f32::from_bits(p as u32).is_nan());
+        assert!(flags.invalid());
+    }
+
+    #[test]
+    fn inf_times_finite() {
+        let (p, flags) = mul32(f32::INFINITY, -2.0);
+        assert_eq!(p as u32, f32::NEG_INFINITY.to_bits());
+        assert!(flags.is_empty());
+    }
+
+    #[test]
+    fn nan_propagates_quietly() {
+        let (p, flags) = mul32(f32::NAN, 1.0);
+        assert!(f32::from_bits(p as u32).is_nan());
+        assert!(!flags.invalid(), "quiet NaN does not raise invalid");
+    }
+
+    #[test]
+    fn snan_raises_invalid() {
+        let snan = 0x7f80_0001u64;
+        let (p, flags) = mul_bits(&BINARY32, snan, 0x3f80_0000, RoundingMode::NearestEven);
+        assert!(f32::from_bits(p as u32).is_nan());
+        assert!(flags.invalid());
+    }
+
+    #[test]
+    fn binary16_spot_checks() {
+        // 1.5 × 1.5 = 2.25 in binary16: 1.5 = 0x3E00, 2.25 = 0x4080.
+        let (p, flags) = mul_bits(&BINARY16, 0x3e00, 0x3e00, RoundingMode::NearestEven);
+        assert_eq!(p, 0x4080);
+        assert!(flags.is_empty());
+        // 255 × 257 overflows binary16 (max ≈ 65504): 255 = 0x5BF8, 257 = 0x5C04.
+        let (p, flags) = mul_bits(&BINARY16, 0x5bf8, 0x5c04, RoundingMode::NearestEven);
+        assert_eq!(p, BINARY16.inf_bits());
+        assert!(flags.overflow());
+    }
+
+    #[test]
+    fn exhaustive_small_binary16_against_widened_f64() {
+        // All products of binary16 values with small exponent fields,
+        // verified against rounding the exact f64 product back to binary16
+        // through the widening-multiplication identity (f64 has more than
+        // 2×11 bits of precision so the host product is exact).
+        for a in (0u64..0x7c00).step_by(97) {
+            for b in (0u64..0x7c00).step_by(131) {
+                let fa = half_to_f64(a);
+                let fb = half_to_f64(b);
+                let exact = fa * fb;
+                let (p, _) = mul_bits(&BINARY16, a, b, RoundingMode::NearestEven);
+                let got = half_to_f64(p);
+                if got.is_finite() {
+                    // The correctly rounded result is within half an ulp.
+                    let ulp = half_ulp(p);
+                    assert!(
+                        (got - exact).abs() <= ulp / 2.0,
+                        "a={a:#x} b={b:#x} got={got} exact={exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn half_to_f64(h: u64) -> f64 {
+        let u = bits::unpack(&BINARY16, h);
+        match u.class {
+            FpClass::Zero => 0.0,
+            FpClass::Infinity => f64::INFINITY,
+            FpClass::QuietNan | FpClass::SignalingNan => f64::NAN,
+            _ => {
+                let v = (u.significand as f64) * 2f64.powi(u.exponent - 10);
+                if u.sign {
+                    -v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    fn half_ulp(h: u64) -> f64 {
+        let u = bits::unpack(&BINARY16, h);
+        2f64.powi(u.exponent.max(BINARY16.emin()) - 10)
+    }
+}

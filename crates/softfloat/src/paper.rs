@@ -1,0 +1,381 @@
+//! *Paper-mode* multiplication: the rounding semantics actually implemented
+//! by the SOCC'17 unit's datapath (Fig. 3).
+//!
+//! The unit rounds by **injection**: the significand product `P` (2p bits,
+//! leading one at bit `2p−1` or `2p−2`) is speculatively rounded for both
+//! normalization cases by two carry-propagate adders,
+//!
+//! ```text
+//! P1 = P + R1,  R1 = 2^(p−1)   (kept bits [2p−1 : p])
+//! P0 = P + R0,  R0 = 2^(p−2)   (kept bits [2p−2 : p−1])
+//! ```
+//!
+//! and a 2:1 mux selects the normalized result. Without a sticky bit this
+//! is round-to-nearest, **ties away from zero**.
+//!
+//! Two notes versus the paper's prose (both corroborated by the paper's own
+//! Sec. III-B injection vectors `R1 = …1₈₇…1₂₃…`, `R0 = …1₈₆…1₂₂…`):
+//!
+//! 1. Sec. III-A's sentence "R1 injects a 1 in position 53" is an
+//!    off-by-one slip — the injection for the kept-`[105:53]` case is at
+//!    position 52 (= `p−1`), exactly as the same section's earlier sentence
+//!    and Sec. III-B's binary32 vectors state.
+//! 2. The normalization select must observe the MSB of the **P0** adder
+//!    (`P + 2^(p−2)`): it is high exactly when the product either already
+//!    leads at `2p−1` or when rounding carries it there. Observing `P1`'s
+//!    MSB (as the paper's text literally says) would round up spuriously
+//!    when bits `[2p−2 : p−1]` are all ones but the guard bit is clear.
+//!
+//! The exponent datapath operates on biased fields; a result whose biased
+//! exponent falls to ≤ 0 is flushed to zero (the unit performs no subnormal
+//! rounding) and one that reaches the all-ones field saturates to infinity.
+//! Subnormal *operands* are flushed to zero by the input formatter.
+
+use crate::bits::{self, FpClass};
+use crate::flags::Flags;
+use crate::format::BinaryFormat;
+use crate::mul::mul_bits;
+use crate::round::RoundingMode;
+
+/// Multiplies two encodings with the paper unit's semantics.
+///
+/// Returns the product encoding and flags. `UNDERFLOW|INEXACT` is raised
+/// when a nonzero result was flushed to zero; `OVERFLOW|INEXACT` when it
+/// saturated to infinity; `INEXACT` alone when rounding discarded bits.
+///
+/// # Example
+///
+/// ```
+/// use mfm_softfloat::{paper::paper_mul_bits, BINARY64};
+///
+/// let a = 1.5f64.to_bits();
+/// let b = 2.25f64.to_bits();
+/// let (p, _) = paper_mul_bits(&BINARY64, a, b);
+/// assert_eq!(f64::from_bits(p), 1.5 * 2.25);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `fmt.storage > 64`.
+pub fn paper_mul_bits(fmt: &BinaryFormat, a: u64, b: u64) -> (u64, Flags) {
+    paper_mul_impl(fmt, a, b, speculative_round)
+}
+
+fn paper_mul_impl(
+    fmt: &BinaryFormat,
+    a: u64,
+    b: u64,
+    round: fn(u32, u64, u64) -> (u64, u32, bool),
+) -> (u64, Flags) {
+    debug_assert!(fmt.storage <= 64);
+    let a = flush_input(fmt, a);
+    let b = flush_input(fmt, b);
+    let ua = bits::unpack(fmt, a);
+    let ub = bits::unpack(fmt, b);
+    let sign = ua.sign ^ ub.sign;
+
+    // Specials handled by the input/output formatters, IEEE style.
+    if ua.class.is_nan() || ub.class.is_nan() {
+        let mut flags = Flags::NONE;
+        if ua.class == FpClass::SignalingNan || ub.class == FpClass::SignalingNan {
+            flags |= Flags::INVALID;
+        }
+        let nan = if ua.class.is_nan() { a } else { b };
+        return (bits::quiet(fmt, nan), flags);
+    }
+    if ua.class == FpClass::Infinity || ub.class == FpClass::Infinity {
+        if ua.class == FpClass::Zero || ub.class == FpClass::Zero {
+            return (fmt.qnan_bits(), Flags::INVALID);
+        }
+        let inf = fmt.inf_bits() | ((sign as u64) << fmt.sign_bit());
+        return (inf, Flags::NONE);
+    }
+    if ua.class == FpClass::Zero || ub.class == FpClass::Zero {
+        return (fmt.zero_bits(sign), Flags::NONE);
+    }
+
+    let (sig, e_rel, inexact) = round(fmt.precision, ua.significand, ub.significand);
+    let field = ua.exponent as i64 + ub.exponent as i64 + e_rel as i64 + fmt.bias as i64;
+
+    let mut flags = Flags::NONE;
+    if inexact {
+        flags |= Flags::INEXACT;
+    }
+    if field >= fmt.exponent_mask() as i64 {
+        flags |= Flags::OVERFLOW | Flags::INEXACT;
+        let inf = fmt.inf_bits() | ((sign as u64) << fmt.sign_bit());
+        return (inf, flags);
+    }
+    if field <= 0 {
+        flags |= Flags::UNDERFLOW | Flags::INEXACT;
+        return (fmt.zero_bits(sign), flags);
+    }
+    let out = bits::join(fmt, sign, field as u64, sig & fmt.significand_mask());
+    (out, flags)
+}
+
+/// The Fig. 3 speculative normalize-and-round on a significand product.
+///
+/// `ma`, `mb` are p-bit normalized significands. Returns the p-bit rounded
+/// significand (with implicit bit), the relative exponent adjustment
+/// (1 if the result is taken from the `[2p−1:p]` window), and inexactness.
+pub fn speculative_round(p: u32, ma: u64, mb: u64) -> (u64, u32, bool) {
+    let prod = (ma as u128) * (mb as u128);
+    let p0 = prod + (1u128 << (p - 2));
+    let p1 = prod + (1u128 << (p - 1));
+    let sel = (p0 >> (2 * p - 1)) & 1 == 1;
+    if sel {
+        let sig = ((p1 >> p) as u64) & ((1u64 << p) - 1);
+        let inexact = prod & ((1u128 << p) - 1) != 0;
+        (sig, 1, inexact)
+    } else {
+        let sig = ((p0 >> (p - 1)) as u64) & ((1u64 << p) - 1);
+        let inexact = prod & ((1u128 << (p - 1)) - 1) != 0;
+        (sig, 0, inexact)
+    }
+}
+
+/// Extension of [`speculative_round`] with a sticky bit: exact IEEE
+/// round-to-nearest-**even** in the same two-CPA speculative structure.
+///
+/// The paper lists the sticky computation as not yet implemented
+/// ("Currently, the binary64 multiplier does not support rounding to the
+/// nearest in case of a tie"). Lifting it needs only the OR of the
+/// discarded product bits plus an LSB-forcing gate: on a tie (guard set,
+/// sticky clear) the injected round-up is undone by clearing the result
+/// LSB, which lands on the even neighbour. The normalization select is
+/// unchanged — in the promote-to-next-binade corner the kept LSB is 1, so
+/// ties round up under RNE exactly as under ties-away.
+pub fn speculative_round_rne(p: u32, ma: u64, mb: u64) -> (u64, u32, bool) {
+    let prod = (ma as u128) * (mb as u128);
+    let p0 = prod + (1u128 << (p - 2));
+    let p1 = prod + (1u128 << (p - 1));
+    let sel = (p0 >> (2 * p - 1)) & 1 == 1;
+    if sel {
+        let mut sig = ((p1 >> p) as u64) & ((1u64 << p) - 1);
+        let discarded = prod & ((1u128 << p) - 1);
+        // Tie: exactly half an ulp discarded → force the LSB even.
+        if discarded == 1u128 << (p - 1) {
+            sig &= !1;
+        }
+        (sig, 1, discarded != 0)
+    } else {
+        let mut sig = ((p0 >> (p - 1)) as u64) & ((1u64 << p) - 1);
+        let discarded = prod & ((1u128 << (p - 1)) - 1);
+        if discarded == 1u128 << (p - 2) {
+            sig &= !1;
+        }
+        (sig, 0, discarded != 0)
+    }
+}
+
+/// Multiplies with the RNE-with-sticky extension (same exponent-range
+/// handling as [`paper_mul_bits`]: subnormal flush, saturate to infinity).
+pub fn paper_mul_bits_rne(fmt: &BinaryFormat, a: u64, b: u64) -> (u64, Flags) {
+    paper_mul_impl(fmt, a, b, speculative_round_rne)
+}
+
+/// Flushes a subnormal encoding to a same-signed zero; other encodings pass
+/// through unchanged.
+pub fn flush_input(fmt: &BinaryFormat, x: u64) -> u64 {
+    if bits::classify(fmt, x) == FpClass::Subnormal {
+        let (sign, _, _) = bits::split(fmt, x);
+        fmt.zero_bits(sign)
+    } else {
+        x
+    }
+}
+
+/// Returns `true` when paper-mode and IEEE round-to-nearest-even agree for
+/// the given operands. Used by tests to partition random operand space.
+pub fn agrees_with_rne(fmt: &BinaryFormat, a: u64, b: u64) -> bool {
+    let (rne, f1) = mul_bits(fmt, a, b, RoundingMode::NearestEven);
+    let (pm, f2) = paper_mul_bits(fmt, a, b);
+    rne == pm && f1.bits() == f2.bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{BINARY32, BINARY64};
+
+    #[test]
+    fn normal_products_match_rne_when_not_tied() {
+        let cases = [
+            (1.5f64, 2.25),
+            (std::f64::consts::PI, std::f64::consts::E),
+            (1.0e10, -3.7e-4),
+            (123456.789, 0.0000123),
+        ];
+        for (a, b) in cases {
+            let (p, _) = paper_mul_bits(&BINARY64, a.to_bits(), b.to_bits());
+            assert_eq!(f64::from_bits(p), a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn random_normals_match_ties_away_reference() {
+        // Against the independent IEEE implementation with NearestAway,
+        // on operands whose products stay in the normal range.
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..2000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ea = 1023 + (s % 64) as u64 - 32;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let eb = 1023 + (s % 64) as u64 - 32;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let fa = s & ((1 << 52) - 1);
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let fb = s & ((1 << 52) - 1);
+            let a = (ea << 52) | fa;
+            let b = (eb << 52) | fb;
+            let (pm, fm) = paper_mul_bits(&BINARY64, a, b);
+            let (ieee, fi) = mul_bits(&BINARY64, a, b, RoundingMode::NearestAway);
+            assert_eq!(pm, ieee, "a={a:#x} b={b:#x}");
+            assert_eq!(fm.bits(), fi.bits(), "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn tie_rounds_away_not_even() {
+        // ma = 2^52 + 2^26, mb = 2^52 + 2^25 → exact half-ulp tie with an
+        // even kept LSB: RNE keeps, ties-away increments.
+        let a = 1.0 + f64::powi(2.0, -26);
+        let b = 1.0 + f64::powi(2.0, -27);
+        let (p, _) = paper_mul_bits(&BINARY64, a.to_bits(), b.to_bits());
+        let host = a * b; // RNE
+        let paper = f64::from_bits(p);
+        assert!(paper >= host);
+        assert_ne!(paper.to_bits(), host.to_bits(), "genuine tie must differ");
+        assert_eq!(paper, f64::from_bits(host.to_bits() + 1));
+    }
+
+    #[test]
+    fn all_ones_guard_clear_does_not_round_to_next_binade() {
+        // The corner that distinguishes the correct P0-MSB select from the
+        // paper's literal "P1 MSB" prose: significand product with bits
+        // [2p−2 : p−1] all ones and guard = 0 must NOT be bumped to 1.0.
+        // Take ma = mb = 2^53 − 1: P = 2^106 − 2^54 + 1, leading at 105.
+        let ma = (1u64 << 53) - 1;
+        let (sig, inc, inexact) = speculative_round(53, ma, ma);
+        // P = (2^53−1)² = 2^106 − 2^54 + 1; kept [105:53] = 2^53−2; guard
+        // (bit 52) = 0; low bit set → inexact, no round-up.
+        assert_eq!(inc, 1);
+        assert_eq!(sig, (1 << 53) - 2);
+        assert!(inexact);
+        // And the carry case: all-ones in the low window with guard set.
+        // P = 2^105 − 2^51: bits 104..51 all ones → rounds to next binade.
+        // Construct ma, mb with that product: ma = 2^52, mb = 2^53 − 1 gives
+        // P = 2^105 − 2^52 (bits 104..52 ones, guard at 51 clear): stays.
+        let (sig, inc, _) = speculative_round(53, 1 << 52, (1 << 53) - 1);
+        assert_eq!(inc, 0, "guard clear: no spurious promotion");
+        assert_eq!(sig, (1 << 53) - 1);
+    }
+
+    #[test]
+    fn rne_extension_matches_ieee_on_normals() {
+        // The sticky-bit extension must agree bit-for-bit with the IEEE
+        // reference in NearestEven wherever the product stays normal.
+        let mut s = 0x517C_C1B7_2722_0A95u64;
+        for _ in 0..3000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((1023 - 40 + (s % 80)) << 52) | (s >> 12 & ((1 << 52) - 1));
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = ((1023 - 40 + (s % 80)) << 52) | (s >> 12 & ((1 << 52) - 1));
+            let (got, gf) = paper_mul_bits_rne(&BINARY64, a, b);
+            let (want, wf) = mul_bits(&BINARY64, a, b, RoundingMode::NearestEven);
+            assert_eq!(got, want, "a={a:#x} b={b:#x}");
+            assert_eq!(gf.bits(), wf.bits());
+        }
+    }
+
+    #[test]
+    fn rne_extension_ties_to_even() {
+        // The directed tie that separates RNE from ties-away.
+        let a = (1.0 + f64::powi(2.0, -26)).to_bits();
+        let b = (1.0 + f64::powi(2.0, -27)).to_bits();
+        let (rne, _) = paper_mul_bits_rne(&BINARY64, a, b);
+        let host = f64::from_bits(a) * f64::from_bits(b);
+        assert_eq!(rne, host.to_bits(), "RNE mode must match the host FPU");
+        let (away, _) = paper_mul_bits(&BINARY64, a, b);
+        assert_eq!(away, host.to_bits() + 1, "injection mode rounds away");
+    }
+
+    #[test]
+    fn rne_extension_promote_corner() {
+        // A genuine all-ones tie: ma = 2^53 − 2^26, mb = 2^52 + 2^25 gives
+        // P = 2^105 − 2^51 (kept [104:52] all ones, guard set, sticky 0).
+        // The kept LSB is odd, so RNE rounds up to the next binade — the
+        // same promotion ties-away performs.
+        let ma = (1u64 << 53) - (1 << 26);
+        let mb = (1u64 << 52) + (1 << 25);
+        assert_eq!((ma as u128) * (mb as u128), (1u128 << 105) - (1 << 51));
+        let (sig, inc, inexact) = speculative_round_rne(53, ma, mb);
+        let (sig_away, inc_away, _) = speculative_round(53, ma, mb);
+        assert_eq!((sig, inc), (sig_away, inc_away));
+        assert_eq!(sig, 1 << 52, "promoted to 1.0…0");
+        assert_eq!(inc, 1);
+        assert!(inexact);
+    }
+
+    #[test]
+    fn subnormal_operands_flush_to_zero() {
+        let sub = f64::from_bits(0x000f_ffff_ffff_ffff);
+        let (p, _flags) = paper_mul_bits(&BINARY64, sub.to_bits(), 2.0f64.to_bits());
+        assert_eq!(f64::from_bits(p), 0.0);
+    }
+
+    #[test]
+    fn subnormal_result_flushes_to_zero_with_underflow() {
+        let a = f64::MIN_POSITIVE;
+        let (p, flags) = paper_mul_bits(&BINARY64, a.to_bits(), 0.25f64.to_bits());
+        assert_eq!(p, 0.0f64.to_bits());
+        assert!(flags.underflow() && flags.inexact());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let (p, flags) = paper_mul_bits(&BINARY32, (1e38f32).to_bits() as u64, (1e38f32).to_bits() as u64);
+        assert_eq!(p as u32, f32::INFINITY.to_bits());
+        assert!(flags.overflow() && flags.inexact());
+    }
+
+    #[test]
+    fn sign_of_flushed_zero_is_preserved() {
+        let a = (-f64::MIN_POSITIVE).to_bits();
+        let (p, _) = paper_mul_bits(&BINARY64, a, 0.25f64.to_bits());
+        assert_eq!(p, (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn specials_behave_ieee() {
+        let (p, flags) = paper_mul_bits(&BINARY32, 0x7f80_0000, 0);
+        assert!(f32::from_bits(p as u32).is_nan());
+        assert!(flags.invalid());
+        let (p, _) = paper_mul_bits(&BINARY32, 0x7f80_0000, 0x4000_0000);
+        assert_eq!(p as u32, 0x7f80_0000);
+        // Infinity × subnormal: the operand flushes to zero first → invalid.
+        let (p, flags) = paper_mul_bits(&BINARY32, 0x7f80_0000, 0x0000_0001);
+        assert!(f32::from_bits(p as u32).is_nan());
+        assert!(flags.invalid());
+    }
+
+    #[test]
+    fn agrees_with_rne_partition() {
+        assert!(agrees_with_rne(&BINARY64, 1.5f64.to_bits(), 2.5f64.to_bits()));
+        let tie_a = (1.0 + f64::powi(2.0, -26)).to_bits();
+        let tie_b = (1.0 + f64::powi(2.0, -27)).to_bits();
+        assert!(!agrees_with_rne(&BINARY64, tie_a, tie_b));
+    }
+
+    #[test]
+    fn binary32_lane_spot_checks() {
+        for (a, b) in [(1.5f32, 2.0f32), (-3.25, 0.125), (1.0e-20, 1.0e-20), (3.0e19, 3.0e19)] {
+            let (p, _) = paper_mul_bits(&BINARY32, a.to_bits() as u64, b.to_bits() as u64);
+            let host = a * b;
+            if host != 0.0 && host.is_finite() && host.abs() >= f32::MIN_POSITIVE {
+                assert_eq!(p as u32, host.to_bits(), "{a}*{b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Rounding-direction attributes and the shared rounding primitive.
+
+/// IEEE 754-2008 rounding-direction attributes, plus the non-IEEE
+/// round-to-nearest-away mode for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// roundTiesToEven — the IEEE default.
+    #[default]
+    NearestEven,
+    /// roundTowardZero (truncation).
+    TowardZero,
+    /// roundTowardPositive (toward +∞).
+    TowardPositive,
+    /// roundTowardNegative (toward −∞).
+    TowardNegative,
+    /// roundTiesToAway.
+    NearestAway,
+}
+
+impl RoundingMode {
+    /// All five modes, for exhaustive testing.
+    pub const ALL: [RoundingMode; 5] = [
+        RoundingMode::NearestEven,
+        RoundingMode::TowardZero,
+        RoundingMode::TowardPositive,
+        RoundingMode::TowardNegative,
+        RoundingMode::NearestAway,
+    ];
+
+    /// Decides whether a positive significand truncated to `kept` must be
+    /// incremented, given the guard (first discarded) bit, the sticky OR of
+    /// all later discarded bits, and the sign of the full value.
+    ///
+    /// `kept_lsb` is the least significant kept bit (needed for tie-to-even).
+    pub fn round_up(self, sign: bool, kept_lsb: bool, guard: bool, sticky: bool) -> bool {
+        match self {
+            RoundingMode::NearestEven => guard && (sticky || kept_lsb),
+            RoundingMode::TowardZero => false,
+            RoundingMode::TowardPositive => !sign && (guard || sticky),
+            RoundingMode::TowardNegative => sign && (guard || sticky),
+            RoundingMode::NearestAway => guard,
+        }
+    }
+}
+
+/// Rounds the `extra`-bit-wide tail off a positive significand.
+///
+/// `value` holds a significand with `extra` discarded bits at the bottom;
+/// returns `(rounded, inexact)` where `rounded = value >> extra`, possibly
+/// incremented per the rounding mode. The caller must handle a carry-out of
+/// the kept field (the result may be one bit wider than `kept`).
+///
+/// # Example
+///
+/// ```
+/// use mfm_softfloat::round::{round_shift_right, RoundingMode};
+///
+/// // 0b1011 with 2 discarded bits (tail 0b11): round up under RNE.
+/// let (r, inexact) = round_shift_right(0b1011, 2, false, RoundingMode::NearestEven);
+/// assert_eq!(r, 0b11);
+/// assert!(inexact);
+/// ```
+pub fn round_shift_right(value: u128, extra: u32, sign: bool, mode: RoundingMode) -> (u128, bool) {
+    if extra == 0 {
+        return (value, false);
+    }
+    if extra >= 128 {
+        // Everything is discarded; the kept value is zero and the tail is
+        // whatever `value` held.
+        let sticky = value != 0;
+        let rounded = if mode.round_up(sign, false, false, sticky) {
+            1
+        } else {
+            0
+        };
+        return (rounded, sticky);
+    }
+    let kept = value >> extra;
+    let guard = (value >> (extra - 1)) & 1 == 1;
+    let sticky = if extra >= 2 {
+        value & ((1u128 << (extra - 1)) - 1) != 0
+    } else {
+        false
+    };
+    let inexact = guard || sticky;
+    let kept_lsb = kept & 1 == 1;
+    if mode.round_up(sign, kept_lsb, guard, sticky) {
+        (kept + 1, inexact)
+    } else {
+        (kept, inexact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_no_tail() {
+        for mode in RoundingMode::ALL {
+            let (r, inexact) = round_shift_right(0b1010_0000, 4, false, mode);
+            assert_eq!(r, 0b1010, "{mode:?}");
+            assert!(!inexact);
+        }
+    }
+
+    #[test]
+    fn ties_to_even() {
+        // 0b101|10 -> tie, kept lsb 1 -> round up to 0b110
+        let (r, _) = round_shift_right(0b10110, 2, false, RoundingMode::NearestEven);
+        assert_eq!(r, 0b110);
+        // 0b100|10 -> tie, kept lsb 0 -> stay 0b100
+        let (r, _) = round_shift_right(0b10010, 2, false, RoundingMode::NearestEven);
+        assert_eq!(r, 0b100);
+    }
+
+    #[test]
+    fn ties_to_away() {
+        let (r, _) = round_shift_right(0b10010, 2, false, RoundingMode::NearestAway);
+        assert_eq!(r, 0b101);
+    }
+
+    #[test]
+    fn directed_modes_follow_sign() {
+        // tail 0b01 (below half)
+        let v = 0b10001u128;
+        let (r, _) = round_shift_right(v, 2, false, RoundingMode::TowardPositive);
+        assert_eq!(r, 0b101);
+        let (r, _) = round_shift_right(v, 2, true, RoundingMode::TowardPositive);
+        assert_eq!(r, 0b100);
+        let (r, _) = round_shift_right(v, 2, true, RoundingMode::TowardNegative);
+        assert_eq!(r, 0b101);
+        let (r, _) = round_shift_right(v, 2, false, RoundingMode::TowardNegative);
+        assert_eq!(r, 0b100);
+        let (r, _) = round_shift_right(v, 2, false, RoundingMode::TowardZero);
+        assert_eq!(r, 0b100);
+    }
+
+    #[test]
+    fn full_discard() {
+        let (r, inexact) = round_shift_right(5, 130, false, RoundingMode::TowardPositive);
+        assert_eq!(r, 1);
+        assert!(inexact);
+        let (r, inexact) = round_shift_right(0, 130, false, RoundingMode::TowardPositive);
+        assert_eq!(r, 0);
+        assert!(!inexact);
+    }
+
+    #[test]
+    fn nearest_even_rounds_to_nearest() {
+        // Check |rounded*2^e - value| is minimal over a sweep.
+        for value in 0u128..1024 {
+            let (r, _) = round_shift_right(value, 3, false, RoundingMode::NearestEven);
+            let lo = (value >> 3) << 3;
+            let hi = lo + 8;
+            let r_val = r << 3;
+            let d = value.abs_diff(r_val);
+            assert!(d <= value.abs_diff(lo) && d <= value.abs_diff(hi));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Ergonomic typed wrappers over raw encodings: [`B16`], [`B32`], [`B64`].
+
+use crate::bits::{self, FpClass};
+use crate::flags::Flags;
+use crate::format::{BinaryFormat, BINARY16, BINARY32, BINARY64};
+use crate::mul::mul_bits;
+use crate::paper::paper_mul_bits;
+use crate::round::RoundingMode;
+use std::fmt;
+
+macro_rules! fp_type {
+    ($(#[$meta:meta])* $name:ident, $raw:ty, $fmt:expr, $fmt_name:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name($raw);
+
+        impl $name {
+            /// The format parameters of this type.
+            pub const FORMAT: BinaryFormat = $fmt;
+
+            /// Wraps a raw encoding.
+            pub const fn from_bits(bits: $raw) -> Self {
+                Self(bits)
+            }
+
+            /// Returns the raw encoding.
+            pub const fn to_bits(self) -> $raw {
+                self.0
+            }
+
+            /// Classifies this datum.
+            pub fn classify(self) -> FpClass {
+                bits::classify(&Self::FORMAT, self.0 as u64)
+            }
+
+            /// Returns the sign bit.
+            pub fn sign(self) -> bool {
+                self.0 >> (Self::FORMAT.storage - 1) & 1 == 1
+            }
+
+            /// Returns `true` if this is a NaN of either kind.
+            pub fn is_nan(self) -> bool {
+                self.classify().is_nan()
+            }
+
+            /// Correctly rounded IEEE multiplication.
+            pub fn mul(self, rhs: Self, mode: RoundingMode) -> (Self, Flags) {
+                let (p, f) = mul_bits(&Self::FORMAT, self.0 as u64, rhs.0 as u64, mode);
+                (Self(p as $raw), f)
+            }
+
+            /// Multiplication with the SOCC'17 unit's paper-mode semantics
+            /// (injection rounding, flush-to-zero subnormals).
+            pub fn paper_mul(self, rhs: Self) -> (Self, Flags) {
+                let (p, f) = paper_mul_bits(&Self::FORMAT, self.0 as u64, rhs.0 as u64);
+                (Self(p as $raw), f)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($fmt_name, "({:#x})"), self.0)
+            }
+        }
+
+        impl From<$raw> for $name {
+            fn from(bits: $raw) -> Self {
+                Self::from_bits(bits)
+            }
+        }
+    };
+}
+
+fp_type!(
+    /// A binary16 (half precision) datum held as its raw encoding.
+    B16,
+    u16,
+    BINARY16,
+    "B16"
+);
+fp_type!(
+    /// A binary32 (single precision) datum held as its raw encoding.
+    ///
+    /// ```
+    /// use mfm_softfloat::{B32, RoundingMode};
+    ///
+    /// let a = B32::from_f32(2.0);
+    /// let b = B32::from_f32(-0.5);
+    /// let (p, _) = a.mul(b, RoundingMode::NearestEven);
+    /// assert_eq!(p.to_f32(), -1.0);
+    /// ```
+    B32,
+    u32,
+    BINARY32,
+    "B32"
+);
+fp_type!(
+    /// A binary64 (double precision) datum held as its raw encoding.
+    ///
+    /// ```
+    /// use mfm_softfloat::{B64, RoundingMode};
+    ///
+    /// let a = B64::from_f64(3.0);
+    /// let (p, _) = a.mul(a, RoundingMode::NearestEven);
+    /// assert_eq!(p.to_f64(), 9.0);
+    /// ```
+    B64,
+    u64,
+    BINARY64,
+    "B64"
+);
+
+impl B32 {
+    /// Converts from a host `f32` (bit-exact).
+    pub fn from_f32(x: f32) -> Self {
+        Self(x.to_bits())
+    }
+
+    /// Converts to a host `f32` (bit-exact).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+}
+
+impl B64 {
+    /// Converts from a host `f64` (bit-exact).
+    pub fn from_f64(x: f64) -> Self {
+        Self(x.to_bits())
+    }
+
+    /// Converts to a host `f64` (bit-exact).
+    pub fn to_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl fmt::Display for B32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl fmt::Display for B64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        assert_eq!(B32::from_bits(0x3f80_0000).to_f32(), 1.0);
+        assert_eq!(B64::from_f64(-2.5).to_bits(), (-2.5f64).to_bits());
+        assert_eq!(B16::from_bits(0x3c00).to_bits(), 0x3c00);
+    }
+
+    #[test]
+    fn typed_mul_matches_host() {
+        let (p, _) = B64::from_f64(1.25).mul(B64::from_f64(8.0), RoundingMode::NearestEven);
+        assert_eq!(p.to_f64(), 10.0);
+        let (p, _) = B32::from_f32(1.25).paper_mul(B32::from_f32(8.0));
+        assert_eq!(p.to_f32(), 10.0);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", B32::from_bits(0x10)), "B32(0x10)");
+        assert_eq!(format!("{:?}", B16::from_bits(0)), "B16(0x0)");
+    }
+
+    #[test]
+    fn classify_via_wrapper() {
+        assert_eq!(B32::from_f32(0.0).classify(), FpClass::Zero);
+        assert!(B64::from_f64(f64::NAN).is_nan());
+        assert!(B32::from_f32(-1.0).sign());
+    }
+}

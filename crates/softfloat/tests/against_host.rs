@@ -1,0 +1,84 @@
+//! The IEEE reference multiply against the host FPU, over arbitrary bit
+//! patterns — NaNs, infinities, zeros and subnormals included.
+
+use mfm_softfloat::mul::mul_bits;
+use mfm_softfloat::{RoundingMode, BINARY32, BINARY64};
+use proptest::prelude::*;
+
+proptest! {
+    /// binary32 × binary32 in NearestEven equals the host product
+    /// bit-for-bit, except NaN payloads (the host's propagation rule is
+    /// platform-defined) where only NaN-ness must agree.
+    #[test]
+    fn b32_rne_matches_host(a in any::<u32>(), b in any::<u32>()) {
+        let (got, _) = mul_bits(&BINARY32, a as u64, b as u64, RoundingMode::NearestEven);
+        let want = f32::from_bits(a) * f32::from_bits(b);
+        if want.is_nan() {
+            prop_assert!(f32::from_bits(got as u32).is_nan());
+        } else {
+            prop_assert_eq!(got as u32, want.to_bits(), "{} * {}", f32::from_bits(a), f32::from_bits(b));
+        }
+    }
+
+    /// Same for binary64.
+    #[test]
+    fn b64_rne_matches_host(a in any::<u64>(), b in any::<u64>()) {
+        let (got, _) = mul_bits(&BINARY64, a, b, RoundingMode::NearestEven);
+        let want = f64::from_bits(a) * f64::from_bits(b);
+        if want.is_nan() {
+            prop_assert!(f64::from_bits(got).is_nan());
+        } else {
+            prop_assert_eq!(got, want.to_bits());
+        }
+    }
+
+    /// Directed-mode bracketing: for finite nonzero exact products,
+    /// RTZ ≤ |exact| and the toward-±∞ modes bracket NearestEven.
+    #[test]
+    fn directed_modes_bracket(a in any::<u32>(), b in any::<u32>()) {
+        let fa = f32::from_bits(a) as f64;
+        let fb = f32::from_bits(b) as f64;
+        prop_assume!(fa.is_finite() && fb.is_finite());
+        let exact = fa * fb; // exact in f64 (24+24 bits)
+        prop_assume!(exact.is_finite() && exact != 0.0);
+
+        let get = |m: RoundingMode| {
+            let (p, _) = mul_bits(&BINARY32, a as u64, b as u64, m);
+            f32::from_bits(p as u32) as f64
+        };
+        let down = get(RoundingMode::TowardNegative);
+        let up = get(RoundingMode::TowardPositive);
+        let zero = get(RoundingMode::TowardZero);
+        let near = get(RoundingMode::NearestEven);
+        prop_assert!(down <= exact || down == f64::NEG_INFINITY.min(down));
+        prop_assert!(up >= exact || up.is_infinite());
+        prop_assert!(zero.abs() <= exact.abs());
+        prop_assert!(near >= down && near <= up);
+    }
+
+    /// Rounding modes never disagree by more than one ulp (finite cases).
+    #[test]
+    fn modes_within_one_ulp(a in any::<u32>(), b in any::<u32>()) {
+        let results: Vec<u64> = RoundingMode::ALL
+            .iter()
+            .map(|&m| mul_bits(&BINARY32, a as u64, b as u64, m).0)
+            .collect();
+        let all_finite = results.iter().all(|&r| {
+            let e = (r >> 23) & 0xFF;
+            e != 0xFF
+        });
+        prop_assume!(all_finite);
+        // Compare as sign-magnitude integers.
+        let as_ord = |bits: u64| -> i64 {
+            let b = bits as u32;
+            if b >> 31 == 1 {
+                -((b & 0x7FFF_FFFF) as i64)
+            } else {
+                (b & 0x7FFF_FFFF) as i64
+            }
+        };
+        let min = results.iter().map(|&r| as_ord(r)).min().unwrap();
+        let max = results.iter().map(|&r| as_ord(r)).max().unwrap();
+        prop_assert!(max - min <= 1, "modes spread {min}..{max}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Stratified near-exhaustive binary16 verification: the whole encoding
+//! space is covered by stride so every exponent field, both signs, zeros,
+//! subnormals, infinities and NaNs appear on both operand sides.
+
+use mfm_softfloat::mul::mul_bits;
+use mfm_softfloat::paper::{paper_mul_bits, paper_mul_bits_rne};
+use mfm_softfloat::{bits, FpClass, RoundingMode, BINARY16};
+
+/// Strided coverage of the 65536-point binary16 space; coprime strides
+/// keep the (a, b) pairs from aliasing.
+fn strata(stride: usize, offset: usize) -> impl Iterator<Item = u64> {
+    (offset..65536).step_by(stride).map(|v| v as u64)
+}
+
+/// Converts binary16 to f64 exactly (binary16 ⊂ f64).
+fn h2d(h: u64) -> f64 {
+    let u = bits::unpack(&BINARY16, h);
+    match u.class {
+        FpClass::Zero => {
+            if u.sign {
+                -0.0
+            } else {
+                0.0
+            }
+        }
+        FpClass::Infinity => {
+            if u.sign {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        }
+        FpClass::QuietNan | FpClass::SignalingNan => f64::NAN,
+        _ => {
+            let v = (u.significand as f64) * 2f64.powi(u.exponent - 10);
+            if u.sign {
+                -v
+            } else {
+                v
+            }
+        }
+    }
+}
+
+#[test]
+fn rne_matches_exact_double_product_rounded() {
+    // binary16 × binary16 is exact in f64 (11+11 < 53 bits), so rounding
+    // the f64 product to binary16 with the independent narrowing path of
+    // this crate gives a second opinion... instead we check against the
+    // host: compute in f64 and compare magnitudes within half an ulp.
+    for a in strata(97, 0) {
+        for b in strata(101, 3) {
+            let (p, _) = mul_bits(&BINARY16, a, b, RoundingMode::NearestEven);
+            let exact = h2d(a) * h2d(b);
+            let got = h2d(p);
+            if exact.is_nan() {
+                assert!(got.is_nan(), "a={a:#x} b={b:#x}");
+            } else if got.is_finite() {
+                let u = bits::unpack(&BINARY16, p);
+                let ulp = 2f64.powi(u.exponent.max(-14) - 10);
+                assert!(
+                    (got - exact).abs() <= ulp / 2.0 + f64::EPSILON,
+                    "a={a:#x} b={b:#x} got={got} exact={exact}"
+                );
+            } else {
+                // Overflowed to infinity: the exact product must be at
+                // least the binary16 overflow threshold (65520).
+                assert!(exact.abs() >= 65519.9, "a={a:#x} b={b:#x} exact={exact}");
+            }
+        }
+    }
+}
+
+/// Keeps only results strictly inside the normal range: at the very
+/// bottom (biased exponent 1) IEEE rounds tiny products up at the
+/// *subnormal* quantum while the hardware rounds at the normal quantum
+/// and flushes — the documented boundary band (see `mfm_softfloat::paper`).
+fn strictly_normal(bits16: u64) -> bool {
+    let e = (bits16 >> 10) & 0x1F;
+    e > 1 && e < 0x1F
+}
+
+#[test]
+fn paper_mode_agrees_with_ties_away_everywhere_normal() {
+    // Over the stratified space, wherever operands are normal and the
+    // NearestAway result is strictly inside the normal range, paper mode
+    // must equal IEEE ties-away.
+    let mut checked = 0u32;
+    for a in strata(89, 1) {
+        for b in strata(103, 7) {
+            let ua = bits::classify(&BINARY16, a);
+            let ub = bits::classify(&BINARY16, b);
+            if ua != FpClass::Normal || ub != FpClass::Normal {
+                continue;
+            }
+            let (ieee, _) = mul_bits(&BINARY16, a, b, RoundingMode::NearestAway);
+            if !strictly_normal(ieee) {
+                continue;
+            }
+            let (pm, _) = paper_mul_bits(&BINARY16, a, b);
+            assert_eq!(pm, ieee, "a={a:#x} b={b:#x}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 100_000, "coverage too thin: {checked}");
+}
+
+#[test]
+fn min_normal_boundary_band_behaves_as_documented() {
+    // The known divergence: a tiny product that IEEE rounds up to the
+    // smallest normal is flushed to zero by the hardware's fixed-position
+    // rounding. 0x090b × 0x3658 is such a pair.
+    let (ieee, _) = mul_bits(&BINARY16, 0x090b, 0x3658, RoundingMode::NearestAway);
+    assert_eq!(ieee, 0x0400, "IEEE: smallest normal");
+    let (pm, flags) = paper_mul_bits(&BINARY16, 0x090b, 0x3658);
+    assert_eq!(pm, 0, "hardware: flushed");
+    assert!(flags.underflow() && flags.inexact());
+}
+
+#[test]
+fn rne_extension_agrees_with_ieee_rne_everywhere_normal() {
+    let mut checked = 0u32;
+    for a in strata(83, 2) {
+        for b in strata(107, 5) {
+            let ua = bits::classify(&BINARY16, a);
+            let ub = bits::classify(&BINARY16, b);
+            if ua != FpClass::Normal || ub != FpClass::Normal {
+                continue;
+            }
+            let (ieee, _) = mul_bits(&BINARY16, a, b, RoundingMode::NearestEven);
+            if !strictly_normal(ieee) {
+                continue;
+            }
+            let (pm, _) = paper_mul_bits_rne(&BINARY16, a, b);
+            assert_eq!(pm, ieee, "a={a:#x} b={b:#x}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 100_000, "coverage too thin: {checked}");
+}

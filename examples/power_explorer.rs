@@ -1,0 +1,72 @@
+//! Interactive-style exploration of the unit's power/efficiency space:
+//! per-format power at several clock frequencies, combinational vs
+//! pipelined, with per-block energy attribution.
+//!
+//! Run with: `cargo run --release --example power_explorer [ops]`
+
+use mfm_repro::evalkit::montecarlo::measure_unit;
+use mfm_repro::gatesim::report::Table;
+use mfm_repro::gatesim::{Netlist, TechLibrary, TimingAnalysis};
+use mfm_repro::mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
+use mfm_repro::mfmult::structural::build_unit;
+use mfm_repro::mfmult::Format;
+
+fn main() {
+    let ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+
+    println!("building combinational and pipelined units...");
+    let mut nc = Netlist::new(TechLibrary::cmos45lp());
+    let uc = build_unit(&mut nc);
+    let mut np = Netlist::new(TechLibrary::cmos45lp());
+    let up = build_pipelined_unit(&mut np, PipelinePlacement::Fig5);
+    let sta = TimingAnalysis::new(&np).report();
+    let fmax = sta.max_freq_mhz();
+    println!(
+        "pipelined unit: {} cells, {} registers, fmax {:.0} MHz\n",
+        np.cell_count(),
+        np.dff_count(),
+        fmax
+    );
+
+    let mut t = Table::new(&[
+        "format",
+        "comb pJ/op",
+        "pipe pJ/op",
+        "mW @100MHz",
+        "mW @fmax",
+        "GFLOPS/W @fmax",
+    ]);
+    for format in Format::ALL {
+        let pc = measure_unit(&nc, &uc, format, ops, 1);
+        let pp = measure_unit(&np, &up, format, ops, 1);
+        let mw100 = pp.total_mw_at(100.0);
+        let mwmax = pp.total_mw_at(fmax);
+        let gflops = format.ops_per_cycle() as f64 * fmax * 1e-3;
+        t.row_owned(vec![
+            format!("{format:?}"),
+            format!("{:.1}", pc.energy_pj_per_op()),
+            format!("{:.1}", pp.energy_pj_per_op()),
+            format!("{mw100:.2}"),
+            format!("{mwmax:.2}"),
+            format!("{:.1}", gflops / (mwmax * 1e-3)),
+        ]);
+    }
+    println!("{t}");
+
+    // Per-block energy attribution for the dual-lane workload.
+    let p = measure_unit(&np, &up, Format::DualBinary32, ops, 1);
+    let mut t = Table::new(&["block", "pJ/op (dual binary32)"]);
+    for (b, e) in &p.per_block_pj {
+        t.row_owned(vec![b.clone(), format!("{e:.2}")]);
+    }
+    t.row_owned(vec!["(clock)".into(), format!("{:.2}", p.clock_pj_per_op)]);
+    println!("{t}");
+    println!(
+        "glitch metric: {:.0} committed transitions/op in the combinational unit vs {:.0} pipelined",
+        measure_unit(&nc, &uc, Format::Binary64, ops, 1).transitions_per_op,
+        measure_unit(&np, &up, Format::Binary64, ops, 1).transitions_per_op,
+    );
+}

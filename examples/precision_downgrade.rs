@@ -1,0 +1,102 @@
+//! Section IV of the paper: "by converting the double-precision numbers
+//! which fit to single precision, further energy can be saved."
+//!
+//! This example takes a mixed binary64 workload, classifies each operand
+//! pair with the Algorithm 1 reduction, routes reducible pairs to the
+//! binary32 lanes and the rest to binary64, and reports the energy saved —
+//! error-free. The lossy tolerance extension is swept afterwards.
+//!
+//! Run with: `cargo run --release --example precision_downgrade`
+
+use mfm_repro::evalkit::montecarlo::measure_unit;
+use mfm_repro::evalkit::workload::OperandGen;
+use mfm_repro::gatesim::{Netlist, TechLibrary};
+use mfm_repro::mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
+use mfm_repro::mfmult::reduce::{reduce, reduce_with_tolerance};
+use mfm_repro::mfmult::{Format, FunctionalUnit, Operation};
+
+fn main() {
+    let n_pairs = 20_000usize;
+    let p_reducible = 0.6;
+    let mut gen = OperandGen::new(42);
+    let pairs: Vec<(u64, u64)> = (0..n_pairs)
+        .map(|_| (gen.mixed_b64(p_reducible), gen.mixed_b64(p_reducible)))
+        .collect();
+
+    // --- classify with the paper's error-free check --------------------
+    let unit = FunctionalUnit::new();
+    let mut dual_queue: Vec<(u32, u32)> = Vec::new();
+    let mut b64_ops = 0usize;
+    let mut max_err = 0.0f64;
+    let mut flushed = 0usize;
+    for &(a, b) in &pairs {
+        match (reduce(a), reduce(b)) {
+            (Some(ra), Some(rb)) => dual_queue.push((ra, rb)),
+            _ => {
+                let r = unit.execute(Operation::binary64(a, b));
+                let want = f64::from_bits(a) * f64::from_bits(b);
+                if want.is_finite() && want != 0.0 && !want.is_subnormal() {
+                    let got = r.b64_product_f64();
+                    max_err = max_err.max(((got - want) / want).abs());
+                } else if want.is_subnormal() {
+                    // The unit flushes subnormal results to zero by design.
+                    flushed += 1;
+                }
+                b64_ops += 1;
+            }
+        }
+    }
+    // Reduced pairs go through the dual lanes two at a time.
+    let mut dual_cycles = 0usize;
+    for chunk in dual_queue.chunks(2) {
+        let (x, y) = chunk[0];
+        let (w, z) = chunk.get(1).copied().unwrap_or((0, 0));
+        let _ = unit.execute(Operation::dual_binary32(x, y, w, z));
+        dual_cycles += 1;
+    }
+
+    println!("mixed workload: {n_pairs} binary64 multiplications, ~{:.0}% operands reducible", p_reducible * 100.0);
+    println!(
+        "  error-free routing: {} pairs -> dual binary32 ({} cycles), {} stayed binary64",
+        dual_queue.len(),
+        dual_cycles,
+        b64_ops
+    );
+
+    // --- energy model from the gate-level unit -------------------------
+    println!("\nmeasuring per-format energy on the gate-level pipelined unit...");
+    let mut netlist = Netlist::new(TechLibrary::cmos45lp());
+    let u = build_pipelined_unit(&mut netlist, PipelinePlacement::Fig5);
+    let e_b64 = measure_unit(&netlist, &u, Format::Binary64, 120, 9).energy_pj_per_op();
+    let e_dual = measure_unit(&netlist, &u, Format::DualBinary32, 120, 9).energy_pj_per_op();
+
+    let baseline_nj = e_b64 * n_pairs as f64 / 1000.0;
+    let routed_nj = (e_b64 * b64_ops as f64 + e_dual * dual_cycles as f64) / 1000.0;
+    println!("  all-binary64 baseline : {baseline_nj:.1} nJ");
+    println!("  with Sec. IV reduction: {routed_nj:.1} nJ  ({:.0}% saved, zero numerical cost)",
+        100.0 * (1.0 - routed_nj / baseline_nj));
+
+    // --- extension: lossy reduction sweep -------------------------------
+    println!("\nlossy-reduction extension (tolerance sweep over the same operands):");
+    println!("  tolerance | reducible operands | est. energy saved");
+    for tol in [0.0, 1e-9, 1e-7, 1e-5] {
+        let reducible = pairs
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .filter(|&x| reduce_with_tolerance(x, tol).is_some())
+            .count();
+        let frac = reducible as f64 / (2 * n_pairs) as f64;
+        // Both operands must reduce for a pair to downgrade.
+        let pair_frac = frac * frac;
+        let est = (1.0 - pair_frac) * e_b64 + pair_frac * e_dual / 2.0;
+        println!(
+            "  {tol:9.0e} | {reducible:6} ({:.0}%)      | {:.0}%",
+            frac * 100.0,
+            100.0 * (1.0 - est / e_b64)
+        );
+    }
+    println!(
+        "\nmax relative error of the binary64 path vs host (normal products): {max_err:.2e}"
+    );
+    println!("subnormal products flushed to zero by the unit (by design): {flushed}");
+}

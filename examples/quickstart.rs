@@ -1,0 +1,55 @@
+//! Quickstart: the multi-format multiplier's public API in two minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mfm_repro::mfmult::{reduce, FunctionalUnit, Operation};
+use mfm_repro::softfloat::RoundingMode;
+
+fn main() {
+    let unit = FunctionalUnit::new();
+
+    // --- int64: 64×64 → 128-bit product --------------------------------
+    let r = unit.execute(Operation::int64(0xDEAD_BEEF_CAFE_F00D, 0x0123_4567_89AB_CDEF));
+    println!("int64   : 0xDEADBEEFCAFEF00D * 0x0123456789ABCDEF = {:#034x}", r.int_product());
+
+    // --- binary64: one double-precision multiply -----------------------
+    let r = unit.execute(Operation::binary64_from_f64(std::f64::consts::PI, 2.0));
+    println!("binary64: pi * 2 = {}", r.b64_product_f64());
+
+    // --- dual binary32: two single-precision multiplies per cycle ------
+    let r = unit.execute(Operation::dual_binary32_from_f32(1.5, 2.0, -3.25, 4.0));
+    let (lo, hi) = r.b32_products_f32();
+    println!("dual b32: 1.5*2.0 = {lo}   and   -3.25*4.0 = {hi}   (one cycle)");
+
+    // --- rounding is the unit's injection scheme (ties away) -----------
+    let tie_a = 1.0 + f64::powi(2.0, -26);
+    let tie_b = 1.0 + f64::powi(2.0, -27);
+    let paper = unit.mul_f64(tie_a, tie_b);
+    let host = tie_a * tie_b; // host FPU rounds ties to even
+    println!(
+        "tie case: unit {} vs host RNE {} (differ in the last bit: {})",
+        paper,
+        host,
+        paper.to_bits() != host.to_bits()
+    );
+
+    // --- extension: four binary16 multiplications per cycle ------------
+    let r = unit.execute(Operation::quad_binary16(
+        [0x3C00, 0x4000, 0x3E00, 0xC400], // 1.0, 2.0, 1.5, -4.0
+        [0x4000, 0x4000, 0x4000, 0x3800], // × 2.0, 2.0, 2.0, 0.5
+    ));
+    println!("quad b16: products (encodings) = {:04x?}   (one cycle, four lanes)", r.b16_products());
+
+    // --- error-free binary64 → binary32 reduction (Sec. IV) ------------
+    for x in [1.5f64, 0.1, 1e300] {
+        match reduce::reduce(x.to_bits()) {
+            Some(b32) => println!("reduce  : {x} fits binary32 exactly -> {}", f32::from_bits(b32)),
+            None => println!("reduce  : {x} needs binary64 (kept)"),
+        }
+    }
+
+    // --- the softfloat reference is also public ------------------------
+    let a = mfm_repro::softfloat::B64::from_f64(0.1);
+    let (p, flags) = a.mul(a, RoundingMode::NearestEven);
+    println!("softfloat: 0.1 * 0.1 = {} (flags: {})", p.to_f64(), flags);
+}

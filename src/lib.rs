@@ -1,0 +1,29 @@
+//! Umbrella crate for the reproduction of
+//! *A Multi-Format Floating-Point Multiplier for Power-Efficient Operations*
+//! (A. Nannarelli, IEEE SOCC 2017).
+//!
+//! This crate re-exports the workspace members under stable module names so
+//! that the examples and cross-crate integration tests in this repository
+//! can use a single dependency:
+//!
+//! - [`gatesim`] — gate-level netlists, event-driven simulation, STA, power
+//! - [`arith`] — arithmetic netlist generators and functional twins
+//! - [`softfloat`] — reference IEEE 754-2008 software floating point
+//! - [`mfmult`] — the paper's multi-format multiplier
+//! - [`evalkit`] — workloads, Monte-Carlo power runs and report formatting
+//!
+//! # Example
+//!
+//! ```
+//! use mfm_repro::mfmult::{FunctionalUnit, Operation};
+//!
+//! let unit = FunctionalUnit::new();
+//! let r = unit.execute(Operation::int64(7, 6));
+//! assert_eq!(r.int_product(), 42);
+//! ```
+
+pub use mfm_arith as arith;
+pub use mfm_evalkit as evalkit;
+pub use mfm_gatesim as gatesim;
+pub use mfm_softfloat as softfloat;
+pub use mfmult;

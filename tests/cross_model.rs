@@ -1,0 +1,142 @@
+//! Cross-crate property tests: the functional multi-format unit against
+//! the independent softfloat oracle, across the whole operand space.
+
+use mfm_repro::mfmult::{Format, FunctionalUnit, Operation};
+use mfm_repro::softfloat::paper::paper_mul_bits;
+use mfm_repro::softfloat::{mul::mul_bits, RoundingMode, BINARY32, BINARY64};
+use proptest::prelude::*;
+
+proptest! {
+    /// int64 products match host 128-bit multiplication for all inputs.
+    #[test]
+    fn int64_matches_host(x in any::<u64>(), y in any::<u64>()) {
+        let r = FunctionalUnit::new().execute(Operation::int64(x, y));
+        prop_assert_eq!(r.int_product(), (x as u128) * (y as u128));
+    }
+
+    /// binary64 lane matches the softfloat paper-mode oracle bit-for-bit
+    /// on arbitrary encodings (including NaN/Inf/subnormal patterns).
+    #[test]
+    fn binary64_matches_oracle(a in any::<u64>(), b in any::<u64>()) {
+        let r = FunctionalUnit::new().execute(Operation::binary64(a, b));
+        let (want, flags) = paper_mul_bits(&BINARY64, a, b);
+        prop_assert_eq!(r.ph, want);
+        prop_assert_eq!(r.flags_lo.bits(), flags.bits());
+    }
+
+    /// Each dual lane matches an independent single multiplication and is
+    /// unaffected by the other lane's operands.
+    #[test]
+    fn dual_lanes_independent(
+        x in any::<u32>(), y in any::<u32>(),
+        w1 in any::<u32>(), z1 in any::<u32>(),
+        w2 in any::<u32>(), z2 in any::<u32>(),
+    ) {
+        let unit = FunctionalUnit::new();
+        let r1 = unit.execute(Operation::dual_binary32(x, y, w1, z1));
+        let r2 = unit.execute(Operation::dual_binary32(x, y, w2, z2));
+        prop_assert_eq!(r1.b32_products().0, r2.b32_products().0);
+        let (want, _) = paper_mul_bits(&BINARY32, x as u64, y as u64);
+        prop_assert_eq!(r1.b32_products().0 as u64, want);
+        let (want_hi, _) = paper_mul_bits(&BINARY32, w1 as u64, z1 as u64);
+        prop_assert_eq!(r1.b32_products().1 as u64, want_hi);
+    }
+
+    /// Paper-mode rounding equals IEEE round-to-nearest-away whenever the
+    /// product is a normal number and the operands are normal.
+    #[test]
+    fn paper_mode_is_ties_away_on_normals(
+        ea in 800u64..1200, eb in 800u64..1200,
+        fa in 0u64..(1 << 52), fb in 0u64..(1 << 52),
+        sa in any::<bool>(), sb in any::<bool>(),
+    ) {
+        let a = ((sa as u64) << 63) | (ea << 52) | fa;
+        let b = ((sb as u64) << 63) | (eb << 52) | fb;
+        let (paper, _) = paper_mul_bits(&BINARY64, a, b);
+        let (ieee, _) = mul_bits(&BINARY64, a, b, RoundingMode::NearestAway);
+        // Exclude results the unit flushes/saturates (exponent range).
+        let exp = (ieee >> 52) & 0x7FF;
+        prop_assume!(exp > 0 && exp < 0x7FF);
+        prop_assert_eq!(paper, ieee);
+    }
+
+    /// Multiplication magnitude commutes for finite operands.
+    #[test]
+    fn multiplication_commutes(a in any::<u64>(), b in any::<u64>()) {
+        let unit = FunctionalUnit::new();
+        let r1 = unit.execute(Operation::binary64(a, b));
+        let r2 = unit.execute(Operation::binary64(b, a));
+        // NaN payload propagation prefers the first operand, so compare
+        // only non-NaN results.
+        let is_nan = |bits: u64| (bits >> 52) & 0x7FF == 0x7FF && bits & ((1 << 52) - 1) != 0;
+        prop_assume!(!is_nan(r1.ph));
+        prop_assert_eq!(r1.ph, r2.ph);
+    }
+
+    /// ±1.0 are exact identities (away from the exponent limits).
+    #[test]
+    fn one_is_identity(ea in 2u64..0x7FE, fa in 0u64..(1 << 52), s in any::<bool>()) {
+        let a = ((s as u64) << 63) | (ea << 52) | fa;
+        let one = 1.0f64.to_bits();
+        let r = FunctionalUnit::new().execute(Operation::binary64(a, one));
+        prop_assert_eq!(r.ph, a);
+    }
+
+    /// The result of single-binary32 equals the lower lane of a dual op
+    /// with a zeroed upper lane.
+    #[test]
+    fn single_is_dual_lower(x in any::<u32>(), y in any::<u32>()) {
+        let unit = FunctionalUnit::new();
+        let s = unit.execute(Operation::single_binary32(x, y));
+        let d = unit.execute(Operation::dual_binary32(x, y, 0, 0));
+        prop_assert_eq!(s.ph as u32, d.ph as u32);
+    }
+
+    /// Quad extension: every binary16 lane equals an independent
+    /// paper-mode multiplication and ignores its neighbours.
+    #[test]
+    fn quad_lanes_independent(
+        x in any::<[u16; 4]>(), y in any::<[u16; 4]>(),
+        x2 in any::<[u16; 4]>(), y2 in any::<[u16; 4]>(),
+        lane in 0usize..4,
+    ) {
+        use mfm_repro::softfloat::BINARY16;
+        let unit = FunctionalUnit::new();
+        let r = unit.execute(Operation::quad_binary16(x, y));
+        let p = r.b16_products();
+        for k in 0..4 {
+            let (want, _) = paper_mul_bits(&BINARY16, x[k] as u64, y[k] as u64);
+            prop_assert_eq!(p[k] as u64, want, "lane {}", k);
+        }
+        // Perturb every lane except `lane`: its product must not move.
+        let mut x3 = x2;
+        let mut y3 = y2;
+        x3[lane] = x[lane];
+        y3[lane] = y[lane];
+        let r2 = unit.execute(Operation::quad_binary16(x3, y3));
+        prop_assert_eq!(r2.b16_products()[lane], p[lane]);
+    }
+
+    /// The word-level quad array model agrees with plain multiplication
+    /// for arbitrary 11-bit significands.
+    #[test]
+    fn quad_array_identity(
+        x in any::<[u16; 4]>(), y in any::<[u16; 4]>(),
+    ) {
+        use mfm_repro::mfmult::quad::quad_lane_array_product;
+        let xm = x.map(|v| v & 0x7FF);
+        let ym = y.map(|v| v & 0x7FF);
+        let p = quad_lane_array_product(xm, ym);
+        for k in 0..4 {
+            prop_assert_eq!(p[k], xm[k] as u32 * ym[k] as u32);
+        }
+    }
+}
+
+#[test]
+fn format_throughput_constants() {
+    assert_eq!(Format::DualBinary32.ops_per_cycle(), 2);
+    for f in [Format::Int64, Format::Binary64, Format::SingleBinary32] {
+        assert_eq!(f.ops_per_cycle(), 1);
+    }
+}

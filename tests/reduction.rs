@@ -1,0 +1,89 @@
+//! Properties of the binary64→binary32 reduction (Sec. IV).
+
+use mfm_repro::gatesim::{Netlist, Simulator, TechLibrary};
+use mfm_repro::mfmult::reduce::{build_reducer, reduce, reduce_with_tolerance};
+use mfm_repro::softfloat::convert::{b32_to_b64, b64_to_b32_ieee, reduce_b64_to_b32_with_zero};
+use mfm_repro::softfloat::RoundingMode;
+use proptest::prelude::*;
+
+proptest! {
+    /// Whenever the reduction accepts, widening back recovers the exact
+    /// original encoding — the "error-free" guarantee.
+    #[test]
+    fn reduction_is_error_free(bits in any::<u64>()) {
+        if let Some(b32) = reduce(bits) {
+            prop_assert_eq!(b32_to_b64(b32), bits);
+        }
+    }
+
+    /// The reduction accepts exactly when (a) the IEEE narrowing is exact,
+    /// (b) the result is a normal binary32, and (c) the value is nonzero
+    /// (the published checks exclude zero).
+    #[test]
+    fn acceptance_criterion(bits in any::<u64>()) {
+        let accepted = reduce(bits).is_some();
+        let x = f64::from_bits(bits);
+        let (narrow, flags) = b64_to_b32_ieee(bits, RoundingMode::NearestEven);
+        let back = f32::from_bits(narrow);
+        let expect = x.is_finite()
+            && x != 0.0
+            && flags.is_empty()
+            && back.is_normal();
+        prop_assert_eq!(accepted, expect, "{:#x} -> {:?}", bits, reduce(bits));
+    }
+
+    /// The zero-extension accepts signed zeros on top of the paper's set.
+    #[test]
+    fn zero_extension(bits in any::<u64>()) {
+        let base = reduce(bits);
+        let ext = reduce_b64_to_b32_with_zero(bits);
+        if f64::from_bits(bits) == 0.0 && bits & !(1 << 63) == 0 {
+            prop_assert!(base.is_none());
+            prop_assert!(ext.is_some());
+        } else {
+            prop_assert_eq!(base, ext);
+        }
+    }
+
+    /// The lossy extension at tolerance 0 accepts a superset of the
+    /// error-free set and never increases the error bound.
+    #[test]
+    fn tolerance_monotone(bits in any::<u64>()) {
+        let t0 = reduce_with_tolerance(bits, 0.0);
+        let t7 = reduce_with_tolerance(bits, 1e-7);
+        if t0.is_some() {
+            prop_assert!(t7.is_some(), "larger tolerance must accept more");
+        }
+        if let Some(r) = t7 {
+            let x = f64::from_bits(bits);
+            let err = ((f32::from_bits(r) as f64 - x) / x).abs();
+            prop_assert!(err <= 1e-7, "{bits:#x}: err {err}");
+        }
+    }
+}
+
+#[test]
+fn netlist_reducer_agrees_with_functional_on_boundaries() {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = build_reducer(&mut n);
+    let mut sim = Simulator::new(&n);
+    // All exponent boundary cases with zero and nonzero low bits.
+    for exp in [0u64, 1, 895, 896, 897, 1000, 1150, 1151, 1152, 2046, 2047] {
+        for low in [0u64, 1, 1 << 28, 1 << 29] {
+            for sign in [0u64, 1] {
+                let bits = (sign << 63) | (exp << 52) | (0xABC << 40) | low;
+                sim.set_bus(&ports.input, bits as u128);
+                sim.settle();
+                let want = reduce(bits);
+                assert_eq!(
+                    sim.read_net(ports.reduced),
+                    want.is_some(),
+                    "exp={exp} low={low:#x}"
+                );
+                if let Some(w) = want {
+                    assert_eq!(sim.read_bus(&ports.b32) as u32, w);
+                }
+            }
+        }
+    }
+}

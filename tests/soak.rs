@@ -1,0 +1,95 @@
+//! Long-running cross-model soak tests, ignored by default. Run with:
+//!
+//! ```text
+//! cargo test --release --test soak -- --ignored
+//! ```
+
+use mfm_repro::evalkit::workload::OperandGen;
+use mfm_repro::gatesim::{Netlist, Simulator, TechLibrary};
+use mfm_repro::mfmult::pipeline::{build_pipelined_unit_opts, PipelinePlacement};
+use mfm_repro::mfmult::structural::build_unit_quad;
+use mfm_repro::mfmult::{Format, FunctionalUnit, Operation, UnitOptions};
+use std::collections::VecDeque;
+
+#[test]
+#[ignore = "soak test: thousands of gate-level vectors; run explicitly"]
+fn gate_level_soak_all_formats() {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let u = build_unit_quad(&mut n);
+    let mut sim = Simulator::new(&n);
+    let func = FunctionalUnit::new();
+    let mut gen = OperandGen::new(0x50AC);
+
+    let mut s = 0xD1CEu64;
+    for i in 0..4000 {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        // Mix structured valid operands with raw random words.
+        let op = if s & 1 == 0 {
+            let fmt = match (s >> 8) % 5 {
+                0 => Format::Int64,
+                1 => Format::Binary64,
+                2 => Format::DualBinary32,
+                3 => Format::SingleBinary32,
+                _ => Format::QuadBinary16,
+            };
+            gen.operation(fmt)
+        } else {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let xa = s;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let yb = s;
+            let fmt = match (s >> 5) % 4 {
+                0 => Format::Int64,
+                1 => Format::Binary64,
+                2 => Format::DualBinary32,
+                _ => Format::QuadBinary16,
+            };
+            Operation {
+                format: fmt,
+                xa,
+                yb,
+            }
+        };
+        let want = func.execute(op);
+        sim.set_bus(&u.frmt, op.format.encoding() as u128);
+        sim.set_bus(&u.xa, op.xa as u128);
+        sim.set_bus(&u.yb, op.yb as u128);
+        sim.settle();
+        assert_eq!(sim.read_bus(&u.ph) as u64, want.ph, "vector {i}: {op:?}");
+    }
+}
+
+#[test]
+#[ignore = "soak test: long pipelined stream; run explicitly"]
+fn pipelined_soak_stream() {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let u = build_pipelined_unit_opts(
+        &mut n,
+        PipelinePlacement::Fig5,
+        UnitOptions { quad_lanes: true },
+    );
+    let func = FunctionalUnit::new();
+    for format in [
+        Format::Int64,
+        Format::Binary64,
+        Format::DualBinary32,
+        Format::QuadBinary16,
+    ] {
+        let mut sim = Simulator::new(&n);
+        let mut gen = OperandGen::new(format.encoding() ^ 0xFEED);
+        let mut expected: VecDeque<u64> = VecDeque::new();
+        for i in 0..500 {
+            let op = gen.operation(format);
+            sim.step_cycle(&[
+                (&u.frmt, format.encoding() as u128),
+                (&u.xa, op.xa as u128),
+                (&u.yb, op.yb as u128),
+            ]);
+            expected.push_back(func.execute(op).ph);
+            if expected.len() > 3 {
+                let want = expected.pop_front().unwrap();
+                assert_eq!(sim.read_bus(&u.ph) as u64, want, "{format:?} cycle {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Gate-level model vs functional model, end to end across formats.
+//! The heavyweight gate simulations use fewer vectors in debug builds.
+
+use mfm_repro::gatesim::{Netlist, Simulator, TechLibrary};
+use mfm_repro::mfmult::structural::build_unit;
+use mfm_repro::mfmult::{Format, FunctionalUnit, Operation};
+
+fn vectors() -> usize {
+    if cfg!(debug_assertions) {
+        8
+    } else {
+        60
+    }
+}
+
+fn rng_words(count: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed;
+    (0..count)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn structural_equals_functional_on_random_words() {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let u = build_unit(&mut n);
+    n.check().expect("valid netlist");
+    let mut sim = Simulator::new(&n);
+    let func = FunctionalUnit::new();
+
+    for w in rng_words(vectors() * 2, 0xBEEF).chunks(2) {
+        let (a, b) = (w[0], w[1]);
+        for format in [Format::Int64, Format::Binary64, Format::DualBinary32] {
+            let op = Operation {
+                format,
+                xa: a,
+                yb: b,
+            };
+            let want = func.execute(op);
+            sim.set_bus(&u.frmt, format.encoding() as u128);
+            sim.set_bus(&u.xa, a as u128);
+            sim.set_bus(&u.yb, b as u128);
+            sim.settle();
+            assert_eq!(sim.read_bus(&u.ph) as u64, want.ph, "{format:?} {a:#x} {b:#x}");
+            if format == Format::Int64 {
+                assert_eq!(sim.read_bus(&u.pl) as u64, want.pl);
+            }
+        }
+    }
+}
+
+#[test]
+fn structural_dual_lane_sectioning_is_exact() {
+    // Fixed lower lane, sweeping upper lane — the gate-level Fig. 4
+    // sectioning must keep lanes bit-independent.
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let u = build_unit(&mut n);
+    let mut sim = Simulator::new(&n);
+
+    let x = 1.5f32.to_bits();
+    let y = (-2.25f32).to_bits();
+    let mut lower_results = std::collections::HashSet::new();
+    for w in rng_words(vectors(), 0xFACE) {
+        let op = Operation::dual_binary32(x, y, w as u32, (w >> 32) as u32);
+        sim.set_bus(&u.frmt, 2);
+        sim.set_bus(&u.xa, op.xa as u128);
+        sim.set_bus(&u.yb, op.yb as u128);
+        sim.settle();
+        lower_results.insert(sim.read_bus(&u.ph) as u32);
+    }
+    assert_eq!(
+        lower_results.len(),
+        1,
+        "lower product changed with upper operands: {lower_results:?}"
+    );
+    assert!(lower_results.contains(&(1.5f32 * -2.25f32).to_bits()));
+}
+
+#[test]
+fn structural_flags_match_functional_on_specials() {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let u = build_unit(&mut n);
+    let mut sim = Simulator::new(&n);
+    let func = FunctionalUnit::new();
+
+    let specials: Vec<(f64, f64)> = vec![
+        (f64::INFINITY, 0.0),
+        (f64::NAN, 2.0),
+        (1e308, 1e10),
+        (1e-308, 1e-10),
+        (0.0, -0.0),
+    ];
+    for (a, b) in specials {
+        let op = Operation::binary64_from_f64(a, b);
+        let want = func.execute(op);
+        sim.set_bus(&u.frmt, 1);
+        sim.set_bus(&u.xa, op.xa as u128);
+        sim.set_bus(&u.yb, op.yb as u128);
+        sim.settle();
+        assert_eq!(sim.read_bus(&u.ph) as u64, want.ph, "{a} × {b}");
+        let flags = sim.read_bus(&u.flags) as u64;
+        let want_bits = (want.flags_lo.invalid() as u64)
+            | ((want.flags_lo.overflow() as u64) << 1)
+            | ((want.flags_lo.underflow() as u64) << 2);
+        assert_eq!(flags & 0b111, want_bits, "{a} × {b} flags");
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end shape checks of the reproduced evaluation: the qualitative
+//! claims of every table hold on small Monte-Carlo runs. (The bench
+//! binaries run the same experiments at full size.)
+
+use mfm_repro::evalkit::experiments::{
+    placement_study, table1, table2, table2_radix8, table3, table4, table5,
+};
+
+fn ops() -> usize {
+    if cfg!(debug_assertions) {
+        8
+    } else {
+        60
+    }
+}
+
+#[test]
+fn table1_vs_table2_claims() {
+    let r16 = table1();
+    let r4 = table2();
+    // "the radix-4 unit is about 20% faster than the radix-16 unit"
+    let speedup = r16.latency_ps / r4.latency_ps;
+    assert!(
+        (1.05..1.6).contains(&speedup),
+        "radix-4 speedup {speedup:.2} out of plausible range"
+    );
+    // "due to the larger tree the radix-4 unit area is about 18% larger"
+    assert!(
+        r4.area_um2_sized > r16.area_um2_sized,
+        "radix-4 must be larger"
+    );
+    // FO4 counts are in the vicinity of the paper's 29 / 23.
+    assert!((20.0..45.0).contains(&r16.latency_fo4));
+    assert!((15.0..35.0).contains(&r4.latency_fo4));
+}
+
+#[test]
+fn radix8_sits_between() {
+    let r8 = table2_radix8();
+    let r16 = table1();
+    // Radix-8 needs the 3X precompute but keeps a deeper tree: the paper
+    // expects no win over radix-16. Its PP count (22) sits between.
+    assert!(r8.latency_ps > 0.0);
+    assert!(
+        r8.area_um2_raw < r16.area_um2_raw * 1.2,
+        "radix-8 should not be dramatically larger than radix-16"
+    );
+}
+
+#[test]
+fn table3_claims() {
+    let t = table3(ops(), 77);
+    let comb_ratio = t.rows[0].3;
+    let pipe_ratio = t.rows[1].3;
+    // Pipelining reduces glitch power and favours radix-16 (the paper's
+    // 0.94 → 0.89 trend; our gate-level model reproduces the trend with a
+    // larger step — see EXPERIMENTS.md).
+    assert!(
+        pipe_ratio < comb_ratio,
+        "pipelining must improve the radix-16 ratio: {comb_ratio:.2} -> {pipe_ratio:.2}"
+    );
+    assert!(pipe_ratio < 1.0, "pipelined radix-16 must win: {pipe_ratio:.2}");
+    // Pipelined units draw less power than combinational ones per op.
+    assert!(t.rows[1].1 < t.rows[0].1, "radix-4 pipelined < combinational");
+    assert!(t.rows[1].2 < t.rows[0].2, "radix-16 pipelined < combinational");
+}
+
+#[test]
+fn table4_is_exact() {
+    let t = table4();
+    let expect: [(&str, [i64; 4]); 6] = [
+        ("storage", [16, 32, 64, 128]),
+        ("precision", [11, 24, 53, 113]),
+        ("exponent", [5, 8, 11, 15]),
+        ("emax", [15, 127, 1023, 16383]),
+        ("bias", [15, 127, 1023, 16383]),
+        ("trailing", [10, 23, 52, 112]),
+    ];
+    for (row, (_, vals)) in t.rows.iter().zip(expect) {
+        assert_eq!([row.1, row.2, row.3, row.4], vals, "{}", row.0);
+    }
+}
+
+#[test]
+fn table5_claims() {
+    let t = table5(ops(), 99);
+    let find = |n: &str| t.rows.iter().find(|r| r.format == n).unwrap();
+    let int = find("int64");
+    let b64 = find("binary64");
+    let dual = find("binary32 (dual)");
+    let single = find("binary32 (single)");
+
+    // Power ordering: int64 > binary64 > dual > single.
+    assert!(int.power_mw_100 > b64.power_mw_100);
+    assert!(b64.power_mw_100 > dual.power_mw_100);
+    assert!(dual.power_mw_100 > single.power_mw_100);
+
+    // binary64/int64 ratio ≈ 0.8 (paper: "about 80%").
+    let ratio = b64.power_mw_100 / int.power_mw_100;
+    assert!((0.7..0.95).contains(&ratio), "b64/int64 ratio {ratio:.2}");
+
+    // Efficiency: dual binary32 is the best, int64 the worst; both
+    // binary32 modes beat binary64.
+    assert!(dual.efficiency_gflops_w > single.efficiency_gflops_w);
+    assert!(single.efficiency_gflops_w > b64.efficiency_gflops_w);
+    assert!(b64.efficiency_gflops_w > int.efficiency_gflops_w);
+
+    // Dual throughput is exactly 2× the others at the same clock.
+    assert!((dual.throughput_gflops / b64.throughput_gflops - 2.0).abs() < 1e-9);
+
+    // Max frequency in the paper's neighbourhood (880 MHz).
+    assert!((500.0..1100.0).contains(&t.fmax_mhz), "fmax {:.0}", t.fmax_mhz);
+}
+
+#[test]
+fn placement_claims() {
+    let s = placement_study();
+    let get = |n: &str| s.rows.iter().find(|(p, ..)| p == n).unwrap();
+    let fig5 = get("Fig5");
+    let after = get("AfterPpgen");
+    let inside = get("InsideTree");
+    // The chosen placement has the fewest registers...
+    assert!(fig5.4 < after.4);
+    assert!(fig5.4 < inside.4);
+    // ...and the improvements from moving registers are marginal at best
+    // (the paper: "the improvements in the timing are marginal").
+    assert!(fig5.1 <= inside.1 * 1.05);
+    assert!(fig5.1 <= after.1 * 1.05);
+}
