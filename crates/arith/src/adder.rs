@@ -126,8 +126,8 @@ fn block4_gp(n: &mut Netlist, gp: &[(NetId, NetId)]) -> (NetId, NetId) {
     let mut gterms: Vec<NetId> = vec![gp[top].0];
     for j in (0..top).rev() {
         let mut run = gp[j + 1].1;
-        for k in (j + 2)..=top {
-            run = n.and2(run, gp[k].1);
+        for pair in &gp[j + 2..=top] {
+            run = n.and2(run, pair.1);
         }
         gterms.push(n.and2(run, gp[j].0));
     }
@@ -155,8 +155,8 @@ fn block4_carries(n: &mut Netlist, gp: &[(NetId, NetId)], cin: NetId) -> Vec<Net
         let mut terms: Vec<NetId> = vec![gp[i].0];
         for j in (0..i).rev() {
             let mut run = gp[j + 1].1;
-            for k in (j + 2)..=i {
-                run = n.and2(run, gp[k].1);
+            for pair in &gp[j + 2..=i] {
+                run = n.and2(run, pair.1);
             }
             terms.push(n.and2(run, gp[j].0));
         }
@@ -168,11 +168,7 @@ fn block4_carries(n: &mut Netlist, gp: &[(NetId, NetId)], cin: NetId) -> Vec<Net
 
 /// Recursive lookahead over arbitrarily many (g, p) pairs. Returns the
 /// carry *into* every position (index 0 = `cin`) plus the overall (G, P).
-fn lookahead(
-    n: &mut Netlist,
-    gp: &[(NetId, NetId)],
-    cin: NetId,
-) -> (Vec<NetId>, NetId, NetId) {
+fn lookahead(n: &mut Netlist, gp: &[(NetId, NetId)], cin: NetId) -> (Vec<NetId>, NetId, NetId) {
     if gp.len() <= 4 {
         let (g, p) = block4_gp(n, gp);
         let mut into = vec![cin];
@@ -267,12 +263,7 @@ fn kogge_stone(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> AdderPo
 
 /// Builds a subtractor `a − b` as `a + ~b + 1` using the given architecture.
 /// Returns the two's-complement difference (carry-out high means no borrow).
-pub fn build_subtractor(
-    n: &mut Netlist,
-    kind: AdderKind,
-    a: &[NetId],
-    b: &[NetId],
-) -> AdderPorts {
+pub fn build_subtractor(n: &mut Netlist, kind: AdderKind, a: &[NetId], b: &[NetId]) -> AdderPorts {
     let nb: Vec<NetId> = b.iter().map(|&x| n.not(x)).collect();
     let one = n.one();
     build_adder(n, kind, a, &nb, one)
@@ -321,7 +312,11 @@ mod tests {
             (0, 0, false),
             (mask, 1, false),
             (mask, mask, true),
-            (0x5555_5555_5555_5555 & mask, 0xAAAA_AAAA_AAAA_AAAA & mask, false),
+            (
+                0x5555_5555_5555_5555 & mask,
+                0xAAAA_AAAA_AAAA_AAAA & mask,
+                false,
+            ),
             (1 & mask, mask, true),
         ];
         // A deterministic pseudo-random sweep.

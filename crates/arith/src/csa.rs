@@ -99,7 +99,11 @@ mod tests {
         let c = n.input_bus("c", 16);
         let ports = csa32(&mut n, &a, &b, &c);
         let mut sim = Simulator::new(&n);
-        for (x, y, z) in [(1u128, 2u128, 3u128), (0xFFFF, 0xFFFF, 0xFFFF), (0x1234, 0x5678, 0x9ABC)] {
+        for (x, y, z) in [
+            (1u128, 2u128, 3u128),
+            (0xFFFF, 0xFFFF, 0xFFFF),
+            (0x1234, 0x5678, 0x9ABC),
+        ] {
             sim.set_bus(&a, x);
             sim.set_bus(&b, y);
             sim.set_bus(&c, z);

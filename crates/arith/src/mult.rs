@@ -244,11 +244,23 @@ pub fn build_multiplier(n: &mut Netlist, cfg: MultiplierConfig) -> MultiplierPor
         n.in_block("PIPE", |n| {
             ra = ra
                 .iter()
-                .map(|&b| if n.const_value(b).is_some() { b } else { n.dff(b) })
+                .map(|&b| {
+                    if n.const_value(b).is_some() {
+                        b
+                    } else {
+                        n.dff(b)
+                    }
+                })
                 .collect();
             rb = rb
                 .iter()
-                .map(|&b| if n.const_value(b).is_some() { b } else { n.dff(b) })
+                .map(|&b| {
+                    if n.const_value(b).is_some() {
+                        b
+                    } else {
+                        n.dff(b)
+                    }
+                })
                 .collect();
         });
     }

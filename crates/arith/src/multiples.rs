@@ -22,7 +22,10 @@ impl Multiples {
     ///
     /// Panics if `k` is 0 or greater than the generated maximum.
     pub fn bus(&self, k: usize) -> &[NetId] {
-        assert!(k >= 1 && k <= self.buses.len(), "multiple {k} not generated");
+        assert!(
+            k >= 1 && k <= self.buses.len(),
+            "multiple {k} not generated"
+        );
         &self.buses[k - 1]
     }
 
@@ -63,12 +66,7 @@ fn shl(n: &Netlist, bus: &[NetId], k: usize, width: usize) -> Vec<NetId> {
 /// # Panics
 ///
 /// Panics unless `max` is 2, 4 or 8 (radix 4, 8, 16 respectively).
-pub fn build_multiples(
-    n: &mut Netlist,
-    x: &[NetId],
-    max: usize,
-    adder: AdderKind,
-) -> Multiples {
+pub fn build_multiples(n: &mut Netlist, x: &[NetId], max: usize, adder: AdderKind) -> Multiples {
     let extra = match max {
         2 => 1,
         4 => 2,

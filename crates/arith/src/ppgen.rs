@@ -39,6 +39,9 @@ pub fn add_pp_row(
     let (lo, hi) = window.unwrap_or((0, width));
     let negatable = n.const_value(digit.sign) != Some(false);
 
+    // `j` indexes the *inner* dimension of `multiples`, so the range loop
+    // is clearer than any iterator chain here.
+    #[allow(clippy::needless_range_loop)]
     for j in lo..hi.min(width) {
         // One-hot select: OR over (sel_k & multiple_k[j]), mapped the way a
         // synthesizer would — AOI22 pairs merged with NAND/NOR levels.
@@ -275,23 +278,27 @@ mod tests {
             sim.set_bus(&y, yv as u128);
             sim.settle();
             let got = sim.read_bus(&ra).wrapping_add(sim.read_bus(&rb));
-            assert_eq!(got, (xv as u128).wrapping_mul(yv as u128), "{xv:#x}*{yv:#x}");
+            assert_eq!(
+                got,
+                (xv as u128).wrapping_mul(yv as u128),
+                "{xv:#x}*{yv:#x}"
+            );
         }
     }
 
     #[test]
     fn netlist_array_radix16() {
-        check_netlist_array(4, 8, |n, y| radix16_recoder(n, y));
+        check_netlist_array(4, 8, radix16_recoder);
     }
 
     #[test]
     fn netlist_array_radix4() {
-        check_netlist_array(2, 2, |n, y| booth4_recoder(n, y));
+        check_netlist_array(2, 2, booth4_recoder);
     }
 
     #[test]
     fn netlist_array_radix8() {
-        check_netlist_array(3, 4, |n, y| booth8_recoder(n, y));
+        check_netlist_array(3, 4, booth8_recoder);
     }
 
     #[test]

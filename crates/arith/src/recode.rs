@@ -145,7 +145,7 @@ pub fn radix16_recoder(n: &mut Netlist, y: &[NetId]) -> Vec<RecodedDigit> {
             eq.push(n.and2(m012, nu3));
         }
         eq.push(u3); // u == 8
-        // sel_m = (!b3 & eq[m]) | (b3 & eq[8-m]).
+                     // sel_m = (!b3 & eq[m]) | (b3 & eq[8-m]).
         let sign = b[3];
         let nsign = n.not(sign);
         let sel = (1..=8usize)
@@ -219,7 +219,7 @@ pub fn booth8_recoder(n: &mut Netlist, y: &[NetId]) -> Vec<RecodedDigit> {
             let b = bit(3 * i + 1); // weight +2
             let c = bit(3 * i); // weight +1
             let d = bit(3 * i - 1); // weight +1
-            // v = c + d + 2b ∈ 0..4
+                                    // v = c + d + 2b ∈ 0..4
             let u0 = n.xor2(c, d);
             let k = n.and2(c, d);
             let u1 = n.xor2(b, k);
@@ -278,7 +278,9 @@ mod tests {
         ];
         let mut s = 0x243F_6A88_85A3_08D3u64;
         for _ in 0..60 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             v.push(s);
         }
         v
@@ -358,19 +360,16 @@ mod tests {
 
     #[test]
     fn radix16_netlist_matches_functional() {
-        check_net_recoder(
-            |n, y| radix16_recoder(n, y),
-            |y| radix16_digits(y).to_vec(),
-        );
+        check_net_recoder(radix16_recoder, |y| radix16_digits(y).to_vec());
     }
 
     #[test]
     fn booth4_netlist_matches_functional() {
-        check_net_recoder(|n, y| booth4_recoder(n, y), |y| booth4_digits(y).to_vec());
+        check_net_recoder(booth4_recoder, |y| booth4_digits(y).to_vec());
     }
 
     #[test]
     fn booth8_netlist_matches_functional() {
-        check_net_recoder(|n, y| booth8_recoder(n, y), |y| booth8_digits(y).to_vec());
+        check_net_recoder(booth8_recoder, |y| booth8_digits(y).to_vec());
     }
 }

@@ -210,7 +210,7 @@ pub fn reduce_to_two_42(
             let mut bits: Vec<NetId> = arr.cols[col].drain(..).collect();
             // Horizontal carries from the previous column join this
             // column's bit pool at the same weight.
-            bits.extend(hin[col].drain(..));
+            bits.append(&mut hin[col]);
             let mut i = 0;
             while bits.len() - i >= 4 {
                 let (ports, hout) =

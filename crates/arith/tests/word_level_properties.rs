@@ -1,57 +1,78 @@
-//! Word-level property tests of the arithmetic building blocks.
+//! Word-level property tests of the arithmetic building blocks, run over
+//! deterministic seeded operand streams.
 
 use mfm_arith::ppgen::pp_array_sum;
-use mfm_arith::recode::{
-    booth4_digits, booth8_digits, digits_value, radix16_digits,
-};
-use proptest::prelude::*;
+use mfm_arith::recode::{booth4_digits, booth8_digits, digits_value, radix16_digits};
+use mfm_prng::Rng;
 
-proptest! {
-    /// Recoding round-trip: Σ dᵢ·rⁱ recovers the operand for every radix.
-    #[test]
-    fn recoding_roundtrips(y in any::<u64>()) {
-        prop_assert_eq!(digits_value(&radix16_digits(y), 16), y as i128);
-        prop_assert_eq!(digits_value(&booth4_digits(y), 4), y as i128);
-        prop_assert_eq!(digits_value(&booth8_digits(y), 8), y as i128);
+const CASES: usize = if cfg!(debug_assertions) { 512 } else { 8192 };
+
+/// Recoding round-trip: Σ dᵢ·rⁱ recovers the operand for every radix.
+#[test]
+fn recoding_roundtrips() {
+    let mut rng = Rng::new(0x0707);
+    for _ in 0..CASES {
+        let y = rng.next_u64();
+        assert_eq!(digits_value(&radix16_digits(y), 16), y as i128);
+        assert_eq!(digits_value(&booth4_digits(y), 4), y as i128);
+        assert_eq!(digits_value(&booth8_digits(y), 8), y as i128);
     }
+}
 
-    /// Digit ranges are minimally redundant.
-    #[test]
-    fn digit_ranges(y in any::<u64>()) {
-        prop_assert!(radix16_digits(y).iter().all(|d| (-8..=8).contains(d)));
-        prop_assert!(booth4_digits(y).iter().all(|d| (-2..=2).contains(d)));
-        prop_assert!(booth8_digits(y).iter().all(|d| (-4..=4).contains(d)));
+/// Digit ranges are minimally redundant.
+#[test]
+fn digit_ranges() {
+    let mut rng = Rng::new(0x0D16);
+    for _ in 0..CASES {
+        let y = rng.next_u64();
+        assert!(radix16_digits(y).iter().all(|d| (-8..=8).contains(d)));
+        assert!(booth4_digits(y).iter().all(|d| (-2..=2).contains(d)));
+        assert!(booth8_digits(y).iter().all(|d| (-4..=4).contains(d)));
     }
+}
 
-    /// The carry-free property: each radix-16 digit depends only on its
-    /// own 4-bit group and the previous group's MSB.
-    #[test]
-    fn radix16_recoding_is_carry_free(y in any::<u64>(), i in 0usize..16, noise in any::<u64>()) {
+/// The carry-free property: each radix-16 digit depends only on its
+/// own 4-bit group and the previous group's MSB.
+#[test]
+fn radix16_recoding_is_carry_free() {
+    let mut rng = Rng::new(0xCF16);
+    for case in 0..CASES {
+        let y = rng.next_u64();
+        let noise = rng.next_u64();
+        let i = case % 16;
         // Perturb bits outside groups i−1..i; digit i must not change.
         let keep_mask: u64 = if i == 0 {
             0xF
         } else {
-            (0xFFu64) << (4 * (i - 1))
+            0xFFu64 << (4 * (i - 1))
         };
         let y2 = (y & keep_mask) | (noise & !keep_mask);
-        prop_assert_eq!(radix16_digits(y)[i], radix16_digits(y2)[i]);
+        assert_eq!(radix16_digits(y)[i], radix16_digits(y2)[i]);
     }
+}
 
-    /// The full PP-array identity: complemented rows + sign bits +
-    /// correction constant sum to the exact 128-bit product.
-    #[test]
-    fn pp_array_sums_to_product(x in any::<u64>(), y in any::<u64>()) {
+/// The full PP-array identity: complemented rows + sign bits +
+/// correction constant sum to the exact 128-bit product.
+#[test]
+fn pp_array_sums_to_product() {
+    let mut rng = Rng::new(0x99A5);
+    for _ in 0..CASES {
+        let (x, y) = (rng.next_u64(), rng.next_u64());
         let want = (x as u128).wrapping_mul(y as u128);
-        prop_assert_eq!(pp_array_sum(x, &radix16_digits(y), 4, 67), want);
-        prop_assert_eq!(pp_array_sum(x, &booth4_digits(y), 2, 65), want);
-        prop_assert_eq!(pp_array_sum(x, &booth8_digits(y), 3, 66), want);
+        assert_eq!(pp_array_sum(x, &radix16_digits(y), 4, 67), want);
+        assert_eq!(pp_array_sum(x, &booth4_digits(y), 2, 65), want);
+        assert_eq!(pp_array_sum(x, &booth8_digits(y), 3, 66), want);
     }
+}
 
-    /// The transfer digit (17th PP) is set exactly when y ≥ 2^63 … no:
-    /// exactly when the top group's MSB is set.
-    #[test]
-    fn transfer_digit_rule(y in any::<u64>()) {
+/// The transfer digit (17th PP) is set exactly when the top group's MSB
+/// is set.
+#[test]
+fn transfer_digit_rule() {
+    let mut rng = Rng::new(0x17D);
+    for _ in 0..CASES {
+        let y = rng.next_u64();
         let d = radix16_digits(y);
-        prop_assert_eq!(d[16] == 1, y >> 63 == 1);
+        assert_eq!(d[16] == 1, y >> 63 == 1);
     }
 }

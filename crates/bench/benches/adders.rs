@@ -1,13 +1,13 @@
-//! Criterion benches: event-driven simulation throughput of the four
-//! adder architectures (vectors/second through the gate-level simulator).
+//! Microbenches: event-driven simulation throughput of the four adder
+//! architectures (vectors/second through the gate-level simulator).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mfm_arith::adder::{build_adder, AdderKind};
+use mfm_bench::microbench::Group;
 use mfm_gatesim::{Netlist, Simulator, TechLibrary};
 use std::hint::black_box;
 
-fn bench_adder_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adder_sim_64bit");
+fn main() {
+    let mut group = Group::new("adder_sim_64bit");
     for kind in AdderKind::ALL {
         let mut n = Netlist::new(TechLibrary::cmos45lp());
         let a = n.input_bus("a", 64);
@@ -15,20 +15,15 @@ fn bench_adder_simulation(c: &mut Criterion) {
         let zero = n.zero();
         let ports = build_adder(&mut n, kind, &a, &b, zero);
         n.output_bus("sum", &ports.sum);
-        group.bench_function(format!("{kind:?}"), |bencher| {
-            let mut sim = Simulator::new(&n);
-            let mut s = 0x9E37_79B9u128;
-            bencher.iter(|| {
-                s = s.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
-                sim.set_bus(&a, s & u64::MAX as u128);
-                sim.set_bus(&b, (s >> 32) & u64::MAX as u128);
-                sim.settle();
-                black_box(sim.read_bus(&ports.sum))
-            })
+        let mut sim = Simulator::new(&n);
+        let mut s = 0x9E37_79B9u128;
+        group.bench(&format!("{kind:?}"), || {
+            s = s.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+            sim.set_bus(&a, s & u64::MAX as u128);
+            sim.set_bus(&b, (s >> 32) & u64::MAX as u128);
+            sim.settle();
+            black_box(sim.read_bus(&ports.sum))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_adder_simulation);
-criterion_main!(benches);

@@ -1,37 +1,33 @@
-//! Criterion benches: the softfloat reference multiply (all rounding
-//! modes) and the paper-mode multiply.
+//! Microbenches: the softfloat reference multiply (all rounding modes)
+//! and the paper-mode multiply.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mfm_bench::microbench::Group;
 use mfm_evalkit::workload::OperandGen;
 use mfm_softfloat::mul::mul_bits;
 use mfm_softfloat::paper::paper_mul_bits;
 use mfm_softfloat::{RoundingMode, BINARY32, BINARY64};
 use std::hint::black_box;
 
-fn bench_softfloat(c: &mut Criterion) {
+fn main() {
     let mut gen = OperandGen::new(11);
     let pairs: Vec<(u64, u64)> = (0..1024)
         .map(|_| (gen.b64_normal(400), gen.b64_normal(400)))
         .collect();
 
-    let mut group = c.benchmark_group("softfloat_binary64");
+    let mut group = Group::new("softfloat_binary64");
     for mode in RoundingMode::ALL {
-        group.bench_function(format!("{mode:?}"), |b| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let (x, y) = pairs[i & 1023];
-                i += 1;
-                black_box(mul_bits(&BINARY64, black_box(x), black_box(y), mode))
-            })
-        });
-    }
-    group.bench_function("paper_mode", |b| {
         let mut i = 0usize;
-        b.iter(|| {
+        group.bench(&format!("{mode:?}"), || {
             let (x, y) = pairs[i & 1023];
             i += 1;
-            black_box(paper_mul_bits(&BINARY64, black_box(x), black_box(y)))
-        })
+            black_box(mul_bits(&BINARY64, black_box(x), black_box(y), mode))
+        });
+    }
+    let mut i = 0usize;
+    group.bench("paper_mode", || {
+        let (x, y) = pairs[i & 1023];
+        i += 1;
+        black_box(paper_mul_bits(&BINARY64, black_box(x), black_box(y)))
     });
     group.finish();
 
@@ -39,15 +35,12 @@ fn bench_softfloat(c: &mut Criterion) {
     let pairs32: Vec<(u64, u64)> = (0..1024)
         .map(|_| (gen.b32_normal(40) as u64, gen.b32_normal(40) as u64))
         .collect();
-    c.bench_function("softfloat_binary32_rne", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let (x, y) = pairs32[i & 1023];
-            i += 1;
-            black_box(mul_bits(&BINARY32, x, y, RoundingMode::NearestEven))
-        })
+    let mut group = Group::new("softfloat_binary32");
+    let mut i = 0usize;
+    group.bench("softfloat_binary32_rne", || {
+        let (x, y) = pairs32[i & 1023];
+        i += 1;
+        black_box(mul_bits(&BINARY32, x, y, RoundingMode::NearestEven))
     });
+    group.finish();
 }
-
-criterion_group!(benches, bench_softfloat);
-criterion_main!(benches);

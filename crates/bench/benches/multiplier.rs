@@ -1,30 +1,28 @@
-//! Criterion benches: software throughput of the functional multi-format
+//! Microbenches: software throughput of the functional multi-format
 //! unit per format (millions of multiplications per second on the host).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mfm_bench::microbench::Group;
 use mfm_evalkit::workload::OperandGen;
 use mfmult::{Format, FunctionalUnit};
 use std::hint::black_box;
 
-fn bench_functional_unit(c: &mut Criterion) {
+fn bench_functional_unit() {
     let unit = FunctionalUnit::new();
-    let mut group = c.benchmark_group("functional_unit");
+    let mut group = Group::new("functional_unit");
     for format in Format::ALL {
         let mut gen = OperandGen::new(1);
         let ops: Vec<_> = (0..1024).map(|_| gen.operation(format)).collect();
-        group.bench_function(format!("{format:?}"), |b| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let op = ops[i & 1023];
-                i += 1;
-                black_box(unit.execute(black_box(op)))
-            })
+        let mut i = 0usize;
+        group.bench(&format!("{format:?}"), || {
+            let op = ops[i & 1023];
+            i += 1;
+            black_box(unit.execute(black_box(op)))
         });
     }
     group.finish();
 }
 
-fn bench_vs_host(c: &mut Criterion) {
+fn bench_vs_host() {
     let unit = FunctionalUnit::new();
     let mut gen = OperandGen::new(2);
     let pairs: Vec<(f64, f64)> = (0..1024)
@@ -35,27 +33,23 @@ fn bench_vs_host(c: &mut Criterion) {
             )
         })
         .collect();
-    let mut group = c.benchmark_group("binary64_multiply");
-    group.bench_function("functional_unit", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let (x, y) = pairs[i & 1023];
-            i += 1;
-            black_box(unit.mul_f64(black_box(x), black_box(y)))
-        })
+    let mut group = Group::new("binary64_multiply");
+    let mut i = 0usize;
+    group.bench("functional_unit", || {
+        let (x, y) = pairs[i & 1023];
+        i += 1;
+        black_box(unit.mul_f64(black_box(x), black_box(y)))
     });
-    group.bench_function("host_fpu", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let (x, y) = pairs[i & 1023];
-            i += 1;
-            black_box(black_box(x) * black_box(y))
-        })
+    let mut i = 0usize;
+    group.bench("host_fpu", || {
+        let (x, y) = pairs[i & 1023];
+        i += 1;
+        black_box(black_box(x) * black_box(y))
     });
     group.finish();
 }
 
-fn bench_dual_issue(c: &mut Criterion) {
+fn bench_dual_issue() {
     // Dual binary32 completes two multiplications per execute call.
     let unit = FunctionalUnit::new();
     let mut gen = OperandGen::new(3);
@@ -69,15 +63,18 @@ fn bench_dual_issue(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("dual_binary32_two_products", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let (x, y, w, z) = quads[i & 1023];
-            i += 1;
-            black_box(unit.mul_dual_f32(x, y, w, z))
-        })
+    let mut group = Group::new("dual_issue");
+    let mut i = 0usize;
+    group.bench("dual_binary32_two_products", || {
+        let (x, y, w, z) = quads[i & 1023];
+        i += 1;
+        black_box(unit.mul_dual_f32(x, y, w, z))
     });
+    group.finish();
 }
 
-criterion_group!(benches, bench_functional_unit, bench_vs_host, bench_dual_issue);
-criterion_main!(benches);
+fn main() {
+    bench_functional_unit();
+    bench_vs_host();
+    bench_dual_issue();
+}

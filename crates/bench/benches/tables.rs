@@ -1,67 +1,61 @@
-//! Criterion benches of the evaluation substrate itself: netlist
+//! Microbenches of the evaluation substrate itself: netlist
 //! construction, static timing analysis and gate-level simulation of the
 //! complete multipliers (one operation through ~20k cells).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mfm_arith::{build_multiplier, MultiplierConfig};
+use mfm_bench::microbench::Group;
 use mfm_gatesim::{Netlist, Simulator, TechLibrary, TimingAnalysis};
 use mfmult::structural::build_unit;
 use std::hint::black_box;
 
-fn bench_netlist_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netlist_build");
-    group.sample_size(20);
-    group.bench_function("radix16_multiplier", |b| {
-        b.iter(|| {
-            let mut n = Netlist::new(TechLibrary::cmos45lp());
-            black_box(build_multiplier(&mut n, MultiplierConfig::radix16()));
-            black_box(n.cell_count())
-        })
+fn bench_netlist_build() {
+    let mut group = Group::new("netlist_build");
+    group.bench("radix16_multiplier", || {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        black_box(build_multiplier(&mut n, MultiplierConfig::radix16()));
+        black_box(n.cell_count())
     });
-    group.bench_function("multi_format_unit", |b| {
-        b.iter(|| {
-            let mut n = Netlist::new(TechLibrary::cmos45lp());
-            black_box(build_unit(&mut n));
-            black_box(n.cell_count())
-        })
+    group.bench("multi_format_unit", || {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        black_box(build_unit(&mut n));
+        black_box(n.cell_count())
     });
     group.finish();
 }
 
-fn bench_sta(c: &mut Criterion) {
+fn bench_sta() {
     let mut n = Netlist::new(TechLibrary::cmos45lp());
     build_multiplier(&mut n, MultiplierConfig::radix16());
-    let mut group = c.benchmark_group("sta");
-    group.sample_size(20);
-    group.bench_function("radix16_multiplier", |b| {
-        b.iter(|| black_box(TimingAnalysis::new(&n).report().critical_delay_ps))
+    let mut group = Group::new("sta");
+    group.bench("radix16_multiplier", || {
+        black_box(TimingAnalysis::new(&n).report().critical_delay_ps)
     });
     group.finish();
 }
 
-fn bench_gate_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gate_sim_one_multiply");
-    group.sample_size(30);
+fn bench_gate_sim() {
+    let mut group = Group::new("gate_sim_one_multiply");
     for (name, cfg) in [
         ("radix16", MultiplierConfig::radix16()),
         ("radix4", MultiplierConfig::radix4()),
     ] {
         let mut n = Netlist::new(TechLibrary::cmos45lp());
         let ports = build_multiplier(&mut n, cfg);
-        group.bench_function(name, |b| {
-            let mut sim = Simulator::new(&n);
-            let mut s = 0xDEAD_BEEFu128;
-            b.iter(|| {
-                s = s.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
-                sim.set_bus(&ports.x, s & u64::MAX as u128);
-                sim.set_bus(&ports.y, (s >> 17) & u64::MAX as u128);
-                sim.settle();
-                black_box(sim.read_bus(&ports.p))
-            })
+        let mut sim = Simulator::new(&n);
+        let mut s = 0xDEAD_BEEFu128;
+        group.bench(name, || {
+            s = s.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+            sim.set_bus(&ports.x, s & u64::MAX as u128);
+            sim.set_bus(&ports.y, (s >> 17) & u64::MAX as u128);
+            sim.settle();
+            black_box(sim.read_bus(&ports.p))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_netlist_build, bench_sta, bench_gate_sim);
-criterion_main!(benches);
+fn main() {
+    bench_netlist_build();
+    bench_sta();
+    bench_gate_sim();
+}

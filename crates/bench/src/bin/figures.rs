@@ -21,7 +21,11 @@ fn fig1() {
     let mut t = Table::new(&["block", "area [um2]", "share"]);
     let total = n.area_um2();
     for (b, a) in n.area_by_block() {
-        t.row_owned(vec![b, format!("{a:.0}"), format!("{:.0}%", 100.0 * a / total)]);
+        t.row_owned(vec![
+            b,
+            format!("{a:.0}"),
+            format!("{:.0}%", 100.0 * a / total),
+        ]);
     }
     println!("{t}");
     println!(
@@ -60,14 +64,23 @@ fn fig3() {
     let cases: [(u64, u64, &str); 3] = [
         (1 << 52, 1 << 52, "1.0 x 1.0 (leading at 2p-2)"),
         ((1 << 53) - 1, (1 << 53) - 1, "max x max (leading at 2p-1)"),
-        (1 << 52, (1 << 53) - 1, "1.0 x max (all-ones kept, guard clear)"),
+        (
+            1 << 52,
+            (1 << 53) - 1,
+            "1.0 x max (all-ones kept, guard clear)",
+        ),
     ];
     let mut t = Table::new(&["case", "selected window", "exp +1", "inexact"]);
     for (ma, mb, name) in cases {
         let (_sig, inc, inexact) = speculative_round(53, ma, mb);
         t.row_owned(vec![
             name.to_owned(),
-            if inc == 1 { "[105:53] (P1)" } else { "[104:52] (P0)" }.to_owned(),
+            if inc == 1 {
+                "[105:53] (P1)"
+            } else {
+                "[104:52] (P0)"
+            }
+            .to_owned(),
             inc.to_string(),
             inexact.to_string(),
         ]);
@@ -178,8 +191,8 @@ fn adders() {
 
 fn trees() {
     println!("=== Ablation: 3:2 (Dadda) vs 4:2 compressor trees ===\n");
-    use mfm_evalkit::montecarlo::measure_multiplier_combinational;
     use mfm_arith::TreeStyle;
+    use mfm_evalkit::montecarlo::measure_multiplier_combinational;
     let mut t = Table::new(&[
         "radix / tree",
         "delay [ps]",
@@ -270,9 +283,7 @@ fn main() {
             sensitivity_report();
         }
         other => {
-            eprintln!(
-                "unknown figure {other}; use fig1..fig6, adders, trees, sensitivity or all"
-            );
+            eprintln!("unknown figure {other}; use fig1..fig6, adders, trees, sensitivity or all");
             std::process::exit(2);
         }
     }

@@ -1,12 +1,21 @@
 use mfm_arith::{build_multiplier, MultiplierConfig};
-use mfm_gatesim::{Netlist, TechLibrary};
 use mfm_evalkit::montecarlo::measure_multiplier_combinational;
+use mfm_gatesim::{Netlist, TechLibrary};
 fn main() {
-    for (name, cfg) in [("r16", MultiplierConfig::radix16()), ("r4", MultiplierConfig::radix4())] {
+    for (name, cfg) in [
+        ("r16", MultiplierConfig::radix16()),
+        ("r4", MultiplierConfig::radix4()),
+    ] {
         let mut n = Netlist::new(TechLibrary::cmos45lp());
         let ports = build_multiplier(&mut n, cfg);
         let p = measure_multiplier_combinational(&n, &ports, 150, 2017);
-        println!("{name}: {:.1} pJ/op, {:.0} transitions/op", p.energy_pj_per_op(), p.transitions_per_op);
-        for (b, e) in &p.per_block_pj { println!("   {b:8} {e:7.2} pJ"); }
+        println!(
+            "{name}: {:.1} pJ/op, {:.0} transitions/op",
+            p.energy_pj_per_op(),
+            p.transitions_per_op
+        );
+        for (b, e) in &p.per_block_pj {
+            println!("   {b:8} {e:7.2} pJ");
+        }
     }
 }

@@ -13,7 +13,10 @@ fn main() {
         println!("  {b:8} {ps:6.0} ps");
     }
     let (ps, fo4, um2, nand2) = paper_values::T1_TOTALS;
-    println!("  TOTAL    {ps:6.0} ps ({fo4:.0} FO4), {um2:.0} um2 ({:.1}K NAND2)", nand2 / 1000.0);
+    println!(
+        "  TOTAL    {ps:6.0} ps ({fo4:.0} FO4), {um2:.0} um2 ({:.1}K NAND2)",
+        nand2 / 1000.0
+    );
     println!(
         "\nshape check: measured {:.0} ps ({:.1} FO4), sized area {:.0} um2 ({:.1}K NAND2)",
         r.latency_ps,

@@ -15,7 +15,10 @@ fn main() {
         println!("  {b:8} {ps:6.0} ps");
     }
     let (ps, fo4, um2, nand2) = paper_values::T2_TOTALS;
-    println!("  TOTAL    {ps:6.0} ps ({fo4:.0} FO4), {um2:.0} um2 ({:.1}K NAND2)", nand2 / 1000.0);
+    println!(
+        "  TOTAL    {ps:6.0} ps ({fo4:.0} FO4), {um2:.0} um2 ({:.1}K NAND2)",
+        nand2 / 1000.0
+    );
 
     let r16 = table1();
     println!("\n=== Radix-4 vs radix-16 (Sec. II-A) ===");

@@ -148,6 +148,7 @@ impl Operation {
 /// `PH`; dual binary32 puts the upper-lane product in the 32 MSBs of `PH`
 /// and the lower-lane product in its 32 LSBs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a multiplication result carries exception flags that must be inspected"]
 pub struct MultResult {
     /// Format this result was produced under.
     pub format: Format,
@@ -167,6 +168,7 @@ impl MultResult {
     /// # Panics
     ///
     /// Panics if the format is not [`Format::Int64`].
+    #[must_use]
     pub fn int_product(&self) -> u128 {
         assert_eq!(self.format, Format::Int64, "not an int64 result");
         ((self.ph as u128) << 64) | self.pl as u128
@@ -177,12 +179,14 @@ impl MultResult {
     /// # Panics
     ///
     /// Panics if the format is not [`Format::Binary64`].
+    #[must_use]
     pub fn b64_product(&self) -> u64 {
         assert_eq!(self.format, Format::Binary64, "not a binary64 result");
         self.ph
     }
 
     /// The binary64 product as a host double.
+    #[must_use]
     pub fn b64_product_f64(&self) -> f64 {
         f64::from_bits(self.b64_product())
     }
@@ -192,12 +196,14 @@ impl MultResult {
     /// # Panics
     ///
     /// Panics unless the format is [`Format::DualBinary32`].
+    #[must_use]
     pub fn b32_products(&self) -> (u32, u32) {
         assert_eq!(self.format, Format::DualBinary32, "not a dual result");
         (self.ph as u32, (self.ph >> 32) as u32)
     }
 
     /// The `(lower, upper)` binary32 products as host floats.
+    #[must_use]
     pub fn b32_products_f32(&self) -> (f32, f32) {
         let (lo, hi) = self.b32_products();
         (f32::from_bits(lo), f32::from_bits(hi))
@@ -208,12 +214,14 @@ impl MultResult {
     /// # Panics
     ///
     /// Panics unless the format is [`Format::SingleBinary32`].
+    #[must_use]
     pub fn b32_product(&self) -> u32 {
         assert_eq!(self.format, Format::SingleBinary32, "not a single result");
         self.ph as u32
     }
 
     /// The single binary32 product as a host float.
+    #[must_use]
     pub fn b32_product_f32(&self) -> f32 {
         f32::from_bits(self.b32_product())
     }
@@ -223,6 +231,7 @@ impl MultResult {
     /// # Panics
     ///
     /// Panics unless the format is [`Format::QuadBinary16`].
+    #[must_use]
     pub fn b16_products(&self) -> [u16; 4] {
         assert_eq!(self.format, Format::QuadBinary16, "not a quad result");
         [

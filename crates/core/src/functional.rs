@@ -118,14 +118,14 @@ impl FunctionalUnit {
             Format::QuadBinary16 => {
                 let mut ph = 0u64;
                 let mut flags = [Flags::NONE; 4];
-                for k in 0..4 {
+                for (k, slot) in flags.iter_mut().enumerate() {
                     let (p, f) = self.lane_mul(
                         &BINARY16,
                         (op.xa >> (16 * k)) & 0xFFFF,
                         (op.yb >> (16 * k)) & 0xFFFF,
                     );
                     ph |= (p & 0xFFFF) << (16 * k);
-                    flags[k] = f;
+                    *slot = f;
                 }
                 MultResult {
                     format: op.format,
@@ -178,7 +178,8 @@ mod tests {
             assert_eq!(r.int_product(), (x as u128) * (y as u128));
         }
         assert_eq!(
-            unit.execute(Operation::int64(u64::MAX, u64::MAX)).int_product(),
+            unit.execute(Operation::int64(u64::MAX, u64::MAX))
+                .int_product(),
             (u64::MAX as u128) * (u64::MAX as u128)
         );
     }
@@ -251,7 +252,10 @@ mod tests {
         assert_ne!(inj.mul_f64(a, b).to_bits(), rne.mul_f64(a, b).to_bits());
         assert_eq!(rne.mul_f64(a, b), a * b);
         // Non-tied product: identical.
-        assert_eq!(inj.mul_f64(1.3, 7.7).to_bits(), rne.mul_f64(1.3, 7.7).to_bits());
+        assert_eq!(
+            inj.mul_f64(1.3, 7.7).to_bits(),
+            rne.mul_f64(1.3, 7.7).to_bits()
+        );
     }
 
     #[test]

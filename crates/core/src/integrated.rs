@@ -130,9 +130,15 @@ mod tests {
         // pass through untouched.
         let (ph, reduced) = run(&mut sim, &u, 0, 3 << 52, 1 << 45);
         assert!(!reduced);
-        assert_eq!(ph, ((3u128 << 52) * (1u128 << 45) >> 64) as u64);
+        assert_eq!(ph, (((3u128 << 52) * (1u128 << 45)) >> 64) as u64);
         // Dual binary32: flag stays low.
-        let (_, reduced) = run(&mut sim, &u, 2, 0x3FC0_0000_3FC0_0000, 0x4000_0000_4000_0000);
+        let (_, reduced) = run(
+            &mut sim,
+            &u,
+            2,
+            0x3FC0_0000_3FC0_0000,
+            0x4000_0000_4000_0000,
+        );
         assert!(!reduced);
     }
 

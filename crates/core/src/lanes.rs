@@ -158,7 +158,11 @@ pub fn dual_lane_array_product(x24: u32, y24: u32, w24: u32, z24: u32) -> (u64, 
     let mut high = 0u128;
     for i in UPPER_ROWS {
         let v = windowed_row(x, digits[i], 4 * i, UPPER_WINDOW);
-        debug_assert_eq!(v & ((1 << 64) - 1), 0, "upper-lane term leaked below the seam");
+        debug_assert_eq!(
+            v & ((1 << 64) - 1),
+            0,
+            "upper-lane term leaked below the seam"
+        );
         high = high.wrapping_add(v);
     }
     // Row 16 (global transfer digit) is zero in dual mode.
@@ -285,12 +289,18 @@ mod tests {
         let pp_cols: Vec<usize> = occ.iter().map(|e| e.0).collect();
         assert!(pp_cols[0] > 0);
         assert!(pp_cols[24] > 0);
-        assert!((56..64).all(|c| pp_cols[c] == 0), "dead zone has no PP bits");
+        assert!(
+            (56..64).all(|c| pp_cols[c] == 0),
+            "dead zone has no PP bits"
+        );
         assert!(pp_cols[64] > 0 || pp_cols[70] > 0);
         assert!((112..128).all(|c| pp_cols[c] == 0));
         // Max column height stays within the radix-16 bound.
         let max = occ.iter().map(|e| e.0 + e.1 + e.2).max().unwrap();
-        assert!(max <= 10, "dual-mode array height {max} (7 rows/lane + extras)");
+        assert!(
+            max <= 10,
+            "dual-mode array height {max} (7 rows/lane + extras)"
+        );
     }
 
     #[test]

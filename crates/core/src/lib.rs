@@ -62,9 +62,13 @@ pub mod lanes;
 pub mod pipeline;
 pub mod quad;
 pub mod reduce;
+pub mod selfcheck;
 pub mod structural;
 
 pub use format::{Format, MultResult, Operation};
 pub use functional::{FunctionalUnit, RoundingStyle};
-pub use pipeline::{build_pipelined_unit, build_pipelined_unit_opts, PipelinePlacement, PipelinedPorts};
+pub use pipeline::{
+    build_pipelined_unit, build_pipelined_unit_opts, PipelinePlacement, PipelinedPorts,
+};
+pub use selfcheck::SelfCheckingUnit;
 pub use structural::{build_unit, build_unit_quad, StructuralPorts, UnitOptions};

@@ -141,10 +141,7 @@ pub fn quad_lane_array_product(x: [u16; 4], y: [u16; 4]) -> [u32; 4] {
 /// assert_eq!(p, [0x4200; 4]);
 /// assert!(flags.iter().all(|f| f.is_empty()));
 /// ```
-pub fn quad_mul(
-    x: [u16; 4],
-    y: [u16; 4],
-) -> ([u16; 4], [mfm_softfloat::Flags; 4]) {
+pub fn quad_mul(x: [u16; 4], y: [u16; 4]) -> ([u16; 4], [mfm_softfloat::Flags; 4]) {
     use mfm_softfloat::paper::paper_mul_bits;
     use mfm_softfloat::BINARY16;
     let mut p = [0u16; 4];
@@ -190,6 +187,9 @@ pub fn build_quad_lane_array(n: &mut Netlist) -> QuadArrayPorts {
         for i in lane_rows(k) {
             let digit = &digits[i];
             let offset = 4 * i;
+            // `j` indexes the *inner* dimension of `buses`, so the range
+            // loop is clearer than any iterator chain here.
+            #[allow(clippy::needless_range_loop)]
             for j in lo..hi {
                 let terms: Vec<(NetId, NetId)> = digit
                     .sel
@@ -307,10 +307,10 @@ mod tests {
             sim.set_bus(&q.y, pack4(y) as u128);
             sim.settle();
             let want = quad_lane_array_product(x, y);
-            for k in 0..4 {
+            for (k, &w) in want.iter().enumerate() {
                 assert_eq!(
                     sim.read_bus(&q.products[k]) as u32,
-                    want[k],
+                    w,
                     "lane {k}: {x:?} × {y:?}"
                 );
             }

@@ -110,7 +110,7 @@ pub fn build_reducer_on(n: &mut Netlist, input: &[NetId]) -> ReducerPorts {
     let sum5 = build_adder(n, AdderKind::Ripple, &a5, &b5, zero);
     let eb32_hi = sum5.sum[0]; // bit 7 of Eb32
     let neg1 = sum5.sum[4]; // sign bit (bit 11 of the 12-bit difference)
-    // Eb32 > 0 ⟺ not negative and not zero.
+                            // Eb32 > 0 ⟺ not negative and not zero.
     let mut low_or = n.zero();
     for &b in &eb64[0..7] {
         low_or = n.or2(low_or, b);

@@ -1,0 +1,914 @@
+//! Online self-checking execution: residue checks, a rounding-injection
+//! invariant, and a word-level output recompute wrapped around the
+//! structural unit, with graceful degradation to the functional model.
+//!
+//! # The checks
+//!
+//! The unit's stage 3 computes two speculative 128-bit sums with the two
+//! carry-propagate adders of Fig. 3:
+//!
+//! ```text
+//! P0 = s + c + inj0        (no left shift needed)
+//! P1 = s + c + inj1        (left shift needed)
+//! ```
+//!
+//! For every format the relevant window of `P0` is *exactly*
+//! `ma · mb + inj0` where `ma`/`mb` are the lane significands (or the raw
+//! integer operands), with no cross-lane interference — that is the
+//! word-level lane-isolation property proved in [`crate::lanes`]. Exact
+//! arithmetic identities survive any modulus, which yields three cheap
+//! online checks on the taps [`StructuralPorts::chk_p0`] /
+//! [`StructuralPorts::chk_p1`]:
+//!
+//! 1. **Residue check (mod 3 and mod 15).** For each lane window `W0`:
+//!    `res(W0) = res(res(ma)·res(mb) + res(inj0))`, and likewise `W1`
+//!    with `inj1`. Both moduli are of the `2^k − 1` family, so the
+//!    residue of a word is a fold of its radix-2^k digits — mod 15 is a
+//!    nibble sum, which is what makes residue checking nearly free next
+//!    to a radix-16 multiplier. (Since 3 divides 15, the mod-3 check is
+//!    implied by the mod-15 one; it is kept because it is the classic
+//!    textbook check and the campaign reports both.)
+//! 2. **Injection invariant.** The two CPAs add the same `s + c` with
+//!    different injections, so per lane window
+//!    `W1 − W0 ≡ inj1 − inj0 (mod 2^width)`. A fault inside either CPA
+//!    breaks this even when its residue happens to collide.
+//! 3. **Product identity.** The limiting case of the residue family
+//!    (modulus `2^width`): `W0 = ma·mb + inj0` exactly. In hardware this
+//!    is a duplicated multiplier, so it is the expensive end of the
+//!    checker ladder; it closes the residue blind spot (a corruption
+//!    delta that is a multiple of 15, e.g. an operand-side stuck bit
+//!    `±2^k·mb` when `mb ≡ 0 mod 15`). Because the lane windows tile all
+//!    128 bits in every format, passing this tier pins `P0` (and, with
+//!    tier 2, `P1`) to their golden values.
+//! 4. **Output recompute.** Stage 3 after the CPAs (normalization-select,
+//!    exponent select, special-case override, output format) is cheap at
+//!    word level, so the checker recomputes the delivered `PH`/`PL`/flags
+//!    from the operands plus the tapped `P0`/`P1` and compares bit for
+//!    bit. This covers the formatter gates the sum checks cannot see.
+//!
+//! Tiers 1–2 are the cheap, hardware-plausible online checks; tiers 3–4
+//! make silent corruption structurally impossible (golden sums plus a
+//! validated formatter mirror imply golden outputs). The fault-injection
+//! campaign in `mfm_evalkit` attributes every detection to the first
+//! tier that fired, so the coverage of the residue checks alone is
+//! measured, not assumed (see `DESIGN.md`).
+//!
+//! # The wrapper
+//!
+//! [`SelfCheckingUnit`] runs every operation on the gate-level simulator,
+//! applies the checks, and on a mismatch retries the operation once
+//! (transient faults heal; the retry passes). If the retry also fails the
+//! fault is treated as permanent: the unit **degrades** to the bit-exact
+//! [`FunctionalUnit`] for every subsequent operation and keeps serving
+//! correct results, counting incidents in [`SelfCheckStats`].
+//!
+//! ```
+//! use mfm_gatesim::netlist::Netlist;
+//! use mfm_gatesim::tech::TechLibrary;
+//! use mfmult::selfcheck::SelfCheckingUnit;
+//! use mfmult::{structural, Operation};
+//!
+//! let mut n = Netlist::new(TechLibrary::cmos45lp());
+//! let ports = structural::build_unit(&mut n);
+//! let mut unit = SelfCheckingUnit::new(&n, ports);
+//! let r = unit.execute(Operation::int64(3, 5));
+//! assert_eq!(r.int_product(), 15);
+//! assert_eq!(unit.stats().checked_ok, 1);
+//! ```
+
+use mfm_gatesim::{NetId, Netlist, Simulator};
+use mfm_softfloat::Flags;
+
+use crate::format::{Format, MultResult, Operation};
+use crate::functional::FunctionalUnit;
+use crate::structural::StructuralPorts;
+
+/// Residue of `x` modulo 15, computed by folding radix-16 digits
+/// (`16 ≡ 1 (mod 15)`, so the residue is the nibble sum mod 15).
+pub fn res15(x: u128) -> u8 {
+    let mut s: u32 = 0;
+    let mut v = x;
+    while v != 0 {
+        s += (v & 0xF) as u32;
+        v >>= 4;
+    }
+    while s > 15 {
+        s = (s & 0xF) + (s >> 4);
+    }
+    if s == 15 {
+        0
+    } else {
+        s as u8
+    }
+}
+
+/// Residue of `x` modulo 3. Since 3 divides 15, `x mod 3` is the mod-15
+/// residue reduced once more.
+pub fn res3(x: u128) -> u8 {
+    res15(x) % 3
+}
+
+/// The raw hardware observables of one operation: the delivered outputs
+/// and the two pre-rounding CPA sums tapped by
+/// [`StructuralPorts::chk_p0`] / [`StructuralPorts::chk_p1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawOutputs {
+    /// Delivered high 64-bit output word.
+    pub ph: u64,
+    /// Delivered low 64-bit output word (int64 only).
+    pub pl: u64,
+    /// Delivered 6-bit flag bus `[inv_lo, ovf_lo, unf_lo, inv_hi,
+    /// ovf_hi, unf_hi]`.
+    pub flags: u8,
+    /// Tapped `P0 = s + c + inj0` (no-shift rounding CPA).
+    pub p0: u128,
+    /// Tapped `P1 = s + c + inj1` (shift rounding CPA).
+    pub p1: u128,
+}
+
+/// Which self-check rejected an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckError {
+    /// A lane window of `P0`/`P1` has the wrong residue.
+    Residue {
+        /// Lane index (0 = low/only lane).
+        lane: u8,
+        /// The modulus that fired (3 or 15).
+        modulus: u8,
+        /// Residue read from the hardware sum.
+        got: u8,
+        /// Residue predicted from the operands.
+        want: u8,
+    },
+    /// `P1 − P0` does not equal `inj1 − inj0` on a lane window.
+    InjectionInvariant {
+        /// Lane index (0 = low/only lane).
+        lane: u8,
+    },
+    /// A lane window of `P0` differs from the exact `ma·mb + inj0`.
+    ProductIdentity {
+        /// Lane index (0 = low/only lane).
+        lane: u8,
+    },
+    /// The word-level recompute of `PH`/`PL`/flags from the operands and
+    /// the tapped sums disagrees with the delivered outputs.
+    OutputMismatch,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Residue {
+                lane,
+                modulus,
+                got,
+                want,
+            } => write!(
+                f,
+                "residue check failed: lane {lane} mod {modulus}: got {got}, want {want}"
+            ),
+            CheckError::InjectionInvariant { lane } => {
+                write!(f, "injection invariant P1-P0 violated on lane {lane}")
+            }
+            CheckError::ProductIdentity { lane } => {
+                write!(f, "exact product identity violated on lane {lane}")
+            }
+            CheckError::OutputMismatch => {
+                write!(f, "output recompute disagrees with delivered PH/PL/flags")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// One lane's slice of the CPA sums together with the exact word-level
+/// identity it must satisfy.
+#[derive(Debug, Clone, Copy)]
+struct LaneWindow {
+    /// Bit offset of the window inside the 128-bit sums.
+    lo: u32,
+    /// Window width in bits.
+    width: u32,
+    /// Lane significand of the first operand (0 when flushed).
+    ma: u64,
+    /// Lane significand of the second operand.
+    mb: u64,
+    /// Rounding injection added into `P0`, window-local.
+    inj0: u128,
+    /// Rounding injection added into `P1`, window-local.
+    inj1: u128,
+}
+
+/// Significand the FMT stage feeds the array: fraction plus implicit one
+/// when the exponent field is non-zero, all-zero otherwise (subnormal
+/// operands are flushed to zero, Sec. II).
+fn sig(word: u64, ebits: u32, fbits: u32) -> u64 {
+    let emask = (1u64 << ebits) - 1;
+    if (word >> fbits) & emask != 0 {
+        (word & ((1u64 << fbits) - 1)) | (1u64 << fbits)
+    } else {
+        0
+    }
+}
+
+/// The lane windows of an operation (see [`crate::lanes`] for the proof
+/// that the sections of the packed array do not interfere).
+fn lane_windows(op: Operation) -> Vec<LaneWindow> {
+    match op.format {
+        Format::Int64 => vec![LaneWindow {
+            lo: 0,
+            width: 128,
+            ma: op.xa,
+            mb: op.yb,
+            inj0: 0,
+            inj1: 0,
+        }],
+        Format::Binary64 => vec![LaneWindow {
+            lo: 0,
+            width: 128,
+            ma: sig(op.xa, 11, 52),
+            mb: sig(op.yb, 11, 52),
+            inj0: 1 << 51,
+            inj1: 1 << 52,
+        }],
+        Format::DualBinary32 | Format::SingleBinary32 => {
+            let lane = |a: u64, b: u64, lo: u32| LaneWindow {
+                lo,
+                width: 64,
+                ma: sig(a, 8, 23),
+                mb: sig(b, 8, 23),
+                inj0: 1 << 22,
+                inj1: 1 << 23,
+            };
+            vec![
+                lane(op.xa & 0xFFFF_FFFF, op.yb & 0xFFFF_FFFF, 0),
+                lane(op.xa >> 32, op.yb >> 32, 64),
+            ]
+        }
+        Format::QuadBinary16 => (0..4)
+            .map(|k| LaneWindow {
+                lo: 32 * k,
+                width: 32,
+                ma: sig((op.xa >> (16 * k)) & 0xFFFF, 5, 10),
+                mb: sig((op.yb >> (16 * k)) & 0xFFFF, 5, 10),
+                inj0: 1 << 9,
+                inj1: 1 << 10,
+            })
+            .collect(),
+    }
+}
+
+/// Runs every self-check against the raw observables of one operation.
+///
+/// Returns the first failing check: per-lane residues of both CPA sums
+/// (mod 3, then mod 15), the injection invariant, the exact product
+/// identity, then the full word-level output recompute. The ordering
+/// makes the first failure attributable to the cheapest tier that can
+/// see the fault (the campaign reports detections per tier).
+pub fn check_raw(op: Operation, raw: &RawOutputs) -> Result<(), CheckError> {
+    for (lane, w) in lane_windows(op).into_iter().enumerate() {
+        let mask = if w.width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << w.width) - 1
+        };
+        let w0 = (raw.p0 >> w.lo) & mask;
+        let w1 = (raw.p1 >> w.lo) & mask;
+        for (sum, inj) in [(w0, w.inj0), (w1, w.inj1)] {
+            let want3 =
+                (res3(w.ma as u128) as u32 * res3(w.mb as u128) as u32 + res3(inj) as u32) % 3;
+            if res3(sum) as u32 != want3 {
+                return Err(CheckError::Residue {
+                    lane: lane as u8,
+                    modulus: 3,
+                    got: res3(sum),
+                    want: want3 as u8,
+                });
+            }
+            let want15 =
+                (res15(w.ma as u128) as u32 * res15(w.mb as u128) as u32 + res15(inj) as u32) % 15;
+            if res15(sum) as u32 != want15 {
+                return Err(CheckError::Residue {
+                    lane: lane as u8,
+                    modulus: 15,
+                    got: res15(sum),
+                    want: want15 as u8,
+                });
+            }
+        }
+        if w1.wrapping_sub(w0) & mask != (w.inj1 - w.inj0) & mask {
+            return Err(CheckError::InjectionInvariant { lane: lane as u8 });
+        }
+        let exact = (w.ma as u128)
+            .wrapping_mul(w.mb as u128)
+            .wrapping_add(w.inj0)
+            & mask;
+        if w0 != exact {
+            return Err(CheckError::ProductIdentity { lane: lane as u8 });
+        }
+    }
+    let (ph, pl, flags) = expected_outputs(op, raw.p0, raw.p1);
+    if (ph, pl, flags) != (raw.ph, raw.pl, raw.flags) {
+        return Err(CheckError::OutputMismatch);
+    }
+    Ok(())
+}
+
+/// Per-lane operand classification, mirroring the stage-1 SPEC block.
+struct LaneCls {
+    a_nan: bool,
+    any_nan: bool,
+    any_inf: bool,
+    any_zero: bool,
+    invalid: bool,
+    sign_p: bool,
+}
+
+fn classify(aw: u64, bw: u64, ebits: u32, fbits: u32) -> LaneCls {
+    let emask = (1u64 << ebits) - 1;
+    let fmask = (1u64 << fbits) - 1;
+    let (ae, be) = ((aw >> fbits) & emask, (bw >> fbits) & emask);
+    let (af, bf) = (aw & fmask, bw & fmask);
+    let (a_ones, b_ones) = (ae == emask, be == emask);
+    let (a_nan, b_nan) = (a_ones && af != 0, b_ones && bf != 0);
+    let (a_inf, b_inf) = (a_ones && af == 0, b_ones && bf == 0);
+    // The unit flushes subnormal inputs: exponent 0 means zero.
+    let (a_zero, b_zero) = (ae == 0, be == 0);
+    let a_snan = a_nan && (af >> (fbits - 1)) & 1 == 0;
+    let b_snan = b_nan && (bf >> (fbits - 1)) & 1 == 0;
+    LaneCls {
+        a_nan,
+        any_nan: a_nan || b_nan,
+        any_inf: a_inf || b_inf,
+        any_zero: a_zero || b_zero,
+        invalid: (a_inf && b_zero) || (b_inf && a_zero) || a_snan || b_snan,
+        sign_p: ((aw >> (ebits + fbits)) ^ (bw >> (ebits + fbits))) & 1 == 1,
+    }
+}
+
+/// Exponent select (mirrors the `exponent_select` netlist helper): picks
+/// `e0` or `e0 + 1` by the normalization bit and evaluates the biased
+/// under/overflow window checks on the selected candidate.
+fn exp_select(e0: u64, width: u32, sel: bool, mneg: u64) -> (u64, bool, bool) {
+    let m = (1u64 << width) - 1;
+    let e = if sel { (e0 + 1) & m } else { e0 };
+    let unf = (e >> (width - 1)) & 1 == 1 || e == 0;
+    let ovf = ((e + mneg) & m) >> (width - 1) & 1 == 0;
+    (e, unf, ovf)
+}
+
+/// One lane of the SEH priority chain (mirrors the `lane_output` netlist
+/// helper): NaN/invalid, then infinity/overflow, then zero/underflow,
+/// then the normal `{sign, exponent, fraction}` word.
+#[allow(clippy::too_many_arguments)]
+fn lane_output(
+    cls: &LaneCls,
+    aw: u64,
+    bw: u64,
+    ebits: u32,
+    fbits: u32,
+    frac: u64,
+    e_field: u64,
+    unf: bool,
+    ovf: bool,
+) -> u64 {
+    let emask = ((1u64 << ebits) - 1) << fbits;
+    let sign_pos = ebits + fbits;
+    let wmask = ((1u128 << (sign_pos + 1)) - 1) as u64;
+    if cls.any_nan || cls.invalid {
+        if cls.any_nan {
+            // Propagate the first NaN operand, quieting it.
+            let src = if cls.a_nan { aw } else { bw };
+            (src | (1 << (fbits - 1))) & wmask
+        } else {
+            // Canonical quiet NaN for invalid (Inf × 0 or sNaN input).
+            emask | (1 << (fbits - 1))
+        }
+    } else if cls.any_inf || ovf {
+        ((cls.sign_p as u64) << sign_pos) | emask
+    } else if cls.any_zero || unf {
+        (cls.sign_p as u64) << sign_pos
+    } else {
+        ((cls.sign_p as u64) << sign_pos) | (e_field << fbits) | frac
+    }
+}
+
+/// One lane's `[invalid, overflow, underflow]` bits (mirrors the
+/// `lane_flags` netlist helper): range flags fire only for finite,
+/// non-zero floating-point lanes.
+fn lane_flags(cls: &LaneCls, unf: bool, ovf: bool) -> u8 {
+    let normal = !(cls.any_nan || cls.any_inf || cls.any_zero);
+    (cls.invalid as u8) | (((ovf && normal) as u8) << 1) | (((unf && normal) as u8) << 2)
+}
+
+/// Word-level mirror of the stage-3 logic after the rounding CPAs:
+/// recomputes the delivered `(PH, PL, flags)` from the operands and the
+/// two tapped sums. This is the third tier of [`check_raw`].
+pub fn expected_outputs(op: Operation, p0: u128, p1: u128) -> (u64, u64, u8) {
+    const MASK52: u64 = (1 << 52) - 1;
+    const MASK23: u64 = (1 << 23) - 1;
+    let (xa, yb) = (op.xa, op.yb);
+    match op.format {
+        Format::Int64 => ((p0 >> 64) as u64, p0 as u64, 0),
+        Format::Binary64 => {
+            let cls = classify(xa, yb, 11, 52);
+            let e0 = (((xa >> 52) & 0x7FF) + ((yb >> 52) & 0x7FF) + 7169) & 0x1FFF;
+            let sel = (p0 >> 105) & 1 == 1;
+            let (e, unf, ovf) = exp_select(e0, 13, sel, 6145);
+            let frac = if sel {
+                ((p1 >> 53) as u64) & MASK52
+            } else {
+                ((p0 >> 52) as u64) & MASK52
+            };
+            let out = lane_output(&cls, xa, yb, 11, 52, frac, e & 0x7FF, unf, ovf);
+            (out, 0, lane_flags(&cls, unf, ovf))
+        }
+        Format::DualBinary32 | Format::SingleBinary32 => {
+            let (alo, ahi) = (xa & 0xFFFF_FFFF, xa >> 32);
+            let (blo, bhi) = (yb & 0xFFFF_FFFF, yb >> 32);
+            // Lower lane: its own 10-bit exponent path.
+            let cls_lo = classify(alo, blo, 8, 23);
+            let e0_lo = (((alo >> 23) & 0xFF) + ((blo >> 23) & 0xFF) + 897) & 0x3FF;
+            let sel_lo = (p0 >> 47) & 1 == 1;
+            let (el, unf_lo, ovf_lo) = exp_select(e0_lo, 10, sel_lo, 769);
+            let frac_lo = if sel_lo {
+                ((p1 >> 24) as u64) & MASK23
+            } else {
+                ((p0 >> 23) as u64) & MASK23
+            };
+            let out_lo = lane_output(&cls_lo, alo, blo, 8, 23, frac_lo, el & 0xFF, unf_lo, ovf_lo);
+            // Upper lane: rides the (rebias-muxed) main exponent path.
+            let cls_hi = classify(ahi, bhi, 8, 23);
+            let e0_hi = (((ahi >> 23) & 0xFF) + ((bhi >> 23) & 0xFF) + 8065) & 0x1FFF;
+            let sel_hi = (p0 >> 111) & 1 == 1;
+            let (eh, unf_hi, ovf_hi) = exp_select(e0_hi, 13, sel_hi, 7937);
+            let frac_hi = if sel_hi {
+                ((p1 >> 88) as u64) & MASK23
+            } else {
+                ((p0 >> 87) as u64) & MASK23
+            };
+            let out_hi = lane_output(&cls_hi, ahi, bhi, 8, 23, frac_hi, eh & 0xFF, unf_hi, ovf_hi);
+            let flags =
+                lane_flags(&cls_lo, unf_lo, ovf_lo) | (lane_flags(&cls_hi, unf_hi, ovf_hi) << 3);
+            (out_lo | (out_hi << 32), 0, flags)
+        }
+        Format::QuadBinary16 => {
+            let mut ph = 0u64;
+            for k in 0..4 {
+                let aw = (xa >> (16 * k)) & 0xFFFF;
+                let bw = (yb >> (16 * k)) & 0xFFFF;
+                let cls = classify(aw, bw, 5, 10);
+                let e0 = (((aw >> 10) & 0x1F) + ((bw >> 10) & 0x1F) + 241) & 0xFF;
+                let sel = (p0 >> (32 * k + 21)) & 1 == 1;
+                let (e, unf, ovf) = exp_select(e0, 8, sel, 225);
+                let frac = if sel {
+                    ((p1 >> (32 * k + 11)) as u64) & 0x3FF
+                } else {
+                    ((p0 >> (32 * k + 10)) as u64) & 0x3FF
+                };
+                ph |= lane_output(&cls, aw, bw, 5, 10, frac, e & 0x1F, unf, ovf) << (16 * k);
+            }
+            // The quad extension reports no flags (the flag bus serves the
+            // paper's three formats).
+            (ph, 0, 0)
+        }
+    }
+}
+
+/// Maps the delivered flag bus to [`Flags`] words. The structural unit
+/// reports invalid/overflow/underflow; inexact is not wired out (the
+/// paper's interface, Fig. 5).
+fn flags_from_bits(bits: u8) -> Flags {
+    let mut f = Flags::NONE;
+    if bits & 1 != 0 {
+        f |= Flags::INVALID;
+    }
+    if bits & 2 != 0 {
+        f |= Flags::OVERFLOW;
+    }
+    if bits & 4 != 0 {
+        f |= Flags::UNDERFLOW;
+    }
+    f
+}
+
+/// Packs checked raw observables into a [`MultResult`].
+pub fn result_from_raw(op: Operation, raw: &RawOutputs) -> MultResult {
+    MultResult {
+        format: op.format,
+        ph: raw.ph,
+        pl: raw.pl,
+        flags_lo: flags_from_bits(raw.flags & 0x7),
+        flags_hi: flags_from_bits((raw.flags >> 3) & 0x7),
+    }
+}
+
+/// Drives one operation through a structural simulator and collects the
+/// raw observables, honouring the build's pipeline latency (the check
+/// taps are combinational stage-3 nets, valid one cycle before the
+/// registered outputs).
+pub fn run_raw(sim: &mut Simulator<'_>, ports: &StructuralPorts, op: Operation) -> RawOutputs {
+    let inputs: [(&[NetId], u128); 3] = [
+        (&ports.frmt, op.format.encoding() as u128),
+        (&ports.xa, op.xa as u128),
+        (&ports.yb, op.yb as u128),
+    ];
+    if ports.latency == 0 {
+        for (bus, v) in &inputs {
+            sim.set_bus(bus, *v);
+        }
+        sim.settle();
+        read_raw(sim, ports)
+    } else {
+        for _ in 0..ports.latency {
+            sim.step_cycle(&inputs);
+        }
+        let p0 = sim.read_bus(&ports.chk_p0);
+        let p1 = sim.read_bus(&ports.chk_p1);
+        sim.step_cycle(&inputs);
+        let mut raw = read_raw(sim, ports);
+        raw.p0 = p0;
+        raw.p1 = p1;
+        raw
+    }
+}
+
+fn read_raw(sim: &Simulator<'_>, ports: &StructuralPorts) -> RawOutputs {
+    RawOutputs {
+        ph: sim.read_bus(&ports.ph) as u64,
+        pl: sim.read_bus(&ports.pl) as u64,
+        flags: sim.read_bus(&ports.flags) as u8,
+        p0: sim.read_bus(&ports.chk_p0),
+        p1: sim.read_bus(&ports.chk_p1),
+    }
+}
+
+/// Lifetime counters of a [`SelfCheckingUnit`].
+#[derive(Debug, Clone, Default)]
+pub struct SelfCheckStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Operations whose hardware result passed every check.
+    pub checked_ok: u64,
+    /// Check failures observed (first attempt per operation).
+    pub mismatches: u64,
+    /// Retries attempted after a check failure.
+    pub retries: u64,
+    /// Retries whose re-execution passed (transient faults).
+    pub retry_successes: u64,
+    /// Operations served by the functional fallback.
+    pub fallback_ops: u64,
+    /// Whether the unit has permanently degraded to the fallback.
+    pub degraded: bool,
+    /// The check that first rejected a hardware result, if any.
+    pub first_failure: Option<CheckError>,
+}
+
+impl std::fmt::Display for SelfCheckStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ops {}, checked-ok {}, mismatches {}, retries {} ({} recovered), \
+             fallback {}, degraded {}",
+            self.ops,
+            self.checked_ok,
+            self.mismatches,
+            self.retries,
+            self.retry_successes,
+            self.fallback_ops,
+            self.degraded
+        )?;
+        if let Some(e) = self.first_failure {
+            write!(f, " (first failure: {e})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The structural unit under continuous online checking, with retry on
+/// transient faults and graceful degradation to the functional model on
+/// permanent ones (see the module docs).
+pub struct SelfCheckingUnit<'a> {
+    sim: Simulator<'a>,
+    ports: StructuralPorts,
+    fallback: FunctionalUnit,
+    pending_seus: Vec<(u32, NetId)>,
+    stats: SelfCheckStats,
+}
+
+impl<'a> SelfCheckingUnit<'a> {
+    /// Wraps a built structural (combinational or pipelined) unit.
+    pub fn new(netlist: &'a Netlist, ports: StructuralPorts) -> Self {
+        SelfCheckingUnit {
+            sim: Simulator::new(netlist),
+            ports,
+            fallback: FunctionalUnit::new(),
+            pending_seus: Vec::new(),
+            stats: SelfCheckStats::default(),
+        }
+    }
+
+    /// The wrapped unit's port map.
+    pub fn ports(&self) -> &StructuralPorts {
+        &self.ports
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &SelfCheckStats {
+        &self.stats
+    }
+
+    /// Whether the unit has switched permanently to the fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.stats.degraded
+    }
+
+    /// Direct access to the underlying simulator (fault injection,
+    /// power/toggle readout).
+    pub fn sim_mut(&mut self) -> &mut Simulator<'a> {
+        &mut self.sim
+    }
+
+    /// Injects a permanent stuck-at fault into the wrapped hardware.
+    pub fn inject_stuck_at(&mut self, net: NetId, value: bool) {
+        self.sim.inject_stuck_at(net, value);
+    }
+
+    /// Removes every injected fault (the unit stays degraded if it
+    /// already tripped; see [`SelfCheckingUnit::reset`]).
+    pub fn clear_faults(&mut self) {
+        self.sim.clear_faults();
+    }
+
+    /// Clears faults, counters and the degraded latch — a repair plus
+    /// power cycle.
+    pub fn reset(&mut self) {
+        self.sim.clear_faults();
+        self.sim.settle();
+        self.pending_seus.clear();
+        self.stats = SelfCheckStats::default();
+    }
+
+    /// Arms a single-event upset for the **next** [`execute`] call: net
+    /// `net` is flipped across clock edge `edge` (1-based; edges
+    /// `1..=latency+1` exist per operation, the last one latching the
+    /// outputs) and released immediately after, so the flipped value is
+    /// exactly what the downstream pipeline registers capture. On a
+    /// combinational build the pulse cannot be latched anywhere and is
+    /// always masked.
+    ///
+    /// [`execute`]: SelfCheckingUnit::execute
+    pub fn schedule_seu(&mut self, edge: u32, net: NetId) {
+        self.pending_seus.push((edge, net));
+    }
+
+    /// Executes one operation under checking. Hardware results are
+    /// delivered only when every check passes; a failed check triggers
+    /// one retry, and a failed retry permanently degrades the unit to
+    /// the bit-exact functional fallback.
+    pub fn execute(&mut self, op: Operation) -> MultResult {
+        self.stats.ops += 1;
+        if self.stats.degraded {
+            self.stats.fallback_ops += 1;
+            return self.fallback.execute(op);
+        }
+        let seus = std::mem::take(&mut self.pending_seus);
+        let raw = self.run_hw(op, &seus);
+        match check_raw(op, &raw) {
+            Ok(()) => {
+                self.stats.checked_ok += 1;
+                result_from_raw(op, &raw)
+            }
+            Err(e) => {
+                self.stats.mismatches += 1;
+                if self.stats.first_failure.is_none() {
+                    self.stats.first_failure = Some(e);
+                }
+                self.stats.retries += 1;
+                let raw2 = self.run_hw(op, &[]);
+                match check_raw(op, &raw2) {
+                    Ok(()) => {
+                        self.stats.retry_successes += 1;
+                        self.stats.checked_ok += 1;
+                        result_from_raw(op, &raw2)
+                    }
+                    Err(_) => {
+                        self.stats.degraded = true;
+                        self.stats.fallback_ops += 1;
+                        self.fallback.execute(op)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Raw (unchecked) hardware observables for one operation — the
+    /// campaign runner classifies these itself.
+    pub fn execute_raw(&mut self, op: Operation) -> RawOutputs {
+        self.run_hw(op, &[])
+    }
+
+    fn run_hw(&mut self, op: Operation, seus: &[(u32, NetId)]) -> RawOutputs {
+        let inputs: [(&[NetId], u128); 3] = [
+            (&self.ports.frmt, op.format.encoding() as u128),
+            (&self.ports.xa, op.xa as u128),
+            (&self.ports.yb, op.yb as u128),
+        ];
+        if self.ports.latency == 0 {
+            for (bus, v) in &inputs {
+                self.sim.set_bus(bus, *v);
+            }
+            // A combinational SET pulse: asserted, propagated, healed —
+            // the settled outputs never see it (no state to capture it).
+            for &(_, net) in seus {
+                let cur = self.sim.read_bus(&[net]) & 1 == 1;
+                self.sim.inject_stuck_at(net, !cur);
+                self.sim.settle();
+                self.sim.clear_fault(net);
+            }
+            self.sim.settle();
+            return read_raw(&self.sim, &self.ports);
+        }
+        let mut taps = (0u128, 0u128);
+        for edge in 1..=self.ports.latency + 1 {
+            let mut pulsed = Vec::new();
+            for &(at, net) in seus {
+                if at == edge {
+                    let cur = self.sim.read_bus(&[net]) & 1 == 1;
+                    self.sim.inject_stuck_at(net, !cur);
+                    pulsed.push(net);
+                }
+            }
+            if !pulsed.is_empty() {
+                // Let the pulse spread through the combinational cloud so
+                // the upcoming edge captures it.
+                self.sim.settle();
+            }
+            self.sim.step_cycle(&inputs);
+            for net in pulsed {
+                self.sim.clear_fault(net);
+            }
+            if edge == self.ports.latency {
+                taps = (
+                    self.sim.read_bus(&self.ports.chk_p0),
+                    self.sim.read_bus(&self.ports.chk_p1),
+                );
+            }
+        }
+        // Heal any released pulse before the next operation.
+        self.sim.settle();
+        let mut raw = read_raw(&self.sim, &self.ports);
+        raw.p0 = taps.0;
+        raw.p1 = taps.1;
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{build_pipelined_unit, PipelinePlacement};
+    use crate::structural::{build_unit, build_unit_quad};
+    use mfm_gatesim::netlist::Netlist;
+    use mfm_gatesim::tech::TechLibrary;
+    use mfm_prng::Rng;
+
+    const CASES: usize = if cfg!(debug_assertions) { 80 } else { 400 };
+
+    fn random_op(rng: &mut Rng, which: usize) -> Operation {
+        match which {
+            0 => Operation::int64(rng.next_u64(), rng.next_u64()),
+            1 => Operation::binary64(rng.next_u64(), rng.next_u64()),
+            2 => Operation::dual_binary32(
+                rng.next_u32(),
+                rng.next_u32(),
+                rng.next_u32(),
+                rng.next_u32(),
+            ),
+            3 => Operation::single_binary32(rng.next_u32(), rng.next_u32()),
+            _ => Operation::quad_binary16(
+                [0u16; 4].map(|_| rng.next_u16()),
+                [0u16; 4].map(|_| rng.next_u16()),
+            ),
+        }
+    }
+
+    #[test]
+    fn residues_match_modulo() {
+        let mut rng = Rng::new(0x315);
+        for _ in 0..2000 {
+            let x = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+            assert_eq!(res3(x) as u128, x % 3);
+            assert_eq!(res15(x) as u128, x % 15);
+        }
+        assert_eq!(res15(0), 0);
+        assert_eq!(res15(15), 0);
+        assert_eq!(res15(u128::MAX), (u128::MAX % 15) as u8);
+    }
+
+    #[test]
+    fn mirror_matches_quad_netlist_all_formats() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit_quad(&mut n);
+        let mut sim = Simulator::new(&n);
+        let mut rng = Rng::new(0x5e1f);
+        for case in 0..CASES {
+            let op = random_op(&mut rng, case % 5);
+            let raw = run_raw(&mut sim, &ports, op);
+            let want = expected_outputs(op, raw.p0, raw.p1);
+            assert_eq!(want, (raw.ph, raw.pl, raw.flags), "case {case}: {op:?}");
+            assert_eq!(check_raw(op, &raw), Ok(()), "case {case}: {op:?}");
+        }
+    }
+
+    #[test]
+    fn mirror_matches_paper_netlist() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut sim = Simulator::new(&n);
+        let mut rng = Rng::new(0x90de);
+        for case in 0..CASES {
+            let op = random_op(&mut rng, case % 4);
+            let raw = run_raw(&mut sim, &ports, op);
+            let want = expected_outputs(op, raw.p0, raw.p1);
+            assert_eq!(want, (raw.ph, raw.pl, raw.flags), "case {case}: {op:?}");
+            assert_eq!(check_raw(op, &raw), Ok(()), "case {case}: {op:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_clean_run_checks_ok() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+        let mut unit = SelfCheckingUnit::new(&n, ports);
+        let reference = FunctionalUnit::new();
+        let mut rng = Rng::new(0x11fe);
+        for case in 0..16 {
+            let op = random_op(&mut rng, case % 4);
+            let got = unit.execute(op);
+            let want = reference.execute(op);
+            assert_eq!((got.ph, got.pl), (want.ph, want.pl), "case {case}: {op:?}");
+            // The hardware flag bus has no inexact wire.
+            let hw = Flags::INVALID | Flags::OVERFLOW | Flags::UNDERFLOW;
+            assert_eq!(
+                got.flags_lo.bits(),
+                want.flags_lo.bits() & hw.bits(),
+                "case {case}: {op:?}"
+            );
+        }
+        assert_eq!(unit.stats().mismatches, 0);
+        assert!(!unit.is_degraded());
+    }
+
+    #[test]
+    fn stuck_at_fault_degrades_to_exact_fallback() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut unit = SelfCheckingUnit::new(&n, ports);
+        // Healthy first.
+        assert_eq!(unit.execute(Operation::int64(2, 3)).int_product(), 6);
+        // Stick the P0 LSB high: int64(2, 3) delivers 7 from the raw
+        // hardware, which the residue check must refuse.
+        let lsb = unit.ports().chk_p0[0];
+        unit.inject_stuck_at(lsb, true);
+        let reference = FunctionalUnit::new();
+        let mut rng = Rng::new(0xfa11);
+        for case in 0..12 {
+            let op = random_op(&mut rng, case % 4);
+            let got = unit.execute(op);
+            let want = reference.execute(op);
+            assert_eq!(got.ph, want.ph, "case {case}: {op:?}");
+            assert_eq!(got.pl, want.pl, "case {case}: {op:?}");
+        }
+        let s = unit.stats();
+        assert!(s.degraded, "permanent fault must trip the fallback");
+        assert!(s.retries >= 1 && s.retry_successes == 0);
+        assert!(matches!(s.first_failure, Some(CheckError::Residue { .. })));
+        // Repair: after reset the hardware path serves again.
+        unit.reset();
+        assert_eq!(unit.execute(Operation::int64(7, 9)).int_product(), 63);
+        assert!(!unit.is_degraded());
+    }
+
+    #[test]
+    fn transient_seu_recovers_via_retry() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+        let mut unit = SelfCheckingUnit::new(&n, ports);
+        let op = Operation::int64(3, 5);
+        assert_eq!(unit.execute(op).int_product(), 15);
+        // Flip the P0 LSB across the output-latching edge: the delivered
+        // PL is corrupt while the (earlier) taps are clean, so the output
+        // recompute catches it; the retry runs on healed hardware.
+        let last_edge = unit.ports().latency + 1;
+        let lsb = unit.ports().chk_p0[0];
+        unit.schedule_seu(last_edge, lsb);
+        assert_eq!(unit.execute(op).int_product(), 15);
+        let s = unit.stats();
+        assert_eq!(s.mismatches, 1);
+        assert_eq!(s.retry_successes, 1);
+        assert_eq!(s.fallback_ops, 0);
+        assert!(!s.degraded, "a transient must not trip the fallback");
+    }
+}

@@ -30,9 +30,7 @@
 //! classification, NaN payloads — is registered through the same pipeline
 //! ranks as the significand datapath.
 
-use crate::lanes::{
-    FULL_WINDOW, LOWER_ROWS, LOWER_WINDOW, SEAM_COL, UPPER_ROWS, UPPER_WINDOW,
-};
+use crate::lanes::{FULL_WINDOW, LOWER_ROWS, LOWER_WINDOW, SEAM_COL, UPPER_ROWS, UPPER_WINDOW};
 use mfm_arith::adder::{build_adder, AdderKind};
 use mfm_arith::multiples::build_multiples;
 use mfm_arith::ppgen::one_hot_select;
@@ -60,6 +58,15 @@ pub struct StructuralPorts {
     pub flags: Vec<NetId>,
     /// Pipeline latency in cycles (0 for the combinational build).
     pub latency: u32,
+    /// Check tap: the raw 128-bit output of the stage-3 "no left shift"
+    /// rounding CPA (`P0 = s + c + inj0`). Combinational stage-3 nets —
+    /// in pipelined builds they are valid one cycle *before* the
+    /// registered `ph`/`pl`/`flags`. Used by `mfmult::selfcheck`; adds no
+    /// gates, registers or power.
+    pub chk_p0: Vec<NetId>,
+    /// Check tap: the raw 128-bit output of the "left shift" rounding CPA
+    /// (`P1 = s + c + inj1`). Same timing caveat as `chk_p0`.
+    pub chk_p1: Vec<NetId>,
 }
 
 /// Per-lane classification nets (stage-1 outputs, piped forward).
@@ -270,9 +277,8 @@ pub(crate) fn build_unit_full(
     // Stage 1: FMT, SPEC, field extraction, recode, precomp.
     // ==================================================================
     n.begin_block("FMT");
-    let or_range = |n: &mut Netlist, bus: &[NetId], lo: usize, hi: usize| {
-        or_tree(n, bus[lo..=hi].to_vec())
-    };
+    let or_range =
+        |n: &mut Netlist, bus: &[NetId], lo: usize, hi: usize| or_tree(n, bus[lo..=hi].to_vec());
     let a64_norm = or_range(n, &xa, 52, 62);
     let b64_norm = or_range(n, &yb, 52, 62);
     let alo_norm = or_range(n, &xa, 23, 30);
@@ -282,8 +288,12 @@ pub(crate) fn build_unit_full(
     // Quad-lane (binary16) nonzero-exponent detectors, lane 0..3.
     let (aq_norm, bq_norm): (Vec<NetId>, Vec<NetId>) = if opts.quad_lanes {
         (
-            (0..4).map(|k| or_range(n, &xa, 16 * k + 10, 16 * k + 14)).collect(),
-            (0..4).map(|k| or_range(n, &yb, 16 * k + 10, 16 * k + 14)).collect(),
+            (0..4)
+                .map(|k| or_range(n, &xa, 16 * k + 10, 16 * k + 14))
+                .collect(),
+            (0..4)
+                .map(|k| or_range(n, &yb, 16 * k + 10, 16 * k + 14))
+                .collect(),
         )
     } else {
         (vec![zero; 4], vec![zero; 4])
@@ -331,9 +341,8 @@ pub(crate) fn build_unit_full(
     n.end_block();
 
     n.begin_block("SPEC");
-    let and_range = |n: &mut Netlist, bus: &[NetId], lo: usize, hi: usize| {
-        and_tree(n, bus[lo..=hi].to_vec())
-    };
+    let and_range =
+        |n: &mut Netlist, bus: &[NetId], lo: usize, hi: usize| and_tree(n, bus[lo..=hi].to_vec());
     let classify = |n: &mut Netlist,
                     exp: (usize, usize),
                     frac: (usize, usize),
@@ -479,9 +488,9 @@ pub(crate) fn build_unit_full(
     n.begin_block("PPGEN");
     let mut arr = PpArray::new(128);
     let row_w = FULL_WINDOW.1; // 67
-    // Mode-mask helper: bit0 = full (int64/binary64), bit1 = dual,
-    // bit2 = quad. Returns the net that is high exactly in those modes
-    // (None when the mask covers every mode).
+                               // Mode-mask helper: bit0 = full (int64/binary64), bit1 = dual,
+                               // bit2 = quad. Returns the net that is high exactly in those modes
+                               // (None when the mask covers every mode).
     let mode_net = |mask: u8| -> Option<NetId> {
         match mask {
             0b111 => None,
@@ -512,9 +521,11 @@ pub(crate) fn build_unit_full(
         } else {
             None
         };
-        let contains = |w: Option<(usize, usize)>, j: usize| {
-            w.is_some_and(|(lo, hi)| j >= lo && j < hi)
-        };
+        let contains =
+            |w: Option<(usize, usize)>, j: usize| w.is_some_and(|(lo, hi)| j >= lo && j < hi);
+        // `j` indexes the *inner* dimension of `buses`, so the range
+        // loop is clearer than any iterator chain here.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..row_w {
             let terms: Vec<(NetId, NetId)> = digit
                 .sel
@@ -713,10 +724,10 @@ pub(crate) fn build_unit_full(
         }
         let mut shifted = Vec::with_capacity(128);
         shifted.push(zero);
-        for i in 0..127 {
-            match seams.iter().find(|(c, _)| *c == i + 1) {
-                Some(&(_, pass)) => shifted.push(n.and2(carry[i], pass)),
-                None => shifted.push(carry[i]),
+        for (i, &c) in carry.iter().enumerate().take(127) {
+            match seams.iter().find(|(col, _)| *col == i + 1) {
+                Some(&(_, pass)) => shifted.push(n.and2(c, pass)),
+                None => shifted.push(c),
             }
         }
         // Sectioned CPA with carry-select: each upper section is computed
@@ -799,26 +810,20 @@ pub(crate) fn build_unit_full(
 
     // SEH stage 3: speculative +1, select, range checks.
     n.begin_block("SEH");
-    let (e_main, unf_main, ovf_main) = exponent_select(
-        n,
-        &exps.e0_main,
-        sel_main,
-        &|n, i| {
-            let b64bit = n.lit((6145u64 >> i) & 1 == 1); // 8192 − 2047
-            let dualbit = n.lit((7937u64 >> i) & 1 == 1); // 8192 − 255
-            n.mux2(is_dual, b64bit, dualbit)
-        },
-    );
-    let (e_lo, unf_lo_raw, ovf_lo_raw) =
-        exponent_select(n, &exps.e0_lo, sel_lo, &|n, i| {
-            n.lit((769u64 >> i) & 1 == 1) // 1024 − 255
-        });
+    let (e_main, unf_main, ovf_main) = exponent_select(n, &exps.e0_main, sel_main, &|n, i| {
+        let b64bit = n.lit((6145u64 >> i) & 1 == 1); // 8192 − 2047
+        let dualbit = n.lit((7937u64 >> i) & 1 == 1); // 8192 − 255
+        n.mux2(is_dual, b64bit, dualbit)
+    });
+    let (e_lo, unf_lo_raw, ovf_lo_raw) = exponent_select(n, &exps.e0_lo, sel_lo, &|n, i| {
+        n.lit((769u64 >> i) & 1 == 1) // 1024 − 255
+    });
     let mut e_q = Vec::with_capacity(4);
     let mut unf_q = Vec::with_capacity(4);
     let mut ovf_q = Vec::with_capacity(4);
     if opts.quad_lanes {
-        for k in 0..4 {
-            let (e, unf, ovf) = exponent_select(n, &exps.e0_q[k], sel_q[k], &|n, i| {
+        for (e0, &sel) in exps.e0_q.iter().zip(&sel_q) {
+            let (e, unf, ovf) = exponent_select(n, e0, sel, &|n, i| {
                 n.lit((225u64 >> i) & 1 == 1) // 256 − 31
             });
             e_q.push(e);
@@ -951,6 +956,11 @@ pub(crate) fn build_unit_full(
     n.output_bus("ph", &ph);
     n.output_bus("pl", &pl);
     n.output_bus("flags", &flags);
+    // Pre-normalization CPA outputs, exposed for online self-checking.
+    // Recording output buses adds no cells, so the paper-reference area
+    // and power tables are unaffected.
+    n.output_bus("chk_p0", &p0);
+    n.output_bus("chk_p1", &p1);
 
     StructuralPorts {
         xa,
@@ -960,6 +970,8 @@ pub(crate) fn build_unit_full(
         pl,
         flags,
         latency,
+        chk_p0: p0,
+        chk_p1: p1,
     }
 }
 
@@ -1129,11 +1141,7 @@ mod tests {
 
     /// Drives the combinational unit with an operation and reads back the
     /// result.
-    fn run(
-        sim: &mut Simulator<'_>,
-        u: &StructuralPorts,
-        op: Operation,
-    ) -> (u64, u64, u64) {
+    fn run(sim: &mut Simulator<'_>, u: &StructuralPorts, op: Operation) -> (u64, u64, u64) {
         sim.set_bus(&u.frmt, op.format.encoding() as u128);
         sim.set_bus(&u.xa, op.xa as u128);
         sim.set_bus(&u.yb, op.yb as u128);
@@ -1266,11 +1274,7 @@ mod tests {
             sim.set_bus(&u.xa, op.xa as u128);
             sim.set_bus(&u.yb, op.yb as u128);
             sim.settle();
-            assert_eq!(
-                sim.read_bus(&u.ph) as u64,
-                want.ph,
-                "quad {x:?} × {y:?}"
-            );
+            assert_eq!(sim.read_bus(&u.ph) as u64, want.ph, "quad {x:?} × {y:?}");
         }
     }
 

@@ -10,12 +10,11 @@ use mfm_gatesim::report::Table;
 use mfm_gatesim::{Netlist, TechLibrary, TimingAnalysis};
 use mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
 use mfmult::Format;
-use serde::Serialize;
 use std::fmt;
 
 /// Table I / Table II: latency, area and critical-path decomposition of a
 /// 64×64 multiplier.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MultiplierReport {
     /// Radix of the measured multiplier.
     pub radix: u32,
@@ -98,7 +97,7 @@ pub fn table2_radix8() -> MultiplierReport {
 
 /// Table III: power at 100 MHz for radix-4 vs radix-16, combinational and
 /// two-stage pipelined.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// Monte-Carlo vectors per configuration.
     pub vectors: usize,
@@ -150,7 +149,7 @@ pub fn table3(vectors: usize, seed: u64) -> Table3 {
 }
 
 /// Table IV: the IEEE 754-2008 binary format parameters.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4 {
     /// `(quantity, binary16, binary32, binary64, binary128)` rows.
     pub rows: Vec<(String, i64, i64, i64, i64)>,
@@ -201,7 +200,7 @@ pub fn table4() -> Table4 {
 
 /// Table V: power, throughput and power efficiency per format on the
 /// 3-stage pipelined multi-format unit.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table5 {
     /// Operations measured per format.
     pub ops: usize,
@@ -212,7 +211,7 @@ pub struct Table5 {
 }
 
 /// One row of Table V.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table5Row {
     /// Format name as printed.
     pub format: String,
@@ -291,7 +290,7 @@ pub fn table5(ops: usize, seed: u64) -> Table5 {
 }
 
 /// Fig. 5 ablation: per-placement minimum period and register count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PlacementStudy {
     /// `(placement, min period ps, FO4, max MHz, DFF count)` rows.
     pub rows: Vec<(String, f64, f64, f64, usize)>,
@@ -319,7 +318,7 @@ impl fmt::Display for PlacementStudy {
 /// The substituted technology model is the main threat to validity of
 /// this reproduction, so the headline orderings are re-measured with the
 /// switching energies scaled ±30 % and the clock energy halved/doubled.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityStudy {
     /// `(energy scale, clock fJ, power ordering holds, efficiency
     /// ordering holds, dual/single efficiency)` rows.
@@ -396,7 +395,7 @@ pub fn sensitivity(ops: usize, seed: u64) -> SensitivityStudy {
 /// activity in the multiplier"; this ablation measures the relation
 /// directly by driving the combinational unit with operands whose
 /// per-bit flip probability is controlled.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ActivitySweep {
     /// `(bit flip probability, mW @100 MHz, transitions/op)` rows.
     pub rows: Vec<(f64, f64, f64)>,
@@ -517,6 +516,9 @@ mod tests {
     fn placement_study_has_three_rows() {
         let s = placement_study();
         assert_eq!(s.rows.len(), 3);
-        assert!(s.rows.iter().all(|(_, ps, _, _, dffs)| *ps > 0.0 && *dffs > 0));
+        assert!(s
+            .rows
+            .iter()
+            .all(|(_, ps, _, _, dffs)| *ps > 0.0 && *dffs > 0));
     }
 }

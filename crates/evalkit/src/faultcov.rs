@@ -1,0 +1,335 @@
+//! Seeded Monte-Carlo fault-coverage campaign for the self-checking unit.
+//!
+//! For every sampled stuck-at site (see
+//! [`mfm_gatesim::fault::enumerate_stuck_sites`]) the campaign drives a
+//! deterministic operand mix through the faulted gate-level unit and
+//! classifies each vector against the bit-exact functional reference:
+//!
+//! - **masked** — the delivered `PH`/`PL`/flags are unaffected;
+//! - **detected** — the result is corrupt and
+//!   [`mfmult::selfcheck::check_raw`] rejects it (the detection is
+//!   attributed to the first checker tier that fired: residue, injection
+//!   invariant, product identity or output recompute);
+//! - **silent** — the result is corrupt and every check passed. This is
+//!   the outcome a self-checking design must drive to zero.
+//!
+//! Results aggregate per hardware block (`PPGEN`, `TREE`, `CPA`, …) and
+//! per operand format, so the report answers the two questions the
+//! robustness study asks: *where* do undetected faults live, and *which
+//! formats* exercise them. The whole campaign is a pure function of
+//! [`FaultCoverageConfig`] — same seed, same report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mfm_gatesim::fault::{enumerate_stuck_sites, sample_sites, CampaignRunner, CampaignStats};
+use mfm_gatesim::netlist::Netlist;
+use mfm_gatesim::report::Table;
+use mfm_gatesim::tech::TechLibrary;
+use mfm_gatesim::FaultOutcome;
+use mfmult::selfcheck::{check_raw, run_raw, CheckError, RawOutputs};
+use mfmult::{structural, Format, FunctionalUnit, MultResult};
+
+use crate::workload::OperandGen;
+
+/// Campaign parameters. The report is a deterministic function of this
+/// struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCoverageConfig {
+    /// Seed for site sampling and operand generation.
+    pub seed: u64,
+    /// Number of stuck-at sites to sample from the netlist.
+    pub sites: usize,
+    /// Operand vectors driven per site *per format*.
+    pub vectors_per_format: usize,
+    /// Build the unit with the quad-binary16 extension lanes (adds the
+    /// fifth format to the mix).
+    pub quad_lanes: bool,
+}
+
+impl FaultCoverageConfig {
+    /// A small smoke-test campaign.
+    pub fn quick(seed: u64) -> Self {
+        FaultCoverageConfig {
+            seed,
+            sites: 40,
+            vectors_per_format: 2,
+            quad_lanes: false,
+        }
+    }
+
+    /// The full campaign of the robustness study: ≥500 stuck-at sites,
+    /// four vectors per site and format.
+    pub fn full(seed: u64) -> Self {
+        FaultCoverageConfig {
+            seed,
+            sites: 500,
+            vectors_per_format: 4,
+            quad_lanes: false,
+        }
+    }
+}
+
+/// Masked/detected/silent counters (one classification per vector).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Vectors whose delivered result was unaffected.
+    pub masked: u64,
+    /// Corrupted vectors rejected by the checker.
+    pub detected: u64,
+    /// Corrupted vectors no check caught.
+    pub silent: u64,
+}
+
+impl OutcomeCounts {
+    fn record(&mut self, outcome: FaultOutcome) {
+        match outcome {
+            FaultOutcome::Masked => self.masked += 1,
+            FaultOutcome::Detected => self.detected += 1,
+            FaultOutcome::Silent => self.silent += 1,
+        }
+    }
+
+    /// Total classified vectors.
+    pub fn ops(&self) -> u64 {
+        self.masked + self.detected + self.silent
+    }
+
+    /// Detected fraction of corrupting vectors (1.0 when nothing
+    /// corrupted).
+    pub fn detection_rate(&self) -> f64 {
+        let corrupted = self.detected + self.silent;
+        if corrupted == 0 {
+            1.0
+        } else {
+            self.detected as f64 / corrupted as f64
+        }
+    }
+}
+
+/// Results of one fault-coverage campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCoverageReport {
+    /// The configuration that produced this report.
+    pub config: FaultCoverageConfig,
+    /// Sites actually run (≤ `config.sites`, bounded by the netlist).
+    pub sites_run: usize,
+    /// Outcomes per hardware block.
+    pub blocks: CampaignStats,
+    /// Outcomes per operand format.
+    pub formats: BTreeMap<&'static str, OutcomeCounts>,
+    /// Detections attributed to the first checker tier that fired.
+    pub detections_by_tier: BTreeMap<&'static str, u64>,
+}
+
+impl FaultCoverageReport {
+    /// Total silent corruptions across the campaign (the robustness
+    /// study requires this to be zero).
+    pub fn silent(&self) -> u64 {
+        self.blocks.totals().silent
+    }
+
+    /// Overall detection rate over corrupting vectors.
+    pub fn detection_rate(&self) -> f64 {
+        self.blocks.totals().detection_rate()
+    }
+
+    /// Detections caught by the cheap residue tier alone (mod 3/15).
+    pub fn residue_detections(&self) -> u64 {
+        self.detections_by_tier.get("residue").copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for FaultCoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Stuck-at fault-coverage campaign: {} sites, {} vectors/format, seed {:#x}",
+            self.sites_run, self.config.vectors_per_format, self.config.seed
+        )?;
+        writeln!(f)?;
+        writeln!(f, "Per hardware block:")?;
+        writeln!(f, "{}", self.blocks.table())?;
+        writeln!(f, "Per operand format:")?;
+        let mut t = Table::new(&["format", "ops", "masked", "detected", "silent", "det.rate"]);
+        for (name, c) in &self.formats {
+            t.row_owned(vec![
+                name.to_string(),
+                c.ops().to_string(),
+                c.masked.to_string(),
+                c.detected.to_string(),
+                c.silent.to_string(),
+                format!("{:.3}", c.detection_rate()),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(f, "Detections by first-firing checker tier:")?;
+        let mut t = Table::new(&["tier", "detections"]);
+        for (tier, n) in &self.detections_by_tier {
+            t.row_owned(vec![tier.to_string(), n.to_string()]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+fn format_name(f: Format) -> &'static str {
+    match f {
+        Format::Int64 => "int64",
+        Format::Binary64 => "binary64",
+        Format::DualBinary32 => "dual binary32",
+        Format::SingleBinary32 => "single binary32",
+        Format::QuadBinary16 => "quad binary16",
+    }
+}
+
+fn tier_name(e: CheckError) -> &'static str {
+    match e {
+        CheckError::Residue { .. } => "residue",
+        CheckError::InjectionInvariant { .. } => "injection invariant",
+        CheckError::ProductIdentity { .. } => "product identity",
+        CheckError::OutputMismatch => "output recompute",
+    }
+}
+
+/// The delivered-output view of a functional result: what the hardware
+/// ports would carry for this operation (the structural flag bus has no
+/// inexact wire, and the quad extension reports no flags).
+pub fn hardware_view(r: &MultResult) -> (u64, u64, u8) {
+    let lane = |f: mfm_softfloat::Flags| {
+        (f.invalid() as u8) | ((f.overflow() as u8) << 1) | ((f.underflow() as u8) << 2)
+    };
+    match r.format {
+        Format::Int64 => (r.ph, r.pl, 0),
+        Format::QuadBinary16 => (r.ph, 0, 0),
+        _ => (r.ph, 0, lane(r.flags_lo) | (lane(r.flags_hi) << 3)),
+    }
+}
+
+/// Runs the campaign described by `config` and aggregates the report.
+pub fn fault_coverage(config: &FaultCoverageConfig) -> FaultCoverageReport {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = if config.quad_lanes {
+        structural::build_unit_quad(&mut n)
+    } else {
+        structural::build_unit(&mut n)
+    };
+    let formats: Vec<Format> = if config.quad_lanes {
+        vec![
+            Format::Int64,
+            Format::Binary64,
+            Format::DualBinary32,
+            Format::SingleBinary32,
+            Format::QuadBinary16,
+        ]
+    } else {
+        Format::ALL.to_vec()
+    };
+
+    let sites = sample_sites(enumerate_stuck_sites(&n), config.sites, config.seed);
+    let runner = CampaignRunner::new(&n, sites);
+    let sites_run = runner.sites().len();
+    let reference = FunctionalUnit::new();
+
+    let mut per_format: BTreeMap<&'static str, OutcomeCounts> = formats
+        .iter()
+        .map(|&f| (format_name(f), OutcomeCounts::default()))
+        .collect();
+    let mut by_tier: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut site_idx: u64 = 0;
+
+    let blocks = runner.run(|sim, _site| {
+        // Per-site operand stream derived from the campaign seed, so the
+        // classification of a site does not depend on which sites were
+        // sampled before it.
+        site_idx += 1;
+        let mut gen = OperandGen::new(config.seed ^ site_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut outcomes = Vec::new();
+        for &fmt in &formats {
+            for _ in 0..config.vectors_per_format {
+                let op = gen.operation(fmt);
+                let raw: RawOutputs = run_raw(sim, &ports, op);
+                let golden = hardware_view(&reference.execute(op));
+                let outcome = if (raw.ph, raw.pl, raw.flags) == golden {
+                    FaultOutcome::Masked
+                } else {
+                    match check_raw(op, &raw) {
+                        Err(e) => {
+                            *by_tier.entry(tier_name(e)).or_insert(0) += 1;
+                            FaultOutcome::Detected
+                        }
+                        Ok(()) => FaultOutcome::Silent,
+                    }
+                };
+                per_format
+                    .get_mut(format_name(fmt))
+                    .unwrap()
+                    .record(outcome);
+                outcomes.push(outcome);
+            }
+        }
+        outcomes
+    });
+
+    FaultCoverageReport {
+        config: *config,
+        sites_run,
+        blocks,
+        formats: per_format,
+        detections_by_tier: by_tier,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::Simulator;
+
+    /// On healthy hardware the functional "hardware view" must equal the
+    /// delivered ports bit for bit — the campaign's corruption test is
+    /// only sound if this holds for every format.
+    #[test]
+    fn healthy_hardware_matches_functional_view() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = structural::build_unit_quad(&mut n);
+        let mut sim = Simulator::new(&n);
+        let reference = FunctionalUnit::new();
+        let mut gen = OperandGen::new(0xFCC5);
+        let formats = [
+            Format::Int64,
+            Format::Binary64,
+            Format::DualBinary32,
+            Format::SingleBinary32,
+            Format::QuadBinary16,
+        ];
+        for round in 0..6 {
+            for &fmt in &formats {
+                let op = gen.operation(fmt);
+                let raw = run_raw(&mut sim, &ports, op);
+                let golden = hardware_view(&reference.execute(op));
+                assert_eq!((raw.ph, raw.pl, raw.flags), golden, "round {round}: {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_campaign_is_deterministic_and_consistent() {
+        let cfg = FaultCoverageConfig {
+            seed: 7,
+            sites: 6,
+            vectors_per_format: 1,
+            quad_lanes: false,
+        };
+        let a = fault_coverage(&cfg);
+        let b = fault_coverage(&cfg);
+        assert_eq!(a, b, "same config must reproduce the same report");
+        assert_eq!(a.sites_run, 6);
+        let totals = a.blocks.totals();
+        // Every vector of every site is classified exactly once, and the
+        // per-format view partitions the same population.
+        assert_eq!(totals.ops(), 6 * 4);
+        let format_ops: u64 = a.formats.values().map(|c| c.ops()).sum();
+        assert_eq!(format_ops, totals.ops());
+        let format_silent: u64 = a.formats.values().map(|c| c.silent).sum();
+        assert_eq!(format_silent, totals.silent);
+    }
+}

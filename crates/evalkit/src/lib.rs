@@ -10,6 +10,9 @@
 //! - [`experiments`] — regenerates every table: each function returns a
 //!   serializable report struct with a `Display` that prints the same
 //!   rows the paper reports.
+//! - [`faultcov`] — seeded stuck-at fault-coverage campaigns for the
+//!   self-checking unit (`mfmult::selfcheck`): per-block and per-format
+//!   masked/detected/silent classification.
 //!
 //! # Example
 //!
@@ -26,5 +29,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faultcov;
 pub mod montecarlo;
 pub mod workload;

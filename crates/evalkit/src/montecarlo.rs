@@ -140,7 +140,10 @@ mod tests {
         let e_int = measure_unit(&n, &u, Format::Int64, 30, 5).energy_pj_per_op();
         let e_b64 = measure_unit(&n, &u, Format::Binary64, 30, 5).energy_pj_per_op();
         let e_single = measure_unit(&n, &u, Format::SingleBinary32, 30, 5).energy_pj_per_op();
-        assert!(e_int > e_b64, "int64 {e_int:.1} pJ ≤ binary64 {e_b64:.1} pJ");
+        assert!(
+            e_int > e_b64,
+            "int64 {e_int:.1} pJ ≤ binary64 {e_b64:.1} pJ"
+        );
         assert!(
             e_b64 > e_single,
             "binary64 {e_b64:.1} pJ ≤ single b32 {e_single:.1} pJ"

@@ -7,44 +7,43 @@
 //! overflow nor underflow (overflow/underflow bypass logic would otherwise
 //! idle large parts of the datapath and skew the power numbers).
 
+use mfm_prng::Rng;
 use mfmult::{Format, Operation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministic operand generator (seeded, reproducible).
 #[derive(Debug)]
 pub struct OperandGen {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl OperandGen {
     /// Creates a generator with the given seed.
     pub fn new(seed: u64) -> Self {
         OperandGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::new(seed),
         }
     }
 
     /// A uniform 64-bit unsigned pair.
     pub fn int64_pair(&mut self) -> (u64, u64) {
-        (self.rng.gen(), self.rng.gen())
+        (self.rng.next_u64(), self.rng.next_u64())
     }
 
     /// A finite normal binary64 encoding with exponent within
     /// `bias ± spread`.
     pub fn b64_normal(&mut self, spread: i64) -> u64 {
-        let sign: u64 = self.rng.gen_range(0..2);
-        let exp = (1023 + self.rng.gen_range(-spread..=spread)) as u64;
-        let frac: u64 = self.rng.gen::<u64>() & ((1 << 52) - 1);
+        let sign: u64 = self.rng.range_u64(0, 2);
+        let exp = (1023 + self.rng.range_i64(-spread, spread + 1)) as u64;
+        let frac: u64 = self.rng.next_u64() & ((1 << 52) - 1);
         (sign << 63) | (exp << 52) | frac
     }
 
     /// A finite normal binary32 encoding with exponent within
     /// `bias ± spread`.
     pub fn b32_normal(&mut self, spread: i64) -> u32 {
-        let sign: u32 = self.rng.gen_range(0..2);
-        let exp = (127 + self.rng.gen_range(-spread..=spread)) as u32;
-        let frac: u32 = self.rng.gen::<u32>() & ((1 << 23) - 1);
+        let sign: u32 = self.rng.range_u64(0, 2) as u32;
+        let exp = (127 + self.rng.range_i64(-spread, spread + 1)) as u32;
+        let frac: u32 = self.rng.next_u32() & ((1 << 23) - 1);
         (sign << 31) | (exp << 23) | frac
     }
 
@@ -55,9 +54,7 @@ impl OperandGen {
                 let (x, y) = self.int64_pair();
                 Operation::int64(x, y)
             }
-            Format::Binary64 => {
-                Operation::binary64(self.b64_normal(400), self.b64_normal(400))
-            }
+            Format::Binary64 => Operation::binary64(self.b64_normal(400), self.b64_normal(400)),
             Format::DualBinary32 => Operation::dual_binary32(
                 self.b32_normal(40),
                 self.b32_normal(40),
@@ -87,9 +84,9 @@ impl OperandGen {
     /// A finite normal binary16 encoding with exponent within
     /// `bias ± spread`.
     pub fn b16_normal(&mut self, spread: i64) -> u16 {
-        let sign: u16 = self.rng.gen_range(0..2);
-        let exp = (15 + self.rng.gen_range(-spread..=spread)) as u16;
-        let frac: u16 = self.rng.gen::<u16>() & ((1 << 10) - 1);
+        let sign: u16 = self.rng.range_u64(0, 2) as u16;
+        let exp = (15 + self.rng.range_i64(-spread, spread + 1)) as u16;
+        let frac: u16 = self.rng.next_u16() & ((1 << 10) - 1);
         (sign << 15) | (exp << 10) | frac
     }
 
@@ -98,10 +95,10 @@ impl OperandGen {
     /// 0.5` is the uncorrelated (maximum-activity) case; small values
     /// model slowly varying operands. Used by the activity-sweep ablation.
     pub fn correlated_step(&mut self, state: &mut (u64, u64), p_flip: f64) -> (u64, u64) {
-        let flip_word = |rng: &mut StdRng| -> u64 {
+        let flip_word = |rng: &mut Rng| -> u64 {
             let mut m = 0u64;
             for i in 0..64 {
-                if rng.gen::<f64>() < p_flip {
+                if rng.next_f64() < p_flip {
                     m |= 1 << i;
                 }
             }
@@ -115,9 +112,9 @@ impl OperandGen {
     /// A binary64 value guaranteed reducible by Algorithm 1: exponent in
     /// `(896, 1151)` and the 29 significand LSBs zero.
     pub fn reducible_b64(&mut self) -> u64 {
-        let sign: u64 = self.rng.gen_range(0..2);
-        let exp: u64 = self.rng.gen_range(897..1151);
-        let frac: u64 = (self.rng.gen::<u64>() & ((1 << 52) - 1)) & !((1 << 29) - 1);
+        let sign: u64 = self.rng.range_u64(0, 2);
+        let exp: u64 = self.rng.range_u64(897, 1151);
+        let frac: u64 = (self.rng.next_u64() & ((1 << 52) - 1)) & !((1 << 29) - 1);
         (sign << 63) | (exp << 52) | frac
     }
 
@@ -125,7 +122,7 @@ impl OperandGen {
     /// `p_reducible`* — models a workload where a fraction of doubles fit
     /// single precision (the paper's motivation for Sec. IV).
     pub fn mixed_b64(&mut self, p_reducible: f64) -> u64 {
-        if self.rng.gen::<f64>() < p_reducible {
+        if self.rng.next_f64() < p_reducible {
             self.reducible_b64()
         } else {
             self.b64_normal(600)

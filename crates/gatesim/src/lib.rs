@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod fault;
 pub mod netlist;
 pub mod power;
 pub mod report;
@@ -54,6 +55,7 @@ pub mod tech;
 pub mod trace;
 pub mod vector;
 
+pub use fault::{CampaignRunner, CampaignStats, FaultKind, FaultOutcome, FaultSite};
 pub use netlist::{BlockId, CellId, NetId, Netlist};
 pub use power::{PowerBreakdown, PowerEstimator};
 pub use sim::Simulator;

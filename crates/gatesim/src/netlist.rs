@@ -406,7 +406,9 @@ impl Netlist {
 
     /// 3-input AND.
     pub fn and3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
-        if self.const_value(a).is_some() || self.const_value(b).is_some() || self.const_value(c).is_some()
+        if self.const_value(a).is_some()
+            || self.const_value(b).is_some()
+            || self.const_value(c).is_some()
         {
             let ab = self.and2(a, b);
             return self.and2(ab, c);
@@ -416,7 +418,9 @@ impl Netlist {
 
     /// 3-input OR.
     pub fn or3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
-        if self.const_value(a).is_some() || self.const_value(b).is_some() || self.const_value(c).is_some()
+        if self.const_value(a).is_some()
+            || self.const_value(b).is_some()
+            || self.const_value(c).is_some()
         {
             let ab = self.or2(a, b);
             return self.or2(ab, c);
@@ -454,11 +458,13 @@ impl Netlist {
 
     /// 3-input majority (folds constants).
     pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
-        let consts = [self.const_value(a), self.const_value(b), self.const_value(c)];
+        let consts = [
+            self.const_value(a),
+            self.const_value(b),
+            self.const_value(c),
+        ];
         match consts {
-            [Some(x), Some(y), Some(z)] => {
-                return self.lit((x as u8 + y as u8 + z as u8) >= 2)
-            }
+            [Some(x), Some(y), Some(z)] => return self.lit((x as u8 + y as u8 + z as u8) >= 2),
             [Some(false), _, _] => return self.and2(b, c),
             [_, Some(false), _] => return self.and2(a, c),
             [_, _, Some(false)] => return self.and2(a, b),

@@ -24,12 +24,22 @@
 use crate::netlist::{Driver, NetId, Netlist};
 use crate::tech::CellKind;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Time is tracked in tenths of picoseconds to keep event ordering exact.
 type Time = u64;
 
 const TIME_SCALE: f64 = 10.0; // ticks per picosecond
+
+/// A fault overlaid on one net (see [`Simulator::inject_stuck_at`] and
+/// [`Simulator::inject_transient`]).
+#[derive(Debug, Clone, Copy)]
+struct ActiveFault {
+    /// The value the net is forced to while the fault is active.
+    forced: bool,
+    /// Tick at which a transient fault heals; `None` for stuck-at faults.
+    expires: Option<Time>,
+}
 
 /// An event-driven two-valued simulator over a [`Netlist`].
 #[derive(Debug)]
@@ -60,6 +70,9 @@ pub struct Simulator<'a> {
     trace: Option<Vec<crate::trace::TraceEvent>>,
     /// Net values at the moment tracing was enabled.
     trace_initial: Vec<bool>,
+    /// Faults overlaid on nets, keyed by net index. A `BTreeMap` keeps
+    /// iteration (and thus event ordering on clear) deterministic.
+    faults: BTreeMap<u32, ActiveFault>,
 }
 
 impl<'a> Simulator<'a> {
@@ -111,6 +124,7 @@ impl<'a> Simulator<'a> {
             events: 0,
             trace: None,
             trace_initial: Vec::new(),
+            faults: BTreeMap::new(),
         };
         // Constant-1 net.
         sim.values[netlist.one().index()] = true;
@@ -176,6 +190,79 @@ impl<'a> Simulator<'a> {
         v
     }
 
+    /// The value a net's driver currently produces (ignoring any fault).
+    /// For primary inputs the externally applied `event_val` is kept.
+    fn driven_value(&self, net: NetId, event_val: bool) -> bool {
+        match self.netlist.driver(net) {
+            Driver::Cell(c) => self.eval_cell(c.index()),
+            Driver::Const0 => false,
+            Driver::Const1 => true,
+            Driver::Input => event_val,
+        }
+    }
+
+    /// Forces a net to `value` until [`Simulator::clear_fault`] removes the
+    /// fault — a stuck-at-0/1 fault. The netlist is untouched; the fault is
+    /// an overlay inside the simulator, so campaigns over thousands of
+    /// sites reuse one netlist and one simulator.
+    ///
+    /// Takes effect on the next [`Simulator::settle`] (or
+    /// [`Simulator::step_cycle`]), like a primary-input change.
+    pub fn inject_stuck_at(&mut self, net: NetId, value: bool) {
+        self.faults.insert(
+            net.0,
+            ActiveFault {
+                forced: value,
+                expires: None,
+            },
+        );
+        self.schedule(self.now, net, value);
+    }
+
+    /// Flips a net for `width_ps` picoseconds of simulated time — a
+    /// transient SEU (single-event upset). The net is forced to the
+    /// complement of its current value; after the window the fault heals
+    /// itself and the net returns to whatever its driver produces.
+    pub fn inject_transient(&mut self, net: NetId, width_ps: f64) {
+        let width = ((width_ps * TIME_SCALE).round() as Time).max(1);
+        let flipped = !self.values[net.index()];
+        let expires = self.now + width;
+        self.faults.insert(
+            net.0,
+            ActiveFault {
+                forced: flipped,
+                expires: Some(expires),
+            },
+        );
+        self.schedule(self.now, net, flipped);
+        // Wake-up event at the heal time; the committed value is recomputed
+        // from the driver when it matures.
+        self.schedule(expires, net, flipped);
+    }
+
+    /// Removes the fault on `net` (if any) and schedules the net back to
+    /// its driven value. Settle afterwards to propagate the repair.
+    pub fn clear_fault(&mut self, net: NetId) {
+        if self.faults.remove(&net.0).is_some() {
+            let v = self.driven_value(net, self.values[net.index()]);
+            self.schedule(self.now, net, v);
+        }
+    }
+
+    /// Removes every active fault (see [`Simulator::clear_fault`]).
+    pub fn clear_faults(&mut self) {
+        let nets: Vec<u32> = self.faults.keys().copied().collect();
+        for ni in nets {
+            self.clear_fault(NetId(ni));
+        }
+    }
+
+    /// Number of currently active faults (transients disappear when their
+    /// window matures during a settle).
+    pub fn active_faults(&self) -> usize {
+        self.faults.len()
+    }
+
     fn schedule(&mut self, at: Time, net: NetId, value: bool) {
         self.seq += 1;
         self.newest[net.index()] = self.seq;
@@ -200,7 +287,18 @@ impl<'a> Simulator<'a> {
                 }
                 self.heap.pop();
                 let ni = net as usize;
-                if self.newest[ni] != seq {
+                let mut val = val;
+                if let Some(&f) = self.faults.get(&net) {
+                    // Faulted nets bypass inertial cancellation: the forced
+                    // value must land no matter how the driver glitches, and
+                    // a transient's heal event must never be filtered.
+                    if f.expires.is_some_and(|e| t2 >= e) {
+                        self.faults.remove(&net);
+                        val = self.driven_value(NetId(net), val);
+                    } else {
+                        val = f.forced;
+                    }
+                } else if self.newest[ni] != seq {
                     continue; // cancelled by a newer schedule
                 }
                 if self.values[ni] != val {
@@ -442,6 +540,76 @@ mod tests {
         assert_eq!(sim.toggles()[y.index()], 0);
         // State is preserved across the reset.
         assert!(!sim.read_net(y));
+    }
+
+    #[test]
+    fn stuck_at_overrides_driver_until_cleared() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and2(a, b);
+        let z = n.not(y);
+        let mut sim = Simulator::new(&n);
+        sim.set_bus(&[a, b], 0b11);
+        sim.settle();
+        assert!(sim.read_net(y) && !sim.read_net(z));
+        // Stuck-at-0 on the AND output: downstream logic sees the fault.
+        sim.inject_stuck_at(y, false);
+        sim.settle();
+        assert!(!sim.read_net(y) && sim.read_net(z));
+        // Driver glitching cannot overwrite the forced value.
+        sim.set_bus(&[a, b], 0b01);
+        sim.settle();
+        sim.set_bus(&[a, b], 0b11);
+        sim.settle();
+        assert!(!sim.read_net(y), "fault persists across input changes");
+        assert_eq!(sim.active_faults(), 1);
+        // Clearing restores the driven value.
+        sim.clear_fault(y);
+        sim.settle();
+        assert!(sim.read_net(y) && !sim.read_net(z));
+        assert_eq!(sim.active_faults(), 0);
+    }
+
+    #[test]
+    fn transient_flip_heals_after_window() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let y = n.buf(a);
+        let z = n.not(y);
+        let mut sim = Simulator::new(&n);
+        sim.set_net(a, true);
+        sim.settle();
+        assert!(sim.read_net(y) && !sim.read_net(z));
+        // SEU on y: a wide pulse propagates through the inverter, then the
+        // fault heals itself and the settled state is fault-free.
+        let z_toggles_before = sim.toggles()[z.index()];
+        sim.inject_transient(y, 500.0);
+        sim.settle();
+        assert_eq!(sim.active_faults(), 0, "transient healed during settle");
+        assert!(sim.read_net(y) && !sim.read_net(z));
+        assert_eq!(
+            sim.toggles()[z.index()],
+            z_toggles_before + 2,
+            "the upset pulsed the inverter output there and back"
+        );
+    }
+
+    #[test]
+    fn faulted_dff_input_is_captured() {
+        let mut n = fresh();
+        let d = n.input("d");
+        let q = n.dff(d);
+        let mut sim = Simulator::new(&n);
+        // d is driven 1 but stuck at 0: the register must capture 0.
+        sim.inject_stuck_at(d, false);
+        sim.step_cycle(&[(&[d], 1)]);
+        sim.step_cycle(&[(&[d], 1)]);
+        assert!(!sim.read_net(q), "register captured the faulted D value");
+        sim.clear_fault(d);
+        sim.step_cycle(&[(&[d], 1)]);
+        sim.step_cycle(&[(&[d], 1)]);
+        assert!(sim.read_net(q), "repairing the fault restores operation");
     }
 
     #[test]

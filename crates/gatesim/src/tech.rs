@@ -6,14 +6,12 @@
 //! logical-effort-style ratios under a moderate-fanout load; they are *not*
 //! tuned to reproduce the paper's absolute results (see DESIGN.md §6).
 
-use serde::{Deserialize, Serialize};
-
 /// The kinds of standard cells the netlist builder can instantiate.
 ///
 /// The set matches what a synthesizer maps datapath logic to: simple static
 /// CMOS gates, a transmission-gate mux, complex AOI/OAI gates, a majority
 /// gate (the carry function of a full adder) and a D flip-flop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellKind {
     /// Inverter.
     Inv,
@@ -159,7 +157,7 @@ impl CellKind {
 }
 
 /// Physical parameters of one cell kind.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellParams {
     /// Propagation delay input→output in picoseconds (for a DFF: clk→q).
     pub delay_ps: f64,
@@ -176,7 +174,7 @@ pub struct CellParams {
 
 /// A technology library: parameters for every [`CellKind`] plus a few
 /// global quantities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechLibrary {
     /// Human-readable library name.
     pub name: String,

@@ -24,7 +24,7 @@ pub fn u128_to_bits(value: u128, width: usize) -> Vec<bool> {
 ///
 /// Panics if `width` is 0 or greater than 128.
 pub fn sign_extend(value: u128, width: u32) -> i128 {
-    assert!(width >= 1 && width <= 128);
+    assert!((1..=128).contains(&width));
     if width == 128 {
         return value as i128;
     }

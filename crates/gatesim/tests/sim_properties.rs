@@ -2,9 +2,11 @@
 //! topological evaluation: whatever glitches occur (and however inertial
 //! cancellation filters them), the *settled* values must equal the pure
 //! combinational function of the inputs.
+//!
+//! Random netlists and vectors come from a deterministic seeded stream.
 
 use mfm_gatesim::{CellKind, NetId, Netlist, Simulator, TechLibrary};
-use proptest::prelude::*;
+use mfm_prng::Rng;
 
 /// Combinational cell kinds usable in random netlists.
 const KINDS: [CellKind; 15] = [
@@ -48,6 +50,26 @@ fn random_netlist(
     (n, inputs, outputs)
 }
 
+/// Draws a random cell list of 1..=max_cells entries.
+fn random_cells(
+    rng: &mut Rng,
+    max_cells: u64,
+    fan: u64,
+) -> Vec<(usize, usize, usize, usize, usize)> {
+    let len = rng.range_u64(1, max_cells + 1) as usize;
+    (0..len)
+        .map(|_| {
+            (
+                rng.range_u64(0, 15) as usize,
+                rng.range_u64(0, fan) as usize,
+                rng.range_u64(0, fan) as usize,
+                rng.range_u64(0, fan) as usize,
+                rng.range_u64(0, fan) as usize,
+            )
+        })
+        .collect()
+}
+
 /// Evaluates the netlist directly in topological (creation) order.
 fn reference_eval(n: &Netlist, inputs: &[NetId], value: u64) -> Vec<bool> {
     let mut vals = vec![false; n.net_count()];
@@ -65,68 +87,61 @@ fn reference_eval(n: &Netlist, inputs: &[NetId], value: u64) -> Vec<bool> {
     vals
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const NETLIST_CASES: usize = if cfg!(debug_assertions) { 64 } else { 256 };
 
-    #[test]
-    fn settled_values_match_reference(
-        cells in proptest::collection::vec(
-            (0usize..15, 0usize..64, 0usize..64, 0usize..64, 0usize..64),
-            1..120,
-        ),
-        vectors in proptest::collection::vec(any::<u64>(), 1..6),
-    ) {
+#[test]
+fn settled_values_match_reference() {
+    let mut rng = Rng::new(0x5E77);
+    for case in 0..NETLIST_CASES {
+        let cells = random_cells(&mut rng, 120, 64);
         let (n, inputs, outputs) = random_netlist(10, &cells);
-        prop_assert!(n.check().is_ok());
+        assert!(n.check().is_ok());
         let mut sim = Simulator::new(&n);
-        for v in vectors {
-            sim.set_bus(&inputs, (v & 0x3FF) as u128);
+        let vectors = rng.range_u64(1, 6);
+        for _ in 0..vectors {
+            let v = rng.next_u64() & 0x3FF;
+            sim.set_bus(&inputs, v as u128);
             sim.settle();
-            let want = reference_eval(&n, &inputs, v & 0x3FF);
+            let want = reference_eval(&n, &inputs, v);
             for &o in &outputs {
-                prop_assert_eq!(
+                assert_eq!(
                     sim.read_net(o),
                     want[o.index()],
-                    "net {:?} after vector {:#x}",
-                    o,
-                    v
+                    "case {case}: net {o:?} after vector {v:#x}"
                 );
             }
         }
     }
+}
 
-    /// After settling, re-applying the same inputs produces no events.
-    #[test]
-    fn settle_is_idempotent(
-        cells in proptest::collection::vec(
-            (0usize..15, 0usize..32, 0usize..32, 0usize..32, 0usize..32),
-            1..60,
-        ),
-        v in any::<u64>(),
-    ) {
+/// After settling, re-applying the same inputs produces no events.
+#[test]
+fn settle_is_idempotent() {
+    let mut rng = Rng::new(0x1DE4);
+    for _ in 0..NETLIST_CASES {
+        let cells = random_cells(&mut rng, 60, 32);
         let (n, inputs, _) = random_netlist(8, &cells);
         let mut sim = Simulator::new(&n);
-        sim.set_bus(&inputs, (v & 0xFF) as u128);
+        let v = rng.next_u64() & 0xFF;
+        sim.set_bus(&inputs, v as u128);
         sim.settle();
-        sim.set_bus(&inputs, (v & 0xFF) as u128);
+        sim.set_bus(&inputs, v as u128);
         let events = sim.settle();
-        prop_assert_eq!(events, 0, "same inputs must cause no transitions");
+        assert_eq!(events, 0, "same inputs must cause no transitions");
     }
+}
 
-    /// Toggle counts are conserved: toggling an input there and back leaves
-    /// every net at its original value (and an even toggle count).
-    #[test]
-    fn there_and_back_restores_state(
-        cells in proptest::collection::vec(
-            (0usize..15, 0usize..32, 0usize..32, 0usize..32, 0usize..32),
-            1..60,
-        ),
-        v in any::<u64>(),
-        flip_bit in 0usize..8,
-    ) {
+/// Toggling an input there and back leaves every output at its original
+/// value.
+#[test]
+fn there_and_back_restores_state() {
+    let mut rng = Rng::new(0x7AB8);
+    for _ in 0..NETLIST_CASES {
+        let cells = random_cells(&mut rng, 60, 32);
         let (n, inputs, outputs) = random_netlist(8, &cells);
         let mut sim = Simulator::new(&n);
-        let base = (v & 0xFF) as u128;
+        let base = (rng.next_u64() & 0xFF) as u128;
+        let flip_bit = rng.range_u64(0, 8);
         sim.set_bus(&inputs, base);
         sim.settle();
         let before: Vec<bool> = outputs.iter().map(|&o| sim.read_net(o)).collect();
@@ -135,6 +150,6 @@ proptest! {
         sim.set_bus(&inputs, base);
         sim.settle();
         let after: Vec<bool> = outputs.iter().map(|&o| sim.read_net(o)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
 }

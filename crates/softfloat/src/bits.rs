@@ -209,6 +209,9 @@ mod tests {
     fn quiet_makes_qnan() {
         let snan = 0x7f80_0001u64;
         assert_eq!(classify(&BINARY32, snan), FpClass::SignalingNan);
-        assert_eq!(classify(&BINARY32, quiet(&BINARY32, snan)), FpClass::QuietNan);
+        assert_eq!(
+            classify(&BINARY32, quiet(&BINARY32, snan)),
+            FpClass::QuietNan
+        );
     }
 }

@@ -31,7 +31,12 @@ pub fn b32_to_b64(x: u32) -> u64 {
             // The normalized significand and exponent always fit binary64.
             let sig53 = u.significand << (52 - 23);
             let exp_field = (u.exponent + BINARY64.bias) as u64;
-            bits::join(&BINARY64, u.sign, exp_field, sig53 & BINARY64.significand_mask())
+            bits::join(
+                &BINARY64,
+                u.sign,
+                exp_field,
+                sig53 & BINARY64.significand_mask(),
+            )
         }
     }
 }
@@ -117,7 +122,10 @@ pub fn b64_to_b32_ieee(x: u64, mode: RoundingMode) -> (u32, Flags) {
             }
             let exp_field = (e + BINARY32.bias) as u64;
             let sig_field = (rounded as u64) & BINARY32.significand_mask();
-            (bits::join(&BINARY32, u.sign, exp_field, sig_field) as u32, flags)
+            (
+                bits::join(&BINARY32, u.sign, exp_field, sig_field) as u32,
+                flags,
+            )
         }
     }
 }
@@ -188,11 +196,7 @@ mod tests {
     #[test]
     fn widening_matches_host() {
         for &x in &[0.0f32, -0.0, 1.5, -2.25, 1e-40, f32::MAX, f32::MIN_POSITIVE] {
-            assert_eq!(
-                f64::from_bits(b32_to_b64(x.to_bits())),
-                x as f64,
-                "{x}"
-            );
+            assert_eq!(f64::from_bits(b32_to_b64(x.to_bits())), x as f64, "{x}");
         }
         assert!(f64::from_bits(b32_to_b64(f32::NAN.to_bits())).is_nan());
         assert_eq!(

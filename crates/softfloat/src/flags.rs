@@ -36,41 +36,49 @@ impl Flags {
     pub const INEXACT: Flags = Flags(1 << 4);
 
     /// Returns `true` if no flag is set.
+    #[must_use]
     pub const fn is_empty(self) -> bool {
         self.0 == 0
     }
 
     /// Returns `true` if the invalid-operation flag is set.
+    #[must_use]
     pub const fn invalid(self) -> bool {
         self.0 & Self::INVALID.0 != 0
     }
 
     /// Returns `true` if the division-by-zero flag is set.
+    #[must_use]
     pub const fn div_by_zero(self) -> bool {
         self.0 & Self::DIV_BY_ZERO.0 != 0
     }
 
     /// Returns `true` if the overflow flag is set.
+    #[must_use]
     pub const fn overflow(self) -> bool {
         self.0 & Self::OVERFLOW.0 != 0
     }
 
     /// Returns `true` if the underflow flag is set.
+    #[must_use]
     pub const fn underflow(self) -> bool {
         self.0 & Self::UNDERFLOW.0 != 0
     }
 
     /// Returns `true` if the inexact flag is set.
+    #[must_use]
     pub const fn inexact(self) -> bool {
         self.0 & Self::INEXACT.0 != 0
     }
 
     /// Returns `true` if every flag in `other` is also set in `self`.
+    #[must_use]
     pub const fn contains(self, other: Flags) -> bool {
         self.0 & other.0 == other.0
     }
 
     /// Raw bit representation (bit 0 = invalid … bit 4 = inexact).
+    #[must_use]
     pub const fn bits(self) -> u8 {
         self.0
     }

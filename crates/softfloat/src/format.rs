@@ -126,8 +126,8 @@ impl BinaryFormat {
 
     /// Encoding of the largest finite number with the given sign.
     pub const fn max_finite_bits(&self, sign: bool) -> u64 {
-        let mag = ((self.exponent_mask() - 1) << self.trailing_significand)
-            | self.significand_mask();
+        let mag =
+            ((self.exponent_mask() - 1) << self.trailing_significand) | self.significand_mask();
         if sign {
             mag | (1u64 << self.sign_bit())
         } else {

@@ -60,7 +60,15 @@ pub fn mul_bits(fmt: &BinaryFormat, a: u64, b: u64, mode: RoundingMode) -> (u64,
         return (fmt.zero_bits(sign), Flags::NONE);
     }
 
-    mul_finite(fmt, sign, ua.exponent, ua.significand, ub.exponent, ub.significand, mode)
+    mul_finite(
+        fmt,
+        sign,
+        ua.exponent,
+        ua.significand,
+        ub.exponent,
+        ub.significand,
+        mode,
+    )
 }
 
 /// Multiplies two normalized finite nonzero unpacked operands.
@@ -166,7 +174,12 @@ mod tests {
     }
 
     fn mul64(a: f64, b: f64) -> (u64, Flags) {
-        mul_bits(&BINARY64, a.to_bits(), b.to_bits(), RoundingMode::NearestEven)
+        mul_bits(
+            &BINARY64,
+            a.to_bits(),
+            b.to_bits(),
+            RoundingMode::NearestEven,
+        )
     }
 
     #[test]

@@ -220,9 +220,9 @@ mod tests {
         let mut s = 0x9E37_79B9_7F4A_7C15u64;
         for _ in 0..2000 {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let ea = 1023 + (s % 64) as u64 - 32;
+            let ea = 1023 + (s % 64) - 32;
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let eb = 1023 + (s % 64) as u64 - 32;
+            let eb = 1023 + (s % 64) - 32;
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
             let fa = s & ((1 << 52) - 1);
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -335,7 +335,11 @@ mod tests {
 
     #[test]
     fn overflow_saturates_to_infinity() {
-        let (p, flags) = paper_mul_bits(&BINARY32, (1e38f32).to_bits() as u64, (1e38f32).to_bits() as u64);
+        let (p, flags) = paper_mul_bits(
+            &BINARY32,
+            (1e38f32).to_bits() as u64,
+            (1e38f32).to_bits() as u64,
+        );
         assert_eq!(p as u32, f32::INFINITY.to_bits());
         assert!(flags.overflow() && flags.inexact());
     }
@@ -362,7 +366,11 @@ mod tests {
 
     #[test]
     fn agrees_with_rne_partition() {
-        assert!(agrees_with_rne(&BINARY64, 1.5f64.to_bits(), 2.5f64.to_bits()));
+        assert!(agrees_with_rne(
+            &BINARY64,
+            1.5f64.to_bits(),
+            2.5f64.to_bits()
+        ));
         let tie_a = (1.0 + f64::powi(2.0, -26)).to_bits();
         let tie_b = (1.0 + f64::powi(2.0, -27)).to_bits();
         assert!(!agrees_with_rne(&BINARY64, tie_a, tie_b));
@@ -370,7 +378,12 @@ mod tests {
 
     #[test]
     fn binary32_lane_spot_checks() {
-        for (a, b) in [(1.5f32, 2.0f32), (-3.25, 0.125), (1.0e-20, 1.0e-20), (3.0e19, 3.0e19)] {
+        for (a, b) in [
+            (1.5f32, 2.0f32),
+            (-3.25, 0.125),
+            (1.0e-20, 1.0e-20),
+            (3.0e19, 3.0e19),
+        ] {
             let (p, _) = paper_mul_bits(&BINARY32, a.to_bits() as u64, b.to_bits() as u64);
             let host = a * b;
             if host != 0.0 && host.is_finite() && host.abs() >= f32::MIN_POSITIVE {

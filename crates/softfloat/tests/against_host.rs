@@ -1,46 +1,70 @@
 //! The IEEE reference multiply against the host FPU, over arbitrary bit
 //! patterns — NaNs, infinities, zeros and subnormals included.
+//!
+//! Operands come from a deterministic seeded stream.
 
+use mfm_prng::Rng;
 use mfm_softfloat::mul::mul_bits;
 use mfm_softfloat::{RoundingMode, BINARY32, BINARY64};
-use proptest::prelude::*;
 
-proptest! {
-    /// binary32 × binary32 in NearestEven equals the host product
-    /// bit-for-bit, except NaN payloads (the host's propagation rule is
-    /// platform-defined) where only NaN-ness must agree.
-    #[test]
-    fn b32_rne_matches_host(a in any::<u32>(), b in any::<u32>()) {
+const CASES: usize = if cfg!(debug_assertions) { 1024 } else { 16384 };
+
+/// binary32 × binary32 in NearestEven equals the host product
+/// bit-for-bit, except NaN payloads (the host's propagation rule is
+/// platform-defined) where only NaN-ness must agree.
+#[test]
+fn b32_rne_matches_host() {
+    let mut rng = Rng::new(0x32E);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let (got, _) = mul_bits(&BINARY32, a as u64, b as u64, RoundingMode::NearestEven);
         let want = f32::from_bits(a) * f32::from_bits(b);
         if want.is_nan() {
-            prop_assert!(f32::from_bits(got as u32).is_nan());
+            assert!(f32::from_bits(got as u32).is_nan());
         } else {
-            prop_assert_eq!(got as u32, want.to_bits(), "{} * {}", f32::from_bits(a), f32::from_bits(b));
+            assert_eq!(
+                got as u32,
+                want.to_bits(),
+                "{} * {}",
+                f32::from_bits(a),
+                f32::from_bits(b)
+            );
         }
     }
+}
 
-    /// Same for binary64.
-    #[test]
-    fn b64_rne_matches_host(a in any::<u64>(), b in any::<u64>()) {
+/// Same for binary64.
+#[test]
+fn b64_rne_matches_host() {
+    let mut rng = Rng::new(0x64E);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let (got, _) = mul_bits(&BINARY64, a, b, RoundingMode::NearestEven);
         let want = f64::from_bits(a) * f64::from_bits(b);
         if want.is_nan() {
-            prop_assert!(f64::from_bits(got).is_nan());
+            assert!(f64::from_bits(got).is_nan());
         } else {
-            prop_assert_eq!(got, want.to_bits());
+            assert_eq!(got, want.to_bits(), "a={a:#x} b={b:#x}");
         }
     }
+}
 
-    /// Directed-mode bracketing: for finite nonzero exact products,
-    /// RTZ ≤ |exact| and the toward-±∞ modes bracket NearestEven.
-    #[test]
-    fn directed_modes_bracket(a in any::<u32>(), b in any::<u32>()) {
+/// Directed-mode bracketing: for finite nonzero exact products,
+/// RTZ ≤ |exact| and the toward-±∞ modes bracket NearestEven.
+#[test]
+fn directed_modes_bracket() {
+    let mut rng = Rng::new(0xB4AC);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let fa = f32::from_bits(a) as f64;
         let fb = f32::from_bits(b) as f64;
-        prop_assume!(fa.is_finite() && fb.is_finite());
+        if !(fa.is_finite() && fb.is_finite()) {
+            continue;
+        }
         let exact = fa * fb; // exact in f64 (24+24 bits)
-        prop_assume!(exact.is_finite() && exact != 0.0);
+        if !exact.is_finite() || exact == 0.0 {
+            continue;
+        }
 
         let get = |m: RoundingMode| {
             let (p, _) = mul_bits(&BINARY32, a as u64, b as u64, m);
@@ -50,15 +74,19 @@ proptest! {
         let up = get(RoundingMode::TowardPositive);
         let zero = get(RoundingMode::TowardZero);
         let near = get(RoundingMode::NearestEven);
-        prop_assert!(down <= exact || down == f64::NEG_INFINITY.min(down));
-        prop_assert!(up >= exact || up.is_infinite());
-        prop_assert!(zero.abs() <= exact.abs());
-        prop_assert!(near >= down && near <= up);
+        assert!(down <= exact || down == f64::NEG_INFINITY.min(down));
+        assert!(up >= exact || up.is_infinite());
+        assert!(zero.abs() <= exact.abs());
+        assert!(near >= down && near <= up);
     }
+}
 
-    /// Rounding modes never disagree by more than one ulp (finite cases).
-    #[test]
-    fn modes_within_one_ulp(a in any::<u32>(), b in any::<u32>()) {
+/// Rounding modes never disagree by more than one ulp (finite cases).
+#[test]
+fn modes_within_one_ulp() {
+    let mut rng = Rng::new(0x01F);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let results: Vec<u64> = RoundingMode::ALL
             .iter()
             .map(|&m| mul_bits(&BINARY32, a as u64, b as u64, m).0)
@@ -67,7 +95,9 @@ proptest! {
             let e = (r >> 23) & 0xFF;
             e != 0xFF
         });
-        prop_assume!(all_finite);
+        if !all_finite {
+            continue;
+        }
         // Compare as sign-magnitude integers.
         let as_ord = |bits: u64| -> i64 {
             let b = bits as u32;
@@ -79,6 +109,6 @@ proptest! {
         };
         let min = results.iter().map(|&r| as_ord(r)).min().unwrap();
         let max = results.iter().map(|&r| as_ord(r)).max().unwrap();
-        prop_assert!(max - min <= 1, "modes spread {min}..{max}");
+        assert!(max - min <= 1, "modes spread {min}..{max}");
     }
 }

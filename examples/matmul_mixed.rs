@@ -48,10 +48,8 @@ fn main() {
                 match format {
                     Format::Binary64 => {
                         for k in 0..n {
-                            let r = unit.execute(Operation::binary64_from_f64(
-                                a[i * n + k],
-                                b[k * n + j],
-                            ));
+                            let r = unit
+                                .execute(Operation::binary64_from_f64(a[i * n + k], b[k * n + j]));
                             acc += r.b64_product_f64();
                             cycles += 1;
                         }
@@ -75,8 +73,7 @@ fn main() {
                             } else {
                                 (0.0, 0.0)
                             };
-                            let r =
-                                unit.execute(Operation::dual_binary32_from_f32(x, y, w, z));
+                            let r = unit.execute(Operation::dual_binary32_from_f32(x, y, w, z));
                             let (lo, hi) = r.b32_products_f32();
                             acc += lo as f64 + hi as f64;
                             cycles += 1;
@@ -98,7 +95,11 @@ fn main() {
 
     println!("\n{n}x{n} GEMM through the multi-format multiplier:\n");
     println!("format             cycles   max |rel err|   est. energy [nJ]");
-    for format in [Format::Binary64, Format::SingleBinary32, Format::DualBinary32] {
+    for format in [
+        Format::Binary64,
+        Format::SingleBinary32,
+        Format::DualBinary32,
+    ] {
         let (c, cycles) = run(format);
         let max_err = c
             .iter()

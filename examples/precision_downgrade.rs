@@ -55,7 +55,10 @@ fn main() {
         dual_cycles += 1;
     }
 
-    println!("mixed workload: {n_pairs} binary64 multiplications, ~{:.0}% operands reducible", p_reducible * 100.0);
+    println!(
+        "mixed workload: {n_pairs} binary64 multiplications, ~{:.0}% operands reducible",
+        p_reducible * 100.0
+    );
     println!(
         "  error-free routing: {} pairs -> dual binary32 ({} cycles), {} stayed binary64",
         dual_queue.len(),
@@ -73,8 +76,10 @@ fn main() {
     let baseline_nj = e_b64 * n_pairs as f64 / 1000.0;
     let routed_nj = (e_b64 * b64_ops as f64 + e_dual * dual_cycles as f64) / 1000.0;
     println!("  all-binary64 baseline : {baseline_nj:.1} nJ");
-    println!("  with Sec. IV reduction: {routed_nj:.1} nJ  ({:.0}% saved, zero numerical cost)",
-        100.0 * (1.0 - routed_nj / baseline_nj));
+    println!(
+        "  with Sec. IV reduction: {routed_nj:.1} nJ  ({:.0}% saved, zero numerical cost)",
+        100.0 * (1.0 - routed_nj / baseline_nj)
+    );
 
     // --- extension: lossy reduction sweep -------------------------------
     println!("\nlossy-reduction extension (tolerance sweep over the same operands):");
@@ -95,8 +100,6 @@ fn main() {
             100.0 * (1.0 - est / e_b64)
         );
     }
-    println!(
-        "\nmax relative error of the binary64 path vs host (normal products): {max_err:.2e}"
-    );
+    println!("\nmax relative error of the binary64 path vs host (normal products): {max_err:.2e}");
     println!("subnormal products flushed to zero by the unit (by design): {flushed}");
 }

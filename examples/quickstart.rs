@@ -9,8 +9,14 @@ fn main() {
     let unit = FunctionalUnit::new();
 
     // --- int64: 64×64 → 128-bit product --------------------------------
-    let r = unit.execute(Operation::int64(0xDEAD_BEEF_CAFE_F00D, 0x0123_4567_89AB_CDEF));
-    println!("int64   : 0xDEADBEEFCAFEF00D * 0x0123456789ABCDEF = {:#034x}", r.int_product());
+    let r = unit.execute(Operation::int64(
+        0xDEAD_BEEF_CAFE_F00D,
+        0x0123_4567_89AB_CDEF,
+    ));
+    println!(
+        "int64   : 0xDEADBEEFCAFEF00D * 0x0123456789ABCDEF = {:#034x}",
+        r.int_product()
+    );
 
     // --- binary64: one double-precision multiply -----------------------
     let r = unit.execute(Operation::binary64_from_f64(std::f64::consts::PI, 2.0));
@@ -38,12 +44,18 @@ fn main() {
         [0x3C00, 0x4000, 0x3E00, 0xC400], // 1.0, 2.0, 1.5, -4.0
         [0x4000, 0x4000, 0x4000, 0x3800], // × 2.0, 2.0, 2.0, 0.5
     ));
-    println!("quad b16: products (encodings) = {:04x?}   (one cycle, four lanes)", r.b16_products());
+    println!(
+        "quad b16: products (encodings) = {:04x?}   (one cycle, four lanes)",
+        r.b16_products()
+    );
 
     // --- error-free binary64 → binary32 reduction (Sec. IV) ------------
     for x in [1.5f64, 0.1, 1e300] {
         match reduce::reduce(x.to_bits()) {
-            Some(b32) => println!("reduce  : {x} fits binary32 exactly -> {}", f32::from_bits(b32)),
+            Some(b32) => println!(
+                "reduce  : {x} fits binary32 exactly -> {}",
+                f32::from_bits(b32)
+            ),
             None => println!("reduce  : {x} needs binary64 (kept)"),
         }
     }

@@ -37,14 +37,15 @@ fn main() {
         acc += lo as f64 + hi as f64;
         cycles += 1;
     }
-    let host: f64 = a.iter().zip(&b).map(|(&x, &y)| (x as f64) * (y as f64)).sum();
+    let host: f64 = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| (x as f64) * (y as f64))
+        .sum();
     println!("dot product, n = {n}");
     println!("  dual-lane result : {acc:.6}");
     println!("  f64 reference    : {host:.6}");
-    println!(
-        "  relative error   : {:.2e}",
-        ((acc - host) / host).abs()
-    );
+    println!("  relative error   : {:.2e}", ((acc - host) / host).abs());
     println!("  multiplier cycles: {cycles} (2 products/cycle)");
 
     // --- energy accounting on the gate-level pipelined unit ------------
@@ -55,8 +56,7 @@ fn main() {
     let fmax = sta.max_freq_mhz();
 
     let sample_ops = 120;
-    let e_dual = measure_unit(&netlist, &u, Format::DualBinary32, sample_ops, 7)
-        .energy_pj_per_op();
+    let e_dual = measure_unit(&netlist, &u, Format::DualBinary32, sample_ops, 7).energy_pj_per_op();
     let e_b64 = measure_unit(&netlist, &u, Format::Binary64, sample_ops, 7).energy_pj_per_op();
 
     let dual_total_nj = e_dual * cycles as f64 / 1000.0;

@@ -25,5 +25,6 @@
 pub use mfm_arith as arith;
 pub use mfm_evalkit as evalkit;
 pub use mfm_gatesim as gatesim;
+pub use mfm_prng as prng;
 pub use mfm_softfloat as softfloat;
 pub use mfmult;

@@ -1,112 +1,153 @@
 //! Cross-crate property tests: the functional multi-format unit against
 //! the independent softfloat oracle, across the whole operand space.
+//!
+//! Each property is exercised over a deterministic seeded operand stream
+//! (see `mfm_prng`) so failures reproduce exactly.
 
 use mfm_repro::mfmult::{Format, FunctionalUnit, Operation};
+use mfm_repro::prng::Rng;
 use mfm_repro::softfloat::paper::paper_mul_bits;
 use mfm_repro::softfloat::{mul::mul_bits, RoundingMode, BINARY32, BINARY64};
-use proptest::prelude::*;
 
-proptest! {
-    /// int64 products match host 128-bit multiplication for all inputs.
-    #[test]
-    fn int64_matches_host(x in any::<u64>(), y in any::<u64>()) {
+const CASES: usize = if cfg!(debug_assertions) { 256 } else { 2048 };
+
+/// int64 products match host 128-bit multiplication for all inputs.
+#[test]
+fn int64_matches_host() {
+    let mut rng = Rng::new(0x1164);
+    for _ in 0..CASES {
+        let (x, y) = (rng.next_u64(), rng.next_u64());
         let r = FunctionalUnit::new().execute(Operation::int64(x, y));
-        prop_assert_eq!(r.int_product(), (x as u128) * (y as u128));
+        assert_eq!(r.int_product(), (x as u128) * (y as u128));
     }
+}
 
-    /// binary64 lane matches the softfloat paper-mode oracle bit-for-bit
-    /// on arbitrary encodings (including NaN/Inf/subnormal patterns).
-    #[test]
-    fn binary64_matches_oracle(a in any::<u64>(), b in any::<u64>()) {
+/// binary64 lane matches the softfloat paper-mode oracle bit-for-bit
+/// on arbitrary encodings (including NaN/Inf/subnormal patterns).
+#[test]
+fn binary64_matches_oracle() {
+    let mut rng = Rng::new(0xB64);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let r = FunctionalUnit::new().execute(Operation::binary64(a, b));
         let (want, flags) = paper_mul_bits(&BINARY64, a, b);
-        prop_assert_eq!(r.ph, want);
-        prop_assert_eq!(r.flags_lo.bits(), flags.bits());
+        assert_eq!(r.ph, want, "a={a:#x} b={b:#x}");
+        assert_eq!(r.flags_lo.bits(), flags.bits(), "a={a:#x} b={b:#x}");
     }
+}
 
-    /// Each dual lane matches an independent single multiplication and is
-    /// unaffected by the other lane's operands.
-    #[test]
-    fn dual_lanes_independent(
-        x in any::<u32>(), y in any::<u32>(),
-        w1 in any::<u32>(), z1 in any::<u32>(),
-        w2 in any::<u32>(), z2 in any::<u32>(),
-    ) {
-        let unit = FunctionalUnit::new();
+/// Each dual lane matches an independent single multiplication and is
+/// unaffected by the other lane's operands.
+#[test]
+fn dual_lanes_independent() {
+    let mut rng = Rng::new(0xD0A1);
+    let unit = FunctionalUnit::new();
+    for _ in 0..CASES {
+        let (x, y) = (rng.next_u32(), rng.next_u32());
+        let (w1, z1) = (rng.next_u32(), rng.next_u32());
+        let (w2, z2) = (rng.next_u32(), rng.next_u32());
         let r1 = unit.execute(Operation::dual_binary32(x, y, w1, z1));
         let r2 = unit.execute(Operation::dual_binary32(x, y, w2, z2));
-        prop_assert_eq!(r1.b32_products().0, r2.b32_products().0);
+        assert_eq!(r1.b32_products().0, r2.b32_products().0);
         let (want, _) = paper_mul_bits(&BINARY32, x as u64, y as u64);
-        prop_assert_eq!(r1.b32_products().0 as u64, want);
+        assert_eq!(r1.b32_products().0 as u64, want);
         let (want_hi, _) = paper_mul_bits(&BINARY32, w1 as u64, z1 as u64);
-        prop_assert_eq!(r1.b32_products().1 as u64, want_hi);
+        assert_eq!(r1.b32_products().1 as u64, want_hi);
     }
+}
 
-    /// Paper-mode rounding equals IEEE round-to-nearest-away whenever the
-    /// product is a normal number and the operands are normal.
-    #[test]
-    fn paper_mode_is_ties_away_on_normals(
-        ea in 800u64..1200, eb in 800u64..1200,
-        fa in 0u64..(1 << 52), fb in 0u64..(1 << 52),
-        sa in any::<bool>(), sb in any::<bool>(),
-    ) {
-        let a = ((sa as u64) << 63) | (ea << 52) | fa;
-        let b = ((sb as u64) << 63) | (eb << 52) | fb;
+/// Paper-mode rounding equals IEEE round-to-nearest-away whenever the
+/// product is a normal number and the operands are normal.
+#[test]
+fn paper_mode_is_ties_away_on_normals() {
+    let mut rng = Rng::new(0x7135);
+    for _ in 0..CASES {
+        let ea = rng.range_u64(800, 1200);
+        let eb = rng.range_u64(800, 1200);
+        let fa = rng.next_u64() & ((1 << 52) - 1);
+        let fb = rng.next_u64() & ((1 << 52) - 1);
+        let sa = rng.range_u64(0, 2);
+        let sb = rng.range_u64(0, 2);
+        let a = (sa << 63) | (ea << 52) | fa;
+        let b = (sb << 63) | (eb << 52) | fb;
         let (paper, _) = paper_mul_bits(&BINARY64, a, b);
         let (ieee, _) = mul_bits(&BINARY64, a, b, RoundingMode::NearestAway);
         // Exclude results the unit flushes/saturates (exponent range).
         let exp = (ieee >> 52) & 0x7FF;
-        prop_assume!(exp > 0 && exp < 0x7FF);
-        prop_assert_eq!(paper, ieee);
+        if exp == 0 || exp == 0x7FF {
+            continue;
+        }
+        assert_eq!(paper, ieee, "a={a:#x} b={b:#x}");
     }
+}
 
-    /// Multiplication magnitude commutes for finite operands.
-    #[test]
-    fn multiplication_commutes(a in any::<u64>(), b in any::<u64>()) {
-        let unit = FunctionalUnit::new();
+/// Multiplication magnitude commutes for finite operands.
+#[test]
+fn multiplication_commutes() {
+    let mut rng = Rng::new(0xC033);
+    let unit = FunctionalUnit::new();
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let r1 = unit.execute(Operation::binary64(a, b));
         let r2 = unit.execute(Operation::binary64(b, a));
         // NaN payload propagation prefers the first operand, so compare
         // only non-NaN results.
         let is_nan = |bits: u64| (bits >> 52) & 0x7FF == 0x7FF && bits & ((1 << 52) - 1) != 0;
-        prop_assume!(!is_nan(r1.ph));
-        prop_assert_eq!(r1.ph, r2.ph);
+        if is_nan(r1.ph) {
+            continue;
+        }
+        assert_eq!(r1.ph, r2.ph, "a={a:#x} b={b:#x}");
     }
+}
 
-    /// ±1.0 are exact identities (away from the exponent limits).
-    #[test]
-    fn one_is_identity(ea in 2u64..0x7FE, fa in 0u64..(1 << 52), s in any::<bool>()) {
-        let a = ((s as u64) << 63) | (ea << 52) | fa;
+/// ±1.0 are exact identities (away from the exponent limits).
+#[test]
+fn one_is_identity() {
+    let mut rng = Rng::new(0x1D);
+    for _ in 0..CASES {
+        let ea = rng.range_u64(2, 0x7FE);
+        let fa = rng.next_u64() & ((1 << 52) - 1);
+        let s = rng.range_u64(0, 2);
+        let a = (s << 63) | (ea << 52) | fa;
         let one = 1.0f64.to_bits();
         let r = FunctionalUnit::new().execute(Operation::binary64(a, one));
-        prop_assert_eq!(r.ph, a);
+        assert_eq!(r.ph, a);
     }
+}
 
-    /// The result of single-binary32 equals the lower lane of a dual op
-    /// with a zeroed upper lane.
-    #[test]
-    fn single_is_dual_lower(x in any::<u32>(), y in any::<u32>()) {
-        let unit = FunctionalUnit::new();
+/// The result of single-binary32 equals the lower lane of a dual op
+/// with a zeroed upper lane.
+#[test]
+fn single_is_dual_lower() {
+    let mut rng = Rng::new(0x51D);
+    let unit = FunctionalUnit::new();
+    for _ in 0..CASES {
+        let (x, y) = (rng.next_u32(), rng.next_u32());
         let s = unit.execute(Operation::single_binary32(x, y));
         let d = unit.execute(Operation::dual_binary32(x, y, 0, 0));
-        prop_assert_eq!(s.ph as u32, d.ph as u32);
+        assert_eq!(s.ph as u32, d.ph as u32);
     }
+}
 
-    /// Quad extension: every binary16 lane equals an independent
-    /// paper-mode multiplication and ignores its neighbours.
-    #[test]
-    fn quad_lanes_independent(
-        x in any::<[u16; 4]>(), y in any::<[u16; 4]>(),
-        x2 in any::<[u16; 4]>(), y2 in any::<[u16; 4]>(),
-        lane in 0usize..4,
-    ) {
-        use mfm_repro::softfloat::BINARY16;
-        let unit = FunctionalUnit::new();
+/// Quad extension: every binary16 lane equals an independent
+/// paper-mode multiplication and ignores its neighbours.
+#[test]
+fn quad_lanes_independent() {
+    use mfm_repro::softfloat::BINARY16;
+    let mut rng = Rng::new(0x0416);
+    let unit = FunctionalUnit::new();
+    let words = |rng: &mut Rng| [0; 4].map(|_: u16| rng.next_u16());
+    for case in 0..CASES {
+        let x = words(&mut rng);
+        let y = words(&mut rng);
+        let x2 = words(&mut rng);
+        let y2 = words(&mut rng);
+        let lane = case % 4;
         let r = unit.execute(Operation::quad_binary16(x, y));
         let p = r.b16_products();
         for k in 0..4 {
             let (want, _) = paper_mul_bits(&BINARY16, x[k] as u64, y[k] as u64);
-            prop_assert_eq!(p[k] as u64, want, "lane {}", k);
+            assert_eq!(p[k] as u64, want, "lane {k}");
         }
         // Perturb every lane except `lane`: its product must not move.
         let mut x3 = x2;
@@ -114,21 +155,22 @@ proptest! {
         x3[lane] = x[lane];
         y3[lane] = y[lane];
         let r2 = unit.execute(Operation::quad_binary16(x3, y3));
-        prop_assert_eq!(r2.b16_products()[lane], p[lane]);
+        assert_eq!(r2.b16_products()[lane], p[lane]);
     }
+}
 
-    /// The word-level quad array model agrees with plain multiplication
-    /// for arbitrary 11-bit significands.
-    #[test]
-    fn quad_array_identity(
-        x in any::<[u16; 4]>(), y in any::<[u16; 4]>(),
-    ) {
-        use mfm_repro::mfmult::quad::quad_lane_array_product;
-        let xm = x.map(|v| v & 0x7FF);
-        let ym = y.map(|v| v & 0x7FF);
+/// The word-level quad array model agrees with plain multiplication
+/// for arbitrary 11-bit significands.
+#[test]
+fn quad_array_identity() {
+    use mfm_repro::mfmult::quad::quad_lane_array_product;
+    let mut rng = Rng::new(0x0411);
+    for _ in 0..CASES {
+        let xm = [0; 4].map(|_: u16| rng.next_u16() & 0x7FF);
+        let ym = [0; 4].map(|_: u16| rng.next_u16() & 0x7FF);
         let p = quad_lane_array_product(xm, ym);
         for k in 0..4 {
-            prop_assert_eq!(p[k], xm[k] as u32 * ym[k] as u32);
+            assert_eq!(p[k], xm[k] as u32 * ym[k] as u32);
         }
     }
 }

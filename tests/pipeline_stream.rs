@@ -4,7 +4,9 @@
 use mfm_repro::arith::{build_multiplier, MultiplierConfig};
 use mfm_repro::evalkit::workload::OperandGen;
 use mfm_repro::gatesim::{Netlist, Simulator, TechLibrary};
-use mfm_repro::mfmult::pipeline::{build_pipelined_unit, build_pipelined_unit_opts, PipelinePlacement};
+use mfm_repro::mfmult::pipeline::{
+    build_pipelined_unit, build_pipelined_unit_opts, PipelinePlacement,
+};
 use mfm_repro::mfmult::{Format, FunctionalUnit, UnitOptions};
 use std::collections::VecDeque;
 
@@ -63,11 +65,7 @@ fn three_stage_unit_streams_every_format() {
                 expected.push_back(func.execute(op).ph);
                 if expected.len() > 3 {
                     let want = expected.pop_front().unwrap();
-                    assert_eq!(
-                        sim.read_bus(&u.ph) as u64,
-                        want,
-                        "{placement:?} {format:?}"
-                    );
+                    assert_eq!(sim.read_bus(&u.ph) as u64, want, "{placement:?} {format:?}");
                 }
             }
         }
@@ -89,11 +87,7 @@ fn throughput_is_one_operation_per_cycle() {
     let mut results = Vec::new();
     let mut cycles = 0;
     for op in &ops {
-        sim.step_cycle(&[
-            (&u.frmt, 1),
-            (&u.xa, op.xa as u128),
-            (&u.yb, op.yb as u128),
-        ]);
+        sim.step_cycle(&[(&u.frmt, 1), (&u.xa, op.xa as u128), (&u.yb, op.yb as u128)]);
         cycles += 1;
         if cycles > 3 {
             results.push(sim.read_bus(&u.ph) as u64);

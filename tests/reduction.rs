@@ -1,63 +1,98 @@
 //! Properties of the binary64→binary32 reduction (Sec. IV).
+//!
+//! Random-encoding properties run over a deterministic seeded stream; the
+//! stream mixes uniform words with biased encodings (exponents near the
+//! binary32 window) so the accept path is exercised, not just rejected.
 
 use mfm_repro::gatesim::{Netlist, Simulator, TechLibrary};
 use mfm_repro::mfmult::reduce::{build_reducer, reduce, reduce_with_tolerance};
+use mfm_repro::prng::Rng;
 use mfm_repro::softfloat::convert::{b32_to_b64, b64_to_b32_ieee, reduce_b64_to_b32_with_zero};
 use mfm_repro::softfloat::RoundingMode;
-use proptest::prelude::*;
 
-proptest! {
-    /// Whenever the reduction accepts, widening back recovers the exact
-    /// original encoding — the "error-free" guarantee.
-    #[test]
-    fn reduction_is_error_free(bits in any::<u64>()) {
+const CASES: usize = if cfg!(debug_assertions) { 512 } else { 4096 };
+
+/// Uniform words alone almost never land in the reducible window, so
+/// half the stream narrows the exponent and sparsifies the low fraction.
+fn interesting_b64(rng: &mut Rng) -> u64 {
+    if rng.next_bool(0.5) {
+        rng.next_u64()
+    } else {
+        let sign = rng.range_u64(0, 2);
+        let exp = rng.range_u64(890, 1160);
+        let frac = rng.next_u64() & ((1 << 52) - 1) & !((1 << rng.range_u64(0, 33)) - 1);
+        (sign << 63) | (exp << 52) | frac
+    }
+}
+
+/// Whenever the reduction accepts, widening back recovers the exact
+/// original encoding — the "error-free" guarantee.
+#[test]
+fn reduction_is_error_free() {
+    let mut rng = Rng::new(0xEF0);
+    for _ in 0..CASES {
+        let bits = interesting_b64(&mut rng);
         if let Some(b32) = reduce(bits) {
-            prop_assert_eq!(b32_to_b64(b32), bits);
+            assert_eq!(b32_to_b64(b32), bits);
         }
     }
+}
 
-    /// The reduction accepts exactly when (a) the IEEE narrowing is exact,
-    /// (b) the result is a normal binary32, and (c) the value is nonzero
-    /// (the published checks exclude zero).
-    #[test]
-    fn acceptance_criterion(bits in any::<u64>()) {
+/// The reduction accepts exactly when (a) the IEEE narrowing is exact,
+/// (b) the result is a normal binary32, and (c) the value is nonzero
+/// (the published checks exclude zero).
+#[test]
+fn acceptance_criterion() {
+    let mut rng = Rng::new(0xACC);
+    for _ in 0..CASES {
+        let bits = interesting_b64(&mut rng);
         let accepted = reduce(bits).is_some();
         let x = f64::from_bits(bits);
         let (narrow, flags) = b64_to_b32_ieee(bits, RoundingMode::NearestEven);
         let back = f32::from_bits(narrow);
-        let expect = x.is_finite()
-            && x != 0.0
-            && flags.is_empty()
-            && back.is_normal();
-        prop_assert_eq!(accepted, expect, "{:#x} -> {:?}", bits, reduce(bits));
+        let expect = x.is_finite() && x != 0.0 && flags.is_empty() && back.is_normal();
+        assert_eq!(accepted, expect, "{:#x} -> {:?}", bits, reduce(bits));
     }
+}
 
-    /// The zero-extension accepts signed zeros on top of the paper's set.
-    #[test]
-    fn zero_extension(bits in any::<u64>()) {
+/// The zero-extension accepts signed zeros on top of the paper's set.
+#[test]
+fn zero_extension() {
+    let mut rng = Rng::new(0x2E0);
+    for case in 0..CASES {
+        // Force the two signed-zero encodings into the stream.
+        let bits = match case {
+            0 => 0,
+            1 => 1 << 63,
+            _ => interesting_b64(&mut rng),
+        };
         let base = reduce(bits);
         let ext = reduce_b64_to_b32_with_zero(bits);
         if f64::from_bits(bits) == 0.0 && bits & !(1 << 63) == 0 {
-            prop_assert!(base.is_none());
-            prop_assert!(ext.is_some());
+            assert!(base.is_none());
+            assert!(ext.is_some());
         } else {
-            prop_assert_eq!(base, ext);
+            assert_eq!(base, ext);
         }
     }
+}
 
-    /// The lossy extension at tolerance 0 accepts a superset of the
-    /// error-free set and never increases the error bound.
-    #[test]
-    fn tolerance_monotone(bits in any::<u64>()) {
+/// The lossy extension at tolerance 0 accepts a superset of the
+/// error-free set and never increases the error bound.
+#[test]
+fn tolerance_monotone() {
+    let mut rng = Rng::new(0x701);
+    for _ in 0..CASES {
+        let bits = interesting_b64(&mut rng);
         let t0 = reduce_with_tolerance(bits, 0.0);
         let t7 = reduce_with_tolerance(bits, 1e-7);
         if t0.is_some() {
-            prop_assert!(t7.is_some(), "larger tolerance must accept more");
+            assert!(t7.is_some(), "larger tolerance must accept more");
         }
         if let Some(r) = t7 {
             let x = f64::from_bits(bits);
             let err = ((f32::from_bits(r) as f64 - x) / x).abs();
-            prop_assert!(err <= 1e-7, "{bits:#x}: err {err}");
+            assert!(err <= 1e-7, "{bits:#x}: err {err}");
         }
     }
 }

@@ -17,7 +17,9 @@ fn rng_words(count: usize, seed: u64) -> Vec<u64> {
     let mut s = seed;
     (0..count)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         })
         .collect()
@@ -44,7 +46,11 @@ fn structural_equals_functional_on_random_words() {
             sim.set_bus(&u.xa, a as u128);
             sim.set_bus(&u.yb, b as u128);
             sim.settle();
-            assert_eq!(sim.read_bus(&u.ph) as u64, want.ph, "{format:?} {a:#x} {b:#x}");
+            assert_eq!(
+                sim.read_bus(&u.ph) as u64,
+                want.ph,
+                "{format:?} {a:#x} {b:#x}"
+            );
             if format == Format::Int64 {
                 assert_eq!(sim.read_bus(&u.pl) as u64, want.pl);
             }

@@ -59,10 +59,19 @@ fn table3_claims() {
         pipe_ratio < comb_ratio,
         "pipelining must improve the radix-16 ratio: {comb_ratio:.2} -> {pipe_ratio:.2}"
     );
-    assert!(pipe_ratio < 1.0, "pipelined radix-16 must win: {pipe_ratio:.2}");
+    assert!(
+        pipe_ratio < 1.0,
+        "pipelined radix-16 must win: {pipe_ratio:.2}"
+    );
     // Pipelined units draw less power than combinational ones per op.
-    assert!(t.rows[1].1 < t.rows[0].1, "radix-4 pipelined < combinational");
-    assert!(t.rows[1].2 < t.rows[0].2, "radix-16 pipelined < combinational");
+    assert!(
+        t.rows[1].1 < t.rows[0].1,
+        "radix-4 pipelined < combinational"
+    );
+    assert!(
+        t.rows[1].2 < t.rows[0].2,
+        "radix-16 pipelined < combinational"
+    );
 }
 
 #[test]
@@ -109,7 +118,11 @@ fn table5_claims() {
     assert!((dual.throughput_gflops / b64.throughput_gflops - 2.0).abs() < 1e-9);
 
     // Max frequency in the paper's neighbourhood (880 MHz).
-    assert!((500.0..1100.0).contains(&t.fmax_mhz), "fmax {:.0}", t.fmax_mhz);
+    assert!(
+        (500.0..1100.0).contains(&t.fmax_mhz),
+        "fmax {:.0}",
+        t.fmax_mhz
+    );
 }
 
 #[test]
