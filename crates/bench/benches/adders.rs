@@ -2,11 +2,12 @@
 //! architectures (vectors/second through the gate-level simulator).
 
 use mfm_arith::adder::{build_adder, AdderKind};
-use mfm_bench::microbench::Group;
+use mfm_bench::microbench::{BenchReport, Group};
 use mfm_gatesim::{Netlist, Simulator, TechLibrary};
 use std::hint::black_box;
 
 fn main() {
+    let mut report = BenchReport::new("adders");
     let mut group = Group::new("adder_sim_64bit");
     for kind in AdderKind::ALL {
         let mut n = Netlist::new(TechLibrary::cmos45lp());
@@ -25,5 +26,9 @@ fn main() {
             black_box(sim.read_bus(&ports.sum))
         });
     }
-    group.finish();
+    group.finish_report(&mut report);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

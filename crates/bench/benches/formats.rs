@@ -1,7 +1,7 @@
 //! Microbenches: the softfloat reference multiply (all rounding modes)
 //! and the paper-mode multiply.
 
-use mfm_bench::microbench::Group;
+use mfm_bench::microbench::{BenchReport, Group};
 use mfm_evalkit::workload::OperandGen;
 use mfm_softfloat::mul::mul_bits;
 use mfm_softfloat::paper::paper_mul_bits;
@@ -9,6 +9,7 @@ use mfm_softfloat::{RoundingMode, BINARY32, BINARY64};
 use std::hint::black_box;
 
 fn main() {
+    let mut report = BenchReport::new("formats");
     let mut gen = OperandGen::new(11);
     let pairs: Vec<(u64, u64)> = (0..1024)
         .map(|_| (gen.b64_normal(400), gen.b64_normal(400)))
@@ -29,7 +30,7 @@ fn main() {
         i += 1;
         black_box(paper_mul_bits(&BINARY64, black_box(x), black_box(y)))
     });
-    group.finish();
+    group.finish_report(&mut report);
 
     let mut gen = OperandGen::new(12);
     let pairs32: Vec<(u64, u64)> = (0..1024)
@@ -42,5 +43,9 @@ fn main() {
         i += 1;
         black_box(mul_bits(&BINARY32, x, y, RoundingMode::NearestEven))
     });
-    group.finish();
+    group.finish_report(&mut report);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

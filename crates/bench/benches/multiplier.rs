@@ -1,12 +1,12 @@
 //! Microbenches: software throughput of the functional multi-format
 //! unit per format (millions of multiplications per second on the host).
 
-use mfm_bench::microbench::Group;
+use mfm_bench::microbench::{BenchReport, Group};
 use mfm_evalkit::workload::OperandGen;
 use mfmult::{Format, FunctionalUnit};
 use std::hint::black_box;
 
-fn bench_functional_unit() {
+fn bench_functional_unit(report: &mut BenchReport) {
     let unit = FunctionalUnit::new();
     let mut group = Group::new("functional_unit");
     for format in Format::ALL {
@@ -19,10 +19,10 @@ fn bench_functional_unit() {
             black_box(unit.execute(black_box(op)))
         });
     }
-    group.finish();
+    group.finish_report(report);
 }
 
-fn bench_vs_host() {
+fn bench_vs_host(report: &mut BenchReport) {
     let unit = FunctionalUnit::new();
     let mut gen = OperandGen::new(2);
     let pairs: Vec<(f64, f64)> = (0..1024)
@@ -46,10 +46,10 @@ fn bench_vs_host() {
         i += 1;
         black_box(black_box(x) * black_box(y))
     });
-    group.finish();
+    group.finish_report(report);
 }
 
-fn bench_dual_issue() {
+fn bench_dual_issue(report: &mut BenchReport) {
     // Dual binary32 completes two multiplications per execute call.
     let unit = FunctionalUnit::new();
     let mut gen = OperandGen::new(3);
@@ -70,11 +70,16 @@ fn bench_dual_issue() {
         i += 1;
         black_box(unit.mul_dual_f32(x, y, w, z))
     });
-    group.finish();
+    group.finish_report(report);
 }
 
 fn main() {
-    bench_functional_unit();
-    bench_vs_host();
-    bench_dual_issue();
+    let mut report = BenchReport::new("multiplier");
+    bench_functional_unit(&mut report);
+    bench_vs_host(&mut report);
+    bench_dual_issue(&mut report);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

@@ -3,12 +3,12 @@
 //! complete multipliers (one operation through ~20k cells).
 
 use mfm_arith::{build_multiplier, MultiplierConfig};
-use mfm_bench::microbench::Group;
+use mfm_bench::microbench::{BenchReport, Group};
 use mfm_gatesim::{Netlist, Simulator, TechLibrary, TimingAnalysis};
 use mfmult::structural::build_unit;
 use std::hint::black_box;
 
-fn bench_netlist_build() {
+fn bench_netlist_build(report: &mut BenchReport) {
     let mut group = Group::new("netlist_build");
     group.bench("radix16_multiplier", || {
         let mut n = Netlist::new(TechLibrary::cmos45lp());
@@ -20,20 +20,20 @@ fn bench_netlist_build() {
         black_box(build_unit(&mut n));
         black_box(n.cell_count())
     });
-    group.finish();
+    group.finish_report(report);
 }
 
-fn bench_sta() {
+fn bench_sta(report: &mut BenchReport) {
     let mut n = Netlist::new(TechLibrary::cmos45lp());
     build_multiplier(&mut n, MultiplierConfig::radix16());
     let mut group = Group::new("sta");
     group.bench("radix16_multiplier", || {
         black_box(TimingAnalysis::new(&n).report().critical_delay_ps)
     });
-    group.finish();
+    group.finish_report(report);
 }
 
-fn bench_gate_sim() {
+fn bench_gate_sim(report: &mut BenchReport) {
     let mut group = Group::new("gate_sim_one_multiply");
     for (name, cfg) in [
         ("radix16", MultiplierConfig::radix16()),
@@ -51,11 +51,16 @@ fn bench_gate_sim() {
             black_box(sim.read_bus(&ports.p))
         });
     }
-    group.finish();
+    group.finish_report(report);
 }
 
 fn main() {
-    bench_netlist_build();
-    bench_sta();
-    bench_gate_sim();
+    let mut report = BenchReport::new("tables");
+    bench_netlist_build(&mut report);
+    bench_sta(&mut report);
+    bench_gate_sim(&mut report);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }

@@ -3,47 +3,42 @@
 //! `mfmult::selfcheck` checker and printing per-block, per-format and
 //! per-tier coverage tables.
 //!
-//! Usage: `faults [--sites N] [--vectors N] [--seed S] [--quad]`
+//! Usage: `faults [--sites N] [--vectors N] [--seed S] [--quad] [--json <path>]`
 //! (defaults: 500 sites, 4 vectors per site and format, seed 2017).
 
-use mfm_evalkit::faultcov::{fault_coverage, FaultCoverageConfig};
-
-fn arg_value(args: &[String], name: &str, default: u64) -> u64 {
-    match args.iter().position(|a| a == name) {
-        None => default,
-        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
-            Some(Ok(v)) => v,
-            _ => {
-                eprintln!("{name} needs a numeric value");
-                std::process::exit(2);
-            }
-        },
-    }
-}
+use mfm_bench::cli;
+use mfm_evalkit::faultcov::{fault_coverage_observed, FaultCoverageConfig};
+use mfm_evalkit::runreport::RunReport;
+use mfm_gatesim::report::Table;
+use mfm_telemetry::Registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" | "--sites" | "--vectors" => {
+            "--seed" | "--sites" | "--vectors" | "--json" => {
                 it.next();
             }
             "--quad" => {}
             other => {
-                eprintln!("unknown argument {other}; usage: faults [--sites N] [--vectors N] [--seed S] [--quad]");
+                eprintln!("unknown argument {other}; usage: faults [--sites N] [--vectors N] [--seed S] [--quad] [--json <path>]");
                 std::process::exit(2);
             }
         }
     }
     let cfg = FaultCoverageConfig {
-        seed: arg_value(&args, "--seed", 2017),
-        sites: arg_value(&args, "--sites", 500) as usize,
-        vectors_per_format: arg_value(&args, "--vectors", 4) as usize,
-        quad_lanes: args.iter().any(|a| a == "--quad"),
+        seed: cli::arg_value(&args, "--seed", 2017),
+        sites: cli::arg_value(&args, "--sites", 500) as usize,
+        vectors_per_format: cli::arg_value(&args, "--vectors", 4) as usize,
+        quad_lanes: cli::has_flag(&args, "--quad"),
     };
+    let registry = Registry::new();
     println!("=== Fault-injection campaign: residue/self-check coverage ===\n");
-    let report = fault_coverage(&cfg);
+    let report = {
+        let _span = registry.span("faults");
+        fault_coverage_observed(&cfg, Some(&registry))
+    };
     println!("{report}");
     let totals = report.blocks.totals();
     println!(
@@ -60,5 +55,47 @@ fn main() {
             "WARNING: {} silent corruptions slipped through",
             report.silent()
         );
+    }
+
+    if let Some(path) = cli::json_path(&args) {
+        let mut run = RunReport::new("faults");
+        run.param("sites", &cfg.sites.to_string())
+            .param("vectors_per_format", &cfg.vectors_per_format.to_string())
+            .param("seed", &cfg.seed.to_string())
+            .param("quad", if cfg.quad_lanes { "true" } else { "false" })
+            .param("sites_run", &report.sites_run.to_string())
+            .param("silent", &report.silent().to_string())
+            .param("detection_rate", &format!("{:.4}", report.detection_rate()));
+        let mut blocks = Table::new(&["block", "sites", "masked", "detected", "silent"]);
+        for (name, s) in &report.blocks.per_block {
+            blocks.row_owned(vec![
+                name.clone(),
+                s.sites.to_string(),
+                s.masked.to_string(),
+                s.detected.to_string(),
+                s.silent.to_string(),
+            ]);
+        }
+        run.add_table("outcomes per hardware block", blocks);
+        let mut formats = Table::new(&["format", "ops", "masked", "detected", "silent", "rate"]);
+        for (name, c) in &report.formats {
+            formats.row_owned(vec![
+                name.to_string(),
+                c.ops().to_string(),
+                c.masked.to_string(),
+                c.detected.to_string(),
+                c.silent.to_string(),
+                format!("{:.3}", c.detection_rate()),
+            ]);
+        }
+        run.add_table("outcomes per operand format", formats);
+        let mut tiers = Table::new(&["checker tier", "detections"]);
+        for (name, n) in &report.detections_by_tier {
+            tiers.row_owned(vec![name.to_string(), n.to_string()]);
+        }
+        run.add_table("detections by first checker tier", tiers)
+            .with_telemetry(&registry);
+        run.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
     }
 }

@@ -1,15 +1,18 @@
 //! Structural reports for the paper's figures plus the ablation studies.
 //!
-//! Usage: `figures [fig1|fig2|fig3|fig4|fig5|fig6|adders|all]`
+//! Usage: `figures [fig1|fig2|fig3|fig4|fig5|fig6|adders|all] [--json <path>]`
 //! (default: all).
 
 use mfm_arith::adder::{build_adder, AdderKind};
 use mfm_arith::tree::dadda_stage_count;
 use mfm_arith::{build_multiplier, MultiplierConfig};
+use mfm_bench::cli;
 use mfm_evalkit::experiments::{activity_sweep, placement_study, sensitivity};
+use mfm_evalkit::runreport::RunReport;
 use mfm_gatesim::report::Table;
 use mfm_gatesim::{Netlist, TechLibrary, TimingAnalysis};
 use mfm_softfloat::paper::speculative_round;
+use mfm_telemetry::Registry;
 use mfmult::lanes::dual_occupancy;
 use mfmult::reduce::build_reducer;
 use mfmult::structural::build_unit;
@@ -248,7 +251,23 @@ fn sensitivity_report() {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Drop `--json <path>` before the positional figure selection.
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            it.next();
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let which = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+    let registry = Registry::new();
+    let span = registry.span(&format!("figures.{which}"));
     match which.as_str() {
         "fig1" => fig1(),
         "fig2" => fig2(),
@@ -286,5 +305,20 @@ fn main() {
             eprintln!("unknown figure {other}; use fig1..fig6, adders, trees, sensitivity or all");
             std::process::exit(2);
         }
+    }
+    drop(span);
+
+    if let Some(path) = cli::json_path(&args) {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let _ = build_unit(&mut n);
+        let sta = TimingAnalysis::new(&n).report();
+        let mut report = RunReport::new("figures");
+        report
+            .param("which", &which)
+            .with_netlist(&n)
+            .with_sta(&sta)
+            .with_telemetry(&registry);
+        report.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
     }
 }

@@ -1,0 +1,127 @@
+//! Streams JSON-lines telemetry for a mixed-format workload on the
+//! self-checking pipelined unit: per-window operation counts and live
+//! pJ/op, incident records as they happen, and a final registry
+//! snapshot. A single-event upset is scheduled halfway through the run
+//! so the incident path is always exercised.
+//!
+//! Usage: `observe [--ops N] [--window N] [--seed S] [--json <path>]
+//! [--prom <path>]` (defaults: 400 ops, window 50).
+//!
+//! Line shapes (one JSON object per line on stdout):
+//!
+//! - `{"event":"start", ...}` — run parameters and netlist size;
+//! - `{"event":"incident", ...}` — a self-check incident (see
+//!   `mfmult::selfcheck::Incident::to_json`);
+//! - `{"event":"window", ...}` — op counts per format, cycles, live
+//!   window pJ/op and running mean;
+//! - `{"event":"snapshot","metrics":{...}}` — final registry snapshot.
+
+use mfm_bench::cli;
+use mfm_evalkit::runreport::RunReport;
+use mfm_evalkit::workload::OperandGen;
+use mfm_gatesim::{LivePowerTrace, Netlist, PowerEstimator, TechLibrary, TimingAnalysis};
+use mfm_telemetry::json::JsonObject;
+use mfm_telemetry::Registry;
+use mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
+use mfmult::selfcheck::SelfCheckingUnit;
+use mfmult::Format;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ops = cli::arg_value(&args, "--ops", 400);
+    let window = cli::arg_value(&args, "--window", 50).max(1);
+    let seed = cli::arg_value(&args, "--seed", 2017);
+
+    let registry = Registry::new();
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+    let sta = TimingAnalysis::new(&n).report();
+    let mut unit = SelfCheckingUnit::new(&n, ports);
+    unit.attach_telemetry(&registry);
+    unit.sim_mut().attach_telemetry(&registry, 64);
+    let seu_edge = unit.ports().latency + 1;
+    let seu_net = unit.ports().chk_p0[0];
+    let mut trace = LivePowerTrace::new(&n, &*unit.sim_mut())
+        .with_gauge(registry.gauge("observe.pj_per_op.window"));
+
+    let mut start = JsonObject::new();
+    start
+        .field_str("event", "start")
+        .field_u64("ops", ops)
+        .field_u64("window", window)
+        .field_u64("seed", seed)
+        .field_u64("cells", n.cell_count() as u64)
+        .field_u64("nets", n.net_count() as u64)
+        .field_f64("area_um2", n.area_um2())
+        .field_f64("max_freq_mhz", sta.max_freq_mhz());
+    println!("{}", start.finish());
+
+    let mut gen = OperandGen::new(seed);
+    let mut counts = [0u64; 4];
+    let mut incidents_seen = 0usize;
+    // Upset an int64 op near the middle of the run: a P0-LSB flip
+    // corrupts the delivered product directly (float formats may mask
+    // it in rounding).
+    let seu_op = (ops / 2) & !3;
+    for i in 0..ops {
+        let slot = (i % Format::ALL.len() as u64) as usize;
+        let op = gen.operation(Format::ALL[slot]);
+        if i == seu_op {
+            // Flip the P0 LSB across the output-latching edge of the
+            // next operation: the checker rejects the result, the retry
+            // recovers, and two incident lines appear below.
+            unit.schedule_seu(seu_edge, seu_net);
+        }
+        let _ = unit.execute(op);
+        counts[slot] += 1;
+        while incidents_seen < unit.incidents().len() {
+            println!("{}", unit.incidents()[incidents_seen].to_json());
+            incidents_seen += 1;
+        }
+        let done = i + 1;
+        if done.is_multiple_of(window) || done == ops {
+            let sample = trace.sample(&*unit.sim_mut(), done);
+            let mut by_format = JsonObject::new();
+            for (slot, f) in Format::ALL.iter().enumerate() {
+                by_format.field_u64(f.label(), counts[slot]);
+            }
+            let mut line = JsonObject::new();
+            line.field_str("event", "window")
+                .field_u64("ops", done)
+                .field_u64("cycles", unit.sim_mut().cycles())
+                .field_u64("incidents", incidents_seen as u64)
+                .field_raw("ops_by_format", &by_format.finish());
+            if let Some(s) = sample {
+                line.field_f64("pj_per_op_window", s.pj_per_op);
+            }
+            line.field_f64("pj_per_op_mean", trace.mean_pj_per_op());
+            println!("{}", line.finish());
+        }
+    }
+    unit.sim_mut().flush_telemetry();
+
+    let mut snap = JsonObject::new();
+    snap.field_str("event", "snapshot")
+        .field_raw("metrics", &registry.snapshot_json());
+    println!("{}", snap.finish());
+
+    if let Some(path) = cli::arg_str(&args, "--prom") {
+        std::fs::write(&path, registry.prometheus()).expect("write prometheus file");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = cli::json_path(&args) {
+        let cycles = unit.sim_mut().cycles();
+        let p = PowerEstimator::from_activity(&n, &*unit.sim_mut(), cycles);
+        let mut report = RunReport::new("observe");
+        report
+            .param("ops", &ops.to_string())
+            .param("window", &window.to_string())
+            .param("seed", &seed.to_string())
+            .with_netlist(&n)
+            .with_sta(&sta)
+            .add_power("mixed_format", &p)
+            .with_telemetry(&registry);
+        report.write(&path).expect("write JSON report");
+        eprintln!("wrote {}", path.display());
+    }
+}

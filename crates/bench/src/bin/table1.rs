@@ -1,11 +1,23 @@
 //! Regenerates Table I: latency, area and critical path of the 64×64
 //! radix-16 multiplier.
+//!
+//! Usage: `table1 [--json <path>]`.
 
-use mfm_bench::paper_values;
+use mfm_arith::{build_multiplier, MultiplierConfig};
+use mfm_bench::{cli, paper_values};
 use mfm_evalkit::experiments::table1;
+use mfm_evalkit::runreport::RunReport;
+use mfm_gatesim::report::Table;
+use mfm_gatesim::{Netlist, TechLibrary, TimingAnalysis};
+use mfm_telemetry::Registry;
 
 fn main() {
-    let r = table1();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = Registry::new();
+    let r = {
+        let _span = registry.span("table1");
+        table1()
+    };
     println!("=== Table I: 64x64 radix-16 multiplier ===\n");
     println!("{r}");
     println!("--- paper (45nm commercial synthesis) ---");
@@ -24,4 +36,22 @@ fn main() {
         r.area_um2_sized,
         r.area_nand2 / 1000.0
     );
+
+    if let Some(path) = cli::json_path(&args) {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        build_multiplier(&mut n, MultiplierConfig::radix16());
+        let sta = TimingAnalysis::new(&n).report();
+        let mut report = RunReport::new("table1");
+        report.param("radix", "16").with_netlist(&n).with_sta(&sta);
+        let mut t = Table::new(&["critical path", "delay [ps]"]);
+        for (block, ps) in &r.critical_path {
+            t.row_owned(vec![block.clone(), format!("{ps:.1}")]);
+        }
+        t.row_owned(vec!["TOTAL".into(), format!("{:.1}", r.latency_ps)]);
+        report
+            .add_table("Table I critical path", t)
+            .with_telemetry(&registry);
+        report.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
+    }
 }

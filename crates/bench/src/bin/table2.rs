@@ -1,13 +1,25 @@
 //! Regenerates Table II: latency, area and critical path of the 64×64
 //! radix-4 Booth multiplier. Pass `--radix8` to also build the radix-8
 //! ablation the paper argues against implementing.
+//!
+//! Usage: `table2 [--radix8] [--json <path>]`.
 
-use mfm_bench::paper_values;
+use mfm_arith::{build_multiplier, MultiplierConfig};
+use mfm_bench::{cli, paper_values};
 use mfm_evalkit::experiments::{table1, table2, table2_radix8};
+use mfm_evalkit::runreport::RunReport;
+use mfm_gatesim::report::Table;
+use mfm_gatesim::{Netlist, TechLibrary, TimingAnalysis};
+use mfm_telemetry::Registry;
 
 fn main() {
-    let want_r8 = std::env::args().any(|a| a == "--radix8");
-    let r4 = table2();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_r8 = cli::has_flag(&args, "--radix8");
+    let registry = Registry::new();
+    let r4 = {
+        let _span = registry.span("table2");
+        table2()
+    };
     println!("=== Table II: 64x64 radix-4 multiplier ===\n");
     println!("{r4}");
     println!("--- paper (45nm commercial synthesis) ---");
@@ -42,5 +54,27 @@ fn main() {
              deeper tree ({} rows vs 17): delay {:.0} ps, sized area {:.0} um2",
             22, r8.latency_ps, r8.area_um2_sized
         );
+    }
+
+    if let Some(path) = cli::json_path(&args) {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        build_multiplier(&mut n, MultiplierConfig::radix4());
+        let sta = TimingAnalysis::new(&n).report();
+        let mut report = RunReport::new("table2");
+        report
+            .param("radix", "4")
+            .param("radix8_ablation", if want_r8 { "true" } else { "false" })
+            .with_netlist(&n)
+            .with_sta(&sta);
+        let mut t = Table::new(&["critical path", "delay [ps]"]);
+        for (block, ps) in &r4.critical_path {
+            t.row_owned(vec![block.clone(), format!("{ps:.1}")]);
+        }
+        t.row_owned(vec!["TOTAL".into(), format!("{:.1}", r4.latency_ps)]);
+        report
+            .add_table("Table II critical path", t)
+            .with_telemetry(&registry);
+        report.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
     }
 }

@@ -1,24 +1,27 @@
 //! Regenerates Table III: power dissipation at 100 MHz for the radix-4
 //! and radix-16 multipliers, combinational and two-stage pipelined.
 //!
-//! Usage: `table3 [--vectors N] [--seed S]` (defaults: 400 vectors).
+//! Usage: `table3 [--vectors N] [--seed S] [--json <path>]`
+//! (defaults: 400 vectors).
 
-use mfm_bench::paper_values;
+use mfm_arith::{build_multiplier, MultiplierConfig};
+use mfm_bench::{cli, paper_values};
 use mfm_evalkit::experiments::table3;
-
-fn arg_value(name: &str, default: u64) -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+use mfm_evalkit::runreport::RunReport;
+use mfm_evalkit::workload::OperandGen;
+use mfm_gatesim::report::Table;
+use mfm_gatesim::{Netlist, PowerEstimator, Simulator, TechLibrary, TimingAnalysis};
+use mfm_telemetry::Registry;
 
 fn main() {
-    let vectors = arg_value("--vectors", 400) as usize;
-    let seed = arg_value("--seed", 2017);
-    let t = table3(vectors, seed);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let vectors = cli::arg_value(&args, "--vectors", 400) as usize;
+    let seed = cli::arg_value(&args, "--seed", 2017);
+    let registry = Registry::new();
+    let t = {
+        let _span = registry.span("table3");
+        table3(vectors, seed)
+    };
     println!("=== Table III: power at 100 MHz, radix-4 vs radix-16 ===\n");
     println!("{t}");
     println!("--- paper ---");
@@ -45,5 +48,50 @@ fn main() {
              reproduces with margin.",
             comb.3
         );
+    }
+
+    if let Some(path) = cli::json_path(&args) {
+        // Re-measure the paper's design point (pipelined radix-16) with
+        // the simulator instrumented, so the JSON carries a full power
+        // breakdown plus the per-block toggle telemetry of the run.
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_multiplier(&mut n, MultiplierConfig::radix16().pipelined());
+        let sta = TimingAnalysis::new(&n).report();
+        let mut sim = Simulator::new(&n);
+        sim.attach_telemetry(&registry, 64);
+        let mut gen = OperandGen::new(seed);
+        for _ in 0..ports.latency {
+            let (x, y) = gen.int64_pair();
+            sim.step_cycle(&[(&ports.x, x as u128), (&ports.y, y as u128)]);
+        }
+        sim.reset_activity();
+        for _ in 0..vectors {
+            let (x, y) = gen.int64_pair();
+            sim.step_cycle(&[(&ports.x, x as u128), (&ports.y, y as u128)]);
+        }
+        sim.flush_telemetry();
+        let p = PowerEstimator::from_activity(&n, &sim, sim.cycles());
+
+        let mut report = RunReport::new("table3");
+        report
+            .param("vectors", &vectors.to_string())
+            .param("seed", &seed.to_string())
+            .with_netlist(&n)
+            .with_sta(&sta)
+            .add_power("radix16_pipelined", &p);
+        let mut tbl = Table::new(&["config", "radix-4 [mW]", "radix-16 [mW]", "ratio"]);
+        for (name, r4, r16, ratio) in &t.rows {
+            tbl.row_owned(vec![
+                name.clone(),
+                format!("{r4:.2}"),
+                format!("{r16:.2}"),
+                format!("{ratio:.2}"),
+            ]);
+        }
+        report
+            .add_table("Table III power at 100 MHz", tbl)
+            .with_telemetry(&registry);
+        report.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
     }
 }

@@ -1,10 +1,41 @@
 //! Regenerates Table IV: the binary interchange format parameters of
 //! IEEE 754-2008.
+//!
+//! Usage: `table4 [--json <path>]`.
 
+use mfm_bench::cli;
 use mfm_evalkit::experiments::table4;
+use mfm_evalkit::runreport::RunReport;
+use mfm_gatesim::report::Table;
+use mfm_telemetry::Registry;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = Registry::new();
+    let t4 = {
+        let _span = registry.span("table4");
+        table4()
+    };
     println!("=== Table IV: IEEE 754-2008 binary formats ===\n");
-    println!("{}", table4());
+    println!("{t4}");
     println!("(exact reproduction — these are the standard's constants)");
+
+    if let Some(path) = cli::json_path(&args) {
+        let mut report = RunReport::new("table4");
+        let mut t = Table::new(&["format", "p", "emax", "emin", "bias"]);
+        for (name, p, emax, emin, bias) in &t4.rows {
+            t.row_owned(vec![
+                name.clone(),
+                p.to_string(),
+                emax.to_string(),
+                emin.to_string(),
+                bias.to_string(),
+            ]);
+        }
+        report
+            .add_table("Table IV IEEE 754-2008 binary formats", t)
+            .with_telemetry(&registry);
+        report.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,25 +1,29 @@
 //! Regenerates Table V: power dissipation and power efficiency of the
 //! 3-stage pipelined multi-format unit for each format.
 //!
-//! Usage: `table5 [--ops N] [--seed S]` (default: 300 operations/format).
+//! Usage: `table5 [--ops N] [--seed S] [--quad] [--json <path>]`
+//! (default: 300 operations/format).
 
-use mfm_bench::paper_values;
+use mfm_bench::{cli, paper_values};
 use mfm_evalkit::experiments::table5;
-
-fn arg_value(name: &str, default: u64) -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+use mfm_evalkit::montecarlo::measure_unit_traced;
+use mfm_evalkit::runreport::RunReport;
+use mfm_gatesim::report::Table;
+use mfm_gatesim::{Netlist, TechLibrary, TimingAnalysis};
+use mfm_telemetry::Registry;
+use mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
+use mfmult::Format;
 
 fn main() {
-    let ops = arg_value("--ops", 300) as usize;
-    let seed = arg_value("--seed", 2017);
-    let want_quad = std::env::args().any(|a| a == "--quad");
-    let t = table5(ops, seed);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ops = cli::arg_value(&args, "--ops", 300) as usize;
+    let seed = cli::arg_value(&args, "--seed", 2017);
+    let want_quad = cli::has_flag(&args, "--quad");
+    let registry = Registry::new();
+    let t = {
+        let _span = registry.span("table5");
+        table5(ops, seed)
+    };
     println!("=== Table V: power and power efficiency per format ===\n");
     println!("{t}");
     println!(
@@ -61,9 +65,8 @@ fn main() {
 
     if want_quad {
         use mfm_evalkit::montecarlo::measure_unit;
-        use mfm_gatesim::{Netlist, TechLibrary, TimingAnalysis};
-        use mfmult::pipeline::{build_pipelined_unit_opts, PipelinePlacement};
-        use mfmult::{Format, UnitOptions};
+        use mfmult::pipeline::build_pipelined_unit_opts;
+        use mfmult::UnitOptions;
         println!("\n=== Extension: quad binary16 row (quad-enabled unit build) ===");
         let mut n = Netlist::new(TechLibrary::cmos45lp());
         let u = build_pipelined_unit_opts(
@@ -84,5 +87,49 @@ fn main() {
             "  four half-precision multiplications per cycle extend the paper's\n  \
              precision/power trade-off one format further down."
         );
+    }
+
+    if let Some(path) = cli::json_path(&args) {
+        // Re-measure binary64 with the convergence trace so the JSON
+        // carries a full breakdown plus the Monte-Carlo mc.* telemetry.
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+        let sta = TimingAnalysis::new(&n).report();
+        let window = (ops / 4).max(1);
+        let (p, points) =
+            measure_unit_traced(&n, &u, Format::Binary64, ops, seed, window, Some(&registry));
+
+        let mut report = RunReport::new("table5");
+        report
+            .param("ops", &ops.to_string())
+            .param("seed", &seed.to_string())
+            .with_netlist(&n)
+            .with_sta(&sta)
+            .add_power("binary64", &p);
+        let mut tbl = Table::new(&["format", "mW @100MHz", "mW @fmax", "GFLOPS", "GFLOPS/W"]);
+        for r in &t.rows {
+            tbl.row_owned(vec![
+                r.format.clone(),
+                format!("{:.2}", r.power_mw_100),
+                format!("{:.2}", r.power_mw_fmax),
+                format!("{:.2}", r.throughput_gflops),
+                format!("{:.2}", r.efficiency_gflops_w),
+            ]);
+        }
+        report.add_table("Table V power and efficiency per format", tbl);
+        let mut conv = Table::new(&["ops", "window pJ/op", "mean pJ/op", "stddev"]);
+        for pt in &points {
+            conv.row_owned(vec![
+                pt.ops.to_string(),
+                format!("{:.2}", pt.window_pj_per_op),
+                format!("{:.2}", pt.mean_pj_per_op),
+                format!("{:.3}", pt.stddev_pj_per_op),
+            ]);
+        }
+        report
+            .add_table("Monte-Carlo convergence (binary64)", conv)
+            .with_telemetry(&registry);
+        report.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
     }
 }

@@ -21,6 +21,50 @@
 //! (absolute values differ — our substrate is a calibrated gate-level
 //! model, not the authors' synthesis flow; see EXPERIMENTS.md).
 
+/// Shared command-line parsing for the table/figure/faults binaries.
+///
+/// Every binary takes `--json <path>` (write a
+/// [`mfm_evalkit::runreport::RunReport`] there) next to its own numeric
+/// flags; this module keeps the parsing in one place.
+pub mod cli {
+    /// The value following `name`, parsed, or `default` when absent.
+    /// Exits with status 2 on an unparseable value (a typo should not
+    /// silently run the default configuration).
+    pub fn arg_value(args: &[String], name: &str, default: u64) -> u64 {
+        match args.iter().position(|a| a == name) {
+            None => default,
+            Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+                Some(Ok(v)) => v,
+                _ => {
+                    eprintln!("{name} needs a numeric value");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    /// The string value following `name`, if present. Exits with status
+    /// 2 when the flag is given without a value.
+    pub fn arg_str(args: &[String], name: &str) -> Option<String> {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    /// Whether the bare flag `name` is present.
+    pub fn has_flag(args: &[String], name: &str) -> bool {
+        args.iter().any(|a| a == name)
+    }
+
+    /// The `--json <path>` destination, if requested.
+    pub fn json_path(args: &[String]) -> Option<std::path::PathBuf> {
+        arg_str(args, "--json").map(std::path::PathBuf::from)
+    }
+}
+
 /// Minimal wall-clock benchmark harness.
 ///
 /// The workspace builds in fully offline environments, so instead of an
@@ -29,6 +73,7 @@
 /// pass, best-of-N batch timing and a plain-text result table.
 pub mod microbench {
     use mfm_gatesim::report::Table;
+    use mfm_telemetry::json::{self, JsonObject};
     use std::time::{Duration, Instant};
 
     /// Target wall time per measured batch.
@@ -59,6 +104,18 @@ pub mod microbench {
 
         /// Prints the result table.
         pub fn finish(self) {
+            let _ = self.finish_rows();
+        }
+
+        /// Prints the result table and records the group into `report`,
+        /// so the run ends up in `results/bench_report.json`.
+        pub fn finish_report(self, report: &mut BenchReport) {
+            let title = self.title.clone();
+            let rows = self.finish_rows();
+            report.groups.push((title, rows));
+        }
+
+        fn finish_rows(self) -> Vec<(String, f64)> {
             let mut t = Table::new(&["benchmark", "ns/op", "ops/s"]);
             for (label, ns) in &self.rows {
                 t.row_owned(vec![
@@ -68,6 +125,92 @@ pub mod microbench {
                 ]);
             }
             println!("{}\n{t}", self.title);
+            self.rows
+        }
+    }
+
+    /// Collects the groups of one bench target and writes (or merges
+    /// into) a machine-readable JSON report.
+    ///
+    /// The document has the shape
+    /// `{"benches":{"<target>":{"<group>":{"<label>":ns_per_op,…},…},…}}`.
+    /// Each target replaces only its own key on write, so running the
+    /// full `cargo bench -p mfm-bench` suite accumulates all four
+    /// targets in one file. The default path is
+    /// `results/bench_report.json`; the `MFM_BENCH_JSON` environment
+    /// variable overrides it.
+    pub struct BenchReport {
+        name: String,
+        groups: Vec<(String, Vec<(String, f64)>)>,
+    }
+
+    impl BenchReport {
+        /// Starts an empty report for the named bench target.
+        pub fn new(name: &str) -> Self {
+            BenchReport {
+                name: name.to_string(),
+                groups: Vec::new(),
+            }
+        }
+
+        /// This target's groups as one JSON object.
+        fn to_json(&self) -> String {
+            let mut o = JsonObject::new();
+            for (title, rows) in &self.groups {
+                let mut g = JsonObject::new();
+                for (label, ns) in rows {
+                    g.field_f64(label, *ns);
+                }
+                o.field_raw(title, &g.finish());
+            }
+            o.finish()
+        }
+
+        /// The report path: `$MFM_BENCH_JSON` or
+        /// `results/bench_report.json` at the workspace root (cargo
+        /// runs bench harnesses with the package as working directory,
+        /// so a relative path would land inside `crates/bench`).
+        pub fn default_path() -> std::path::PathBuf {
+            std::env::var_os("MFM_BENCH_JSON")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                        .join("../../results/bench_report.json")
+                })
+        }
+
+        /// Writes the report to [`BenchReport::default_path`], merging
+        /// with any other targets' results already in the file (an
+        /// unreadable or malformed file is overwritten).
+        pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+            let path = Self::default_path();
+            let mut targets: std::collections::BTreeMap<String, String> =
+                std::collections::BTreeMap::new();
+            if let Ok(existing) = std::fs::read_to_string(&path) {
+                if let Ok(entries) = json::object_entries(&existing) {
+                    for (k, v) in entries {
+                        if k == "benches" {
+                            if let Ok(benches) = json::object_entries(&v) {
+                                targets.extend(benches);
+                            }
+                        }
+                    }
+                }
+            }
+            targets.insert(self.name.clone(), self.to_json());
+            let mut benches = JsonObject::new();
+            for (k, v) in &targets {
+                benches.field_raw(k, v);
+            }
+            let mut root = JsonObject::new();
+            root.field_raw("benches", &benches.finish());
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            std::fs::write(&path, root.finish() + "\n")?;
+            Ok(path)
         }
     }
 

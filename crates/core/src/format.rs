@@ -38,6 +38,18 @@ impl Format {
         }
     }
 
+    /// Stable lower-case label used for metric names and JSON keys
+    /// (e.g. `selfcheck.ops.dual_binary32`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Format::Int64 => "int64",
+            Format::Binary64 => "binary64",
+            Format::DualBinary32 => "dual_binary32",
+            Format::SingleBinary32 => "single_binary32",
+            Format::QuadBinary16 => "quad_binary16",
+        }
+    }
+
     /// Floating-point multiplications completed per operation (for
     /// throughput accounting; int64 counts as one).
     pub const fn ops_per_cycle(self) -> u32 {

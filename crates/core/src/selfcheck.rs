@@ -78,6 +78,7 @@
 
 use mfm_gatesim::{NetId, Netlist, Simulator};
 use mfm_softfloat::Flags;
+use mfm_telemetry::{json::JsonObject, Counter, Registry};
 
 use crate::format::{Format, MultResult, Operation};
 use crate::functional::FunctionalUnit;
@@ -586,6 +587,92 @@ impl std::fmt::Display for SelfCheckStats {
     }
 }
 
+/// What a logged [`Incident`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A hardware result failed a check on the first attempt.
+    CheckFailure,
+    /// The retry after a check failure passed (transient fault healed).
+    RetryRecovered,
+    /// The retry also failed; the unit degraded to the fallback.
+    Degraded,
+}
+
+impl IncidentKind {
+    /// Stable lower-snake-case label used in metrics and JSON.
+    pub const fn label(self) -> &'static str {
+        match self {
+            IncidentKind::CheckFailure => "check_failure",
+            IncidentKind::RetryRecovered => "retry_recovered",
+            IncidentKind::Degraded => "degraded",
+        }
+    }
+}
+
+/// One entry of the structured incident log a [`SelfCheckingUnit`]
+/// keeps: which operation tripped which event, timestamped with the
+/// simulator's cycle counter at the moment it was recorded.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Ordinal of the operation (1-based, equals `stats.ops` at the
+    /// time).
+    pub op: u64,
+    /// Simulator cycle count when the incident was recorded.
+    pub cycle: u64,
+    /// Format of the offending operation.
+    pub format: Format,
+    /// What happened.
+    pub kind: IncidentKind,
+    /// Human-readable detail — the check that fired, rendered via
+    /// [`CheckError`]'s `Display`.
+    pub detail: String,
+}
+
+impl Incident {
+    /// Renders the incident as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("event", "incident")
+            .field_u64("op", self.op)
+            .field_u64("cycle", self.cycle)
+            .field_str("format", self.format.label())
+            .field_str("kind", self.kind.label())
+            .field_str("detail", &self.detail);
+        o.finish()
+    }
+}
+
+/// Registry handles for a [`SelfCheckingUnit`] (see
+/// [`SelfCheckingUnit::attach_telemetry`]).
+struct ScTelemetry {
+    /// Per-format operation counters, indexed by `frmt` slot below.
+    ops_by_format: [Counter; 5],
+    checked_ok: Counter,
+    mismatches: Counter,
+    retries: Counter,
+    retry_successes: Counter,
+    fallback_ops: Counter,
+    incidents: Counter,
+}
+
+fn format_slot(f: Format) -> usize {
+    match f {
+        Format::Int64 => 0,
+        Format::Binary64 => 1,
+        Format::DualBinary32 => 2,
+        Format::SingleBinary32 => 3,
+        Format::QuadBinary16 => 4,
+    }
+}
+
+const FORMAT_SLOTS: [Format; 5] = [
+    Format::Int64,
+    Format::Binary64,
+    Format::DualBinary32,
+    Format::SingleBinary32,
+    Format::QuadBinary16,
+];
+
 /// The structural unit under continuous online checking, with retry on
 /// transient faults and graceful degradation to the functional model on
 /// permanent ones (see the module docs).
@@ -595,6 +682,8 @@ pub struct SelfCheckingUnit<'a> {
     fallback: FunctionalUnit,
     pending_seus: Vec<(u32, NetId)>,
     stats: SelfCheckStats,
+    incidents: Vec<Incident>,
+    telemetry: Option<ScTelemetry>,
 }
 
 impl<'a> SelfCheckingUnit<'a> {
@@ -606,7 +695,47 @@ impl<'a> SelfCheckingUnit<'a> {
             fallback: FunctionalUnit::new(),
             pending_seus: Vec::new(),
             stats: SelfCheckStats::default(),
+            incidents: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Registers this unit's counters in `registry` and starts mirroring
+    /// every event into them: `selfcheck.ops.<format>` per executed
+    /// format plus `selfcheck.{checked_ok, mismatches, retries,
+    /// retry_successes, fallback_ops, incidents}`. Counters are
+    /// cumulative from the moment of attachment (earlier operations are
+    /// not back-filled).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(ScTelemetry {
+            ops_by_format: FORMAT_SLOTS
+                .map(|f| registry.counter(&format!("selfcheck.ops.{}", f.label()))),
+            checked_ok: registry.counter("selfcheck.checked_ok"),
+            mismatches: registry.counter("selfcheck.mismatches"),
+            retries: registry.counter("selfcheck.retries"),
+            retry_successes: registry.counter("selfcheck.retry_successes"),
+            fallback_ops: registry.counter("selfcheck.fallback_ops"),
+            incidents: registry.counter("selfcheck.incidents"),
+        });
+    }
+
+    /// The structured incident log: one entry per check failure, retry
+    /// recovery and degradation, in the order they happened.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    fn record_incident(&mut self, op: Operation, kind: IncidentKind, detail: String) {
+        if let Some(t) = &self.telemetry {
+            t.incidents.inc();
+        }
+        self.incidents.push(Incident {
+            op: self.stats.ops,
+            cycle: self.sim.cycles(),
+            format: op.format,
+            kind,
+            detail,
+        });
     }
 
     /// The wrapped unit's port map.
@@ -648,6 +777,7 @@ impl<'a> SelfCheckingUnit<'a> {
         self.sim.settle();
         self.pending_seus.clear();
         self.stats = SelfCheckStats::default();
+        self.incidents.clear();
     }
 
     /// Arms a single-event upset for the **next** [`execute`] call: net
@@ -669,8 +799,14 @@ impl<'a> SelfCheckingUnit<'a> {
     /// the bit-exact functional fallback.
     pub fn execute(&mut self, op: Operation) -> MultResult {
         self.stats.ops += 1;
+        if let Some(t) = &self.telemetry {
+            t.ops_by_format[format_slot(op.format)].inc();
+        }
         if self.stats.degraded {
             self.stats.fallback_ops += 1;
+            if let Some(t) = &self.telemetry {
+                t.fallback_ops.inc();
+            }
             return self.fallback.execute(op);
         }
         let seus = std::mem::take(&mut self.pending_seus);
@@ -678,6 +814,9 @@ impl<'a> SelfCheckingUnit<'a> {
         match check_raw(op, &raw) {
             Ok(()) => {
                 self.stats.checked_ok += 1;
+                if let Some(t) = &self.telemetry {
+                    t.checked_ok.inc();
+                }
                 result_from_raw(op, &raw)
             }
             Err(e) => {
@@ -686,16 +825,30 @@ impl<'a> SelfCheckingUnit<'a> {
                     self.stats.first_failure = Some(e);
                 }
                 self.stats.retries += 1;
+                if let Some(t) = &self.telemetry {
+                    t.mismatches.inc();
+                    t.retries.inc();
+                }
+                self.record_incident(op, IncidentKind::CheckFailure, e.to_string());
                 let raw2 = self.run_hw(op, &[]);
                 match check_raw(op, &raw2) {
                     Ok(()) => {
                         self.stats.retry_successes += 1;
                         self.stats.checked_ok += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.retry_successes.inc();
+                            t.checked_ok.inc();
+                        }
+                        self.record_incident(op, IncidentKind::RetryRecovered, e.to_string());
                         result_from_raw(op, &raw2)
                     }
-                    Err(_) => {
+                    Err(e2) => {
                         self.stats.degraded = true;
                         self.stats.fallback_ops += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.fallback_ops.inc();
+                        }
+                        self.record_incident(op, IncidentKind::Degraded, e2.to_string());
                         self.fallback.execute(op)
                     }
                 }
@@ -889,6 +1042,46 @@ mod tests {
         unit.reset();
         assert_eq!(unit.execute(Operation::int64(7, 9)).int_product(), 63);
         assert!(!unit.is_degraded());
+    }
+
+    #[test]
+    fn incident_log_and_telemetry_track_degradation() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut unit = SelfCheckingUnit::new(&n, ports);
+        let registry = Registry::new();
+        unit.attach_telemetry(&registry);
+        assert_eq!(unit.execute(Operation::int64(2, 3)).int_product(), 6);
+        assert!(unit.incidents().is_empty());
+        let lsb = unit.ports().chk_p0[0];
+        unit.inject_stuck_at(lsb, true);
+        let _ = unit.execute(Operation::int64(2, 3));
+        let _ = unit.execute(Operation::binary64(
+            0x3FF0_0000_0000_0000,
+            0x4000_0000_0000_0000,
+        ));
+        let inc = unit.incidents();
+        // Permanent fault: first attempt fails, retry fails, degrade —
+        // two incidents for the faulty op, none for the fallback op.
+        assert_eq!(inc.len(), 2);
+        assert_eq!(inc[0].kind, IncidentKind::CheckFailure);
+        assert_eq!(inc[1].kind, IncidentKind::Degraded);
+        assert_eq!(inc[0].op, 2);
+        assert!(inc[0].detail.contains("residue"), "{}", inc[0].detail);
+        let line = inc[0].to_json();
+        assert!(mfm_telemetry::json::check(&line).is_ok(), "{line}");
+        assert!(line.contains("\"kind\":\"check_failure\""));
+        assert!(line.contains("\"format\":\"int64\""));
+        // Registry mirrors the stats counters.
+        assert_eq!(registry.counter("selfcheck.ops.int64").get(), 2);
+        assert_eq!(registry.counter("selfcheck.ops.binary64").get(), 1);
+        assert_eq!(registry.counter("selfcheck.mismatches").get(), 1);
+        assert_eq!(registry.counter("selfcheck.retries").get(), 1);
+        assert_eq!(registry.counter("selfcheck.fallback_ops").get(), 2);
+        assert_eq!(registry.counter("selfcheck.incidents").get(), 2);
+        // reset() clears the log.
+        unit.reset();
+        assert!(unit.incidents().is_empty());
     }
 
     #[test]

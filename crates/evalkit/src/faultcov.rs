@@ -27,6 +27,7 @@ use mfm_gatesim::netlist::Netlist;
 use mfm_gatesim::report::Table;
 use mfm_gatesim::tech::TechLibrary;
 use mfm_gatesim::FaultOutcome;
+use mfm_telemetry::Registry;
 use mfmult::selfcheck::{check_raw, run_raw, CheckError, RawOutputs};
 use mfmult::{structural, Format, FunctionalUnit, MultResult};
 
@@ -207,6 +208,30 @@ pub fn hardware_view(r: &MultResult) -> (u64, u64, u8) {
 
 /// Runs the campaign described by `config` and aggregates the report.
 pub fn fault_coverage(config: &FaultCoverageConfig) -> FaultCoverageReport {
+    fault_coverage_observed(config, None)
+}
+
+/// [`fault_coverage`] with live progress telemetry. When a `registry` is
+/// given, the campaign keeps the counters `faultcov.{sites_done,
+/// vectors, masked, detected, silent}` and the gauge
+/// `faultcov.detection_rate` current while it runs, so a long campaign
+/// can be watched from a metrics snapshot instead of waiting for the
+/// final report. The report itself is byte-identical to the unobserved
+/// run.
+pub fn fault_coverage_observed(
+    config: &FaultCoverageConfig,
+    registry: Option<&Registry>,
+) -> FaultCoverageReport {
+    let telemetry = registry.map(|r| {
+        (
+            r.counter("faultcov.sites_done"),
+            r.counter("faultcov.vectors"),
+            r.counter("faultcov.masked"),
+            r.counter("faultcov.detected"),
+            r.counter("faultcov.silent"),
+            r.gauge("faultcov.detection_rate"),
+        )
+    });
     let mut n = Netlist::new(TechLibrary::cmos45lp());
     let ports = if config.quad_lanes {
         structural::build_unit_quad(&mut n)
@@ -264,8 +289,25 @@ pub fn fault_coverage(config: &FaultCoverageConfig) -> FaultCoverageReport {
                     .get_mut(format_name(fmt))
                     .unwrap()
                     .record(outcome);
+                if let Some((_, vectors, masked, detected, silent, rate)) = &telemetry {
+                    vectors.inc();
+                    match outcome {
+                        FaultOutcome::Masked => masked.inc(),
+                        FaultOutcome::Detected => detected.inc(),
+                        FaultOutcome::Silent => silent.inc(),
+                    }
+                    let corrupted = detected.get() + silent.get();
+                    rate.set(if corrupted == 0 {
+                        1.0
+                    } else {
+                        detected.get() as f64 / corrupted as f64
+                    });
+                }
                 outcomes.push(outcome);
             }
+        }
+        if let Some((sites_done, ..)) = &telemetry {
+            sites_done.inc();
         }
         outcomes
     });
@@ -309,6 +351,28 @@ mod tests {
                 assert_eq!((raw.ph, raw.pl, raw.flags), golden, "round {round}: {op:?}");
             }
         }
+    }
+
+    #[test]
+    fn observed_campaign_matches_report_and_counters() {
+        let cfg = FaultCoverageConfig {
+            seed: 11,
+            sites: 4,
+            vectors_per_format: 1,
+            quad_lanes: false,
+        };
+        let registry = Registry::new();
+        let observed = fault_coverage_observed(&cfg, Some(&registry));
+        // Telemetry must not perturb the campaign.
+        assert_eq!(observed, fault_coverage(&cfg));
+        let totals = observed.blocks.totals();
+        assert_eq!(registry.counter("faultcov.sites_done").get(), 4);
+        assert_eq!(registry.counter("faultcov.vectors").get(), totals.ops());
+        assert_eq!(registry.counter("faultcov.masked").get(), totals.masked);
+        assert_eq!(registry.counter("faultcov.detected").get(), totals.detected);
+        assert_eq!(registry.counter("faultcov.silent").get(), totals.silent);
+        let rate = registry.gauge("faultcov.detection_rate").get();
+        assert!((rate - totals.detection_rate()).abs() < 1e-12);
     }
 
     #[test]

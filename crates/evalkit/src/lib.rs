@@ -13,6 +13,9 @@
 //! - [`faultcov`] — seeded stuck-at fault-coverage campaigns for the
 //!   self-checking unit (`mfmult::selfcheck`): per-block and per-format
 //!   masked/detected/silent classification.
+//! - [`runreport`] — machine-readable JSON run reports aggregating
+//!   netlist statistics, timing, power and telemetry snapshots (the
+//!   `--json` output of every table/figure binary).
 //!
 //! # Example
 //!
@@ -31,4 +34,5 @@
 pub mod experiments;
 pub mod faultcov;
 pub mod montecarlo;
+pub mod runreport;
 pub mod workload;

@@ -1,9 +1,11 @@
 //! Monte-Carlo power measurement: drive a netlist with a workload and
-//! derive activity-based power figures.
+//! derive activity-based power figures, optionally with a windowed
+//! convergence trace ([`measure_unit_traced`]).
 
 use crate::workload::OperandGen;
 use mfm_arith::MultiplierPorts;
-use mfm_gatesim::{Netlist, PowerBreakdown, PowerEstimator, Simulator};
+use mfm_gatesim::{LivePowerTrace, Netlist, PowerBreakdown, PowerEstimator, Simulator};
+use mfm_telemetry::Registry;
 use mfmult::{Format, StructuralPorts};
 
 /// Measures a combinational 64×64 multiplier: applies `vectors` uniform
@@ -103,6 +105,150 @@ pub fn measure_unit(
     }
 }
 
+/// One point of a Monte-Carlo convergence trace: the pJ/op observed in
+/// the most recent window plus the running statistics over all windows
+/// so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Total measured operations at this point.
+    pub ops: u64,
+    /// Energy per operation inside the last window, in picojoules.
+    pub window_pj_per_op: f64,
+    /// Running mean of the per-window pJ/op values.
+    pub mean_pj_per_op: f64,
+    /// Running sample standard deviation of the per-window values
+    /// (0 while fewer than two windows exist).
+    pub stddev_pj_per_op: f64,
+}
+
+/// Welford's online mean/variance accumulator — numerically stable
+/// running statistics without storing the samples.
+#[derive(Debug, Clone, Copy, Default)]
+struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// [`measure_unit`] plus observability: samples a
+/// [`LivePowerTrace`] every `window` operations and records the
+/// convergence of the Monte-Carlo estimate (running mean and stddev of
+/// the per-window pJ/op). When a `registry` is given, the gauges
+/// `mc.pj_per_op.{window, mean, stddev}` and the counter `mc.ops` are
+/// kept live while the measurement runs.
+///
+/// The returned [`PowerBreakdown`] is identical to what
+/// [`measure_unit`] computes for the same arguments.
+pub fn measure_unit_traced(
+    netlist: &Netlist,
+    ports: &StructuralPorts,
+    format: Format,
+    ops: usize,
+    seed: u64,
+    window: usize,
+    registry: Option<&Registry>,
+) -> (PowerBreakdown, Vec<ConvergencePoint>) {
+    assert!(window > 0, "window must be at least one operation");
+    let mut gen = OperandGen::new(seed);
+    let mut sim = Simulator::new(netlist);
+    let frmt = format.encoding() as u128;
+    let pipelined = ports.latency > 0;
+
+    // Warm-up (pipeline fill or first-vector settle), then measure from a
+    // clean activity baseline, exactly like `measure_unit`.
+    if pipelined {
+        for _ in 0..ports.latency {
+            let op = gen.operation(format);
+            sim.step_cycle(&[
+                (&ports.frmt, frmt),
+                (&ports.xa, op.xa as u128),
+                (&ports.yb, op.yb as u128),
+            ]);
+        }
+    } else {
+        let op = gen.operation(format);
+        sim.set_bus(&ports.frmt, frmt);
+        sim.set_bus(&ports.xa, op.xa as u128);
+        sim.set_bus(&ports.yb, op.yb as u128);
+        sim.settle();
+    }
+    sim.reset_activity();
+
+    let mut trace = LivePowerTrace::new(netlist, &sim);
+    let mut stats = Welford::default();
+    let mut points = Vec::new();
+    let (g_window, g_mean, g_stddev, c_ops) = match registry {
+        Some(r) => (
+            Some(r.gauge("mc.pj_per_op.window")),
+            Some(r.gauge("mc.pj_per_op.mean")),
+            Some(r.gauge("mc.pj_per_op.stddev")),
+            Some(r.counter("mc.ops")),
+        ),
+        None => (None, None, None, None),
+    };
+    if let Some(g) = &g_window {
+        trace = trace.with_gauge(g.clone());
+    }
+
+    for done in 1..=ops {
+        let op = gen.operation(format);
+        if pipelined {
+            sim.step_cycle(&[
+                (&ports.frmt, frmt),
+                (&ports.xa, op.xa as u128),
+                (&ports.yb, op.yb as u128),
+            ]);
+        } else {
+            sim.set_bus(&ports.xa, op.xa as u128);
+            sim.set_bus(&ports.yb, op.yb as u128);
+            sim.settle();
+        }
+        if let Some(c) = &c_ops {
+            c.inc();
+        }
+        if done.is_multiple_of(window) || done == ops {
+            if let Some(s) = trace.sample(&sim, done as u64) {
+                stats.push(s.pj_per_op);
+                let p = ConvergencePoint {
+                    ops: done as u64,
+                    window_pj_per_op: s.pj_per_op,
+                    mean_pj_per_op: stats.mean,
+                    stddev_pj_per_op: stats.stddev(),
+                };
+                if let Some(g) = &g_mean {
+                    g.set(p.mean_pj_per_op);
+                }
+                if let Some(g) = &g_stddev {
+                    g.set(p.stddev_pj_per_op);
+                }
+                points.push(p);
+            }
+        }
+    }
+    let measured_ops = if pipelined { sim.cycles() } else { ops as u64 };
+    (
+        PowerEstimator::from_activity(netlist, &sim, measured_ops),
+        points,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +293,32 @@ mod tests {
         assert!(
             e_b64 > e_single,
             "binary64 {e_b64:.1} pJ ≤ single b32 {e_single:.1} pJ"
+        );
+    }
+
+    #[test]
+    fn traced_measurement_matches_untraced_and_converges() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit(&mut n);
+        let registry = mfm_telemetry::Registry::new();
+        let plain = measure_unit(&n, &u, Format::Binary64, 24, 5);
+        let (traced, points) =
+            measure_unit_traced(&n, &u, Format::Binary64, 24, 5, 6, Some(&registry));
+        // Observability must not change the measurement.
+        assert_eq!(plain.dynamic_pj_per_op, traced.dynamic_pj_per_op);
+        assert_eq!(plain.clock_pj_per_op, traced.clock_pj_per_op);
+        assert_eq!(points.len(), 4);
+        let last = points.last().unwrap();
+        assert_eq!(last.ops, 24);
+        // The running mean over all windows equals the overall average.
+        let weighted: f64 = points.iter().map(|p| p.window_pj_per_op * 6.0).sum();
+        assert!((weighted / 24.0 - last.mean_pj_per_op).abs() < 1e-9);
+        assert!(last.stddev_pj_per_op >= 0.0);
+        // Gauges track the final point.
+        assert_eq!(registry.counter("mc.ops").get(), 24);
+        assert!((registry.gauge("mc.pj_per_op.mean").get() - last.mean_pj_per_op).abs() < 1e-12);
+        assert!(
+            (registry.gauge("mc.pj_per_op.window").get() - last.window_pj_per_op).abs() < 1e-12
         );
     }
 

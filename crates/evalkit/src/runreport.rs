@@ -1,0 +1,324 @@
+//! Machine-readable run reports: one JSON document per
+//! table/figure/campaign binary, aggregating netlist statistics, static
+//! timing, power breakdowns, rendered tables and a telemetry snapshot.
+//!
+//! Every report always carries the `area`, `power` and `telemetry`
+//! sections (empty objects when the run produced nothing for them), so
+//! downstream tooling can index the same keys across all binaries. The
+//! JSON is rendered with the dependency-free writer in
+//! [`mfm_telemetry::json`] and stays valid by construction; the test
+//! suite additionally checks it with [`mfm_telemetry::json::check`].
+//!
+//! ```
+//! use mfm_evalkit::runreport::RunReport;
+//!
+//! let mut r = RunReport::new("example");
+//! r.param("seed", "42");
+//! let json = r.to_json();
+//! assert!(mfm_telemetry::json::check(&json).is_ok());
+//! assert!(json.contains("\"area\":{}"));
+//! ```
+
+use std::io;
+use std::path::Path;
+
+use mfm_gatesim::report::Table;
+use mfm_gatesim::{Netlist, PowerBreakdown, StaReport};
+use mfm_telemetry::json::{JsonArray, JsonObject};
+use mfm_telemetry::Registry;
+
+/// Netlist statistics captured by [`RunReport::with_netlist`].
+#[derive(Debug, Clone)]
+struct AreaSection {
+    area_um2: f64,
+    area_nand2: f64,
+    cells: u64,
+    dffs: u64,
+    nets: u64,
+    by_block: Vec<(String, f64)>,
+}
+
+/// One labelled power measurement captured by [`RunReport::add_power`].
+#[derive(Debug, Clone)]
+struct PowerSection {
+    label: String,
+    breakdown: PowerBreakdown,
+}
+
+/// Timing numbers captured by [`RunReport::with_sta`].
+#[derive(Debug, Clone)]
+struct StaSection {
+    critical_delay_ps: f64,
+    min_period_ps: f64,
+    max_freq_mhz: f64,
+    segments: Vec<(String, f64, u64)>,
+}
+
+/// Aggregates everything one run produced into a single JSON document
+/// (and a Markdown summary). See the module docs for the layout.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    name: String,
+    params: Vec<(String, String)>,
+    area: Option<AreaSection>,
+    sta: Option<StaSection>,
+    power: Vec<PowerSection>,
+    tables: Vec<(String, Table)>,
+    telemetry: Option<String>,
+}
+
+impl RunReport {
+    /// Starts an empty report for the named run (typically the binary
+    /// name, e.g. `"table3"`).
+    pub fn new(name: &str) -> Self {
+        RunReport {
+            name: name.to_string(),
+            params: Vec::new(),
+            area: None,
+            sta: None,
+            power: Vec::new(),
+            tables: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Records one run parameter (seed, vector count, …). Parameters
+    /// keep insertion order.
+    pub fn param(&mut self, key: &str, value: &str) -> &mut Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Captures the netlist's size and area statistics into the `area`
+    /// section.
+    pub fn with_netlist(&mut self, netlist: &Netlist) -> &mut Self {
+        self.area = Some(AreaSection {
+            area_um2: netlist.area_um2(),
+            area_nand2: netlist.area_nand2(),
+            cells: netlist.cell_count() as u64,
+            dffs: netlist.dff_count() as u64,
+            nets: netlist.net_count() as u64,
+            by_block: netlist.area_by_block(),
+        });
+        self
+    }
+
+    /// Captures a static-timing report into the `sta` section.
+    pub fn with_sta(&mut self, sta: &StaReport) -> &mut Self {
+        self.sta = Some(StaSection {
+            critical_delay_ps: sta.critical_delay_ps,
+            min_period_ps: sta.min_period_ps,
+            max_freq_mhz: if sta.min_period_ps > 0.0 {
+                1e6 / sta.min_period_ps
+            } else {
+                0.0
+            },
+            segments: sta
+                .segments
+                .iter()
+                .map(|s| (s.block.clone(), s.delay_ps, s.cells as u64))
+                .collect(),
+        });
+        self
+    }
+
+    /// Adds one labelled power measurement to the `power` section
+    /// (e.g. one entry per format for a Table V style run).
+    pub fn add_power(&mut self, label: &str, p: &PowerBreakdown) -> &mut Self {
+        self.power.push(PowerSection {
+            label: label.to_string(),
+            breakdown: p.clone(),
+        });
+        self
+    }
+
+    /// Attaches a snapshot of the registry's current metric values as
+    /// the `telemetry` section. Call last, after the instrumented work
+    /// has run.
+    pub fn with_telemetry(&mut self, registry: &Registry) -> &mut Self {
+        self.telemetry = Some(registry.snapshot_json());
+        self
+    }
+
+    /// Adds a rendered result table (serialized as headers plus rows).
+    pub fn add_table(&mut self, title: &str, table: Table) -> &mut Self {
+        self.tables.push((title.to_string(), table));
+        self
+    }
+
+    /// Renders the whole report as a single JSON object. The `area`,
+    /// `power` and `telemetry` keys are always present.
+    pub fn to_json(&self) -> String {
+        let mut root = JsonObject::new();
+        root.field_str("report", &self.name);
+
+        let mut params = JsonObject::new();
+        for (k, v) in &self.params {
+            params.field_str(k, v);
+        }
+        root.field_raw("params", &params.finish());
+
+        let mut area = JsonObject::new();
+        if let Some(a) = &self.area {
+            area.field_f64("area_um2", a.area_um2)
+                .field_f64("area_nand2", a.area_nand2)
+                .field_u64("cells", a.cells)
+                .field_u64("dffs", a.dffs)
+                .field_u64("nets", a.nets);
+            let mut blocks = JsonObject::new();
+            for (name, um2) in &a.by_block {
+                blocks.field_f64(name, *um2);
+            }
+            area.field_raw("by_block_um2", &blocks.finish());
+        }
+        root.field_raw("area", &area.finish());
+
+        if let Some(s) = &self.sta {
+            let mut sta = JsonObject::new();
+            sta.field_f64("critical_delay_ps", s.critical_delay_ps)
+                .field_f64("min_period_ps", s.min_period_ps)
+                .field_f64("max_freq_mhz", s.max_freq_mhz);
+            let mut segs = JsonArray::new();
+            for (block, delay, cells) in &s.segments {
+                let mut seg = JsonObject::new();
+                seg.field_str("block", block)
+                    .field_f64("delay_ps", *delay)
+                    .field_u64("cells", *cells);
+                segs.push_raw(&seg.finish());
+            }
+            sta.field_raw("segments", &segs.finish());
+            root.field_raw("sta", &sta.finish());
+        }
+
+        let mut power = JsonObject::new();
+        for s in &self.power {
+            let p = &s.breakdown;
+            let mut o = JsonObject::new();
+            o.field_u64("ops", p.ops)
+                .field_f64("dynamic_pj_per_op", p.dynamic_pj_per_op)
+                .field_f64("clock_pj_per_op", p.clock_pj_per_op)
+                .field_f64("energy_pj_per_op", p.energy_pj_per_op())
+                .field_f64("leakage_mw", p.leakage_mw)
+                .field_f64("total_mw_at_100mhz", p.total_mw_at(100.0))
+                .field_f64("transitions_per_op", p.transitions_per_op);
+            let mut blocks = JsonObject::new();
+            for (name, pj) in &p.per_block_pj {
+                blocks.field_f64(name, *pj);
+            }
+            o.field_raw("per_block_pj", &blocks.finish());
+            power.field_raw(&s.label, &o.finish());
+        }
+        root.field_raw("power", &power.finish());
+
+        let mut tables = JsonArray::new();
+        for (title, t) in &self.tables {
+            let mut o = JsonObject::new();
+            o.field_str("title", title);
+            let mut headers = JsonArray::new();
+            for h in t.headers() {
+                headers.push_str(h);
+            }
+            o.field_raw("headers", &headers.finish());
+            let mut rows = JsonArray::new();
+            for row in t.rows() {
+                let mut cells = JsonArray::new();
+                for c in row {
+                    cells.push_str(c);
+                }
+                rows.push_raw(&cells.finish());
+            }
+            o.field_raw("rows", &rows.finish());
+            tables.push_raw(&o.finish());
+        }
+        root.field_raw("tables", &tables.finish());
+
+        root.field_raw("telemetry", self.telemetry.as_deref().unwrap_or("{}"));
+        root.finish()
+    }
+
+    /// Renders a short Markdown summary: the parameters and every table
+    /// (via [`Table::to_markdown`]).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("# Run report: {}\n\n", self.name);
+        if !self.params.is_empty() {
+            for (k, v) in &self.params {
+                out.push_str(&format!("- `{k}` = {v}\n"));
+            }
+            out.push('\n');
+        }
+        if let Some(a) = &self.area {
+            out.push_str(&format!(
+                "Area {:.0} µm² ({:.0} NAND2-eq), {} cells, {} DFFs.\n\n",
+                a.area_um2, a.area_nand2, a.cells, a.dffs
+            ));
+        }
+        for (title, t) in &self.tables {
+            out.push_str(&format!("## {title}\n\n{}\n", t.to_markdown()));
+        }
+        out
+    }
+
+    /// Writes the JSON document to `path`, creating parent directories
+    /// as needed.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{PowerEstimator, Simulator, TechLibrary, TimingAnalysis};
+    use mfmult::structural::build_unit;
+
+    #[test]
+    fn empty_report_has_required_sections() {
+        let r = RunReport::new("empty");
+        let json = r.to_json();
+        mfm_telemetry::json::check(&json).expect("well-formed");
+        for key in ["\"area\":{}", "\"power\":{}", "\"telemetry\":{}"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn full_report_is_well_formed_json() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut sim = Simulator::new(&n);
+        sim.set_bus(&ports.xa, 3);
+        sim.set_bus(&ports.yb, 5);
+        sim.settle();
+        let power = PowerEstimator::from_activity(&n, &sim, 1);
+        let sta = TimingAnalysis::new(&n).report();
+        let registry = Registry::new();
+        registry.counter("x.y").add(3);
+
+        let mut r = RunReport::new("full");
+        r.param("seed", "0x2a")
+            .with_netlist(&n)
+            .with_sta(&sta)
+            .add_power("int64", &power)
+            .with_telemetry(&registry);
+        let mut t = Table::new(&["k", "v"]);
+        t.row(&["cells", "many\"quoted\""]);
+        r.add_table("Demo", t);
+
+        let json = r.to_json();
+        mfm_telemetry::json::check(&json).expect("well-formed");
+        assert!(json.contains("\"report\":\"full\""));
+        assert!(json.contains("\"area_um2\":"));
+        assert!(json.contains("\"critical_delay_ps\":"));
+        assert!(json.contains("\"int64\":{\"ops\":1"));
+        assert!(json.contains("\"x.y\":3"));
+        assert!(json.contains("many\\\"quoted\\\""));
+        let md = r.to_markdown();
+        assert!(md.contains("# Run report: full"));
+        assert!(md.contains("| k | v |"));
+    }
+}

@@ -57,7 +57,7 @@ pub mod vector;
 
 pub use fault::{CampaignRunner, CampaignStats, FaultKind, FaultOutcome, FaultSite};
 pub use netlist::{BlockId, CellId, NetId, Netlist};
-pub use power::{PowerBreakdown, PowerEstimator};
+pub use power::{LivePowerTrace, PowerBreakdown, PowerEstimator, PowerSample};
 pub use sim::Simulator;
 pub use sta::{StaReport, TimingAnalysis};
 pub use tech::{CellKind, TechLibrary};

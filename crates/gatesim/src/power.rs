@@ -10,6 +10,7 @@
 use crate::netlist::Netlist;
 use crate::sim::Simulator;
 use crate::tech::CellKind;
+use mfm_telemetry::Gauge;
 use std::collections::HashMap;
 
 /// Energy and power figures derived from one activity measurement.
@@ -119,6 +120,145 @@ impl PowerEstimator {
     }
 }
 
+/// One window of the live power trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Operation count at the end of this window (caller's op space).
+    pub ops_end: u64,
+    /// Operations inside the window.
+    pub window_ops: u64,
+    /// Average energy per operation inside the window, in picojoules
+    /// (dynamic switching + clock).
+    pub pj_per_op: f64,
+}
+
+/// A sliding-window pJ/op power trace over a running simulation.
+///
+/// [`PowerEstimator::from_activity`] reports only the final average;
+/// this tracer lets activity be observed *over time*: call
+/// [`LivePowerTrace::sample`] at window boundaries and each call yields
+/// the energy per operation of just that window, computed from the
+/// toggle deltas since the previous call. Per-net energy weights
+/// (cell self energy on the output net plus fanout pin energy on every
+/// driven input) are precomputed once, so a sample costs one pass over
+/// the net array — pay it at window granularity, not per vector.
+///
+/// The baseline is the simulator's activity state at construction time:
+/// build the tracer after warm-up (or after
+/// [`Simulator::reset_activity`]).
+#[derive(Debug)]
+pub struct LivePowerTrace {
+    /// Energy charged per toggle of each net, fJ.
+    weights_fj: Vec<f64>,
+    /// Clock energy per cycle (all DFFs), fJ.
+    clock_fj_per_cycle: f64,
+    last_toggles: Vec<u64>,
+    last_cycles: u64,
+    last_ops: u64,
+    samples: Vec<PowerSample>,
+    gauge: Option<Gauge>,
+}
+
+impl LivePowerTrace {
+    /// Builds a tracer baselined on `sim`'s current activity counters.
+    pub fn new(netlist: &Netlist, sim: &Simulator<'_>) -> Self {
+        let tech = netlist.tech();
+        let mut weights_fj = vec![0.0f64; netlist.net_count()];
+        for cell in netlist.cells() {
+            let p = tech.params(cell.kind);
+            weights_fj[cell.output.index()] += p.energy_fj;
+            for &inp in &cell.inputs[..cell.kind.arity()] {
+                weights_fj[inp.index()] += p.input_fj;
+            }
+        }
+        LivePowerTrace {
+            weights_fj,
+            clock_fj_per_cycle: netlist.dff_count() as f64 * tech.dff_clock_energy_fj,
+            last_toggles: sim.toggles().to_vec(),
+            last_cycles: sim.cycles(),
+            last_ops: 0,
+            samples: Vec::new(),
+            gauge: None,
+        }
+    }
+
+    /// Mirrors each window's pJ/op into `gauge` (e.g. a registry's
+    /// `power.live_pj_per_op`).
+    pub fn with_gauge(mut self, gauge: Gauge) -> Self {
+        self.gauge = Some(gauge);
+        self
+    }
+
+    /// Closes the current window at `ops_total` operations (the
+    /// caller's cumulative count) and returns its sample, or `None`
+    /// when no operation completed since the last call.
+    ///
+    /// If the simulator's activity was reset since the last sample, the
+    /// window is unmeasurable: the tracer rebases and returns `None`.
+    pub fn sample(&mut self, sim: &Simulator<'_>, ops_total: u64) -> Option<PowerSample> {
+        let window_ops = ops_total.saturating_sub(self.last_ops);
+        let toggles = sim.toggles();
+        let reset_detected = sim.cycles() < self.last_cycles
+            || toggles
+                .iter()
+                .zip(&self.last_toggles)
+                .any(|(&now, &last)| now < last);
+        if reset_detected {
+            self.last_toggles.copy_from_slice(toggles);
+            self.last_cycles = sim.cycles();
+            self.last_ops = ops_total;
+            return None;
+        }
+        if window_ops == 0 {
+            return None;
+        }
+        let mut fj = (sim.cycles() - self.last_cycles) as f64 * self.clock_fj_per_cycle;
+        for (i, (&now, last)) in toggles.iter().zip(self.last_toggles.iter_mut()).enumerate() {
+            let delta = now - *last;
+            if delta != 0 {
+                fj += delta as f64 * self.weights_fj[i];
+                *last = now;
+            }
+        }
+        self.last_cycles = sim.cycles();
+        self.last_ops = ops_total;
+        let s = PowerSample {
+            ops_end: ops_total,
+            window_ops,
+            pj_per_op: fj / 1000.0 / window_ops as f64,
+        };
+        if let Some(g) = &self.gauge {
+            g.set(s.pj_per_op);
+        }
+        self.samples.push(s);
+        Some(s)
+    }
+
+    /// Every sample taken so far, in order.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// The most recent window's pJ/op, if any.
+    pub fn latest_pj_per_op(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.pj_per_op)
+    }
+
+    /// Ops-weighted mean pJ/op over all samples (0.0 when empty).
+    pub fn mean_pj_per_op(&self) -> f64 {
+        let ops: u64 = self.samples.iter().map(|s| s.window_ops).sum();
+        if ops == 0 {
+            return 0.0;
+        }
+        let pj: f64 = self
+            .samples
+            .iter()
+            .map(|s| s.pj_per_op * s.window_ops as f64)
+            .sum();
+        pj / ops as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +321,56 @@ mod tests {
         let p880 = p.dynamic_mw_at(880.0);
         assert!((p880 / p100 - 8.8).abs() < 1e-9);
         assert!(p.total_mw_at(100.0) > p100, "leakage adds on top");
+    }
+
+    #[test]
+    fn live_trace_windows_sum_to_estimator_total() {
+        // The ops-weighted mean of the live trace must equal the final
+        // PowerEstimator average over the same run — same activity,
+        // same weights, just accumulated window by window.
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.xor2(a, b);
+        let d = n.dff(x);
+        n.output_bus("q", &[d]);
+        let mut sim = Simulator::new(&n);
+        let mut trace = LivePowerTrace::new(&n, &sim);
+        let mut ops = 0u64;
+        for i in 0..12u128 {
+            sim.step_cycle(&[(&[a, b], i % 4)]);
+            ops += 1;
+            if ops.is_multiple_of(3) {
+                assert!(trace.sample(&sim, ops).is_some());
+            }
+        }
+        let p = PowerEstimator::from_activity(&n, &sim, sim.cycles());
+        assert_eq!(trace.samples().len(), 4);
+        assert!((trace.mean_pj_per_op() - p.energy_pj_per_op()).abs() < 1e-9);
+        assert!(trace.latest_pj_per_op().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn live_trace_handles_empty_window_and_reset() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input("a");
+        let y = n.not(a);
+        n.output_bus("y", &[y]);
+        let mut sim = Simulator::new(&n);
+        let mut trace = LivePowerTrace::new(&n, &sim);
+        assert_eq!(trace.sample(&sim, 0), None, "no ops yet");
+        sim.set_net(a, true);
+        sim.settle();
+        assert!(trace.sample(&sim, 1).is_some());
+        // An activity reset makes the next window unmeasurable; the
+        // tracer rebases instead of producing a bogus sample.
+        sim.set_net(a, false);
+        sim.settle();
+        sim.reset_activity();
+        assert_eq!(trace.sample(&sim, 2), None);
+        sim.set_net(a, true);
+        sim.settle();
+        assert!(trace.sample(&sim, 3).is_some());
     }
 
     #[test]

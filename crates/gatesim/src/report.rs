@@ -47,6 +47,78 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The body rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Whether a cell reads as a number — possibly carrying one of the
+    /// unit suffixes the report binaries print (`%`, `K`, `x`). Numeric
+    /// cells are right-aligned so magnitudes line up by digit.
+    fn is_numeric(cell: &str) -> bool {
+        let t = cell.trim();
+        let t = t.strip_suffix(['%', 'K', 'x']).unwrap_or(t);
+        !t.is_empty() && t.parse::<f64>().is_ok()
+    }
+
+    /// Whether every non-empty body cell of column `i` is numeric
+    /// (empty columns stay left-aligned).
+    fn column_is_numeric(&self, i: usize) -> bool {
+        let mut seen = false;
+        for row in &self.rows {
+            if let Some(cell) = row.get(i) {
+                if cell.is_empty() {
+                    continue;
+                }
+                if !Self::is_numeric(cell) {
+                    return false;
+                }
+                seen = true;
+            }
+        }
+        seen
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown, right-aligning
+    /// numeric columns. Pipes inside cells are escaped.
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let cols = self.widths().len();
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let _ = write!(out, "|");
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, " {} |", esc(cell));
+            }
+            let _ = writeln!(out);
+        };
+        line(&self.headers, &mut out);
+        let _ = write!(out, "|");
+        for i in 0..cols {
+            let _ = write!(
+                out,
+                "{}|",
+                if self.column_is_numeric(i) {
+                    "---:"
+                } else {
+                    "---"
+                }
+            );
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
     fn widths(&self) -> Vec<usize> {
         let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
@@ -70,20 +142,24 @@ impl fmt::Display for Table {
             .map(|&n| "-".repeat(n + 2))
             .collect::<Vec<_>>()
             .join("+");
-        let fmt_row = |cells: &[String]| -> String {
+        let fmt_row = |cells: &[String], align_numeric: bool| -> String {
             w.iter()
                 .enumerate()
                 .map(|(i, &n)| {
                     let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                    format!(" {cell:<n$} ")
+                    if align_numeric && Table::is_numeric(cell) {
+                        format!(" {cell:>n$} ")
+                    } else {
+                        format!(" {cell:<n$} ")
+                    }
                 })
                 .collect::<Vec<_>>()
                 .join("|")
         };
-        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", fmt_row(&self.headers, false))?;
         writeln!(f, "{sep}")?;
         for row in &self.rows {
-            writeln!(f, "{}", fmt_row(row))?;
+            writeln!(f, "{}", fmt_row(row, true))?;
         }
         Ok(())
     }
@@ -102,6 +178,39 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0].len(), lines[2].len());
         assert!(lines[1].chars().all(|c| c == '-' || c == '+'));
+    }
+
+    #[test]
+    fn numeric_cells_right_align() {
+        let mut t = Table::new(&["format", "power [mW]"]);
+        t.row(&["int64", "8.90"]);
+        t.row(&["binary64", "107.25"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // Both numbers end at the same column (right-aligned)...
+        let end = |l: &str| l.trim_end().len();
+        assert_eq!(end(lines[2]), end(lines[3]));
+        // ...while the label column stays left-aligned.
+        assert!(lines[2].starts_with(" int64 "));
+        // Suffixed numbers count as numeric, words do not.
+        assert!(Table::is_numeric(" 12.5% "));
+        assert!(Table::is_numeric("1.38x"));
+        assert!(Table::is_numeric("170K"));
+        assert!(!Table::is_numeric("int64"));
+        assert!(!Table::is_numeric("%"));
+    }
+
+    #[test]
+    fn markdown_marks_numeric_columns() {
+        let mut t = Table::new(&["name", "pJ/op", "note"]);
+        t.row(&["a|b", "1.5", "ok"]);
+        t.row(&["c", "2", ""]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| name | pJ/op | note |");
+        assert_eq!(lines[1], "|---|---:|---|");
+        assert!(lines[2].contains("a\\|b"));
+        assert_eq!(lines[3], "| c | 2 |  |");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::netlist::{Driver, NetId, Netlist};
 use crate::tech::CellKind;
+use mfm_telemetry::{Counter, Histogram, Registry};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -30,6 +31,57 @@ use std::collections::{BTreeMap, BinaryHeap};
 type Time = u64;
 
 const TIME_SCALE: f64 = 10.0; // ticks per picosecond
+
+/// Telemetry handles held by an instrumented simulator (see
+/// [`Simulator::attach_telemetry`]). When absent, the hot loop pays a
+/// single `Option` branch per settle — nothing else.
+#[derive(Debug)]
+struct SimTelemetry {
+    /// `sim.settles` — settle passes completed.
+    settles: Counter,
+    /// `sim.events` — committed transitions (includes glitches).
+    events: Counter,
+    /// `sim.cycles` — clock edges issued.
+    cycles: Counter,
+    /// `sim.settle_events` — committed transitions per settle pass.
+    settle_events: Histogram,
+    /// Settles per per-block toggle-accumulation window.
+    window: u64,
+    /// Settles seen since the last window flush.
+    settles_in_window: u64,
+    /// `sim.block_toggles.<BLOCK>` counters, indexed by block slot.
+    block_toggles: Vec<Counter>,
+    /// Top-level block slot per net (`u32::MAX` for input/const nets).
+    net_block: Vec<u32>,
+    /// Toggle snapshot at the last window flush.
+    last_toggles: Vec<u64>,
+}
+
+impl SimTelemetry {
+    /// Accumulates per-block toggle deltas since the last flush into
+    /// the `sim.block_toggles.*` counters and rebases the snapshot.
+    fn flush_blocks(&mut self, toggles: &[u64]) {
+        self.settles_in_window = 0;
+        let mut per_block = vec![0u64; self.block_toggles.len()];
+        for (ni, (&now, last)) in toggles.iter().zip(self.last_toggles.iter_mut()).enumerate() {
+            // `saturating_sub` guards against a snapshot staled by
+            // `reset_activity` (which rebases the snapshot itself).
+            let delta = now.saturating_sub(*last);
+            *last = now;
+            if delta != 0 {
+                let slot = self.net_block[ni];
+                if slot != u32::MAX {
+                    per_block[slot as usize] += delta;
+                }
+            }
+        }
+        for (counter, n) in self.block_toggles.iter().zip(per_block) {
+            if n != 0 {
+                counter.add(n);
+            }
+        }
+    }
+}
 
 /// A fault overlaid on one net (see [`Simulator::inject_stuck_at`] and
 /// [`Simulator::inject_transient`]).
@@ -73,6 +125,9 @@ pub struct Simulator<'a> {
     /// Faults overlaid on nets, keyed by net index. A `BTreeMap` keeps
     /// iteration (and thus event ordering on clear) deterministic.
     faults: BTreeMap<u32, ActiveFault>,
+    /// Metrics handles, when attached (see
+    /// [`Simulator::attach_telemetry`]).
+    telemetry: Option<SimTelemetry>,
 }
 
 impl<'a> Simulator<'a> {
@@ -125,6 +180,7 @@ impl<'a> Simulator<'a> {
             trace: None,
             trace_initial: Vec::new(),
             faults: BTreeMap::new(),
+            telemetry: None,
         };
         // Constant-1 net.
         sim.values[netlist.one().index()] = true;
@@ -140,6 +196,66 @@ impl<'a> Simulator<'a> {
     /// The netlist being simulated.
     pub fn netlist(&self) -> &'a Netlist {
         self.netlist
+    }
+
+    /// Attaches metrics to this simulator:
+    ///
+    /// - counters `sim.settles`, `sim.events`, `sim.cycles`;
+    /// - histogram `sim.settle_events` (committed transitions per
+    ///   settle pass — the glitching profile);
+    /// - counters `sim.block_toggles.<BLOCK>` per top-level netlist
+    ///   block, accumulated every `window` settles (per-settle
+    ///   attribution would scan every net on the hot path).
+    ///
+    /// Re-attaching replaces the previous registration (flushing it
+    /// first). Without telemetry the simulator pays one `Option`
+    /// branch per settle.
+    pub fn attach_telemetry(&mut self, registry: &Registry, window: u64) {
+        self.flush_telemetry();
+        let mut names: Vec<&str> = Vec::new();
+        let mut net_block = vec![u32::MAX; self.netlist.net_count()];
+        for cell in self.netlist.cells() {
+            let name = self.netlist.top_level_block_name(cell.block);
+            let slot = names.iter().position(|&n| n == name).unwrap_or_else(|| {
+                names.push(name);
+                names.len() - 1
+            });
+            net_block[cell.output.index()] = slot as u32;
+        }
+        let block_toggles = names
+            .iter()
+            .map(|n| registry.counter(&format!("sim.block_toggles.{n}")))
+            .collect();
+        self.telemetry = Some(SimTelemetry {
+            settles: registry.counter("sim.settles"),
+            events: registry.counter("sim.events"),
+            cycles: registry.counter("sim.cycles"),
+            settle_events: registry.histogram("sim.settle_events"),
+            window: window.max(1),
+            settles_in_window: 0,
+            block_toggles,
+            net_block,
+            last_toggles: self.toggles.clone(),
+        });
+    }
+
+    /// Forces a per-block toggle flush mid-window (call before taking a
+    /// registry snapshot). No-op when no telemetry is attached.
+    pub fn flush_telemetry(&mut self) {
+        if let Some(t) = &mut self.telemetry {
+            t.flush_blocks(&self.toggles);
+        }
+    }
+
+    /// Flushes and removes the attached telemetry, if any.
+    pub fn detach_telemetry(&mut self) {
+        self.flush_telemetry();
+        self.telemetry = None;
+    }
+
+    /// Whether telemetry is attached.
+    pub fn has_telemetry(&self) -> bool {
+        self.telemetry.is_some()
     }
 
     #[inline]
@@ -325,6 +441,15 @@ impl<'a> Simulator<'a> {
             }
         }
         self.events += committed;
+        if let Some(t) = &mut self.telemetry {
+            t.settles.inc();
+            t.events.add(committed);
+            t.settle_events.observe(committed as f64);
+            t.settles_in_window += 1;
+            if t.settles_in_window >= t.window {
+                t.flush_blocks(&self.toggles);
+            }
+        }
         committed
     }
 
@@ -358,6 +483,9 @@ impl<'a> Simulator<'a> {
             self.set_bus(bus, *value);
         }
         self.cycles += 1;
+        if let Some(t) = &self.telemetry {
+            t.cycles.inc();
+        }
         self.settle()
     }
 
@@ -396,7 +524,15 @@ impl<'a> Simulator<'a> {
 
     /// Clears all activity counters (toggles, events, cycles) without
     /// touching net state. Call after warm-up vectors.
+    ///
+    /// Attached telemetry counters are *not* cleared (registry metrics
+    /// are monotonic); pending per-block toggles are flushed and the
+    /// window snapshot rebased so later windows stay consistent.
     pub fn reset_activity(&mut self) {
+        if let Some(t) = &mut self.telemetry {
+            t.flush_blocks(&self.toggles);
+            t.last_toggles.iter_mut().for_each(|v| *v = 0);
+        }
         self.toggles.iter_mut().for_each(|t| *t = 0);
         self.events = 0;
         self.cycles = 0;
@@ -610,6 +746,58 @@ mod tests {
         sim.step_cycle(&[(&[d], 1)]);
         sim.step_cycle(&[(&[d], 1)]);
         assert!(sim.read_net(q), "repairing the fault restores operation");
+    }
+
+    #[test]
+    fn telemetry_counts_settles_events_cycles() {
+        use mfm_telemetry::Registry;
+        let mut n = fresh();
+        let a = n.input("a");
+        let y = n.in_block("BLK", |n| n.not(a));
+        let d = n.dff(y);
+        let _ = d;
+        let reg = Registry::new();
+        let mut sim = Simulator::new(&n);
+        sim.attach_telemetry(&reg, 2);
+        for i in 0..4u128 {
+            sim.step_cycle(&[(&[a], i & 1)]);
+        }
+        assert_eq!(reg.counter("sim.cycles").get(), 4);
+        assert_eq!(reg.counter("sim.settles").get(), 4);
+        assert_eq!(reg.counter("sim.events").get(), sim.total_events());
+        assert_eq!(reg.histogram("sim.settle_events").count(), 4);
+        // Windowed per-block attribution: after a flush, the BLK counter
+        // carries exactly the inverter output's toggles.
+        sim.flush_telemetry();
+        assert_eq!(
+            reg.counter("sim.block_toggles.BLK").get(),
+            sim.toggles()[y.index()]
+        );
+        let s = reg.snapshot_json();
+        mfm_telemetry::json::check(&s).unwrap();
+    }
+
+    #[test]
+    fn telemetry_survives_activity_reset() {
+        use mfm_telemetry::Registry;
+        let mut n = fresh();
+        let a = n.input("a");
+        let y = n.in_block("B", |n| n.not(a));
+        let reg = Registry::new();
+        let mut sim = Simulator::new(&n);
+        sim.attach_telemetry(&reg, 1000); // window never fires on its own
+        sim.set_net(a, true);
+        sim.settle();
+        let toggles_before = sim.toggles()[y.index()];
+        sim.reset_activity(); // must flush pending deltas, not drop them
+        sim.set_net(a, false);
+        sim.settle();
+        sim.flush_telemetry();
+        assert_eq!(
+            reg.counter("sim.block_toggles.B").get(),
+            toggles_before + sim.toggles()[y.index()],
+            "registry metrics are monotonic across reset_activity"
+        );
     }
 
     #[test]

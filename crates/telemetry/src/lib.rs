@@ -1,0 +1,45 @@
+//! Lightweight, dependency-free telemetry for the mfm workspace.
+//!
+//! The paper's entire evaluation is observational — switching-activity
+//! power, per-format energy, critical-path breakdowns — so every layer of
+//! this reproduction (gate-level simulator, power estimator, self-checking
+//! unit, Monte-Carlo campaigns) emits structured metrics through this
+//! crate instead of only printing prose tables.
+//!
+//! - [`metrics`] — the instrument types: [`Counter`], [`Gauge`] and
+//!   [`Histogram`]. Handles are cheap `Arc`-backed clones; recording is a
+//!   relaxed atomic operation, so instrumented hot loops pay almost
+//!   nothing, and components that hold *no* handle pay only an
+//!   `Option` branch.
+//! - [`registry`] — the [`Registry`] that names instruments, times nested
+//!   [`Span`]s, and renders everything as a JSON-lines snapshot
+//!   ([`Registry::snapshot_json`]) or Prometheus-style text exposition
+//!   ([`Registry::prometheus`]).
+//! - [`json`] — the hand-rolled JSON writer the workspace uses for every
+//!   machine-readable artifact (no serde), plus a minimal well-formedness
+//!   checker used by tests and tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use mfm_telemetry::Registry;
+//!
+//! let reg = Registry::new();
+//! let ops = reg.counter("unit.ops");
+//! let pj = reg.gauge("power.live_pj_per_op");
+//! ops.add(3);
+//! pj.set(17.25);
+//! let line = reg.snapshot_json();
+//! assert!(line.contains("\"unit.ops\":3"));
+//! mfm_telemetry::json::check(&line).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{Registry, Span};

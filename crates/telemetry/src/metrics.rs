@@ -1,0 +1,279 @@
+//! The instrument types: counters, gauges and histograms.
+//!
+//! Handles are `Arc`-backed clones sharing one atomic cell, so a
+//! component can keep its handle across the lifetime of a run while the
+//! registry snapshots concurrently. All updates use relaxed atomics —
+//! the workspace's simulators are single-threaded and only need the
+//! cheapest possible record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64`.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` value (stored as bits in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a gauge starting at 0.0.
+    pub fn new() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` to the current value.
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bucket bounds (inclusive, ascending); an implicit +Inf
+    /// bucket follows.
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Σ observed values, f64 bits updated by CAS.
+    sum: AtomicU64,
+    /// Minimum observed value, f64 bits.
+    min: AtomicU64,
+    /// Maximum observed value, f64 bits.
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// The default bounds form a 1-2-5 decade ladder from 1 to 5·10⁸, which
+/// suits the workspace's typical observations (events per settle,
+/// span microseconds, toggles per window).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the default 1-2-5 decade bounds.
+    pub fn new() -> Self {
+        let mut bounds = Vec::new();
+        let mut decade = 1.0f64;
+        for _ in 0..9 {
+            for m in [1.0, 2.0, 5.0] {
+                bounds.push(m * decade);
+            }
+            decade *= 10.0;
+        }
+        Self::with_bounds(&bounds)
+    }
+
+    /// Creates a histogram with explicit ascending upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let h = &*self.0;
+        let idx = h.bounds.partition_point(|&b| b < v);
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        cas_f64(&h.sum, |s| s + v);
+        cas_f64(&h.min, |m| m.min(v));
+        cas_f64(&h.max, |m| m.max(v));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then(|| f64::from_bits(self.0.min.load(Ordering::Relaxed)))
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then(|| f64::from_bits(self.0.max.load(Ordering::Relaxed)))
+    }
+
+    /// The configured upper bounds (the +Inf bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket counts, one per bound plus the final +Inf bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (0 ≤ q ≤ 1), or `None` when empty. Bucket-resolution only.
+    pub fn quantile_bound(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(self.0.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+fn cas_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_set_add_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.add(1.0);
+        assert_eq!(g.get(), 3.5);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 3.0, 50.0, 1000.0] {
+            h.observe(v);
+        }
+        // ≤1: {0.5, 1.0}; ≤10: {3.0}; ≤100: {50.0}; +Inf: {1000.0}.
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1054.5);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(1000.0));
+        assert_eq!(h.quantile_bound(0.5), Some(10.0));
+        assert_eq!(h.quantile_bound(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile_bound(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::with_bounds(&[2.0, 1.0]);
+    }
+}

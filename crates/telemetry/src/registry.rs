@@ -1,0 +1,314 @@
+//! The metrics registry: named instruments, nested timed spans, and the
+//! two export encodings (JSON-lines snapshots and Prometheus-style text).
+
+use crate::json::{num, JsonArray, JsonObject};
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Stack of open span names; a span's metric name is the
+    /// '.'-joined path, so nesting shows up as `outer.inner`.
+    span_stack: Vec<String>,
+}
+
+/// A registry of named metrics.
+///
+/// Cloning is cheap (an `Rc` handle) and all clones share the same
+/// instruments. Instrument getters are create-or-lookup: asking twice
+/// for the same name returns handles to the same underlying cell.
+/// Registered names are rendered in sorted order, so snapshots are
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating if necessary) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .borrow_mut()
+            .counters
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating if necessary) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .borrow_mut()
+            .gauges
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating if necessary) the histogram named `name`, with
+    /// the default 1-2-5 decade buckets.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating if necessary) the histogram named `name` with
+    /// explicit bucket bounds. Bounds are fixed at first creation;
+    /// later calls return the existing instrument unchanged.
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .clone()
+    }
+
+    /// Opens a timed span. The elapsed wall time in microseconds is
+    /// recorded into a histogram when the returned guard drops; nested
+    /// spans record under their '.'-joined path:
+    ///
+    /// ```
+    /// use mfm_telemetry::Registry;
+    /// let reg = Registry::new();
+    /// {
+    ///     let _outer = reg.span("build");
+    ///     let _inner = reg.span("sta"); // records as "span.build.sta"
+    /// }
+    /// assert!(reg.snapshot_json().contains("span.build.sta"));
+    /// ```
+    pub fn span(&self, name: &str) -> Span {
+        let path = {
+            let mut inner = self.inner.borrow_mut();
+            let path = if inner.span_stack.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{}.{}", inner.span_stack.join("."), name)
+            };
+            inner.span_stack.push(name.to_owned());
+            path
+        };
+        let hist = self.histogram(&format!("span.{path}"));
+        Span {
+            registry: self.clone(),
+            hist,
+            started: Instant::now(),
+        }
+    }
+
+    /// Renders every metric as one JSON object on a single line —
+    /// suitable for JSON-lines streaming.
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut counters = JsonObject::new();
+        for (name, c) in &inner.counters {
+            counters.field_u64(name, c.get());
+        }
+        let mut gauges = JsonObject::new();
+        for (name, g) in &inner.gauges {
+            gauges.field_f64(name, g.get());
+        }
+        let mut hists = JsonObject::new();
+        for (name, h) in &inner.histograms {
+            let mut o = JsonObject::new();
+            o.field_u64("count", h.count())
+                .field_f64("sum", h.sum())
+                .field_f64("mean", h.mean())
+                .field_f64("min", h.min().unwrap_or(0.0))
+                .field_f64("max", h.max().unwrap_or(0.0));
+            let mut buckets = JsonArray::new();
+            let counts = h.bucket_counts();
+            for (i, &n) in counts.iter().enumerate() {
+                if n == 0 {
+                    continue; // sparse encoding: only occupied buckets
+                }
+                let mut b = JsonObject::new();
+                match h.bounds().get(i) {
+                    Some(&le) => b.field_f64("le", le),
+                    None => b.field_str("le", "+Inf"),
+                };
+                b.field_u64("n", n);
+                buckets.push_raw(&b.finish());
+            }
+            o.field_raw("buckets", &buckets.finish());
+            hists.field_raw(name, &o.finish());
+        }
+        let mut root = JsonObject::new();
+        root.field_raw("counters", &counters.finish())
+            .field_raw("gauges", &gauges.finish())
+            .field_raw("histograms", &hists.finish());
+        root.finish()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    /// Metric names are sanitized to `[a-zA-Z0-9_]` (dots become
+    /// underscores).
+    pub fn prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {}", c.get());
+        }
+        for (name, g) in &inner.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", num(g.get()));
+        }
+        for (name, h) in &inner.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let counts = h.bucket_counts();
+            let mut cumulative = 0u64;
+            for (i, &cnt) in counts.iter().enumerate() {
+                cumulative += cnt;
+                let le = match h.bounds().get(i) {
+                    Some(&b) => num(b),
+                    None => "+Inf".to_owned(),
+                };
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_sum {}", num(h.sum()));
+            let _ = writeln!(out, "{n}_count {}", h.count());
+        }
+        out
+    }
+
+    /// Number of registered instruments (all kinds).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.counters.len() + inner.gauges.len() + inner.histograms.len()
+    }
+
+    /// Whether no instrument has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Guard for a timed span opened with [`Registry::span`]. Records the
+/// elapsed microseconds into the span's histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    registry: Registry,
+    hist: Histogram,
+    started: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist
+            .observe(self.started.elapsed().as_secs_f64() * 1e6);
+        self.registry.inner.borrow_mut().span_stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::check;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("ops").add(2);
+        reg.counter("ops").add(3);
+        assert_eq!(reg.counter("ops").get(), 5);
+        reg.gauge("pj").set(1.5);
+        assert_eq!(reg.gauge("pj").get(), 1.5);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_valid_sorted_json() {
+        let reg = Registry::new();
+        reg.counter("b.count").inc();
+        reg.counter("a.count").add(7);
+        reg.gauge("g\"quoted").set(0.25);
+        reg.histogram("h").observe(3.0);
+        let s = reg.snapshot_json();
+        check(&s).unwrap();
+        assert!(!s.contains('\n'), "snapshot must be one line");
+        // BTreeMap ordering: a.count before b.count.
+        assert!(s.find("a.count").unwrap() < s.find("b.count").unwrap());
+        assert!(s.contains("\"a.count\":7"));
+        assert!(s.contains("g\\\"quoted"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("sim.events").add(42);
+        reg.gauge("power.pj").set(2.5);
+        let h = reg.histogram_with("lat", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        let p = reg.prometheus();
+        assert!(p.contains("# TYPE sim_events counter"));
+        assert!(p.contains("sim_events 42"));
+        assert!(p.contains("power_pj 2.5"));
+        // Buckets are cumulative.
+        assert!(p.contains("lat_bucket{le=\"1.0\"} 1"));
+        assert!(p.contains("lat_bucket{le=\"10.0\"} 2"));
+        assert!(p.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(p.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn spans_nest_by_path() {
+        let reg = Registry::new();
+        {
+            let _a = reg.span("outer");
+            {
+                let _b = reg.span("inner");
+            }
+            {
+                let _c = reg.span("inner");
+            }
+        }
+        {
+            let _d = reg.span("outer");
+        }
+        let s = reg.snapshot_json();
+        check(&s).unwrap();
+        assert!(s.contains("span.outer"));
+        assert!(s.contains("span.outer.inner"));
+        assert_eq!(reg.histogram("span.outer.inner").count(), 2);
+        assert_eq!(reg.histogram("span.outer").count(), 2);
+        // The stack unwound fully: a new span is top-level again.
+        {
+            let _e = reg.span("after");
+        }
+        assert_eq!(reg.histogram("span.after").count(), 1);
+    }
+}
