@@ -11,6 +11,7 @@
 //! | `table5` | Table V — per-format power/throughput/efficiency |
 //! | `figures` | Fig. 1–6 structural reports + ablation studies |
 //! | `faults` | fault-injection campaign + residue-check coverage table |
+//! | `chaos` | seeded chaos run over the resilient pool engine (zero-escape + capacity-recovery invariants) |
 //!
 //! Microbenches (`cargo bench -p mfm-bench`, see [`microbench`]): software
 //! throughput of the functional unit per format, the softfloat reference,

@@ -154,6 +154,11 @@ pub enum CheckError {
     /// The word-level recompute of `PH`/`PL`/flags from the operands and
     /// the tapped sums disagrees with the delivered outputs.
     OutputMismatch,
+    /// The gate-level simulation blew through its settle budget (see
+    /// [`mfm_gatesim::Simulator::set_settle_budget`]): a runaway
+    /// glitch storm. The outputs were never settled, so they are treated
+    /// as corrupt without further analysis.
+    Watchdog,
 }
 
 impl std::fmt::Display for CheckError {
@@ -176,6 +181,9 @@ impl std::fmt::Display for CheckError {
             }
             CheckError::OutputMismatch => {
                 write!(f, "output recompute disagrees with delivered PH/PL/flags")
+            }
+            CheckError::Watchdog => {
+                write!(f, "settle budget exceeded: runaway simulation aborted")
             }
         }
     }
@@ -545,6 +553,69 @@ fn read_raw(sim: &Simulator<'_>, ports: &StructuralPorts) -> RawOutputs {
     }
 }
 
+/// The fixed self-test vector battery a recovery scrub replays: array
+/// stress patterns, per-format lane-isolation vectors (one lane hot, the
+/// others flushed-zero — any cross-lane interference trips the exact
+/// product identity), and the IEEE special-case ladder (NaN propagation,
+/// invalid, overflow, underflow) that exercises the SEH priority chain
+/// the sum checks cannot see. Pass `quad_lanes` only for units built
+/// with the quad-binary16 extension; the battery then also walks the
+/// four half-precision lanes one at a time.
+pub fn scrub_battery(quad_lanes: bool) -> Vec<Operation> {
+    const B64_ONE: u64 = 0x3FF0_0000_0000_0000;
+    const B64_TWO: u64 = 0x4000_0000_0000_0000;
+    const B64_MAX: u64 = 0x7FEF_FFFF_FFFF_FFFF;
+    const B64_MIN_NORMAL: u64 = 0x0010_0000_0000_0000;
+    const B64_QNAN: u64 = 0x7FF8_0000_0000_0001;
+    const B64_INF: u64 = 0x7FF0_0000_0000_0000;
+    const B32_PATTERN_A: u32 = 0xAAAA_AAAA;
+    const B32_PATTERN_5: u32 = 0x5555_5555;
+    const B32_MAX: u32 = 0x7F7F_FFFF;
+    const B32_MIN_NORMAL: u32 = 0x0080_0000;
+    const B32_QNAN: u32 = 0x7FC0_0001;
+    const B32_INF: u32 = 0x7F80_0000;
+    const B16_ONE_AND_HALF: u16 = 0x3E00;
+    const B16_QNAN: u16 = 0x7E01;
+    let mut v = vec![
+        // Integer array stress: corners and alternating recode patterns.
+        Operation::int64(0, 0),
+        Operation::int64(u64::MAX, u64::MAX),
+        Operation::int64(0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555),
+        Operation::int64(1, u64::MAX),
+        Operation::int64(0x8000_0000_0000_0001, 0xFFFF_FFFF_0000_0001),
+        // binary64: normal product plus the IEEE special-case ladder.
+        Operation::binary64(B64_ONE, B64_TWO),
+        Operation::binary64(0xBFF8_0000_0000_0001, 0x4008_0000_0000_0003),
+        Operation::binary64(B64_MAX, B64_MAX), // overflow
+        Operation::binary64(B64_MIN_NORMAL, B64_MIN_NORMAL), // underflow
+        Operation::binary64(B64_QNAN, B64_ONE), // NaN propagation
+        Operation::binary64(B64_INF, 0),       // invalid: Inf × 0
+        // dual binary32 lane isolation: lower hot, upper flushed-zero...
+        Operation::dual_binary32(B32_PATTERN_A, B32_PATTERN_5, 0, 0),
+        // ...then upper hot, lower flushed-zero...
+        Operation::dual_binary32(0, 0, B32_PATTERN_5, B32_PATTERN_A),
+        // ...then both lanes hot with opposite specials.
+        Operation::dual_binary32(B32_MAX, B32_MAX, B32_MIN_NORMAL, B32_MIN_NORMAL),
+        Operation::dual_binary32(B32_QNAN, B32_PATTERN_A, B32_INF, 0),
+        Operation::single_binary32(B32_PATTERN_A, B32_PATTERN_A),
+    ];
+    if quad_lanes {
+        // Walk the four binary16 lanes one at a time, then mix specials.
+        for k in 0..4 {
+            let mut a = [0u16; 4];
+            let mut b = [0u16; 4];
+            a[k] = B16_ONE_AND_HALF;
+            b[k] = 0x5555;
+            v.push(Operation::quad_binary16(a, b));
+        }
+        v.push(Operation::quad_binary16(
+            [0x7BFF, 0x0400, B16_QNAN, 0x7C00],
+            [0x7BFF, 0x0400, 0x3C00, 0x0000],
+        ));
+    }
+    v
+}
+
 /// Lifetime counters of a [`SelfCheckingUnit`].
 #[derive(Debug, Clone, Default)]
 pub struct SelfCheckStats {
@@ -560,7 +631,13 @@ pub struct SelfCheckStats {
     pub retry_successes: u64,
     /// Operations served by the functional fallback.
     pub fallback_ops: u64,
-    /// Whether the unit has permanently degraded to the fallback.
+    /// Successful [`SelfCheckingUnit::try_recover`] scrubs (the degraded
+    /// latch was cleared and hardware service resumed).
+    pub recoveries: u64,
+    /// Failed recovery attempts (the scrub battery tripped a check).
+    pub failed_recoveries: u64,
+    /// Whether the unit has degraded to the fallback (clearable by a
+    /// successful [`SelfCheckingUnit::try_recover`]).
     pub degraded: bool,
     /// The check that first rejected a hardware result, if any.
     pub first_failure: Option<CheckError>,
@@ -571,13 +648,15 @@ impl std::fmt::Display for SelfCheckStats {
         write!(
             f,
             "ops {}, checked-ok {}, mismatches {}, retries {} ({} recovered), \
-             fallback {}, degraded {}",
+             fallback {}, scrubs {} ok / {} failed, degraded {}",
             self.ops,
             self.checked_ok,
             self.mismatches,
             self.retries,
             self.retry_successes,
             self.fallback_ops,
+            self.recoveries,
+            self.failed_recoveries,
             self.degraded
         )?;
         if let Some(e) = self.first_failure {
@@ -596,6 +675,12 @@ pub enum IncidentKind {
     RetryRecovered,
     /// The retry also failed; the unit degraded to the fallback.
     Degraded,
+    /// A [`SelfCheckingUnit::try_recover`] scrub passed: faults cleared,
+    /// the battery replayed clean, hardware service resumed.
+    Recovered,
+    /// A recovery scrub failed: the battery tripped a check and the unit
+    /// stays (or becomes) degraded.
+    RecoveryFailed,
 }
 
 impl IncidentKind {
@@ -605,6 +690,8 @@ impl IncidentKind {
             IncidentKind::CheckFailure => "check_failure",
             IncidentKind::RetryRecovered => "retry_recovered",
             IncidentKind::Degraded => "degraded",
+            IncidentKind::Recovered => "recovered",
+            IncidentKind::RecoveryFailed => "recovery_failed",
         }
     }
 }
@@ -653,6 +740,8 @@ struct ScTelemetry {
     retry_successes: Counter,
     fallback_ops: Counter,
     incidents: Counter,
+    recoveries: Counter,
+    failed_recoveries: Counter,
 }
 
 fn format_slot(f: Format) -> usize {
@@ -716,6 +805,8 @@ impl<'a> SelfCheckingUnit<'a> {
             retry_successes: registry.counter("selfcheck.retry_successes"),
             fallback_ops: registry.counter("selfcheck.fallback_ops"),
             incidents: registry.counter("selfcheck.incidents"),
+            recoveries: registry.counter("selfcheck.recoveries"),
+            failed_recoveries: registry.counter("selfcheck.failed_recoveries"),
         });
     }
 
@@ -725,14 +816,14 @@ impl<'a> SelfCheckingUnit<'a> {
         &self.incidents
     }
 
-    fn record_incident(&mut self, op: Operation, kind: IncidentKind, detail: String) {
+    fn record_incident(&mut self, format: Format, kind: IncidentKind, detail: String) {
         if let Some(t) = &self.telemetry {
             t.incidents.inc();
         }
         self.incidents.push(Incident {
             op: self.stats.ops,
             cycle: self.sim.cycles(),
-            format: op.format,
+            format,
             kind,
             detail,
         });
@@ -753,10 +844,89 @@ impl<'a> SelfCheckingUnit<'a> {
         self.stats.degraded
     }
 
+    /// Read access to the underlying simulator (event counters, net
+    /// state).
+    pub fn sim(&self) -> &Simulator<'a> {
+        &self.sim
+    }
+
     /// Direct access to the underlying simulator (fault injection,
     /// power/toggle readout).
     pub fn sim_mut(&mut self) -> &mut Simulator<'a> {
         &mut self.sim
+    }
+
+    /// Clears injected faults, drops any armed SEUs and re-settles the
+    /// hardware — the physical-repair half of a recovery scrub, without
+    /// touching counters, the incident log or the degraded latch. Call
+    /// [`SelfCheckingUnit::try_recover_with`] afterwards to re-verify
+    /// (or [`SelfCheckingUnit::try_recover`], which does both).
+    pub fn repair(&mut self) {
+        self.sim.clear_faults();
+        self.sim.recompute();
+        let _ = self.sim.take_budget_exceeded();
+        self.pending_seus.clear();
+    }
+
+    /// Replays a self-test battery on the raw hardware path, returning
+    /// the first vector that trips a check. Battery vectors do not count
+    /// as operations in [`SelfCheckStats`] (they are maintenance, not
+    /// service), and the degraded latch is not consulted — the scrub
+    /// deliberately exercises hardware the unit may have stopped
+    /// trusting.
+    pub fn run_scrub(&mut self, battery: &[Operation]) -> Result<(), (Operation, CheckError)> {
+        for &op in battery {
+            let raw = self.run_hw(op, &[]);
+            if self.sim.take_budget_exceeded() {
+                self.sim.recompute();
+                return Err((op, CheckError::Watchdog));
+            }
+            check_raw(op, &raw).map_err(|e| (op, e))?;
+        }
+        Ok(())
+    }
+
+    /// Scrub-and-readmit: repairs the hardware ([`SelfCheckingUnit::repair`])
+    /// and replays the default scrub battery ([`scrub_battery`], paper
+    /// formats). On a clean pass the degraded latch is cleared and the
+    /// unit serves gate-level results again — degradation is recoverable,
+    /// not one-way. On a failed pass the unit stays (or becomes)
+    /// degraded. Either outcome is counted in [`SelfCheckStats`] and
+    /// recorded in the incident log.
+    pub fn try_recover(&mut self) -> bool {
+        self.repair();
+        self.try_recover_with(&scrub_battery(false))
+    }
+
+    /// Like [`SelfCheckingUnit::try_recover`] but with a caller-supplied
+    /// battery, and **without** the repair step — pool engines use this
+    /// to re-assert environment faults between repair and re-verify, and
+    /// quad-lane builds to pass `scrub_battery(true)`.
+    pub fn try_recover_with(&mut self, battery: &[Operation]) -> bool {
+        match self.run_scrub(battery) {
+            Ok(()) => {
+                self.stats.degraded = false;
+                self.stats.recoveries += 1;
+                if let Some(t) = &self.telemetry {
+                    t.recoveries.inc();
+                }
+                self.record_incident(
+                    Format::Int64,
+                    IncidentKind::Recovered,
+                    format!("scrub battery passed ({} vectors)", battery.len()),
+                );
+                true
+            }
+            Err((op, e)) => {
+                self.stats.degraded = true;
+                self.stats.failed_recoveries += 1;
+                if let Some(t) = &self.telemetry {
+                    t.failed_recoveries.inc();
+                }
+                self.record_incident(op.format, IncidentKind::RecoveryFailed, e.to_string());
+                false
+            }
+        }
     }
 
     /// Injects a permanent stuck-at fault into the wrapped hardware.
@@ -811,7 +981,7 @@ impl<'a> SelfCheckingUnit<'a> {
         }
         let seus = std::mem::take(&mut self.pending_seus);
         let raw = self.run_hw(op, &seus);
-        match check_raw(op, &raw) {
+        match self.verdict(op, &raw) {
             Ok(()) => {
                 self.stats.checked_ok += 1;
                 if let Some(t) = &self.telemetry {
@@ -829,9 +999,9 @@ impl<'a> SelfCheckingUnit<'a> {
                     t.mismatches.inc();
                     t.retries.inc();
                 }
-                self.record_incident(op, IncidentKind::CheckFailure, e.to_string());
+                self.record_incident(op.format, IncidentKind::CheckFailure, e.to_string());
                 let raw2 = self.run_hw(op, &[]);
-                match check_raw(op, &raw2) {
+                match self.verdict(op, &raw2) {
                     Ok(()) => {
                         self.stats.retry_successes += 1;
                         self.stats.checked_ok += 1;
@@ -839,7 +1009,11 @@ impl<'a> SelfCheckingUnit<'a> {
                             t.retry_successes.inc();
                             t.checked_ok.inc();
                         }
-                        self.record_incident(op, IncidentKind::RetryRecovered, e.to_string());
+                        self.record_incident(
+                            op.format,
+                            IncidentKind::RetryRecovered,
+                            e.to_string(),
+                        );
                         result_from_raw(op, &raw2)
                     }
                     Err(e2) => {
@@ -848,7 +1022,7 @@ impl<'a> SelfCheckingUnit<'a> {
                         if let Some(t) = &self.telemetry {
                             t.fallback_ops.inc();
                         }
-                        self.record_incident(op, IncidentKind::Degraded, e2.to_string());
+                        self.record_incident(op.format, IncidentKind::Degraded, e2.to_string());
                         self.fallback.execute(op)
                     }
                 }
@@ -860,6 +1034,19 @@ impl<'a> SelfCheckingUnit<'a> {
     /// campaign runner classifies these itself.
     pub fn execute_raw(&mut self, op: Operation) -> RawOutputs {
         self.run_hw(op, &[])
+    }
+
+    /// Full check verdict on one executed operation: the watchdog first
+    /// (a budget-aborted settle means the observables were never valid,
+    /// so no point checking them), then the check ladder of
+    /// [`check_raw`]. Repairs the aborted simulation state before
+    /// returning so a retry runs on consistent hardware.
+    fn verdict(&mut self, op: Operation, raw: &RawOutputs) -> Result<(), CheckError> {
+        if self.sim.take_budget_exceeded() {
+            self.sim.recompute();
+            return Err(CheckError::Watchdog);
+        }
+        check_raw(op, raw)
     }
 
     fn run_hw(&mut self, op: Operation, seus: &[(u32, NetId)]) -> RawOutputs {
@@ -1082,6 +1269,100 @@ mod tests {
         // reset() clears the log.
         unit.reset();
         assert!(unit.incidents().is_empty());
+    }
+
+    #[test]
+    fn scrub_battery_passes_on_clean_hardware() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut unit = SelfCheckingUnit::new(&n, ports);
+        assert_eq!(unit.run_scrub(&scrub_battery(false)), Ok(()));
+        // Battery vectors are maintenance: no ops counted.
+        assert_eq!(unit.stats().ops, 0);
+
+        let mut nq = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit_quad(&mut nq);
+        let mut unit = SelfCheckingUnit::new(&nq, ports);
+        assert_eq!(unit.run_scrub(&scrub_battery(true)), Ok(()));
+    }
+
+    #[test]
+    fn try_recover_clears_degradation_after_repair() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut unit = SelfCheckingUnit::new(&n, ports);
+        let lsb = unit.ports().chk_p0[0];
+        unit.inject_stuck_at(lsb, true);
+        let _ = unit.execute(Operation::int64(2, 3));
+        assert!(unit.is_degraded(), "permanent fault trips the fallback");
+        // The fault is gone (a transient SEU that latched, say): the
+        // scrub repairs, re-verifies and readmits — degradation is no
+        // longer one-way.
+        assert!(unit.try_recover());
+        assert!(!unit.is_degraded());
+        let s = unit.stats();
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.failed_recoveries, 0);
+        // Hardware path serves again, with the history preserved.
+        assert_eq!(unit.execute(Operation::int64(7, 9)).int_product(), 63);
+        assert_eq!(unit.stats().mismatches, 1, "history survives recovery");
+        let kinds: Vec<_> = unit.incidents().iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&IncidentKind::Recovered), "{kinds:?}");
+    }
+
+    #[test]
+    fn failed_scrub_records_and_stays_degraded() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut unit = SelfCheckingUnit::new(&n, ports);
+        let registry = Registry::new();
+        unit.attach_telemetry(&registry);
+        let lsb = unit.ports().chk_p0[0];
+        unit.inject_stuck_at(lsb, true);
+        let _ = unit.execute(Operation::int64(2, 3));
+        assert!(unit.is_degraded());
+        // Re-verify WITHOUT repairing: the stuck-at is still there, so
+        // the battery must refuse readmission.
+        assert!(!unit.try_recover_with(&scrub_battery(false)));
+        assert!(unit.is_degraded());
+        assert_eq!(unit.stats().failed_recoveries, 1);
+        assert_eq!(registry.counter("selfcheck.failed_recoveries").get(), 1);
+        let last = unit.incidents().last().unwrap();
+        assert_eq!(last.kind, IncidentKind::RecoveryFailed);
+        mfm_telemetry::json::check(&last.to_json()).unwrap();
+        // With the repair step the same unit readmits.
+        assert!(unit.try_recover());
+        assert_eq!(registry.counter("selfcheck.recoveries").get(), 1);
+    }
+
+    #[test]
+    fn watchdog_flags_budget_aborted_operations() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut unit = SelfCheckingUnit::new(&n, ports);
+        // A budget no real settle fits in: the op trips the watchdog and
+        // is refused. The retry runs on the recomputed (repaired) state,
+        // where the same inputs settle with almost no events — so the
+        // retry verifies clean and the delivered result is correct.
+        unit.sim_mut().set_settle_budget(Some(1));
+        let r = unit.execute(Operation::int64(1234, 5678));
+        assert_eq!(r.int_product(), 1234 * 5678);
+        assert_eq!(
+            unit.stats().first_failure,
+            Some(CheckError::Watchdog),
+            "the watchdog, not a data check, must have fired"
+        );
+        assert_eq!(unit.stats().mismatches, 1);
+        assert_eq!(unit.stats().retry_successes, 1);
+        assert!(!unit.is_degraded(), "repaired retry heals the trip");
+        // A scrub under the same hostile budget refuses readmission
+        // (every battery vector trips the watchdog)...
+        assert!(!unit.try_recover());
+        assert!(unit.is_degraded());
+        // ...and with a sane budget the unit recovers fully.
+        unit.sim_mut().set_settle_budget(None);
+        assert!(unit.try_recover());
+        assert_eq!(unit.execute(Operation::int64(3, 5)).int_product(), 15);
     }
 
     #[test]

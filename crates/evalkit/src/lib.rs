@@ -13,6 +13,10 @@
 //! - [`faultcov`] — seeded stuck-at fault-coverage campaigns for the
 //!   self-checking unit (`mfmult::selfcheck`): per-block and per-format
 //!   masked/detected/silent classification.
+//! - [`chaos`] — seeded chaos campaigns over the `mfm-resilient` pool
+//!   engine: mixed-format traffic under scheduled SEUs, stuck-ats and
+//!   glitch storms, judged by the zero-escape and capacity-recovery
+//!   invariants.
 //! - [`runreport`] — machine-readable JSON run reports aggregating
 //!   netlist statistics, timing, power and telemetry snapshots (the
 //!   `--json` output of every table/figure binary).
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod faultcov;
 pub mod montecarlo;

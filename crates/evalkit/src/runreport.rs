@@ -64,6 +64,7 @@ pub struct RunReport {
     sta: Option<StaSection>,
     power: Vec<PowerSection>,
     tables: Vec<(String, Table)>,
+    series: Vec<(String, Vec<(u64, f64)>)>,
     telemetry: Option<String>,
 }
 
@@ -78,6 +79,7 @@ impl RunReport {
             sta: None,
             power: Vec::new(),
             tables: Vec::new(),
+            series: Vec::new(),
             telemetry: None,
         }
     }
@@ -143,6 +145,19 @@ impl RunReport {
     /// Adds a rendered result table (serialized as headers plus rows).
     pub fn add_table(&mut self, title: &str, table: Table) -> &mut Self {
         self.tables.push((title.to_string(), table));
+        self
+    }
+
+    /// Adds a named time series (e.g. the pool capacity timeline of a
+    /// chaos run), serialized as an array of `[t, value]` pairs under
+    /// the `series` section.
+    pub fn add_series(
+        &mut self,
+        name: &str,
+        points: impl IntoIterator<Item = (u64, f64)>,
+    ) -> &mut Self {
+        self.series
+            .push((name.to_string(), points.into_iter().collect()));
         self
     }
 
@@ -231,6 +246,19 @@ impl RunReport {
             tables.push_raw(&o.finish());
         }
         root.field_raw("tables", &tables.finish());
+
+        let mut series = JsonObject::new();
+        for (name, points) in &self.series {
+            let mut arr = JsonArray::new();
+            for (t, v) in points {
+                let mut p = JsonArray::new();
+                p.push_u64(*t);
+                p.push_f64(*v);
+                arr.push_raw(&p.finish());
+            }
+            series.field_raw(name, &arr.finish());
+        }
+        root.field_raw("series", &series.finish());
 
         root.field_raw("telemetry", self.telemetry.as_deref().unwrap_or("{}"));
         root.finish()

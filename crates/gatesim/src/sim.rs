@@ -125,6 +125,12 @@ pub struct Simulator<'a> {
     /// Faults overlaid on nets, keyed by net index. A `BTreeMap` keeps
     /// iteration (and thus event ordering on clear) deterministic.
     faults: BTreeMap<u32, ActiveFault>,
+    /// Committed-transition ceiling per settle pass, when set (see
+    /// [`Simulator::set_settle_budget`]).
+    settle_budget: Option<u64>,
+    /// Latched when a settle pass was aborted by the budget; cleared by
+    /// [`Simulator::take_budget_exceeded`].
+    budget_exceeded: bool,
     /// Metrics handles, when attached (see
     /// [`Simulator::attach_telemetry`]).
     telemetry: Option<SimTelemetry>,
@@ -180,6 +186,8 @@ impl<'a> Simulator<'a> {
             trace: None,
             trace_initial: Vec::new(),
             faults: BTreeMap::new(),
+            settle_budget: None,
+            budget_exceeded: false,
             telemetry: None,
         };
         // Constant-1 net.
@@ -385,6 +393,71 @@ impl<'a> Simulator<'a> {
         self.heap.push(Reverse((at, self.seq, net.0, value)));
     }
 
+    /// Caps the committed transitions of every following settle pass —
+    /// the gate-sim half of a runaway-simulation watchdog. A settle pass
+    /// that commits more than `budget` transitions is **aborted**: all
+    /// pending events are dropped, [`Simulator::take_budget_exceeded`]
+    /// latches, and the net state is left mid-propagation (inconsistent
+    /// with the inputs). Callers that trip the budget must treat the
+    /// operation's outputs as garbage and re-drive or repair the
+    /// simulator before trusting it again. `None` (the default) disables
+    /// the cap.
+    ///
+    /// An acyclic netlist always quiesces, so a generous budget (a few
+    /// multiples of the worst observed settle, e.g. from the
+    /// `sim.settle_events` histogram) never fires on healthy hardware;
+    /// it exists to bound the work a glitch-storming fault site can cost
+    /// per operation.
+    pub fn set_settle_budget(&mut self, budget: Option<u64>) {
+        self.settle_budget = budget;
+    }
+
+    /// The configured settle budget, if any.
+    pub fn settle_budget(&self) -> Option<u64> {
+        self.settle_budget
+    }
+
+    /// Returns whether a settle pass was aborted by the budget since the
+    /// last call, and clears the latch.
+    pub fn take_budget_exceeded(&mut self) -> bool {
+        std::mem::take(&mut self.budget_exceeded)
+    }
+
+    /// Rebuilds every combinational net from the current primary inputs,
+    /// register outputs and fault overlays with one zero-delay
+    /// topological re-evaluation, discarding all pending events. DFF
+    /// outputs (sequential state) are left untouched. This is the repair
+    /// primitive for a budget-aborted settle (see
+    /// [`Simulator::set_settle_budget`]): it restores a consistent net
+    /// state without replaying the glitch storm. Transition counters are
+    /// **not** advanced — repair work is not workload activity — and
+    /// expired transient faults are dropped.
+    pub fn recompute(&mut self) {
+        self.heap.clear();
+        let now = self.now;
+        self.faults.retain(|_, f| f.expires.is_none_or(|e| now < e));
+        // Force faulted primary inputs first; cell outputs are forced in
+        // the topo pass below.
+        for (&ni, f) in &self.faults {
+            self.values[ni as usize] = f.forced;
+        }
+        let order = self
+            .netlist
+            .topo_order()
+            .expect("Simulator requires an acyclic netlist");
+        for cell_id in order {
+            let cell = &self.netlist.cells()[cell_id.index()];
+            if cell.kind == CellKind::Dff {
+                continue;
+            }
+            let out = cell.output;
+            self.values[out.index()] = match self.faults.get(&out.0) {
+                Some(f) => f.forced,
+                None => self.eval_cell(cell_id.index()),
+            };
+        }
+    }
+
     /// Propagates all pending events until the netlist is quiescent.
     /// Returns the number of committed transitions (including glitches).
     pub fn settle(&mut self) -> u64 {
@@ -392,6 +465,15 @@ impl<'a> Simulator<'a> {
         let mut touched: Vec<u32> = Vec::new();
         let mut affected: Vec<u32> = Vec::new();
         while let Some(&Reverse((t, _, _, _))) = self.heap.peek() {
+            if self.settle_budget.is_some_and(|b| committed > b) {
+                // Watchdog abort: drop everything still in flight. Any
+                // armed transient faults are abandoned mid-pulse too —
+                // the caller is expected to repair (clear faults and
+                // re-settle) before reuse.
+                self.budget_exceeded = true;
+                self.heap.clear();
+                break;
+            }
             self.now = t;
             touched.clear();
             // Commit every *current* (non-cancelled) event at this
@@ -798,6 +880,39 @@ mod tests {
             toggles_before + sim.toggles()[y.index()],
             "registry metrics are monotonic across reset_activity"
         );
+    }
+
+    #[test]
+    fn settle_budget_aborts_runaway_settles() {
+        // A 64-stage inverter chain: one input edge commits 64+ events.
+        let mut n = fresh();
+        let a = n.input("a");
+        let mut d = a;
+        for _ in 0..64 {
+            d = n.cell(CellKind::Inv, &[d]);
+        }
+        let mut sim = Simulator::new(&n);
+        sim.set_settle_budget(Some(8));
+        sim.set_net(a, true);
+        let committed = sim.settle();
+        assert!(sim.take_budget_exceeded(), "budget must abort the pass");
+        assert!(committed <= 10, "aborted near the cap, not at the end");
+        assert!(!sim.take_budget_exceeded(), "latch clears on read");
+        // With the budget lifted, re-driving the input settles fully and
+        // the chain ends consistent again.
+        sim.set_settle_budget(None);
+        sim.set_bus(&[a], 0);
+        sim.settle();
+        sim.set_net(a, true);
+        sim.settle();
+        assert!(!sim.take_budget_exceeded());
+        assert!(sim.read_net(d), "even chain: output follows the input");
+        // A generous budget never fires on a healthy settle.
+        sim.set_settle_budget(Some(10_000));
+        sim.set_net(a, false);
+        sim.settle();
+        assert!(!sim.take_budget_exceeded());
+        assert!(!sim.read_net(d));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Caller-side retry policy for a [`Busy`](crate::engine::Busy)
+//! submission queue: truncated exponential backoff with deterministic
+//! jitter drawn from the workspace PRNG, so a seeded workload replays
+//! bit-identically.
+
+use mfm_prng::Rng;
+
+/// Backoff policy knobs. Delays are measured in engine *ticks* (the
+/// unit of scheduling time), not wall time.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffConfig {
+    /// Delay before the first retry, in ticks.
+    pub base_ticks: u64,
+    /// Multiplier applied per successive rejection.
+    pub factor: u64,
+    /// Ceiling the exponential is truncated at.
+    pub max_ticks: u64,
+    /// Rejections after which the caller gives up on the operation.
+    pub max_retries: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base_ticks: 1,
+            factor: 2,
+            max_ticks: 32,
+            max_retries: 10,
+        }
+    }
+}
+
+/// Per-submission backoff state: one instance per operation being
+/// pushed through a busy queue. Seed it from the operation's ordinal so
+/// the jitter sequence is a pure function of the workload seed.
+#[derive(Debug)]
+pub struct SubmitBackoff {
+    cfg: BackoffConfig,
+    rng: Rng,
+    attempt: u32,
+}
+
+impl SubmitBackoff {
+    /// A fresh backoff sequence for one submission.
+    pub fn new(cfg: BackoffConfig, seed: u64) -> Self {
+        SubmitBackoff {
+            cfg,
+            rng: Rng::new(seed),
+            attempt: 0,
+        }
+    }
+
+    /// Rejections consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay to wait after a rejection, or `None` once the
+    /// retry budget is exhausted. The delay is the truncated exponential
+    /// with "equal jitter": uniformly drawn from `[d/2, d]`, so retries
+    /// never synchronize across callers yet never collapse to zero wait.
+    pub fn next_delay(&mut self) -> Option<u64> {
+        if self.attempt >= self.cfg.max_retries {
+            return None;
+        }
+        let mut d = self.cfg.base_ticks.max(1);
+        for _ in 0..self.attempt {
+            d = d.saturating_mul(self.cfg.factor.max(1));
+            if d >= self.cfg.max_ticks {
+                d = self.cfg.max_ticks;
+                break;
+            }
+        }
+        d = d.min(self.cfg.max_ticks).max(1);
+        self.attempt += 1;
+        let half = d / 2;
+        Some(half + self.rng.range_u64(0, d - half + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_to_the_cap_and_stop() {
+        let cfg = BackoffConfig {
+            base_ticks: 1,
+            factor: 2,
+            max_ticks: 8,
+            max_retries: 6,
+        };
+        let mut b = SubmitBackoff::new(cfg, 42);
+        let mut prev_hi = 0u64;
+        for i in 0..6 {
+            let d = b.next_delay().expect("within retry budget");
+            let nominal = (cfg.base_ticks << i).min(cfg.max_ticks);
+            assert!(
+                d >= nominal / 2 && d <= nominal,
+                "attempt {i}: delay {d} outside [{}, {nominal}]",
+                nominal / 2
+            );
+            assert!(d >= prev_hi / 2, "jitter window keeps growing");
+            prev_hi = nominal;
+        }
+        assert_eq!(b.next_delay(), None, "budget exhausted");
+        assert_eq!(b.attempts(), 6);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let cfg = BackoffConfig::default();
+        let seq = |seed: u64| -> Vec<Option<u64>> {
+            let mut b = SubmitBackoff::new(cfg, seed);
+            (0..=cfg.max_retries).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(seq(7), seq(7), "same seed, same delays");
+        assert_ne!(seq(7), seq(8), "different seeds decorrelate");
+    }
+}

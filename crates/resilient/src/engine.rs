@@ -1,0 +1,719 @@
+//! The resilient execution engine: a pool of self-checking units behind
+//! a bounded submission queue, with per-unit circuit breakers,
+//! scrub-and-readmit recovery, a per-operation settle-work watchdog and
+//! an escape cross-check against the bit-exact functional model.
+//!
+//! All pool units share one [`Netlist`] (the netlist is immutable under
+//! simulation; faults are per-[`Simulator`] overlays), so an N-unit pool
+//! costs N simulators, not N netlists.
+//!
+//! Time is counted in *ticks*: one [`Engine::tick`] call runs due
+//! scrubs, dispatches at most one queued operation per dispatchable
+//! unit (round-robin), samples the capacity timeline and updates the
+//! pool gauges. There is no wall-clock anywhere, so a seeded run is
+//! bit-reproducible.
+
+use mfm_gatesim::{NetId, Netlist};
+use mfm_softfloat::Flags;
+use mfm_telemetry::{Counter, Gauge, Registry};
+use mfmult::selfcheck::{scrub_battery, SelfCheckingUnit};
+use mfmult::structural::StructuralPorts;
+use mfmult::{FunctionalUnit, MultResult, Operation};
+
+use crate::health::{BreakerConfig, HealthState, HealthTracker, HealthTransition, TickVerdict};
+
+/// Rejection returned by [`Engine::submit`] when the bounded queue is
+/// full — the backpressure signal callers answer with
+/// [`crate::backoff::SubmitBackoff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Busy;
+
+impl std::fmt::Display for Busy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("submission queue full")
+    }
+}
+
+impl std::error::Error for Busy {}
+
+/// Engine policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Capacity of the submission queue; a full queue rejects with
+    /// [`Busy`].
+    pub queue_depth: usize,
+    /// Per-unit circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Watchdog headroom: the per-op settle-event budget is this factor
+    /// times the worst op observed while replaying the scrub battery at
+    /// construction.
+    pub watchdog_margin: u64,
+    /// Whether the pool's units were built with the quad-binary16
+    /// extension (selects the wider scrub battery).
+    pub quad_lanes: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue_depth: 8,
+            breaker: BreakerConfig::default(),
+            watchdog_margin: 4,
+            quad_lanes: false,
+        }
+    }
+}
+
+/// One delivered result, tagged with its submission id and the unit
+/// that served it.
+#[derive(Debug, Clone)]
+pub struct Completed {
+    /// Submission id returned by [`Engine::submit`].
+    pub id: u64,
+    /// The operation.
+    pub op: Operation,
+    /// Pool index of the serving unit.
+    pub unit: usize,
+    /// Tick at which the result was produced.
+    pub tick: u64,
+    /// The (checked or fallback) result.
+    pub result: MultResult,
+}
+
+/// One point of the capacity timeline [`Engine::tick`] appends to.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacitySample {
+    /// Tick the sample was taken at.
+    pub tick: u64,
+    /// Units delivering gate-level (checked hardware) results.
+    pub hw_capacity: u32,
+    /// Units accepting work at all (includes retired fallback service).
+    pub dispatchable: u32,
+    /// Queue occupancy after this tick's dispatch.
+    pub queued: u32,
+    /// Operations completed during this tick.
+    pub completed: u32,
+}
+
+/// What one [`Engine::tick`] did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickReport {
+    /// Operations dispatched (and completed — service is synchronous
+    /// within a tick).
+    pub dispatched: u32,
+    /// Scrubs run this tick.
+    pub scrubs: u32,
+    /// Of those, scrubs that passed and readmitted their unit.
+    pub scrub_passes: u32,
+}
+
+/// Pool-level counters and gauges (see [`Engine::attach_telemetry`]).
+struct PoolTelemetry {
+    state_gauges: [Gauge; 5],
+    hw_capacity: Gauge,
+    queue_depth: Gauge,
+    submitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    escapes: Counter,
+    scrubs: Counter,
+    scrub_passes: Counter,
+    watchdog_trips: Counter,
+    transitions: Counter,
+}
+
+const STATE_SLOTS: [HealthState; 5] = [
+    HealthState::Healthy,
+    HealthState::Suspect,
+    HealthState::Quarantined,
+    HealthState::Probation,
+    HealthState::Retired,
+];
+
+/// One pool slot: the unit, its breaker, and the chaos-environment
+/// faults that must survive a scrub's repair step.
+struct PoolUnit<'a> {
+    unit: SelfCheckingUnit<'a>,
+    health: HealthTracker,
+    /// Environment faults re-asserted after every repair: a scrub can
+    /// clear transient damage, but not the (modelled) physical defect.
+    sticky: Vec<(NetId, bool)>,
+    /// Nets to hit with a glitch storm immediately before the next
+    /// dispatched operation (induced-delay chaos).
+    pending_delay: Vec<NetId>,
+    /// Transitions already mirrored into the telemetry counter.
+    mirrored_transitions: usize,
+    watchdog_trips: u64,
+}
+
+/// The pool engine (see the module docs).
+pub struct Engine<'a> {
+    units: Vec<PoolUnit<'a>>,
+    reference: FunctionalUnit,
+    battery: Vec<Operation>,
+    queue: std::collections::VecDeque<(u64, Operation)>,
+    queue_depth: usize,
+    breaker: BreakerConfig,
+    /// Per-op settle-event ceiling (calibrated at construction).
+    watchdog_budget: u64,
+    tick: u64,
+    next_id: u64,
+    completed: Vec<Completed>,
+    timeline: Vec<CapacitySample>,
+    rr_cursor: usize,
+    escapes: u64,
+    submitted: u64,
+    rejected: u64,
+    done: u64,
+    scrubs: u64,
+    scrub_passes: u64,
+    telemetry: Option<PoolTelemetry>,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds a pool of `units` self-checking units over one shared
+    /// netlist and calibrates the watchdog budget by replaying the scrub
+    /// battery once (the per-op ceiling is `watchdog_margin` times the
+    /// worst battery vector, read from the `sim.settle_events`
+    /// histogram).
+    pub fn new(
+        netlist: &'a Netlist,
+        ports: &StructuralPorts,
+        units: usize,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert!(units > 0, "a pool needs at least one unit");
+        let battery = scrub_battery(cfg.quad_lanes);
+        let mut pool: Vec<PoolUnit<'a>> = (0..units)
+            .map(|_| PoolUnit {
+                unit: SelfCheckingUnit::new(netlist, ports.clone()),
+                health: HealthTracker::new(cfg.breaker),
+                sticky: Vec::new(),
+                pending_delay: Vec::new(),
+                mirrored_transitions: 0,
+                watchdog_trips: 0,
+            })
+            .collect();
+        // Calibrate: replay the battery on unit 0 with the settle
+        // histogram attached; the observed worst case times the margin
+        // becomes every unit's per-op budget.
+        let cal = Registry::new();
+        pool[0].unit.sim_mut().attach_telemetry(&cal, u64::MAX);
+        pool[0]
+            .unit
+            .run_scrub(&battery)
+            .expect("clean hardware must pass its own scrub battery");
+        let worst = cal
+            .histogram("sim.settle_events")
+            .max()
+            .expect("battery settles at least once") as u64;
+        let watchdog_budget = worst.saturating_mul(cfg.watchdog_margin.max(1)).max(1);
+        // Detach the calibration registry and arm the hard settle stop
+        // on every unit (a single settle pass can never legitimately
+        // exceed the whole op's ceiling).
+        for pu in &mut pool {
+            pu.unit.sim_mut().detach_telemetry();
+            pu.unit.sim_mut().set_settle_budget(Some(watchdog_budget));
+        }
+        Engine {
+            units: pool,
+            reference: FunctionalUnit::new(),
+            battery,
+            queue: std::collections::VecDeque::new(),
+            queue_depth: cfg.queue_depth.max(1),
+            breaker: cfg.breaker,
+            watchdog_budget,
+            tick: 0,
+            next_id: 0,
+            completed: Vec::new(),
+            timeline: Vec::new(),
+            rr_cursor: 0,
+            escapes: 0,
+            submitted: 0,
+            rejected: 0,
+            done: 0,
+            scrubs: 0,
+            scrub_passes: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Registers pool gauges and counters: `pool.units.<state>`,
+    /// `pool.hw_capacity`, `pool.queue_depth`, plus `pool.{submitted,
+    /// rejected, completed, escapes, scrubs, scrub_passes,
+    /// watchdog_trips, transitions}`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(PoolTelemetry {
+            state_gauges: STATE_SLOTS.map(|s| registry.gauge(&format!("pool.units.{}", s.label()))),
+            hw_capacity: registry.gauge("pool.hw_capacity"),
+            queue_depth: registry.gauge("pool.queue_depth"),
+            submitted: registry.counter("pool.submitted"),
+            rejected: registry.counter("pool.rejected"),
+            completed: registry.counter("pool.completed"),
+            escapes: registry.counter("pool.escapes"),
+            scrubs: registry.counter("pool.scrubs"),
+            scrub_passes: registry.counter("pool.scrub_passes"),
+            watchdog_trips: registry.counter("pool.watchdog_trips"),
+            transitions: registry.counter("pool.transitions"),
+        });
+    }
+
+    /// Pool size.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Current health state of unit `i`.
+    pub fn unit_state(&self, i: usize) -> HealthState {
+        self.units[i].health.state()
+    }
+
+    /// Transition log of unit `i`, oldest first.
+    pub fn transitions(&self, i: usize) -> &[HealthTransition] {
+        self.units[i].health.transitions()
+    }
+
+    /// The wrapped unit at slot `i` (stats, incident log).
+    pub fn unit(&self, i: usize) -> &SelfCheckingUnit<'a> {
+        &self.units[i].unit
+    }
+
+    /// The calibrated per-op settle-event ceiling.
+    pub fn watchdog_budget(&self) -> u64 {
+        self.watchdog_budget
+    }
+
+    /// Watchdog trips observed on unit `i`.
+    pub fn watchdog_trips(&self, i: usize) -> u64 {
+        self.units[i].watchdog_trips
+    }
+
+    /// Results wrongly delivered (disagreeing with the bit-exact
+    /// reference). The chaos invariant is that this stays zero.
+    pub fn escapes(&self) -> u64 {
+        self.escapes
+    }
+
+    /// Operations accepted, rejected and completed so far, and scrubs
+    /// run / passed.
+    pub fn totals(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.submitted,
+            self.rejected,
+            self.done,
+            self.scrubs,
+            self.scrub_passes,
+        )
+    }
+
+    /// Queue occupancy.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// The capacity timeline, one sample per tick.
+    pub fn timeline(&self) -> &[CapacitySample] {
+        &self.timeline
+    }
+
+    /// Drains the completed-results buffer.
+    pub fn take_completed(&mut self) -> Vec<Completed> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Units currently delivering gate-level results.
+    pub fn hw_capacity(&self) -> u32 {
+        self.units
+            .iter()
+            .filter(|u| u.health.state().is_hw_capacity() && !u.unit.is_degraded())
+            .count() as u32
+    }
+
+    /// Submits one operation. A full queue answers [`Busy`]; the caller
+    /// backs off and retries (see [`crate::backoff::SubmitBackoff`]).
+    pub fn submit(&mut self, op: Operation) -> Result<u64, Busy> {
+        if self.queue.len() >= self.queue_depth {
+            self.rejected += 1;
+            if let Some(t) = &self.telemetry {
+                t.rejected.inc();
+            }
+            return Err(Busy);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.submitted += 1;
+        if let Some(t) = &self.telemetry {
+            t.submitted.inc();
+        }
+        self.queue.push_back((id, op));
+        Ok(id)
+    }
+
+    // ---- chaos hooks -------------------------------------------------
+
+    /// Injects a stuck-at fault into unit `i`. A `sticky` fault models a
+    /// physical defect: it is re-asserted after every scrub's repair
+    /// step, so only [`Engine::clear_unit_faults`] (or retirement) ends
+    /// it. A non-sticky fault models latched transient damage that a
+    /// scrub's repair clears.
+    pub fn inject_stuck_at(&mut self, i: usize, net: NetId, value: bool, sticky: bool) {
+        let u = &mut self.units[i];
+        u.unit.inject_stuck_at(net, value);
+        if sticky {
+            u.sticky.push((net, value));
+        }
+    }
+
+    /// Clears every fault (including sticky ones) from unit `i` — the
+    /// chaos plan's "field replacement" event.
+    pub fn clear_unit_faults(&mut self, i: usize) {
+        let u = &mut self.units[i];
+        u.sticky.clear();
+        u.unit.clear_faults();
+    }
+
+    /// Arms a single-event upset on unit `i` for its next dispatched
+    /// operation (see [`SelfCheckingUnit::schedule_seu`]).
+    pub fn schedule_seu(&mut self, i: usize, edge: u32, net: NetId) {
+        self.units[i].unit.schedule_seu(edge, net);
+    }
+
+    /// Queues a glitch storm on unit `i`: each net is pulsed immediately
+    /// before the next dispatched operation, inflating that op's settle
+    /// work so the watchdog sees a runaway simulation.
+    pub fn induce_delay(&mut self, i: usize, nets: Vec<NetId>) {
+        self.units[i].pending_delay.extend(nets);
+    }
+
+    // ---- the scheduler ----------------------------------------------
+
+    /// Runs one scheduling round: due scrubs, then at most one queued
+    /// operation per dispatchable unit (round-robin, starting after the
+    /// last unit served first in the previous round), then the capacity
+    /// sample and gauge refresh.
+    pub fn tick(&mut self) -> TickReport {
+        self.tick += 1;
+        let mut report = TickReport::default();
+        // 1. Breaker time advances; elapsed cooldowns trigger scrubs.
+        for i in 0..self.units.len() {
+            if self.units[i].health.on_tick(self.tick) == TickVerdict::ScrubDue {
+                let pass = self.scrub(i);
+                report.scrubs += 1;
+                self.scrubs += 1;
+                if pass {
+                    report.scrub_passes += 1;
+                    self.scrub_passes += 1;
+                }
+                if let Some(t) = &self.telemetry {
+                    t.scrubs.inc();
+                    if pass {
+                        t.scrub_passes.inc();
+                    }
+                }
+                self.units[i].health.on_scrub(self.tick, pass);
+            }
+        }
+        // 2. Round-robin dispatch: one op per dispatchable unit.
+        let n = self.units.len();
+        let mut completed_now = 0u32;
+        for k in 0..n {
+            if self.queue.is_empty() {
+                break;
+            }
+            let i = (self.rr_cursor + k) % n;
+            if !self.units[i].health.is_dispatchable() {
+                continue;
+            }
+            let (id, op) = self.queue.pop_front().expect("checked non-empty");
+            self.dispatch_one(i, id, op);
+            report.dispatched += 1;
+            completed_now += 1;
+        }
+        self.rr_cursor = (self.rr_cursor + 1) % n;
+        // 3. Observe.
+        let sample = CapacitySample {
+            tick: self.tick,
+            hw_capacity: self.hw_capacity(),
+            dispatchable: self
+                .units
+                .iter()
+                .filter(|u| u.health.is_dispatchable())
+                .count() as u32,
+            queued: self.queue.len() as u32,
+            completed: completed_now,
+        };
+        self.timeline.push(sample);
+        self.update_gauges(&sample);
+        report
+    }
+
+    /// Scrub-and-readmit for unit `i`: repair the hardware, re-assert
+    /// the sticky environment faults (a scrub cannot fix a physical
+    /// defect), then replay the battery. Returns whether the unit passed.
+    fn scrub(&mut self, i: usize) -> bool {
+        let u = &mut self.units[i];
+        u.unit.repair();
+        u.pending_delay.clear();
+        for &(net, value) in &u.sticky {
+            u.unit.inject_stuck_at(net, value);
+        }
+        u.unit.try_recover_with(&self.battery)
+    }
+
+    /// Serves one operation on unit `i`: glitch storms, execution, the
+    /// per-op watchdog, health accounting and the escape cross-check.
+    fn dispatch_one(&mut self, i: usize, id: u64, op: Operation) {
+        let u = &mut self.units[i];
+        let ev0 = u.unit.sim().total_events();
+        let inc0 = u.unit.incidents().len();
+        // Induced-delay chaos: pulse the queued nets so the settle work
+        // for this op balloons.
+        let storm = std::mem::take(&mut u.pending_delay);
+        for net in storm {
+            let cur = u.unit.sim().read_bus(&[net]) & 1 == 1;
+            u.unit.sim_mut().inject_stuck_at(net, !cur);
+            u.unit.sim_mut().settle();
+            u.unit.sim_mut().clear_fault(net);
+        }
+        let result = u.unit.execute(op);
+        // Per-op watchdog: the settle-event delta of this dispatch
+        // (including any storm) against the calibrated ceiling. The
+        // in-simulator budget already hard-stops a single runaway
+        // settle; this catches death-by-many-settles too.
+        let delta = u.unit.sim().total_events().saturating_sub(ev0);
+        let mut incidents = (u.unit.incidents().len() - inc0) as u32;
+        if delta > self.watchdog_budget {
+            incidents += 1;
+            u.watchdog_trips += 1;
+            if let Some(t) = &self.telemetry {
+                t.watchdog_trips.inc();
+            }
+        }
+        // A degraded unit serves correct (fallback) results but has no
+        // business staying in rotation unexamined: force the breaker
+        // towards quarantine so a scrub decides recovery vs retirement.
+        if u.unit.is_degraded() && u.health.state() != HealthState::Retired {
+            incidents = incidents.max(1);
+        }
+        if incidents > 0 {
+            u.health.on_incidents(self.tick, incidents);
+        } else {
+            u.health.on_clean_op(self.tick);
+        }
+        // The escape check: every delivered result is compared against
+        // the bit-exact reference. The hardware flag bus has no inexact
+        // wire, so flags are compared under the hardware mask.
+        let want = self.reference.execute(op);
+        let hw = Flags::INVALID | Flags::OVERFLOW | Flags::UNDERFLOW;
+        let ok = result.ph == want.ph
+            && result.pl == want.pl
+            && result.flags_lo.bits() & hw.bits() == want.flags_lo.bits() & hw.bits()
+            && result.flags_hi.bits() & hw.bits() == want.flags_hi.bits() & hw.bits();
+        if !ok {
+            self.escapes += 1;
+            if let Some(t) = &self.telemetry {
+                t.escapes.inc();
+            }
+        }
+        self.done += 1;
+        if let Some(t) = &self.telemetry {
+            t.completed.inc();
+        }
+        self.completed.push(Completed {
+            id,
+            op,
+            unit: i,
+            tick: self.tick,
+            result,
+        });
+    }
+
+    fn update_gauges(&mut self, sample: &CapacitySample) {
+        // Mirror freshly logged transitions into the counter first (this
+        // also works when telemetry is attached mid-run).
+        let mut fresh = 0u64;
+        for u in &mut self.units {
+            let now = u.health.transitions().len();
+            fresh += (now - u.mirrored_transitions) as u64;
+            u.mirrored_transitions = now;
+        }
+        if let Some(t) = &self.telemetry {
+            if fresh > 0 {
+                t.transitions.add(fresh);
+            }
+            for (slot, gauge) in STATE_SLOTS.iter().zip(&t.state_gauges) {
+                let count = self
+                    .units
+                    .iter()
+                    .filter(|u| u.health.state() == *slot)
+                    .count();
+                gauge.set(count as f64);
+            }
+            t.hw_capacity.set(sample.hw_capacity as f64);
+            t.queue_depth.set(sample.queued as f64);
+        }
+    }
+
+    /// The breaker policy the pool runs under.
+    pub fn breaker(&self) -> &BreakerConfig {
+        &self.breaker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::tech::TechLibrary;
+    use mfmult::structural::build_unit;
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig {
+            queue_depth: 4,
+            breaker: BreakerConfig {
+                open_after: 2,
+                heal_after: 4,
+                cooldown_ticks: 2,
+                max_scrub_failures: 2,
+            },
+            watchdog_margin: 4,
+            quad_lanes: false,
+        }
+    }
+
+    #[test]
+    fn clean_pool_serves_and_checks_everything() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 2, small_cfg());
+        for k in 0..6u64 {
+            engine.submit(Operation::int64(k + 1, 3)).unwrap();
+            engine.tick();
+        }
+        while engine.pending() > 0 {
+            engine.tick();
+        }
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 6);
+        for c in &done {
+            assert_eq!(c.result.int_product(), ((c.id + 1) * 3) as u128);
+        }
+        assert_eq!(engine.escapes(), 0);
+        assert_eq!(engine.hw_capacity(), 2);
+        // Round-robin used both units.
+        assert!(done.iter().any(|c| c.unit == 0) && done.iter().any(|c| c.unit == 1));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 1, small_cfg());
+        for _ in 0..4 {
+            engine.submit(Operation::int64(2, 2)).unwrap();
+        }
+        assert_eq!(engine.submit(Operation::int64(2, 2)), Err(Busy));
+        engine.tick();
+        assert!(
+            engine.submit(Operation::int64(2, 2)).is_ok(),
+            "drained one slot"
+        );
+        let (submitted, rejected, ..) = engine.totals();
+        assert_eq!((submitted, rejected), (5, 1));
+    }
+
+    #[test]
+    fn faulty_unit_quarantines_scrubs_and_readmits() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 2, small_cfg());
+        let registry = Registry::new();
+        engine.attach_telemetry(&registry);
+        // Latched transient damage (non-sticky): a scrub's repair clears
+        // it, so the unit must come back.
+        let lsb = ports.chk_p0[0];
+        engine.inject_stuck_at(0, lsb, true, false);
+        let mut sent = 0u64;
+        while sent < 40 || engine.pending() > 0 {
+            if sent < 40 && engine.submit(Operation::int64(sent + 2, 7)).is_ok() {
+                sent += 1;
+            }
+            engine.tick();
+        }
+        assert_eq!(engine.escapes(), 0, "no wrong answers escape");
+        let trail: Vec<_> = engine
+            .transitions(0)
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert!(
+            trail.contains(&(HealthState::Quarantined, HealthState::Probation))
+                && trail.contains(&(HealthState::Probation, HealthState::Healthy)),
+            "expected a full recovery cycle, got {trail:?}"
+        );
+        assert_eq!(engine.unit_state(0), HealthState::Healthy);
+        assert_eq!(engine.hw_capacity(), 2);
+        assert!(registry.counter("pool.scrub_passes").get() >= 1);
+        assert!(registry.counter("pool.transitions").get() >= 4);
+        // The timeline saw the capacity dip and the recovery.
+        let caps: Vec<_> = engine.timeline().iter().map(|s| s.hw_capacity).collect();
+        assert!(caps.iter().any(|&c| c < 2), "capacity dipped: {caps:?}");
+        assert_eq!(*caps.last().unwrap(), 2, "capacity recovered");
+    }
+
+    #[test]
+    fn sticky_fault_retires_after_k_failed_scrubs() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 2, small_cfg());
+        // A physical defect: survives every repair.
+        let lsb = ports.chk_p0[0];
+        engine.inject_stuck_at(0, lsb, true, true);
+        let mut sent = 0u64;
+        while sent < 60 || engine.pending() > 0 {
+            if sent < 60 && engine.submit(Operation::int64(sent + 2, 9)).is_ok() {
+                sent += 1;
+            }
+            engine.tick();
+        }
+        assert_eq!(engine.unit_state(0), HealthState::Retired);
+        assert_eq!(engine.escapes(), 0, "retired unit serves via fallback");
+        assert_eq!(engine.hw_capacity(), 1);
+        // Retired units still serve traffic.
+        let done = engine.take_completed();
+        assert!(
+            done.iter().any(|c| c.unit == 0),
+            "retired slot kept serving"
+        );
+        assert_eq!(done.len() as u64, 60);
+    }
+
+    #[test]
+    fn induced_delay_storm_trips_the_watchdog() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut cfg = small_cfg();
+        cfg.watchdog_margin = 1;
+        let mut engine = Engine::new(&n, &ports, 1, cfg);
+        // Each pulse commits at least one settle event, so budget + 2
+        // pulses push the op's settle-work delta past the ceiling no
+        // matter how the budget was calibrated.
+        let victim = ports.flags[0];
+        let victims: Vec<NetId> =
+            std::iter::repeat_n(victim, engine.watchdog_budget() as usize + 2).collect();
+        engine.induce_delay(0, victims);
+        engine.submit(Operation::int64(3, 5)).unwrap();
+        engine.tick();
+        assert!(
+            engine.watchdog_trips(0) >= 1,
+            "storm must trip the watchdog"
+        );
+        assert_eq!(engine.escapes(), 0);
+        let c = engine.take_completed();
+        assert_eq!(c[0].result.int_product(), 15, "the answer is still right");
+    }
+}

@@ -1,0 +1,485 @@
+//! Per-unit health tracking: a circuit-breaker lifecycle over the
+//! incident stream of one [`mfmult::selfcheck::SelfCheckingUnit`].
+//!
+//! ```text
+//!            incident                 open_after incidents
+//! Healthy ────────────▶ Suspect ──────────────────────────▶ Quarantined
+//!    ▲                     │ heal_after clean ops                │
+//!    │                     ▼                                     │ cooldown_ticks
+//!    │                  Healthy                                  ▼
+//!    └───── scrub pass ──────────────────────────────────── Probation
+//!                                                                │ scrub fail
+//!                                                                ▼
+//!                             ◀ max_scrub_failures ▶        Quarantined … Retired
+//! ```
+//!
+//! The tracker is pure bookkeeping: it never touches the unit. The
+//! engine feeds it events (`on_incidents`, `on_clean_op`, `on_tick`,
+//! `on_scrub`) and obeys its verdicts (`is_dispatchable`,
+//! [`TickVerdict::ScrubDue`]). Every state change is appended to a
+//! transition log rendered through the RFC 8259 writer of
+//! [`mfm_telemetry::json`].
+
+use mfm_telemetry::json::JsonObject;
+
+/// Lifecycle state of one pool unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Serving traffic, no recent incidents.
+    Healthy,
+    /// Serving traffic, but the breaker has counted recent incidents.
+    Suspect,
+    /// Breaker open: removed from dispatch, cooling down before a scrub.
+    Quarantined,
+    /// Cooldown elapsed: the unit is being scrubbed (repair + battery).
+    Probation,
+    /// Scrubbing gave up after `max_scrub_failures` failures; the unit
+    /// serves only through its functional fallback, forever.
+    Retired,
+}
+
+impl HealthState {
+    /// Stable lower-snake-case label used in metrics and JSON.
+    pub const fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Probation => "probation",
+            HealthState::Retired => "retired",
+        }
+    }
+
+    /// Whether a unit in this state receives work from the dispatcher.
+    /// Retired units still serve (via the functional fallback); only
+    /// quarantine and probation take a unit out of rotation.
+    pub const fn is_dispatchable(self) -> bool {
+        matches!(
+            self,
+            HealthState::Healthy | HealthState::Suspect | HealthState::Retired
+        )
+    }
+
+    /// Whether a unit in this state delivers gate-level (checked
+    /// hardware) results rather than the functional fallback.
+    pub const fn is_hw_capacity(self) -> bool {
+        matches!(self, HealthState::Healthy | HealthState::Suspect)
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Circuit-breaker policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Incidents (within one suspect episode) that open the breaker.
+    pub open_after: u32,
+    /// Consecutive clean operations that clear a suspect back to healthy.
+    pub heal_after: u32,
+    /// Ticks a quarantined unit cools down before its scrub runs.
+    pub cooldown_ticks: u32,
+    /// Failed scrubs after which the unit is retired for good.
+    pub max_scrub_failures: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            open_after: 3,
+            heal_after: 8,
+            cooldown_ticks: 4,
+            max_scrub_failures: 3,
+        }
+    }
+}
+
+/// One logged state change of a [`HealthTracker`].
+#[derive(Debug, Clone)]
+pub struct HealthTransition {
+    /// Engine tick at which the transition happened.
+    pub tick: u64,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// Why (breaker counters, scrub outcome, …).
+    pub reason: String,
+}
+
+impl HealthTransition {
+    /// Renders the transition as a single-line JSON object via the
+    /// validated writer (escaping handled by [`mfm_telemetry::json`]).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("event", "health_transition")
+            .field_u64("tick", self.tick)
+            .field_str("from", self.from.label())
+            .field_str("to", self.to.label())
+            .field_str("reason", &self.reason);
+        o.finish()
+    }
+}
+
+/// What [`HealthTracker::on_tick`] asks the engine to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickVerdict {
+    /// Nothing; carry on.
+    None,
+    /// The cooldown elapsed: run a scrub now and report the outcome via
+    /// [`HealthTracker::on_scrub`].
+    ScrubDue,
+}
+
+/// The breaker state machine for one unit (see the module docs).
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    cfg: BreakerConfig,
+    state: HealthState,
+    /// Incidents counted in the current suspect episode.
+    incident_count: u32,
+    /// Consecutive clean ops while suspect.
+    clean_streak: u32,
+    /// Remaining cooldown ticks while quarantined.
+    cooldown_left: u32,
+    /// Failed scrubs since the unit last left `Healthy`.
+    scrub_failures: u32,
+    transitions: Vec<HealthTransition>,
+}
+
+impl HealthTracker {
+    /// A fresh (healthy) tracker under the given policy.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        HealthTracker {
+            cfg,
+            state: HealthState::Healthy,
+            incident_count: 0,
+            clean_streak: 0,
+            cooldown_left: 0,
+            scrub_failures: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Failed scrubs since the unit last left `Healthy`.
+    pub fn scrub_failures(&self) -> u32 {
+        self.scrub_failures
+    }
+
+    /// The full transition log, oldest first.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    /// Whether the dispatcher may hand this unit work right now.
+    pub fn is_dispatchable(&self) -> bool {
+        self.state.is_dispatchable()
+    }
+
+    fn go(&mut self, tick: u64, to: HealthState, reason: String) {
+        let from = std::mem::replace(&mut self.state, to);
+        self.transitions.push(HealthTransition {
+            tick,
+            from,
+            to,
+            reason,
+        });
+    }
+
+    /// Feed `n ≥ 1` check incidents observed while serving one operation.
+    pub fn on_incidents(&mut self, tick: u64, n: u32) {
+        debug_assert!(n >= 1);
+        match self.state {
+            HealthState::Healthy => {
+                self.incident_count = n;
+                self.clean_streak = 0;
+                self.go(tick, HealthState::Suspect, format!("{n} check incident(s)"));
+                self.maybe_open(tick);
+            }
+            HealthState::Suspect => {
+                self.incident_count += n;
+                self.clean_streak = 0;
+                self.maybe_open(tick);
+            }
+            // Quarantined/probation units receive no traffic; retired is
+            // absorbing — nothing to count.
+            HealthState::Quarantined | HealthState::Probation | HealthState::Retired => {}
+        }
+    }
+
+    fn maybe_open(&mut self, tick: u64) {
+        if self.state == HealthState::Suspect && self.incident_count >= self.cfg.open_after {
+            self.cooldown_left = self.cfg.cooldown_ticks;
+            self.go(
+                tick,
+                HealthState::Quarantined,
+                format!(
+                    "breaker opened after {} incident(s); cooling down {} tick(s)",
+                    self.incident_count, self.cfg.cooldown_ticks
+                ),
+            );
+        }
+    }
+
+    /// Feed one operation that completed with every check passing.
+    pub fn on_clean_op(&mut self, tick: u64) {
+        if self.state == HealthState::Suspect {
+            self.clean_streak += 1;
+            if self.clean_streak >= self.cfg.heal_after {
+                self.incident_count = 0;
+                self.clean_streak = 0;
+                self.scrub_failures = 0;
+                self.go(
+                    tick,
+                    HealthState::Healthy,
+                    format!("healed after {} clean op(s)", self.cfg.heal_after),
+                );
+            }
+        }
+    }
+
+    /// Advance one engine tick. Returns [`TickVerdict::ScrubDue`] exactly
+    /// when a quarantined unit's cooldown elapses (the tracker moves to
+    /// `Probation`; the engine must scrub and call
+    /// [`HealthTracker::on_scrub`]).
+    pub fn on_tick(&mut self, tick: u64) -> TickVerdict {
+        if self.state == HealthState::Quarantined {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.go(
+                    tick,
+                    HealthState::Probation,
+                    "cooldown elapsed; scrub due".to_string(),
+                );
+                return TickVerdict::ScrubDue;
+            }
+        }
+        TickVerdict::None
+    }
+
+    /// Report the outcome of the scrub requested by
+    /// [`HealthTracker::on_tick`]. A pass readmits the unit to `Healthy`;
+    /// a failure re-quarantines it, or retires it for good once
+    /// `max_scrub_failures` scrubs have failed.
+    pub fn on_scrub(&mut self, tick: u64, pass: bool) {
+        if self.state != HealthState::Probation {
+            return;
+        }
+        if pass {
+            self.incident_count = 0;
+            self.clean_streak = 0;
+            self.scrub_failures = 0;
+            self.go(
+                tick,
+                HealthState::Healthy,
+                "scrub battery passed; readmitted".to_string(),
+            );
+        } else {
+            self.scrub_failures += 1;
+            if self.scrub_failures >= self.cfg.max_scrub_failures {
+                self.go(
+                    tick,
+                    HealthState::Retired,
+                    format!(
+                        "retired after {}/{} failed scrub(s)",
+                        self.scrub_failures, self.cfg.max_scrub_failures
+                    ),
+                );
+            } else {
+                self.cooldown_left = self.cfg.cooldown_ticks;
+                self.go(
+                    tick,
+                    HealthState::Quarantined,
+                    format!(
+                        "scrub failed ({}/{}); re-quarantined",
+                        self.scrub_failures, self.cfg.max_scrub_failures
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_prng::Rng;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            open_after: 3,
+            heal_after: 4,
+            cooldown_ticks: 2,
+            max_scrub_failures: 3,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_and_scrub_readmits() {
+        let mut h = HealthTracker::new(cfg());
+        h.on_incidents(1, 1);
+        assert_eq!(h.state(), HealthState::Suspect);
+        h.on_incidents(2, 2);
+        assert_eq!(h.state(), HealthState::Quarantined);
+        assert_eq!(h.on_tick(3), TickVerdict::None);
+        assert_eq!(h.on_tick(4), TickVerdict::ScrubDue);
+        assert_eq!(h.state(), HealthState::Probation);
+        h.on_scrub(4, true);
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.scrub_failures(), 0);
+        let labels: Vec<_> = h
+            .transitions()
+            .iter()
+            .map(|t| (t.from.label(), t.to.label()))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                ("healthy", "suspect"),
+                ("suspect", "quarantined"),
+                ("quarantined", "probation"),
+                ("probation", "healthy"),
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_streak_heals_a_suspect() {
+        let mut h = HealthTracker::new(cfg());
+        h.on_incidents(1, 1);
+        for t in 0..3 {
+            h.on_clean_op(2 + t);
+            assert_eq!(h.state(), HealthState::Suspect);
+        }
+        h.on_clean_op(5);
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn repeated_scrub_failures_retire() {
+        let mut h = HealthTracker::new(cfg());
+        h.on_incidents(1, 3);
+        let mut tick = 1;
+        for fail in 1..=3u32 {
+            loop {
+                tick += 1;
+                if h.on_tick(tick) == TickVerdict::ScrubDue {
+                    break;
+                }
+            }
+            h.on_scrub(tick, false);
+            assert_eq!(h.scrub_failures(), fail);
+        }
+        assert_eq!(h.state(), HealthState::Retired);
+        // Retired is absorbing: no event moves the unit again.
+        let n = h.transitions().len();
+        h.on_incidents(tick + 1, 5);
+        h.on_clean_op(tick + 2);
+        assert_eq!(h.on_tick(tick + 3), TickVerdict::None);
+        h.on_scrub(tick + 4, true);
+        assert_eq!(h.state(), HealthState::Retired);
+        assert_eq!(h.transitions().len(), n);
+    }
+
+    #[test]
+    fn transition_json_round_trips_the_checker() {
+        let mut h = HealthTracker::new(cfg());
+        h.on_incidents(7, 3);
+        for t in h.transitions() {
+            let line = t.to_json();
+            mfm_telemetry::json::check(&line).expect("well-formed transition JSON");
+            let fields = mfm_telemetry::json::object_entries(&line).expect("object");
+            let get = |k: &str| {
+                fields
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap()
+            };
+            // Values come back as raw JSON slices: strip the quotes and
+            // decode the escapes to round-trip the original text.
+            let text = |v: String| {
+                mfm_telemetry::json::unescape(
+                    v.strip_prefix('"').unwrap().strip_suffix('"').unwrap(),
+                )
+            };
+            assert_eq!(get("event"), "\"health_transition\"");
+            assert_eq!(text(get("from")), t.from.label());
+            assert_eq!(text(get("to")), t.to.label());
+            assert_eq!(text(get("reason")), t.reason);
+        }
+    }
+
+    /// Property: from ANY reachable state except `Retired`, a fault-free
+    /// protocol (clean ops + passing scrubs) returns the tracker to
+    /// `Healthy` within a bounded number of steps; from `Retired` it
+    /// never leaves. States are reached by a random event walk.
+    #[test]
+    fn fault_free_protocol_always_heals_within_bound() {
+        let c = cfg();
+        // Worst case: quarantined with a full cooldown, then a scrub, or
+        // a suspect needing the full clean streak.
+        let bound = (c.cooldown_ticks + c.heal_after + 2) as usize;
+        let mut rng = Rng::new(0xc1ea_7e57);
+        for case in 0..500 {
+            let mut h = HealthTracker::new(c);
+            let mut tick = 0u64;
+            // Random walk of incidents/cleans/ticks/scrub outcomes to
+            // land in an arbitrary reachable state.
+            for _ in 0..rng.range_u64(0, 40) {
+                tick += 1;
+                match rng.range_u64(0, 4) {
+                    0 => h.on_incidents(tick, 1 + rng.range_u64(0, 3) as u32),
+                    1 => h.on_clean_op(tick),
+                    // A scrub due this tick always gets an outcome — the
+                    // engine runs scrubs synchronously, so `Probation`
+                    // is never a resting state.
+                    2 => {
+                        if h.on_tick(tick) == TickVerdict::ScrubDue {
+                            h.on_scrub(tick, false);
+                        }
+                    }
+                    _ => {
+                        if h.on_tick(tick) == TickVerdict::ScrubDue {
+                            h.on_scrub(tick, rng.next_bool(0.5));
+                        }
+                    }
+                }
+            }
+            if h.state() == HealthState::Retired {
+                // Absorbing: the fault-free protocol never resurrects it.
+                for _ in 0..bound {
+                    tick += 1;
+                    if h.on_tick(tick) == TickVerdict::ScrubDue {
+                        h.on_scrub(tick, true);
+                    }
+                    h.on_clean_op(tick);
+                }
+                assert_eq!(h.state(), HealthState::Retired, "case {case}");
+                continue;
+            }
+            // Fault-free from here: every op is clean, every scrub passes.
+            let mut steps = 0;
+            while h.state() != HealthState::Healthy {
+                tick += 1;
+                steps += 1;
+                assert!(steps <= bound, "case {case}: stuck in {:?}", h.state());
+                if h.on_tick(tick) == TickVerdict::ScrubDue {
+                    h.on_scrub(tick, true);
+                }
+                if h.state().is_dispatchable() {
+                    h.on_clean_op(tick);
+                }
+            }
+            assert_eq!(h.scrub_failures(), 0, "healing resets the scrub count");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Resilient multi-unit execution for the SOCC'17 multi-format
+//! multiplier: a pool of self-checking units behind a bounded,
+//! backpressured submission queue, with per-unit circuit breakers,
+//! scrub-and-readmit recovery, a settle-work watchdog and a
+//! deterministic chaos harness.
+//!
+//! The layer turns the one-way degradation of
+//! [`mfmult::selfcheck::SelfCheckingUnit`] into a lifecycle:
+//!
+//! - [`health`] — the breaker state machine (`Healthy → Suspect →
+//!   Quarantined → Probation → Healthy | Retired`) and its JSON-logged
+//!   transition trail.
+//! - [`backoff`] — caller-side truncated exponential backoff with
+//!   deterministic jitter for `Busy` rejections.
+//! - [`engine`] — the pool scheduler: round-robin dispatch, scrubs,
+//!   the per-op watchdog, pool gauges and the escape cross-check
+//!   against the bit-exact functional model.
+//! - [`chaos`] — seeded fault schedules (SEUs, stuck-ats, induced
+//!   delays, field replacements) for reproducible resilience runs.
+//!
+//! The two invariants every chaos run is judged by: **zero wrong
+//! answers escape** (each delivered result is compared against the
+//! `mfm-softfloat`-backed reference), and **capacity degrades and
+//! recovers** (the timeline shows hardware capacity dip under faults
+//! and return after scrubs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod chaos;
+pub mod engine;
+pub mod health;
+
+pub use backoff::{BackoffConfig, SubmitBackoff};
+pub use chaos::{apply_event, ChaosEvent, ChaosKind, ChaosPlan, ChaosPlanConfig};
+pub use engine::{Busy, CapacitySample, Completed, Engine, EngineConfig, TickReport};
+pub use health::{BreakerConfig, HealthState, HealthTracker, HealthTransition, TickVerdict};

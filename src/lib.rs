@@ -11,6 +11,7 @@
 //! - [`softfloat`] — reference IEEE 754-2008 software floating point
 //! - [`mfmult`] — the paper's multi-format multiplier
 //! - [`evalkit`] — workloads, Monte-Carlo power runs and report formatting
+//! - [`resilient`] — health-tracked unit pool with quarantine and scrubbing
 //! - [`telemetry`] — metrics registry, JSON/Prometheus export, run reports
 //!
 //! # Example
@@ -27,6 +28,7 @@ pub use mfm_arith as arith;
 pub use mfm_evalkit as evalkit;
 pub use mfm_gatesim as gatesim;
 pub use mfm_prng as prng;
+pub use mfm_resilient as resilient;
 pub use mfm_softfloat as softfloat;
 pub use mfm_telemetry as telemetry;
 pub use mfmult;
