@@ -3,11 +3,21 @@
 //! `mfmult::selfcheck` checker and printing per-block, per-format and
 //! per-tier coverage tables.
 //!
-//! Usage: `faults [--sites N] [--vectors N] [--seed S] [--quad] [--json <path>]`
+//! Usage: `faults [--sites N] [--vectors N] [--seed S] [--quad] [--threads N] [--json <path>]`
 //! (defaults: 500 sites, 4 vectors per site and format, seed 2017).
+//!
+//! `--threads N` switches to the compiled bit-parallel campaign
+//! ([`fault_coverage_parallel`]) sharded over N worker threads. The
+//! report — and the JSON file — is byte-identical for any N, and
+//! identical to the sequential event-driven campaign for the same seed;
+//! only the wall-clock changes. (Telemetry in this mode is written once
+//! from the final totals, so no wall-clock-dependent span can leak into
+//! the JSON.)
 
 use mfm_bench::cli;
-use mfm_evalkit::faultcov::{fault_coverage_observed, FaultCoverageConfig};
+use mfm_evalkit::faultcov::{
+    fault_coverage_observed, fault_coverage_parallel, FaultCoverageConfig,
+};
 use mfm_evalkit::runreport::RunReport;
 use mfm_gatesim::report::Table;
 use mfm_telemetry::Registry;
@@ -17,12 +27,12 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" | "--sites" | "--vectors" | "--json" => {
+            "--seed" | "--sites" | "--vectors" | "--threads" | "--json" => {
                 it.next();
             }
             "--quad" => {}
             other => {
-                eprintln!("unknown argument {other}; usage: faults [--sites N] [--vectors N] [--seed S] [--quad] [--json <path>]");
+                eprintln!("unknown argument {other}; usage: faults [--sites N] [--vectors N] [--seed S] [--quad] [--threads N] [--json <path>]");
                 std::process::exit(2);
             }
         }
@@ -33,11 +43,37 @@ fn main() {
         vectors_per_format: cli::arg_value(&args, "--vectors", 4) as usize,
         quad_lanes: cli::has_flag(&args, "--quad"),
     };
+    let threads = cli::arg_str(&args, "--threads").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--threads needs a numeric value");
+            std::process::exit(2);
+        })
+    });
     let registry = Registry::new();
     println!("=== Fault-injection campaign: residue/self-check coverage ===\n");
-    let report = {
-        let _span = registry.span("faults");
-        fault_coverage_observed(&cfg, Some(&registry))
+    let report = match threads {
+        // Compiled bit-parallel path: telemetry is written once from the
+        // final totals (no span — a span embeds wall-clock microseconds,
+        // which would break byte-identical JSON across thread counts).
+        Some(t) => {
+            let report = fault_coverage_parallel(&cfg, t.max(1));
+            let totals = report.blocks.totals();
+            registry
+                .counter("faultcov.sites_done")
+                .add(report.sites_run as u64);
+            registry.counter("faultcov.vectors").add(totals.ops());
+            registry.counter("faultcov.masked").add(totals.masked);
+            registry.counter("faultcov.detected").add(totals.detected);
+            registry.counter("faultcov.silent").add(totals.silent);
+            registry
+                .gauge("faultcov.detection_rate")
+                .set(totals.detection_rate());
+            report
+        }
+        None => {
+            let _span = registry.span("faults");
+            fault_coverage_observed(&cfg, Some(&registry))
+        }
     };
     println!("{report}");
     let totals = report.blocks.totals();

@@ -1,0 +1,219 @@
+//! Performance microbenchmarks for the two gate-evaluation engines:
+//! event-driven settle, compiled 64-lane batch evaluation, the
+//! fault-coverage campaign (sequential event-driven vs compiled +
+//! thread-sharded) and Monte-Carlo power measurement (sequential vs
+//! sharded).
+//!
+//! Usage: `perf [--quick] [--threads N] [--json <path>]`
+//! (defaults: full sizes, 4 threads, `BENCH_gatesim.json`).
+//!
+//! The JSON report is machine-readable: one entry per benchmark with
+//! `name`, `ns_per_op`, `throughput` (ops/s) and `threads`, plus a
+//! `summary` object with the two derived speedups the performance work
+//! targets: the fault-campaign speedup (compiled+sharded over
+//! sequential event-driven) and the Monte-Carlo wall-clock speedup
+//! (sharded over sequential). The fault-campaign speedup comes from
+//! 64-lane bit-parallelism and is visible on a single core; the
+//! Monte-Carlo speedup needs real cores (each shard runs a full
+//! event-driven simulator), so on a 1-CPU container it hovers near 1×.
+//!
+//! Before the timing comparison the compiled+sharded campaign report is
+//! asserted equal to the sequential one — the speedup claim is only
+//! meaningful if both paths compute the same answer.
+
+use std::time::Instant;
+
+use mfm_bench::cli;
+use mfm_evalkit::faultcov::{fault_coverage, fault_coverage_parallel, FaultCoverageConfig};
+use mfm_evalkit::montecarlo::{measure_unit, measure_unit_sharded};
+use mfm_evalkit::workload::OperandGen;
+use mfm_gatesim::report::Table;
+use mfm_gatesim::{CompiledNetlist, CompiledSim, Netlist, Simulator, TechLibrary};
+use mfm_telemetry::json::{self, JsonArray, JsonObject};
+use mfmult::selfcheck::{run_raw, run_raw_compiled};
+use mfmult::structural::build_unit;
+use mfmult::{Format, Operation};
+
+/// One measured benchmark.
+struct Entry {
+    name: &'static str,
+    ns_per_op: f64,
+    /// Operations per second (the op is named per benchmark: a vector
+    /// for the engines, a classified fault×vector for the campaigns).
+    throughput: f64,
+    threads: usize,
+}
+
+fn entry(name: &'static str, ops: u64, elapsed_ns: f64, threads: usize) -> Entry {
+    let ns_per_op = elapsed_ns / ops as f64;
+    Entry {
+        name,
+        ns_per_op,
+        throughput: 1e9 / ns_per_op,
+        threads,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" | "--json" => {
+                it.next();
+            }
+            "--quick" => {}
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: perf [--quick] [--threads N] [--json <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let quick = cli::has_flag(&args, "--quick");
+    let threads = cli::arg_value(&args, "--threads", 4).max(1) as usize;
+    let path =
+        cli::json_path(&args).unwrap_or_else(|| std::path::PathBuf::from("BENCH_gatesim.json"));
+
+    // Benchmark sizes: `--quick` is the CI smoke configuration.
+    let (settle_vecs, batch_vecs, mc_ops) = if quick {
+        (40, 512, 24)
+    } else {
+        (200, 4096, 120)
+    };
+    let fault_cfg = FaultCoverageConfig {
+        seed: 2017,
+        sites: if quick { 64 } else { 192 },
+        vectors_per_format: if quick { 1 } else { 2 },
+        quad_lanes: false,
+    };
+
+    println!("=== Gate-evaluation performance: event-driven vs compiled 64-lane ===\n");
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = build_unit(&mut n);
+    let prog = CompiledNetlist::compile(&n).expect("unit netlist is acyclic");
+    let mut gen = OperandGen::new(99);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // 1. Event-driven settle: one full input-to-output evaluation per
+    //    random int64 vector.
+    {
+        let ops: Vec<Operation> = (0..settle_vecs)
+            .map(|_| gen.operation(Format::Int64))
+            .collect();
+        let mut sim = Simulator::new(&n);
+        run_raw(&mut sim, &ports, ops[0]); // warm-up
+        let t0 = Instant::now();
+        for &op in &ops {
+            std::hint::black_box(run_raw(&mut sim, &ports, op));
+        }
+        let dt = t0.elapsed().as_nanos() as f64;
+        entries.push(entry("settle.event_driven", settle_vecs as u64, dt, 1));
+    }
+
+    // 2. Compiled batch evaluation: the same computation, 64 vectors per
+    //    propagation pass.
+    {
+        let ops: Vec<Operation> = (0..batch_vecs)
+            .map(|_| gen.operation(Format::Int64))
+            .collect();
+        let mut sim = CompiledSim::new(&prog);
+        run_raw_compiled(&mut sim, &ports, &ops[..64]); // warm-up
+        let t0 = Instant::now();
+        for chunk in ops.chunks(64) {
+            std::hint::black_box(run_raw_compiled(&mut sim, &ports, chunk));
+        }
+        let dt = t0.elapsed().as_nanos() as f64;
+        entries.push(entry("batch.compiled", batch_vecs as u64, dt, 1));
+    }
+
+    // 3. Fault-coverage campaign: sequential event-driven vs compiled +
+    //    sharded. The op here is one classified (site, format, vector)
+    //    triple. Equality is asserted before the timing is trusted.
+    let classifications = {
+        let t0 = Instant::now();
+        let seq = fault_coverage(&fault_cfg);
+        let seq_ns = t0.elapsed().as_nanos() as f64;
+        let t0 = Instant::now();
+        let par = fault_coverage_parallel(&fault_cfg, threads);
+        let par_ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(
+            par, seq,
+            "compiled+sharded campaign must reproduce the sequential report bit for bit"
+        );
+        let ops = seq.blocks.totals().ops();
+        entries.push(entry("faultcov.sequential", ops, seq_ns, 1));
+        entries.push(entry("faultcov.compiled_sharded", ops, par_ns, threads));
+        ops
+    };
+
+    // 4. Monte-Carlo power: sequential vs sharded (4 logical shards).
+    {
+        let t0 = Instant::now();
+        std::hint::black_box(measure_unit(&n, &ports, Format::Binary64, mc_ops, 5));
+        let seq_ns = t0.elapsed().as_nanos() as f64;
+        let t0 = Instant::now();
+        std::hint::black_box(measure_unit_sharded(
+            &n,
+            &ports,
+            Format::Binary64,
+            mc_ops,
+            5,
+            4,
+            threads,
+        ));
+        let par_ns = t0.elapsed().as_nanos() as f64;
+        entries.push(entry("montecarlo.sequential", mc_ops as u64, seq_ns, 1));
+        entries.push(entry("montecarlo.sharded", mc_ops as u64, par_ns, threads));
+    }
+
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .expect("entry recorded above")
+    };
+    let fault_speedup =
+        find("faultcov.sequential").ns_per_op / find("faultcov.compiled_sharded").ns_per_op;
+    let mc_speedup = find("montecarlo.sequential").ns_per_op / find("montecarlo.sharded").ns_per_op;
+
+    let mut t = Table::new(&["benchmark", "ns/op", "ops/s", "threads"]);
+    for e in &entries {
+        t.row_owned(vec![
+            e.name.to_string(),
+            format!("{:.1}", e.ns_per_op),
+            format!("{:.2e}", e.throughput),
+            e.threads.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "fault campaign: {classifications} classifications, {fault_speedup:.1}x speedup (compiled+sharded over event-driven)"
+    );
+    println!("monte-carlo:    {mc_speedup:.2}x wall-clock speedup at {threads} threads");
+
+    let mut arr = JsonArray::new();
+    for e in &entries {
+        let mut o = JsonObject::new();
+        o.field_str("name", e.name)
+            .field_f64("ns_per_op", e.ns_per_op)
+            .field_f64("throughput", e.throughput)
+            .field_u64("threads", e.threads as u64);
+        arr.push_raw(&o.finish());
+    }
+    let mut summary = JsonObject::new();
+    summary
+        .field_f64("fault_campaign_speedup", fault_speedup)
+        .field_f64("montecarlo_speedup", mc_speedup);
+    let mut root = JsonObject::new();
+    root.field_str("bench", "gatesim_perf")
+        .field_bool("quick", quick)
+        .field_u64("threads", threads as u64)
+        .field_raw("entries", &arr.finish())
+        .field_raw("summary", &summary.finish());
+    let doc = root.finish() + "\n";
+    json::check(&doc).expect("perf report is valid JSON");
+    std::fs::write(&path, doc).expect("write benchmark JSON");
+    println!("wrote {}", path.display());
+}

@@ -76,7 +76,7 @@
 //! assert_eq!(unit.stats().checked_ok, 1);
 //! ```
 
-use mfm_gatesim::{NetId, Netlist, Simulator};
+use mfm_gatesim::{CompiledNetlist, CompiledSim, NetId, Netlist, Simulator};
 use mfm_softfloat::Flags;
 use mfm_telemetry::{json::JsonObject, Counter, Registry};
 
@@ -553,6 +553,111 @@ fn read_raw(sim: &Simulator<'_>, ports: &StructuralPorts) -> RawOutputs {
     }
 }
 
+fn read_raw_lane(sim: &CompiledSim<'_>, ports: &StructuralPorts, lane: usize) -> RawOutputs {
+    RawOutputs {
+        ph: sim.read_bus_lane(&ports.ph, lane) as u64,
+        pl: sim.read_bus_lane(&ports.pl, lane) as u64,
+        flags: sim.read_bus_lane(&ports.flags, lane) as u8,
+        p0: sim.read_bus_lane(&ports.chk_p0, lane),
+        p1: sim.read_bus_lane(&ports.chk_p1, lane),
+    }
+}
+
+/// Compiled-engine counterpart of [`run_raw`]: drives up to 64
+/// operations — one per lane — through a bit-parallel
+/// [`CompiledSim`] and returns one [`RawOutputs`] per operation, in
+/// order. Combinational builds take a single propagation pass for the
+/// whole batch; pipelined builds take `latency + 1` clock passes
+/// ([`CompiledSim::step_cycle`]) with the per-lane inputs held
+/// constant, reading the check taps one cycle before the registered
+/// outputs exactly as [`run_raw`] does.
+///
+/// The returned observables equal the event-driven settled values for
+/// the same operations and the same stuck-at overlay (see
+/// [`mfm_gatesim::compiled`] for why); timing-dependent effects —
+/// glitch power, settle budgets, transient faults — are invisible here.
+///
+/// # Panics
+///
+/// Panics if more than 64 operations are passed.
+pub fn run_raw_compiled(
+    sim: &mut CompiledSim<'_>,
+    ports: &StructuralPorts,
+    ops: &[Operation],
+) -> Vec<RawOutputs> {
+    assert!(ops.len() <= 64, "at most 64 lanes per pass");
+    let Some(&first) = ops.first() else {
+        return Vec::new();
+    };
+    // Unused lanes carry vector 0 as harmless filler (never read back).
+    sim.set_bus_all(&ports.frmt, first.format.encoding() as u128);
+    sim.set_bus_all(&ports.xa, first.xa as u128);
+    sim.set_bus_all(&ports.yb, first.yb as u128);
+    for (lane, op) in ops.iter().enumerate() {
+        sim.set_bus_lane(&ports.frmt, lane, op.format.encoding() as u128);
+        sim.set_bus_lane(&ports.xa, lane, op.xa as u128);
+        sim.set_bus_lane(&ports.yb, lane, op.yb as u128);
+    }
+    if ports.latency == 0 {
+        sim.propagate();
+        (0..ops.len())
+            .map(|l| read_raw_lane(sim, ports, l))
+            .collect()
+    } else {
+        for _ in 0..ports.latency {
+            sim.step_cycle();
+        }
+        let taps: Vec<(u128, u128)> = (0..ops.len())
+            .map(|l| {
+                (
+                    sim.read_bus_lane(&ports.chk_p0, l),
+                    sim.read_bus_lane(&ports.chk_p1, l),
+                )
+            })
+            .collect();
+        sim.step_cycle();
+        (0..ops.len())
+            .map(|l| {
+                let mut raw = read_raw_lane(sim, ports, l);
+                raw.p0 = taps[l].0;
+                raw.p1 = taps[l].1;
+                raw
+            })
+            .collect()
+    }
+}
+
+/// Replays a scrub battery on the compiled bit-parallel engine under a
+/// stuck-at overlay, returning the first vector that trips
+/// [`check_raw`]. All 64 lanes share the same fault set, so one
+/// propagation pass verifies up to 64 battery vectors.
+///
+/// A compiled **failure is conclusive** — the compiled values equal the
+/// event-driven settled values, so the event-driven battery would
+/// reject the same vector. A compiled **pass is not sufficient**: the
+/// event-driven scrub can still fail on timing grounds (a glitch storm
+/// tripping the settle-budget watchdog). Use this as a reject-fast
+/// prefilter in front of [`SelfCheckingUnit::try_recover_with`], as the
+/// resilient pool engine does.
+pub fn run_scrub_compiled(
+    prog: &CompiledNetlist,
+    ports: &StructuralPorts,
+    faults: &[(NetId, bool)],
+    battery: &[Operation],
+) -> Result<(), (Operation, CheckError)> {
+    let mut sim = CompiledSim::new(prog);
+    for &(net, forced) in faults {
+        sim.inject_stuck_at(net, !0, forced);
+    }
+    for chunk in battery.chunks(64) {
+        let raws = run_raw_compiled(&mut sim, ports, chunk);
+        for (&op, raw) in chunk.iter().zip(&raws) {
+            check_raw(op, raw).map_err(|e| (op, e))?;
+        }
+    }
+    Ok(())
+}
+
 /// The fixed self-test vector battery a recovery scrub replays: array
 /// stress patterns, per-format lane-isolation vectors (one lane hot, the
 /// others flushed-zero — any cross-lane interference trips the exact
@@ -903,8 +1008,22 @@ impl<'a> SelfCheckingUnit<'a> {
     /// to re-assert environment faults between repair and re-verify, and
     /// quad-lane builds to pass `scrub_battery(true)`.
     pub fn try_recover_with(&mut self, battery: &[Operation]) -> bool {
-        match self.run_scrub(battery) {
-            Ok(()) => {
+        let outcome = self.run_scrub(battery).map(|()| battery.len());
+        self.note_scrub_outcome(outcome)
+    }
+
+    /// Records the verdict of a scrub verification executed *outside*
+    /// this unit — e.g. the compiled-engine prefilter
+    /// ([`run_scrub_compiled`]) a pool engine runs before committing to
+    /// the event-driven battery. Updates the degraded latch, stats,
+    /// telemetry and incident log exactly as
+    /// [`SelfCheckingUnit::try_recover_with`] would: `Ok(vectors)`
+    /// clears the latch (the payload is the battery length, for the
+    /// incident message), `Err` sets it. Returns whether the unit is
+    /// now trusted.
+    pub fn note_scrub_outcome(&mut self, outcome: Result<usize, (Operation, CheckError)>) -> bool {
+        match outcome {
+            Ok(vectors) => {
                 self.stats.degraded = false;
                 self.stats.recoveries += 1;
                 if let Some(t) = &self.telemetry {
@@ -913,7 +1032,7 @@ impl<'a> SelfCheckingUnit<'a> {
                 self.record_incident(
                     Format::Int64,
                     IncidentKind::Recovered,
-                    format!("scrub battery passed ({} vectors)", battery.len()),
+                    format!("scrub battery passed ({vectors} vectors)"),
                 );
                 true
             }

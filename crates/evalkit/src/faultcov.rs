@@ -26,11 +26,12 @@ use mfm_gatesim::fault::{enumerate_stuck_sites, sample_sites, CampaignRunner, Ca
 use mfm_gatesim::netlist::Netlist;
 use mfm_gatesim::report::Table;
 use mfm_gatesim::tech::TechLibrary;
-use mfm_gatesim::FaultOutcome;
+use mfm_gatesim::{CompiledFaultSim, CompiledNetlist, FaultKind, FaultOutcome};
 use mfm_telemetry::Registry;
-use mfmult::selfcheck::{check_raw, run_raw, CheckError, RawOutputs};
-use mfmult::{structural, Format, FunctionalUnit, MultResult};
+use mfmult::selfcheck::{check_raw, run_raw, run_raw_compiled, CheckError, RawOutputs};
+use mfmult::{structural, Format, FunctionalUnit, MultResult, Operation};
 
+use crate::shard::run_shards;
 use crate::workload::OperandGen;
 
 /// Campaign parameters. The report is a deterministic function of this
@@ -322,6 +323,136 @@ pub fn fault_coverage_observed(
     }
 }
 
+/// [`fault_coverage`] accelerated by the compiled bit-parallel engine
+/// and deterministic thread sharding.
+///
+/// Sites are packed 64 to a shard — one stuck-at fault machine per
+/// `u64` lane — so a single propagation pass classifies up to 64 faults
+/// against one vector. Shards run on up to `threads` scoped worker
+/// threads ([`crate::shard::run_shards`]) and their partial statistics
+/// merge in shard order.
+///
+/// The report is **bit-identical** to [`fault_coverage`] for the same
+/// config at any `threads` value (including 1): every site derives its
+/// operand stream from the campaign seed and its global site index —
+/// exactly as the sequential campaign does — and each (site, vector)
+/// classification is a pure function of those inputs, because the
+/// compiled engine's settled values equal the event-driven simulator's
+/// (see [`mfm_gatesim::compiled`]). `tests/compiled_equivalence.rs`
+/// asserts the report equality wholesale.
+pub fn fault_coverage_parallel(
+    config: &FaultCoverageConfig,
+    threads: usize,
+) -> FaultCoverageReport {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = if config.quad_lanes {
+        structural::build_unit_quad(&mut n)
+    } else {
+        structural::build_unit(&mut n)
+    };
+    let formats: Vec<Format> = if config.quad_lanes {
+        vec![
+            Format::Int64,
+            Format::Binary64,
+            Format::DualBinary32,
+            Format::SingleBinary32,
+            Format::QuadBinary16,
+        ]
+    } else {
+        Format::ALL.to_vec()
+    };
+    let sites = sample_sites(enumerate_stuck_sites(&n), config.sites, config.seed);
+    let prog = CompiledNetlist::compile(&n).expect("campaign netlist is acyclic");
+
+    type Partial = (
+        CampaignStats,
+        BTreeMap<&'static str, OutcomeCounts>,
+        BTreeMap<&'static str, u64>,
+    );
+    let shard_count = sites.len().div_ceil(64);
+    let partials: Vec<Partial> = run_shards(shard_count, threads, |k| {
+        let shard_sites = &sites[k * 64..((k + 1) * 64).min(sites.len())];
+        let mut fsim = CompiledFaultSim::new(&prog);
+        let mut stats = CampaignStats::default();
+        let mut gens: Vec<OperandGen> = Vec::with_capacity(shard_sites.len());
+        for (lane, site) in shard_sites.iter().enumerate() {
+            stats.add_site(&site.block);
+            let forced = match site.kind {
+                FaultKind::StuckAt0 => false,
+                FaultKind::StuckAt1 => true,
+                FaultKind::Transient { .. } => {
+                    unreachable!("stuck-at site universe contains no transients")
+                }
+            };
+            fsim.assign_fault(lane, site.net, forced);
+            // Same per-site stream as the sequential campaign: global
+            // 1-based site index mixed into the campaign seed.
+            let site_idx = (k * 64 + lane) as u64 + 1;
+            gens.push(OperandGen::new(
+                config.seed ^ site_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
+        }
+        let reference = FunctionalUnit::new();
+        let mut per_format: BTreeMap<&'static str, OutcomeCounts> = formats
+            .iter()
+            .map(|&f| (format_name(f), OutcomeCounts::default()))
+            .collect();
+        let mut by_tier: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for &fmt in &formats {
+            for _ in 0..config.vectors_per_format {
+                let ops: Vec<Operation> = gens.iter_mut().map(|g| g.operation(fmt)).collect();
+                let raws = run_raw_compiled(&mut fsim, &ports, &ops);
+                for ((site, &op), raw) in shard_sites.iter().zip(&ops).zip(&raws) {
+                    let golden = hardware_view(&reference.execute(op));
+                    let outcome = if (raw.ph, raw.pl, raw.flags) == golden {
+                        FaultOutcome::Masked
+                    } else {
+                        match check_raw(op, raw) {
+                            Err(e) => {
+                                *by_tier.entry(tier_name(e)).or_insert(0) += 1;
+                                FaultOutcome::Detected
+                            }
+                            Ok(()) => FaultOutcome::Silent,
+                        }
+                    };
+                    stats.record(&site.block, outcome);
+                    per_format
+                        .get_mut(format_name(fmt))
+                        .unwrap()
+                        .record(outcome);
+                }
+            }
+        }
+        (stats, per_format, by_tier)
+    });
+
+    let mut blocks = CampaignStats::default();
+    let mut per_format: BTreeMap<&'static str, OutcomeCounts> = formats
+        .iter()
+        .map(|&f| (format_name(f), OutcomeCounts::default()))
+        .collect();
+    let mut by_tier: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (stats, pf, bt) in &partials {
+        blocks.merge(stats);
+        for (name, c) in pf {
+            let e = per_format.entry(name).or_default();
+            e.masked += c.masked;
+            e.detected += c.detected;
+            e.silent += c.silent;
+        }
+        for (tier, n) in bt {
+            *by_tier.entry(tier).or_insert(0) += n;
+        }
+    }
+    FaultCoverageReport {
+        config: *config,
+        sites_run: sites.len(),
+        blocks,
+        formats: per_format,
+        detections_by_tier: by_tier,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +505,22 @@ mod tests {
         assert_eq!(registry.counter("faultcov.silent").get(), totals.silent);
         let rate = registry.gauge("faultcov.detection_rate").get();
         assert!((rate - totals.detection_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_campaign_is_bit_identical_to_sequential() {
+        // 66 sites so the lane packing crosses a shard boundary.
+        let cfg = FaultCoverageConfig {
+            seed: 2017,
+            sites: 66,
+            vectors_per_format: 1,
+            quad_lanes: false,
+        };
+        let sequential = fault_coverage(&cfg);
+        let inline = fault_coverage_parallel(&cfg, 1);
+        let threaded = fault_coverage_parallel(&cfg, 4);
+        assert_eq!(inline, sequential, "compiled path must match event-driven");
+        assert_eq!(threaded, inline, "thread count must not change the report");
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   engine: mixed-format traffic under scheduled SEUs, stuck-ats and
 //!   glitch storms, judged by the zero-escape and capacity-recovery
 //!   invariants.
+//! - [`shard`] — deterministic thread sharding: fixed logical shard
+//!   decomposition with per-shard PRNG streams and order-independent
+//!   merge, so campaigns are bit-identical at any thread count.
 //! - [`runreport`] — machine-readable JSON run reports aggregating
 //!   netlist statistics, timing, power and telemetry snapshots (the
 //!   `--json` output of every table/figure binary).
@@ -40,4 +43,5 @@ pub mod experiments;
 pub mod faultcov;
 pub mod montecarlo;
 pub mod runreport;
+pub mod shard;
 pub mod workload;

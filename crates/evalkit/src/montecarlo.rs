@@ -105,6 +105,99 @@ pub fn measure_unit(
     }
 }
 
+/// Thread-sharded [`measure_unit`]: splits the `ops` budget over a
+/// **fixed** number of logical shards, measures each shard on its own
+/// [`Simulator`] with its own PRNG stream
+/// ([`crate::shard::shard_seed`]`(seed, k)`), and merges the per-net
+/// toggle counters by integer addition before a single
+/// [`PowerEstimator::from_toggles`] call.
+///
+/// The shard decomposition depends only on `(ops, shards)` and each
+/// shard's workload only on `(seed, k)`, so the returned breakdown is
+/// **bit-identical for any `threads` value** — worker threads merely
+/// decide which core runs which shard. Note that the estimate differs
+/// from the sequential [`measure_unit`] stream (each shard warms up and
+/// draws operands independently); it is the same Monte-Carlo estimator
+/// over a differently-partitioned sample.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn measure_unit_sharded(
+    netlist: &Netlist,
+    ports: &StructuralPorts,
+    format: Format,
+    ops: usize,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+) -> PowerBreakdown {
+    assert!(shards > 0, "need at least one shard");
+    let base = ops / shards;
+    let extra = ops % shards;
+    // Shards [0, extra) run base+1 ops, the rest base — a pure function
+    // of (ops, shards), independent of scheduling.
+    let shard_ops = |k: usize| base + usize::from(k < extra);
+    let parts = crate::shard::run_shards(shards, threads, |k| {
+        let my_ops = shard_ops(k);
+        if my_ops == 0 {
+            return (Vec::new(), 0u64, 0u64);
+        }
+        let mut gen = OperandGen::new(crate::shard::shard_seed(seed, k));
+        let mut sim = Simulator::new(netlist);
+        let frmt = format.encoding() as u128;
+        if ports.latency > 0 {
+            for _ in 0..ports.latency {
+                let op = gen.operation(format);
+                sim.step_cycle(&[
+                    (&ports.frmt, frmt),
+                    (&ports.xa, op.xa as u128),
+                    (&ports.yb, op.yb as u128),
+                ]);
+            }
+            sim.reset_activity();
+            for _ in 0..my_ops {
+                let op = gen.operation(format);
+                sim.step_cycle(&[
+                    (&ports.frmt, frmt),
+                    (&ports.xa, op.xa as u128),
+                    (&ports.yb, op.yb as u128),
+                ]);
+            }
+        } else {
+            let op = gen.operation(format);
+            sim.set_bus(&ports.frmt, frmt);
+            sim.set_bus(&ports.xa, op.xa as u128);
+            sim.set_bus(&ports.yb, op.yb as u128);
+            sim.settle();
+            sim.reset_activity();
+            for _ in 0..my_ops {
+                let op = gen.operation(format);
+                sim.set_bus(&ports.xa, op.xa as u128);
+                sim.set_bus(&ports.yb, op.yb as u128);
+                sim.settle();
+            }
+        }
+        (sim.toggles().to_vec(), sim.total_events(), sim.cycles())
+    });
+    let mut toggles = vec![0u64; netlist.net_count()];
+    let mut events = 0u64;
+    let mut cycles = 0u64;
+    for (t, e, c) in parts {
+        for (sum, v) in toggles.iter_mut().zip(&t) {
+            *sum += v;
+        }
+        events += e;
+        cycles += c;
+    }
+    let measured_ops = if ports.latency > 0 {
+        cycles
+    } else {
+        ops as u64
+    };
+    PowerEstimator::from_toggles(netlist, &toggles, events, cycles, measured_ops)
+}
+
 /// One point of a Monte-Carlo convergence trace: the pJ/op observed in
 /// the most recent window plus the running statistics over all windows
 /// so far.
@@ -320,6 +413,40 @@ mod tests {
         assert!(
             (registry.gauge("mc.pj_per_op.window").get() - last.window_pj_per_op).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn sharded_measurement_is_thread_invariant() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit(&mut n);
+        let one = measure_unit_sharded(&n, &u, Format::Binary64, 22, 9, 4, 1);
+        let four = measure_unit_sharded(&n, &u, Format::Binary64, 22, 9, 4, 4);
+        assert_eq!(one.dynamic_pj_per_op, four.dynamic_pj_per_op);
+        assert_eq!(one.transitions_per_op, four.transitions_per_op);
+        assert_eq!(one.per_block_pj, four.per_block_pj);
+        assert!(one.dynamic_pj_per_op > 0.0);
+    }
+
+    #[test]
+    fn single_shard_equals_plain_measurement_with_derived_seed() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_unit(&mut n);
+        let sharded = measure_unit_sharded(&n, &u, Format::Int64, 12, 3, 1, 1);
+        let plain = measure_unit(&n, &u, Format::Int64, 12, crate::shard::shard_seed(3, 0));
+        assert_eq!(sharded.dynamic_pj_per_op, plain.dynamic_pj_per_op);
+        assert_eq!(sharded.clock_pj_per_op, plain.clock_pj_per_op);
+        assert_eq!(sharded.transitions_per_op, plain.transitions_per_op);
+    }
+
+    #[test]
+    fn sharded_pipelined_measurement_is_thread_invariant() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let u = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+        let one = measure_unit_sharded(&n, &u, Format::DualBinary32, 10, 17, 3, 1);
+        let two = measure_unit_sharded(&n, &u, Format::DualBinary32, 10, 17, 3, 2);
+        assert_eq!(one.dynamic_pj_per_op, two.dynamic_pj_per_op);
+        assert_eq!(one.clock_pj_per_op, two.clock_pj_per_op);
+        assert_eq!(one.ops, 10, "merged cycles equal the op budget");
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! Compiled bit-parallel ("PPSFP"-style) gate evaluation.
+//!
+//! [`CompiledNetlist::compile`] lowers a [`Netlist`] once into a flat,
+//! levelized program: gates sorted by logic level with their net indices
+//! resolved, plus the DFF D→Q pairs. [`CompiledSim`] then evaluates the
+//! program over `u64` words — bit `l` of every word is an independent
+//! simulation *lane*, so one pass over the gate array evaluates **64
+//! input vectors (or 64 fault machines) at once** with no event queue, no
+//! heap allocation and perfect streaming access over the op array.
+//!
+//! # Division of labour
+//!
+//! The event-driven [`crate::sim::Simulator`] stays the source of truth
+//! for everything *timing-dependent*: toggle counts, glitch power, settle
+//! budgets and transient (SEU) faults. The compiled engine serves
+//! *correctness-only* paths — fault classification, recompute checks,
+//! scrub batteries, equivalence sweeps — where only the settled value
+//! matters. For acyclic two-valued logic the settled state of the
+//! event-driven simulator is a pure function of the primary inputs,
+//! register state and stuck-at overlay (inertial delays only filter
+//! transient glitches, never change the fixed point), so the two engines
+//! agree bit-for-bit on final values; `tests/compiled_equivalence.rs`
+//! checks this differentially.
+//!
+//! # Fault overlay
+//!
+//! [`CompiledSim::inject_stuck_at`] forces a net per *lane*: a 64-bit
+//! mask selects the lanes in which the net is stuck, so a single pass can
+//! carry 64 different fault machines (one per lane) next to a fault-free
+//! reference lane. [`CompiledFaultSim`] packages the one-fault-per-lane
+//! pattern used by fault-coverage campaigns.
+
+use crate::netlist::{NetId, Netlist, NetlistError};
+use crate::tech::CellKind;
+
+/// One lowered gate: resolved input/output net indices, in level order.
+#[derive(Debug, Clone, Copy)]
+struct GateOp {
+    kind: CellKind,
+    a: u32,
+    b: u32,
+    c: u32,
+    d: u32,
+    out: u32,
+}
+
+/// A [`Netlist`] lowered into a flat, levelized evaluation program.
+///
+/// Compiling is done once per netlist; the program is immutable and can
+/// be shared (`&CompiledNetlist` is `Sync`) by any number of
+/// [`CompiledSim`] instances across threads.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    net_count: usize,
+    one: u32,
+    ops: Vec<GateOp>,
+    /// `(d_net, q_net)` per DFF, in instantiation order.
+    dffs: Vec<(u32, u32)>,
+}
+
+impl CompiledNetlist {
+    /// Lowers `netlist` into a levelized program, reusing the netlist's
+    /// cached [`Levelization`](crate::netlist::Levelization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// logic contains a cycle.
+    pub fn compile(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let lev = netlist.levelization()?;
+        let cells = netlist.cells();
+        let ops = lev
+            .order()
+            .iter()
+            .map(|&cid| {
+                let c = &cells[cid.index()];
+                GateOp {
+                    kind: c.kind,
+                    a: c.inputs[0].index() as u32,
+                    b: c.inputs[1].index() as u32,
+                    c: c.inputs[2].index() as u32,
+                    d: c.inputs[3].index() as u32,
+                    out: c.output.index() as u32,
+                }
+            })
+            .collect();
+        let dffs = netlist
+            .dffs()
+            .map(|(_, c)| (c.inputs[0].index() as u32, c.output.index() as u32))
+            .collect();
+        Ok(CompiledNetlist {
+            net_count: netlist.net_count(),
+            one: netlist.one().index() as u32,
+            ops,
+            dffs,
+        })
+    }
+
+    /// Number of nets in the compiled program.
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Number of combinational gate ops per pass.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of DFFs in the program.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+}
+
+#[inline]
+fn eval_word(kind: CellKind, a: u64, b: u64, c: u64, d: u64) -> u64 {
+    match kind {
+        CellKind::Inv => !a,
+        CellKind::Buf | CellKind::Dff => a,
+        CellKind::Nand2 => !(a & b),
+        CellKind::Nand3 => !(a & b & c),
+        CellKind::Nor2 => !(a | b),
+        CellKind::Nor3 => !(a | b | c),
+        CellKind::And2 => a & b,
+        CellKind::And3 => a & b & c,
+        CellKind::Or2 => a | b,
+        CellKind::Or3 => a | b | c,
+        CellKind::Xor2 => a ^ b,
+        CellKind::Xnor2 => !(a ^ b),
+        // Inputs are [a0, a1, sel]: sel picks a1.
+        CellKind::Mux2 => (c & b) | (!c & a),
+        CellKind::Aoi21 => !((a & b) | c),
+        CellKind::Aoi22 => !((a & b) | (c & d)),
+        CellKind::Oai21 => !((a | b) & c),
+        CellKind::Maj3 => (a & b) | (a & c) | (b & c),
+    }
+}
+
+/// Bit-parallel evaluator over a [`CompiledNetlist`]: 64 lanes per pass.
+///
+/// All state is plain `u64` words, all evaluation is pure integer
+/// arithmetic in a deterministic order — results are bit-identical
+/// across runs, thread counts and machines.
+#[derive(Debug, Clone)]
+pub struct CompiledSim<'p> {
+    prog: &'p CompiledNetlist,
+    /// One word per net; bit `l` is lane `l`'s value.
+    words: Vec<u64>,
+    /// Per-net stuck lane mask (0 = unfaulted) and forced values.
+    fault_mask: Vec<u64>,
+    fault_value: Vec<u64>,
+    /// Nets with a non-zero fault mask, for cheap clearing/pre-forcing.
+    faulted: Vec<u32>,
+}
+
+impl<'p> CompiledSim<'p> {
+    /// Creates a simulator with all-zero inputs and register state,
+    /// settled (constants applied, one propagation pass done).
+    pub fn new(prog: &'p CompiledNetlist) -> Self {
+        let mut sim = CompiledSim {
+            prog,
+            words: vec![0; prog.net_count],
+            fault_mask: vec![0; prog.net_count],
+            fault_value: vec![0; prog.net_count],
+            faulted: Vec::new(),
+        };
+        sim.words[prog.one as usize] = !0;
+        sim.propagate();
+        sim
+    }
+
+    /// The compiled program this simulator runs.
+    pub fn program(&self) -> &'p CompiledNetlist {
+        self.prog
+    }
+
+    /// Sets one net in one lane.
+    pub fn set_net_lane(&mut self, net: NetId, lane: usize, value: bool) {
+        debug_assert!(lane < 64);
+        let w = &mut self.words[net.index()];
+        *w = (*w & !(1 << lane)) | ((value as u64) << lane);
+    }
+
+    /// Drives an integer onto a bus (LSB first) in one lane.
+    pub fn set_bus_lane(&mut self, bus: &[NetId], lane: usize, value: u128) {
+        for (i, &net) in bus.iter().enumerate() {
+            self.set_net_lane(net, lane, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Drives the same integer onto a bus in **all** 64 lanes.
+    pub fn set_bus_all(&mut self, bus: &[NetId], value: u128) {
+        for (i, &net) in bus.iter().enumerate() {
+            self.words[net.index()] = if (value >> i) & 1 == 1 { !0 } else { 0 };
+        }
+    }
+
+    /// Reads one net in one lane.
+    pub fn read_net_lane(&self, net: NetId, lane: usize) -> bool {
+        debug_assert!(lane < 64);
+        (self.words[net.index()] >> lane) & 1 == 1
+    }
+
+    /// Reads a bus (LSB first) in one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is wider than 128 bits.
+    pub fn read_bus_lane(&self, bus: &[NetId], lane: usize) -> u128 {
+        assert!(bus.len() <= 128, "bus too wide for u128");
+        let mut v = 0u128;
+        for (i, &net) in bus.iter().enumerate() {
+            if self.read_net_lane(net, lane) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Forces `net` to `value` in the lanes selected by `lanes` until
+    /// [`CompiledSim::clear_faults`]. Faults on the same net merge: each
+    /// lane keeps the most recent forced value, so one net can be
+    /// stuck-at-0 in one lane and stuck-at-1 in another.
+    pub fn inject_stuck_at(&mut self, net: NetId, lanes: u64, value: bool) {
+        let ni = net.index();
+        if self.fault_mask[ni] == 0 && lanes != 0 {
+            self.faulted.push(ni as u32);
+        }
+        self.fault_mask[ni] |= lanes;
+        if value {
+            self.fault_value[ni] |= lanes;
+        } else {
+            self.fault_value[ni] &= !lanes;
+        }
+    }
+
+    /// Removes every fault overlay (values are refreshed on the next
+    /// [`CompiledSim::propagate`]).
+    pub fn clear_faults(&mut self) {
+        for &ni in &self.faulted {
+            self.fault_mask[ni as usize] = 0;
+            self.fault_value[ni as usize] = 0;
+        }
+        self.faulted.clear();
+    }
+
+    #[inline]
+    fn overlay(&mut self, ni: usize) {
+        let m = self.fault_mask[ni];
+        self.words[ni] = (self.words[ni] & !m) | (self.fault_value[ni] & m);
+    }
+
+    /// One full pass over the levelized gate array: recomputes every
+    /// combinational net in all 64 lanes from the current inputs,
+    /// register words and fault overlay. DFF outputs are left untouched.
+    pub fn propagate(&mut self) {
+        // Force faulted source nets (inputs, constants, DFF outputs)
+        // first; gate outputs are blended as they are produced.
+        for i in 0..self.faulted.len() {
+            self.overlay(self.faulted[i] as usize);
+        }
+        for i in 0..self.prog.ops.len() {
+            let op = self.prog.ops[i];
+            let w = eval_word(
+                op.kind,
+                self.words[op.a as usize],
+                self.words[op.b as usize],
+                self.words[op.c as usize],
+                self.words[op.d as usize],
+            );
+            let out = op.out as usize;
+            let m = self.fault_mask[out];
+            self.words[out] = (w & !m) | (self.fault_value[out] & m);
+        }
+    }
+
+    /// One clock cycle: samples every DFF's D word, writes the Q words,
+    /// then propagates the combinational logic. Primary inputs keep
+    /// whatever per-lane values were last driven — the compiled analogue
+    /// of holding the input buses constant across the edge.
+    pub fn step_cycle(&mut self) {
+        // Sample all D words before writing any Q (same-edge semantics).
+        let sampled: Vec<u64> = self
+            .prog
+            .dffs
+            .iter()
+            .map(|&(d, _)| self.words[d as usize])
+            .collect();
+        for (&(_, q), w) in self.prog.dffs.iter().zip(sampled) {
+            self.words[q as usize] = w;
+        }
+        self.propagate();
+    }
+
+    /// Evaluates up to 64 input vectors in one pass.
+    ///
+    /// `inputs` pairs each driven bus with one value per lane; every
+    /// value slice must have the same length `n ≤ 64` (lanes `n..64` are
+    /// driven with vector 0 as a harmless filler). Returns, per output
+    /// bus, the `n` per-lane results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if value slices disagree in length or exceed 64 lanes.
+    pub fn run_batch(
+        &mut self,
+        inputs: &[(&[NetId], &[u128])],
+        outputs: &[&[NetId]],
+    ) -> Vec<Vec<u128>> {
+        let n = inputs.first().map_or(0, |(_, v)| v.len());
+        assert!(n <= 64, "at most 64 lanes per pass");
+        for (bus, values) in inputs {
+            assert_eq!(values.len(), n, "lane count mismatch across buses");
+            self.set_bus_all(bus, values.first().copied().unwrap_or(0));
+            for (lane, &v) in values.iter().enumerate() {
+                self.set_bus_lane(bus, lane, v);
+            }
+        }
+        self.propagate();
+        outputs
+            .iter()
+            .map(|bus| (0..n).map(|lane| self.read_bus_lane(bus, lane)).collect())
+            .collect()
+    }
+}
+
+/// One-fault-per-lane packaging of [`CompiledSim`] for fault campaigns:
+/// lane `l` carries fault machine `l`, so a single propagation pass
+/// classifies up to 64 faulty machines against their shared input vector
+/// (or a per-lane vector — lanes are fully independent).
+#[derive(Debug, Clone)]
+pub struct CompiledFaultSim<'p> {
+    sim: CompiledSim<'p>,
+}
+
+impl<'p> CompiledFaultSim<'p> {
+    /// Creates a fault simulator over `prog` with no faults assigned.
+    pub fn new(prog: &'p CompiledNetlist) -> Self {
+        CompiledFaultSim {
+            sim: CompiledSim::new(prog),
+        }
+    }
+
+    /// Assigns a stuck-at fault to one lane.
+    pub fn assign_fault(&mut self, lane: usize, net: NetId, forced: bool) {
+        debug_assert!(lane < 64);
+        self.sim.inject_stuck_at(net, 1u64 << lane, forced);
+    }
+}
+
+impl<'p> std::ops::Deref for CompiledFaultSim<'p> {
+    type Target = CompiledSim<'p>;
+    fn deref(&self) -> &Self::Target {
+        &self.sim
+    }
+}
+
+impl std::ops::DerefMut for CompiledFaultSim<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::sim::Simulator;
+    use crate::tech::TechLibrary;
+
+    fn fresh() -> Netlist {
+        Netlist::new(TechLibrary::cmos45lp())
+    }
+
+    #[test]
+    fn eval_word_matches_scalar_eval_for_all_kinds() {
+        for kind in CellKind::ALL {
+            for bits in 0..16u64 {
+                let (a, b, c, d) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+                let scalar = kind.eval(a, b, c, d);
+                let word = eval_word(
+                    kind,
+                    if a { !0 } else { 0 },
+                    if b { !0 } else { 0 },
+                    if c { !0 } else { 0 },
+                    if d { !0 } else { 0 },
+                );
+                assert_eq!(
+                    word,
+                    if scalar { !0 } else { 0 },
+                    "{kind:?} bits={bits:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_all_lanes() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let b = n.input("b");
+        let cin = n.input("cin");
+        let (s, co) = n.full_adder(a, b, cin);
+        let prog = CompiledNetlist::compile(&n).unwrap();
+        let mut sim = CompiledSim::new(&prog);
+        // All 8 input combinations in 8 lanes of one pass.
+        for v in 0..8usize {
+            sim.set_bus_lane(&[a, b, cin], v, v as u128);
+        }
+        sim.propagate();
+        for v in 0..8usize {
+            let ones = (v as u32).count_ones();
+            assert_eq!(sim.read_net_lane(s, v), ones & 1 == 1, "v={v}");
+            assert_eq!(sim.read_net_lane(co, v), ones >= 2, "v={v}");
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_event_driven() {
+        let mut n = fresh();
+        let a = n.input_bus("a", 8);
+        let b = n.input_bus("b", 8);
+        let sum: Vec<_> = {
+            let mut carry = n.zero();
+            let mut out = Vec::new();
+            for (&x, &y) in a.iter().zip(&b) {
+                let (s, c1) = n.full_adder(x, y, carry);
+                out.push(s);
+                carry = c1;
+            }
+            out.push(carry);
+            out
+        };
+        let prog = CompiledNetlist::compile(&n).unwrap();
+        let mut csim = CompiledSim::new(&prog);
+        let av: Vec<u128> = (0..64).map(|i| (i * 37 + 11) as u128 & 0xFF).collect();
+        let bv: Vec<u128> = (0..64).map(|i| (i * 101 + 3) as u128 & 0xFF).collect();
+        let got = csim.run_batch(&[(&a, &av), (&b, &bv)], &[&sum]);
+        let mut esim = Simulator::new(&n);
+        for lane in 0..64 {
+            esim.set_bus(&a, av[lane]);
+            esim.set_bus(&b, bv[lane]);
+            esim.settle();
+            assert_eq!(got[0][lane], esim.read_bus(&sum), "lane {lane}");
+            assert_eq!(got[0][lane], av[lane] + bv[lane]);
+        }
+    }
+
+    #[test]
+    fn per_lane_faults_are_independent() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and2(a, b);
+        let z = n.not(y);
+        let prog = CompiledNetlist::compile(&n).unwrap();
+        let mut fsim = CompiledFaultSim::new(&prog);
+        fsim.assign_fault(1, y, false); // lane 1: y stuck-at-0
+        fsim.assign_fault(2, y, true); // lane 2: y stuck-at-1
+        fsim.set_bus_all(&[a, b], 0b11);
+        fsim.propagate();
+        assert!(fsim.read_net_lane(y, 0), "lane 0 fault-free");
+        assert!(!fsim.read_net_lane(z, 0));
+        assert!(!fsim.read_net_lane(y, 1), "lane 1 stuck at 0");
+        assert!(fsim.read_net_lane(z, 1));
+        fsim.set_bus_all(&[a, b], 0b00);
+        fsim.propagate();
+        assert!(fsim.read_net_lane(y, 2), "lane 2 stuck at 1");
+        assert!(!fsim.read_net_lane(z, 2));
+        assert!(!fsim.read_net_lane(y, 0));
+        fsim.clear_faults();
+        fsim.set_bus_all(&[a, b], 0b11);
+        fsim.propagate();
+        assert!(fsim.read_net_lane(y, 1) && fsim.read_net_lane(y, 2));
+    }
+
+    #[test]
+    fn dff_pipeline_moves_one_stage_per_cycle() {
+        let mut n = fresh();
+        let d = n.input("d");
+        let q1 = n.dff(d);
+        let q2 = n.dff(q1);
+        let prog = CompiledNetlist::compile(&n).unwrap();
+        let mut sim = CompiledSim::new(&prog);
+        sim.set_bus_all(&[d], 1);
+        sim.step_cycle();
+        assert!(sim.read_net_lane(q1, 0) && !sim.read_net_lane(q2, 0));
+        sim.step_cycle();
+        assert!(
+            sim.read_net_lane(q2, 0),
+            "value reaches stage 2 one cycle later"
+        );
+    }
+}

@@ -171,6 +171,20 @@ impl CampaignStats {
         self.per_block.entry(block.to_string()).or_default().sites += 1;
     }
 
+    /// Merges another campaign's counters into this one (per-block field
+    /// sums). This is the shard-merge primitive for parallel campaigns:
+    /// merging shard stats in any order yields the same result as one
+    /// sequential aggregation over the union of their sites.
+    pub fn merge(&mut self, other: &CampaignStats) {
+        for (name, b) in &other.per_block {
+            let e = self.per_block.entry(name.clone()).or_default();
+            e.sites += b.sites;
+            e.masked += b.masked;
+            e.detected += b.detected;
+            e.silent += b.silent;
+        }
+    }
+
     /// Summed counters over all blocks.
     pub fn totals(&self) -> BlockStats {
         let mut t = BlockStats::default();

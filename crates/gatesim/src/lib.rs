@@ -15,6 +15,11 @@
 //!   transport delays. Because events propagate with real delays, **glitches
 //!   are simulated**, which is what makes the paper's combinational-versus-
 //!   pipelined power comparison (Table III) reproducible.
+//! - [`compiled`] — a compiled bit-parallel engine: the netlist lowered
+//!   once into a levelized program evaluated over `u64` words (64 lanes
+//!   per pass), for correctness-only workloads — fault classification,
+//!   batteries and equivalence sweeps — where glitch timing is
+//!   irrelevant. Differentially tested against [`sim`].
 //! - [`sta`] — topological static timing analysis: critical path per
 //!   pipeline stage with per-block delay decomposition.
 //! - [`power`] — activity-based power: `P = Σ toggles × E_sw × f` plus
@@ -44,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod export;
 pub mod fault;
 pub mod netlist;
@@ -55,8 +61,9 @@ pub mod tech;
 pub mod trace;
 pub mod vector;
 
+pub use compiled::{CompiledFaultSim, CompiledNetlist, CompiledSim};
 pub use fault::{CampaignRunner, CampaignStats, FaultKind, FaultOutcome, FaultSite};
-pub use netlist::{BlockId, CellId, NetId, Netlist};
+pub use netlist::{BlockId, CellId, Levelization, NetId, Netlist};
 pub use power::{LivePowerTrace, PowerBreakdown, PowerEstimator, PowerSample};
 pub use sim::Simulator;
 pub use sta::{StaReport, TimingAnalysis};

@@ -14,6 +14,7 @@
 use crate::tech::{CellKind, TechLibrary};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a net (a single-bit wire).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -100,6 +101,54 @@ impl fmt::Display for NetlistError {
 
 impl std::error::Error for NetlistError {}
 
+/// Cached levelized view of the combinational logic.
+///
+/// Computed once per netlist (lazily, via [`Netlist::levelization`]) and
+/// shared by the event-driven simulator, static timing analysis and the
+/// compiled bit-parallel engine:
+///
+/// - a deterministic topological order of the combinational cells, sorted
+///   by logic level (then by cell index within a level),
+/// - the logic level of every cell (DFFs are level 0 sources),
+/// - a CSR (offsets + flat indices) mapping each net to the combinational
+///   cells it feeds, replacing the per-simulator `Vec<Vec<u32>>` fanout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    order: Vec<CellId>,
+    level: Vec<u32>,
+    max_level: u32,
+    fanout_offsets: Vec<u32>,
+    fanout_cells: Vec<u32>,
+}
+
+impl Levelization {
+    /// Topological order of the combinational cells, sorted by
+    /// `(logic level, cell index)`. DFFs are excluded.
+    pub fn order(&self) -> &[CellId] {
+        &self.order
+    }
+
+    /// Logic level of a cell: `0` for cells fed only by primary inputs,
+    /// constants or DFF outputs, otherwise `1 + max(level of fanins)`.
+    /// DFFs report level `0`.
+    pub fn level_of(&self, cell: CellId) -> u32 {
+        self.level[cell.index()]
+    }
+
+    /// The deepest combinational level in the netlist.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Indices of the combinational cells fed by `net`, ascending and
+    /// deduplicated (a cell using the net on several pins appears once).
+    pub fn fanout_of(&self, net: NetId) -> &[u32] {
+        let lo = self.fanout_offsets[net.index()] as usize;
+        let hi = self.fanout_offsets[net.index() + 1] as usize;
+        &self.fanout_cells[lo..hi]
+    }
+}
+
 /// A structural gate-level netlist.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
@@ -115,6 +164,7 @@ pub struct Netlist {
     output_buses: Vec<(String, Vec<NetId>)>,
     blocks: Vec<String>,
     block_stack: Vec<BlockId>,
+    topo: OnceLock<Result<Levelization, NetlistError>>,
 }
 
 impl Netlist {
@@ -131,6 +181,7 @@ impl Netlist {
             output_buses: Vec::new(),
             blocks: vec!["TOP".to_owned()],
             block_stack: vec![BlockId::ROOT],
+            topo: OnceLock::new(),
         };
         n.const0 = n.alloc_net(Driver::Const0);
         n.const1 = n.alloc_net(Driver::Const1);
@@ -143,6 +194,12 @@ impl Netlist {
     }
 
     fn alloc_net(&mut self, driver: Driver) -> NetId {
+        // Every structural mutation allocates a net (cell outputs included),
+        // so this is the single invalidation point for the cached
+        // levelization.
+        if self.topo.get().is_some() {
+            self.topo = OnceLock::new();
+        }
         let id = NetId(self.drivers.len() as u32);
         self.drivers.push(driver);
         id
@@ -588,36 +645,108 @@ impl Netlist {
     /// Computes a topological order of the *combinational* cells.
     /// DFFs are excluded (their outputs are sources, their inputs sinks).
     ///
+    /// The order is served from the cached [`Levelization`] (cells sorted
+    /// by logic level, then by index), so repeated calls after the netlist
+    /// is built are cheap.
+    ///
     /// # Errors
     ///
     /// Returns [`NetlistError::CombinationalCycle`] if the combinational
     /// logic contains a cycle.
     pub fn topo_order(&self) -> Result<Vec<CellId>, NetlistError> {
+        self.levelization().map(|lev| lev.order().to_vec())
+    }
+
+    /// The cached levelization: topological order, per-cell logic levels
+    /// and the net→fanout CSR. Computed on first use and invalidated by
+    /// any structural mutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// logic contains a cycle.
+    pub fn levelization(&self) -> Result<&Levelization, NetlistError> {
+        match self.topo.get_or_init(|| self.compute_levelization()) {
+            Ok(lev) => Ok(lev),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    fn compute_levelization(&self) -> Result<Levelization, NetlistError> {
         let n = self.cells.len();
-        // in-degree = number of inputs driven by combinational cells
+        let nets = self.drivers.len();
+
+        // Distinct input nets of a cell (arity ≤ 4, so a tiny linear scan).
+        let distinct_inputs = |c: &Cell| {
+            let mut ins: [NetId; 4] = c.inputs;
+            let arity = c.kind.arity();
+            let mut len = 0usize;
+            for i in 0..arity {
+                if !ins[..len].contains(&c.inputs[i]) {
+                    ins[len] = c.inputs[i];
+                    len += 1;
+                }
+            }
+            (ins, len)
+        };
+
+        // CSR net → combinational fanout cells, deduplicated per cell.
+        // Counting pass, prefix sum, fill pass: iterating cells in
+        // ascending order keeps each net's slice sorted ascending.
+        let mut fanout_offsets = vec![0u32; nets + 1];
+        for c in self.cells.iter().filter(|c| c.kind != CellKind::Dff) {
+            let (ins, len) = distinct_inputs(c);
+            for &inp in &ins[..len] {
+                fanout_offsets[inp.index() + 1] += 1;
+            }
+        }
+        for i in 0..nets {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let mut fanout_cells = vec![0u32; fanout_offsets[nets] as usize];
+        let mut cursor: Vec<u32> = fanout_offsets[..nets].to_vec();
+        // in-degree = number of distinct input nets driven by comb cells
         let mut indeg = vec![0u32; n];
-        // fanout adjacency from combinational cell -> dependent comb cells
-        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, c) in self.cells.iter().enumerate() {
             if c.kind == CellKind::Dff {
                 continue;
             }
-            for &inp in &c.inputs[..c.kind.arity()] {
+            let (ins, len) = distinct_inputs(c);
+            for &inp in &ins[..len] {
+                fanout_cells[cursor[inp.index()] as usize] = i as u32;
+                cursor[inp.index()] += 1;
                 if let Driver::Cell(src) = self.drivers[inp.index()] {
                     if self.cells[src.index()].kind != CellKind::Dff {
-                        fanout[src.index()].push(i as u32);
                         indeg[i] += 1;
                     }
                 }
             }
         }
-        let mut order = Vec::with_capacity(n);
+
+        // Kahn's algorithm; levels finalize when a cell is popped because
+        // all its combinational fanins are already done.
+        let mut level = vec![0u32; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
         let mut stack: Vec<u32> = (0..n as u32)
             .filter(|&i| self.cells[i as usize].kind != CellKind::Dff && indeg[i as usize] == 0)
             .collect();
+        let mut max_level = 0u32;
         while let Some(i) = stack.pop() {
-            order.push(CellId(i));
-            for &j in &fanout[i as usize] {
+            let c = &self.cells[i as usize];
+            let mut lv = 0u32;
+            for &inp in &c.inputs[..c.kind.arity()] {
+                if let Driver::Cell(src) = self.drivers[inp.index()] {
+                    if self.cells[src.index()].kind != CellKind::Dff {
+                        lv = lv.max(level[src.index()] + 1);
+                    }
+                }
+            }
+            level[i as usize] = lv;
+            max_level = max_level.max(lv);
+            order.push(i);
+            let lo = fanout_offsets[c.output.index()] as usize;
+            let hi = fanout_offsets[c.output.index() + 1] as usize;
+            for &j in &fanout_cells[lo..hi] {
                 indeg[j as usize] -= 1;
                 if indeg[j as usize] == 0 {
                     stack.push(j);
@@ -636,7 +765,14 @@ impl Netlist {
                 .expect("cycle implies a blocked cell");
             return Err(NetlistError::CombinationalCycle(CellId(blocked as u32)));
         }
-        Ok(order)
+        order.sort_unstable_by_key(|&i| (level[i as usize], i));
+        Ok(Levelization {
+            order: order.into_iter().map(CellId).collect(),
+            level,
+            max_level,
+            fanout_offsets,
+            fanout_cells,
+        })
     }
 
     /// Validates the netlist: acyclic combinational logic and fully driven

@@ -67,9 +67,38 @@ impl PowerEstimator {
     ///
     /// Panics if `ops == 0`.
     pub fn from_activity(netlist: &Netlist, sim: &Simulator<'_>, ops: u64) -> PowerBreakdown {
+        Self::from_toggles(
+            netlist,
+            sim.toggles(),
+            sim.total_events(),
+            sim.cycles(),
+            ops,
+        )
+    }
+
+    /// Derives a [`PowerBreakdown`] from raw activity counters, without a
+    /// live simulator. `toggles` is a per-net committed-transition count
+    /// (as returned by [`Simulator::toggles`]), `events` the total
+    /// committed transitions and `cycles` the clock-cycle count — the
+    /// merged sums of several independent runs are valid inputs, which is
+    /// what thread-sharded Monte-Carlo campaigns feed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops == 0` or `toggles` is shorter than the net array.
+    pub fn from_toggles(
+        netlist: &Netlist,
+        toggles: &[u64],
+        events: u64,
+        cycles: u64,
+        ops: u64,
+    ) -> PowerBreakdown {
         assert!(ops > 0, "power estimation needs at least one operation");
+        assert!(
+            toggles.len() >= netlist.net_count(),
+            "toggle counters must cover every net"
+        );
         let tech = netlist.tech();
-        let toggles = sim.toggles();
 
         let mut total_fj = 0.0f64;
         let mut per_block: HashMap<&str, f64> = HashMap::new();
@@ -95,7 +124,7 @@ impl PowerEstimator {
             *per_kind.entry(cell.kind).or_insert(0.0) += e;
         }
 
-        let clock_fj = sim.cycles() as f64 * netlist.dff_count() as f64 * tech.dff_clock_energy_fj;
+        let clock_fj = cycles as f64 * netlist.dff_count() as f64 * tech.dff_clock_energy_fj;
 
         let mut per_block_pj: Vec<(String, f64)> = per_block
             .into_iter()
@@ -115,7 +144,7 @@ impl PowerEstimator {
             leakage_mw: netlist.area_um2() * tech.leakage_nw_per_um2 * 1e-6,
             per_block_pj,
             per_kind_pj,
-            transitions_per_op: sim.total_events() as f64 / ops as f64,
+            transitions_per_op: events as f64 / ops as f64,
         }
     }
 }

@@ -21,7 +21,7 @@
 //! - **Sequential**: [`Simulator::step_cycle`] applies inputs, clocks all
 //!   DFFs once and settles; registered values move one stage per call.
 
-use crate::netlist::{Driver, NetId, Netlist};
+use crate::netlist::{Driver, Levelization, NetId, Netlist};
 use crate::tech::CellKind;
 use mfm_telemetry::{Counter, Histogram, Registry};
 use std::cmp::Reverse;
@@ -98,10 +98,10 @@ struct ActiveFault {
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
     values: Vec<bool>,
-    /// Fanout cells (indices) per net, combinational cells only.
-    fanout: Vec<Vec<u32>>,
-    /// DFF cells fed by each net (for D sampling they need no events,
-    /// kept only for completeness checks).
+    /// Shared levelization: topo order + CSR net→fanout map, borrowed
+    /// from the netlist's cache (computed once per netlist, not per
+    /// simulator).
+    lev: &'a Levelization,
     heap: BinaryHeap<Reverse<(Time, u64, u32, bool)>>,
     seq: u64,
     now: Time,
@@ -145,22 +145,13 @@ impl<'a> Simulator<'a> {
     /// Panics if the netlist contains a combinational cycle (validate with
     /// [`Netlist::check`] first for a recoverable error).
     pub fn new(netlist: &'a Netlist) -> Self {
-        let order = netlist
-            .topo_order()
+        let lev = netlist
+            .levelization()
             .expect("Simulator requires an acyclic netlist");
-        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); netlist.net_count()];
         let mut delays = Vec::with_capacity(netlist.cell_count());
-        for (i, cell) in netlist.cells().iter().enumerate() {
+        for cell in netlist.cells() {
             let d = netlist.tech().params(cell.kind).delay_ps;
             delays.push((d * TIME_SCALE).round() as Time);
-            if cell.kind != CellKind::Dff {
-                for &inp in &cell.inputs[..cell.kind.arity()] {
-                    fanout[inp.index()].push(i as u32);
-                }
-            }
-        }
-        for f in &mut fanout {
-            f.dedup();
         }
         let dff_cells = netlist
             .cells()
@@ -173,7 +164,7 @@ impl<'a> Simulator<'a> {
         let mut sim = Simulator {
             netlist,
             values: vec![false; netlist.net_count()],
-            fanout,
+            lev,
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
@@ -193,7 +184,7 @@ impl<'a> Simulator<'a> {
         // Constant-1 net.
         sim.values[netlist.one().index()] = true;
         // Settle the all-zero state without counting activity.
-        for cell_id in order {
+        for &cell_id in lev.order() {
             let cell = &netlist.cells()[cell_id.index()];
             let out = sim.eval_cell(cell_id.index());
             sim.values[cell.output.index()] = out;
@@ -387,6 +378,19 @@ impl<'a> Simulator<'a> {
         self.faults.len()
     }
 
+    /// The currently active *stuck-at* faults as `(net, forced value)`
+    /// pairs, in deterministic net order. Transient faults (which are
+    /// time-dependent and only meaningful to the event-driven engine) are
+    /// excluded — this is the overlay a compiled correctness check
+    /// replays (see [`crate::compiled`]).
+    pub fn stuck_faults(&self) -> Vec<(NetId, bool)> {
+        self.faults
+            .iter()
+            .filter(|(_, f)| f.expires.is_none())
+            .map(|(&ni, f)| (NetId(ni), f.forced))
+            .collect()
+    }
+
     fn schedule(&mut self, at: Time, net: NetId, value: bool) {
         self.seq += 1;
         self.newest[net.index()] = self.seq;
@@ -441,15 +445,8 @@ impl<'a> Simulator<'a> {
         for (&ni, f) in &self.faults {
             self.values[ni as usize] = f.forced;
         }
-        let order = self
-            .netlist
-            .topo_order()
-            .expect("Simulator requires an acyclic netlist");
-        for cell_id in order {
+        for &cell_id in self.lev.order() {
             let cell = &self.netlist.cells()[cell_id.index()];
-            if cell.kind == CellKind::Dff {
-                continue;
-            }
             let out = cell.output;
             self.values[out.index()] = match self.faults.get(&out.0) {
                 Some(f) => f.forced,
@@ -512,7 +509,7 @@ impl<'a> Simulator<'a> {
             // Evaluate each affected combinational cell once.
             affected.clear();
             for &net in &touched {
-                affected.extend_from_slice(&self.fanout[net as usize]);
+                affected.extend_from_slice(self.lev.fanout_of(NetId(net)));
             }
             affected.sort_unstable();
             affected.dedup();

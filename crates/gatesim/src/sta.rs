@@ -93,8 +93,9 @@ impl<'a> TimingAnalysis<'a> {
     /// first for a recoverable error.
     pub fn new(netlist: &'a Netlist) -> Self {
         let order = netlist
-            .topo_order()
-            .expect("TimingAnalysis requires an acyclic netlist");
+            .levelization()
+            .expect("TimingAnalysis requires an acyclic netlist")
+            .order();
         let tech = netlist.tech();
         let clk2q = tech.params(CellKind::Dff).delay_ps;
 
@@ -111,7 +112,7 @@ impl<'a> TimingAnalysis<'a> {
             reach[cell.output.index()] = FROM_REG;
         }
 
-        for cell_id in order {
+        for &cell_id in order {
             let cell = &netlist.cells()[cell_id.index()];
             let d = tech.params(cell.kind).delay_ps;
             let mut best = f64::NEG_INFINITY;
@@ -244,7 +245,10 @@ impl<'a> TimingAnalysis<'a> {
                 required[net.index()] = required[net.index()].min(period_ps);
             }
         }
-        let order = netlist.topo_order().expect("acyclic (checked in new)");
+        let order = netlist
+            .levelization()
+            .expect("acyclic (checked in new)")
+            .order();
         for &cell_id in order.iter().rev() {
             let cell = &netlist.cells()[cell_id.index()];
             let d = tech.params(cell.kind).delay_ps;

@@ -13,10 +13,10 @@
 //! pool gauges. There is no wall-clock anywhere, so a seeded run is
 //! bit-reproducible.
 
-use mfm_gatesim::{NetId, Netlist};
+use mfm_gatesim::{CompiledNetlist, NetId, Netlist};
 use mfm_softfloat::Flags;
 use mfm_telemetry::{Counter, Gauge, Registry};
-use mfmult::selfcheck::{scrub_battery, SelfCheckingUnit};
+use mfmult::selfcheck::{run_scrub_compiled, scrub_battery, SelfCheckingUnit};
 use mfmult::structural::StructuralPorts;
 use mfmult::{FunctionalUnit, MultResult, Operation};
 
@@ -151,6 +151,11 @@ pub struct Engine<'a> {
     units: Vec<PoolUnit<'a>>,
     reference: FunctionalUnit,
     battery: Vec<Operation>,
+    /// Bit-parallel compiled form of the shared netlist: the scrub
+    /// prefilter replays the whole battery in a handful of 64-lane
+    /// passes before committing to the event-driven replay.
+    compiled: CompiledNetlist,
+    ports: StructuralPorts,
     queue: std::collections::VecDeque<(u64, Operation)>,
     queue_depth: usize,
     breaker: BreakerConfig,
@@ -215,10 +220,13 @@ impl<'a> Engine<'a> {
             pu.unit.sim_mut().detach_telemetry();
             pu.unit.sim_mut().set_settle_budget(Some(watchdog_budget));
         }
+        let compiled = CompiledNetlist::compile(netlist).expect("pool netlist must be acyclic");
         Engine {
             units: pool,
             reference: FunctionalUnit::new(),
             battery,
+            compiled,
+            ports: ports.clone(),
             queue: std::collections::VecDeque::new(),
             queue_depth: cfg.queue_depth.max(1),
             breaker: cfg.breaker,
@@ -455,12 +463,25 @@ impl<'a> Engine<'a> {
     /// Scrub-and-readmit for unit `i`: repair the hardware, re-assert
     /// the sticky environment faults (a scrub cannot fix a physical
     /// defect), then replay the battery. Returns whether the unit passed.
+    ///
+    /// The battery is first replayed through the compiled bit-parallel
+    /// engine against the unit's stuck-at overlay (one 64-lane pass for
+    /// the whole battery). Settled values are a pure function of the
+    /// inputs plus that overlay, so a compiled *failure* is conclusive
+    /// and fast-fails the scrub without the event-driven replay; a
+    /// compiled *pass* is not sufficient (the watchdog verdict is
+    /// timing-dependent), so it falls through to the full replay.
     fn scrub(&mut self, i: usize) -> bool {
         let u = &mut self.units[i];
         u.unit.repair();
         u.pending_delay.clear();
         for &(net, value) in &u.sticky {
             u.unit.inject_stuck_at(net, value);
+        }
+        let overlay = u.unit.sim().stuck_faults();
+        if let Err(fail) = run_scrub_compiled(&self.compiled, &self.ports, &overlay, &self.battery)
+        {
+            return u.unit.note_scrub_outcome(Err(fail));
         }
         u.unit.try_recover_with(&self.battery)
     }
