@@ -7,6 +7,7 @@
 //! here on the delay/area plane.
 
 use mfm_gatesim::{NetId, Netlist};
+use std::collections::HashMap;
 
 /// The adder architectures available to the generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +66,50 @@ pub fn build_adder(
     }
 }
 
+/// Carry out of `a + b + cin`, with no sum bits.
+///
+/// Magnitude and range checks that only read a carry (the borrow of a
+/// subtract, the sign of a difference) would leave every sum XOR of a
+/// full adder dead. This builds a balanced (G, P) segment-reduction tree
+/// instead, in which every cell feeds the result: `O(w)` cells,
+/// `O(log w)` depth.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn build_carry_out(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> NetId {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    assert!(!a.is_empty(), "zero-width carry chain");
+    let zero = n.zero();
+    // Carry-in as a phantom bit below the LSB: G = cin, P = 0. Constant
+    // folding erases it when `cin` is the constant zero.
+    let mut gp: Vec<(NetId, NetId)> = Vec::with_capacity(a.len() + 1);
+    gp.push((cin, zero));
+    for (&x, &y) in a.iter().zip(b) {
+        gp.push((n.and2(x, y), n.xor2(x, y)));
+    }
+    gp_segment(n, &gp, false).0
+}
+
+/// Combines a slice of (G, P) pairs into the segment's pair. With
+/// `need_p` false the segment P is not built (the caller only reads G);
+/// the returned P is then a placeholder that must not be used.
+fn gp_segment(n: &mut Netlist, gp: &[(NetId, NetId)], need_p: bool) -> (NetId, NetId) {
+    if gp.len() == 1 {
+        return gp[0];
+    }
+    let (lo, hi) = gp.split_at(gp.len() / 2);
+    let (gl, pl) = gp_segment(n, lo, need_p);
+    // The hi half's P feeds `t = ph & gl`; when gl is constant zero that
+    // term folds away, so ph is only needed if the caller wants our P.
+    let need_ph = need_p || n.const_value(gl) != Some(false);
+    let (gh, ph) = gp_segment(n, hi, need_ph);
+    let t = n.and2(ph, gl);
+    let g = n.or2(gh, t);
+    let p = if need_p { n.and2(ph, pl) } else { ph };
+    (g, p)
+}
+
 /// Functional twin: `a + b + cin` truncated to `width` bits plus carry-out.
 pub fn adder_func(a: u128, b: u128, cin: bool, width: u32) -> (u128, bool) {
     assert!(width <= 127, "functional twin supports up to 127 bits");
@@ -92,10 +137,18 @@ fn carry_lookahead(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> Add
     let g: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| n.and2(x, y)).collect();
     let p: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| n.xor2(x, y)).collect();
     let gp: Vec<(NetId, NetId)> = g.into_iter().zip(p.iter().copied()).collect();
-    let (carries, gg, gpp) = lookahead(n, &gp, cin);
+    // The overall P is consumed only by the `P·cin` term of cout; with no
+    // live carry-in the term vanishes and P need not be built at all.
+    let cin_live = n.const_value(cin) != Some(false);
+    let (carries, gg, gpp) = lookahead(n, &gp, cin, cin_live);
     let sum: Vec<NetId> = (0..width).map(|i| n.xor2(p[i], carries[i])).collect();
-    let pc = n.and2(gpp, cin);
-    let cout = n.or2(gg, pc);
+    let cout = match gpp {
+        Some(pp) => {
+            let pc = n.and2(pp, cin);
+            n.or2(gg, pc)
+        }
+        None => gg,
+    };
     AdderPorts { sum, cout }
 }
 
@@ -117,80 +170,117 @@ fn or_tree(n: &mut Netlist, mut terms: Vec<NetId>) -> NetId {
     terms[0]
 }
 
-/// Two-level lookahead *group* functions for a block of up to 4 (g, p)
-/// pairs: returns the block's (G, P).
-fn block4_gp(n: &mut Netlist, gp: &[(NetId, NetId)]) -> (NetId, NetId) {
-    debug_assert!(!gp.is_empty() && gp.len() <= 4);
-    let top = gp.len() - 1;
-    // G = g_top | p_top g_{top-1} | … | (p_top…p_1) g_0
-    let mut gterms: Vec<NetId> = vec![gp[top].0];
-    for j in (0..top).rev() {
-        let mut run = gp[j + 1].1;
-        for pair in &gp[j + 2..=top] {
-            run = n.and2(run, pair.1);
-        }
-        gterms.push(n.and2(run, gp[j].0));
-    }
-    let g = or_tree(n, gterms);
-    let mut p = gp[0].1;
-    for pair in &gp[1..] {
-        p = n.and2(p, pair.1);
-    }
-    (g, p)
+/// Memoized AND-runs `p_j & … & p_i` over one lookahead block, so the
+/// block's group functions and its internal carry expansion share every
+/// propagate product. The classic 74182 netlist rebuilds these runs per
+/// sum-of-products term, leaving structural duplicates.
+struct PropRuns {
+    p: Vec<NetId>,
+    memo: HashMap<(usize, usize), NetId>,
 }
 
-/// Two-level lookahead carries for a block of up to 4 (g, p) pairs:
-/// returns the carries *out of* positions 0..len given the block carry-in.
-fn block4_carries(n: &mut Netlist, gp: &[(NetId, NetId)], cin: NetId) -> Vec<NetId> {
-    debug_assert!(!gp.is_empty() && gp.len() <= 4);
-    let mut pp = Vec::with_capacity(gp.len());
-    pp.push(gp[0].1);
-    for i in 1..gp.len() {
-        let prev = pp[i - 1];
-        pp.push(n.and2(gp[i].1, prev));
-    }
-    let mut carries = Vec::with_capacity(gp.len());
-    for i in 0..gp.len() {
-        // c_{i+1} = g_i | p_i g_{i-1} | … | (p_i…p_0) cin
-        let mut terms: Vec<NetId> = vec![gp[i].0];
-        for j in (0..i).rev() {
-            let mut run = gp[j + 1].1;
-            for pair in &gp[j + 2..=i] {
-                run = n.and2(run, pair.1);
-            }
-            terms.push(n.and2(run, gp[j].0));
+impl PropRuns {
+    fn new(gp: &[(NetId, NetId)]) -> Self {
+        PropRuns {
+            p: gp.iter().map(|&(_, p)| p).collect(),
+            memo: HashMap::new(),
         }
-        terms.push(n.and2(pp[i], cin));
-        carries.push(or_tree(n, terms));
     }
-    carries
+
+    fn run(&mut self, n: &mut Netlist, j: usize, i: usize) -> NetId {
+        if j == i {
+            return self.p[j];
+        }
+        if let Some(&v) = self.memo.get(&(j, i)) {
+            return v;
+        }
+        let lo = self.run(n, j, i - 1);
+        let v = n.and2(lo, self.p[i]);
+        self.memo.insert((j, i), v);
+        v
+    }
+}
+
+/// Carry out of positions `..=i` of a block:
+/// `g_i | p_i g_{i-1} | … | (p_i…p_1) g_0`, plus `(p_i…p_0) cin` when a
+/// live carry-in is given. With `cin` `None` this is the block's group G.
+fn carry_sop(
+    n: &mut Netlist,
+    gp: &[(NetId, NetId)],
+    runs: &mut PropRuns,
+    i: usize,
+    cin: Option<NetId>,
+) -> NetId {
+    let mut terms: Vec<NetId> = vec![gp[i].0];
+    for j in (0..i).rev() {
+        let run = runs.run(n, j + 1, i);
+        terms.push(n.and2(run, gp[j].0));
+    }
+    if let Some(c) = cin {
+        let run = runs.run(n, 0, i);
+        terms.push(n.and2(run, c));
+    }
+    or_tree(n, terms)
+}
+
+/// A constant-zero carry-in contributes nothing to any sum-of-products
+/// term; treat it as absent so its propagate runs are never built.
+fn live_cin(n: &Netlist, cin: NetId) -> Option<NetId> {
+    (n.const_value(cin) != Some(false)).then_some(cin)
 }
 
 /// Recursive lookahead over arbitrarily many (g, p) pairs. Returns the
-/// carry *into* every position (index 0 = `cin`) plus the overall (G, P).
-fn lookahead(n: &mut Netlist, gp: &[(NetId, NetId)], cin: NetId) -> (Vec<NetId>, NetId, NetId) {
+/// carry *into* every position (index 0 = `cin`) plus the overall G, and
+/// the overall P only if `need_p` (it is not built otherwise).
+fn lookahead(
+    n: &mut Netlist,
+    gp: &[(NetId, NetId)],
+    cin: NetId,
+    need_p: bool,
+) -> (Vec<NetId>, NetId, Option<NetId>) {
+    let top = gp.len() - 1;
     if gp.len() <= 4 {
-        let (g, p) = block4_gp(n, gp);
+        let mut runs = PropRuns::new(gp);
+        let cin_t = live_cin(n, cin);
         let mut into = vec![cin];
-        if gp.len() > 1 {
-            into.extend(block4_carries(n, &gp[..gp.len() - 1], cin));
+        for i in 0..top {
+            into.push(carry_sop(n, gp, &mut runs, i, cin_t));
         }
+        let g = carry_sop(n, gp, &mut runs, top, None);
+        let p = need_p.then(|| runs.run(n, 0, top));
         return (into, g, p);
     }
     // Compute each 4-bit block's (G, P), recurse over blocks, then expand
-    // each block's internal carries from its block carry-in.
+    // each block's internal carries from its block carry-in — reusing the
+    // block's propagate runs from the group-function pass.
     let blocks: Vec<&[(NetId, NetId)]> = gp.chunks(4).collect();
-    let block_gp: Vec<(NetId, NetId)> = blocks.iter().map(|blk| block4_gp(n, blk)).collect();
-    let (block_cins, gg, pp) = lookahead(n, &block_gp, cin);
+    let cin_live = live_cin(n, cin).is_some();
+    let mut per_block: Vec<((NetId, NetId), PropRuns)> = Vec::with_capacity(blocks.len());
+    for (bi, blk) in blocks.iter().enumerate() {
+        let mut runs = PropRuns::new(blk);
+        let btop = blk.len() - 1;
+        let g = carry_sop(n, blk, &mut runs, btop, None);
+        // Block 0's group P is reachable only through runs starting at
+        // bit 0: the cin product and the caller's group P. Without either
+        // consumer it would be a dead cell; the placeholder is never read.
+        let p = if bi > 0 || cin_live || need_p {
+            runs.run(n, 0, btop)
+        } else {
+            g
+        };
+        per_block.push(((g, p), runs));
+    }
+    let block_pairs: Vec<(NetId, NetId)> = per_block.iter().map(|&(pair, _)| pair).collect();
+    let (block_cins, gg, gpp) = lookahead(n, &block_pairs, cin, need_p);
     let mut into = Vec::with_capacity(gp.len());
-    for (blk, &bcin) in blocks.iter().zip(&block_cins) {
+    for ((blk, &bcin), (_, runs)) in blocks.iter().zip(&block_cins).zip(per_block.iter_mut()) {
         into.push(bcin);
-        if blk.len() > 1 {
-            let carries = block4_carries(n, &blk[..blk.len() - 1], bcin);
-            into.extend(carries);
+        let bcin_t = live_cin(n, bcin);
+        for i in 0..blk.len() - 1 {
+            into.push(carry_sop(n, blk, runs, i, bcin_t));
         }
     }
-    (into, gg, pp)
+    (into, gg, gpp)
 }
 
 /// Carry-select with fixed 8-bit groups: each non-first group computes both
@@ -244,7 +334,12 @@ fn kogge_stone(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> AdderPo
             // (G, P) = (gi | (pi & gj), pi & pj)
             let t = n.and2(pi, gj);
             let gnew = n.or2(gi, t);
-            let pnew = n.and2(pi, pj);
+            // Once a node's group spans down to bit 0 (i < 2·dist) its G
+            // is the final carry and the group P is never consumed again;
+            // building it would leave a dead AND per such node (pruned
+            // Kogge–Stone). The stale P kept in `gp` is never read: later
+            // levels only read P[i] for i ≥ dist, which this rule built.
+            let pnew = if i >= dist * 2 { n.and2(pi, pj) } else { pi };
             gp[i] = (gnew, pnew);
         }
         dist *= 2;
@@ -261,12 +356,114 @@ fn kogge_stone(n: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> AdderPo
     }
 }
 
+/// A runtime-sectionable cut in an adder's carry chain, for multi-format
+/// lane isolation: the carry into position `bit` becomes
+/// `pass ? carry : forced`.
+///
+/// When `pass` is 1 the adder behaves exactly like the monolithic one
+/// (the stitched carry is the real carry). When `pass` is 0 the chain is
+/// cut and the section above `bit` starts from the `forced` constant —
+/// the value the carry is known to take *arithmetically* in the
+/// sectioned operating mode, so results are unchanged while the
+/// structural cone of the upper section no longer reaches the lower
+/// section's operand bits.
+#[derive(Debug, Clone, Copy)]
+pub struct CarrySeam {
+    /// Bit position the seam cuts into (carry into `bit`).
+    pub bit: usize,
+    /// Pass-enable net: 1 = carry flows, 0 = chain cut.
+    pub pass: NetId,
+    /// Carry value injected when the chain is cut.
+    pub forced: NetId,
+}
+
+/// Builds an adder whose carry chain can be cut at runtime at the given
+/// lane seams (see [`CarrySeam`]). With an empty `seams` this is exactly
+/// [`build_adder`].
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero, or if the seam bits
+/// are not strictly increasing inside `(0, width)`.
+pub fn build_adder_sectioned(
+    n: &mut Netlist,
+    kind: AdderKind,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+    seams: &[CarrySeam],
+) -> AdderPorts {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    assert!(!a.is_empty(), "zero-width adder");
+    for (i, s) in seams.iter().enumerate() {
+        assert!(
+            s.bit > 0 && s.bit < a.len(),
+            "seam bit {} outside (0, {})",
+            s.bit,
+            a.len()
+        );
+        assert!(
+            i == 0 || seams[i - 1].bit < s.bit,
+            "seam bits must be strictly increasing"
+        );
+    }
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    let mut start = 0usize;
+    for (idx, end) in seams
+        .iter()
+        .map(|s| s.bit)
+        .chain(std::iter::once(a.len()))
+        .enumerate()
+    {
+        let ports = build_adder(n, kind, &a[start..end], &b[start..end], carry);
+        sum.extend(ports.sum);
+        if idx == seams.len() {
+            return AdderPorts {
+                sum,
+                cout: ports.cout,
+            };
+        }
+        carry = n.mux2(seams[idx].pass, seams[idx].forced, ports.cout);
+        start = end;
+    }
+    unreachable!("loop returns at the final section")
+}
+
 /// Builds a subtractor `a − b` as `a + ~b + 1` using the given architecture.
 /// Returns the two's-complement difference (carry-out high means no borrow).
 pub fn build_subtractor(n: &mut Netlist, kind: AdderKind, a: &[NetId], b: &[NetId]) -> AdderPorts {
+    build_subtractor_sectioned(n, kind, a, b, &[])
+}
+
+/// Builds a subtractor `a − b` whose borrow chain can be cut at runtime
+/// at the given `(bit, pass)` lane seams.
+///
+/// In two's-complement form `a + ~b + 1` the complemented gap bits
+/// between packed lanes are all 1, so the borrow chain *structurally*
+/// crosses lane boundaries even when the lanes are arithmetically
+/// independent. When each lane's local difference is known non-negative
+/// (e.g. `8X − X` per packed mantissa), the carry into every lane
+/// boundary is the constant 1 (no borrow), so a cut seam forces 1 —
+/// identical results, isolated cones.
+pub fn build_subtractor_sectioned(
+    n: &mut Netlist,
+    kind: AdderKind,
+    a: &[NetId],
+    b: &[NetId],
+    seams: &[(usize, NetId)],
+) -> AdderPorts {
     let nb: Vec<NetId> = b.iter().map(|&x| n.not(x)).collect();
     let one = n.one();
-    build_adder(n, kind, a, &nb, one)
+    let seams: Vec<CarrySeam> = seams
+        .iter()
+        .map(|&(bit, pass)| CarrySeam {
+            bit,
+            pass,
+            forced: one,
+        })
+        .collect();
+    build_adder_sectioned(n, kind, a, &nb, one, &seams)
 }
 
 #[cfg(test)]
@@ -299,6 +496,36 @@ mod tests {
                 want_cout,
                 "{kind:?} w={width} cout of {x}+{y}+{c}"
             );
+        }
+    }
+
+    #[test]
+    fn carry_out_only_matches_adder_and_leaves_no_dead_cells() {
+        for width in [1usize, 2, 3, 7, 8, 13, 16, 17] {
+            let mut n = Netlist::new(TechLibrary::cmos45lp());
+            let a = n.input_bus("a", width);
+            let b = n.input_bus("b", width);
+            let cin = n.input("cin");
+            let cout = build_carry_out(&mut n, &a, &b, cin);
+            n.output_bus("cout", &[cout]);
+            n.check().unwrap();
+            // Every cell participates in the carry: no dead logic.
+            let lev = n.levelization().unwrap();
+            for cell in n.cells() {
+                assert!(
+                    !lev.consumers_of(cell.output).is_empty() || cell.output == cout,
+                    "w={width}: dead cell in carry-out tree"
+                );
+            }
+            let mut sim = Simulator::new(&n);
+            for &(x, y, c) in &standard_cases(width as u32) {
+                sim.set_bus(&a, x);
+                sim.set_bus(&b, y);
+                sim.set_net(cin, c);
+                sim.settle();
+                let (_, want) = adder_func(x, y, c, width as u32);
+                assert_eq!(sim.read_net(cout), want, "w={width} cout of {x}+{y}+{c}");
+            }
         }
     }
 

@@ -5,7 +5,7 @@
 //! carry-propagate addition: `3X = X + 2X`, `5X = X + 4X`, `7X = 8X − X`,
 //! and `6X = 3X << 1` (all as in Sec. II of the paper).
 
-use crate::adder::{build_adder, build_subtractor, AdderKind};
+use crate::adder::{build_adder, build_subtractor_sectioned, AdderKind};
 use mfm_gatesim::{NetId, Netlist};
 
 /// The multiples `1X..=maxX` as equal-width buses; `bus(k)` is `k·X`.
@@ -67,6 +67,32 @@ fn shl(n: &Netlist, bus: &[NetId], k: usize, width: usize) -> Vec<NetId> {
 ///
 /// Panics unless `max` is 2, 4 or 8 (radix 4, 8, 16 respectively).
 pub fn build_multiples(n: &mut Netlist, x: &[NetId], max: usize, adder: AdderKind) -> Multiples {
+    build_multiples_sectioned(n, x, max, adder, &[])
+}
+
+/// [`build_multiples`] with runtime lane seams for multi-format packing.
+///
+/// `seams` lists `(bit, pass)` cuts in multiplicand-bit space: when a
+/// pass net is 0, `x` holds independently packed lane mantissas whose
+/// sections meet at `bit`, and the odd-multiple arithmetic must not let
+/// one lane's bits reach another's cone.
+///
+/// Only `7X = 8X − X` needs the cut. Its two's-complement borrow chain
+/// propagates across the inter-lane zero gap (the complemented gap bits
+/// are all 1), so without a seam every upper-lane 7X bit structurally
+/// depends on the lower mantissa even though the crossing carry is the
+/// constant 1 (a lane's `8m − m` never borrows). The additive multiples
+/// `3X = X + 2X` and `5X = X + 4X` are left monolithic: a packed lane's
+/// shifted addend still leaves at least one all-zero column in the gap,
+/// which kills their carry chains statically — a fact `mfm-lint`'s
+/// constrained cone analysis proves on every build.
+pub fn build_multiples_sectioned(
+    n: &mut Netlist,
+    x: &[NetId],
+    max: usize,
+    adder: AdderKind,
+    seams: &[(usize, NetId)],
+) -> Multiples {
     let extra = match max {
         2 => 1,
         4 => 2,
@@ -98,7 +124,7 @@ pub fn build_multiples(n: &mut Netlist, x: &[NetId], max: usize, adder: AdderKin
         buses.push(shl(n, &three, 1, width));
         // 7X = 8X − X
         let x8 = shl(n, x, 3, width);
-        let seven = build_subtractor(n, adder, &x8, &x1).sum;
+        let seven = build_subtractor_sectioned(n, adder, &x8, &x1, seams).sum;
         buses.push(seven);
         buses.push(shl(n, x, 3, width));
     }

@@ -135,13 +135,18 @@ pub fn radix16_recoder(n: &mut Netlist, y: &[NetId]) -> Vec<RecodedDigit> {
         let nu1 = n.not(u1);
         let nu2 = n.not(u2);
         let nu3 = n.not(u3);
+        // The low-pair product only depends on k mod 4; build the four
+        // combinations once and share them across the eight minterms.
+        let m01 = [
+            n.and2(nu0, nu1),
+            n.and2(u0, nu1),
+            n.and2(nu0, u1),
+            n.and2(u0, u1),
+        ];
         let mut eq = Vec::with_capacity(9);
         for k in 0..8u32 {
-            let l0 = if k & 1 == 1 { u0 } else { nu0 };
-            let l1 = if k & 2 == 2 { u1 } else { nu1 };
             let l2 = if k & 4 == 4 { u2 } else { nu2 };
-            let m01 = n.and2(l0, l1);
-            let m012 = n.and2(m01, l2);
+            let m012 = n.and2(m01[(k & 3) as usize], l2);
             eq.push(n.and2(m012, nu3));
         }
         eq.push(u3); // u == 8

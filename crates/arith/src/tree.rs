@@ -153,25 +153,40 @@ pub fn reduce_to_height(
         for col in 0..width {
             // Keep compressing until this column fits the target.
             // Carries pushed into col+1 are counted when we get there.
+            // A carry out of the last column falls off the array
+            // (arithmetic is mod 2^width), so the top column builds the
+            // sum alone rather than a dead carry cell.
+            let top = col + 1 >= width;
             while arr.cols[col].len() > target {
                 let excess = arr.cols[col].len() - target;
                 if excess == 1 {
                     // Half adder: 2 bits → 1 sum + 1 carry.
                     let a = arr.cols[col].remove(0);
                     let b = arr.cols[col].remove(0);
-                    let (s, c) = n.half_adder(a, b);
-                    let c = gate_carry(n, c, col + 1);
+                    let s = if top {
+                        n.xor2(a, b)
+                    } else {
+                        let (s, c) = n.half_adder(a, b);
+                        let c = gate_carry(n, c, col + 1);
+                        arr.add_bit(col + 1, c);
+                        s
+                    };
                     arr.cols[col].push(s);
-                    arr.add_bit(col + 1, c);
                 } else {
                     // Full adder: 3 bits → 1 sum + 1 carry.
                     let a = arr.cols[col].remove(0);
                     let b = arr.cols[col].remove(0);
                     let c0 = arr.cols[col].remove(0);
-                    let (s, c) = n.full_adder(a, b, c0);
-                    let c = gate_carry(n, c, col + 1);
+                    let s = if top {
+                        let ab = n.xor2(a, b);
+                        n.xor2(ab, c0)
+                    } else {
+                        let (s, c) = n.full_adder(a, b, c0);
+                        let c = gate_carry(n, c, col + 1);
+                        arr.add_bit(col + 1, c);
+                        s
+                    };
                     arr.cols[col].push(s);
-                    arr.add_bit(col + 1, c);
                 }
             }
         }
@@ -211,14 +226,23 @@ pub fn reduce_to_two_42(
             // Horizontal carries from the previous column join this
             // column's bit pool at the same weight.
             bits.append(&mut hin[col]);
+            // Carries out of the last column fall off the array
+            // (arithmetic is mod 2^width) — the top column keeps only
+            // the parity of its bits instead of building dead carries.
+            let top = col + 1 >= width;
             let mut i = 0;
             while bits.len() - i >= 4 {
-                let (ports, hout) =
-                    crate::csa::csa42_bit(n, bits[i], bits[i + 1], bits[i + 2], bits[i + 3]);
-                next.add_bit(col, ports.0);
-                let c = gate(n, ports.1, col + 1);
-                next.add_bit(col + 1, c);
-                if col + 1 < width {
+                if top {
+                    let ab = n.xor2(bits[i], bits[i + 1]);
+                    let cd = n.xor2(bits[i + 2], bits[i + 3]);
+                    let s = n.xor2(ab, cd);
+                    next.add_bit(col, s);
+                } else {
+                    let (ports, hout) =
+                        crate::csa::csa42_bit(n, bits[i], bits[i + 1], bits[i + 2], bits[i + 3]);
+                    next.add_bit(col, ports.0);
+                    let c = gate(n, ports.1, col + 1);
+                    next.add_bit(col + 1, c);
                     let h = gate(n, hout, col + 1);
                     hin[col + 1].push(h);
                 }
@@ -226,16 +250,26 @@ pub fn reduce_to_two_42(
             }
             match bits.len() - i {
                 3 => {
-                    let (s, c) = n.full_adder(bits[i], bits[i + 1], bits[i + 2]);
-                    next.add_bit(col, s);
-                    let c = gate(n, c, col + 1);
-                    next.add_bit(col + 1, c);
+                    if top {
+                        let ab = n.xor2(bits[i], bits[i + 1]);
+                        let s = n.xor2(ab, bits[i + 2]);
+                        next.add_bit(col, s);
+                    } else {
+                        let (s, c) = n.full_adder(bits[i], bits[i + 1], bits[i + 2]);
+                        next.add_bit(col, s);
+                        let c = gate(n, c, col + 1);
+                        next.add_bit(col + 1, c);
+                    }
                 }
                 2 => {
-                    let (s, c) = n.half_adder(bits[i], bits[i + 1]);
-                    next.add_bit(col, s);
-                    let c = gate(n, c, col + 1);
-                    next.add_bit(col + 1, c);
+                    if top {
+                        next.add_bit(col, n.xor2(bits[i], bits[i + 1]));
+                    } else {
+                        let (s, c) = n.half_adder(bits[i], bits[i + 1]);
+                        next.add_bit(col, s);
+                        let c = gate(n, c, col + 1);
+                        next.add_bit(col + 1, c);
+                    }
                 }
                 1 => next.add_bit(col, bits[i]),
                 _ => {}

@@ -1,0 +1,220 @@
+//! Static lint gate: runs all `mfm-lint` passes over every built unit,
+//! prints the per-block findings table and the proved isolation facts,
+//! and exits non-zero on any finding not covered by the committed
+//! allowlist.
+//!
+//! Usage: `lint [--unit NAME] [--baseline <path>] [--write-baseline] [--json <path>]`
+//!
+//! - `--baseline` defaults to `lint_baseline.json` at the repo root (next
+//!   to the workspace `Cargo.toml`); pass an explicit path in CI.
+//! - `--write-baseline` regenerates the allowlist covering the current
+//!   findings with placeholder reasons — edit the reasons by hand before
+//!   committing (the parser rejects `TODO` reasons).
+//! - `--unit` restricts the run to one unit (the gate is still applied,
+//!   against that unit's slice of the baseline).
+
+use mfm_bench::cli;
+use mfm_evalkit::runreport::RunReport;
+use mfm_gatesim::report::Table;
+use mfm_lint::baseline::{self, Baseline};
+use mfm_lint::{lint_unit, standard_units, UnitReport};
+use mfm_telemetry::json::{JsonArray, JsonObject};
+use mfm_telemetry::Registry;
+use std::collections::BTreeMap;
+
+fn default_baseline_path() -> std::path::PathBuf {
+    // bench lives at crates/bench; the baseline is committed at the repo
+    // root so it is visible (and reviewable) next to the top-level docs.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint_baseline.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--unit" | "--baseline" | "--json" => {
+                it.next();
+            }
+            "--write-baseline" => {}
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: lint [--unit NAME] [--baseline <path>] \
+                     [--write-baseline] [--json <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let unit_filter = cli::arg_str(&args, "--unit");
+    let baseline_path = cli::arg_str(&args, "--baseline")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_baseline_path);
+
+    let registry = Registry::new();
+    println!("=== mfm-lint: static netlist analysis over every built unit ===\n");
+
+    let reports: Vec<UnitReport> = {
+        let _span = registry.span("lint");
+        standard_units()
+            .iter()
+            .filter(|u| unit_filter.as_deref().is_none_or(|f| u.name == f))
+            .map(lint_unit)
+            .collect()
+    };
+    if reports.is_empty() {
+        eprintln!("no unit matches --unit {:?}", unit_filter.unwrap());
+        std::process::exit(2);
+    }
+
+    // Per-unit summary.
+    let mut summary = Table::new(&["unit", "cells", "nets", "proofs", "findings"]);
+    for r in &reports {
+        summary.row_owned(vec![
+            r.unit.clone(),
+            r.cells.to_string(),
+            r.nets.to_string(),
+            r.proofs.len().to_string(),
+            r.findings.len().to_string(),
+        ]);
+        registry
+            .counter(&format!("lint.findings.{}", r.unit))
+            .add(r.findings.len() as u64);
+    }
+    println!("{summary}");
+
+    // Per-block findings table.
+    let mut by_block: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+    for r in &reports {
+        for f in &r.findings {
+            *by_block
+                .entry((r.unit.clone(), f.block.clone(), f.rule.code().to_owned()))
+                .or_insert(0) += 1;
+        }
+    }
+    if !by_block.is_empty() {
+        let mut t = Table::new(&["unit", "block", "rule", "count"]);
+        for ((unit, block, rule), count) in &by_block {
+            t.row_owned(vec![
+                unit.clone(),
+                block.clone(),
+                rule.clone(),
+                count.to_string(),
+            ]);
+        }
+        println!("findings per block:\n{t}");
+    }
+
+    println!("proved isolation facts:");
+    for r in &reports {
+        for p in &r.proofs {
+            println!("  [{}] {p}", r.unit);
+        }
+    }
+    println!();
+
+    if cli::has_flag(&args, "--write-baseline") {
+        let b = Baseline::covering(&reports);
+        std::fs::write(&baseline_path, b.to_json() + "\n").expect("write baseline");
+        println!(
+            "wrote {} ({} entries) — edit the TODO reasons before committing",
+            baseline_path.display(),
+            b.entries.len()
+        );
+        return;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("FAIL: bad baseline {}: {e}", baseline_path.display());
+                std::process::exit(2);
+            }
+        },
+        Err(_) => {
+            println!(
+                "note: no baseline at {} — gating on zero findings",
+                baseline_path.display()
+            );
+            Baseline::default()
+        }
+    };
+    let slice = match &unit_filter {
+        Some(f) => Baseline {
+            entries: baseline
+                .entries
+                .iter()
+                .filter(|e| &e.unit == f)
+                .cloned()
+                .collect(),
+        },
+        None => baseline,
+    };
+    let gate = baseline::diff(&reports, &slice);
+
+    for (e, actual) in &gate.stale {
+        println!(
+            "note: stale baseline entry ({}, {}, {}): max {} but only {} found — ratchet it down",
+            e.unit, e.rule, e.block, e.max, actual
+        );
+    }
+    for v in &gate.violations {
+        println!(
+            "UNBASELINED: {} findings for ({}, {}, {}), baseline allows {}:",
+            v.count, v.unit, v.rule, v.block, v.allowed
+        );
+        for m in v.messages.iter().take(8) {
+            println!("    {m}");
+        }
+        if v.messages.len() > 8 {
+            println!("    ... and {} more", v.messages.len() - 8);
+        }
+    }
+
+    if let Some(path) = cli::json_path(&args) {
+        let mut run = RunReport::new("lint");
+        run.param("units", &reports.len().to_string())
+            .param(
+                "findings",
+                &reports
+                    .iter()
+                    .map(|r| r.findings.len())
+                    .sum::<usize>()
+                    .to_string(),
+            )
+            .param("unbaselined", &gate.violations.len().to_string())
+            .param("gate", if gate.passed() { "pass" } else { "fail" });
+        let mut t = Table::new(&["unit", "block", "rule", "count"]);
+        for ((unit, block, rule), count) in &by_block {
+            t.row_owned(vec![
+                unit.clone(),
+                block.clone(),
+                rule.clone(),
+                count.to_string(),
+            ]);
+        }
+        run.add_table("findings per block", t);
+        let mut units = JsonArray::new();
+        for r in &reports {
+            units.push_raw(&r.to_json());
+        }
+        let mut lint = JsonObject::new();
+        lint.field_raw("units", &units.finish());
+        lint.field_bool("gate_passed", gate.passed());
+        run.add_section("lint", &lint.finish());
+        run.with_telemetry(&registry);
+        run.write(&path).expect("write JSON report");
+        println!("wrote {}", path.display());
+    }
+
+    if gate.passed() {
+        println!("lint gate PASSED: every finding is covered by the reasoned baseline");
+    } else {
+        println!(
+            "lint gate FAILED: {} unbaselined finding group(s)",
+            gate.violations.len()
+        );
+        std::process::exit(1);
+    }
+}

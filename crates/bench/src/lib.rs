@@ -22,6 +22,9 @@
 //! (absolute values differ — our substrate is a calibrated gate-level
 //! model, not the authors' synthesis flow; see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 /// Shared command-line parsing for the table/figure/faults binaries.
 ///
 /// Every binary takes `--json <path>` (write a

@@ -53,12 +53,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod format;
 pub mod functional;
 pub mod integrated;
 pub mod lanes;
+pub mod meta;
 pub mod pipeline;
 pub mod quad;
 pub mod reduce;

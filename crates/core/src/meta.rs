@@ -1,0 +1,203 @@
+//! Lint-visible mode metadata for the structural unit.
+//!
+//! The paper's dual-binary32 power claim rests on a *structural* property
+//! of Fig. 4's sectioned array: no cross-lane term may enter the partial
+//! product array, and every carry crossing the column-63/64 seam must be
+//! killed in dual mode. This module states those properties as data — one
+//! [`ModeSpec`] per format mode of a built unit — so a static analyzer
+//! (the `mfm-lint` crate) can discharge them as machine-checked
+//! cone-of-influence facts instead of trusting simulation:
+//!
+//! - in dual mode the **lower lane's** output cone must *exclude* every
+//!   upper-lane operand bit (and vice versa), while still *including*
+//!   every bit of its own operands (no over-blanking);
+//! - in the full-width modes (int64 / binary64) the output cone must
+//!   include **all** 128 operand bits;
+//! - each carry seam's pass-enable net must be statically 0 in the modes
+//!   that section across it and statically 1 in the modes that do not.
+//!
+//! The specs are pure data over [`NetId`]s: which `frmt` bits to tie,
+//! which outputs form each lane's cone, and which operand bits must or
+//! must not appear in its input support.
+
+use crate::structural::StructuralPorts;
+use mfm_gatesim::NetId;
+
+/// A labelled net: the human-readable port name (`"xa[37]"`, `"ph[5]"`)
+/// next to the net it resolves to, so lint findings can name the exact
+/// operand or output bit involved.
+pub type LabelledNet = (String, NetId);
+
+/// One lane's isolation obligation within a mode: the support of the
+/// `outputs` cone must contain every net in `required` and none of the
+/// nets in `forbidden`.
+#[derive(Debug, Clone)]
+pub struct LaneIsolation {
+    /// Lane name (`"lower"`, `"upper"`, `"full"`, `"q0"`…).
+    pub lane: String,
+    /// The output nets whose combined input support is examined.
+    pub outputs: Vec<LabelledNet>,
+    /// Operand bits that must **not** appear in the cone (cross-lane
+    /// leakage if they do).
+    pub forbidden: Vec<LabelledNet>,
+    /// Operand bits that must appear in the cone (over-blanking if they
+    /// do not).
+    pub required: Vec<LabelledNet>,
+}
+
+/// One format mode of the unit: the input ties that select it and the
+/// structural obligations that must hold under those ties.
+#[derive(Debug, Clone)]
+pub struct ModeSpec {
+    /// Mode name (`"int64"`, `"binary64"`, `"dual-binary32"`,
+    /// `"quad-binary16"`).
+    pub mode: String,
+    /// Input nets tied to constants to select the mode (the `frmt` bus).
+    pub ties: Vec<(NetId, bool)>,
+    /// Per-lane isolation obligations.
+    pub lanes: Vec<LaneIsolation>,
+    /// Carry seams `(column, pass_net)` whose pass net must be statically
+    /// **0** in this mode (the seam sections the array here).
+    pub killed_seams: Vec<Seam>,
+    /// Carry seams `(column, pass_net)` whose pass net must be statically
+    /// **1** in this mode (carries flow through).
+    pub open_seams: Vec<Seam>,
+}
+
+/// An array carry seam: the column it sits at and its pass-enable net.
+pub type Seam = (usize, NetId);
+
+fn label_bus(name: &str, bus: &[NetId], range: std::ops::Range<usize>) -> Vec<LabelledNet> {
+    range.map(|i| (format!("{name}[{i}]"), bus[i])).collect()
+}
+
+fn ties_for(ports: &StructuralPorts, frmt: u64) -> Vec<(NetId, bool)> {
+    ports
+        .frmt
+        .iter()
+        .enumerate()
+        .map(|(i, &net)| (net, (frmt >> i) & 1 == 1))
+        .collect()
+}
+
+fn operand_bits(ports: &StructuralPorts, range: std::ops::Range<usize>) -> Vec<LabelledNet> {
+    let mut v = label_bus("xa", &ports.xa, range.clone());
+    v.extend(label_bus("yb", &ports.yb, range));
+    v
+}
+
+/// Splits the seams of `ports` by the columns listed in `killed`:
+/// returns `(killed_seams, open_seams)`.
+fn split_seams(ports: &StructuralPorts, killed: &[usize]) -> (Vec<Seam>, Vec<Seam>) {
+    let (k, o): (Vec<_>, Vec<_>) = ports
+        .seam_passes
+        .iter()
+        .copied()
+        .partition(|(col, _)| killed.contains(col));
+    (k, o)
+}
+
+/// The format modes of a built unit, each with its isolation obligations.
+///
+/// The returned specs cover the paper's three formats — and the
+/// quad-binary16 extension when the unit was built with
+/// [`UnitOptions::quad_lanes`](crate::structural::UnitOptions) — against
+/// the ports of the *same* netlist: the analyzer ties the `frmt` bits per
+/// spec and reasons about one mode at a time, so no special hardwired
+/// build is needed.
+pub fn mode_specs(ports: &StructuralPorts) -> Vec<ModeSpec> {
+    let mut specs = Vec::new();
+
+    // int64: PH ∥ PL is the 128-bit product; every operand bit must be in
+    // its cone and all seams carry.
+    let (killed, open) = split_seams(ports, &[]);
+    let mut int_outputs = label_bus("ph", &ports.ph, 0..64);
+    int_outputs.extend(label_bus("pl", &ports.pl, 0..64));
+    specs.push(ModeSpec {
+        mode: "int64".into(),
+        ties: ties_for(ports, 0),
+        lanes: vec![LaneIsolation {
+            lane: "full".into(),
+            outputs: int_outputs,
+            forbidden: Vec::new(),
+            required: operand_bits(ports, 0..64),
+        }],
+        killed_seams: killed,
+        open_seams: open,
+    });
+
+    // binary64: PH plus the lower flag set; full operand support.
+    let (killed, open) = split_seams(ports, &[]);
+    let mut b64_outputs = label_bus("ph", &ports.ph, 0..64);
+    b64_outputs.extend(label_bus("flags", &ports.flags, 0..3));
+    specs.push(ModeSpec {
+        mode: "binary64".into(),
+        ties: ties_for(ports, 1),
+        lanes: vec![LaneIsolation {
+            lane: "full".into(),
+            outputs: b64_outputs,
+            forbidden: Vec::new(),
+            required: operand_bits(ports, 0..64),
+        }],
+        killed_seams: killed,
+        open_seams: open,
+    });
+
+    // dual binary32: the headline obligation. The lower lane's cone
+    // (PH[0..32] and the lower flags) must exclude every upper operand
+    // bit and vice versa; the column-64 seam must be killed.
+    let (killed, open) = split_seams(ports, &[64]);
+    let mut lo_outputs = label_bus("ph", &ports.ph, 0..32);
+    lo_outputs.extend(label_bus("flags", &ports.flags, 0..3));
+    let mut hi_outputs = label_bus("ph", &ports.ph, 32..64);
+    hi_outputs.extend(label_bus("flags", &ports.flags, 3..6));
+    specs.push(ModeSpec {
+        mode: "dual-binary32".into(),
+        ties: ties_for(ports, 2),
+        lanes: vec![
+            LaneIsolation {
+                lane: "lower".into(),
+                outputs: lo_outputs,
+                forbidden: operand_bits(ports, 32..64),
+                required: operand_bits(ports, 0..32),
+            },
+            LaneIsolation {
+                lane: "upper".into(),
+                outputs: hi_outputs,
+                forbidden: operand_bits(ports, 0..32),
+                required: operand_bits(ports, 32..64),
+            },
+        ],
+        killed_seams: killed,
+        open_seams: open,
+    });
+
+    // quad binary16 (extension): four 16-bit lanes, seams at 32/64/96 all
+    // killed. The exported flags are gated off in quad mode, so each
+    // lane's cone is its PH slice alone.
+    if ports.options.quad_lanes {
+        let (killed, open) = split_seams(ports, &[32, 64, 96]);
+        let lanes = (0..4)
+            .map(|k| {
+                let inside = 16 * k..16 * (k + 1);
+                let mut forbidden = operand_bits(ports, 0..16 * k);
+                forbidden.extend(operand_bits(ports, 16 * (k + 1)..64));
+                LaneIsolation {
+                    lane: format!("q{k}"),
+                    outputs: label_bus("ph", &ports.ph, inside.clone()),
+                    forbidden,
+                    required: operand_bits(ports, inside),
+                }
+            })
+            .collect();
+        specs.push(ModeSpec {
+            mode: "quad-binary16".into(),
+            ties: ties_for(ports, 3),
+            lanes,
+            killed_seams: killed,
+            open_seams: open,
+        });
+    }
+
+    specs
+}

@@ -13,7 +13,7 @@
 //! When all three pass, the mux emits the binary32 encoding
 //! `{sign, Eb32[7:0], M[51:29]}`; otherwise the operand stays binary64.
 
-use mfm_arith::adder::{build_adder, AdderKind};
+use mfm_arith::adder::{build_adder, build_carry_out, AdderKind};
 use mfm_gatesim::{NetId, Netlist};
 use mfm_softfloat::convert;
 use mfm_softfloat::RoundingMode;
@@ -122,13 +122,16 @@ pub fn build_reducer_on(n: &mut Netlist, input: &[NetId]) -> ReducerPorts {
     let not_neg1 = n.not(neg1);
     let c1 = n.and2(not_neg1, mid_or);
 
-    // (2) Eb64 − 1151 < 0 via a 12-bit CPA (constant 1011 1000 0001 = 2945).
-    let mut a12: Vec<NetId> = eb64.clone();
-    a12.push(zero);
-    let k2945 = 2945u64;
-    let b12: Vec<NetId> = (0..12).map(|i| n.lit((k2945 >> i) & 1 == 1)).collect();
-    let sum12 = build_adder(n, AdderKind::Ripple, &a12, &b12, zero);
-    let c2 = sum12.sum[11]; // negative ⟺ in range
+    // (2) Eb64 − 1151 < 0 via the sign of the 12-bit sum Eb64 + 2945
+    // (constant 1011 1000 0001). Only that sign bit is consumed, so build
+    // the carry into bit 11 alone instead of a full CPA; bit 11 of the
+    // constant is 1 and of the zero-extended operand is 0, so the sign is
+    // simply the complement of that carry. The odd constant is split as
+    // 2944 + carry-in 1 so the bit-0 leaf needs no inverter.
+    let k2944 = 2944u64;
+    let b11: Vec<NetId> = (0..11).map(|i| n.lit((k2944 >> i) & 1 == 1)).collect();
+    let c11 = build_carry_out(n, &eb64, &b11, one);
+    let c2 = n.not(c11); // negative ⟺ in range
 
     // (3) OR tree over the 29 significand LSBs.
     let mut tree: Vec<NetId> = (0..29).map(|i| input[i]).collect();

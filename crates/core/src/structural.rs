@@ -31,8 +31,8 @@
 //! ranks as the significand datapath.
 
 use crate::lanes::{FULL_WINDOW, LOWER_ROWS, LOWER_WINDOW, SEAM_COL, UPPER_ROWS, UPPER_WINDOW};
-use mfm_arith::adder::{build_adder, AdderKind};
-use mfm_arith::multiples::build_multiples;
+use mfm_arith::adder::{build_adder, build_carry_out, AdderKind};
+use mfm_arith::multiples::build_multiples_sectioned;
 use mfm_arith::ppgen::one_hot_select;
 use mfm_arith::recode::radix16_recoder;
 use mfm_arith::tree::{reduce_to_height, reduce_to_two_seam, PpArray};
@@ -67,6 +67,16 @@ pub struct StructuralPorts {
     /// Check tap: the raw 128-bit output of the "left shift" rounding CPA
     /// (`P1 = s + c + inj1`). Same timing caveat as `chk_p0`.
     pub chk_p1: Vec<NetId>,
+    /// Lint-visible mode metadata: the carry-seam pass-enable nets as
+    /// `(column, pass_net)` — a seam's carries cross the column boundary
+    /// exactly when its pass net is 1. The paper unit has one seam at
+    /// column 64 (killed in dual mode); the quad extension adds seams at
+    /// columns 32 and 96. Used by `mfm-lint` to prove the carry-kill
+    /// statically; see [`crate::meta`].
+    pub seam_passes: Vec<(usize, NetId)>,
+    /// The build options this unit was constructed with (lint-visible
+    /// mode metadata: decides which format modes exist).
+    pub options: UnitOptions,
 }
 
 /// Per-lane classification nets (stage-1 outputs, piped forward).
@@ -264,13 +274,17 @@ pub(crate) fn build_unit_full(
     // With the quad extension disabled `is_quad` is the constant zero,
     // and every quad-specific gate below constant-folds away, leaving the
     // exact paper-faithful netlist.
-    let (is_dual, is_quad) = if opts.quad_lanes {
-        (n.and2(sectioned, nf0), n.and2(sectioned, frmt[0]))
+    let (is_dual, is_quad, not_dualmode) = if opts.quad_lanes {
+        let d = n.and2(sectioned, nf0);
+        let q = n.and2(sectioned, frmt[0]);
+        let nd = n.not(d);
+        (d, q, nd)
     } else {
-        (sectioned, n.zero())
+        // Without quad lanes `is_dual == sectioned`, so its complement is
+        // exactly `is_full` — rebuilding the inverter would duplicate it.
+        (sectioned, n.zero(), is_full)
     };
     let not_quad = n.not(is_quad);
-    let not_dualmode = n.not(is_dual);
     let zero = n.zero();
 
     // ==================================================================
@@ -459,8 +473,18 @@ pub(crate) fn build_unit_full(
     // the unit uses parallel-prefix adders for the odd multiples ("fast
     // carry-propagate adders", Sec. II).
     let mut digits = n.in_block("recode", |n| radix16_recoder(n, &y_sig));
+    // The packed lanes of the effective multiplicand meet at bit 32 in
+    // dual mode (and additionally at bits 16/48 in quad mode): the 7X
+    // subtractor's borrow chain is cut there so no lower-lane mantissa
+    // bit reaches an upper-lane multiple (see `build_multiples_sectioned`
+    // — mfm-lint proves the isolation on every build).
+    let precomp_seams: Vec<(usize, NetId)> = if opts.quad_lanes {
+        vec![(16, not_quad), (32, not_dual), (48, not_quad)]
+    } else {
+        vec![(32, not_dual)]
+    };
     let m = n.in_block("precomp", |n| {
-        build_multiples(n, &x_sig, 8, AdderKind::KoggeStone)
+        build_multiples_sectioned(n, &x_sig, 8, AdderKind::KoggeStone, &precomp_seams)
     });
     let mut buses: Vec<Vec<NetId>> = (1..=8).map(|k| m.bus(k).to_vec()).collect();
 
@@ -972,6 +996,8 @@ pub(crate) fn build_unit_full(
         latency,
         chk_p0: p0,
         chk_p1: p1,
+        seam_passes: seams.to_vec(),
+        options: opts,
     }
 }
 
@@ -996,8 +1022,13 @@ fn exponent_select(
         let any = or_tree(n, e.to_vec());
         let nany = n.not(any);
         let unf = n.or2(neg, nany);
-        let d = build_adder(n, AdderKind::CarryLookahead, e, &mneg, zero);
-        let ovf = n.not(d.sum[width - 1]);
+        // Overflow = sign bit of `e − max` is clear, i.e. the top sum bit
+        // of `e + (2^w − max)`. Only that bit is wanted, so build just
+        // the carry into it instead of a full subtractor.
+        let c = build_carry_out(n, &e[..width - 1], &mneg[..width - 1], zero);
+        let t = n.xor2(e[width - 1], mneg[width - 1]);
+        let s_top = n.xor2(t, c);
+        let ovf = n.not(s_top);
         (unf, ovf)
     };
     let (unf0, ovf0) = check(n, e0);
@@ -1045,13 +1076,24 @@ fn and_tree(n: &mut Netlist, mut v: Vec<NetId>) -> NetId {
 }
 
 /// Parallel-prefix incrementer: bit `i` flips iff all lower bits are one.
-/// Logarithmic depth; the exponent widths here (≤ 13) keep it tiny.
+/// One shared Kogge–Stone AND-prefix (logarithmic depth) feeds every
+/// flip condition, instead of a separate AND tree per bit.
 fn increment(n: &mut Netlist, v: &[NetId]) -> Vec<NetId> {
-    let mut out = Vec::with_capacity(v.len());
+    let w = v.len();
+    // pa[i] = v[0] & … & v[i]; only prefixes up to bit w−2 are read.
+    let mut pa = v[..w - 1].to_vec();
+    let mut dist = 1usize;
+    while dist < pa.len() {
+        let prev = pa.clone();
+        for i in dist..pa.len() {
+            pa[i] = n.and2(prev[i], prev[i - dist]);
+        }
+        dist *= 2;
+    }
+    let mut out = Vec::with_capacity(w);
     out.push(n.not(v[0]));
-    for i in 1..v.len() {
-        let all_ones = and_tree(n, v[..i].to_vec());
-        out.push(n.xor2(v[i], all_ones));
+    for i in 1..w {
+        out.push(n.xor2(v[i], pa[i - 1]));
     }
     out
 }

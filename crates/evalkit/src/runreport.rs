@@ -65,6 +65,7 @@ pub struct RunReport {
     power: Vec<PowerSection>,
     tables: Vec<(String, Table)>,
     series: Vec<(String, Vec<(u64, f64)>)>,
+    sections: Vec<(String, String)>,
     telemetry: Option<String>,
 }
 
@@ -80,6 +81,7 @@ impl RunReport {
             power: Vec::new(),
             tables: Vec::new(),
             series: Vec::new(),
+            sections: Vec::new(),
             telemetry: None,
         }
     }
@@ -145,6 +147,35 @@ impl RunReport {
     /// Adds a rendered result table (serialized as headers plus rows).
     pub fn add_table(&mut self, title: &str, table: Table) -> &mut Self {
         self.tables.push((title.to_string(), table));
+        self
+    }
+
+    /// Attaches a custom top-level section rendered verbatim from
+    /// already-serialized JSON (e.g. the findings document of a lint
+    /// run). The value must be well-formed JSON; it is validated on
+    /// insertion so a malformed section cannot corrupt the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `json` is not well-formed, or if `name` collides with
+    /// one of the fixed report sections.
+    pub fn add_section(&mut self, name: &str, json: &str) -> &mut Self {
+        const RESERVED: [&str; 8] = [
+            "report",
+            "params",
+            "area",
+            "sta",
+            "power",
+            "tables",
+            "series",
+            "telemetry",
+        ];
+        assert!(
+            !RESERVED.contains(&name),
+            "section name {name:?} collides with a fixed report section"
+        );
+        mfm_telemetry::json::check(json).expect("custom section must be well-formed JSON");
+        self.sections.push((name.to_string(), json.to_string()));
         self
     }
 
@@ -259,6 +290,10 @@ impl RunReport {
             series.field_raw(name, &arr.finish());
         }
         root.field_raw("series", &series.finish());
+
+        for (name, json) in &self.sections {
+            root.field_raw(name, json);
+        }
 
         root.field_raw("telemetry", self.telemetry.as_deref().unwrap_or("{}"));
         root.finish()

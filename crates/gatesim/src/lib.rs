@@ -47,7 +47,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod compiled;
 pub mod export;
@@ -63,7 +63,9 @@ pub mod vector;
 
 pub use compiled::{CompiledFaultSim, CompiledNetlist, CompiledSim};
 pub use fault::{CampaignRunner, CampaignStats, FaultKind, FaultOutcome, FaultSite};
-pub use netlist::{BlockId, CellId, Levelization, NetId, Netlist};
+pub use netlist::{
+    BlockId, Cell, CellId, Driver, Levelization, NetId, Netlist, NetlistError, UndrivenRef,
+};
 pub use power::{LivePowerTrace, PowerBreakdown, PowerEstimator, PowerSample};
 pub use sim::Simulator;
 pub use sta::{StaReport, TimingAnalysis};

@@ -64,6 +64,23 @@ pub struct Cell {
     pub block: BlockId,
 }
 
+impl Cell {
+    /// The distinct input nets of this cell (its arity-many pins,
+    /// deduplicated): the first `len` entries of the returned array.
+    pub fn distinct_inputs(&self) -> ([NetId; 4], usize) {
+        let mut ins: [NetId; 4] = self.inputs;
+        let arity = self.kind.arity();
+        let mut len = 0usize;
+        for i in 0..arity {
+            if !ins[..len].contains(&self.inputs[i]) {
+                ins[len] = self.inputs[i];
+                len += 1;
+            }
+        }
+        (ins, len)
+    }
+}
+
 /// What drives a net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Driver {
@@ -84,6 +101,8 @@ pub enum NetlistError {
     CombinationalCycle(CellId),
     /// A named output bus references an undriven net.
     UndrivenOutput(String, NetId),
+    /// A cell input pin references an undriven net.
+    UndrivenCellInput(CellId, NetId),
 }
 
 impl fmt::Display for NetlistError {
@@ -95,11 +114,40 @@ impl fmt::Display for NetlistError {
             NetlistError::UndrivenOutput(name, n) => {
                 write!(f, "output bus {name} references undriven net {}", n.0)
             }
+            NetlistError::UndrivenCellInput(c, n) => {
+                write!(f, "cell {} consumes undriven net {}", c.0, n.0)
+            }
         }
     }
 }
 
 impl std::error::Error for NetlistError {}
+
+/// One reference to a net this netlist never allocated (typically a
+/// [`NetId`] leaked from a *different* netlist). Returned by
+/// [`Netlist::undriven_refs`], which backs both [`Netlist::check`] and the
+/// `mfm-lint` structural-hygiene pass, so the two can never drift apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndrivenRef {
+    /// Input pin `pin` of `cell` consumes the undriven net.
+    CellInput {
+        /// The consuming cell.
+        cell: CellId,
+        /// The consuming input pin index.
+        pin: usize,
+        /// The undriven net.
+        net: NetId,
+    },
+    /// Bit `bit` of the named output bus references the undriven net.
+    OutputBus {
+        /// The output bus name.
+        name: String,
+        /// The bit index within the bus (LSB = 0).
+        bit: usize,
+        /// The undriven net.
+        net: NetId,
+    },
+}
 
 /// Cached levelized view of the combinational logic.
 ///
@@ -119,6 +167,8 @@ pub struct Levelization {
     max_level: u32,
     fanout_offsets: Vec<u32>,
     fanout_cells: Vec<u32>,
+    sink_offsets: Vec<u32>,
+    sink_cells: Vec<u32>,
 }
 
 impl Levelization {
@@ -147,6 +197,16 @@ impl Levelization {
         let hi = self.fanout_offsets[net.index() + 1] as usize;
         &self.fanout_cells[lo..hi]
     }
+
+    /// Indices of **all** cells consuming `net` — DFFs included, unlike
+    /// [`Levelization::fanout_of`] — ascending and deduplicated. This is
+    /// the static-analysis hook: zero-fanout and dead-cone detection need
+    /// register sinks, which the simulator-facing CSR deliberately omits.
+    pub fn consumers_of(&self, net: NetId) -> &[u32] {
+        let lo = self.sink_offsets[net.index()] as usize;
+        let hi = self.sink_offsets[net.index() + 1] as usize;
+        &self.sink_cells[lo..hi]
+    }
 }
 
 /// A structural gate-level netlist.
@@ -164,6 +224,8 @@ pub struct Netlist {
     output_buses: Vec<(String, Vec<NetId>)>,
     blocks: Vec<String>,
     block_stack: Vec<BlockId>,
+    inv_cache: HashMap<NetId, NetId>,
+    dff_cache: HashMap<NetId, NetId>,
     topo: OnceLock<Result<Levelization, NetlistError>>,
 }
 
@@ -181,6 +243,8 @@ impl Netlist {
             output_buses: Vec::new(),
             blocks: vec!["TOP".to_owned()],
             block_stack: vec![BlockId::ROOT],
+            inv_cache: HashMap::new(),
+            dff_cache: HashMap::new(),
             topo: OnceLock::new(),
         };
         n.const0 = n.alloc_net(Driver::Const0);
@@ -249,6 +313,15 @@ impl Netlist {
         match self.drivers[net.index()] {
             Driver::Const0 => Some(false),
             Driver::Const1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The cell driving `net`, if it is a cell output (as opposed to a
+    /// primary input or constant).
+    pub fn driver_cell(&self, net: NetId) -> Option<CellId> {
+        match self.drivers[net.index()] {
+            Driver::Cell(c) => Some(c),
             _ => None,
         }
     }
@@ -379,11 +452,19 @@ impl Netlist {
         out
     }
 
-    /// Inverter (folds constants).
+    /// Inverter (folds constants; at most one inverter per net — repeated
+    /// calls return the existing cell's output).
     pub fn not(&mut self, a: NetId) -> NetId {
         match self.const_value(a) {
             Some(v) => self.lit(!v),
-            None => self.cell(CellKind::Inv, &[a]),
+            None => {
+                if let Some(&out) = self.inv_cache.get(&a) {
+                    return out;
+                }
+                let out = self.cell(CellKind::Inv, &[a]);
+                self.inv_cache.insert(a, out);
+                out
+            }
         }
     }
 
@@ -576,7 +657,14 @@ impl Netlist {
 
     /// Rising-edge D flip-flop; returns the Q net.
     pub fn dff(&mut self, d: NetId) -> NetId {
-        self.cell(CellKind::Dff, &[d])
+        // Two single-clock flops with the same D always hold the same Q;
+        // share one cell per registered net.
+        if let Some(&out) = self.dff_cache.get(&d) {
+            return out;
+        }
+        let out = self.cell(CellKind::Dff, &[d]);
+        self.dff_cache.insert(d, out);
+        out
     }
 
     /// Registers a whole bus; returns the Q nets.
@@ -676,42 +764,41 @@ impl Netlist {
         let n = self.cells.len();
         let nets = self.drivers.len();
 
-        // Distinct input nets of a cell (arity ≤ 4, so a tiny linear scan).
-        let distinct_inputs = |c: &Cell| {
-            let mut ins: [NetId; 4] = c.inputs;
-            let arity = c.kind.arity();
-            let mut len = 0usize;
-            for i in 0..arity {
-                if !ins[..len].contains(&c.inputs[i]) {
-                    ins[len] = c.inputs[i];
-                    len += 1;
-                }
-            }
-            (ins, len)
-        };
-
         // CSR net → combinational fanout cells, deduplicated per cell.
         // Counting pass, prefix sum, fill pass: iterating cells in
-        // ascending order keeps each net's slice sorted ascending.
+        // ascending order keeps each net's slice sorted ascending. A
+        // second CSR keeps *all* sinks (DFFs included) for static
+        // analysis; see [`Levelization::consumers_of`].
         let mut fanout_offsets = vec![0u32; nets + 1];
-        for c in self.cells.iter().filter(|c| c.kind != CellKind::Dff) {
-            let (ins, len) = distinct_inputs(c);
+        let mut sink_offsets = vec![0u32; nets + 1];
+        for c in &self.cells {
+            let (ins, len) = c.distinct_inputs();
             for &inp in &ins[..len] {
-                fanout_offsets[inp.index() + 1] += 1;
+                sink_offsets[inp.index() + 1] += 1;
+                if c.kind != CellKind::Dff {
+                    fanout_offsets[inp.index() + 1] += 1;
+                }
             }
         }
         for i in 0..nets {
             fanout_offsets[i + 1] += fanout_offsets[i];
+            sink_offsets[i + 1] += sink_offsets[i];
         }
         let mut fanout_cells = vec![0u32; fanout_offsets[nets] as usize];
+        let mut sink_cells = vec![0u32; sink_offsets[nets] as usize];
         let mut cursor: Vec<u32> = fanout_offsets[..nets].to_vec();
+        let mut sink_cursor: Vec<u32> = sink_offsets[..nets].to_vec();
         // in-degree = number of distinct input nets driven by comb cells
         let mut indeg = vec![0u32; n];
         for (i, c) in self.cells.iter().enumerate() {
+            let (ins, len) = c.distinct_inputs();
+            for &inp in &ins[..len] {
+                sink_cells[sink_cursor[inp.index()] as usize] = i as u32;
+                sink_cursor[inp.index()] += 1;
+            }
             if c.kind == CellKind::Dff {
                 continue;
             }
-            let (ins, len) = distinct_inputs(c);
             for &inp in &ins[..len] {
                 fanout_cells[cursor[inp.index()] as usize] = i as u32;
                 cursor[inp.index()] += 1;
@@ -772,24 +859,97 @@ impl Netlist {
             max_level,
             fanout_offsets,
             fanout_cells,
+            sink_offsets,
+            sink_cells,
         })
     }
 
+    /// Every reference to a net this netlist never allocated — cell input
+    /// pins first (in cell order), then output-bus bits. Within one
+    /// netlist every allocated net has a driver by construction, so a hit
+    /// here means a [`NetId`] produced by a *different* netlist leaked in.
+    ///
+    /// Both [`Netlist::check`] and the `mfm-lint` hygiene pass report
+    /// through this single routine.
+    pub fn undriven_refs(&self) -> Vec<UndrivenRef> {
+        let nets = self.drivers.len();
+        let mut refs = Vec::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            for (pin, &inp) in c.inputs[..c.kind.arity()].iter().enumerate() {
+                if inp.index() >= nets {
+                    refs.push(UndrivenRef::CellInput {
+                        cell: CellId(i as u32),
+                        pin,
+                        net: inp,
+                    });
+                }
+            }
+        }
+        for (name, bus) in &self.output_buses {
+            for (bit, &net) in bus.iter().enumerate() {
+                if net.index() >= nets {
+                    refs.push(UndrivenRef::OutputBus {
+                        name: name.clone(),
+                        bit,
+                        net,
+                    });
+                }
+            }
+        }
+        refs
+    }
+
+    /// Rewires one input pin of an existing cell to another net,
+    /// invalidating the cached levelization.
+    ///
+    /// This is an ECO-style structural edit. Its main use in this
+    /// repository is *seeding defects for the lint test-suite* — wiring a
+    /// cross-lane operand bit into a blanking gate, closing a
+    /// combinational loop — so every `mfm-lint` rule can be shown to fire
+    /// on a netlist that actually contains its defect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is not below the cell's arity.
+    pub fn rewire_input(&mut self, cell: CellId, pin: usize, net: NetId) {
+        let arity = self.cells[cell.index()].kind.arity();
+        assert!(pin < arity, "pin {pin} out of range for arity {arity}");
+        if self.topo.get().is_some() {
+            self.topo = OnceLock::new();
+        }
+        // A rewired inverter or flop no longer computes what its cache
+        // entry promised; drop all memoized cells.
+        self.inv_cache.clear();
+        self.dff_cache.clear();
+        let c = &mut self.cells[cell.index()];
+        // Unused trailing slots mirror pin 0 (see `Cell::inputs`); keep
+        // that invariant when pin 0 itself is rewired.
+        if pin == 0 {
+            for slot in arity..4 {
+                if c.inputs[slot] == c.inputs[0] {
+                    c.inputs[slot] = net;
+                }
+            }
+        }
+        c.inputs[pin] = net;
+    }
+
     /// Validates the netlist: acyclic combinational logic and fully driven
-    /// outputs.
+    /// nets — on *every* cell input pin, not only the output buses.
     ///
     /// # Errors
     ///
     /// Returns the first problem found.
     pub fn check(&self) -> Result<(), NetlistError> {
-        self.topo_order()?;
-        for (name, nets) in &self.output_buses {
-            for &net in nets {
-                if net.index() >= self.drivers.len() {
-                    return Err(NetlistError::UndrivenOutput(name.clone(), net));
+        if let Some(r) = self.undriven_refs().into_iter().next() {
+            return Err(match r {
+                UndrivenRef::CellInput { cell, net, .. } => {
+                    NetlistError::UndrivenCellInput(cell, net)
                 }
-            }
+                UndrivenRef::OutputBus { name, net, .. } => NetlistError::UndrivenOutput(name, net),
+            });
         }
+        self.topo_order()?;
         Ok(())
     }
 }

@@ -1,0 +1,153 @@
+//! Cone-of-influence engine: per-net input-support bitsets.
+//!
+//! For every net, which *free* primary inputs can influence its value?
+//! Supports are bitsets over the free-input ordinals (inputs tied to a
+//! constant by the caller are not free — they have no ordinal and empty
+//! support). Propagation is constrained by a ternary sweep over the same
+//! ties, which is what turns structural connectivity into per-mode facts:
+//!
+//! - a net whose ternary value is known contributes **empty** support —
+//!   a blanked partial product has no cone, no matter what wires touch
+//!   its logic;
+//! - an unknown cell output unions the supports of only those input nets
+//!   the cell's function actually depends on given the other pins'
+//!   ternary values (a mux with a known select contributes only the
+//!   selected leg; an AND with a controlling 0 contributes nothing).
+//!
+//! This is how the dual-mode lane-isolation facts of
+//! [`mfmult::meta::mode_specs`] are discharged on the *generic* netlist:
+//! tie the `frmt` bus for the mode, compute constrained supports, and
+//! check the lane cones against the required/forbidden operand bits.
+//! Flip-flops pass support through (`Q := D`) by the same fixpoint the
+//! ternary sweep uses, so obligations hold through pipeline registers.
+
+use crate::ternary::{self, Tern, TernaryValues};
+use mfm_gatesim::{NetId, Netlist, NetlistError};
+
+/// Constrained support analysis of one netlist under one set of ties.
+#[derive(Debug, Clone)]
+pub struct SupportAnalysis {
+    /// The ternary values the supports were constrained by.
+    pub values: TernaryValues,
+    words: usize,
+    /// Per-net ordinal + 1 of the free primary input, or 0.
+    ordinal: Vec<u32>,
+    /// `net_count × words` flattened support bitsets.
+    sup: Vec<u64>,
+}
+
+impl SupportAnalysis {
+    /// Computes constrained supports for `netlist` under `ties` (pairs of
+    /// primary-input net and pinned constant value).
+    pub fn analyze(netlist: &Netlist, ties: &[(NetId, bool)]) -> Result<Self, NetlistError> {
+        let values = ternary::sweep(netlist, ties)?;
+        let lev = netlist.levelization()?;
+        let vals = values.raw();
+
+        let mut ordinal = vec![0u32; netlist.net_count()];
+        let mut n_free = 0u32;
+        for &inp in netlist.inputs() {
+            if vals[inp.index()] == Tern::X {
+                n_free += 1;
+                ordinal[inp.index()] = n_free;
+            }
+        }
+        let words = (n_free as usize).div_ceil(64).max(1);
+        let mut sup = vec![0u64; netlist.net_count() * words];
+        for &inp in netlist.inputs() {
+            let ord = ordinal[inp.index()];
+            if ord > 0 {
+                let bit = (ord - 1) as usize;
+                sup[inp.index() * words + bit / 64] |= 1u64 << (bit % 64);
+            }
+        }
+
+        let cells = netlist.cells();
+        let mut relevant = Vec::new();
+        let mut acc = vec![0u64; words];
+        loop {
+            let mut changed = false;
+            for &cid in lev.order() {
+                let cell = &cells[cid.index()];
+                let out = cell.output.index();
+                if vals[out] != Tern::X {
+                    continue; // statically constant: empty support
+                }
+                relevant.clear();
+                ternary::relevant_nets(cell, vals, &mut relevant);
+                acc.iter_mut().for_each(|w| *w = 0);
+                for net in &relevant {
+                    let base = net.index() * words;
+                    for (w, a) in acc.iter_mut().enumerate() {
+                        *a |= sup[base + w];
+                    }
+                }
+                let base = out * words;
+                for (w, &a) in acc.iter().enumerate() {
+                    if sup[base + w] != a {
+                        sup[base + w] = a;
+                        changed = true;
+                    }
+                }
+            }
+            for (_, cell) in netlist.dffs() {
+                let out = cell.output.index();
+                if vals[out] != Tern::X {
+                    continue;
+                }
+                let d = cell.inputs[0].index();
+                for w in 0..words {
+                    let v = sup[d * words + w];
+                    if sup[out * words + w] != v {
+                        sup[out * words + w] = v;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        Ok(SupportAnalysis {
+            values,
+            words,
+            ordinal,
+            sup,
+        })
+    }
+
+    /// The support bitset of `net` (words over free-input ordinals).
+    pub fn support(&self, net: NetId) -> &[u64] {
+        &self.sup[net.index() * self.words..(net.index() + 1) * self.words]
+    }
+
+    /// The union of the supports of `outputs`.
+    pub fn union_support(&self, outputs: impl IntoIterator<Item = NetId>) -> Vec<u64> {
+        let mut acc = vec![0u64; self.words];
+        for net in outputs {
+            for (w, a) in acc.iter_mut().enumerate() {
+                *a |= self.sup[net.index() * self.words + w];
+            }
+        }
+        acc
+    }
+
+    /// Whether the support set `set` (from [`Self::union_support`] or
+    /// [`Self::support`]) contains the free primary input `input`.
+    /// An input tied by the analysis is never contained.
+    pub fn set_contains(&self, set: &[u64], input: NetId) -> bool {
+        match self.ordinal[input.index()] {
+            0 => false,
+            ord => {
+                let bit = (ord - 1) as usize;
+                set[bit / 64] & (1u64 << (bit % 64)) != 0
+            }
+        }
+    }
+
+    /// Whether `input` was free (not tied, not constant) in this analysis.
+    pub fn is_free_input(&self, input: NetId) -> bool {
+        self.ordinal[input.index()] != 0
+    }
+}

@@ -1,0 +1,89 @@
+//! Constant analysis pass: statically-constant cells and degenerate
+//! selects.
+//!
+//! A ternary sweep from the netlist's own tied inputs (its constant
+//! nets; no external ties) finds cells whose output can never toggle —
+//! logic a synthesizer would constant-fold away. The builder API folds
+//! constant operands at construction time, so any hit here is either a
+//! raw [`Netlist::cell`] instantiation or a constant that only becomes
+//! visible through multi-level propagation.
+//!
+//! The pass also flags degenerate select structures that survive as
+//! non-constant cells: muxes whose select is statically known or whose
+//! data legs are the same net, and majority gates with a constant or
+//! duplicated input (which collapse to AND/OR or to a wire).
+
+use crate::finding::{Finding, Rule};
+use crate::ternary;
+use mfm_gatesim::{CellKind, Netlist, NetlistError};
+
+/// Runs the constant-analysis pass.
+pub fn run(netlist: &Netlist) -> Result<Vec<Finding>, NetlistError> {
+    let values = ternary::sweep(netlist, &[])?;
+    let mut findings = Vec::new();
+
+    for (ci, cell) in netlist.cells().iter().enumerate() {
+        let block = netlist.top_level_block_name(cell.block);
+        if let Some(v) = values.value(cell.output).known() {
+            findings.push(Finding::new(
+                Rule::ConstCell,
+                block,
+                format!(
+                    "{:?} cell #{ci} output is statically {}",
+                    cell.kind, v as u32
+                ),
+            ));
+            continue;
+        }
+        match cell.kind {
+            CellKind::Mux2 => {
+                let sel = values.value(cell.inputs[2]);
+                if let Some(s) = sel.known() {
+                    findings.push(Finding::new(
+                        Rule::DegenerateSelect,
+                        block,
+                        format!(
+                            "Mux2 cell #{ci} select is statically {}; mux is a wire to input a{}",
+                            s as u32, s as u32
+                        ),
+                    ));
+                } else if cell.inputs[0] == cell.inputs[1] {
+                    findings.push(Finding::new(
+                        Rule::DegenerateSelect,
+                        block,
+                        format!("Mux2 cell #{ci} data inputs are the same net; select is unused"),
+                    ));
+                }
+            }
+            CellKind::Maj3 => {
+                let known =
+                    (0..3).find_map(|p| values.value(cell.inputs[p]).known().map(|v| (p, v)));
+                if let Some((p, v)) = known {
+                    let collapse = if v { "OR" } else { "AND" };
+                    findings.push(Finding::new(
+                        Rule::DegenerateSelect,
+                        block,
+                        format!(
+                            "Maj3 cell #{ci} input {p} is statically {}; gate collapses to {collapse}",
+                            v as u32
+                        ),
+                    ));
+                } else {
+                    let (_, distinct) = cell.distinct_inputs();
+                    if distinct < 3 {
+                        findings.push(Finding::new(
+                            Rule::DegenerateSelect,
+                            block,
+                            format!(
+                                "Maj3 cell #{ci} has a duplicated input; gate collapses to a wire"
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    Ok(findings)
+}

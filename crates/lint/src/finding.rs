@@ -1,0 +1,144 @@
+//! Lint findings: the rule taxonomy and the per-unit finding set.
+
+use mfm_telemetry::json::{JsonArray, JsonObject};
+
+/// The lint rules. Each finding carries exactly one rule; the baseline
+/// allowlist is keyed on the rule's stable [`code`](Rule::code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A cell input pin or output-bus bit references a net no driver was
+    /// ever assigned to (typically a `NetId` leaked from another netlist).
+    UndrivenNet,
+    /// A non-output cell whose output net feeds nothing at all.
+    ZeroFanout,
+    /// A cell with fanout, but from which no declared output bus is
+    /// reachable — dead logic a synthesizer would sweep.
+    DeadCell,
+    /// A combinational cycle; the finding message lists the actual cycle
+    /// path through named blocks.
+    CombLoop,
+    /// A cell whose output is statically constant under ternary abstract
+    /// interpretation from the netlist's tied (constant) inputs.
+    ConstCell,
+    /// A degenerate select structure: a mux with a constant select or
+    /// identical data inputs, or a majority gate with a constant input.
+    DegenerateSelect,
+    /// A gate structurally identical to an earlier one (same kind,
+    /// canonicalized inputs) — a candidate for hash-consing/CSE.
+    DuplicateCell,
+    /// Cross-lane leakage: a forbidden operand bit appears in an output
+    /// cone's input support under the mode's ties.
+    IsolationLeak,
+    /// Over-blanking: a required operand bit is missing from an output
+    /// cone's input support under the mode's ties.
+    OverBlanking,
+    /// A carry-seam pass net that must be statically 0 in this mode is not
+    /// provably 0.
+    SeamNotKilled,
+    /// A carry-seam pass net that must be statically 1 in this mode is not
+    /// provably 1.
+    SeamNotOpen,
+}
+
+impl Rule {
+    /// Stable machine-readable rule code (the baseline key).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::UndrivenNet => "undriven-net",
+            Rule::ZeroFanout => "zero-fanout",
+            Rule::DeadCell => "dead-cell",
+            Rule::CombLoop => "comb-loop",
+            Rule::ConstCell => "const-cell",
+            Rule::DegenerateSelect => "degenerate-select",
+            Rule::DuplicateCell => "duplicate-cell",
+            Rule::IsolationLeak => "isolation-leak",
+            Rule::OverBlanking => "over-blanking",
+            Rule::SeamNotKilled => "seam-not-killed",
+            Rule::SeamNotOpen => "seam-not-open",
+        }
+    }
+
+    /// All rules, in report order.
+    pub const ALL: [Rule; 11] = [
+        Rule::UndrivenNet,
+        Rule::ZeroFanout,
+        Rule::DeadCell,
+        Rule::CombLoop,
+        Rule::ConstCell,
+        Rule::DegenerateSelect,
+        Rule::DuplicateCell,
+        Rule::IsolationLeak,
+        Rule::OverBlanking,
+        Rule::SeamNotKilled,
+        Rule::SeamNotOpen,
+    ];
+}
+
+/// One lint finding against one netlist.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Top-level hierarchy block the finding is attributed to (`"TOP"`
+    /// for unit-level facts such as isolation obligations).
+    pub block: String,
+    /// Human-readable detail naming the exact cell/net/bit involved.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(rule: Rule, block: impl Into<String>, message: impl Into<String>) -> Self {
+        Finding {
+            rule,
+            block: block.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// The lint result for one built unit.
+#[derive(Debug, Clone)]
+pub struct UnitReport {
+    /// Unit name (`"mfmult"`, `"radix16"`, …).
+    pub unit: String,
+    /// Cell count of the analyzed netlist.
+    pub cells: usize,
+    /// Net count of the analyzed netlist.
+    pub nets: usize,
+    /// Mode/lane isolation facts that were *proved* (for the report; a
+    /// failed obligation is a finding instead).
+    pub proofs: Vec<String>,
+    /// All findings, in pass order.
+    pub findings: Vec<Finding>,
+}
+
+impl UnitReport {
+    /// Number of findings for `rule`.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Renders this report as a JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("unit", &self.unit);
+        o.field_u64("cells", self.cells as u64);
+        o.field_u64("nets", self.nets as u64);
+        let mut proofs = JsonArray::new();
+        for p in &self.proofs {
+            proofs.push_str(p);
+        }
+        o.field_raw("proofs", &proofs.finish());
+        let mut arr = JsonArray::new();
+        for f in &self.findings {
+            let mut fo = JsonObject::new();
+            fo.field_str("rule", f.rule.code());
+            fo.field_str("block", &f.block);
+            fo.field_str("message", &f.message);
+            arr.push_raw(&fo.finish());
+        }
+        o.field_raw("findings", &arr.finish());
+        o.finish()
+    }
+}

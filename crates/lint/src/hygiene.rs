@@ -1,0 +1,253 @@
+//! Structural hygiene pass: undriven nets, dead logic, combinational
+//! loops.
+//!
+//! Runs in three stages, each gating the next:
+//!
+//! 1. **Undriven references** — via [`Netlist::undriven_refs`], the same
+//!    routine [`Netlist::check`] uses, so the linter and the runtime
+//!    check can never drift apart. An undriven reference makes the
+//!    netlist unindexable, so the pass stops here if any are found.
+//! 2. **Combinational loops** — if levelization fails, the pass
+//!    localizes an actual cycle and reports its path through named
+//!    blocks (the raw [`NetlistError`] only names one blocked cell).
+//! 3. **Dead logic** — zero-fanout non-output cells, and cells with
+//!    fanout from which no declared output bus is reachable. Skipped
+//!    when the netlist declares no output buses (everything would be
+//!    trivially "dead").
+
+use crate::finding::{Finding, Rule};
+use mfm_gatesim::{Netlist, NetlistError, UndrivenRef};
+
+/// Runs the hygiene pass.
+pub fn run(netlist: &Netlist) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    let undriven = netlist.undriven_refs();
+    if !undriven.is_empty() {
+        for r in undriven {
+            match r {
+                UndrivenRef::CellInput { cell, pin, net } => {
+                    let c = &netlist.cells()[cell.index()];
+                    findings.push(Finding::new(
+                        Rule::UndrivenNet,
+                        netlist.top_level_block_name(c.block),
+                        format!(
+                            "{:?} cell #{} pin {} consumes undriven net {}",
+                            c.kind,
+                            cell.index(),
+                            pin,
+                            net.index()
+                        ),
+                    ));
+                }
+                UndrivenRef::OutputBus { name, bit, net } => {
+                    findings.push(Finding::new(
+                        Rule::UndrivenNet,
+                        "TOP",
+                        format!(
+                            "output bus {name}[{bit}] references undriven net {}",
+                            net.index()
+                        ),
+                    ));
+                }
+            }
+        }
+        return findings;
+    }
+
+    let lev = match netlist.levelization() {
+        Ok(lev) => lev,
+        Err(NetlistError::CombinationalCycle(seed)) => {
+            findings.push(localize_cycle(netlist, seed.index()));
+            return findings;
+        }
+        Err(e) => {
+            // Undriven errors were ruled out above; keep a defensive arm.
+            findings.push(Finding::new(Rule::UndrivenNet, "TOP", e.to_string()));
+            return findings;
+        }
+    };
+
+    let cells = netlist.cells();
+
+    // Output-bus net set and backward reachability from the output buses
+    // (through DFFs: a register is just a cell whose input is traversed).
+    let mut is_output = vec![false; netlist.net_count()];
+    let mut reachable = vec![false; cells.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (_, nets) in netlist.output_buses() {
+        for &net in nets {
+            is_output[net.index()] = true;
+            if let Some(c) = netlist.driver_cell(net) {
+                if !reachable[c.index()] {
+                    reachable[c.index()] = true;
+                    stack.push(c.index());
+                }
+            }
+        }
+    }
+    while let Some(ci) = stack.pop() {
+        let (nets, len) = cells[ci].distinct_inputs();
+        for &net in &nets[..len] {
+            if let Some(c) = netlist.driver_cell(net) {
+                if !reachable[c.index()] {
+                    reachable[c.index()] = true;
+                    stack.push(c.index());
+                }
+            }
+        }
+    }
+
+    if netlist.output_buses().is_empty() {
+        return findings;
+    }
+
+    for (ci, cell) in cells.iter().enumerate() {
+        let out = cell.output;
+        if is_output[out.index()] {
+            continue;
+        }
+        if lev.consumers_of(out).is_empty() {
+            findings.push(Finding::new(
+                Rule::ZeroFanout,
+                netlist.top_level_block_name(cell.block),
+                format!(
+                    "{:?} cell #{ci} output (net {}) feeds nothing",
+                    cell.kind,
+                    out.index()
+                ),
+            ));
+        } else if !reachable[ci] {
+            findings.push(Finding::new(
+                Rule::DeadCell,
+                netlist.top_level_block_name(cell.block),
+                format!(
+                    "{:?} cell #{ci} has fanout but no declared output is reachable from it",
+                    cell.kind
+                ),
+            ));
+        }
+    }
+
+    findings
+}
+
+/// Localizes one combinational cycle and renders its path through named
+/// blocks.
+///
+/// Levelization reported `seed` as blocked: it is on or downstream of a
+/// cycle. Every blocked cell has at least one blocked combinational
+/// fanin, so walking backwards along blocked fanins from `seed` must
+/// revisit a cell — the revisited suffix is a cycle.
+fn localize_cycle(netlist: &Netlist, seed: usize) -> Finding {
+    let cells = netlist.cells();
+
+    // Re-run Kahn's algorithm over distinct combinational fanin edges to
+    // recover the blocked set (cells never retired).
+    let mut pending: Vec<u32> = vec![0; cells.len()];
+    let is_comb_driver = |net: mfm_gatesim::NetId| -> Option<usize> {
+        netlist
+            .driver_cell(net)
+            .map(|c| c.index())
+            .filter(|&ci| cells[ci].kind != mfm_gatesim::CellKind::Dff)
+    };
+    for (ci, cell) in cells.iter().enumerate() {
+        if cell.kind == mfm_gatesim::CellKind::Dff {
+            continue;
+        }
+        let (nets, len) = cell.distinct_inputs();
+        pending[ci] = nets[..len]
+            .iter()
+            .filter(|&&n| is_comb_driver(n).is_some())
+            .count() as u32;
+    }
+    // Net → consuming comb cells, built locally (the cached CSR is
+    // unavailable when levelization fails).
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); netlist.net_count()];
+    for (ci, cell) in cells.iter().enumerate() {
+        if cell.kind == mfm_gatesim::CellKind::Dff {
+            continue;
+        }
+        let (nets, len) = cell.distinct_inputs();
+        for &net in &nets[..len] {
+            if is_comb_driver(net).is_some() {
+                consumers[net.index()].push(ci as u32);
+            }
+        }
+    }
+    let mut ready: Vec<usize> = pending
+        .iter()
+        .enumerate()
+        .filter(|(ci, &p)| p == 0 && cells[*ci].kind != mfm_gatesim::CellKind::Dff)
+        .map(|(ci, _)| ci)
+        .collect();
+    let mut blocked = vec![true; cells.len()];
+    for (ci, cell) in cells.iter().enumerate() {
+        if cell.kind == mfm_gatesim::CellKind::Dff {
+            blocked[ci] = false;
+        }
+    }
+    while let Some(ci) = ready.pop() {
+        blocked[ci] = false;
+        for &next in &consumers[cells[ci].output.index()] {
+            pending[next as usize] -= 1;
+            if pending[next as usize] == 0 {
+                ready.push(next as usize);
+            }
+        }
+    }
+
+    // Walk backwards along blocked fanins until a cell repeats.
+    let start = if blocked[seed] {
+        seed
+    } else {
+        blocked.iter().position(|&b| b).unwrap_or(seed)
+    };
+    let mut order: Vec<i32> = vec![-1; cells.len()];
+    let mut path: Vec<usize> = Vec::new();
+    let mut cur = start;
+    let cycle = loop {
+        if order[cur] >= 0 {
+            break &path[order[cur] as usize..];
+        }
+        order[cur] = path.len() as i32;
+        path.push(cur);
+        let (nets, len) = cells[cur].distinct_inputs();
+        let back = nets[..len]
+            .iter()
+            .find_map(|&n| is_comb_driver(n).filter(|&ci| blocked[ci]));
+        match back {
+            Some(ci) => cur = ci,
+            // Defensive: shouldn't happen — a blocked cell has a blocked fanin.
+            None => break &path[..],
+        }
+    };
+
+    let mut desc: Vec<String> = cycle
+        .iter()
+        .rev()
+        .map(|&ci| {
+            format!(
+                "{:?}#{ci}@{}",
+                cells[ci].kind,
+                netlist.block_name(cells[ci].block)
+            )
+        })
+        .collect();
+    if let Some(first) = desc.first().cloned() {
+        desc.push(first);
+    }
+    let block = cycle
+        .first()
+        .map(|&ci| netlist.top_level_block_name(cells[ci].block).to_owned())
+        .unwrap_or_else(|| "TOP".to_owned());
+    Finding::new(
+        Rule::CombLoop,
+        block,
+        format!(
+            "combinational loop of {} cells: {}",
+            cycle.len(),
+            desc.join(" -> ")
+        ),
+    )
+}

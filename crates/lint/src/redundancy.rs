@@ -1,0 +1,116 @@
+//! Structural redundancy pass: hash-consing sweep for duplicate gates.
+//!
+//! Two cells are duplicates when they have the same kind and the same
+//! *canonicalized* inputs: inputs are first rewritten through the
+//! equivalence map built so far (so chains of duplicates collapse), then
+//! sorted per the gate's commutativity (full symmetry for AND/OR/XOR
+//! families and MAJ3; pairwise + pair symmetry for AOI22; the select leg
+//! of a mux is never commuted). Flip-flops participate too — two
+//! registers clocked from the same D are one register.
+//!
+//! The sweep iterates to a fixpoint: combinational cells in topological
+//! order, then DFFs, repeated until the equivalence map stops growing —
+//! this lets duplicate registers unlock duplicate logic in the next
+//! stage and vice versa.
+
+use crate::finding::{Finding, Rule};
+use mfm_gatesim::{CellKind, Netlist, NetlistError};
+use std::collections::HashMap;
+
+/// Unused-slot filler that cannot collide with a real canonical net.
+const NONE: u32 = u32::MAX;
+
+fn canonical_key(cell: &mfm_gatesim::Cell, canon: &[u32]) -> (CellKind, [u32; 4]) {
+    let arity = cell.kind.arity();
+    let mut k = [NONE; 4];
+    for (p, slot) in k.iter_mut().enumerate().take(arity) {
+        *slot = canon[cell.inputs[p].index()];
+    }
+    match cell.kind {
+        CellKind::Nand2
+        | CellKind::Nor2
+        | CellKind::And2
+        | CellKind::Or2
+        | CellKind::Xor2
+        | CellKind::Xnor2 => k[..2].sort_unstable(),
+        CellKind::Nand3 | CellKind::Nor3 | CellKind::And3 | CellKind::Or3 | CellKind::Maj3 => {
+            k[..3].sort_unstable()
+        }
+        // !((a&b) | c) and !((a|b) & c): a, b commute; c does not.
+        CellKind::Aoi21 | CellKind::Oai21 => k[..2].sort_unstable(),
+        // !((a&b) | (c&d)): sort within each pair, then sort the pairs.
+        CellKind::Aoi22 => {
+            k[..2].sort_unstable();
+            k[2..4].sort_unstable();
+            if (k[2], k[3]) < (k[0], k[1]) {
+                k.swap(0, 2);
+                k.swap(1, 3);
+            }
+        }
+        CellKind::Inv | CellKind::Buf | CellKind::Mux2 | CellKind::Dff => {}
+    }
+    (cell.kind, k)
+}
+
+/// Runs the redundancy pass.
+pub fn run(netlist: &Netlist) -> Result<Vec<Finding>, NetlistError> {
+    let lev = netlist.levelization()?;
+    let cells = netlist.cells();
+
+    // canon[net] = the canonical representative net index.
+    let mut canon: Vec<u32> = (0..netlist.net_count() as u32).collect();
+    let mut map: HashMap<(CellKind, [u32; 4]), (u32, u32)> = HashMap::new();
+    // duplicates: (duplicate cell index, representative cell index).
+    let mut duplicates: Vec<(usize, usize)> = Vec::new();
+
+    loop {
+        let mut changed = false;
+        map.clear();
+        duplicates.clear();
+        let mut visit = |ci: usize, canon: &mut Vec<u32>| {
+            let cell = &cells[ci];
+            let key = canonical_key(cell, canon);
+            let out = cell.output.index();
+            match map.get(&key) {
+                Some(&(rep_net, rep_cell)) => {
+                    if rep_cell as usize != ci {
+                        duplicates.push((ci, rep_cell as usize));
+                        if canon[out] != rep_net {
+                            canon[out] = rep_net;
+                            return true;
+                        }
+                    }
+                    false
+                }
+                None => {
+                    map.insert(key, (canon[out], ci as u32));
+                    false
+                }
+            }
+        };
+        for &cid in lev.order() {
+            changed |= visit(cid.index(), &mut canon);
+        }
+        for (cid, _) in netlist.dffs() {
+            changed |= visit(cid.index(), &mut canon);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Ok(duplicates
+        .iter()
+        .map(|&(ci, rep)| {
+            Finding::new(
+                Rule::DuplicateCell,
+                netlist.top_level_block_name(cells[ci].block),
+                format!(
+                    "{:?} cell #{ci} duplicates cell #{rep} (in {})",
+                    cells[ci].kind,
+                    netlist.block_name(cells[rep].block)
+                ),
+            )
+        })
+        .collect())
+}

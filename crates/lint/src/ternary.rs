@@ -1,0 +1,205 @@
+//! Ternary `{0, 1, X}` abstract interpretation over a netlist.
+//!
+//! This is the shared value domain of the constant-analysis pass and the
+//! cone-of-influence engine. A sweep evaluates every cell over the
+//! three-valued lattice: constants and tied inputs start known, free
+//! inputs start `X`, and each cell's output is the *exact* ternary
+//! abstraction of its function — computed by enumerating every boolean
+//! assignment of its unknown **distinct** input nets (arity ≤ 4, so at
+//! most 16 evaluations per cell via [`CellKind::eval`]). Enumerating
+//! distinct nets rather than pins keeps reconvergent pins precise:
+//! `xor2(a, a)` evaluates to 0, not `X`.
+//!
+//! Flip-flops are handled by steady-state fixpoint iteration (`Q := D`
+//! until nothing changes). The iteration is monotone — values only ever
+//! move `X → constant` — so it terminates; for the repo's feed-forward
+//! pipelines it converges in a handful of passes.
+
+use mfm_gatesim::{Cell, Driver, NetId, Netlist, NetlistError};
+
+/// A ternary value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tern {
+    /// Statically 0.
+    Zero,
+    /// Statically 1.
+    One,
+    /// Unknown (depends on free inputs).
+    X,
+}
+
+impl Tern {
+    /// The known boolean value, if any.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Tern::Zero => Some(false),
+            Tern::One => Some(true),
+            Tern::X => None,
+        }
+    }
+}
+
+impl From<bool> for Tern {
+    fn from(b: bool) -> Self {
+        if b {
+            Tern::One
+        } else {
+            Tern::Zero
+        }
+    }
+}
+
+/// The result of a ternary sweep: one value per net.
+#[derive(Debug, Clone)]
+pub struct TernaryValues {
+    vals: Vec<Tern>,
+}
+
+impl TernaryValues {
+    /// The ternary value of `net`.
+    pub fn value(&self, net: NetId) -> Tern {
+        self.vals[net.index()]
+    }
+
+    pub(crate) fn raw(&self) -> &[Tern] {
+        &self.vals
+    }
+}
+
+/// Exact ternary evaluation of one cell given per-net values.
+///
+/// Enumerates all boolean assignments of the cell's *distinct* unknown
+/// input nets; if every assignment yields the same output the result is
+/// that constant, otherwise `X`.
+pub(crate) fn eval_cell(cell: &Cell, vals: &[Tern]) -> Tern {
+    let (nets, len) = cell.distinct_inputs();
+    let unknown: Vec<NetId> = nets[..len]
+        .iter()
+        .copied()
+        .filter(|n| vals[n.index()] == Tern::X)
+        .collect();
+    let arity = cell.kind.arity();
+    let mut out: Option<bool> = None;
+    for combo in 0u32..(1 << unknown.len()) {
+        let pin = |p: usize| -> bool {
+            let net = cell.inputs[p];
+            match vals[net.index()].known() {
+                Some(b) => b,
+                None => {
+                    let ix = unknown.iter().position(|&u| u == net).unwrap();
+                    (combo >> ix) & 1 == 1
+                }
+            }
+        };
+        let a = pin(0);
+        let b = if arity > 1 { pin(1) } else { a };
+        let c = if arity > 2 { pin(2) } else { a };
+        let d = if arity > 3 { pin(3) } else { a };
+        let v = cell.kind.eval(a, b, c, d);
+        match out {
+            None => out = Some(v),
+            Some(prev) if prev != v => return Tern::X,
+            Some(_) => {}
+        }
+    }
+    // `out` is always Some: even with zero unknowns the single (empty)
+    // assignment is evaluated.
+    Tern::from(out.unwrap())
+}
+
+/// Appends to `out` the distinct unknown input nets the cell's output
+/// actually depends on, given the other inputs' ternary values: net `u`
+/// is relevant iff some assignment of the remaining unknowns makes the
+/// output differ between `u = 0` and `u = 1`.
+pub(crate) fn relevant_nets(cell: &Cell, vals: &[Tern], out: &mut Vec<NetId>) {
+    let (nets, len) = cell.distinct_inputs();
+    let unknown: Vec<NetId> = nets[..len]
+        .iter()
+        .copied()
+        .filter(|n| vals[n.index()] == Tern::X)
+        .collect();
+    let arity = cell.kind.arity();
+    let eval_with = |assign: &dyn Fn(NetId) -> bool| -> bool {
+        let pin = |p: usize| -> bool {
+            let net = cell.inputs[p];
+            vals[net.index()].known().unwrap_or_else(|| assign(net))
+        };
+        let a = pin(0);
+        let b = if arity > 1 { pin(1) } else { a };
+        let c = if arity > 2 { pin(2) } else { a };
+        let d = if arity > 3 { pin(3) } else { a };
+        cell.kind.eval(a, b, c, d)
+    };
+    for (ui, &u) in unknown.iter().enumerate() {
+        let mut relevant = false;
+        for combo in 0u32..(1 << (unknown.len() - 1)) {
+            let others = |net: NetId, bit_for_u: bool| -> bool {
+                if net == u {
+                    bit_for_u
+                } else {
+                    let mut ix = unknown.iter().position(|&x| x == net).unwrap();
+                    if ix > ui {
+                        ix -= 1;
+                    }
+                    (combo >> ix) & 1 == 1
+                }
+            };
+            let v0 = eval_with(&|n| others(n, false));
+            let v1 = eval_with(&|n| others(n, true));
+            if v0 != v1 {
+                relevant = true;
+                break;
+            }
+        }
+        if relevant {
+            out.push(u);
+        }
+    }
+}
+
+/// Runs a ternary sweep over `netlist` with the given input ties.
+///
+/// Every net in `ties` must be a primary input; it is pinned to the given
+/// constant. All other primary inputs are `X`. Flip-flop outputs take
+/// their steady-state value (`Q := D` iterated to fixpoint).
+///
+/// # Panics
+///
+/// Panics if a tied net is not a primary input.
+pub fn sweep(netlist: &Netlist, ties: &[(NetId, bool)]) -> Result<TernaryValues, NetlistError> {
+    let lev = netlist.levelization()?;
+    let mut vals = vec![Tern::X; netlist.net_count()];
+    vals[netlist.zero().index()] = Tern::Zero;
+    vals[netlist.one().index()] = Tern::One;
+    for &(net, value) in ties {
+        assert!(
+            netlist.driver(net) == Driver::Input,
+            "tied net {} is not a primary input",
+            net.index()
+        );
+        vals[net.index()] = Tern::from(value);
+    }
+    let cells = netlist.cells();
+    loop {
+        let mut changed = false;
+        for &cid in lev.order() {
+            let cell = &cells[cid.index()];
+            let v = eval_cell(cell, &vals);
+            if vals[cell.output.index()] != v {
+                vals[cell.output.index()] = v;
+                changed = true;
+            }
+        }
+        for (_, cell) in netlist.dffs() {
+            let v = vals[cell.inputs[0].index()];
+            if vals[cell.output.index()] != v {
+                vals[cell.output.index()] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(TernaryValues { vals })
+}

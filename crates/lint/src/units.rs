@@ -1,0 +1,158 @@
+//! The standard lint suite: every built unit of the reproduction, each
+//! run through all four passes.
+//!
+//! Units: the radix-16 64×64 multiplier core, the radix-4 Booth
+//! baseline, the multi-format unit (paper configuration and quad
+//! extension), the 3-stage pipelined unit (Fig. 5), and the
+//! binary64→binary32 reduction unit (Fig. 6). The multi-format units
+//! carry the full per-mode isolation obligations from
+//! [`mfmult::meta::mode_specs`]; the plain multipliers and the reducer
+//! carry a synthetic full-support obligation (every input bit must reach
+//! the outputs).
+
+use crate::finding::{Rule, UnitReport};
+use crate::{constants, hygiene, isolation, redundancy};
+use mfm_arith::{build_multiplier, MultiplierConfig};
+use mfm_gatesim::{NetId, Netlist, TechLibrary};
+use mfmult::meta::{self, LaneIsolation, ModeSpec};
+use mfmult::structural::{build_unit, build_unit_quad};
+use mfmult::{build_pipelined_unit, reduce::build_reducer, PipelinePlacement};
+
+/// A built unit ready for linting: its netlist plus the mode obligations
+/// to discharge.
+pub struct BuiltUnit {
+    /// Unit name (baseline key).
+    pub name: String,
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Per-mode isolation obligations.
+    pub specs: Vec<ModeSpec>,
+}
+
+fn label(name: &str, bus: &[NetId]) -> Vec<(String, NetId)> {
+    bus.iter()
+        .enumerate()
+        .map(|(i, &n)| (format!("{name}[{i}]"), n))
+        .collect()
+}
+
+/// A synthetic single-mode spec: all of `required` must reach `outputs`,
+/// nothing is tied, nothing is forbidden.
+fn full_support_spec(
+    outputs: Vec<(String, NetId)>,
+    required: Vec<(String, NetId)>,
+) -> Vec<ModeSpec> {
+    vec![ModeSpec {
+        mode: "untied".to_owned(),
+        ties: Vec::new(),
+        lanes: vec![LaneIsolation {
+            lane: "full".to_owned(),
+            outputs,
+            forbidden: Vec::new(),
+            required,
+        }],
+        killed_seams: Vec::new(),
+        open_seams: Vec::new(),
+    }]
+}
+
+/// Builds the standard suite of units.
+pub fn standard_units() -> Vec<BuiltUnit> {
+    let mut units = Vec::new();
+
+    for (name, cfg) in [
+        ("radix16", MultiplierConfig::radix16()),
+        ("booth4", MultiplierConfig::radix4()),
+    ] {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let m = build_multiplier(&mut n, cfg);
+        let mut required = label("x", &m.x);
+        required.extend(label("y", &m.y));
+        let specs = full_support_spec(label("p", &m.p), required);
+        units.push(BuiltUnit {
+            name: name.to_owned(),
+            netlist: n,
+            specs,
+        });
+    }
+
+    {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let specs = meta::mode_specs(&ports);
+        units.push(BuiltUnit {
+            name: "mfmult".to_owned(),
+            netlist: n,
+            specs,
+        });
+    }
+    {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit_quad(&mut n);
+        let specs = meta::mode_specs(&ports);
+        units.push(BuiltUnit {
+            name: "mfmult-quad".to_owned(),
+            netlist: n,
+            specs,
+        });
+    }
+    {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+        let specs = meta::mode_specs(&ports);
+        units.push(BuiltUnit {
+            name: "mfmult-pipe3".to_owned(),
+            netlist: n,
+            specs,
+        });
+    }
+    {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_reducer(&mut n);
+        let mut outputs = label("out64", &ports.out64);
+        outputs.extend(label("b32", &ports.b32));
+        outputs.push(("reduced".to_owned(), ports.reduced));
+        let specs = full_support_spec(outputs, label("b64_in", &ports.input));
+        units.push(BuiltUnit {
+            name: "reducer".to_owned(),
+            netlist: n,
+            specs,
+        });
+    }
+
+    units
+}
+
+/// Runs all four passes over one netlist.
+///
+/// Structural hygiene runs first; if it finds the netlist unindexable
+/// (undriven references or a combinational loop), the deeper passes are
+/// skipped — their findings would be meaningless on a broken graph.
+pub fn lint_unit(unit: &BuiltUnit) -> UnitReport {
+    let n = &unit.netlist;
+    let mut findings = hygiene::run(n);
+    let mut proofs = Vec::new();
+    let fatal = findings
+        .iter()
+        .any(|f| matches!(f.rule, Rule::UndrivenNet | Rule::CombLoop));
+    if !fatal {
+        findings.extend(constants::run(n).expect("levelization verified by hygiene pass"));
+        findings.extend(redundancy::run(n).expect("levelization verified by hygiene pass"));
+        let (iso, pr) =
+            isolation::check_modes(n, &unit.specs).expect("levelization verified by hygiene pass");
+        findings.extend(iso);
+        proofs = pr;
+    }
+    UnitReport {
+        unit: unit.name.clone(),
+        cells: n.cell_count(),
+        nets: n.net_count(),
+        proofs,
+        findings,
+    }
+}
+
+/// Builds and lints the whole standard suite.
+pub fn lint_all() -> Vec<UnitReport> {
+    standard_units().iter().map(lint_unit).collect()
+}

@@ -1,0 +1,263 @@
+//! Seeded-defect fixtures: each lint pass must fire its exact finding on
+//! a netlist with one deliberately planted bug, and the committed baseline
+//! must keep the standard suite green.
+
+use mfm_gatesim::{CellKind, Netlist, TechLibrary};
+use mfm_lint::{constants, diff, hygiene, isolation, lint_all, redundancy, Baseline, Rule};
+use mfmult::meta::mode_specs;
+use mfmult::structural::build_unit;
+
+fn fresh() -> Netlist {
+    Netlist::new(TechLibrary::cmos45lp())
+}
+
+#[test]
+fn floating_net_is_reported_as_undriven() {
+    // A NetId leaked from another netlist: its index is beyond the
+    // fixture's driver table, so nothing drives it.
+    let mut donor = fresh();
+    let foreign = donor.input_bus("wide", 32)[31];
+
+    let mut n = fresh();
+    let a = n.input("a");
+    let g = n.cell(CellKind::And2, &[a, foreign]);
+    n.output_bus("o", &[g]);
+
+    let findings = hygiene::run(&n);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::UndrivenNet && f.message.contains("And2")),
+        "expected an undriven-net finding naming the cell, got {findings:?}"
+    );
+    // The runtime check agrees with the linter (they share the routine).
+    assert!(n.check().is_err());
+}
+
+#[test]
+fn injected_loop_is_localized_with_its_path() {
+    let mut n = fresh();
+    let a = n.input("a");
+    let b = n.input("b");
+    let x = n.cell(CellKind::And2, &[a, b]);
+    let y = n.cell(CellKind::Or2, &[x, a]);
+    n.output_bus("o", &[y]);
+    // Close the cycle: the AND's second pin now consumes the OR.
+    let xc = n.driver_cell(x).expect("x is cell-driven");
+    n.rewire_input(xc, 1, y);
+
+    let findings = hygiene::run(&n);
+    assert_eq!(findings.len(), 1, "loop should be the only finding");
+    assert_eq!(findings[0].rule, Rule::CombLoop);
+    assert!(
+        findings[0].message.contains("And2") && findings[0].message.contains("Or2"),
+        "cycle path should name both gates: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn dead_logic_splits_into_zero_fanout_and_dead_cell() {
+    let mut n = fresh();
+    let a = n.input("a");
+    let b = n.input("b");
+    let live = n.xor2(a, b);
+    n.output_bus("o", &[live]);
+    // A two-cell island: `inner` has fanout (into `tip`) but no output is
+    // reachable from it; `tip` feeds nothing at all.
+    let inner = n.cell(CellKind::And2, &[a, b]);
+    let _tip = n.cell(CellKind::Or2, &[inner, a]);
+
+    let findings = hygiene::run(&n);
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == Rule::ZeroFanout)
+            .count(),
+        1,
+        "exactly the island tip: {findings:?}"
+    );
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == Rule::DeadCell).count(),
+        1,
+        "exactly the island interior: {findings:?}"
+    );
+}
+
+#[test]
+fn duplicate_gate_is_found_modulo_commutativity() {
+    let mut n = fresh();
+    let a = n.input("a");
+    let b = n.input("b");
+    // Raw cells bypass the builder's folding; swapped operands must still
+    // canonicalize to the same key.
+    let g1 = n.cell(CellKind::And2, &[a, b]);
+    let g2 = n.cell(CellKind::And2, &[b, a]);
+    let o = n.or2(g1, g2);
+    n.output_bus("o", &[o]);
+
+    let findings = redundancy::run(&n).expect("acyclic fixture");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::DuplicateCell);
+}
+
+#[test]
+fn constant_cell_and_degenerate_mux_are_flagged() {
+    let mut n = fresh();
+    let a = n.input("a");
+    let b = n.input("b");
+    let zero = n.zero();
+    // Raw instantiation bypasses the builder's constant folding.
+    let stuck = n.cell(CellKind::And2, &[a, zero]);
+    let degenerate = n.cell(CellKind::Mux2, &[a, a, b]);
+    let o = n.or2(stuck, degenerate);
+    n.output_bus("o", &[o]);
+
+    let findings = constants::run(&n).expect("acyclic fixture");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::ConstCell && f.message.contains("statically 0")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::DegenerateSelect && f.message.contains("same net")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn seeded_blanking_bug_breaks_the_lane_isolation_proof() {
+    let mut n = fresh();
+    let ports = build_unit(&mut n);
+    let specs = mode_specs(&ports);
+
+    // Plant the bug: the driver of a lower-lane product bit is rewired so
+    // every pin reads an upper-lane operand bit. Rewiring all pins keeps
+    // the cell non-constant under any ties, so the leak cannot be hidden
+    // by constant propagation.
+    let leak_src = ports.xa[40];
+    let victim = n.driver_cell(ports.ph[5]).expect("product bit is driven");
+    let arity = n.cells()[victim.index()].kind.arity();
+    for pin in 0..arity {
+        n.rewire_input(victim, pin, leak_src);
+    }
+
+    let (findings, _proofs) = isolation::check_modes(&n, &specs).expect("unit stays acyclic");
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::IsolationLeak
+            && f.message.contains("lane lower")
+            && f.message.contains("xa[40]")),
+        "dual-mode lower lane must report the planted xa[40] leak, got {findings:?}"
+    );
+}
+
+#[test]
+fn over_blanking_is_reported_when_a_required_bit_is_absent() {
+    use mfmult::meta::{LaneIsolation, ModeSpec};
+
+    let mut n = fresh();
+    let a = n.input("a");
+    let b = n.input("b");
+    let c = n.input("c");
+    let o = n.and2(a, b);
+    n.output_bus("o", &[o]);
+
+    // The obligation demands input c in the cone, but the logic never
+    // reads it — the exact shape of an over-blanked operand bit.
+    let specs = vec![ModeSpec {
+        mode: "fixture".into(),
+        ties: Vec::new(),
+        lanes: vec![LaneIsolation {
+            lane: "only".into(),
+            outputs: vec![("o[0]".into(), o)],
+            forbidden: Vec::new(),
+            required: vec![("a".into(), a), ("b".into(), b), ("c".into(), c)],
+        }],
+        killed_seams: Vec::new(),
+        open_seams: Vec::new(),
+    }];
+
+    let (findings, _) = isolation::check_modes(&n, &specs).expect("acyclic fixture");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::OverBlanking);
+    assert!(findings[0].message.contains('c'), "{}", findings[0].message);
+}
+
+#[test]
+fn seam_obligations_fire_on_wrong_polarity() {
+    use mfmult::meta::{LaneIsolation, ModeSpec};
+
+    let mut n = fresh();
+    let a = n.input("a");
+    let o = n.not(a);
+    n.output_bus("o", &[o]);
+
+    // `a` is free, so a killed seam on it is unprovable; the constant-one
+    // net violates a killed seam and satisfies an open one.
+    let one = n.one();
+    let specs = vec![ModeSpec {
+        mode: "fixture".into(),
+        ties: Vec::new(),
+        lanes: vec![LaneIsolation {
+            lane: "only".into(),
+            outputs: vec![("o[0]".into(), o)],
+            forbidden: Vec::new(),
+            required: vec![("a".into(), a)],
+        }],
+        killed_seams: vec![(64, a), (32, one)],
+        open_seams: vec![(16, one), (8, a)],
+    }];
+
+    let (findings, proofs) = isolation::check_modes(&n, &specs).expect("acyclic fixture");
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == Rule::SeamNotKilled)
+            .count(),
+        2,
+        "{findings:?}"
+    );
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == Rule::SeamNotOpen)
+            .count(),
+        1,
+        "{findings:?}"
+    );
+    assert!(
+        proofs.iter().any(|p| p.contains("col 16 open proved")),
+        "{proofs:?}"
+    );
+}
+
+#[test]
+fn standard_suite_is_clean_modulo_the_committed_baseline() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../lint_baseline.json");
+    let text = std::fs::read_to_string(path).expect("committed baseline exists");
+    let baseline = Baseline::parse(&text).expect("baseline parses with reasoned entries");
+    let reports = lint_all();
+    let gate = diff(&reports, &baseline);
+    assert!(
+        gate.passed(),
+        "unbaselined findings: {:#?}",
+        gate.violations
+            .iter()
+            .map(|v| format!(
+                "{}/{}/{} {} > {}",
+                v.unit, v.rule, v.block, v.count, v.allowed
+            ))
+            .collect::<Vec<_>>()
+    );
+    // Every unit must still discharge its isolation obligations as proofs.
+    for r in &reports {
+        assert!(
+            !r.proofs.is_empty(),
+            "unit {} proved no isolation facts",
+            r.unit
+        );
+    }
+}

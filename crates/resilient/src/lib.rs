@@ -25,7 +25,7 @@
 //! and return after scrubs).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backoff;
 pub mod chaos;

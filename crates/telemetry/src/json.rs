@@ -295,6 +295,43 @@ pub fn object_entries(s: &str) -> Result<Vec<(String, String)>, String> {
     Ok(out)
 }
 
+/// Splits one JSON array into its top-level raw element slices, in
+/// document order — the array counterpart of [`object_entries`]. Each
+/// element is returned as the exact (validated) JSON slice, so nested
+/// objects can be recursed into with [`object_entries`].
+pub fn array_entries(s: &str) -> Result<Vec<String>, String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    p.eat(b'[')?;
+    p.ws();
+    let mut out = Vec::new();
+    if p.peek() == Some(b']') {
+        p.i += 1;
+    } else {
+        loop {
+            p.ws();
+            let v0 = p.i;
+            p.value()?;
+            out.push(s[v0..p.i].to_string());
+            p.ws();
+            match p.peek() {
+                Some(b',') => p.i += 1,
+                Some(b']') => {
+                    p.i += 1;
+                    break;
+                }
+                _ => return Err(p.err("expected ',' or ']'")),
+            }
+        }
+    }
+    p.ws();
+    if p.i != b.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(out)
+}
+
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,

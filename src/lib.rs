@@ -24,6 +24,9 @@
 //! assert_eq!(r.int_product(), 42);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use mfm_arith as arith;
 pub use mfm_evalkit as evalkit;
 pub use mfm_gatesim as gatesim;
