@@ -12,6 +12,8 @@
 //! | `figures` | Fig. 1–6 structural reports + ablation studies |
 //! | `faults` | fault-injection campaign + residue-check coverage table |
 //! | `chaos` | seeded chaos run over the resilient pool engine (zero-escape + capacity-recovery invariants) |
+//! | `serve` | multiplication-as-a-service TCP front-end + Prometheus `/metrics` (optional chaos underneath) |
+//! | `loadgen` | open-loop load generator/verifier against `serve` (bursts, slow clients, adversarial frames) |
 //!
 //! Microbenches (`cargo bench -p mfm-bench`, see [`microbench`]): software
 //! throughput of the functional unit per format, the softfloat reference,

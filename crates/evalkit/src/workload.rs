@@ -130,6 +130,140 @@ impl OperandGen {
     }
 }
 
+/// Knobs for an open-loop arrival process: exponential inter-arrival
+/// gaps (a Poisson stream) modulated by periodic bursts. Open-loop
+/// means arrivals do not wait for responses — the model for "millions
+/// of users", where offered load is independent of service capacity and
+/// overload is a real state the server must survive.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalConfig {
+    /// Seed for the process's private PRNG stream.
+    pub seed: u64,
+    /// Mean inter-arrival gap outside bursts, in microseconds.
+    pub mean_gap_micros: f64,
+    /// Arrivals between burst onsets (0 disables bursts).
+    pub burst_every: u64,
+    /// Arrivals per burst.
+    pub burst_len: u64,
+    /// Rate multiplier during a burst (> 1 compresses the gaps).
+    pub burst_factor: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            seed: 2017,
+            mean_gap_micros: 200.0,
+            burst_every: 64,
+            burst_len: 16,
+            burst_factor: 8.0,
+        }
+    }
+}
+
+/// A seeded open-loop arrival process (see [`ArrivalConfig`]). Pure
+/// function of the seed: the gap sequence replays bit-identically.
+#[derive(Debug)]
+pub struct Arrivals {
+    cfg: ArrivalConfig,
+    rng: Rng,
+    emitted: u64,
+}
+
+impl Arrivals {
+    /// Creates the process.
+    pub fn new(cfg: ArrivalConfig) -> Self {
+        Arrivals {
+            cfg,
+            rng: Rng::new(cfg.seed ^ 0xa881_17a5_0b5e_55ed),
+            emitted: 0,
+        }
+    }
+
+    /// Whether the *next* arrival falls inside a burst window.
+    pub fn in_burst(&self) -> bool {
+        self.cfg.burst_every > 0 && self.emitted % self.cfg.burst_every < self.cfg.burst_len
+    }
+
+    /// Arrivals generated so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The gap before the next arrival, in microseconds: an exponential
+    /// draw whose mean is `mean_gap_micros`, divided by `burst_factor`
+    /// while a burst window is open.
+    pub fn next_gap_micros(&mut self) -> u64 {
+        let mut mean = self.cfg.mean_gap_micros.max(1.0);
+        if self.in_burst() {
+            mean /= self.cfg.burst_factor.max(1.0);
+        }
+        self.emitted += 1;
+        // Inverse-CDF exponential; 1 - u is in (0, 1] so ln is finite.
+        let u = self.rng.next_f64();
+        (-mean * (1.0 - u).ln()).round() as u64
+    }
+}
+
+/// A weighted mixed-format traffic profile for serving workloads.
+#[derive(Debug, Clone)]
+pub struct FormatMix {
+    weights: Vec<(Format, f64)>,
+    total: f64,
+}
+
+impl FormatMix {
+    /// Builds a mix from `(format, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pair has a positive weight.
+    pub fn new(weights: &[(Format, f64)]) -> Self {
+        let kept: Vec<(Format, f64)> = weights.iter().copied().filter(|&(_, w)| w > 0.0).collect();
+        let total: f64 = kept.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "a format mix needs positive weight");
+        FormatMix {
+            weights: kept,
+            total,
+        }
+    }
+
+    /// The paper-motivated default: integer-heavy compute with a solid
+    /// dual-binary32 share (the power win lives there) and the rest
+    /// split between binary64 and single binary32.
+    pub fn serving_default() -> Self {
+        FormatMix::new(&[
+            (Format::Int64, 0.35),
+            (Format::Binary64, 0.25),
+            (Format::DualBinary32, 0.30),
+            (Format::SingleBinary32, 0.10),
+        ])
+    }
+
+    /// The formats with positive weight, in declaration order.
+    pub fn formats(&self) -> impl Iterator<Item = Format> + '_ {
+        self.weights.iter().map(|&(f, _)| f)
+    }
+}
+
+impl OperandGen {
+    /// A random operation whose format is drawn from `mix` and whose
+    /// operands are valid for that format — one call consumes the
+    /// generator's stream deterministically.
+    pub fn mixed_operation(&mut self, mix: &FormatMix) -> Operation {
+        let mut roll = self.rng.next_f64() * mix.total;
+        let mut chosen = mix.weights[mix.weights.len() - 1].0;
+        for &(f, w) in &mix.weights {
+            if roll < w {
+                chosen = f;
+                break;
+            }
+            roll -= w;
+        }
+        self.operation(chosen)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +360,90 @@ mod tests {
             let e = (enc >> 10) & 0x1F;
             assert!(e > 0 && e < 31);
         }
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_hit_the_mean() {
+        let cfg = ArrivalConfig {
+            seed: 31,
+            mean_gap_micros: 500.0,
+            burst_every: 0,
+            burst_len: 0,
+            burst_factor: 1.0,
+        };
+        let gaps = |cfg| {
+            let mut a = Arrivals::new(cfg);
+            (0..4000).map(|_| a.next_gap_micros()).collect::<Vec<u64>>()
+        };
+        let g = gaps(cfg);
+        assert_eq!(g, gaps(cfg), "same seed, same arrival stream");
+        let mean = g.iter().sum::<u64>() as f64 / g.len() as f64;
+        assert!(
+            (400.0..600.0).contains(&mean),
+            "exponential mean {mean} off target 500"
+        );
+    }
+
+    #[test]
+    fn bursts_compress_gaps_by_the_burst_factor() {
+        let cfg = ArrivalConfig {
+            seed: 5,
+            mean_gap_micros: 1000.0,
+            burst_every: 50,
+            burst_len: 25,
+            burst_factor: 10.0,
+        };
+        let mut a = Arrivals::new(cfg);
+        let (mut burst_sum, mut burst_n) = (0u64, 0u64);
+        let (mut calm_sum, mut calm_n) = (0u64, 0u64);
+        for _ in 0..5000 {
+            let in_burst = a.in_burst();
+            let gap = a.next_gap_micros();
+            if in_burst {
+                burst_sum += gap;
+                burst_n += 1;
+            } else {
+                calm_sum += gap;
+                calm_n += 1;
+            }
+        }
+        assert_eq!(burst_n, calm_n, "half the arrivals land in bursts");
+        let (burst_mean, calm_mean) = (
+            burst_sum as f64 / burst_n as f64,
+            calm_sum as f64 / calm_n as f64,
+        );
+        let ratio = calm_mean / burst_mean;
+        assert!(
+            (7.0..13.0).contains(&ratio),
+            "burst compression {ratio} far from factor 10"
+        );
+    }
+
+    #[test]
+    fn format_mix_sampling_tracks_the_weights() {
+        let mix = FormatMix::serving_default();
+        let mut g = OperandGen::new(77);
+        let mut counts = std::collections::HashMap::new();
+        let n = 4000;
+        for _ in 0..n {
+            let op = g.mixed_operation(&mix);
+            *counts.entry(op.format.label()).or_insert(0u32) += 1;
+        }
+        // 35/25/30/10 split with a generous tolerance.
+        let share = |l: &str| *counts.get(l).unwrap_or(&0) as f64 / n as f64;
+        assert!((0.30..0.40).contains(&share("int64")), "{counts:?}");
+        assert!((0.20..0.30).contains(&share("binary64")), "{counts:?}");
+        assert!((0.25..0.35).contains(&share("dual_binary32")), "{counts:?}");
+        assert!(
+            (0.06..0.14).contains(&share("single_binary32")),
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn empty_format_mix_panics() {
+        let _ = FormatMix::new(&[(Format::Int64, 0.0)]);
     }
 
     #[test]

@@ -55,6 +55,19 @@ impl SubmitBackoff {
         self.attempt
     }
 
+    /// Rewinds the attempt counter to zero, restoring the full retry
+    /// budget and the base delay. The jitter stream is deliberately
+    /// *not* rewound: a client whose request was finally admitted
+    /// starts its next backoff sequence from fresh draws, so repeated
+    /// accept/reject cycles never replay the same delays in lockstep.
+    ///
+    /// Used by per-client retry budgets: the serving front-end resets a
+    /// client's backoff whenever one of its requests is admitted, so
+    /// only *consecutive* rejections escalate the retry-after hint.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
     /// The next delay to wait after a rejection, or `None` once the
     /// retry budget is exhausted. The delay is the truncated exponential
     /// with "equal jitter": uniformly drawn from `[d/2, d]`, so retries
@@ -105,6 +118,76 @@ mod tests {
         }
         assert_eq!(b.next_delay(), None, "budget exhausted");
         assert_eq!(b.attempts(), 6);
+    }
+
+    #[test]
+    fn saturates_at_the_cap_and_never_overflows() {
+        // Adversarial knobs: a base and factor whose product overflows
+        // u64 after two steps, an enormous retry budget, and a cap at
+        // the far end of the range. The exponential must truncate at
+        // `max_ticks` and stay there — no wraparound, no panic — for
+        // attempt counts far past the point where base·factorⁿ would
+        // overflow.
+        let cfg = BackoffConfig {
+            base_ticks: u64::MAX / 2,
+            factor: u64::MAX,
+            max_ticks: u64::MAX,
+            max_retries: 10_000,
+        };
+        let mut b = SubmitBackoff::new(cfg, 99);
+        for i in 0..10_000 {
+            let d = b.next_delay().expect("within retry budget");
+            assert!(d <= cfg.max_ticks, "attempt {i}: delay {d} exceeds the cap");
+            if i >= 1 {
+                // One saturating multiply pins the nominal delay to the
+                // cap; every later delay jitters inside [cap/2, cap].
+                assert!(
+                    d >= cfg.max_ticks / 2,
+                    "attempt {i}: delay {d} escaped the saturated jitter window"
+                );
+            }
+        }
+        assert_eq!(b.next_delay(), None, "budget exhausted exactly at the cap");
+
+        // A modest cap with a high attempt count: every delay after the
+        // ramp sits in `[max/2, max]` and never exceeds the cap.
+        let cfg = BackoffConfig {
+            base_ticks: 3,
+            factor: 7,
+            max_ticks: 1000,
+            max_retries: 500,
+        };
+        let mut b = SubmitBackoff::new(cfg, 7);
+        let mut saturated = 0u32;
+        while let Some(d) = b.next_delay() {
+            assert!(d <= cfg.max_ticks, "delay {d} exceeds the cap");
+            if d >= cfg.max_ticks / 2 {
+                saturated += 1;
+            }
+        }
+        assert!(saturated >= 490, "cap reached early and held: {saturated}");
+    }
+
+    #[test]
+    fn reset_restores_the_budget_without_replaying_jitter() {
+        let cfg = BackoffConfig {
+            base_ticks: 4,
+            factor: 2,
+            max_ticks: 64,
+            max_retries: 3,
+        };
+        let mut b = SubmitBackoff::new(cfg, 11);
+        let first: Vec<u64> = (0..3).map(|_| b.next_delay().unwrap()).collect();
+        assert_eq!(b.next_delay(), None);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        // Full budget again, delays restart from the base window...
+        let second: Vec<u64> = (0..3).map(|_| b.next_delay().unwrap()).collect();
+        assert!(second[0] >= cfg.base_ticks / 2 && second[0] <= cfg.base_ticks);
+        assert_eq!(b.next_delay(), None, "budget exhausts again after reset");
+        // ...but the jitter stream advanced: the two sequences are not
+        // forced into lockstep (windows are equal, draws are fresh).
+        assert_eq!(first.len(), second.len());
     }
 
     #[test]

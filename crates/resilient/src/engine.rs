@@ -22,19 +22,52 @@ use mfmult::{FunctionalUnit, MultResult, Operation};
 
 use crate::health::{BreakerConfig, HealthState, HealthTracker, HealthTransition, TickVerdict};
 
-/// Rejection returned by [`Engine::submit`] when the bounded queue is
-/// full — the backpressure signal callers answer with
-/// [`crate::backoff::SubmitBackoff`].
+/// Structured rejection returned by [`Engine::submit`] when the bounded
+/// queue is full — the backpressure signal callers answer with
+/// [`crate::backoff::SubmitBackoff`], or that a serving front-end turns
+/// into a typed `Overloaded { retry_after }` response.
+///
+/// The rejection is never a silent drop: it carries the queue depth the
+/// caller collided with and a retry-after hint derived from the recent
+/// [`CapacitySample`] timeline (queue occupancy over the observed drain
+/// rate), so a well-behaved client knows exactly how long to stay away.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Busy;
+pub struct Busy {
+    /// Queue occupancy at the moment of rejection.
+    pub queued: u32,
+    /// Estimated ticks until a queue slot frees up, computed from the
+    /// completion rate over the recent capacity timeline. At least 1.
+    pub retry_after: u64,
+}
 
 impl std::fmt::Display for Busy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("submission queue full")
+        write!(
+            f,
+            "submission queue full ({} queued, retry after {} tick(s))",
+            self.queued, self.retry_after
+        )
     }
 }
 
 impl std::error::Error for Busy {}
+
+/// An operation cancelled in the queue because its deadline passed
+/// before any unit could serve it (drained with
+/// [`Engine::take_expired`]). Deadline expiry is a first-class outcome,
+/// never a silent drop: the submitter gets the id back and can answer
+/// the caller with a typed `DeadlineExceeded`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpiredOp {
+    /// Submission id returned by [`Engine::submit_with_deadline`].
+    pub id: u64,
+    /// The cancelled operation.
+    pub op: Operation,
+    /// The deadline tick that passed.
+    pub deadline: u64,
+    /// Tick at which the cancellation was performed.
+    pub tick: u64,
+}
 
 /// Engine policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +147,7 @@ struct PoolTelemetry {
     queue_depth: Gauge,
     submitted: Counter,
     rejected: Counter,
+    expired: Counter,
     completed: Counter,
     escapes: Counter,
     scrubs: Counter,
@@ -156,7 +190,7 @@ pub struct Engine<'a> {
     /// passes before committing to the event-driven replay.
     compiled: CompiledNetlist,
     ports: StructuralPorts,
-    queue: std::collections::VecDeque<(u64, Operation)>,
+    queue: std::collections::VecDeque<(u64, Operation, Option<u64>)>,
     queue_depth: usize,
     breaker: BreakerConfig,
     /// Per-op settle-event ceiling (calibrated at construction).
@@ -164,11 +198,13 @@ pub struct Engine<'a> {
     tick: u64,
     next_id: u64,
     completed: Vec<Completed>,
+    expired: Vec<ExpiredOp>,
     timeline: Vec<CapacitySample>,
     rr_cursor: usize,
     escapes: u64,
     submitted: u64,
     rejected: u64,
+    expired_total: u64,
     done: u64,
     scrubs: u64,
     scrub_passes: u64,
@@ -234,11 +270,13 @@ impl<'a> Engine<'a> {
             tick: 0,
             next_id: 0,
             completed: Vec::new(),
+            expired: Vec::new(),
             timeline: Vec::new(),
             rr_cursor: 0,
             escapes: 0,
             submitted: 0,
             rejected: 0,
+            expired_total: 0,
             done: 0,
             scrubs: 0,
             scrub_passes: 0,
@@ -257,6 +295,7 @@ impl<'a> Engine<'a> {
             queue_depth: registry.gauge("pool.queue_depth"),
             submitted: registry.counter("pool.submitted"),
             rejected: registry.counter("pool.rejected"),
+            expired: registry.counter("pool.expired"),
             completed: registry.counter("pool.completed"),
             escapes: registry.counter("pool.escapes"),
             scrubs: registry.counter("pool.scrubs"),
@@ -342,15 +381,33 @@ impl<'a> Engine<'a> {
             .count() as u32
     }
 
-    /// Submits one operation. A full queue answers [`Busy`]; the caller
-    /// backs off and retries (see [`crate::backoff::SubmitBackoff`]).
+    /// Submits one operation. A full queue answers a structured
+    /// [`Busy`] carrying the queue depth and a retry-after hint; the
+    /// caller backs off and retries (see
+    /// [`crate::backoff::SubmitBackoff`]) or sheds the request with a
+    /// typed overload response.
     pub fn submit(&mut self, op: Operation) -> Result<u64, Busy> {
+        self.submit_with_deadline(op, None)
+    }
+
+    /// Submits one operation with an optional absolute deadline tick.
+    /// An operation still queued when `tick > deadline` is cancelled
+    /// (never executed) and surfaces through [`Engine::take_expired`];
+    /// one dispatched at `tick <= deadline` is served normally.
+    pub fn submit_with_deadline(
+        &mut self,
+        op: Operation,
+        deadline: Option<u64>,
+    ) -> Result<u64, Busy> {
         if self.queue.len() >= self.queue_depth {
             self.rejected += 1;
             if let Some(t) = &self.telemetry {
                 t.rejected.inc();
             }
-            return Err(Busy);
+            return Err(Busy {
+                queued: self.queue.len() as u32,
+                retry_after: self.retry_after_hint(),
+            });
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -358,8 +415,62 @@ impl<'a> Engine<'a> {
         if let Some(t) = &self.telemetry {
             t.submitted.inc();
         }
-        self.queue.push_back((id, op));
+        self.queue.push_back((id, op, deadline));
         Ok(id)
+    }
+
+    /// Estimated ticks until a queue slot frees up, derived from the
+    /// recent [`CapacitySample`] timeline: current queue occupancy over
+    /// the mean completion rate of the last (up to) 16 samples. When no
+    /// completions have been observed yet the hint falls back to one
+    /// tick per queued operation per dispatchable unit. Always ≥ 1.
+    pub fn retry_after_hint(&self) -> u64 {
+        let queued = self.queue.len() as u64;
+        let window = &self.timeline[self.timeline.len().saturating_sub(16)..];
+        let served: u64 = window.iter().map(|s| s.completed as u64).sum();
+        if served > 0 {
+            // Ticks to drain the whole queue at the observed rate,
+            // rounded up; an empty queue still asks for one tick.
+            queued
+                .saturating_mul(window.len() as u64)
+                .div_ceil(served)
+                .max(1)
+        } else {
+            let lanes = self
+                .units
+                .iter()
+                .filter(|u| u.health.is_dispatchable())
+                .count()
+                .max(1) as u64;
+            queued.div_ceil(lanes).max(1)
+        }
+    }
+
+    /// Drains the operations cancelled in-queue by deadline expiry.
+    pub fn take_expired(&mut self) -> Vec<ExpiredOp> {
+        std::mem::take(&mut self.expired)
+    }
+
+    /// Operations cancelled by deadline expiry so far.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
+    }
+
+    /// Credits unit `i` with externally served work. A front-end that
+    /// batches requests through this unit's fault overlay (e.g. the
+    /// serving front-end's 64-lane compiled path) feeds its observations
+    /// into the unit's breaker exactly like in-pool dispatch does:
+    /// `incidents > 0` counts against the unit, `incidents == 0` is a
+    /// clean-operation heal credit. This keeps the circuit breaker
+    /// authoritative for *all* traffic a unit carries, not just the
+    /// operations the pool scheduler dispatched itself.
+    pub fn note_external_service(&mut self, i: usize, incidents: u32) {
+        let u = &mut self.units[i];
+        if incidents > 0 {
+            u.health.on_incidents(self.tick, incidents);
+        } else {
+            u.health.on_clean_op(self.tick);
+        }
     }
 
     // ---- chaos hooks -------------------------------------------------
@@ -400,10 +511,10 @@ impl<'a> Engine<'a> {
 
     // ---- the scheduler ----------------------------------------------
 
-    /// Runs one scheduling round: due scrubs, then at most one queued
-    /// operation per dispatchable unit (round-robin, starting after the
-    /// last unit served first in the previous round), then the capacity
-    /// sample and gauge refresh.
+    /// Runs one scheduling round: due scrubs, expired-in-queue deadline
+    /// cancellation, then at most one queued operation per dispatchable
+    /// unit (round-robin, starting after the last unit served first in
+    /// the previous round), then the capacity sample and gauge refresh.
     pub fn tick(&mut self) -> TickReport {
         self.tick += 1;
         let mut report = TickReport::default();
@@ -426,7 +537,37 @@ impl<'a> Engine<'a> {
                 self.units[i].health.on_scrub(self.tick, pass);
             }
         }
-        // 2. Round-robin dispatch: one op per dispatchable unit.
+        // 2. Expired-in-queue cancellation: an operation whose deadline
+        // has already passed must not waste a dispatch slot — it is
+        // pulled out here and surfaced through `take_expired`, so the
+        // submitter can answer with a typed deadline response.
+        if self
+            .queue
+            .iter()
+            .any(|(_, _, d)| d.is_some_and(|d| d < self.tick))
+        {
+            let now = self.tick;
+            let mut kept = std::collections::VecDeque::with_capacity(self.queue.len());
+            for (id, op, deadline) in self.queue.drain(..) {
+                match deadline {
+                    Some(d) if d < now => {
+                        self.expired_total += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.expired.inc();
+                        }
+                        self.expired.push(ExpiredOp {
+                            id,
+                            op,
+                            deadline: d,
+                            tick: now,
+                        });
+                    }
+                    _ => kept.push_back((id, op, deadline)),
+                }
+            }
+            self.queue = kept;
+        }
+        // 3. Round-robin dispatch: one op per dispatchable unit.
         let n = self.units.len();
         let mut completed_now = 0u32;
         for k in 0..n {
@@ -437,13 +578,13 @@ impl<'a> Engine<'a> {
             if !self.units[i].health.is_dispatchable() {
                 continue;
             }
-            let (id, op) = self.queue.pop_front().expect("checked non-empty");
+            let (id, op, _deadline) = self.queue.pop_front().expect("checked non-empty");
             self.dispatch_one(i, id, op);
             report.dispatched += 1;
             completed_now += 1;
         }
         self.rr_cursor = (self.rr_cursor + 1) % n;
-        // 3. Observe.
+        // 4. Observe.
         let sample = CapacitySample {
             tick: self.tick,
             hw_capacity: self.hw_capacity(),
@@ -637,7 +778,9 @@ mod tests {
         for _ in 0..4 {
             engine.submit(Operation::int64(2, 2)).unwrap();
         }
-        assert_eq!(engine.submit(Operation::int64(2, 2)), Err(Busy));
+        let busy = engine.submit(Operation::int64(2, 2)).unwrap_err();
+        assert_eq!(busy.queued, 4, "rejection reports queue occupancy");
+        assert!(busy.retry_after >= 1, "retry-after hint is always ≥ 1");
         engine.tick();
         assert!(
             engine.submit(Operation::int64(2, 2)).is_ok(),
@@ -645,6 +788,98 @@ mod tests {
         );
         let (submitted, rejected, ..) = engine.totals();
         assert_eq!((submitted, rejected), (5, 1));
+    }
+
+    #[test]
+    fn retry_after_tracks_the_observed_drain_rate() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 1, small_cfg());
+        // Serve a few ops so the timeline has a completion rate of one
+        // op per tick on the single unit.
+        for k in 0..4u64 {
+            engine.submit(Operation::int64(k + 1, 2)).unwrap();
+            engine.tick();
+        }
+        // Fill the queue: 4 queued at ~1 op/tick should hint ≈ 4 ticks.
+        for _ in 0..4 {
+            engine.submit(Operation::int64(3, 3)).unwrap();
+        }
+        let busy = engine.submit(Operation::int64(3, 3)).unwrap_err();
+        assert!(
+            (2..=16).contains(&busy.retry_after),
+            "hint {} not in the plausible drain window",
+            busy.retry_after
+        );
+    }
+
+    #[test]
+    fn queued_past_deadline_is_cancelled_not_served() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 1, small_cfg());
+        // Three ops on a one-unit pool: one per tick can be served. The
+        // third carries a deadline that expires while it waits.
+        engine
+            .submit_with_deadline(Operation::int64(2, 2), Some(10))
+            .unwrap();
+        engine
+            .submit_with_deadline(Operation::int64(3, 3), None)
+            .unwrap();
+        let doomed = engine
+            .submit_with_deadline(Operation::int64(4, 4), Some(1))
+            .unwrap();
+        for _ in 0..4 {
+            engine.tick();
+        }
+        let expired = engine.take_expired();
+        assert_eq!(expired.len(), 1, "exactly the doomed op expired");
+        assert_eq!(expired[0].id, doomed);
+        assert_eq!(expired[0].deadline, 1);
+        assert_eq!(engine.expired_total(), 1);
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 2, "the other two were served");
+        assert!(done.iter().all(|c| c.id != doomed), "doomed op never ran");
+        let (submitted, _, completed, ..) = engine.totals();
+        assert_eq!((submitted, completed), (3, 2));
+    }
+
+    #[test]
+    fn deadline_met_is_served_normally() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 1, small_cfg());
+        engine
+            .submit_with_deadline(Operation::int64(6, 7), Some(1))
+            .unwrap();
+        engine.tick();
+        assert!(engine.take_expired().is_empty());
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].result.int_product(), 42);
+    }
+
+    #[test]
+    fn external_incidents_feed_the_breaker_like_dispatch() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 2, small_cfg());
+        assert_eq!(engine.unit_state(0), HealthState::Healthy);
+        engine.note_external_service(0, 1);
+        assert_eq!(engine.unit_state(0), HealthState::Suspect);
+        // Clean externally served lanes are heal credits (heal_after 4).
+        for _ in 0..4 {
+            engine.note_external_service(0, 0);
+        }
+        assert_eq!(engine.unit_state(0), HealthState::Healthy);
+        // Enough failures open the breaker exactly like dispatch would.
+        engine.note_external_service(0, 2);
+        assert_eq!(engine.unit_state(0), HealthState::Quarantined);
+        assert_eq!(
+            engine.unit_state(1),
+            HealthState::Healthy,
+            "scoped to the slot"
+        );
     }
 
     #[test]

@@ -1,0 +1,920 @@
+//! The deterministic service core: admission control, degradation
+//! tiers, deadline bookkeeping, 64-lane batch execution through the
+//! circuit-breaker pool, and typed responses for everything.
+//!
+//! The core is tick-driven and samples no wall clock, so it is testable
+//! (and replayable) without sockets; the TCP front-end in
+//! [`crate::server`] owns one instance on its service thread and calls
+//! [`Service::tick`] on a fixed cadence, translating microseconds to
+//! ticks with its configured tick length.
+//!
+//! # The overload ladder
+//!
+//! Load is the front-end backlog over its capacity. Rather than one
+//! accept/refuse cliff, the service degrades in tiers, shedding its own
+//! speculative work before it sheds anyone's requests:
+//!
+//! | tier | backlog | behaviour |
+//! |---|---|---|
+//! | `Normal` | < 50 % | batch every format, run speculative self-checks |
+//! | `ShedSpeculative` | < 75 % | drop the speculative battery sampling |
+//! | `SingleFormat` | < 90 % | batch only the deepest format queue per tick |
+//! | `Shed` | ≥ 90 % | refuse new work with typed `Overloaded` |
+//!
+//! Nothing is ever dropped silently: a shed request gets `Overloaded`
+//! with a retry hint from the client's own deterministic backoff
+//! escalated by consecutive rejections, a stale request gets
+//! `DeadlineExceeded`, a bad frame gets `Malformed`, and an answered
+//! request's result has always been cross-checked against the bit-exact
+//! reference — a lane that fails its check is *rescued* through the
+//! engine's event-driven path, never answered from the failed batch.
+
+use std::collections::{HashMap, VecDeque};
+
+use mfm_gatesim::{CompiledNetlist, CompiledSim, Netlist};
+use mfm_resilient::backoff::{BackoffConfig, SubmitBackoff};
+use mfm_resilient::{Engine, EngineConfig};
+use mfm_softfloat::Flags;
+use mfm_telemetry::{Counter, Gauge, Histogram, Registry};
+use mfmult::selfcheck::{check_raw, result_from_raw, run_raw_compiled, scrub_battery};
+use mfmult::structural::StructuralPorts;
+use mfmult::{Format, FunctionalUnit, Operation};
+
+use crate::wire::{Request, Response};
+
+/// Degradation tier the service is currently operating in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Full service: every format batched, speculative checks on.
+    Normal,
+    /// Speculative self-checks shed; all request work continues.
+    ShedSpeculative,
+    /// Only the deepest format queue is batched each tick.
+    SingleFormat,
+    /// New arrivals are refused with typed `Overloaded`.
+    Shed,
+}
+
+impl Tier {
+    /// Stable label for logs and metrics.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Tier::Normal => "normal",
+            Tier::ShedSpeculative => "shed_speculative",
+            Tier::SingleFormat => "single_format",
+            Tier::Shed => "shed",
+        }
+    }
+
+    /// Numeric encoding exported on the `service.tier` gauge.
+    pub const fn level(self) -> u32 {
+        match self {
+            Tier::Normal => 0,
+            Tier::ShedSpeculative => 1,
+            Tier::SingleFormat => 2,
+            Tier::Shed => 3,
+        }
+    }
+}
+
+/// Service policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Seed for the per-client backoff jitter streams.
+    pub seed: u64,
+    /// Pool size handed to the engine.
+    pub units: usize,
+    /// Front-end backlog capacity (requests admitted but not yet
+    /// answered, across all format queues and the rescue path).
+    pub pending_cap: usize,
+    /// Microseconds one service tick represents — converts request
+    /// deadlines and retry hints between wire time and tick time.
+    pub micros_per_tick: u64,
+    /// Deadline applied to requests that carry none (`0` on the wire),
+    /// in ticks from admission.
+    pub default_deadline_ticks: u64,
+    /// Run the speculative battery sample every this many ticks in
+    /// `Normal` tier (0 disables).
+    pub speculative_every: u64,
+    /// Engine (pool) policy.
+    pub engine: EngineConfig,
+    /// Per-client retry-budget backoff policy (delays in ticks).
+    pub backoff: BackoffConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            seed: 2017,
+            units: 4,
+            pending_cap: 256,
+            micros_per_tick: 500,
+            default_deadline_ticks: 400,
+            speculative_every: 16,
+            engine: EngineConfig::default(),
+            backoff: BackoffConfig {
+                base_ticks: 2,
+                factor: 2,
+                max_ticks: 64,
+                max_retries: u32::MAX,
+            },
+        }
+    }
+}
+
+/// One admitted request waiting for a batch slot.
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    client: u64,
+    id: u64,
+    op: Operation,
+    /// Absolute deadline tick.
+    deadline: u64,
+    /// Deadline the client asked for, echoed in expiry responses.
+    deadline_micros: u32,
+    arrived: u64,
+}
+
+struct ServiceMetrics {
+    accepted: Counter,
+    answered: Counter,
+    shed: Counter,
+    deadline_exceeded: Counter,
+    malformed: Counter,
+    check_failures: Counter,
+    rescues: Counter,
+    speculative: Counter,
+    tier: Gauge,
+    pending: Gauge,
+    latency_ticks: Histogram,
+    batch_fill: Histogram,
+}
+
+/// The service core (see the module docs). Borrows the netlist like the
+/// engine does; one instance per serving thread.
+pub struct Service<'a> {
+    cfg: ServiceConfig,
+    engine: Engine<'a>,
+    ports: StructuralPorts,
+    compiled: CompiledNetlist,
+    reference: FunctionalUnit,
+    battery: Vec<Operation>,
+    /// Per-format admission queues, batched 64 lanes at a time.
+    queues: HashMap<Format, VecDeque<PendingReq>>,
+    /// Lanes whose batch check failed, awaiting event-driven rescue.
+    rescue: VecDeque<PendingReq>,
+    /// Rescues in flight inside the engine: engine id → request.
+    in_engine: HashMap<u64, PendingReq>,
+    /// Per-client consecutive-rejection backoff state.
+    backoffs: HashMap<u64, SubmitBackoff>,
+    /// Round-robin cursor over pool units for batch routing.
+    batch_cursor: usize,
+    responses: Vec<(u64, Response)>,
+    metrics: ServiceMetrics,
+    answered: u64,
+    shed: u64,
+    escape_guard_failures: u64,
+}
+
+impl<'a> Service<'a> {
+    /// Builds the service over a netlist: an engine pool plus the
+    /// service's own compiled batch engine and reference unit.
+    /// Registers its metrics (and the engine's) on `registry`.
+    pub fn new(
+        netlist: &'a Netlist,
+        ports: &StructuralPorts,
+        cfg: ServiceConfig,
+        registry: &Registry,
+    ) -> Self {
+        let mut engine = Engine::new(netlist, ports, cfg.units.max(1), cfg.engine);
+        engine.attach_telemetry(registry);
+        let compiled = CompiledNetlist::compile(netlist).expect("service netlist must be acyclic");
+        let lat_bounds: Vec<f64> = (0..12).map(|i| (1u64 << i) as f64).collect();
+        let fill_bounds: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0];
+        let metrics = ServiceMetrics {
+            accepted: registry.counter("service.accepted"),
+            answered: registry.counter("service.answered"),
+            shed: registry.counter("service.shed"),
+            deadline_exceeded: registry.counter("service.deadline_exceeded"),
+            malformed: registry.counter("service.malformed"),
+            check_failures: registry.counter("service.check_failures"),
+            rescues: registry.counter("service.rescues"),
+            speculative: registry.counter("service.speculative_checks"),
+            tier: registry.gauge("service.tier"),
+            pending: registry.gauge("service.pending"),
+            latency_ticks: registry.histogram_with("service.latency_ticks", &lat_bounds),
+            batch_fill: registry.histogram_with("service.batch_fill", &fill_bounds),
+        };
+        Service {
+            engine,
+            ports: ports.clone(),
+            compiled,
+            reference: FunctionalUnit::new(),
+            battery: scrub_battery(cfg.engine.quad_lanes),
+            queues: HashMap::new(),
+            rescue: VecDeque::new(),
+            in_engine: HashMap::new(),
+            backoffs: HashMap::new(),
+            batch_cursor: 0,
+            responses: Vec::new(),
+            metrics,
+            answered: 0,
+            shed: 0,
+            escape_guard_failures: 0,
+            cfg,
+        }
+    }
+
+    /// Current tick (the engine's clock).
+    pub fn now(&self) -> u64 {
+        self.engine.now()
+    }
+
+    /// Requests admitted but not yet answered.
+    pub fn backlog(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum::<usize>()
+            + self.rescue.len()
+            + self.in_engine.len()
+    }
+
+    /// The degradation tier the *next* admission decision will use.
+    pub fn tier(&self) -> Tier {
+        let cap = self.cfg.pending_cap.max(1);
+        let load = self.backlog();
+        if load * 10 >= cap * 9 {
+            Tier::Shed
+        } else if load * 4 >= cap * 3 {
+            Tier::SingleFormat
+        } else if load * 2 >= cap {
+            Tier::ShedSpeculative
+        } else {
+            Tier::Normal
+        }
+    }
+
+    /// Requests answered with a checked `Ok` so far.
+    pub fn answered(&self) -> u64 {
+        self.answered
+    }
+
+    /// Requests refused with `Overloaded` so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Wrong answers that reached a response. The service's invariant is
+    /// that this stays zero: the batch path answers only cross-checked
+    /// lanes and the engine path is escape-checked internally.
+    pub fn escapes(&self) -> u64 {
+        self.engine.escapes() + self.escape_guard_failures
+    }
+
+    /// The pool engine (chaos hooks, health inspection).
+    pub fn engine_mut(&mut self) -> &mut Engine<'a> {
+        &mut self.engine
+    }
+
+    /// Admission control for one well-formed request from `client`.
+    /// Returns `None` when admitted (the response is produced by a later
+    /// [`Service::tick`]) or `Some` with the immediate typed refusal.
+    pub fn admit(&mut self, client: u64, req: &Request) -> Option<Response> {
+        if self.tier() == Tier::Shed {
+            self.shed += 1;
+            self.metrics.shed.inc();
+            let backlog = self.backlog() as u32;
+            let retry_ticks = self.overload_retry_ticks(client);
+            return Some(Response::Overloaded {
+                id: req.id,
+                retry_after_micros: retry_ticks.saturating_mul(self.cfg.micros_per_tick),
+                queued: backlog,
+            });
+        }
+        // Admission resets the client's consecutive-rejection escalation.
+        if let Some(b) = self.backoffs.get_mut(&client) {
+            b.reset();
+        }
+        let deadline_ticks = if req.deadline_micros == 0 {
+            self.cfg.default_deadline_ticks
+        } else {
+            (req.deadline_micros as u64)
+                .div_ceil(self.cfg.micros_per_tick.max(1))
+                .max(1)
+        };
+        let pending = PendingReq {
+            client,
+            id: req.id,
+            op: req.op,
+            deadline: self.engine.now() + deadline_ticks,
+            deadline_micros: req.deadline_micros,
+            arrived: self.engine.now(),
+        };
+        self.queues
+            .entry(req.op.format)
+            .or_default()
+            .push_back(pending);
+        self.metrics.accepted.inc();
+        None
+    }
+
+    /// The typed response for a malformed frame from `client` (`id` is
+    /// the salvaged correlation id, 0 when unreadable).
+    pub fn reject_malformed(&mut self, _client: u64, id: u64, code: u8) -> Response {
+        self.metrics.malformed.inc();
+        Response::Malformed { id, code }
+    }
+
+    /// Forgets a client's backoff state (connection closed).
+    pub fn forget_client(&mut self, client: u64) {
+        self.backoffs.remove(&client);
+    }
+
+    /// Drains the responses produced since the last call, as
+    /// `(client, response)` pairs in production order.
+    pub fn take_responses(&mut self) -> Vec<(u64, Response)> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Escalating retry hint for one shed request: the client's own
+    /// deterministic jittered backoff (consecutive rejections widen the
+    /// window; any admission resets it), floored by the engine's
+    /// capacity-timeline drain estimate so the hint never promises a
+    /// slot sooner than the pool can plausibly free one.
+    fn overload_retry_ticks(&mut self, client: u64) -> u64 {
+        let seed = self.cfg.seed ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let b = self
+            .backoffs
+            .entry(client)
+            .or_insert_with(|| SubmitBackoff::new(self.cfg.backoff, seed));
+        let delay = b.next_delay().unwrap_or(self.cfg.backoff.max_ticks);
+        delay.max(self.engine.retry_after_hint())
+    }
+
+    /// One scheduling round: engine tick (scrubs, rescue dispatch,
+    /// breaker time), engine completion/expiry harvest, front-end
+    /// deadline sweep, rescue resubmission, the batch pass for this
+    /// tick's tier, and the speculative self-check.
+    pub fn tick(&mut self) {
+        self.engine.tick();
+        self.harvest_engine();
+        self.expire_stale();
+        self.pump_rescue();
+        let tier = self.tier();
+        self.run_batches(tier);
+        if tier == Tier::Normal
+            && self.cfg.speculative_every > 0
+            && self.engine.now().is_multiple_of(self.cfg.speculative_every)
+        {
+            self.speculative_check();
+        }
+        self.metrics.tier.set(self.tier().level() as f64);
+        self.metrics.pending.set(self.backlog() as f64);
+    }
+
+    /// Turns engine completions and expirations into responses.
+    fn harvest_engine(&mut self) {
+        for done in self.engine.take_completed() {
+            if let Some(p) = self.in_engine.remove(&done.id) {
+                self.answer_checked(p, done.result);
+            }
+        }
+        for exp in self.engine.take_expired() {
+            if let Some(p) = self.in_engine.remove(&exp.id) {
+                self.push_deadline_exceeded(p);
+            }
+        }
+    }
+
+    /// Emits the `Ok` for a request served by the engine path. The
+    /// engine already escape-checked the result; this keeps its own
+    /// belt-and-braces comparison so a service bug can never downgrade
+    /// the invariant silently.
+    fn answer_checked(&mut self, p: PendingReq, result: mfmult::MultResult) {
+        let want = self.reference.execute(p.op);
+        if !results_agree(&result, &want) {
+            // The engine substitutes the checked fallback before
+            // delivery, so this should be unreachable; if it ever fires
+            // we answer from the reference and count the guard.
+            self.escape_guard_failures += 1;
+            self.push_ok(p, &want);
+            return;
+        }
+        self.push_ok(p, &result);
+    }
+
+    fn push_ok(&mut self, p: PendingReq, result: &mfmult::MultResult) {
+        self.answered += 1;
+        self.metrics.answered.inc();
+        self.metrics
+            .latency_ticks
+            .observe(self.engine.now().saturating_sub(p.arrived) as f64);
+        self.responses
+            .push((p.client, Response::from_result(p.id, result)));
+    }
+
+    fn push_deadline_exceeded(&mut self, p: PendingReq) {
+        self.metrics.deadline_exceeded.inc();
+        self.responses.push((
+            p.client,
+            Response::DeadlineExceeded {
+                id: p.id,
+                deadline_micros: p.deadline_micros,
+            },
+        ));
+    }
+
+    /// Cancels every queued request whose deadline has passed — they
+    /// never reach a batch lane or the engine.
+    fn expire_stale(&mut self) {
+        let now = self.engine.now();
+        let mut expired = Vec::new();
+        for q in self.queues.values_mut() {
+            let mut kept = VecDeque::with_capacity(q.len());
+            for p in q.drain(..) {
+                if p.deadline < now {
+                    expired.push(p);
+                } else {
+                    kept.push_back(p);
+                }
+            }
+            *q = kept;
+        }
+        let mut kept = VecDeque::with_capacity(self.rescue.len());
+        for p in self.rescue.drain(..) {
+            if p.deadline < now {
+                expired.push(p);
+            } else {
+                kept.push_back(p);
+            }
+        }
+        self.rescue = kept;
+        for p in expired {
+            self.push_deadline_exceeded(p);
+        }
+    }
+
+    /// Resubmits rescued lanes through the engine's event-driven path,
+    /// respecting its bounded queue (a full queue retries next tick —
+    /// the deadline sweep bounds how long a rescue can wait).
+    fn pump_rescue(&mut self) {
+        while let Some(p) = self.rescue.front().copied() {
+            match self.engine.submit_with_deadline(p.op, Some(p.deadline)) {
+                Ok(engine_id) => {
+                    self.rescue.pop_front();
+                    self.in_engine.insert(engine_id, p);
+                }
+                Err(_busy) => break,
+            }
+        }
+    }
+
+    /// Pool units the batch path may route through right now.
+    fn batch_units(&self) -> Vec<usize> {
+        (0..self.engine.unit_count())
+            .filter(|&i| {
+                self.engine.unit_state(i).is_hw_capacity() && !self.engine.unit(i).is_degraded()
+            })
+            .collect()
+    }
+
+    /// Runs this tick's batch pass: every non-empty format queue in
+    /// `Normal`/`ShedSpeculative`, only the deepest one in
+    /// `SingleFormat`.
+    fn run_batches(&mut self, tier: Tier) {
+        let mut formats: Vec<(Format, usize)> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&f, q)| (f, q.len()))
+            .collect();
+        // Deterministic order: deepest first, label breaks ties.
+        formats.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.label().cmp(b.0.label())));
+        if tier >= Tier::SingleFormat {
+            formats.truncate(1);
+        }
+        for (format, _) in formats {
+            let batch: Vec<PendingReq> = {
+                let q = self.queues.get_mut(&format).expect("non-empty queue");
+                let n = q.len().min(64);
+                q.drain(..n).collect()
+            };
+            self.run_one_batch(&batch);
+        }
+    }
+
+    /// Executes up to 64 same-format lanes through the compiled
+    /// bit-parallel engine under one pool unit's fault overlay. Every
+    /// lane is self-checked (`check_raw`) *and* cross-checked against
+    /// the bit-exact reference before it may answer; a failing lane is
+    /// rescued through the engine, and the outcome — clean or not — is
+    /// fed back into the routed unit's circuit breaker.
+    fn run_one_batch(&mut self, batch: &[PendingReq]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.metrics.batch_fill.observe(batch.len() as f64);
+        let units = self.batch_units();
+        let unit = if units.is_empty() {
+            None
+        } else {
+            let u = units[self.batch_cursor % units.len()];
+            self.batch_cursor = self.batch_cursor.wrapping_add(1);
+            Some(u)
+        };
+        let Some(unit) = unit else {
+            // No healthy hardware lane: route everything through the
+            // engine, whose retired-fallback service still answers.
+            for &p in batch {
+                self.metrics.rescues.inc();
+                self.rescue.push_back(p);
+            }
+            return;
+        };
+        let overlay = self.engine.unit(unit).sim().stuck_faults();
+        let ops: Vec<Operation> = batch.iter().map(|p| p.op).collect();
+        let mut sim = CompiledSim::new(&self.compiled);
+        for (net, value) in overlay {
+            sim.inject_stuck_at(net, !0, value);
+        }
+        let raws = run_raw_compiled(&mut sim, &self.ports, &ops);
+        let mut incidents = 0u32;
+        for (&p, raw) in batch.iter().zip(&raws) {
+            let self_check_ok = check_raw(p.op, raw).is_ok();
+            if self_check_ok {
+                let got = result_from_raw(p.op, raw);
+                let want = self.reference.execute(p.op);
+                if results_agree(&got, &want) {
+                    self.push_ok(p, &got);
+                    continue;
+                }
+            }
+            // Residue check or reference cross-check failed: the lane
+            // is poisoned. Never answer from it — rescue through the
+            // event-driven path and charge the routed unit.
+            incidents += 1;
+            self.metrics.check_failures.inc();
+            self.metrics.rescues.inc();
+            self.rescue.push_back(p);
+        }
+        self.engine.note_external_service(unit, incidents);
+    }
+
+    /// Speculative self-check: replays a sliding sample of the scrub
+    /// battery through the next batch unit's overlay, charging failures
+    /// to its breaker *before* client lanes hit the fault. This is the
+    /// first work shed under load (`ShedSpeculative`).
+    fn speculative_check(&mut self) {
+        let units = self.batch_units();
+        if units.is_empty() {
+            return;
+        }
+        let unit = units[self.batch_cursor % units.len()];
+        let window = 8usize.min(self.battery.len());
+        let start = (self.engine.now() as usize).wrapping_mul(window) % self.battery.len();
+        let sample: Vec<Operation> = (0..window)
+            .map(|k| self.battery[(start + k) % self.battery.len()])
+            .collect();
+        let overlay = self.engine.unit(unit).sim().stuck_faults();
+        let mut sim = CompiledSim::new(&self.compiled);
+        for (net, value) in overlay {
+            sim.inject_stuck_at(net, !0, value);
+        }
+        let raws = run_raw_compiled(&mut sim, &self.ports, &sample);
+        let incidents = sample
+            .iter()
+            .zip(&raws)
+            .filter(|(&op, raw)| check_raw(op, raw).is_err())
+            .count() as u32;
+        self.metrics.speculative.inc();
+        self.engine.note_external_service(unit, incidents);
+    }
+}
+
+/// Result agreement under the hardware flag mask (the flag bus carries
+/// no inexact wire, exactly like the engine's escape check).
+fn results_agree(got: &mfmult::MultResult, want: &mfmult::MultResult) -> bool {
+    let hw = Flags::INVALID | Flags::OVERFLOW | Flags::UNDERFLOW;
+    got.ph == want.ph
+        && got.pl == want.pl
+        && got.flags_lo.bits() & hw.bits() == want.flags_lo.bits() & hw.bits()
+        && got.flags_hi.bits() & hw.bits() == want.flags_hi.bits() & hw.bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::tech::TechLibrary;
+    use mfm_resilient::health::BreakerConfig;
+    use mfmult::structural::build_unit;
+
+    fn build() -> (Netlist, StructuralPorts) {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        (n, ports)
+    }
+
+    fn small_cfg() -> ServiceConfig {
+        ServiceConfig {
+            seed: 11,
+            units: 2,
+            pending_cap: 16,
+            micros_per_tick: 100,
+            default_deadline_ticks: 50,
+            speculative_every: 4,
+            engine: EngineConfig {
+                queue_depth: 8,
+                breaker: BreakerConfig {
+                    open_after: 2,
+                    heal_after: 4,
+                    cooldown_ticks: 2,
+                    max_scrub_failures: 2,
+                },
+                watchdog_margin: 4,
+                quad_lanes: false,
+            },
+            backoff: BackoffConfig {
+                base_ticks: 2,
+                factor: 2,
+                max_ticks: 32,
+                max_retries: u32::MAX,
+            },
+        }
+    }
+
+    fn req(id: u64, op: Operation) -> Request {
+        Request {
+            id,
+            op,
+            deadline_micros: 0,
+        }
+    }
+
+    #[test]
+    fn admitted_requests_are_answered_with_checked_results() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut svc = Service::new(&n, &ports, small_cfg(), &reg);
+        for k in 0..10u64 {
+            assert!(svc.admit(1, &req(k, Operation::int64(k + 1, 7))).is_none());
+        }
+        for _ in 0..6 {
+            svc.tick();
+        }
+        let out = svc.take_responses();
+        assert_eq!(out.len(), 10);
+        for (client, resp) in out {
+            assert_eq!(client, 1);
+            match resp {
+                Response::Ok { id, ph, pl, .. } => {
+                    let want = (id + 1) as u128 * 7;
+                    assert_eq!(((ph as u128) << 64) | pl as u128, want);
+                }
+                other => panic!("expected Ok, got {other:?}"),
+            }
+        }
+        assert_eq!(svc.escapes(), 0);
+        assert_eq!(reg.counter("service.answered").get(), 10);
+    }
+
+    #[test]
+    fn mixed_formats_batch_per_format_and_all_answer() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut svc = Service::new(&n, &ports, small_cfg(), &reg);
+        let ops = [
+            Operation::int64(3, 5),
+            Operation::binary64_from_f64(1.5, 2.0),
+            Operation::dual_binary32_from_f32(1.0, 2.0, 3.0, 0.5),
+            Operation::single_binary32_from_f32(4.0, 0.25),
+        ];
+        for (k, &op) in ops.iter().enumerate() {
+            assert!(svc.admit(k as u64, &req(k as u64, op)).is_none());
+        }
+        for _ in 0..4 {
+            svc.tick();
+        }
+        let out = svc.take_responses();
+        assert_eq!(out.len(), 4, "every format answered: {out:?}");
+        assert!(out.iter().all(|(_, r)| matches!(r, Response::Ok { .. })));
+        assert_eq!(svc.escapes(), 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_escalating_typed_retry_hints() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut cfg = small_cfg();
+        cfg.pending_cap = 10;
+        let mut svc = Service::new(&n, &ports, cfg, &reg);
+        // Fill to the shed threshold (90 % of 10 = 9) without ticking.
+        let mut shed_hints = Vec::new();
+        for k in 0..30u64 {
+            if let Some(resp) = svc.admit(7, &req(k, Operation::int64(k, 3))) {
+                match resp {
+                    Response::Overloaded {
+                        id,
+                        retry_after_micros,
+                        queued,
+                    } => {
+                        assert_eq!(id, k);
+                        assert!(queued >= 9, "shed at ≥90% backlog, queued {queued}");
+                        shed_hints.push(retry_after_micros);
+                    }
+                    other => panic!("expected Overloaded, got {other:?}"),
+                }
+            }
+        }
+        assert!(shed_hints.len() >= 20, "everything past the cap was shed");
+        assert!(
+            shed_hints.iter().all(|&h| h >= cfg.micros_per_tick),
+            "hints are at least one tick: {shed_hints:?}"
+        );
+        // Consecutive rejections escalate: the late hints' window is
+        // wider than the first hint's.
+        let last = *shed_hints.last().unwrap();
+        assert!(
+            last >= shed_hints[0],
+            "backoff escalates across consecutive rejections: {shed_hints:?}"
+        );
+        assert_eq!(svc.shed(), shed_hints.len() as u64);
+        assert_eq!(reg.counter("service.shed").get(), shed_hints.len() as u64);
+        // The admitted work still drains and answers.
+        for _ in 0..12 {
+            svc.tick();
+        }
+        let ok = svc
+            .take_responses()
+            .iter()
+            .filter(|(_, r)| matches!(r, Response::Ok { .. }))
+            .count();
+        assert_eq!(ok, 9, "admitted requests all answered");
+    }
+
+    #[test]
+    fn degradation_ladder_walks_the_tiers() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut cfg = small_cfg();
+        cfg.pending_cap = 20;
+        let mut svc = Service::new(&n, &ports, cfg, &reg);
+        assert_eq!(svc.tier(), Tier::Normal);
+        let mut k = 0u64;
+        let mut fill = |svc: &mut Service<'_>, upto: usize| {
+            while svc.backlog() < upto {
+                assert!(svc.admit(1, &req(k, Operation::int64(k, 2))).is_none());
+                k += 1;
+            }
+        };
+        fill(&mut svc, 10);
+        assert_eq!(
+            svc.tier(),
+            Tier::ShedSpeculative,
+            "50% sheds speculative work"
+        );
+        fill(&mut svc, 15);
+        assert_eq!(
+            svc.tier(),
+            Tier::SingleFormat,
+            "75% degrades to single-format"
+        );
+        fill(&mut svc, 18);
+        assert_eq!(svc.tier(), Tier::Shed, "90% refuses new work");
+        assert!(svc.admit(1, &req(999, Operation::int64(1, 1))).is_some());
+    }
+
+    #[test]
+    fn stale_requests_get_typed_deadline_responses_and_never_run() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut cfg = small_cfg();
+        // One unit; the cap is sized so the burst below lands in the
+        // SingleFormat tier (admitted, but only the deepest format
+        // batches) without ever reaching the Shed tier.
+        cfg.units = 1;
+        cfg.pending_cap = 90;
+        cfg.micros_per_tick = 100;
+        let mut svc = Service::new(&n, &ports, cfg, &reg);
+        // Deadline of 100 µs = 1 tick: expires before its batch turn if
+        // queued behind a burst.
+        let mut doomed = Request {
+            id: 500,
+            op: Operation::int64(9, 9),
+            deadline_micros: 100,
+        };
+        // Occupy the single-format batch with 64+ lanes so the doomed
+        // request (different format) waits a tick.
+        for k in 0..70u64 {
+            let _ = svc.admit(1, &req(k, Operation::int64(k, 2)));
+        }
+        doomed.op = Operation::binary64_from_f64(2.0, 4.0);
+        assert!(svc.admit(2, &doomed).is_none());
+        for _ in 0..8 {
+            svc.tick();
+        }
+        let out = svc.take_responses();
+        let exceeded: Vec<_> = out
+            .iter()
+            .filter(|(c, r)| *c == 2 && matches!(r, Response::DeadlineExceeded { .. }))
+            .collect();
+        assert_eq!(exceeded.len(), 1, "doomed request expired typed: {out:?}");
+        match exceeded[0].1 {
+            Response::DeadlineExceeded {
+                id,
+                deadline_micros,
+            } => {
+                assert_eq!(id, 500);
+                assert_eq!(deadline_micros, 100);
+            }
+            _ => unreachable!(),
+        }
+        assert!(
+            !out.iter()
+                .any(|(c, r)| *c == 2 && matches!(r, Response::Ok { .. })),
+            "an expired request is never also answered"
+        );
+        assert_eq!(reg.counter("service.deadline_exceeded").get(), 1);
+    }
+
+    #[test]
+    fn poisoned_unit_lanes_are_rescued_not_answered_wrong() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut cfg = small_cfg();
+        cfg.units = 2;
+        cfg.speculative_every = 0; // only client lanes feed the breaker
+        let mut svc = Service::new(&n, &ports, cfg, &reg);
+        // Poison unit 0's hardware with a sticky output fault: batches
+        // routed through its overlay fail their checks.
+        let victim = ports.chk_p0[0];
+        svc.engine_mut().inject_stuck_at(0, victim, true, true);
+        let mut admitted = 0usize;
+        // Even products keep bit 0 of p0 at 0, so the stuck-at-true
+        // fault is observable on every lane routed through unit 0.
+        for k in 0..40u64 {
+            if svc.admit(1, &req(k, Operation::int64(k + 1, 2))).is_none() {
+                admitted += 1;
+            }
+            svc.tick();
+        }
+        for _ in 0..60 {
+            svc.tick();
+        }
+        let out = svc.take_responses();
+        let ok = out
+            .iter()
+            .filter(|(_, r)| matches!(r, Response::Ok { .. }))
+            .count();
+        let exceeded = out
+            .iter()
+            .filter(|(_, r)| matches!(r, Response::DeadlineExceeded { .. }))
+            .count();
+        assert!(
+            admitted >= 30,
+            "most of the trickle was admitted: {admitted}"
+        );
+        assert_eq!(
+            ok + exceeded,
+            admitted,
+            "every admitted request got a typed outcome"
+        );
+        // Every Ok is bit-correct (the cross-check guarantees it).
+        for (_, r) in &out {
+            if let Response::Ok { id, ph, pl, .. } = r {
+                let want = (*id + 1) as u128 * 2;
+                assert_eq!(((*ph as u128) << 64) | *pl as u128, want, "id {id}");
+            }
+        }
+        assert_eq!(svc.escapes(), 0, "zero escapes under a poisoned unit");
+        assert!(
+            reg.counter("service.check_failures").get() > 0,
+            "the poisoned lanes were caught"
+        );
+        assert!(
+            reg.counter("service.rescues").get() > 0,
+            "caught lanes were rescued through the engine"
+        );
+    }
+
+    #[test]
+    fn speculative_checks_quarantine_a_poisoned_unit_early() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut cfg = small_cfg();
+        cfg.units = 2;
+        cfg.speculative_every = 1;
+        let mut svc = Service::new(&n, &ports, cfg, &reg);
+        let victim = ports.chk_p0[0];
+        svc.engine_mut().inject_stuck_at(0, victim, true, true);
+        // No client traffic at all: the speculative battery sampling
+        // alone must drive the poisoned unit out of rotation.
+        for _ in 0..16 {
+            svc.tick();
+        }
+        use mfm_resilient::health::HealthState;
+        assert_ne!(
+            svc.engine_mut().unit_state(0),
+            HealthState::Healthy,
+            "speculative checks caught the fault without client exposure"
+        );
+        assert!(reg.counter("service.speculative_checks").get() > 0);
+    }
+}

@@ -194,6 +194,44 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimated `q`-quantile (0 ≤ q ≤ 1), or `None` when empty.
+    ///
+    /// The estimate interpolates linearly inside the bucket containing
+    /// the target rank (the standard Prometheus `histogram_quantile`
+    /// rule): the bucket's lower edge is the previous bound (0 below
+    /// the first bound), its upper edge the bound itself. The +Inf
+    /// bucket has no upper edge, so ranks landing there report the
+    /// maximum observation. The result is clamped to the observed
+    /// `[min, max]`, which sharpens the estimate when all mass sits in
+    /// one bucket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let (min, max) = (self.min().unwrap_or(0.0), self.max().unwrap_or(0.0));
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if (cum + n) as f64 >= rank {
+                let est = match self.0.bounds.get(i) {
+                    None => max, // +Inf bucket: best estimate is the max
+                    Some(&hi) => {
+                        let lo = if i == 0 { 0.0 } else { self.0.bounds[i - 1] };
+                        lo + (hi - lo) * ((rank - cum as f64) / n as f64)
+                    }
+                };
+                return Some(est.clamp(min, max));
+            }
+            cum += n;
+        }
+        Some(max)
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile
     /// (0 ≤ q ≤ 1), or `None` when empty. Bucket-resolution only.
     pub fn quantile_bound(&self, q: f64) -> Option<f64> {

@@ -8,6 +8,10 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Instant;
 
+/// The quantile estimates every histogram exports, as `(JSON field,
+/// quantile)` pairs — p50/p90/p99, the service-level triple.
+const QUANTILES: [(&str, f64); 3] = [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)];
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, Counter>,
@@ -131,6 +135,9 @@ impl Registry {
                 .field_f64("mean", h.mean())
                 .field_f64("min", h.min().unwrap_or(0.0))
                 .field_f64("max", h.max().unwrap_or(0.0));
+            for (label, q) in QUANTILES {
+                o.field_f64(label, h.quantile(q).unwrap_or(0.0));
+            }
             let mut buckets = JsonArray::new();
             let counts = h.bucket_counts();
             for (i, &n) in counts.iter().enumerate() {
@@ -175,6 +182,16 @@ impl Registry {
         for (name, h) in &inner.histograms {
             let n = sanitize(name);
             let _ = writeln!(out, "# TYPE {n} histogram");
+            // Summary-style quantile estimates next to the buckets, so
+            // a scrape reads tail latency without a PromQL
+            // histogram_quantile round-trip.
+            if h.count() > 0 {
+                for (_, q) in QUANTILES {
+                    if let Some(v) = h.quantile(q) {
+                        let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", num(v));
+                    }
+                }
+            }
             let counts = h.bucket_counts();
             let mut cumulative = 0u64;
             for (i, &cnt) in counts.iter().enumerate() {
@@ -282,6 +299,56 @@ mod tests {
         assert!(p.contains("lat_bucket{le=\"10.0\"} 2"));
         assert!(p.contains("lat_bucket{le=\"+Inf\"} 3"));
         assert!(p.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn quantiles_export_in_json_and_prometheus() {
+        let reg = Registry::new();
+        // Known distribution: the integers 1..=1000 observed once each
+        // into decade-resolution buckets. True quantiles: p50 = 500,
+        // p90 = 900, p99 = 990.
+        let bounds: Vec<f64> = (1..=20).map(|i| i as f64 * 50.0).collect();
+        let h = reg.histogram_with("svc.latency", &bounds);
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p50 - 500.0).abs() <= 25.0, "p50 {p50}");
+        assert!((p90 - 900.0).abs() <= 25.0, "p90 {p90}");
+        assert!((p99 - 990.0).abs() <= 25.0, "p99 {p99}");
+        assert!(p50 < p90 && p90 < p99, "quantiles are ordered");
+        // JSON snapshot carries the estimates...
+        let s = reg.snapshot_json();
+        check(&s).unwrap();
+        for key in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+            assert!(s.contains(key), "snapshot missing {key}: {s}");
+        }
+        // ...and the Prometheus text carries summary-style lines.
+        let p = reg.prometheus();
+        assert!(p.contains("svc_latency{quantile=\"0.5\"}"), "{p}");
+        assert!(p.contains("svc_latency{quantile=\"0.9\"}"), "{p}");
+        assert!(p.contains("svc_latency{quantile=\"0.99\"}"), "{p}");
+        // An empty histogram exports no quantile lines and a 0 estimate
+        // in JSON (count 0 disambiguates).
+        reg.histogram("empty");
+        assert!(!reg.prometheus().contains("empty{quantile"));
+    }
+
+    #[test]
+    fn quantile_interpolation_on_a_point_mass() {
+        // All mass in one bucket: clamping to [min, max] collapses the
+        // estimate to the exact observed value.
+        let h = Histogram::with_bounds(&[10.0, 100.0]);
+        for _ in 0..50 {
+            h.observe(42.0);
+        }
+        assert_eq!(h.quantile(0.5), Some(42.0));
+        assert_eq!(h.quantile(0.99), Some(42.0));
+        // +Inf bucket ranks report the maximum observation.
+        h.observe(5000.0);
+        assert_eq!(h.quantile(1.0), Some(5000.0));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! - [`mfmult`] — the paper's multi-format multiplier
 //! - [`evalkit`] — workloads, Monte-Carlo power runs and report formatting
 //! - [`resilient`] — health-tracked unit pool with quarantine and scrubbing
+//! - [`server`] — overload-safe, deadline-aware multiplication service (TCP)
 //! - [`telemetry`] — metrics registry, JSON/Prometheus export, run reports
 //!
 //! # Example
@@ -32,6 +33,7 @@ pub use mfm_evalkit as evalkit;
 pub use mfm_gatesim as gatesim;
 pub use mfm_prng as prng;
 pub use mfm_resilient as resilient;
+pub use mfm_server as server;
 pub use mfm_softfloat as softfloat;
 pub use mfm_telemetry as telemetry;
 pub use mfmult;

@@ -1,0 +1,102 @@
+//! End-to-end service contract under chaos: a real TCP server (the
+//! `mfm-server` front-end over the resilient pool) serving a live
+//! loadgen campaign — bursts, a deliberately slow client and
+//! adversarial garbage frames — while a seeded chaos plan injects
+//! hardware faults underneath the traffic.
+//!
+//! The service contract is asserted from the *client's* side of the
+//! wire, which is the only side that matters:
+//!
+//! 1. **Zero escapes** — every `Ok` response is verified bit-for-bit
+//!    against the softfloat reference by the loadgen itself.
+//! 2. **No silent drops** — every request sent got a typed response
+//!    (`Ok`, `Overloaded`, `DeadlineExceeded`), and every garbage frame
+//!    got a typed `Malformed`.
+//! 3. **The server survives** — after the campaign (faults included)
+//!    the `/metrics` endpoint still scrapes and carries the service
+//!    counters.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mfm_repro::resilient::chaos::ChaosPlanConfig;
+use mfm_repro::server::loadgen::{run, LoadgenConfig};
+use mfm_repro::server::server::{spawn, ServerConfig};
+
+#[test]
+fn service_contract_holds_under_chaos_and_abuse() {
+    let mut cfg = ServerConfig::default();
+    cfg.service.seed = 2017;
+    cfg.service.units = 2;
+    cfg.service.micros_per_tick = 300;
+    cfg.service.default_deadline_ticks = 2_000;
+    cfg.chaos = Some(ChaosPlanConfig {
+        seed: 2017,
+        units: 2,
+        ops: 96,
+        faults: 12,
+        ..ChaosPlanConfig::default()
+    });
+    let handle = spawn(cfg);
+
+    let load = LoadgenConfig {
+        addr: handle.addr.to_string(),
+        seed: 2017,
+        requests: 128,
+        conns: 3,
+        slow_conns: 1,
+        garbage_conns: 2,
+        deadline_micros: 0, // server default: generous, this is a debug build
+        drain: Duration::from_secs(30),
+        ..LoadgenConfig::default()
+    };
+    let report = run(&load);
+
+    assert_eq!(
+        report.escapes, 0,
+        "wrong answers escaped to a client: {report:?}"
+    );
+    assert_eq!(
+        report.unanswered, 0,
+        "silently dropped requests: {report:?}"
+    );
+    assert_eq!(
+        report.malformed_on_clean, 0,
+        "clean traffic flagged malformed: {report:?}"
+    );
+    assert_eq!(report.sent, 128, "every scheduled request was sent");
+    assert_eq!(
+        report.garbage_acked, report.garbage_sent,
+        "every adversarial frame must get a typed Malformed: {report:?}"
+    );
+    assert!(report.garbage_sent >= 2, "garbage connections ran");
+    assert!(
+        report.contract_holds(),
+        "service contract violated: {report:?}"
+    );
+
+    // The server is still alive and observable: scrape /metrics over TCP.
+    let mut sock = TcpStream::connect(handle.metrics_addr).expect("metrics endpoint reachable");
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut body = String::new();
+    sock.read_to_string(&mut body).expect("metrics scrape");
+    assert!(
+        body.starts_with("HTTP/1.0 200 OK"),
+        "metrics served: {body:.100}"
+    );
+    for metric in [
+        "service_accepted",
+        "service_answered",
+        "service_latency_ticks",
+        "pool_escapes",
+    ] {
+        assert!(
+            body.contains(metric),
+            "{metric} missing from scrape:\n{body}"
+        );
+    }
+
+    handle.stop();
+}
