@@ -67,6 +67,15 @@ fn main() {
         report.p99_micros
     );
     println!(
+        "phase split (Ok): queue p50 {} / p99 {} µs | exec p50 {} / p99 {} µs | transport p50 {} / p99 {} µs",
+        report.phases.queue.p50,
+        report.phases.queue.p99,
+        report.phases.exec.p50,
+        report.phases.exec.p99,
+        report.phases.transport.p50,
+        report.phases.transport.p99
+    );
+    println!(
         "zero escapes: {}",
         if report.escapes == 0 {
             "PASS — every Ok matched the softfloat reference bit-for-bit".to_string()

@@ -3,10 +3,15 @@
 //!
 //! Usage: `serve [--addr A] [--metrics-addr A] [--units N] [--pending N]
 //! [--queue N] [--tick-micros N] [--deadline-ticks N] [--seed S]
-//! [--chaos N] [--pipelined]` (defaults: 127.0.0.1:7117 requests,
-//! 127.0.0.1:7118 metrics, 4 units, pending cap 256, engine queue 8,
-//! 500 µs/tick, 400-tick default deadline, seed 2017, no chaos,
+//! [--chaos N] [--incident-dir D] [--pipelined]` (defaults:
+//! 127.0.0.1:7117 requests, 127.0.0.1:7118 metrics, 4 units, pending
+//! cap 256, engine queue 8, 500 µs/tick, 400-tick default deadline,
+//! seed 2017, no chaos, incident reports kept in-memory only,
 //! combinational build).
+//!
+//! The metrics listener also serves `/healthz`, `/statusz` and
+//! `/tracez`; `--incident-dir D` persists every flight-recorder
+//! incident report as `D/incident_<n>.json`.
 //!
 //! `--chaos N` arms a seeded plan of N fault events (stuck-ats, SEUs,
 //! glitch storms, field replacements) injected underneath live traffic,
@@ -27,7 +32,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" | "--metrics-addr" | "--units" | "--pending" | "--queue" | "--tick-micros"
-            | "--deadline-ticks" | "--seed" | "--chaos" => {
+            | "--deadline-ticks" | "--seed" | "--chaos" | "--incident-dir" => {
                 it.next();
             }
             "--pipelined" => {}
@@ -35,7 +40,8 @@ fn main() {
                 eprintln!(
                     "unknown argument {other}; usage: serve [--addr A] [--metrics-addr A] \
                      [--units N] [--pending N] [--queue N] [--tick-micros N] \
-                     [--deadline-ticks N] [--seed S] [--chaos N] [--pipelined]"
+                     [--deadline-ticks N] [--seed S] [--chaos N] [--incident-dir D] \
+                     [--pipelined]"
                 );
                 std::process::exit(2);
             }
@@ -46,6 +52,7 @@ fn main() {
         metrics_addr: cli::arg_str(&args, "--metrics-addr")
             .unwrap_or_else(|| "127.0.0.1:7118".to_string()),
         pipelined: cli::has_flag(&args, "--pipelined"),
+        incident_dir: cli::arg_str(&args, "--incident-dir").map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
     cfg.service.seed = cli::arg_value(&args, "--seed", 2017);

@@ -180,7 +180,7 @@ impl ChaosReport {
             ]);
         }
         r.add_table("Unit lifecycle", t);
-        let mut t = Table::new(&["unit", "tick", "from", "to", "reason"]);
+        let mut t = Table::new(&["unit", "tick", "from", "to", "reason", "trace"]);
         for u in &self.unit_outcomes {
             for tr in &u.transitions {
                 t.row_owned(vec![
@@ -189,6 +189,8 @@ impl ChaosReport {
                     tr.from.to_string(),
                     tr.to.to_string(),
                     tr.reason.clone(),
+                    tr.trace
+                        .map_or_else(|| "-".to_string(), |t| format!("{t:016x}")),
                 ]);
             }
         }

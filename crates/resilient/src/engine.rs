@@ -15,7 +15,7 @@
 
 use mfm_gatesim::{CompiledNetlist, NetId, Netlist};
 use mfm_softfloat::Flags;
-use mfm_telemetry::{Counter, Gauge, Registry};
+use mfm_telemetry::{Counter, Gauge, Registry, TraceId};
 use mfmult::selfcheck::{run_scrub_compiled, scrub_battery, SelfCheckingUnit};
 use mfmult::structural::StructuralPorts;
 use mfmult::{FunctionalUnit, MultResult, Operation};
@@ -67,6 +67,8 @@ pub struct ExpiredOp {
     pub deadline: u64,
     /// Tick at which the cancellation was performed.
     pub tick: u64,
+    /// The request's trace id, when it was submitted with one.
+    pub trace: Option<TraceId>,
 }
 
 /// Engine policy knobs.
@@ -111,6 +113,8 @@ pub struct Completed {
     pub tick: u64,
     /// The (checked or fallback) result.
     pub result: MultResult,
+    /// The request's trace id, when it was submitted with one.
+    pub trace: Option<TraceId>,
 }
 
 /// One point of the capacity timeline [`Engine::tick`] appends to.
@@ -164,6 +168,15 @@ const STATE_SLOTS: [HealthState; 5] = [
     HealthState::Retired,
 ];
 
+/// One queued submission awaiting dispatch.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    id: u64,
+    op: Operation,
+    deadline: Option<u64>,
+    trace: Option<TraceId>,
+}
+
 /// One pool slot: the unit, its breaker, and the chaos-environment
 /// faults that must survive a scrub's repair step.
 struct PoolUnit<'a> {
@@ -190,7 +203,7 @@ pub struct Engine<'a> {
     /// passes before committing to the event-driven replay.
     compiled: CompiledNetlist,
     ports: StructuralPorts,
-    queue: std::collections::VecDeque<(u64, Operation, Option<u64>)>,
+    queue: std::collections::VecDeque<Queued>,
     queue_depth: usize,
     breaker: BreakerConfig,
     /// Per-op settle-event ceiling (calibrated at construction).
@@ -399,6 +412,19 @@ impl<'a> Engine<'a> {
         op: Operation,
         deadline: Option<u64>,
     ) -> Result<u64, Busy> {
+        self.submit_traced(op, deadline, None)
+    }
+
+    /// Like [`Engine::submit_with_deadline`], also attaching the
+    /// request's [`TraceId`]. The id rides the queue entry into the
+    /// [`Completed`]/[`ExpiredOp`] record and tags any breaker
+    /// transition this request's incidents cause.
+    pub fn submit_traced(
+        &mut self,
+        op: Operation,
+        deadline: Option<u64>,
+        trace: Option<TraceId>,
+    ) -> Result<u64, Busy> {
         if self.queue.len() >= self.queue_depth {
             self.rejected += 1;
             if let Some(t) = &self.telemetry {
@@ -415,7 +441,12 @@ impl<'a> Engine<'a> {
         if let Some(t) = &self.telemetry {
             t.submitted.inc();
         }
-        self.queue.push_back((id, op, deadline));
+        self.queue.push_back(Queued {
+            id,
+            op,
+            deadline,
+            trace,
+        });
         Ok(id)
     }
 
@@ -465,9 +496,23 @@ impl<'a> Engine<'a> {
     /// authoritative for *all* traffic a unit carries, not just the
     /// operations the pool scheduler dispatched itself.
     pub fn note_external_service(&mut self, i: usize, incidents: u32) {
+        self.note_external_service_traced(i, incidents, None);
+    }
+
+    /// Like [`Engine::note_external_service`], tagging any breaker
+    /// transition the incidents cause with the trace id of the request
+    /// that surfaced them, so the JSON transition log points back at a
+    /// replayable trace.
+    pub fn note_external_service_traced(
+        &mut self,
+        i: usize,
+        incidents: u32,
+        trace: Option<TraceId>,
+    ) {
         let u = &mut self.units[i];
         if incidents > 0 {
-            u.health.on_incidents(self.tick, incidents);
+            u.health
+                .on_incidents_traced(self.tick, incidents, trace.map(TraceId::as_u64));
         } else {
             u.health.on_clean_op(self.tick);
         }
@@ -544,25 +589,26 @@ impl<'a> Engine<'a> {
         if self
             .queue
             .iter()
-            .any(|(_, _, d)| d.is_some_and(|d| d < self.tick))
+            .any(|q| q.deadline.is_some_and(|d| d < self.tick))
         {
             let now = self.tick;
             let mut kept = std::collections::VecDeque::with_capacity(self.queue.len());
-            for (id, op, deadline) in self.queue.drain(..) {
-                match deadline {
+            for q in self.queue.drain(..) {
+                match q.deadline {
                     Some(d) if d < now => {
                         self.expired_total += 1;
                         if let Some(t) = &self.telemetry {
                             t.expired.inc();
                         }
                         self.expired.push(ExpiredOp {
-                            id,
-                            op,
+                            id: q.id,
+                            op: q.op,
                             deadline: d,
                             tick: now,
+                            trace: q.trace,
                         });
                     }
-                    _ => kept.push_back((id, op, deadline)),
+                    _ => kept.push_back(q),
                 }
             }
             self.queue = kept;
@@ -578,8 +624,8 @@ impl<'a> Engine<'a> {
             if !self.units[i].health.is_dispatchable() {
                 continue;
             }
-            let (id, op, _deadline) = self.queue.pop_front().expect("checked non-empty");
-            self.dispatch_one(i, id, op);
+            let q = self.queue.pop_front().expect("checked non-empty");
+            self.dispatch_one(i, q.id, q.op, q.trace);
             report.dispatched += 1;
             completed_now += 1;
         }
@@ -629,7 +675,7 @@ impl<'a> Engine<'a> {
 
     /// Serves one operation on unit `i`: glitch storms, execution, the
     /// per-op watchdog, health accounting and the escape cross-check.
-    fn dispatch_one(&mut self, i: usize, id: u64, op: Operation) {
+    fn dispatch_one(&mut self, i: usize, id: u64, op: Operation, trace: Option<TraceId>) {
         let u = &mut self.units[i];
         let ev0 = u.unit.sim().total_events();
         let inc0 = u.unit.incidents().len();
@@ -663,7 +709,8 @@ impl<'a> Engine<'a> {
             incidents = incidents.max(1);
         }
         if incidents > 0 {
-            u.health.on_incidents(self.tick, incidents);
+            u.health
+                .on_incidents_traced(self.tick, incidents, trace.map(TraceId::as_u64));
         } else {
             u.health.on_clean_op(self.tick);
         }
@@ -692,6 +739,7 @@ impl<'a> Engine<'a> {
             unit: i,
             tick: self.tick,
             result,
+            trace,
         });
     }
 
@@ -946,6 +994,40 @@ mod tests {
             "retired slot kept serving"
         );
         assert_eq!(done.len() as u64, 60);
+    }
+
+    #[test]
+    fn traced_submission_tags_results_and_breaker_transitions() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 1, small_cfg());
+        // Poison the check LSB so every even product raises incidents.
+        engine.inject_stuck_at(0, ports.chk_p0[0], true, false);
+        let trace = TraceId::from_raw(0xCAFE_F00D);
+        engine
+            .submit_traced(Operation::int64(3, 4), None, Some(trace))
+            .unwrap();
+        engine.tick();
+        let done = engine.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].trace, Some(trace), "trace rides the completion");
+        assert_eq!(done[0].result.int_product(), 12, "answer still correct");
+        // The healthy→suspect transition names the offending trace.
+        let t = engine.transitions(0);
+        assert!(!t.is_empty(), "incident must log a transition");
+        assert_eq!(t[0].trace, Some(trace.as_u64()));
+        assert!(t[0].to_json().contains("\"trace_id\":\"00000000cafef00d\""));
+        // External service credit with a trace reaches the breaker too.
+        let mut engine2 = Engine::new(&n, &ports, 1, small_cfg());
+        let t2 = TraceId::from_raw(77);
+        engine2.note_external_service_traced(0, 2, Some(t2));
+        assert_eq!(engine2.transitions(0)[0].trace, Some(77));
+        // Untraced submissions keep a trace-free log (schema unchanged).
+        let mut engine3 = Engine::new(&n, &ports, 1, small_cfg());
+        engine3.inject_stuck_at(0, ports.chk_p0[0], true, false);
+        engine3.submit(Operation::int64(3, 4)).unwrap();
+        engine3.tick();
+        assert_eq!(engine3.transitions(0)[0].trace, None);
     }
 
     #[test]

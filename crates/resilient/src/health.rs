@@ -108,11 +108,18 @@ pub struct HealthTransition {
     pub to: HealthState,
     /// Why (breaker counters, scrub outcome, …).
     pub reason: String,
+    /// The trace id of the request whose incident caused this
+    /// transition, when the caller knows it. Heal/scrub transitions
+    /// have no single offending request and carry `None`.
+    pub trace: Option<u64>,
 }
 
 impl HealthTransition {
     /// Renders the transition as a single-line JSON object via the
     /// validated writer (escaping handled by [`mfm_telemetry::json`]).
+    /// A known offending trace id is appended as a 16-digit hex
+    /// `trace_id` field; transitions without one render exactly as
+    /// before the field existed.
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_str("event", "health_transition")
@@ -120,6 +127,9 @@ impl HealthTransition {
             .field_str("from", self.from.label())
             .field_str("to", self.to.label())
             .field_str("reason", &self.reason);
+        if let Some(t) = self.trace {
+            o.field_str("trace_id", &format!("{t:016x}"));
+        }
         o.finish()
     }
 }
@@ -185,29 +195,46 @@ impl HealthTracker {
     }
 
     fn go(&mut self, tick: u64, to: HealthState, reason: String) {
+        self.go_traced(tick, to, reason, None);
+    }
+
+    fn go_traced(&mut self, tick: u64, to: HealthState, reason: String, trace: Option<u64>) {
         let from = std::mem::replace(&mut self.state, to);
         self.transitions.push(HealthTransition {
             tick,
             from,
             to,
             reason,
+            trace,
         });
     }
 
     /// Feed `n ≥ 1` check incidents observed while serving one operation.
     pub fn on_incidents(&mut self, tick: u64, n: u32) {
+        self.on_incidents_traced(tick, n, None);
+    }
+
+    /// Like [`HealthTracker::on_incidents`], tagging any transitions it
+    /// causes with the trace id of the offending request, so the JSON
+    /// transition log links a breaker trip back to a replayable trace.
+    pub fn on_incidents_traced(&mut self, tick: u64, n: u32, trace: Option<u64>) {
         debug_assert!(n >= 1);
         match self.state {
             HealthState::Healthy => {
                 self.incident_count = n;
                 self.clean_streak = 0;
-                self.go(tick, HealthState::Suspect, format!("{n} check incident(s)"));
-                self.maybe_open(tick);
+                self.go_traced(
+                    tick,
+                    HealthState::Suspect,
+                    format!("{n} check incident(s)"),
+                    trace,
+                );
+                self.maybe_open(tick, trace);
             }
             HealthState::Suspect => {
                 self.incident_count += n;
                 self.clean_streak = 0;
-                self.maybe_open(tick);
+                self.maybe_open(tick, trace);
             }
             // Quarantined/probation units receive no traffic; retired is
             // absorbing — nothing to count.
@@ -215,16 +242,17 @@ impl HealthTracker {
         }
     }
 
-    fn maybe_open(&mut self, tick: u64) {
+    fn maybe_open(&mut self, tick: u64, trace: Option<u64>) {
         if self.state == HealthState::Suspect && self.incident_count >= self.cfg.open_after {
             self.cooldown_left = self.cfg.cooldown_ticks;
-            self.go(
+            self.go_traced(
                 tick,
                 HealthState::Quarantined,
                 format!(
                     "breaker opened after {} incident(s); cooling down {} tick(s)",
                     self.incident_count, self.cfg.cooldown_ticks
                 ),
+                trace,
             );
         }
     }
@@ -416,6 +444,30 @@ mod tests {
             assert_eq!(text(get("to")), t.to.label());
             assert_eq!(text(get("reason")), t.reason);
         }
+    }
+
+    #[test]
+    fn traced_incident_tags_the_transition_json() {
+        let mut h = HealthTracker::new(cfg());
+        // One traced incident: healthy → suspect carries the trace.
+        h.on_incidents_traced(3, 1, Some(0xFEED_FACE));
+        // Enough more to open the breaker, traced differently.
+        h.on_incidents_traced(4, 2, Some(0x0123_4567_89AB_CDEF));
+        let t = h.transitions();
+        assert_eq!(t[0].trace, Some(0xFEED_FACE));
+        assert_eq!(t[1].trace, Some(0x0123_4567_89AB_CDEF));
+        let line0 = t[0].to_json();
+        mfm_telemetry::json::check(&line0).unwrap();
+        assert!(
+            line0.contains("\"trace_id\":\"00000000feedface\""),
+            "{line0}"
+        );
+        assert!(t[1].to_json().contains("\"trace_id\":\"0123456789abcdef\""));
+        // Untraced transitions render without the field — schema
+        // unchanged for pre-existing consumers.
+        let mut h2 = HealthTracker::new(cfg());
+        h2.on_incidents(1, 1);
+        assert!(!h2.transitions()[0].to_json().contains("trace_id"));
     }
 
     /// Property: from ANY reachable state except `Retired`, a fault-free

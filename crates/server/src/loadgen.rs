@@ -106,6 +106,84 @@ pub struct LoadReport {
     pub p99_micros: u64,
     /// Mean latency.
     pub mean_micros: u64,
+    /// Per-phase breakdown of `Ok` latency (server-reported queue and
+    /// execution time, transport inferred) plus per-class end-to-end
+    /// latency for refused and expired requests.
+    pub phases: PhaseBreakdown,
+}
+
+/// Exact quantiles over one latency component, microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatSummary {
+    /// Samples summarized.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Mean.
+    pub mean: u64,
+}
+
+impl LatSummary {
+    /// Exact quantiles of `v` (sorted in place); zeros when empty.
+    fn from_samples(v: &mut [u64]) -> Self {
+        if v.is_empty() {
+            return LatSummary::default();
+        }
+        v.sort_unstable();
+        let q = |p: f64| {
+            let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            v[rank - 1]
+        };
+        LatSummary {
+            count: v.len() as u64,
+            p50: q(0.50),
+            p99: q(0.99),
+            mean: (v.iter().sum::<u64>() as f64 / v.len() as f64) as u64,
+        }
+    }
+
+    /// Renders `{"count":…,"p50":…,"p99":…,"mean":…}`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("count", self.count)
+            .field_u64("p50", self.p50)
+            .field_u64("p99", self.p99)
+            .field_u64("mean", self.mean);
+        o.finish()
+    }
+}
+
+/// The queue-time vs service-time split the wire's v2 `Ok` payload
+/// makes possible, plus per-class end-to-end latencies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    /// Server-reported time queued before dispatch (`Ok` only).
+    pub queue: LatSummary,
+    /// Server-reported batch execution + verification time (`Ok` only).
+    pub exec: LatSummary,
+    /// End-to-end minus queue minus exec: wire transport, framing and
+    /// scheduling slack.
+    pub transport: LatSummary,
+    /// End-to-end latency of `Overloaded` refusals (how fast the shed
+    /// signal reaches the client).
+    pub overloaded: LatSummary,
+    /// End-to-end latency of `DeadlineExceeded` responses.
+    pub deadline: LatSummary,
+}
+
+impl PhaseBreakdown {
+    /// Renders the nested `{"queue":…,…}` object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_raw("queue", &self.queue.to_json())
+            .field_raw("exec", &self.exec.to_json())
+            .field_raw("transport", &self.transport.to_json())
+            .field_raw("overloaded", &self.overloaded.to_json())
+            .field_raw("deadline_exceeded", &self.deadline.to_json());
+        o.finish()
+    }
 }
 
 impl LoadReport {
@@ -169,6 +247,7 @@ impl LoadReport {
             .field_f64("ops_per_sec", self.ops_per_sec())
             .field_f64("shed_rate", self.shed_rate())
             .field_raw("latency_micros", &l.finish())
+            .field_raw("phase_micros", &self.phases.to_json())
             .field_u64("elapsed_micros", self.elapsed_micros)
             .field_str(
                 "zero_escape",
@@ -237,6 +316,11 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
 
     let mut report = LoadReport::default();
     let mut latencies: Vec<u64> = Vec::new();
+    let mut queue: Vec<u64> = Vec::new();
+    let mut exec: Vec<u64> = Vec::new();
+    let mut transport: Vec<u64> = Vec::new();
+    let mut lat_overloaded: Vec<u64> = Vec::new();
+    let mut lat_deadline: Vec<u64> = Vec::new();
     for w in workers {
         let conn = w.join().expect("connection worker panicked");
         report.sent += conn.sent;
@@ -247,8 +331,20 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         report.unanswered += conn.unanswered;
         report.escapes += conn.escapes;
         latencies.extend(conn.latencies);
+        queue.extend(conn.queue_micros);
+        exec.extend(conn.exec_micros);
+        transport.extend(conn.transport_micros);
+        lat_overloaded.extend(conn.lat_overloaded);
+        lat_deadline.extend(conn.lat_deadline);
         report.elapsed_micros = report.elapsed_micros.max(conn.elapsed_micros);
     }
+    report.phases = PhaseBreakdown {
+        queue: LatSummary::from_samples(&mut queue),
+        exec: LatSummary::from_samples(&mut exec),
+        transport: LatSummary::from_samples(&mut transport),
+        overloaded: LatSummary::from_samples(&mut lat_overloaded),
+        deadline: LatSummary::from_samples(&mut lat_deadline),
+    };
     let (garbage_sent, garbage_acked) = garbage.join().expect("garbage worker panicked");
     report.garbage_sent = garbage_sent;
     report.garbage_acked = garbage_acked;
@@ -276,6 +372,11 @@ struct ConnReport {
     unanswered: u64,
     escapes: u64,
     latencies: Vec<u64>,
+    queue_micros: Vec<u64>,
+    exec_micros: Vec<u64>,
+    transport_micros: Vec<u64>,
+    lat_overloaded: Vec<u64>,
+    lat_deadline: Vec<u64>,
     elapsed_micros: u64,
 }
 
@@ -405,14 +506,24 @@ fn run_conn(
                     pl,
                     flags_lo,
                     flags_hi,
+                    queue_micros,
+                    exec_micros,
                     ..
                 },
                 arrived,
             )) => {
                 report.ok += 1;
-                report
-                    .latencies
-                    .push(arrived.saturating_duration_since(*at).as_micros() as u64);
+                let e2e = arrived.saturating_duration_since(*at).as_micros() as u64;
+                report.latencies.push(e2e);
+                // Queue-time vs service-time split: the server reports
+                // its queue and execution shares; everything left is
+                // wire transport plus scheduling slack.
+                report.queue_micros.push(*queue_micros as u64);
+                report.exec_micros.push(*exec_micros as u64);
+                report.transport_micros.push(
+                    e2e.saturating_sub(*queue_micros as u64)
+                        .saturating_sub(*exec_micros as u64),
+                );
                 let op = ops[id];
                 let want = reference.execute(op);
                 let correct = *ph == want.ph
@@ -423,8 +534,18 @@ fn run_conn(
                     report.escapes += 1;
                 }
             }
-            Some((Response::Overloaded { .. }, _)) => report.overloaded += 1,
-            Some((Response::DeadlineExceeded { .. }, _)) => report.deadline_exceeded += 1,
+            Some((Response::Overloaded { .. }, arrived)) => {
+                report.overloaded += 1;
+                report
+                    .lat_overloaded
+                    .push(arrived.saturating_duration_since(*at).as_micros() as u64);
+            }
+            Some((Response::DeadlineExceeded { .. }, arrived)) => {
+                report.deadline_exceeded += 1;
+                report
+                    .lat_deadline
+                    .push(arrived.saturating_duration_since(*at).as_micros() as u64);
+            }
             Some((Response::Malformed { .. }, _)) => report.malformed += 1,
             None => report.unanswered += 1,
         }

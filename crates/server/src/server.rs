@@ -18,13 +18,22 @@
 //!   cadence: it waits on the event channel with a timeout equal to the
 //!   time remaining in the current tick, so request admission is
 //!   immediate while [`Service::tick`] keeps its fixed beat.
-//! - A tiny HTTP listener serves `GET /metrics` by round-tripping a
-//!   scrape request through the service thread (the registry is
-//!   `Rc`-based and must not leave it).
+//! - A tiny HTTP listener serves `GET /metrics` (Prometheus text with
+//!   trace-id exemplars), `GET /healthz` (liveness + escape invariant),
+//!   `GET /statusz` (tier, queue depths, breaker states) and
+//!   `GET /tracez` (slowest recent traces) by round-tripping a scrape
+//!   request through the service thread — the registry itself is
+//!   `Send + Sync`, but the service state it describes lives there.
+//! - Every request frame is stamped with a [`TraceId`] at decode, in
+//!   the reader thread, and the id rides the request through admission,
+//!   batching, rescue and write-back. Incident reports snapshotted by
+//!   the service's flight recorder are persisted to
+//!   [`ServerConfig::incident_dir`] as they are produced.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -33,7 +42,7 @@ use std::time::{Duration, Instant};
 use mfm_gatesim::tech::TechLibrary;
 use mfm_gatesim::{NetId, Netlist};
 use mfm_resilient::chaos::{apply_event, ChaosPlan, ChaosPlanConfig};
-use mfm_telemetry::Registry;
+use mfm_telemetry::{Registry, TraceId, TraceMinter};
 use mfmult::pipeline::{build_pipelined_unit_opts, PipelinePlacement};
 use mfmult::structural::{build_unit, UnitOptions};
 
@@ -65,6 +74,10 @@ pub struct ServerConfig {
     /// Optional chaos plan injected underneath live traffic, keyed by
     /// admitted-request ordinal.
     pub chaos: Option<ChaosPlanConfig>,
+    /// Directory incident reports are written into (one
+    /// `incident_<n>.json` per report). `None` keeps them in-memory
+    /// only (visible through `/statusz` counts).
+    pub incident_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +90,40 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(1),
             write_timeout: Duration::from_secs(2),
             chaos: None,
+            incident_dir: None,
+        }
+    }
+}
+
+/// Which view a scrape connection asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScrapeKind {
+    /// `GET /metrics` — Prometheus text (also the fallback for any
+    /// unrecognized path, preserving the historical behaviour).
+    Metrics,
+    /// `GET /healthz` — liveness JSON.
+    Healthz,
+    /// `GET /statusz` — degradation/queue/breaker JSON.
+    Statusz,
+    /// `GET /tracez` — slowest recent traces JSON.
+    Tracez,
+}
+
+impl ScrapeKind {
+    fn from_request_line(line: &str) -> ScrapeKind {
+        let path = line.split_whitespace().nth(1).unwrap_or("/metrics");
+        match path.split('?').next().unwrap_or(path) {
+            "/healthz" => ScrapeKind::Healthz,
+            "/statusz" => ScrapeKind::Statusz,
+            "/tracez" => ScrapeKind::Tracez,
+            _ => ScrapeKind::Metrics,
+        }
+    }
+
+    const fn content_type(self) -> &'static str {
+        match self {
+            ScrapeKind::Metrics => "text/plain; version=0.0.4",
+            _ => "application/json",
         }
     }
 }
@@ -86,15 +133,23 @@ enum Event {
     /// A connection opened; the sender fans responses back to its
     /// writer thread.
     Connected { client: u64, tx: Sender<Vec<u8>> },
-    /// A well-formed request arrived.
-    Request { client: u64, req: wire::Request },
+    /// A well-formed request arrived, already stamped with the trace id
+    /// minted at frame decode.
+    Request {
+        client: u64,
+        req: wire::Request,
+        trace: TraceId,
+    },
     /// A frame failed strict parsing (`id` salvaged when possible); the
     /// reader answers and closes after this.
     Malformed { client: u64, id: u64, code: u8 },
     /// The connection is gone (EOF, error or timeout).
     Disconnected { client: u64 },
-    /// A metrics scrape wants the Prometheus text.
-    Scrape { reply: SyncSender<String> },
+    /// An HTTP scrape wants one of the observability views.
+    Scrape {
+        kind: ScrapeKind,
+        reply: SyncSender<String>,
+    },
 }
 
 /// Handle to a running server. Dropping it does *not* stop the server;
@@ -239,14 +294,19 @@ fn spawn_connection(
         let _ = w.shutdown(std::net::Shutdown::Both);
     });
     // Reader: strict parse loop; every deviation is answered typed and
-    // the connection is closed.
+    // the connection is closed. Each decoded frame is stamped with a
+    // trace id right here, before it enters the service at all, so the
+    // trace covers the full in-server lifetime of the request.
     std::thread::spawn(move || {
         let mut r = stream;
+        let mut minter =
+            TraceMinter::new(0x6D66_6D74_7263 ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         loop {
             match read_frame(&mut r) {
                 Ok(Some(body)) => match decode_request(&body) {
                     Ok(req) => {
-                        if tx.send(Event::Request { client, req }).is_err() {
+                        let trace = minter.mint();
+                        if tx.send(Event::Request { client, req, trace }).is_err() {
                             break;
                         }
                     }
@@ -285,18 +345,27 @@ fn spawn_connection(
     });
 }
 
-/// Minimal HTTP/1.0 exposition endpoint: any request line gets the
-/// current Prometheus text (the path is not inspected beyond reading
-/// one line, keeping the surface tiny).
+/// Minimal HTTP/1.0 exposition endpoint. The request line's path picks
+/// the view — `/metrics`, `/healthz`, `/statusz` or `/tracez` — and any
+/// unrecognized path falls back to the Prometheus text, preserving the
+/// historical "anything gets metrics" behaviour.
 fn metrics_loop(listener: TcpListener, tx: Sender<Event>, stop: Arc<AtomicBool>) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((mut stream, _)) => {
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
                 let mut buf = [0u8; 512];
-                let _ = stream.read(&mut buf);
+                let n = stream.read(&mut buf).unwrap_or(0);
+                let head = String::from_utf8_lossy(&buf[..n]);
+                let kind = ScrapeKind::from_request_line(head.lines().next().unwrap_or(""));
                 let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(1);
-                let body = if tx.send(Event::Scrape { reply: reply_tx }).is_ok() {
+                let body = if tx
+                    .send(Event::Scrape {
+                        kind,
+                        reply: reply_tx,
+                    })
+                    .is_ok()
+                {
                     reply_rx
                         .recv_timeout(Duration::from_secs(2))
                         .unwrap_or_default()
@@ -305,7 +374,8 @@ fn metrics_loop(listener: TcpListener, tx: Sender<Event>, stop: Arc<AtomicBool>)
                 };
                 let _ = write!(
                     stream,
-                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                    "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\n\r\n{}",
+                    kind.content_type(),
                     body.len(),
                     body
                 );
@@ -344,6 +414,22 @@ fn service_loop(cfg: ServerConfig, rx: Receiver<Event>, stop: Arc<AtomicBool>) {
     let mut writers: HashMap<u64, Sender<Vec<u8>>> = HashMap::new();
     let tick_len = Duration::from_micros(cfg.service.micros_per_tick.max(1));
     let mut next_tick = Instant::now() + tick_len;
+    let mut incident_seq = 0u64;
+    let mut flush = |service: &mut Service<'_>, writers: &mut HashMap<u64, Sender<Vec<u8>>>| {
+        for (client, resp, trace) in service.take_responses_traced() {
+            let t = Instant::now();
+            send_to(writers, client, &resp);
+            service.note_write_back(trace, t.elapsed().as_micros() as u64);
+        }
+        for report in service.take_incidents() {
+            if let Some(dir) = &cfg.incident_dir {
+                let _ = std::fs::create_dir_all(dir);
+                let path = dir.join(format!("incident_{incident_seq}.json"));
+                let _ = std::fs::write(path, &report);
+            }
+            incident_seq += 1;
+        }
+    };
 
     loop {
         // Apply chaos events scheduled at or before the current ordinal.
@@ -391,9 +477,7 @@ fn service_loop(cfg: ServerConfig, rx: Receiver<Event>, stop: Arc<AtomicBool>) {
         };
         if due {
             service.tick();
-            for (client, resp) in service.take_responses() {
-                send_to(&mut writers, client, &resp);
-            }
+            flush(&mut service, &mut writers);
             next_tick += tick_len;
             // Never let a stall cause a burst of catch-up ticks:
             // re-anchor if we fell behind a whole tick.
@@ -406,9 +490,7 @@ fn service_loop(cfg: ServerConfig, rx: Receiver<Event>, stop: Arc<AtomicBool>) {
                 // before teardown.
                 for _ in 0..4 {
                     service.tick();
-                    for (client, resp) in service.take_responses() {
-                        send_to(&mut writers, client, &resp);
-                    }
+                    flush(&mut service, &mut writers);
                 }
                 break;
             }
@@ -428,8 +510,8 @@ fn handle_event(
         Event::Connected { client, tx } => {
             writers.insert(client, tx);
         }
-        Event::Request { client, req } => {
-            if let Some(refusal) = service.admit(client, &req) {
+        Event::Request { client, req, trace } => {
+            if let Some(refusal) = service.admit_traced(client, &req, trace) {
                 send_to(writers, client, &refusal);
             } else {
                 *admitted_ops += 1;
@@ -445,8 +527,14 @@ fn handle_event(
             writers.remove(&client);
             service.forget_client(client);
         }
-        Event::Scrape { reply } => {
-            let _ = reply.try_send(registry.prometheus());
+        Event::Scrape { kind, reply } => {
+            let body = match kind {
+                ScrapeKind::Metrics => registry.prometheus(),
+                ScrapeKind::Healthz => service.healthz_json(),
+                ScrapeKind::Statusz => service.statusz_json(),
+                ScrapeKind::Tracez => service.tracez_json(),
+            };
+            let _ = reply.try_send(body);
         }
     }
 }

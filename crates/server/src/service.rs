@@ -28,14 +28,38 @@
 //! request's result has always been cross-checked against the bit-exact
 //! reference — a lane that fails its check is *rescued* through the
 //! engine's event-driven path, never answered from the failed batch.
+//!
+//! # Tracing and the flight recorder
+//!
+//! Every admitted request carries a [`TraceId`] (minted at frame decode
+//! by the front-end, or internally for in-process callers) through the
+//! batch path, the verification loop, and the engine rescue path. The
+//! service accumulates per-phase spans (queue-wait, batch-fill,
+//! compiled-eval, verify, rescue, write-back) into a [`TraceRecord`]
+//! that lands in a fixed-size [`TraceRing`] served by `/tracez`.
+//! Scheduling decisions stay tick-driven and wall-clock-free; only the
+//! span *annotations* for the execution phases sample a monotonic
+//! clock, so responses remain deterministic while latency attribution
+//! is real.
+//!
+//! A bounded [`FlightRecorder`] keeps the most recent structured events
+//! (check failures, rescues, tier changes, breaker transitions,
+//! watchdog trips) and snapshots them into a self-contained JSON
+//! incident report when a verification mismatch, engine rescue,
+//! watchdog trip, or shed-tier escalation fires — drain reports with
+//! [`Service::take_incidents`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Instant;
 
 use mfm_gatesim::{CompiledNetlist, CompiledSim, Netlist};
 use mfm_resilient::backoff::{BackoffConfig, SubmitBackoff};
 use mfm_resilient::{Engine, EngineConfig};
 use mfm_softfloat::Flags;
-use mfm_telemetry::{Counter, Gauge, Histogram, Registry};
+use mfm_telemetry::{
+    Counter, FlightEvent, FlightRecorder, Gauge, Histogram, IncidentTrigger, Phase, PhaseSpans,
+    Registry, TraceId, TraceMinter, TraceRecord, TraceRing,
+};
 use mfmult::selfcheck::{check_raw, result_from_raw, run_raw_compiled, scrub_battery};
 use mfmult::structural::StructuralPorts;
 use mfmult::{Format, FunctionalUnit, Operation};
@@ -122,6 +146,13 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Completed traces retained for `/tracez`.
+const TRACE_RING_CAP: usize = 256;
+/// Flight-recorder event ring capacity.
+const FLIGHT_RING_CAP: usize = 128;
+/// Minimum ticks between incident reports of the same trigger kind.
+const INCIDENT_MIN_GAP_TICKS: u64 = 32;
+
 /// One admitted request waiting for a batch slot.
 #[derive(Debug, Clone, Copy)]
 struct PendingReq {
@@ -133,6 +164,12 @@ struct PendingReq {
     /// Deadline the client asked for, echoed in expiry responses.
     deadline_micros: u32,
     arrived: u64,
+    /// End-to-end trace id minted at decode (or admission).
+    trace: TraceId,
+    /// Per-phase latency attribution accumulated as the request moves.
+    spans: PhaseSpans,
+    /// Tick the request entered the rescue path (0 = never rescued).
+    rescued_at: u64,
 }
 
 struct ServiceMetrics {
@@ -148,6 +185,9 @@ struct ServiceMetrics {
     pending: Gauge,
     latency_ticks: Histogram,
     batch_fill: Histogram,
+    /// One histogram per [`Phase`], indexed by phase order in
+    /// [`Phase::ALL`]; fed when a trace record is finalized.
+    phase_micros: Vec<Histogram>,
 }
 
 /// The service core (see the module docs). Borrows the netlist like the
@@ -169,11 +209,28 @@ pub struct Service<'a> {
     backoffs: HashMap<u64, SubmitBackoff>,
     /// Round-robin cursor over pool units for batch routing.
     batch_cursor: usize,
-    responses: Vec<(u64, Response)>,
+    responses: Vec<(u64, Response, TraceId)>,
     metrics: ServiceMetrics,
     answered: u64,
     shed: u64,
     escape_guard_failures: u64,
+    /// Mints trace ids for callers that did not bring one.
+    minter: TraceMinter,
+    /// Recently completed traces, served by `/tracez`.
+    traces: TraceRing,
+    /// Bounded ring of recent structured events + incident snapshots.
+    flight: FlightRecorder,
+    /// Incident reports produced since the last [`Service::take_incidents`].
+    incidents: Vec<String>,
+    /// Records awaiting the front-end's write-back timing; flushed to
+    /// the trace ring on the next tick if the front-end never reports.
+    awaiting_write_back: BTreeMap<u64, TraceRecord>,
+    /// Tier at the end of the previous tick, for escalation detection.
+    last_tier: Tier,
+    /// Watchdog-trip counts seen per unit, for edge detection.
+    seen_watchdog: Vec<u64>,
+    /// Breaker transitions already forwarded to the flight recorder.
+    seen_transitions: Vec<usize>,
 }
 
 impl<'a> Service<'a> {
@@ -191,6 +248,16 @@ impl<'a> Service<'a> {
         let compiled = CompiledNetlist::compile(netlist).expect("service netlist must be acyclic");
         let lat_bounds: Vec<f64> = (0..12).map(|i| (1u64 << i) as f64).collect();
         let fill_bounds: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0];
+        let phase_bounds: Vec<f64> = (0..9).map(|i| 4f64.powi(i)).collect();
+        let phase_micros = Phase::ALL
+            .iter()
+            .map(|p| {
+                registry.histogram_with(
+                    &format!("service.phase_micros.{}", p.label()),
+                    &phase_bounds,
+                )
+            })
+            .collect();
         let metrics = ServiceMetrics {
             accepted: registry.counter("service.accepted"),
             answered: registry.counter("service.answered"),
@@ -204,7 +271,9 @@ impl<'a> Service<'a> {
             pending: registry.gauge("service.pending"),
             latency_ticks: registry.histogram_with("service.latency_ticks", &lat_bounds),
             batch_fill: registry.histogram_with("service.batch_fill", &fill_bounds),
+            phase_micros,
         };
+        let units_built = cfg.units.max(1);
         Service {
             engine,
             ports: ports.clone(),
@@ -221,6 +290,14 @@ impl<'a> Service<'a> {
             answered: 0,
             shed: 0,
             escape_guard_failures: 0,
+            minter: TraceMinter::new(cfg.seed ^ 0x7261_6365_5F69_6421),
+            traces: TraceRing::new(TRACE_RING_CAP),
+            flight: FlightRecorder::new(FLIGHT_RING_CAP, INCIDENT_MIN_GAP_TICKS),
+            incidents: Vec::new(),
+            awaiting_write_back: BTreeMap::new(),
+            last_tier: Tier::Normal,
+            seen_watchdog: vec![0; units_built],
+            seen_transitions: vec![0; units_built],
             cfg,
         }
     }
@@ -274,14 +351,28 @@ impl<'a> Service<'a> {
         &mut self.engine
     }
 
-    /// Admission control for one well-formed request from `client`.
-    /// Returns `None` when admitted (the response is produced by a later
-    /// [`Service::tick`]) or `Some` with the immediate typed refusal.
+    /// Admission control for one well-formed request from `client`,
+    /// minting a fresh trace id. See [`Service::admit_traced`].
     pub fn admit(&mut self, client: u64, req: &Request) -> Option<Response> {
+        let trace = self.minter.mint();
+        self.admit_traced(client, req, trace)
+    }
+
+    /// Admission control for one well-formed request from `client`
+    /// carrying a trace id minted at frame decode. Returns `None` when
+    /// admitted (the response is produced by a later [`Service::tick`])
+    /// or `Some` with the immediate typed refusal.
+    pub fn admit_traced(&mut self, client: u64, req: &Request, trace: TraceId) -> Option<Response> {
         if self.tier() == Tier::Shed {
             self.shed += 1;
             self.metrics.shed.inc();
             let backlog = self.backlog() as u32;
+            self.flight.record(FlightEvent {
+                tick: self.engine.now(),
+                trace: Some(trace.as_u64()),
+                kind: "shed",
+                detail: format!("client {client} id {} refused at backlog {backlog}", req.id),
+            });
             let retry_ticks = self.overload_retry_ticks(client);
             return Some(Response::Overloaded {
                 id: req.id,
@@ -307,6 +398,9 @@ impl<'a> Service<'a> {
             deadline: self.engine.now() + deadline_ticks,
             deadline_micros: req.deadline_micros,
             arrived: self.engine.now(),
+            trace,
+            spans: PhaseSpans::default(),
+            rescued_at: 0,
         };
         self.queues
             .entry(req.op.format)
@@ -331,7 +425,96 @@ impl<'a> Service<'a> {
     /// Drains the responses produced since the last call, as
     /// `(client, response)` pairs in production order.
     pub fn take_responses(&mut self) -> Vec<(u64, Response)> {
+        self.take_responses_traced()
+            .into_iter()
+            .map(|(client, resp, _)| (client, resp))
+            .collect()
+    }
+
+    /// Like [`Service::take_responses`] but keeps each response's trace
+    /// id so the front-end can report write-back timing through
+    /// [`Service::note_write_back`].
+    pub fn take_responses_traced(&mut self) -> Vec<(u64, Response, TraceId)> {
         std::mem::take(&mut self.responses)
+    }
+
+    /// Reports the transport write-back duration for a response drained
+    /// via [`Service::take_responses_traced`]; completes that trace's
+    /// record with its final span. Unreported records self-complete on
+    /// the next tick with a zero write-back span.
+    pub fn note_write_back(&mut self, trace: TraceId, micros: u64) {
+        if let Some(mut rec) = self.awaiting_write_back.remove(&trace.as_u64()) {
+            rec.spans.add(Phase::WriteBack, micros);
+            rec.total_micros = rec.total_micros.saturating_add(micros);
+            self.finish_record(rec);
+        }
+    }
+
+    /// Drains the incident reports produced since the last call.
+    pub fn take_incidents(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.incidents)
+    }
+
+    /// The `/healthz` payload: liveness plus the one invariant that
+    /// matters (zero escapes).
+    pub fn healthz_json(&self) -> String {
+        format!(
+            "{{\"status\":\"{}\",\"tick\":{},\"tier\":\"{}\",\"escapes\":{}}}",
+            if self.escapes() == 0 { "ok" } else { "failing" },
+            self.engine.now(),
+            self.tier().label(),
+            self.escapes()
+        )
+    }
+
+    /// The `/statusz` payload: degradation tier, per-format queue
+    /// depths, per-unit breaker states and the flight-recorder gauges.
+    pub fn statusz_json(&self) -> String {
+        let mut queues: Vec<(&str, usize)> = self
+            .queues
+            .iter()
+            .map(|(f, q)| (f.label(), q.len()))
+            .collect();
+        queues.sort_by_key(|&(label, _)| label);
+        let queues_json: Vec<String> = queues
+            .iter()
+            .map(|(label, depth)| format!("\"{label}\":{depth}"))
+            .collect();
+        let units_json: Vec<String> = (0..self.engine.unit_count())
+            .map(|i| {
+                format!(
+                    "{{\"unit\":{i},\"state\":\"{}\",\"watchdog_trips\":{},\"transitions\":{}}}",
+                    self.engine.unit_state(i).label(),
+                    self.engine.watchdog_trips(i),
+                    self.engine.transitions(i).len()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"tick\":{},\"tier\":\"{}\",\"backlog\":{},\"pending_cap\":{},\
+             \"queues\":{{{}}},\"rescue_depth\":{},\"in_engine\":{},\
+             \"answered\":{},\"shed\":{},\"units\":[{}],\
+             \"flight\":{{\"events\":{},\"dropped\":{},\"incidents\":{}}}}}",
+            self.engine.now(),
+            self.tier().label(),
+            self.backlog(),
+            self.cfg.pending_cap,
+            queues_json.join(","),
+            self.rescue.len(),
+            self.in_engine.len(),
+            self.answered,
+            self.shed,
+            units_json.join(","),
+            self.flight.len(),
+            self.flight.dropped(),
+            self.flight.incidents_emitted(),
+        )
+    }
+
+    /// The `/tracez` payload: the slowest recent traces with per-phase
+    /// breakdowns.
+    pub fn tracez_json(&self) -> String {
+        self.traces.tracez_json(16)
     }
 
     /// Escalating retry hint for one shed request: the client's own
@@ -354,7 +537,9 @@ impl<'a> Service<'a> {
     /// deadline sweep, rescue resubmission, the batch pass for this
     /// tick's tier, and the speculative self-check.
     pub fn tick(&mut self) {
+        self.flush_unacked_records();
         self.engine.tick();
+        self.observe_engine_health();
         self.harvest_engine();
         self.expire_stale();
         self.pump_rescue();
@@ -366,14 +551,129 @@ impl<'a> Service<'a> {
         {
             self.speculative_check();
         }
+        self.note_tier_change();
         self.metrics.tier.set(self.tier().level() as f64);
         self.metrics.pending.set(self.backlog() as f64);
     }
 
-    /// Turns engine completions and expirations into responses.
+    /// Completes records whose write-back the front-end never reported
+    /// (in-process callers, dropped connections).
+    fn flush_unacked_records(&mut self) {
+        let pending = std::mem::take(&mut self.awaiting_write_back);
+        for (_, rec) in pending {
+            self.finish_record(rec);
+        }
+    }
+
+    /// Observes each finalized record's phase spans and retires it into
+    /// the `/tracez` ring.
+    fn finish_record(&mut self, rec: TraceRecord) {
+        for (idx, &p) in Phase::ALL.iter().enumerate() {
+            let v = rec.spans.get(p);
+            if v > 0 {
+                self.metrics.phase_micros[idx].observe(v as f64);
+            }
+        }
+        self.traces.push(rec);
+    }
+
+    /// Forwards new breaker transitions and watchdog trips from the
+    /// engine into the flight recorder; a fresh watchdog trip raises an
+    /// incident.
+    fn observe_engine_health(&mut self) {
+        let now = self.engine.now();
+        for i in 0..self.engine.unit_count() {
+            let transitions = self.engine.transitions(i);
+            let n = transitions.len();
+            for tr in &transitions[self.seen_transitions[i].min(n)..] {
+                self.flight.record(FlightEvent {
+                    tick: now,
+                    trace: tr.trace,
+                    kind: "breaker_transition",
+                    detail: tr.to_json(),
+                });
+            }
+            self.seen_transitions[i] = n;
+            let trips = self.engine.watchdog_trips(i);
+            if trips > self.seen_watchdog[i] {
+                self.flight.record(FlightEvent {
+                    tick: now,
+                    trace: None,
+                    kind: "watchdog_trip",
+                    detail: format!("unit {i} trips {trips}"),
+                });
+                let context = format!("{{\"unit\":{i},\"trips\":{trips}}}");
+                if let Some(report) =
+                    self.flight
+                        .incident(IncidentTrigger::WatchdogTrip, now, None, &context)
+                {
+                    self.incidents.push(report);
+                }
+                self.seen_watchdog[i] = trips;
+            }
+        }
+    }
+
+    /// Records tier movement; escalation into `Shed` raises an incident.
+    fn note_tier_change(&mut self) {
+        let now_tier = self.tier();
+        if now_tier != self.last_tier {
+            let tick = self.engine.now();
+            self.flight.record(FlightEvent {
+                tick,
+                trace: None,
+                kind: "tier_change",
+                detail: format!("{} -> {}", self.last_tier.label(), now_tier.label()),
+            });
+            if now_tier == Tier::Shed && self.last_tier < Tier::Shed {
+                let context = format!(
+                    "{{\"from\":\"{}\",\"to\":\"shed\",\"backlog\":{}}}",
+                    self.last_tier.label(),
+                    self.backlog()
+                );
+                if let Some(report) =
+                    self.flight
+                        .incident(IncidentTrigger::ShedEscalation, tick, None, &context)
+                {
+                    self.incidents.push(report);
+                }
+            }
+            self.last_tier = now_tier;
+        }
+    }
+
+    /// Turns engine completions and expirations into responses. A
+    /// completed rescue closes its trace's rescue span and raises an
+    /// `engine_rescue` incident so the whole path is reconstructable.
     fn harvest_engine(&mut self) {
+        let now = self.engine.now();
         for done in self.engine.take_completed() {
-            if let Some(p) = self.in_engine.remove(&done.id) {
+            if let Some(mut p) = self.in_engine.remove(&done.id) {
+                p.spans.add(
+                    Phase::Rescue,
+                    now.saturating_sub(p.rescued_at)
+                        .saturating_mul(self.cfg.micros_per_tick),
+                );
+                self.flight.record(FlightEvent {
+                    tick: now,
+                    trace: Some(p.trace.as_u64()),
+                    kind: "rescue_completed",
+                    detail: format!("engine id {} request {}", done.id, p.id),
+                });
+                let context = format!(
+                    "{{\"request_id\":{},\"engine_id\":{},\"rescue_micros\":{}}}",
+                    p.id,
+                    done.id,
+                    p.spans.get(Phase::Rescue)
+                );
+                if let Some(report) = self.flight.incident(
+                    IncidentTrigger::EngineRescue,
+                    now,
+                    Some(p.trace.as_u64()),
+                    &context,
+                ) {
+                    self.incidents.push(report);
+                }
                 self.answer_checked(p, done.result);
             }
         }
@@ -404,22 +704,65 @@ impl<'a> Service<'a> {
     fn push_ok(&mut self, p: PendingReq, result: &mfmult::MultResult) {
         self.answered += 1;
         self.metrics.answered.inc();
+        let lat_ticks = self.engine.now().saturating_sub(p.arrived);
+        // The latency exemplar links a scrape's p99 bucket to a trace.
         self.metrics
             .latency_ticks
-            .observe(self.engine.now().saturating_sub(p.arrived) as f64);
-        self.responses
-            .push((p.client, Response::from_result(p.id, result)));
+            .observe_exemplar(lat_ticks as f64, p.trace.as_u64());
+        let queue_micros = p
+            .spans
+            .get(Phase::QueueWait)
+            .saturating_add(p.spans.get(Phase::Rescue))
+            .min(u32::MAX as u64) as u32;
+        let exec_micros = p
+            .spans
+            .get(Phase::BatchFill)
+            .saturating_add(p.spans.get(Phase::CompiledEval))
+            .saturating_add(p.spans.get(Phase::Verify))
+            .min(u32::MAX as u64) as u32;
+        self.responses.push((
+            p.client,
+            Response::from_result(p.id, result, queue_micros, exec_micros),
+            p.trace,
+        ));
+        self.open_record(p, if p.rescued_at > 0 { "rescued" } else { "ok" });
     }
 
     fn push_deadline_exceeded(&mut self, p: PendingReq) {
         self.metrics.deadline_exceeded.inc();
+        self.flight.record(FlightEvent {
+            tick: self.engine.now(),
+            trace: Some(p.trace.as_u64()),
+            kind: "deadline_exceeded",
+            detail: format!("request {} client {}", p.id, p.client),
+        });
         self.responses.push((
             p.client,
             Response::DeadlineExceeded {
                 id: p.id,
                 deadline_micros: p.deadline_micros,
             },
+            p.trace,
         ));
+        self.open_record(p, "deadline");
+    }
+
+    /// Opens a trace record awaiting the front-end's write-back report;
+    /// it self-completes on the next tick if none arrives.
+    fn open_record(&mut self, p: PendingReq, outcome: &'static str) {
+        let now = self.engine.now();
+        let rec = TraceRecord {
+            trace: p.trace,
+            request_id: p.id,
+            tick_admitted: p.arrived,
+            tick_done: now,
+            total_micros: now
+                .saturating_sub(p.arrived)
+                .saturating_mul(self.cfg.micros_per_tick),
+            spans: p.spans,
+            outcome,
+        };
+        self.awaiting_write_back.insert(p.trace.as_u64(), rec);
     }
 
     /// Cancels every queued request whose deadline has passed — they
@@ -457,9 +800,18 @@ impl<'a> Service<'a> {
     /// the deadline sweep bounds how long a rescue can wait).
     fn pump_rescue(&mut self) {
         while let Some(p) = self.rescue.front().copied() {
-            match self.engine.submit_with_deadline(p.op, Some(p.deadline)) {
+            match self
+                .engine
+                .submit_traced(p.op, Some(p.deadline), Some(p.trace))
+            {
                 Ok(engine_id) => {
                     self.rescue.pop_front();
+                    self.flight.record(FlightEvent {
+                        tick: self.engine.now(),
+                        trace: Some(p.trace.as_u64()),
+                        kind: "rescue_submitted",
+                        detail: format!("request {} engine id {engine_id}", p.id),
+                    });
                     self.in_engine.insert(engine_id, p);
                 }
                 Err(_busy) => break,
@@ -512,6 +864,11 @@ impl<'a> Service<'a> {
             return;
         }
         self.metrics.batch_fill.observe(batch.len() as f64);
+        let now = self.engine.now();
+        let queue_micros = |p: &PendingReq| {
+            now.saturating_sub(p.arrived)
+                .saturating_mul(self.cfg.micros_per_tick)
+        };
         let units = self.batch_units();
         let unit = if units.is_empty() {
             None
@@ -524,38 +881,103 @@ impl<'a> Service<'a> {
             // No healthy hardware lane: route everything through the
             // engine, whose retired-fallback service still answers.
             for &p in batch {
+                let mut p = p;
+                p.spans.add(Phase::QueueWait, queue_micros(&p));
+                p.rescued_at = now;
                 self.metrics.rescues.inc();
                 self.rescue.push_back(p);
             }
+            self.flight.record(FlightEvent {
+                tick: now,
+                trace: None,
+                kind: "no_healthy_unit",
+                detail: format!("{} lanes routed to engine rescue", batch.len()),
+            });
             return;
         };
+        // Batch-fill: sim construction plus the routed unit's fault
+        // overlay. Wall time annotates spans only — never scheduling.
+        let t_fill = Instant::now();
         let overlay = self.engine.unit(unit).sim().stuck_faults();
         let ops: Vec<Operation> = batch.iter().map(|p| p.op).collect();
         let mut sim = CompiledSim::new(&self.compiled);
         for (net, value) in overlay {
             sim.inject_stuck_at(net, !0, value);
         }
+        let fill_micros = t_fill.elapsed().as_micros() as u64;
+        let t_eval = Instant::now();
         let raws = run_raw_compiled(&mut sim, &self.ports, &ops);
+        let eval_micros = t_eval.elapsed().as_micros() as u64;
+        let t_verify = Instant::now();
         let mut incidents = 0u32;
+        let mut verified: Vec<(PendingReq, Option<mfmult::MultResult>)> =
+            Vec::with_capacity(batch.len());
         for (&p, raw) in batch.iter().zip(&raws) {
+            let mut p = p;
+            p.spans.add(Phase::QueueWait, queue_micros(&p));
+            p.spans.add(Phase::BatchFill, fill_micros);
+            p.spans.add(Phase::CompiledEval, eval_micros);
             let self_check_ok = check_raw(p.op, raw).is_ok();
+            let mut ok = None;
             if self_check_ok {
                 let got = result_from_raw(p.op, raw);
                 let want = self.reference.execute(p.op);
                 if results_agree(&got, &want) {
-                    self.push_ok(p, &got);
-                    continue;
+                    ok = Some(got);
                 }
             }
-            // Residue check or reference cross-check failed: the lane
-            // is poisoned. Never answer from it — rescue through the
-            // event-driven path and charge the routed unit.
-            incidents += 1;
-            self.metrics.check_failures.inc();
-            self.metrics.rescues.inc();
-            self.rescue.push_back(p);
+            verified.push((p, ok));
         }
-        self.engine.note_external_service(unit, incidents);
+        // The whole batch shares one verification pass; every lane
+        // experienced its full duration.
+        let verify_micros = t_verify.elapsed().as_micros() as u64;
+        for (mut p, outcome) in verified {
+            p.spans.add(Phase::Verify, verify_micros);
+            match outcome {
+                Some(got) => self.push_ok(p, &got),
+                None => {
+                    // Residue check or reference cross-check failed: the
+                    // lane is poisoned. Never answer from it — rescue
+                    // through the event-driven path and charge the
+                    // routed unit.
+                    incidents += 1;
+                    self.metrics.check_failures.inc();
+                    self.metrics.rescues.inc();
+                    self.flight.record(FlightEvent {
+                        tick: now,
+                        trace: Some(p.trace.as_u64()),
+                        kind: "check_failure",
+                        detail: format!(
+                            "unit {unit} request {} format {}",
+                            p.id,
+                            p.op.format.label()
+                        ),
+                    });
+                    let context = format!(
+                        "{{\"unit\":{unit},\"request_id\":{},\"format\":\"{}\"}}",
+                        p.id,
+                        p.op.format.label()
+                    );
+                    if let Some(report) = self.flight.incident(
+                        IncidentTrigger::VerifyMismatch,
+                        now,
+                        Some(p.trace.as_u64()),
+                        &context,
+                    ) {
+                        self.incidents.push(report);
+                    }
+                    p.rescued_at = now;
+                    self.rescue.push_back(p);
+                }
+            }
+        }
+        self.engine.note_external_service_traced(
+            unit,
+            incidents,
+            (incidents > 0)
+                .then(|| self.rescue.back().map(|p| p.trace))
+                .flatten(),
+        );
     }
 
     /// Speculative self-check: replays a sliding sample of the scrub
@@ -892,6 +1314,106 @@ mod tests {
             reg.counter("service.rescues").get() > 0,
             "caught lanes were rescued through the engine"
         );
+    }
+
+    #[test]
+    fn traces_flow_from_admission_to_tracez_with_phase_spans() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut svc = Service::new(&n, &ports, small_cfg(), &reg);
+        for k in 0..6u64 {
+            let trace = TraceId::from_raw(0xAA00 + k);
+            assert!(svc
+                .admit_traced(1, &req(k, Operation::int64(k + 2, 9)), trace)
+                .is_none());
+        }
+        for _ in 0..4 {
+            svc.tick();
+        }
+        let out = svc.take_responses_traced();
+        assert_eq!(out.len(), 6);
+        for (_, resp, trace) in &out {
+            assert!(trace.as_u64() >= 0xAA00, "trace rides to the response");
+            match resp {
+                Response::Ok { exec_micros, .. } => {
+                    // Wall-clock annotated: non-deterministic but the
+                    // batch must have taken *some* time.
+                    assert!(*exec_micros > 0, "exec span annotated");
+                }
+                other => panic!("expected Ok, got {other:?}"),
+            }
+        }
+        // Report write-back for one trace; the rest self-complete on
+        // the next tick.
+        svc.note_write_back(out[0].2, 42);
+        svc.tick();
+        let tz = svc.tracez_json();
+        mfm_telemetry::json::check(&tz).unwrap();
+        assert!(tz.contains("\"trace_id\":\"000000000000aa00\""), "{tz}");
+        assert!(tz.contains("\"compiled_eval\":"), "phase breakdown: {tz}");
+        // The latency histogram carries a trace-id exemplar.
+        let prom = reg.prometheus();
+        assert!(prom.contains("# {trace_id="), "exemplar rendered: {prom}");
+        // Phase histograms registered and fed.
+        assert!(
+            prom.contains("service_phase_micros_compiled_eval"),
+            "{prom}"
+        );
+        // The endpoint payloads are well-formed.
+        mfm_telemetry::json::check(&svc.healthz_json()).unwrap();
+        mfm_telemetry::json::check(&svc.statusz_json()).unwrap();
+        assert!(svc.healthz_json().contains("\"status\":\"ok\""));
+        assert!(svc.statusz_json().contains("\"tier\":\"normal\""));
+    }
+
+    #[test]
+    fn poisoned_unit_raises_incidents_that_reconstruct_the_rescue_path() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut cfg = small_cfg();
+        cfg.units = 2;
+        cfg.speculative_every = 0;
+        let mut svc = Service::new(&n, &ports, cfg, &reg);
+        let victim = ports.chk_p0[0];
+        svc.engine_mut().inject_stuck_at(0, victim, true, true);
+        for k in 0..40u64 {
+            let trace = TraceId::from_raw(0xBB00 + k);
+            let _ = svc.admit_traced(1, &req(k, Operation::int64(k + 1, 2)), trace);
+            svc.tick();
+        }
+        for _ in 0..60 {
+            svc.tick();
+        }
+        let incidents = svc.take_incidents();
+        assert!(
+            !incidents.is_empty(),
+            "a poisoned unit must raise at least one incident"
+        );
+        let verify = incidents
+            .iter()
+            .find(|r| r.contains("\"trigger\":\"verify_mismatch\""))
+            .expect("a verify_mismatch incident fired");
+        mfm_telemetry::json::check(verify).unwrap();
+        assert!(
+            verify.contains("\"trace_id\":\"000000000000bb"),
+            "the incident names the offending trace: {verify}"
+        );
+        assert!(
+            verify.contains("check_failure"),
+            "the event ring reconstructs the failure: {verify}"
+        );
+        // A completed rescue links back to the originating trace too.
+        if let Some(rescue) = incidents
+            .iter()
+            .find(|r| r.contains("\"trigger\":\"engine_rescue\""))
+        {
+            assert!(rescue.contains("rescue_submitted"), "{rescue}");
+            assert!(rescue.contains("\"rescue_micros\":"), "{rescue}");
+        }
+        // Breaker transitions observed by the flight recorder carry the
+        // trace of the offending request into /statusz accounting.
+        let sz = svc.statusz_json();
+        assert!(sz.contains("\"incidents\":"), "{sz}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!             deadline_micros:u32le xa:u64le yb:u64le          (33 B)
 //! response := magic:u16le ver:u8 kind(2):u8 id:u64le status:u8 payload
 //!   status 0 Ok               payload ph:u64le pl:u64le flags_lo:u8 flags_hi:u8
+//!                                     queue_micros:u32le exec_micros:u32le
 //!   status 1 Overloaded       payload retry_after_micros:u64le queued:u32le
 //!   status 2 Malformed        payload code:u8
 //!   status 3 DeadlineExceeded payload deadline_micros:u32le
@@ -30,8 +31,10 @@ use std::io::{Read, Write};
 
 /// Frame preamble magic: `"MF"` as a little-endian `u16`.
 pub const MAGIC: u16 = 0x4D46;
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks. Version 2 widened the `Ok`
+/// payload with per-request `queue_micros`/`exec_micros` timing so
+/// clients can split queue time from service time without guessing.
+pub const VERSION: u8 = 2;
 /// Message kind: request.
 pub const KIND_REQUEST: u8 = 1;
 /// Message kind: response.
@@ -71,6 +74,10 @@ pub enum Response {
         flags_lo: u8,
         /// Upper-lane exception flags (hardware mask).
         flags_hi: u8,
+        /// Microseconds the request sat queued before dispatch.
+        queue_micros: u32,
+        /// Microseconds of execution (batch eval + verification).
+        exec_micros: u32,
     },
     /// Load was shed: the request was *not* executed and may be retried
     /// after the given hint. Never sent silently — every shed request
@@ -112,14 +119,17 @@ impl Response {
         }
     }
 
-    /// Builds an `Ok` response from a checked [`MultResult`].
-    pub fn from_result(id: u64, r: &MultResult) -> Self {
+    /// Builds an `Ok` response from a checked [`MultResult`] plus the
+    /// per-request timing split measured by the service.
+    pub fn from_result(id: u64, r: &MultResult, queue_micros: u32, exec_micros: u32) -> Self {
         Response::Ok {
             id,
             ph: r.ph,
             pl: r.pl,
             flags_lo: r.flags_lo.bits(),
             flags_hi: r.flags_hi.bits(),
+            queue_micros,
+            exec_micros,
         }
     }
 }
@@ -297,7 +307,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 
 /// Encodes a response as a complete frame (length prefix included).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut body = Vec::with_capacity(31);
+    let mut body = Vec::with_capacity(39);
     preamble(&mut body, KIND_RESPONSE);
     body.extend_from_slice(&resp.id().to_le_bytes());
     match *resp {
@@ -306,6 +316,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             pl,
             flags_lo,
             flags_hi,
+            queue_micros,
+            exec_micros,
             ..
         } => {
             body.push(0);
@@ -313,6 +325,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             body.extend_from_slice(&pl.to_le_bytes());
             body.push(flags_lo);
             body.push(flags_hi);
+            body.extend_from_slice(&queue_micros.to_le_bytes());
+            body.extend_from_slice(&exec_micros.to_le_bytes());
         }
         Response::Overloaded {
             retry_after_micros,
@@ -460,6 +474,8 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             pl: c.u64()?,
             flags_lo: c.u8()?,
             flags_hi: c.u8()?,
+            queue_micros: c.u32()?,
+            exec_micros: c.u32()?,
         },
         1 => Response::Overloaded {
             id,
@@ -564,6 +580,8 @@ mod tests {
                 pl: 1,
                 flags_lo: 0b101,
                 flags_hi: 0,
+                queue_micros: 420,
+                exec_micros: 37,
             },
             Response::Overloaded {
                 id: 8,

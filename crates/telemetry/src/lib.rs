@@ -18,6 +18,12 @@
 //! - [`json`] — the hand-rolled JSON writer the workspace uses for every
 //!   machine-readable artifact (no serde), plus a minimal well-formedness
 //!   checker used by tests and tooling.
+//! - [`trace`] — request-scoped tracing: [`TraceId`]s minted at the
+//!   edge, per-phase [`PhaseSpans`], and the bounded [`TraceRing`] that
+//!   backs the `/tracez` endpoint.
+//! - [`flight`] — the always-on [`FlightRecorder`]: a bounded ring of
+//!   recent structured events snapshotted into JSON incident reports
+//!   when something goes wrong.
 //!
 //! # Example
 //!
@@ -37,9 +43,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram};
+pub use flight::{FlightEvent, FlightRecorder, IncidentTrigger};
+pub use metrics::{Counter, Exemplar, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Registry, Span};
+pub use trace::{Phase, PhaseSpans, TraceId, TraceMinter, TraceRecord, TraceRing};

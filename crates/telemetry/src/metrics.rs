@@ -7,7 +7,7 @@
 //! cheapest possible record path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing `u64`.
 #[derive(Debug, Clone, Default)]
@@ -74,6 +74,17 @@ impl Gauge {
     }
 }
 
+/// A trace-id exemplar: one concrete observation pinned to the bucket
+/// it landed in, so a scrape of (say) the p99 bucket names an actual
+/// request a human can go look up in `/tracez` or an incident report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The trace id of the observation (see `mfm_telemetry::trace`).
+    pub trace_id: u64,
+    /// The observed value itself.
+    pub value: f64,
+}
+
 #[derive(Debug)]
 struct HistogramInner {
     /// Upper bucket bounds (inclusive, ascending); an implicit +Inf
@@ -88,6 +99,10 @@ struct HistogramInner {
     min: AtomicU64,
     /// Maximum observed value, f64 bits.
     max: AtomicU64,
+    /// Last exemplar per bucket (same indexing as `buckets`). Only the
+    /// exemplar-observe path touches the lock; plain `observe` stays
+    /// atomic-only.
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
 }
 
 /// A fixed-bucket histogram of `f64` observations.
@@ -129,13 +144,15 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly ascending"
         );
+        let n_buckets = bounds.len() + 1;
         Histogram(Arc::new(HistogramInner {
             bounds: bounds.to_vec(),
-            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            buckets: (0..n_buckets).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0f64.to_bits()),
             min: AtomicU64::new(f64::INFINITY.to_bits()),
             max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exemplars: Mutex::new(vec![None; n_buckets]),
         }))
     }
 
@@ -148,6 +165,26 @@ impl Histogram {
         cas_f64(&h.sum, |s| s + v);
         cas_f64(&h.min, |m| m.min(v));
         cas_f64(&h.max, |m| m.max(v));
+    }
+
+    /// Records one observation and pins a trace-id exemplar to the
+    /// bucket it lands in (last writer wins per bucket).
+    pub fn observe_exemplar(&self, v: f64, trace_id: u64) {
+        self.observe(v);
+        let h = &*self.0;
+        let idx = h.bounds.partition_point(|&b| b < v);
+        if let Ok(mut ex) = h.exemplars.lock() {
+            ex[idx] = Some(Exemplar { trace_id, value: v });
+        }
+    }
+
+    /// Per-bucket exemplars, same indexing as [`Histogram::bucket_counts`].
+    pub fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.0
+            .exemplars
+            .lock()
+            .map(|e| e.clone())
+            .unwrap_or_default()
     }
 
     /// Number of observations.
@@ -248,6 +285,117 @@ impl Histogram {
             }
         }
         Some(f64::INFINITY)
+    }
+
+    /// Captures a point-in-time copy of the histogram's state, suitable
+    /// for merging with snapshots of same-bounds histograms from other
+    /// registry shards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            buckets: self.bucket_counts(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            exemplars: self.exemplars(),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a histogram's state.
+///
+/// The sharded registry keeps one histogram per shard under the same
+/// name; a scrape snapshots each shard and folds them together with
+/// [`HistogramSnapshot::merge`] before rendering, so readers see one
+/// logical histogram regardless of shard count.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the +Inf bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, one per bound plus the +Inf bucket.
+    pub buckets: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Minimum observation (`None` when empty).
+    pub min: Option<f64>,
+    /// Maximum observation (`None` when empty).
+    pub max: Option<f64>,
+    /// Per-bucket exemplars, same indexing as `buckets`.
+    pub exemplars: Vec<Option<Exemplar>>,
+}
+
+impl HistogramSnapshot {
+    /// Folds another shard's snapshot of the same-named histogram into
+    /// this one. Counts add, extrema widen, and an empty exemplar slot
+    /// adopts the other shard's exemplar for that bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two snapshots have different bucket bounds; the
+    /// registry guarantees same-named histograms share bounds.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bounds"
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        for (slot, o) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            if slot.is_none() {
+                *slot = *o;
+            }
+        }
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile — the same interpolation rule as
+    /// [`Histogram::quantile`], applied to the merged counts.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min.unwrap_or(0.0), self.max.unwrap_or(0.0));
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (cum + n) as f64 >= rank {
+                let est = match self.bounds.get(i) {
+                    None => max,
+                    Some(&hi) => {
+                        let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                        lo + (hi - lo) * ((rank - cum as f64) / n as f64)
+                    }
+                };
+                return Some(est.clamp(min, max));
+            }
+            cum += n;
+        }
+        Some(max)
     }
 }
 

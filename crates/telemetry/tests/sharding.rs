@@ -1,0 +1,161 @@
+//! Sharded-registry correctness: merge-on-scrape must be equivalent to
+//! a single-shard registry for any interleaving of writes, and no
+//! increment may be lost under concurrent writers and scrapers.
+
+use mfm_telemetry::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Deterministic SplitMix64 stream for generating interleavings.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Property: for random interleavings of counter adds and histogram
+/// observations spread across N shards, the merged scrape output is
+/// byte-identical to a 1-shard registry receiving the same operations
+/// in the same order. Observations are integer-valued so f64 summation
+/// is exact regardless of addition order.
+#[test]
+fn n_shard_merge_equals_single_shard_for_any_interleaving() {
+    let bounds = [2.0, 8.0, 32.0, 128.0, 512.0];
+    for seed in 0..20u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) + 1);
+        let shards = 2 + (seed as usize % 7); // 2..=8 shards
+        let sharded = Registry::with_shards(shards);
+        let single = Registry::with_shards(1);
+        // Fix histogram bounds up front on both registries.
+        sharded.histogram_with("lat", &bounds);
+        single.histogram_with("lat", &bounds);
+        for _ in 0..400 {
+            let shard = (rng.next() % shards as u64) as usize;
+            match rng.next() % 3 {
+                0 => {
+                    let n = rng.next() % 100;
+                    sharded.counter_on(shard, "ops").add(n);
+                    single.counter_on(0, "ops").add(n);
+                }
+                1 => {
+                    let v = (rng.next() % 1000) as f64;
+                    sharded.histogram_on(shard, "lat").observe(v);
+                    single.histogram_on(0, "lat").observe(v);
+                }
+                _ => {
+                    let v = (rng.next() % 64) as f64;
+                    sharded.gauge("depth").set(v);
+                    single.gauge("depth").set(v);
+                }
+            }
+        }
+        assert_eq!(
+            sharded.snapshot_json(),
+            single.snapshot_json(),
+            "seed {seed}, {shards} shards: JSON snapshots diverge"
+        );
+        assert_eq!(
+            sharded.prometheus(),
+            single.prometheus(),
+            "seed {seed}, {shards} shards: Prometheus output diverges"
+        );
+    }
+}
+
+/// Stress: many writer threads hammer the same counter and histogram
+/// while a scraper thread concurrently renders snapshots. After join,
+/// the merged totals must account for every single increment.
+#[test]
+fn no_lost_increments_under_concurrent_scrape() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: u64 = 20_000;
+    let reg = Registry::new();
+    reg.histogram_with("work.lat", &[10.0, 100.0, 1000.0]);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let reg = reg.clone();
+            s.spawn(move || {
+                let c = reg.counter("work.ops");
+                let h = reg.histogram("work.lat");
+                for i in 0..PER_WRITER {
+                    c.inc();
+                    h.observe(((w as u64 * 31 + i) % 2000) as f64);
+                }
+            });
+        }
+        // Scraper: continuously merge while writers run; every render
+        // must be well-formed JSON and monotonically non-decreasing.
+        let scraper = {
+            let reg = reg.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let mut last = 0u64;
+                let mut scrapes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = reg.snapshot_json();
+                    mfm_telemetry::json::check(&snap).expect("scrape mid-write is valid JSON");
+                    let seen = extract_u64(&snap, "\"work.ops\":").unwrap_or(0);
+                    assert!(seen >= last, "counter went backwards: {seen} < {last}");
+                    last = seen;
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        };
+        // Let the scraper observe a good chunk of live writing, then
+        // release it; the scope joins the writers afterwards. The
+        // merged snapshot is the only view that sees all shards —
+        // `reg.counter(..)` here would read main's own (empty) shard.
+        while extract_u64(&reg.snapshot_json(), "\"work.ops\":").unwrap_or(0)
+            < (WRITERS as u64 * PER_WRITER) / 4
+        {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let scrapes = scraper.join().expect("scraper thread");
+        assert!(scrapes > 0, "scraper never ran");
+    });
+
+    // All threads joined by scope exit: totals must be exact.
+    let snap = reg.snapshot_json();
+    let total = WRITERS as u64 * PER_WRITER;
+    assert!(
+        snap.contains(&format!("\"work.ops\":{total}")),
+        "lost counter increments: {snap}"
+    );
+    assert!(
+        snap.contains(&format!("\"count\":{total}")),
+        "lost histogram observations: {snap}"
+    );
+}
+
+/// Pulls the integer right after `key` out of a rendered JSON line.
+fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let at = json.find(key)? + key.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The current thread's pinned shard stays stable, and a same-thread
+/// re-lookup returns the same underlying cell.
+#[test]
+fn same_thread_lookup_is_stable() {
+    let reg = Registry::new();
+    assert_eq!(reg.current_shard(), reg.current_shard());
+    let a = reg.counter("x");
+    let b = reg.counter("x");
+    a.add(2);
+    b.add(3);
+    assert_eq!(reg.counter("x").get(), 5);
+}

@@ -14,15 +14,27 @@
 //!    got a typed `Malformed`.
 //! 3. **The server survives** — after the campaign (faults included)
 //!    the `/metrics` endpoint still scrapes and carries the service
-//!    counters.
+//!    counters, and the `/healthz`, `/statusz` and `/tracez` views
+//!    answer.
+//! 4. **Incidents are reconstructable** — a seeded fault that forces
+//!    rescues produces at least one self-contained incident report
+//!    whose event ring links the rescue back to the originating
+//!    request's trace.
 
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use mfm_repro::gatesim::tech::TechLibrary;
+use mfm_repro::gatesim::Netlist;
+use mfm_repro::mfmult::structural::build_unit;
+use mfm_repro::mfmult::Operation;
 use mfm_repro::resilient::chaos::ChaosPlanConfig;
 use mfm_repro::server::loadgen::{run, LoadgenConfig};
 use mfm_repro::server::server::{spawn, ServerConfig};
+use mfm_repro::server::service::{Service, ServiceConfig};
+use mfm_repro::server::wire::Request;
+use mfm_repro::telemetry::{json, Registry, TraceId};
 
 #[test]
 fn service_contract_holds_under_chaos_and_abuse() {
@@ -90,6 +102,7 @@ fn service_contract_holds_under_chaos_and_abuse() {
         "service_accepted",
         "service_answered",
         "service_latency_ticks",
+        "service_phase_micros_compiled_eval",
         "pool_escapes",
     ] {
         assert!(
@@ -97,6 +110,102 @@ fn service_contract_holds_under_chaos_and_abuse() {
             "{metric} missing from scrape:\n{body}"
         );
     }
+    assert!(
+        body.contains("# {trace_id="),
+        "the latency histogram carries trace-id exemplars:\n{body}"
+    );
+
+    // The observability views answer with well-formed JSON.
+    for (path, needle) in [
+        ("/healthz", "\"status\":\"ok\""),
+        ("/statusz", "\"tier\":"),
+        ("/tracez", "\"slowest\":"),
+    ] {
+        let mut sock = TcpStream::connect(handle.metrics_addr).expect("endpoint reachable");
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut reply = String::new();
+        sock.read_to_string(&mut reply).expect("endpoint scrape");
+        let json_body = reply.split("\r\n\r\n").nth(1).unwrap_or("");
+        json::check(json_body)
+            .unwrap_or_else(|e| panic!("{path} returned invalid JSON ({e}): {json_body}"));
+        assert!(reply.contains(needle), "{path} payload: {reply}");
+    }
 
     handle.stop();
+}
+
+/// A seeded chaos run that *guarantees* rescues: one pool unit's check
+/// port is pinned stuck-at-true, so every batch routed through it fails
+/// verification and every affected lane is rescued through the engine.
+/// The flight recorder must emit at least one incident report that
+/// reconstructs the rescue path and names the originating request's
+/// trace, and the trace ring must show the rescue span.
+#[test]
+fn seeded_chaos_produces_reconstructable_incident_reports() {
+    let mut netlist = Netlist::new(TechLibrary::cmos45lp());
+    let ports = build_unit(&mut netlist);
+    let registry = Registry::new();
+    let cfg = ServiceConfig {
+        seed: 2017,
+        units: 2,
+        pending_cap: 64,
+        speculative_every: 0,
+        ..ServiceConfig::default()
+    };
+    let mut svc = Service::new(&netlist, &ports, cfg, &registry);
+    // Deterministic "chaos": pin unit 0's low product check bit. Even
+    // products keep that bit at 0, so the stuck-at-true fault is
+    // observable on every lane batched through unit 0.
+    svc.engine_mut()
+        .inject_stuck_at(0, ports.chk_p0[0], true, true);
+
+    for k in 0..48u64 {
+        let trace = TraceId::from_raw(0xC0DE_0000 + k);
+        let req = Request {
+            id: k,
+            op: Operation::int64(k + 1, 2),
+            deadline_micros: 0,
+        };
+        let _ = svc.admit_traced(9, &req, trace);
+        svc.tick();
+    }
+    for _ in 0..80 {
+        svc.tick();
+    }
+
+    assert_eq!(svc.escapes(), 0, "no wrong answer under the pinned fault");
+    let incidents = svc.take_incidents();
+    assert!(
+        !incidents.is_empty(),
+        "the pinned fault must raise at least one incident report"
+    );
+    // Every report is self-contained, valid JSON with an event ring.
+    for report in &incidents {
+        json::check(report).unwrap_or_else(|e| panic!("invalid incident JSON ({e}): {report}"));
+        assert!(
+            report.contains("\"events\":["),
+            "event ring present: {report}"
+        );
+    }
+    // At least one report reconstructs the rescue path end to end:
+    // the verification failure and the rescue hand-off, tagged with the
+    // originating request's trace id.
+    let reconstructed = incidents.iter().any(|r| {
+        r.contains("\"trace_id\":\"00000000c0de")
+            && r.contains("check_failure")
+            && (r.contains("rescue_submitted") || r.contains("\"trigger\":\"engine_rescue\""))
+    });
+    assert!(
+        reconstructed,
+        "an incident links the rescue back to its originating trace: {incidents:#?}"
+    );
+    // The trace ring shows completed rescues with a nonzero rescue span.
+    let tracez = svc.tracez_json();
+    json::check(&tracez).unwrap();
+    assert!(
+        tracez.contains("\"outcome\":\"rescued\""),
+        "rescued traces are retained: {tracez}"
+    );
 }
