@@ -3,9 +3,16 @@
 //!
 //! Usage: `loadgen [--addr A] [--requests N] [--conns N] [--slow N]
 //! [--garbage N] [--seed S] [--mean-gap MICROS] [--deadline MICROS]
-//! [--json <path>]` (defaults: 127.0.0.1:7117, 512 requests over
-//! 4 connections, 1 slow client, 2 adversarial-frame connections,
-//! seed 2017, 200 µs mean gap with bursts, 0 = server-default deadline).
+//! [--critical N] [--statusz A] [--json <path>]` (defaults:
+//! 127.0.0.1:7117, 512 requests over 4 connections, 1 slow client,
+//! 2 adversarial-frame connections, seed 2017, 200 µs mean gap with
+//! bursts, 0 = server-default deadline, no critical requests, no
+//! statusz scrape).
+//!
+//! `--critical N` marks every N-th request with the wire-v3 `critical`
+//! flag (server-side TMR voting); `--statusz A` scrapes the server's
+//! `/statusz` redundancy counters from metrics address `A` after the
+//! run, folding vote/hedge/patrol overhead into the report and JSON.
 //!
 //! Replays a seeded mixed-format arrival schedule against a running
 //! `serve` instance, verifies **every** `Ok` bit-for-bit against the
@@ -22,14 +29,14 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" | "--requests" | "--conns" | "--slow" | "--garbage" | "--seed"
-            | "--mean-gap" | "--deadline" | "--json" => {
+            | "--mean-gap" | "--deadline" | "--critical" | "--statusz" | "--json" => {
                 it.next();
             }
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: loadgen [--addr A] [--requests N] \
                      [--conns N] [--slow N] [--garbage N] [--seed S] [--mean-gap MICROS] \
-                     [--deadline MICROS] [--json <path>]"
+                     [--deadline MICROS] [--critical N] [--statusz A] [--json <path>]"
                 );
                 std::process::exit(2);
             }
@@ -43,6 +50,8 @@ fn main() {
         slow_conns: cli::arg_value(&args, "--slow", 1) as usize,
         garbage_conns: cli::arg_value(&args, "--garbage", 2) as usize,
         deadline_micros: cli::arg_value(&args, "--deadline", 0) as u32,
+        critical_every: cli::arg_value(&args, "--critical", 0),
+        statusz_addr: cli::arg_str(&args, "--statusz"),
         ..LoadgenConfig::default()
     };
     cfg.arrivals.seed = cfg.seed;
@@ -75,6 +84,20 @@ fn main() {
         report.phases.transport.p50,
         report.phases.transport.p99
     );
+    if let Some(r) = report.redundancy {
+        println!(
+            "redundancy: {} votes ({} mismatched) | {} DMR batches, {} shadows | \
+             {} masked | {} promotions | patrol {}/{} slices failed",
+            r.votes,
+            r.vote_mismatches,
+            r.dmr_batches,
+            r.dmr_shadows,
+            r.masked,
+            r.promotions,
+            r.patrol_failures,
+            r.patrol_slices
+        );
+    }
     println!(
         "zero escapes: {}",
         if report.escapes == 0 {

@@ -1,13 +1,14 @@
 //! Multiplication-as-a-service front-end: binds the TCP request and
 //! Prometheus metrics listeners and serves until killed.
 //!
-//! Usage: `serve [--addr A] [--metrics-addr A] [--units N] [--pending N]
-//! [--queue N] [--tick-micros N] [--deadline-ticks N] [--seed S]
-//! [--chaos N] [--incident-dir D] [--pipelined]` (defaults:
-//! 127.0.0.1:7117 requests, 127.0.0.1:7118 metrics, 4 units, pending
-//! cap 256, engine queue 8, 500 µs/tick, 400-tick default deadline,
-//! seed 2017, no chaos, incident reports kept in-memory only,
-//! combinational build).
+//! Usage: `serve [--addr A] [--metrics-addr A] [--units N] [--spares N]
+//! [--patrol N] [--pending N] [--queue N] [--tick-micros N]
+//! [--deadline-ticks N] [--seed S] [--chaos N] [--byzantine P]
+//! [--incident-dir D] [--pipelined]` (defaults: 127.0.0.1:7117
+//! requests, 127.0.0.1:7118 metrics, 4 units, 1 hot spare, patrol
+//! slices of 8 battery ops, pending cap 256, engine queue 8,
+//! 500 µs/tick, 400-tick default deadline, seed 2017, no chaos,
+//! incident reports kept in-memory only, combinational build).
 //!
 //! The metrics listener also serves `/healthz`, `/statusz` and
 //! `/tracez`; `--incident-dir D` persists every flight-recorder
@@ -17,6 +18,8 @@
 //! glitch storms, field replacements) injected underneath live traffic,
 //! keyed by admitted-request ordinal — the service must keep its
 //! zero-escape and no-silent-drop contract while the hardware misbehaves.
+//! `--byzantine P` makes P percent of those fault events scrub-clean
+//! Byzantine output latches that only the redundancy tier can catch.
 //!
 //! The process prints the bound addresses on stdout (`listening <addr>` /
 //! `metrics <addr>`) so scripts can scrape them, then parks; stop it with
@@ -31,17 +34,18 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--addr" | "--metrics-addr" | "--units" | "--pending" | "--queue" | "--tick-micros"
-            | "--deadline-ticks" | "--seed" | "--chaos" | "--incident-dir" => {
+            "--addr" | "--metrics-addr" | "--units" | "--spares" | "--patrol" | "--pending"
+            | "--queue" | "--tick-micros" | "--deadline-ticks" | "--seed" | "--chaos"
+            | "--byzantine" | "--incident-dir" => {
                 it.next();
             }
             "--pipelined" => {}
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: serve [--addr A] [--metrics-addr A] \
-                     [--units N] [--pending N] [--queue N] [--tick-micros N] \
-                     [--deadline-ticks N] [--seed S] [--chaos N] [--incident-dir D] \
-                     [--pipelined]"
+                     [--units N] [--spares N] [--patrol N] [--pending N] [--queue N] \
+                     [--tick-micros N] [--deadline-ticks N] [--seed S] [--chaos N] \
+                     [--byzantine P] [--incident-dir D] [--pipelined]"
                 );
                 std::process::exit(2);
             }
@@ -57,6 +61,8 @@ fn main() {
     };
     cfg.service.seed = cli::arg_value(&args, "--seed", 2017);
     cfg.service.units = cli::arg_value(&args, "--units", 4) as usize;
+    cfg.service.engine.spares = cli::arg_value(&args, "--spares", 1) as usize;
+    cfg.service.engine.patrol_slice = cli::arg_value(&args, "--patrol", 8) as usize;
     cfg.service.pending_cap = cli::arg_value(&args, "--pending", 256) as usize;
     cfg.service.engine.queue_depth = cli::arg_value(&args, "--queue", 8) as usize;
     cfg.service.micros_per_tick = cli::arg_value(&args, "--tick-micros", 500);
@@ -68,6 +74,7 @@ fn main() {
             units: cfg.service.units,
             ops: 512,
             faults,
+            byzantine_fraction: cli::arg_value(&args, "--byzantine", 0).min(100) as f64 / 100.0,
             ..ChaosPlanConfig::default()
         });
     }

@@ -46,6 +46,15 @@ pub struct ChaosCampaignConfig {
     pub backoff: BackoffConfig,
     /// Watchdog headroom factor (see [`EngineConfig`]).
     pub watchdog_margin: u64,
+    /// Probability a scheduled fault is a Byzantine output-latch fault
+    /// (scrub-clean, caught only by redundant execution). 0 keeps the
+    /// plan stream bit-identical to pre-Byzantine campaigns.
+    pub byzantine_fraction: f64,
+    /// Cold hot-spare units promoted when an active unit retires.
+    pub spares: usize,
+    /// Scrub-battery operations replayed per idle engine tick (patrol
+    /// scrubbing); 0 disables.
+    pub patrol_slice: usize,
 }
 
 impl Default for ChaosCampaignConfig {
@@ -61,6 +70,9 @@ impl Default for ChaosCampaignConfig {
             breaker: BreakerConfig::default(),
             backoff: BackoffConfig::default(),
             watchdog_margin: 4,
+            byzantine_fraction: 0.0,
+            spares: 0,
+            patrol_slice: 0,
         }
     }
 }
@@ -118,6 +130,15 @@ pub struct ChaosReport {
     pub backoff_wait_ticks: u64,
     /// Wrong answers delivered. The invariant is that this is zero.
     pub escapes: u64,
+    /// Corrupted results caught and substituted by the masking
+    /// reference vote (would-be escapes).
+    pub masked: u64,
+    /// DMR shadow executions run for Suspect-unit dispatches.
+    pub dmr_shadows: u64,
+    /// Cold spares promoted to replace retired units.
+    pub promotions: u64,
+    /// Patrol-scrub slices run on idle ticks / slices that failed.
+    pub patrol: (u64, u64),
     /// Scrubs run / passed.
     pub scrubs: u64,
     /// Scrubs that readmitted their unit.
@@ -156,6 +177,10 @@ impl ChaosReport {
             .param("ops", &self.ops.to_string())
             .param("faults", &self.faults_injected.to_string())
             .param("escapes", &self.escapes.to_string())
+            .param("masked", &self.masked.to_string())
+            .param("dmr_shadows", &self.dmr_shadows.to_string())
+            .param("promotions", &self.promotions.to_string())
+            .param("patrol_slices", &self.patrol.0.to_string())
             .param("recovery_cycles", &self.recovery_cycles.to_string())
             .param("retired", &self.retired.to_string())
             .param("watchdog_budget", &self.watchdog_budget.to_string());
@@ -241,6 +266,12 @@ impl std::fmt::Display for ChaosReport {
         )?;
         writeln!(
             f,
+            "  redundancy: masked {}, dmr shadows {}, promotions {}, \
+             patrol {}/{} slices failed",
+            self.masked, self.dmr_shadows, self.promotions, self.patrol.1, self.patrol.0
+        )?;
+        writeln!(
+            f,
             "  hw capacity: min {} / final {} of {}, {} tick(s)",
             self.min_hw_capacity(),
             self.final_hw_capacity(),
@@ -300,6 +331,8 @@ pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig, registry: Option<&Registry>
         breaker: cfg.breaker,
         watchdog_margin: cfg.watchdog_margin,
         quad_lanes: cfg.quad_lanes,
+        spares: cfg.spares,
+        patrol_slice: cfg.patrol_slice,
     };
     let mut engine = Engine::new(&netlist, &ports, cfg.units, ecfg);
     if let Some(reg) = registry {
@@ -310,6 +343,7 @@ pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig, registry: Option<&Registry>
         units: cfg.units,
         ops: cfg.ops,
         faults: cfg.faults,
+        byzantine_fraction: cfg.byzantine_fraction,
         ..ChaosPlanConfig::default()
     });
     let sites: Vec<NetId> = netlist.cells().iter().map(|c| c.output).collect();
@@ -380,10 +414,12 @@ pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig, registry: Option<&Registry>
     let completed = engine.take_completed();
     let (submitted, _, done, scrubs, scrub_passes) = engine.totals();
     debug_assert_eq!(done as usize, completed.len());
-    let mut unit_outcomes = Vec::with_capacity(cfg.units);
+    // Outcomes cover the whole pool, spares included.
+    let pool = engine.unit_count();
+    let mut unit_outcomes = Vec::with_capacity(pool);
     let mut recovery_cycles = 0u64;
     let mut retired = 0u64;
-    for i in 0..cfg.units {
+    for i in 0..pool {
         let stats = engine.unit(i).stats();
         let transitions = engine.transitions(i).to_vec();
         recovery_cycles += transitions
@@ -417,6 +453,10 @@ pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig, registry: Option<&Registry>
         busy_rejections,
         backoff_wait_ticks,
         escapes: engine.escapes(),
+        masked: engine.masked(),
+        dmr_shadows: engine.dmr_shadows(),
+        promotions: engine.promotions(),
+        patrol: engine.patrol_stats(),
         scrubs,
         scrub_passes,
         recovery_cycles,
@@ -465,6 +505,31 @@ mod tests {
         assert_eq!(a.recovery_cycles, b.recovery_cycles);
         assert_eq!(a.timeline, b.timeline, "tick-exact reproducibility");
         assert_eq!(a.completed + a.dropped, a.ops, "every op accounted for");
+    }
+
+    #[test]
+    fn byzantine_campaigns_stay_escape_free_with_spares_and_patrol() {
+        let mut cfg = small();
+        cfg.byzantine_fraction = 0.5;
+        cfg.spares = 1;
+        cfg.patrol_slice = 4;
+        let rep = run_chaos_campaign(&cfg, None);
+        assert_eq!(rep.escapes, 0, "byzantine faults never escape:\n{rep}");
+        assert!(
+            rep.fault_kind_counts
+                .iter()
+                .any(|&(l, c)| l == "byzantine" && c > 0),
+            "the plan scheduled byzantine faults: {:?}",
+            rep.fault_kind_counts
+        );
+        assert_eq!(
+            rep.unit_outcomes.len(),
+            cfg.units + cfg.spares,
+            "outcomes cover the spare pool too"
+        );
+        assert_eq!(rep.completed + rep.dropped, rep.ops);
+        let text = rep.to_string();
+        assert!(text.contains("redundancy: masked"), "{text}");
     }
 
     #[test]

@@ -76,15 +76,20 @@ impl SubmitBackoff {
         if self.attempt >= self.cfg.max_retries {
             return None;
         }
-        let mut d = self.cfg.base_ticks.max(1);
-        for _ in 0..self.attempt {
-            d = d.saturating_mul(self.cfg.factor.max(1));
-            if d >= self.cfg.max_ticks {
-                d = self.cfg.max_ticks;
-                break;
-            }
-        }
-        d = d.min(self.cfg.max_ticks).max(1);
+        // Closed-form truncated exponential: base·factorⁿ computed with
+        // saturating arithmetic, O(log n) regardless of the attempt
+        // count. A factor ≥ 2 saturates u64 within 64 steps, so the
+        // exponent is clamped there before `saturating_pow` runs; a
+        // factor ≤ 1 degenerates to the (clamped) base and must never
+        // loop attempt-many times the way the old ladder did.
+        let base = self.cfg.base_ticks.max(1);
+        let d = if self.cfg.factor <= 1 {
+            base
+        } else {
+            let exp = self.attempt.min(64);
+            base.saturating_mul(self.cfg.factor.saturating_pow(exp))
+        };
+        let d = d.min(self.cfg.max_ticks).max(1);
         self.attempt += 1;
         let half = d / 2;
         Some(half + self.rng.range_u64(0, d - half + 1))
@@ -166,6 +171,47 @@ mod tests {
             }
         }
         assert!(saturated >= 490, "cap reached early and held: {saturated}");
+    }
+
+    /// Property: under *any* configuration — including bases, factors
+    /// and caps at the edges of u64 and retry budgets in the tens of
+    /// thousands — every delay stays within `[1, max(1, max_ticks)]`,
+    /// the nominal window is monotone non-decreasing until it saturates,
+    /// and the call never panics or wraps. Configs are drawn from a
+    /// seeded PRNG so a failure replays bit-identically.
+    #[test]
+    fn any_config_saturates_without_overflow() {
+        let mut rng = Rng::new(0xbac0_ff5a);
+        let extremes = [0u64, 1, 2, 3, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        let draw = |rng: &mut Rng| -> u64 {
+            if rng.next_bool(0.5) {
+                extremes[rng.range_u64(0, extremes.len() as u64) as usize]
+            } else {
+                rng.range_u64(0, 1 << 40)
+            }
+        };
+        for case in 0..200u64 {
+            let cfg = BackoffConfig {
+                base_ticks: draw(&mut rng),
+                factor: draw(&mut rng),
+                max_ticks: draw(&mut rng),
+                max_retries: 1 + rng.range_u64(0, 20_000) as u32,
+            };
+            let cap = cfg.max_ticks.max(1);
+            let mut b = SubmitBackoff::new(cfg, 0x5eed ^ case);
+            let mut prev_nominal = 0u64;
+            let mut taken = 0u32;
+            while let Some(d) = b.next_delay() {
+                taken += 1;
+                assert!(d <= cap, "case {case}: delay {d} exceeds cap {cap}");
+                // Each delay jitters in [nominal/2, nominal] and the
+                // nominal window never shrinks, so no delay may fall
+                // below half of any previously observed delay.
+                assert!(d >= prev_nominal / 2, "case {case}: window regressed");
+                prev_nominal = prev_nominal.max(d);
+            }
+            assert_eq!(taken, cfg.max_retries, "case {case}: budget honored");
+        }
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum ChaosKind {
         /// Storm size as a quarter-fraction of the watchdog budget.
         severity: u32,
     },
+    /// Arm a Byzantine output-latch fault: every `period`-th result the
+    /// unit serves is corrupted *after* its self-checks ran, so scrub
+    /// batteries pass ("scrub-clean") and only redundant execution can
+    /// catch it.
+    Byzantine {
+        /// Corrupt every `period`-th served result.
+        period: u64,
+    },
 }
 
 impl ChaosKind {
@@ -45,6 +53,7 @@ impl ChaosKind {
             ChaosKind::StuckAt { sticky: false, .. } => "stuck_at",
             ChaosKind::ClearFaults => "clear_faults",
             ChaosKind::Delay { .. } => "delay",
+            ChaosKind::Byzantine { .. } => "byzantine",
         }
     }
 }
@@ -85,6 +94,10 @@ pub struct ChaosPlanConfig {
     /// (a field replacement), letting the unit recover instead of
     /// retiring.
     pub clear_fraction: f64,
+    /// Probability that a fault event is a Byzantine output-latch fault
+    /// instead of the classic kinds. 0 (the default) keeps the plan
+    /// stream bit-identical to plans generated before the kind existed.
+    pub byzantine_fraction: f64,
 }
 
 impl Default for ChaosPlanConfig {
@@ -96,6 +109,7 @@ impl Default for ChaosPlanConfig {
             faults: 60,
             sticky_fraction: 0.2,
             clear_fraction: 0.5,
+            byzantine_fraction: 0.0,
         }
     }
 }
@@ -118,6 +132,21 @@ impl ChaosPlan {
             let unit = rng.range_u64(0, cfg.units as u64) as usize;
             let net_pick = rng.next_u64();
             let edge_pick = rng.range_u64(0, 64) as u32;
+            // The Byzantine draw is gated on the knob being nonzero so a
+            // fraction of 0.0 consumes no PRNG draws — plans generated
+            // before the kind existed replay bit-identically.
+            if cfg.byzantine_fraction > 0.0 && rng.next_bool(cfg.byzantine_fraction) {
+                events.push(ChaosEvent {
+                    at_op,
+                    unit,
+                    net_pick,
+                    edge_pick,
+                    kind: ChaosKind::Byzantine {
+                        period: 2 + rng.range_u64(0, 4),
+                    },
+                });
+                continue;
+            }
             let roll = rng.next_f64();
             let kind = if roll < 0.40 {
                 ChaosKind::Seu
@@ -169,6 +198,7 @@ impl ChaosPlan {
             "stuck_at",
             "stuck_at_sticky",
             "delay",
+            "byzantine",
             "clear_faults",
         ];
         labels
@@ -198,6 +228,12 @@ pub fn apply_event(engine: &mut Engine<'_>, ev: &ChaosEvent, sites: &[NetId], la
             engine.inject_stuck_at(ev.unit, net, value, sticky);
         }
         ChaosKind::ClearFaults => engine.clear_unit_faults(ev.unit),
+        ChaosKind::Byzantine { period } => {
+            // The corrupted bit pattern is derived from the net draw so
+            // different events flip different product bits.
+            let mask = 1u64 << (ev.net_pick % 64);
+            engine.inject_byzantine(ev.unit, period, mask);
+        }
         ChaosKind::Delay { severity } => {
             let budget = engine.watchdog_budget();
             let pulses = (severity as u64)
@@ -229,6 +265,45 @@ mod tests {
         assert_eq!(a.fault_count(), cfg.faults);
         let total: u64 = a.kind_counts().iter().map(|(_, c)| c).sum();
         assert_eq!(total as usize, a.events.len());
+    }
+
+    #[test]
+    fn byzantine_knob_adds_events_and_zero_keeps_old_streams() {
+        let base = ChaosPlanConfig::default();
+        let with_byz = ChaosPlanConfig {
+            byzantine_fraction: 0.5,
+            ..base
+        };
+        let plan = ChaosPlan::generate(&with_byz);
+        let byz = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, ChaosKind::Byzantine { .. }))
+            .count();
+        assert!(byz >= 10, "half the faults should be byzantine: {byz}");
+        for e in &plan.events {
+            if let ChaosKind::Byzantine { period } = e.kind {
+                assert!((2..=5).contains(&period));
+            }
+        }
+        let counted = plan
+            .kind_counts()
+            .iter()
+            .find(|(l, _)| *l == "byzantine")
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(counted as usize, byz, "kind_counts knows the label");
+        // A zero fraction consumes no draws: the stream is identical to
+        // a plan generated before the kind existed (same as default).
+        let a = ChaosPlan::generate(&base);
+        let b = ChaosPlan::generate(&ChaosPlanConfig {
+            byzantine_fraction: 0.0,
+            ..base
+        });
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!((x.at_op, x.net_pick, x.kind), (y.at_op, y.net_pick, y.kind));
+        }
     }
 
     #[test]

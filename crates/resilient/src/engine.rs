@@ -86,6 +86,16 @@ pub struct EngineConfig {
     /// Whether the pool's units were built with the quad-binary16
     /// extension (selects the wider scrub battery).
     pub quad_lanes: bool,
+    /// Cold standby units provisioned beyond the serving pool. A spare
+    /// takes no traffic and counts toward no capacity until a serving
+    /// unit retires, at which point the spare runs an activation scrub
+    /// and is promoted into the vacated role — so `hw_capacity` never
+    /// degrades permanently while standbys remain.
+    pub spares: usize,
+    /// Scrub-battery operations replayed per *idle* tick against the
+    /// least-recently-verified healthy unit (patrol scrubbing). 0
+    /// disables patrol.
+    pub patrol_slice: usize,
 }
 
 impl Default for EngineConfig {
@@ -95,6 +105,8 @@ impl Default for EngineConfig {
             breaker: BreakerConfig::default(),
             watchdog_margin: 4,
             quad_lanes: false,
+            spares: 0,
+            patrol_slice: 0,
         }
     }
 }
@@ -146,26 +158,32 @@ pub struct TickReport {
 
 /// Pool-level counters and gauges (see [`Engine::attach_telemetry`]).
 struct PoolTelemetry {
-    state_gauges: [Gauge; 5],
+    state_gauges: [Gauge; 6],
     hw_capacity: Gauge,
     queue_depth: Gauge,
     submitted: Counter,
     rejected: Counter,
     expired: Counter,
     completed: Counter,
-    escapes: Counter,
+    masked: Counter,
+    dmr_shadows: Counter,
+    dmr_mismatches: Counter,
+    promotions: Counter,
+    patrol_slices: Counter,
+    patrol_failures: Counter,
     scrubs: Counter,
     scrub_passes: Counter,
     watchdog_trips: Counter,
     transitions: Counter,
 }
 
-const STATE_SLOTS: [HealthState; 5] = [
+const STATE_SLOTS: [HealthState; 6] = [
     HealthState::Healthy,
     HealthState::Suspect,
     HealthState::Quarantined,
     HealthState::Probation,
     HealthState::Retired,
+    HealthState::Spare,
 ];
 
 /// One queued submission awaiting dispatch.
@@ -175,6 +193,21 @@ struct Queued {
     op: Operation,
     deadline: Option<u64>,
     trace: Option<TraceId>,
+}
+
+/// A modelled Byzantine defect: the unit's *output latch* flips bits
+/// after every self-check has run, so the corruption is invisible to
+/// the residue/recompute checks and to scrub batteries (which replay
+/// through the checked datapath). Only redundant execution — the DMR
+/// shadow, a TMR vote or the reference cross-check — can catch it.
+#[derive(Debug, Clone, Copy)]
+struct ByzantineFault {
+    /// Every `period`-th served result is corrupted.
+    period: u64,
+    /// XOR pattern applied to the high product word.
+    mask: u64,
+    /// Results served through the latch so far.
+    served: u64,
 }
 
 /// One pool slot: the unit, its breaker, and the chaos-environment
@@ -188,8 +221,16 @@ struct PoolUnit<'a> {
     /// Nets to hit with a glitch storm immediately before the next
     /// dispatched operation (induced-delay chaos).
     pending_delay: Vec<NetId>,
-    /// Transitions already mirrored into the telemetry counter.
-    mirrored_transitions: usize,
+    /// Chaos: an intermittent output-latch fault beyond check coverage.
+    byzantine: Option<ByzantineFault>,
+    /// Transitions already mirrored into the telemetry counter
+    /// (a `transitions_logged` watermark, immune to ring eviction).
+    mirrored_transitions: u64,
+    /// Tick of the last successful verification (scrub or patrol slice).
+    last_verified: u64,
+    /// Whether this unit's retirement has already been answered with a
+    /// spare promotion attempt.
+    retirement_handled: bool,
     watchdog_trips: u64,
 }
 
@@ -215,6 +256,14 @@ pub struct Engine<'a> {
     timeline: Vec<CapacitySample>,
     rr_cursor: usize,
     escapes: u64,
+    masked: u64,
+    dmr_shadows: u64,
+    dmr_mismatches: u64,
+    promotions: u64,
+    patrol_slice: usize,
+    patrol_cursor: usize,
+    patrol_slices: u64,
+    patrol_failures: u64,
     submitted: u64,
     rejected: u64,
     expired_total: u64,
@@ -222,6 +271,17 @@ pub struct Engine<'a> {
     scrubs: u64,
     scrub_passes: u64,
     telemetry: Option<PoolTelemetry>,
+}
+
+/// Whether two results agree on everything the hardware can express:
+/// both product words, and the flag buses under the hardware mask (the
+/// flag bus has no inexact wire).
+fn results_agree_hw(a: &MultResult, b: &MultResult) -> bool {
+    let hw = Flags::INVALID | Flags::OVERFLOW | Flags::UNDERFLOW;
+    a.ph == b.ph
+        && a.pl == b.pl
+        && a.flags_lo.bits() & hw.bits() == b.flags_lo.bits() & hw.bits()
+        && a.flags_hi.bits() & hw.bits() == b.flags_hi.bits() & hw.bits()
 }
 
 impl<'a> Engine<'a> {
@@ -238,13 +298,21 @@ impl<'a> Engine<'a> {
     ) -> Self {
         assert!(units > 0, "a pool needs at least one unit");
         let battery = scrub_battery(cfg.quad_lanes);
-        let mut pool: Vec<PoolUnit<'a>> = (0..units)
-            .map(|_| PoolUnit {
+        let mut pool: Vec<PoolUnit<'a>> = (0..units + cfg.spares)
+            .map(|k| PoolUnit {
                 unit: SelfCheckingUnit::new(netlist, ports.clone()),
-                health: HealthTracker::new(cfg.breaker),
+                // Slots past the serving pool are cold standbys.
+                health: if k < units {
+                    HealthTracker::new(cfg.breaker)
+                } else {
+                    HealthTracker::new_spare(cfg.breaker)
+                },
                 sticky: Vec::new(),
                 pending_delay: Vec::new(),
+                byzantine: None,
                 mirrored_transitions: 0,
+                last_verified: 0,
+                retirement_handled: false,
                 watchdog_trips: 0,
             })
             .collect();
@@ -287,6 +355,14 @@ impl<'a> Engine<'a> {
             timeline: Vec::new(),
             rr_cursor: 0,
             escapes: 0,
+            masked: 0,
+            dmr_shadows: 0,
+            dmr_mismatches: 0,
+            promotions: 0,
+            patrol_slice: cfg.patrol_slice,
+            patrol_cursor: 0,
+            patrol_slices: 0,
+            patrol_failures: 0,
             submitted: 0,
             rejected: 0,
             expired_total: 0,
@@ -299,9 +375,14 @@ impl<'a> Engine<'a> {
 
     /// Registers pool gauges and counters: `pool.units.<state>`,
     /// `pool.hw_capacity`, `pool.queue_depth`, plus `pool.{submitted,
-    /// rejected, completed, escapes, scrubs, scrub_passes,
-    /// watchdog_trips, transitions}`.
+    /// rejected, completed, escapes, masked, dmr_shadows,
+    /// dmr_mismatches, promotions, patrol_slices, patrol_failures,
+    /// scrubs, scrub_passes, watchdog_trips, transitions}`.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
+        // `pool.escapes` stays registered (at zero) as the zero-escape
+        // contract's scrapeable witness; the masking reference vote
+        // leaves nothing that could increment it.
+        let _ = registry.counter("pool.escapes");
         self.telemetry = Some(PoolTelemetry {
             state_gauges: STATE_SLOTS.map(|s| registry.gauge(&format!("pool.units.{}", s.label()))),
             hw_capacity: registry.gauge("pool.hw_capacity"),
@@ -310,7 +391,12 @@ impl<'a> Engine<'a> {
             rejected: registry.counter("pool.rejected"),
             expired: registry.counter("pool.expired"),
             completed: registry.counter("pool.completed"),
-            escapes: registry.counter("pool.escapes"),
+            masked: registry.counter("pool.masked"),
+            dmr_shadows: registry.counter("pool.dmr_shadows"),
+            dmr_mismatches: registry.counter("pool.dmr_mismatches"),
+            promotions: registry.counter("pool.promotions"),
+            patrol_slices: registry.counter("pool.patrol_slices"),
+            patrol_failures: registry.counter("pool.patrol_failures"),
             scrubs: registry.counter("pool.scrubs"),
             scrub_passes: registry.counter("pool.scrub_passes"),
             watchdog_trips: registry.counter("pool.watchdog_trips"),
@@ -328,9 +414,18 @@ impl<'a> Engine<'a> {
         self.units[i].health.state()
     }
 
-    /// Transition log of unit `i`, oldest first.
+    /// Retained transition log of unit `i`, oldest first (bounded ring;
+    /// see [`crate::health::TRANSITION_LOG_CAP`]).
     pub fn transitions(&self, i: usize) -> &[HealthTransition] {
         self.units[i].health.transitions()
+    }
+
+    /// Monotone total of transitions unit `i` ever logged, including
+    /// entries evicted from the bounded ring. Delta-based consumers
+    /// (gauge mirrors, flight-recorder feeds) must diff against this,
+    /// never against `transitions().len()`.
+    pub fn transitions_logged(&self, i: usize) -> u64 {
+        self.units[i].health.transitions_logged()
     }
 
     /// The wrapped unit at slot `i` (stats, incident log).
@@ -349,9 +444,50 @@ impl<'a> Engine<'a> {
     }
 
     /// Results wrongly delivered (disagreeing with the bit-exact
-    /// reference). The chaos invariant is that this stays zero.
+    /// reference). Since the reference vote substitutes the correct
+    /// answer before delivery (see [`Engine::masked`]), this stays zero
+    /// by construction; the counter remains as the contract's witness.
     pub fn escapes(&self) -> u64 {
         self.escapes
+    }
+
+    /// Wrong hardware results caught by the reference vote and replaced
+    /// before delivery — each one also charged the serving unit's
+    /// breaker. A nonzero count with zero [`Engine::escapes`] is fault
+    /// *masking* working as designed.
+    pub fn masked(&self) -> u64 {
+        self.masked
+    }
+
+    /// Operations shadow-executed on a healthy peer because the serving
+    /// unit was under suspicion (DMR-on-suspicion).
+    pub fn dmr_shadows(&self) -> u64 {
+        self.dmr_shadows
+    }
+
+    /// DMR shadow pairs that disagreed and went to the reference for
+    /// the deciding vote.
+    pub fn dmr_mismatches(&self) -> u64 {
+        self.dmr_mismatches
+    }
+
+    /// Spares promoted into service after a retirement.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Cold standbys still available for promotion.
+    pub fn spares_available(&self) -> u32 {
+        self.units
+            .iter()
+            .filter(|u| u.health.state().is_spare())
+            .count() as u32
+    }
+
+    /// Patrol battery slices run on idle ticks, and how many of them
+    /// failed (charging the patrolled unit's breaker).
+    pub fn patrol_stats(&self) -> (u64, u64) {
+        (self.patrol_slices, self.patrol_failures)
     }
 
     /// Operations accepted, rejected and completed so far, and scrubs
@@ -533,12 +669,54 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Clears every fault (including sticky ones) from unit `i` — the
-    /// chaos plan's "field replacement" event.
+    /// Clears every fault (including sticky and Byzantine ones) from
+    /// unit `i` — the chaos plan's "field replacement" event.
     pub fn clear_unit_faults(&mut self, i: usize) {
         let u = &mut self.units[i];
         u.sticky.clear();
+        u.byzantine = None;
         u.unit.clear_faults();
+    }
+
+    /// Arms a Byzantine output-latch fault on unit `i`: every
+    /// `period`-th result the unit serves (pool dispatch or external
+    /// batch lane) has its high product word XORed with `mask`, *after*
+    /// the unit's self-checks ran. Scrub batteries replay through the
+    /// checked datapath and pass — the fault is intentionally beyond
+    /// check coverage, so only redundant execution (the DMR shadow, a
+    /// TMR vote, or the reference cross-check) catches it.
+    pub fn inject_byzantine(&mut self, i: usize, period: u64, mask: u64) {
+        self.units[i].byzantine = Some(ByzantineFault {
+            period: period.max(1),
+            mask: if mask == 0 { 1 } else { mask },
+            served: 0,
+        });
+    }
+
+    /// Advances unit `i`'s Byzantine latch across `lanes` externally
+    /// served results, returning the bitmask (bit k = lane k) of lanes
+    /// the latch corrupts. Zero when the unit carries no Byzantine
+    /// fault. External batch paths call this once per batch so latch
+    /// wear is shared between pool dispatch and batched service.
+    pub fn byzantine_lane_mask(&mut self, i: usize, lanes: usize) -> u64 {
+        let Some(b) = &mut self.units[i].byzantine else {
+            return 0;
+        };
+        let mut hit = 0u64;
+        for k in 0..lanes.min(64) {
+            b.served += 1;
+            if b.served % b.period == 0 {
+                hit |= 1 << k;
+            }
+        }
+        hit
+    }
+
+    /// The XOR pattern unit `i`'s Byzantine latch applies (0 = none);
+    /// external batch paths apply it to the lanes flagged by
+    /// [`Engine::byzantine_lane_mask`].
+    pub fn byzantine_pattern(&self, i: usize) -> u64 {
+        self.units[i].byzantine.map_or(0, |b| b.mask)
     }
 
     /// Arms a single-event upset on unit `i` for its next dispatched
@@ -572,6 +750,7 @@ impl<'a> Engine<'a> {
                 if pass {
                     report.scrub_passes += 1;
                     self.scrub_passes += 1;
+                    self.units[i].last_verified = self.tick;
                 }
                 if let Some(t) = &self.telemetry {
                     t.scrubs.inc();
@@ -580,6 +759,17 @@ impl<'a> Engine<'a> {
                     }
                 }
                 self.units[i].health.on_scrub(self.tick, pass);
+            }
+        }
+        // 1b. Hot-spare promotion: every retirement not yet answered is
+        // met by activating a standby, so the pool's hardware capacity
+        // never degrades permanently while spares remain.
+        for i in 0..self.units.len() {
+            if self.units[i].health.state() == HealthState::Retired
+                && !self.units[i].retirement_handled
+            {
+                self.units[i].retirement_handled = true;
+                self.promote_spare_for(i, &mut report);
             }
         }
         // 2. Expired-in-queue cancellation: an operation whose deadline
@@ -630,6 +820,13 @@ impl<'a> Engine<'a> {
             completed_now += 1;
         }
         self.rr_cursor = (self.rr_cursor + 1) % n;
+        // 3b. Patrol scrubbing: an idle tick is spent replaying a
+        // bounded slice of the compiled scrub battery against the
+        // least-recently-verified healthy unit, so latent faults are
+        // caught before live traffic finds them.
+        if report.dispatched == 0 && self.patrol_slice > 0 {
+            self.patrol();
+        }
         // 4. Observe.
         let sample = CapacitySample {
             tick: self.tick,
@@ -673,61 +870,199 @@ impl<'a> Engine<'a> {
         u.unit.try_recover_with(&self.battery)
     }
 
-    /// Serves one operation on unit `i`: glitch storms, execution, the
-    /// per-op watchdog, health accounting and the escape cross-check.
-    fn dispatch_one(&mut self, i: usize, id: u64, op: Operation, trace: Option<TraceId>) {
-        let u = &mut self.units[i];
-        let ev0 = u.unit.sim().total_events();
-        let inc0 = u.unit.incidents().len();
-        // Induced-delay chaos: pulse the queued nets so the settle work
-        // for this op balloons.
-        let storm = std::mem::take(&mut u.pending_delay);
-        for net in storm {
-            let cur = u.unit.sim().read_bus(&[net]) & 1 == 1;
-            u.unit.sim_mut().inject_stuck_at(net, !cur);
-            u.unit.sim_mut().settle();
-            u.unit.sim_mut().clear_fault(net);
+    /// Answers the retirement of unit `retired` by activating a spare:
+    /// each standby in slot order runs a full activation scrub; the
+    /// first one that passes is promoted into service (logged as a
+    /// `spare → healthy` transition naming the replaced slot), and a
+    /// standby that fails its activation scrub is retired on the spot
+    /// and the next one tried.
+    fn promote_spare_for(&mut self, retired: usize, report: &mut TickReport) {
+        for s in 0..self.units.len() {
+            if self.units[s].health.state() != HealthState::Spare {
+                continue;
+            }
+            let pass = self.scrub(s);
+            report.scrubs += 1;
+            self.scrubs += 1;
+            if let Some(t) = &self.telemetry {
+                t.scrubs.inc();
+            }
+            if pass {
+                report.scrub_passes += 1;
+                self.scrub_passes += 1;
+                self.promotions += 1;
+                if let Some(t) = &self.telemetry {
+                    t.scrub_passes.inc();
+                    t.promotions.inc();
+                }
+                self.units[s].last_verified = self.tick;
+                self.units[s].health.promote(
+                    self.tick,
+                    format!("activation scrub passed; promoted to replace retired unit {retired}"),
+                );
+                return;
+            }
+            self.units[s].retirement_handled = true;
+            self.units[s].health.retire_spare(
+                self.tick,
+                "activation scrub failed; spare retired".to_string(),
+            );
         }
-        let result = u.unit.execute(op);
+    }
+
+    /// One patrol round: replay `patrol_slice` battery operations (a
+    /// rolling window over the compiled battery) against the stuck-fault
+    /// overlay of the least-recently-verified serving unit (healthy or
+    /// suspect — the states that carry hardware traffic). A failing
+    /// slice charges that unit's breaker — the normal quarantine → scrub
+    /// machinery takes it from there; a passing slice refreshes the
+    /// unit's verification stamp.
+    fn patrol(&mut self) {
+        let Some(i) = (0..self.units.len())
+            .filter(|&i| {
+                self.units[i].health.state().is_hw_capacity() && !self.units[i].unit.is_degraded()
+            })
+            .min_by_key(|&i| self.units[i].last_verified)
+        else {
+            return;
+        };
+        let len = self.battery.len();
+        let a = self.patrol_cursor.min(len.saturating_sub(1));
+        let b = (a + self.patrol_slice).min(len);
+        self.patrol_cursor = if b >= len { 0 } else { b };
+        let slice = &self.battery[a..b];
+        self.patrol_slices += 1;
+        if let Some(t) = &self.telemetry {
+            t.patrol_slices.inc();
+        }
+        let overlay = self.units[i].unit.sim().stuck_faults();
+        if run_scrub_compiled(&self.compiled, &self.ports, &overlay, slice).is_err() {
+            self.patrol_failures += 1;
+            if let Some(t) = &self.telemetry {
+                t.patrol_failures.inc();
+            }
+            self.units[i].health.on_incidents(self.tick, 1);
+        } else {
+            self.units[i].last_verified = self.tick;
+        }
+    }
+
+    /// Serves one operation on unit `i`: glitch storms, execution, the
+    /// per-op watchdog, the DMR shadow when the unit is under
+    /// suspicion, health accounting and the masking reference vote.
+    fn dispatch_one(&mut self, i: usize, id: u64, op: Operation, trace: Option<TraceId>) {
+        let dmr_due = self.units[i].health.state() == HealthState::Suspect;
+        let (mut result, delta, mut incidents) = {
+            let u = &mut self.units[i];
+            let ev0 = u.unit.sim().total_events();
+            let inc0 = u.unit.incidents().len();
+            // Induced-delay chaos: pulse the queued nets so the settle
+            // work for this op balloons.
+            let storm = std::mem::take(&mut u.pending_delay);
+            for net in storm {
+                let cur = u.unit.sim().read_bus(&[net]) & 1 == 1;
+                u.unit.sim_mut().inject_stuck_at(net, !cur);
+                u.unit.sim_mut().settle();
+                u.unit.sim_mut().clear_fault(net);
+            }
+            let mut result = u.unit.execute(op);
+            // Byzantine chaos: the output latch corrupts every Nth
+            // served result *after* the self-checks ran.
+            if let Some(b) = &mut u.byzantine {
+                b.served += 1;
+                if b.served % b.period == 0 {
+                    result.ph ^= b.mask;
+                }
+            }
+            let delta = u.unit.sim().total_events().saturating_sub(ev0);
+            let incidents = (u.unit.incidents().len() - inc0) as u32;
+            (result, delta, incidents)
+        };
         // Per-op watchdog: the settle-event delta of this dispatch
         // (including any storm) against the calibrated ceiling. The
         // in-simulator budget already hard-stops a single runaway
         // settle; this catches death-by-many-settles too.
-        let delta = u.unit.sim().total_events().saturating_sub(ev0);
-        let mut incidents = (u.unit.incidents().len() - inc0) as u32;
         if delta > self.watchdog_budget {
             incidents += 1;
-            u.watchdog_trips += 1;
+            self.units[i].watchdog_trips += 1;
             if let Some(t) = &self.telemetry {
                 t.watchdog_trips.inc();
+            }
+        }
+        let want = self.reference.execute(op);
+        // DMR-on-suspicion: work routed to a suspect unit is shadowed
+        // on a healthy peer in the same tick. A disagreeing pair goes
+        // to the bit-exact reference for the deciding vote; the losing
+        // replica's unit is charged an incident. The client never sees
+        // any of this — the masking vote below guarantees the answer.
+        if dmr_due {
+            let peer = (0..self.units.len()).find(|&j| {
+                j != i
+                    && self.units[j].health.state() == HealthState::Healthy
+                    && !self.units[j].unit.is_degraded()
+            });
+            if let Some(j) = peer {
+                self.dmr_shadows += 1;
+                if let Some(t) = &self.telemetry {
+                    t.dmr_shadows.inc();
+                }
+                let pu = &mut self.units[j];
+                let jinc0 = pu.unit.incidents().len();
+                let shadow = pu.unit.execute(op);
+                let jinc = (pu.unit.incidents().len() - jinc0) as u32;
+                if jinc > 0 {
+                    // The shadow surfaced the peer's own problems: feed
+                    // its breaker exactly like dispatched work would.
+                    pu.health
+                        .on_incidents_traced(self.tick, jinc, trace.map(TraceId::as_u64));
+                }
+                if !results_agree_hw(&shadow, &result) {
+                    self.dmr_mismatches += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.dmr_mismatches.inc();
+                    }
+                    if !results_agree_hw(&shadow, &want) {
+                        // The healthy peer was the wrong one: vote
+                        // against it. (A wrong suspect is charged by
+                        // the masking vote below.)
+                        self.units[j].health.on_incidents_traced(
+                            self.tick,
+                            1,
+                            trace.map(TraceId::as_u64),
+                        );
+                    }
+                }
             }
         }
         // A degraded unit serves correct (fallback) results but has no
         // business staying in rotation unexamined: force the breaker
         // towards quarantine so a scrub decides recovery vs retirement.
-        if u.unit.is_degraded() && u.health.state() != HealthState::Retired {
+        if self.units[i].unit.is_degraded() && self.units[i].health.state() != HealthState::Retired
+        {
             incidents = incidents.max(1);
         }
-        if incidents > 0 {
-            u.health
-                .on_incidents_traced(self.tick, incidents, trace.map(TraceId::as_u64));
-        } else {
-            u.health.on_clean_op(self.tick);
-        }
-        // The escape check: every delivered result is compared against
-        // the bit-exact reference. The hardware flag bus has no inexact
-        // wire, so flags are compared under the hardware mask.
-        let want = self.reference.execute(op);
-        let hw = Flags::INVALID | Flags::OVERFLOW | Flags::UNDERFLOW;
-        let ok = result.ph == want.ph
-            && result.pl == want.pl
-            && result.flags_lo.bits() & hw.bits() == want.flags_lo.bits() & hw.bits()
-            && result.flags_hi.bits() & hw.bits() == want.flags_hi.bits() & hw.bits();
-        if !ok {
-            self.escapes += 1;
+        // The masking reference vote: every delivered result is
+        // compared against the bit-exact reference (the hardware flag
+        // bus has no inexact wire, so flags compare under the hardware
+        // mask). A disagreement is *masked* — the reference result is
+        // substituted and the unit charged — so a wrong answer never
+        // reaches a caller and `escapes` stays zero by construction.
+        if !results_agree_hw(&result, &want) {
+            self.masked += 1;
+            incidents += 1;
             if let Some(t) = &self.telemetry {
-                t.escapes.inc();
+                t.masked.inc();
             }
+            result = want;
+        }
+        if incidents > 0 {
+            self.units[i].health.on_incidents_traced(
+                self.tick,
+                incidents,
+                trace.map(TraceId::as_u64),
+            );
+        } else {
+            self.units[i].health.on_clean_op(self.tick);
         }
         self.done += 1;
         if let Some(t) = &self.telemetry {
@@ -745,11 +1080,13 @@ impl<'a> Engine<'a> {
 
     fn update_gauges(&mut self, sample: &CapacitySample) {
         // Mirror freshly logged transitions into the counter first (this
-        // also works when telemetry is attached mid-run).
+        // also works when telemetry is attached mid-run). The watermark
+        // diffs against the monotone logged total, so ring eviction in
+        // the bounded transition log never undercounts.
         let mut fresh = 0u64;
         for u in &mut self.units {
-            let now = u.health.transitions().len();
-            fresh += (now - u.mirrored_transitions) as u64;
+            let now = u.health.transitions_logged();
+            fresh += now - u.mirrored_transitions;
             u.mirrored_transitions = now;
         }
         if let Some(t) = &self.telemetry {
@@ -792,6 +1129,8 @@ mod tests {
             },
             watchdog_margin: 4,
             quad_lanes: false,
+            spares: 0,
+            patrol_slice: 0,
         }
     }
 
@@ -1028,6 +1367,138 @@ mod tests {
         engine3.submit(Operation::int64(3, 4)).unwrap();
         engine3.tick();
         assert_eq!(engine3.transitions(0)[0].trace, None);
+    }
+
+    #[test]
+    fn byzantine_unit_is_outvoted_masked_and_never_escapes() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut engine = Engine::new(&n, &ports, 2, small_cfg());
+        // An output-latch defect beyond check coverage: every 3rd
+        // result served by unit 0 has a product bit flipped after the
+        // self-checks ran. Scrubs replay the checked datapath and pass.
+        engine.inject_byzantine(0, 3, 1 << 7);
+        let mut sent = 0u64;
+        while sent < 60 || engine.pending() > 0 {
+            if sent < 60 && engine.submit(Operation::int64(sent + 2, 5)).is_ok() {
+                sent += 1;
+            }
+            engine.tick();
+        }
+        // The contract: wrong answers were produced, every one was
+        // masked before delivery, none escaped.
+        assert_eq!(engine.escapes(), 0, "no wrong answer ever delivered");
+        assert!(engine.masked() >= 3, "the latch did corrupt results");
+        let done = engine.take_completed();
+        assert_eq!(done.len() as u64, 60);
+        for c in &done {
+            assert_eq!(c.result.int_product(), ((c.id + 2) * 5) as u128);
+        }
+        // The masking votes charged the breaker: the unit was
+        // quarantined, its scrub passed (the battery sees a clean
+        // datapath — that is what makes the fault Byzantine), and it
+        // was readmitted to flap again.
+        let trail: Vec<_> = engine
+            .transitions(0)
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert!(
+            trail.contains(&(HealthState::Suspect, HealthState::Quarantined)),
+            "breaker opened on the byzantine unit: {trail:?}"
+        );
+        assert!(
+            trail.contains(&(HealthState::Probation, HealthState::Healthy)),
+            "scrubs pass — the fault is beyond battery coverage: {trail:?}"
+        );
+        // While suspect, dispatches were DMR-shadowed on the healthy
+        // peer, and corrupted ones lost the vote.
+        assert!(engine.dmr_shadows() >= 1, "suspicion triggered shadows");
+        assert_eq!(
+            engine.unit_state(1),
+            HealthState::Healthy,
+            "the honest peer is never blamed"
+        );
+    }
+
+    #[test]
+    fn retirement_promotes_a_spare_and_restores_capacity() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut cfg = small_cfg();
+        cfg.spares = 1;
+        let mut engine = Engine::new(&n, &ports, 2, cfg);
+        assert_eq!(engine.unit_count(), 3, "2 serving + 1 standby slots");
+        assert_eq!(engine.hw_capacity(), 2, "spares are not capacity");
+        assert_eq!(engine.spares_available(), 1);
+        assert_eq!(engine.unit_state(2), HealthState::Spare);
+        // A physical defect retires unit 0 after max_scrub_failures.
+        engine.inject_stuck_at(0, ports.chk_p0[0], true, true);
+        let mut sent = 0u64;
+        while sent < 60 || engine.pending() > 0 {
+            if sent < 60 && engine.submit(Operation::int64(sent + 2, 9)).is_ok() {
+                sent += 1;
+            }
+            engine.tick();
+        }
+        assert_eq!(engine.unit_state(0), HealthState::Retired);
+        // The standby was promoted in the same tick the retirement was
+        // observed: capacity is back at its pre-fault value.
+        assert_eq!(engine.unit_state(2), HealthState::Healthy);
+        assert_eq!(engine.hw_capacity(), 2, "capacity fully restored");
+        assert_eq!(engine.promotions(), 1);
+        assert_eq!(engine.spares_available(), 0);
+        assert_eq!(engine.escapes(), 0);
+        let promo = engine
+            .transitions(2)
+            .iter()
+            .find(|t| t.from == HealthState::Spare && t.to == HealthState::Healthy)
+            .expect("promotion is a logged health transition");
+        assert!(
+            promo.reason.contains("retired unit 0"),
+            "the transition names the replaced slot: {}",
+            promo.reason
+        );
+        // The capacity timeline shows dip and restoration.
+        let caps: Vec<_> = engine.timeline().iter().map(|s| s.hw_capacity).collect();
+        assert!(caps.iter().any(|&c| c < 2), "capacity dipped: {caps:?}");
+        assert_eq!(*caps.last().unwrap(), 2, "and recovered via promotion");
+    }
+
+    #[test]
+    fn patrol_scrubbing_catches_a_latent_fault_without_traffic() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let ports = build_unit(&mut n);
+        let mut cfg = small_cfg();
+        cfg.patrol_slice = 8;
+        let mut engine = Engine::new(&n, &ports, 2, cfg);
+        // Latent (non-sticky) damage on an idle unit: no operation is
+        // ever submitted, so only patrol can find it.
+        engine.inject_stuck_at(0, ports.chk_p0[0], true, false);
+        let mut caught = false;
+        for _ in 0..200 {
+            engine.tick();
+            if engine.unit_state(0) != HealthState::Healthy {
+                caught = true;
+            }
+        }
+        let (slices, failures) = engine.patrol_stats();
+        assert!(caught, "patrol surfaced the latent fault");
+        assert!(slices >= 2, "idle ticks ran patrol slices: {slices}");
+        assert!(failures >= 1, "the faulty slice failed: {failures}");
+        // The breaker machinery took over: quarantine, scrub (repair
+        // clears the latched damage), readmission.
+        assert_eq!(engine.unit_state(0), HealthState::Healthy);
+        let trail: Vec<_> = engine
+            .transitions(0)
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert!(
+            trail.contains(&(HealthState::Probation, HealthState::Healthy)),
+            "repaired and readmitted: {trail:?}"
+        );
+        assert_eq!(engine.escapes(), 0);
     }
 
     #[test]

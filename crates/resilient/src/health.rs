@@ -22,6 +22,13 @@
 
 use mfm_telemetry::json::JsonObject;
 
+/// Upper bound on the per-unit transition log. Like the service's
+/// `TraceRing`, the log evicts oldest-first once full; the monotone
+/// [`HealthTracker::transitions_logged`] total keeps delta-based
+/// consumers (gauge mirroring, flight-recorder feeds) correct across
+/// evictions.
+pub const TRANSITION_LOG_CAP: usize = 64;
+
 /// Lifecycle state of one pool unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HealthState {
@@ -36,6 +43,9 @@ pub enum HealthState {
     /// Scrubbing gave up after `max_scrub_failures` failures; the unit
     /// serves only through its functional fallback, forever.
     Retired,
+    /// A provisioned cold standby: powered but out of rotation, waiting
+    /// to be promoted when a serving unit retires.
+    Spare,
 }
 
 impl HealthState {
@@ -47,6 +57,7 @@ impl HealthState {
             HealthState::Quarantined => "quarantined",
             HealthState::Probation => "probation",
             HealthState::Retired => "retired",
+            HealthState::Spare => "spare",
         }
     }
 
@@ -64,6 +75,12 @@ impl HealthState {
     /// hardware) results rather than the functional fallback.
     pub const fn is_hw_capacity(self) -> bool {
         matches!(self, HealthState::Healthy | HealthState::Suspect)
+    }
+
+    /// Whether a unit in this state is a cold standby awaiting
+    /// promotion.
+    pub const fn is_spare(self) -> bool {
+        matches!(self, HealthState::Spare)
     }
 }
 
@@ -157,20 +174,35 @@ pub struct HealthTracker {
     cooldown_left: u32,
     /// Failed scrubs since the unit last left `Healthy`.
     scrub_failures: u32,
+    /// Bounded transition ring, oldest first (see [`TRANSITION_LOG_CAP`]).
     transitions: Vec<HealthTransition>,
+    /// Monotone count of every transition ever logged, including ones
+    /// the ring has since evicted.
+    logged: u64,
 }
 
 impl HealthTracker {
     /// A fresh (healthy) tracker under the given policy.
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::with_state(cfg, HealthState::Healthy)
+    }
+
+    /// A tracker born as a cold standby ([`HealthState::Spare`]): out of
+    /// dispatch and out of hardware capacity until promoted.
+    pub fn new_spare(cfg: BreakerConfig) -> Self {
+        Self::with_state(cfg, HealthState::Spare)
+    }
+
+    fn with_state(cfg: BreakerConfig, state: HealthState) -> Self {
         HealthTracker {
             cfg,
-            state: HealthState::Healthy,
+            state,
             incident_count: 0,
             clean_streak: 0,
             cooldown_left: 0,
             scrub_failures: 0,
             transitions: Vec::new(),
+            logged: 0,
         }
     }
 
@@ -184,14 +216,43 @@ impl HealthTracker {
         self.scrub_failures
     }
 
-    /// The full transition log, oldest first.
+    /// The retained transition log, oldest first. Bounded at
+    /// [`TRANSITION_LOG_CAP`] entries; use
+    /// [`HealthTracker::transitions_logged`] for the all-time total.
     pub fn transitions(&self) -> &[HealthTransition] {
         &self.transitions
+    }
+
+    /// Monotone total of transitions ever logged, including entries the
+    /// bounded ring has evicted. Consumers that mirror "fresh"
+    /// transitions must diff against this total, never against
+    /// `transitions().len()`.
+    pub fn transitions_logged(&self) -> u64 {
+        self.logged
     }
 
     /// Whether the dispatcher may hand this unit work right now.
     pub fn is_dispatchable(&self) -> bool {
         self.state.is_dispatchable()
+    }
+
+    /// Promote a spare into service. Only meaningful from
+    /// [`HealthState::Spare`]; any other state is left untouched.
+    pub fn promote(&mut self, tick: u64, reason: String) {
+        if self.state == HealthState::Spare {
+            self.incident_count = 0;
+            self.clean_streak = 0;
+            self.scrub_failures = 0;
+            self.go(tick, HealthState::Healthy, reason);
+        }
+    }
+
+    /// Retire a spare that failed its activation scrub. Only meaningful
+    /// from [`HealthState::Spare`].
+    pub fn retire_spare(&mut self, tick: u64, reason: String) {
+        if self.state == HealthState::Spare {
+            self.go(tick, HealthState::Retired, reason);
+        }
     }
 
     fn go(&mut self, tick: u64, to: HealthState, reason: String) {
@@ -200,6 +261,9 @@ impl HealthTracker {
 
     fn go_traced(&mut self, tick: u64, to: HealthState, reason: String, trace: Option<u64>) {
         let from = std::mem::replace(&mut self.state, to);
+        if self.transitions.len() == TRANSITION_LOG_CAP {
+            self.transitions.remove(0);
+        }
         self.transitions.push(HealthTransition {
             tick,
             from,
@@ -207,6 +271,7 @@ impl HealthTracker {
             reason,
             trace,
         });
+        self.logged += 1;
     }
 
     /// Feed `n ≥ 1` check incidents observed while serving one operation.
@@ -236,9 +301,12 @@ impl HealthTracker {
                 self.clean_streak = 0;
                 self.maybe_open(tick, trace);
             }
-            // Quarantined/probation units receive no traffic; retired is
-            // absorbing — nothing to count.
-            HealthState::Quarantined | HealthState::Probation | HealthState::Retired => {}
+            // Quarantined/probation/spare units receive no traffic;
+            // retired is absorbing — nothing to count.
+            HealthState::Quarantined
+            | HealthState::Probation
+            | HealthState::Retired
+            | HealthState::Spare => {}
         }
     }
 
@@ -468,6 +536,68 @@ mod tests {
         let mut h2 = HealthTracker::new(cfg());
         h2.on_incidents(1, 1);
         assert!(!h2.transitions()[0].to_json().contains("trace_id"));
+    }
+
+    #[test]
+    fn transition_log_is_bounded_and_keeps_a_monotone_total() {
+        let mut h = HealthTracker::new(cfg());
+        // Flap Healthy <-> Suspect forever: two transitions per cycle
+        // (suspect on incident, healthy after the clean streak).
+        let mut tick = 0u64;
+        for _ in 0..3 * TRANSITION_LOG_CAP as u64 {
+            tick += 1;
+            h.on_incidents(tick, 1);
+            for _ in 0..4 {
+                tick += 1;
+                h.on_clean_op(tick);
+            }
+        }
+        let expected_total = 2 * 3 * TRANSITION_LOG_CAP as u64;
+        assert_eq!(h.transitions_logged(), expected_total);
+        assert_eq!(
+            h.transitions().len(),
+            TRANSITION_LOG_CAP,
+            "ring never exceeds the cap"
+        );
+        // Oldest-first: the retained window is the most recent entries,
+        // in chronological order.
+        let ticks: Vec<u64> = h.transitions().iter().map(|t| t.tick).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]), "chronological");
+        // JSON shape unchanged for the entries that remain.
+        for t in h.transitions() {
+            mfm_telemetry::json::check(&t.to_json()).unwrap();
+        }
+    }
+
+    #[test]
+    fn spare_lifecycle_promotes_or_retires() {
+        let mut s = HealthTracker::new_spare(cfg());
+        assert_eq!(s.state(), HealthState::Spare);
+        assert!(!s.is_dispatchable(), "spares take no traffic");
+        assert!(!s.state().is_hw_capacity(), "spares are not capacity");
+        // Events addressed to a spare are ignored.
+        s.on_incidents(1, 5);
+        s.on_clean_op(2);
+        assert_eq!(s.on_tick(3), TickVerdict::None);
+        s.on_scrub(3, false);
+        assert_eq!(s.state(), HealthState::Spare);
+        assert_eq!(s.transitions_logged(), 0);
+        // Promotion moves it into service with a logged transition.
+        s.promote(7, "promoted to replace retired unit 0".to_string());
+        assert_eq!(s.state(), HealthState::Healthy);
+        let t = &s.transitions()[0];
+        assert_eq!((t.from, t.to), (HealthState::Spare, HealthState::Healthy));
+        assert!(t.to_json().contains("\"from\":\"spare\""));
+        // Promote is a no-op from any non-spare state.
+        s.promote(8, "again".to_string());
+        assert_eq!(s.transitions_logged(), 1);
+
+        // A spare that fails its activation scrub is retired instead.
+        let mut bad = HealthTracker::new_spare(cfg());
+        bad.retire_spare(9, "activation scrub failed".to_string());
+        assert_eq!(bad.state(), HealthState::Retired);
+        bad.retire_spare(10, "again".to_string());
+        assert_eq!(bad.transitions_logged(), 1, "retired is absorbing");
     }
 
     /// Property: from ANY reachable state except `Retired`, a fault-free

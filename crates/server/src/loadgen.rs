@@ -52,6 +52,13 @@ pub struct LoadgenConfig {
     /// Per-request relative deadline in microseconds (0 = server
     /// default).
     pub deadline_micros: u32,
+    /// Mark every N-th clean request `critical` (wire v3 flag), opting
+    /// it into server-side TMR voting. 0 sends no critical requests.
+    pub critical_every: u64,
+    /// Metrics address (`host:port`) to scrape `/statusz` from after
+    /// the run, folding the server's redundancy counters (votes, DMR
+    /// hedges, patrol slices) into the report. `None` skips the scrape.
+    pub statusz_addr: Option<String>,
     /// How long to keep draining responses after the last send.
     pub drain: Duration,
 }
@@ -67,6 +74,8 @@ impl Default for LoadgenConfig {
             garbage_conns: 2,
             arrivals: ArrivalConfig::default(),
             deadline_micros: 0,
+            critical_every: 0,
+            statusz_addr: None,
             drain: Duration::from_secs(60),
         }
     }
@@ -95,6 +104,11 @@ pub struct LoadReport {
     /// `Ok` responses whose payload disagreed with the bit-exact
     /// reference. The invariant is zero.
     pub escapes: u64,
+    /// Clean requests sent with the wire-v3 `critical` flag.
+    pub critical_sent: u64,
+    /// Server-side redundancy counters scraped from `/statusz` after
+    /// the run (when [`LoadgenConfig::statusz_addr`] is set).
+    pub redundancy: Option<RedundancyStats>,
     /// Wall time from first send to last response, microseconds.
     pub elapsed_micros: u64,
     /// Exact client-observed latency quantiles over `Ok` responses,
@@ -186,6 +200,92 @@ impl PhaseBreakdown {
     }
 }
 
+/// The server's redundancy counters as exposed by the `/statusz`
+/// `"redundancy"` object, scraped once after the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RedundancyStats {
+    /// TMR ballots held (critical lanes plus recovery-window lanes).
+    pub votes: u64,
+    /// Ballots where at least one replica was outvoted (or the
+    /// reference had to break a tie).
+    pub vote_mismatches: u64,
+    /// Whole batches voted because their routed unit was Suspect.
+    pub dmr_batches: u64,
+    /// Engine-level DMR shadow executions.
+    pub dmr_shadows: u64,
+    /// Wrong answers masked by the engine's reference vote.
+    pub masked: u64,
+    /// Spares promoted into retired units' slots.
+    pub promotions: u64,
+    /// Patrol-scrub slices run on idle ticks.
+    pub patrol_slices: u64,
+    /// Patrol slices that caught a fault.
+    pub patrol_failures: u64,
+}
+
+impl RedundancyStats {
+    /// Parses the counters out of a `/statusz` JSON body; counters the
+    /// body lacks read as zero.
+    fn from_statusz(body: &str) -> RedundancyStats {
+        let get = |key: &str| -> u64 {
+            let pat = format!("\"{key}\":");
+            body.find(&pat)
+                .map(|at| {
+                    body[at + pat.len()..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                        .parse()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0)
+        };
+        RedundancyStats {
+            votes: get("votes"),
+            vote_mismatches: get("vote_mismatches"),
+            dmr_batches: get("dmr_batches"),
+            dmr_shadows: get("dmr_shadows"),
+            masked: get("masked"),
+            promotions: get("promotions"),
+            patrol_slices: get("patrol_slices"),
+            patrol_failures: get("patrol_failures"),
+        }
+    }
+
+    /// Renders the scraped counters plus derived overhead rates.
+    fn to_json(self, ok: u64) -> String {
+        let denom = ok.max(1) as f64;
+        let mut o = JsonObject::new();
+        o.field_u64("votes", self.votes)
+            .field_u64("vote_mismatches", self.vote_mismatches)
+            .field_u64("dmr_batches", self.dmr_batches)
+            .field_u64("dmr_shadows", self.dmr_shadows)
+            .field_u64("masked", self.masked)
+            .field_u64("promotions", self.promotions)
+            .field_u64("patrol_slices", self.patrol_slices)
+            .field_u64("patrol_failures", self.patrol_failures)
+            .field_f64("vote_rate", self.votes as f64 / denom)
+            .field_f64(
+                "hedge_rate",
+                (self.dmr_shadows + self.dmr_batches) as f64 / denom,
+            );
+        o.finish()
+    }
+}
+
+/// One plain-HTTP `GET /statusz` against the metrics listener,
+/// returning the response body (headers stripped).
+fn scrape_statusz(addr: &str) -> Option<String> {
+    use std::io::Read;
+    let mut s = TcpStream::connect(addr).ok()?;
+    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+    s.write_all(b"GET /statusz HTTP/1.0\r\n\r\n").ok()?;
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string());
+    body.filter(|b| !b.is_empty())
+}
+
 impl LoadReport {
     /// Completed operations per second of wall time.
     pub fn ops_per_sec(&self) -> f64 {
@@ -224,7 +324,8 @@ impl LoadReport {
             .field_u64("burst_every", cfg.arrivals.burst_every)
             .field_u64("burst_len", cfg.arrivals.burst_len)
             .field_f64("burst_factor", cfg.arrivals.burst_factor)
-            .field_u64("deadline_micros", cfg.deadline_micros as u64);
+            .field_u64("deadline_micros", cfg.deadline_micros as u64)
+            .field_u64("critical_every", cfg.critical_every);
         let mut t = JsonObject::new();
         t.field_u64("sent", self.sent)
             .field_u64("ok", self.ok)
@@ -234,7 +335,8 @@ impl LoadReport {
             .field_u64("garbage_sent", self.garbage_sent)
             .field_u64("garbage_acked", self.garbage_acked)
             .field_u64("unanswered", self.unanswered)
-            .field_u64("escapes", self.escapes);
+            .field_u64("escapes", self.escapes)
+            .field_u64("critical_sent", self.critical_sent);
         let mut l = JsonObject::new();
         l.field_u64("p50", self.p50_micros)
             .field_u64("p90", self.p90_micros)
@@ -248,11 +350,14 @@ impl LoadReport {
             .field_f64("shed_rate", self.shed_rate())
             .field_raw("latency_micros", &l.finish())
             .field_raw("phase_micros", &self.phases.to_json())
-            .field_u64("elapsed_micros", self.elapsed_micros)
-            .field_str(
-                "zero_escape",
-                if self.escapes == 0 { "PASS" } else { "FAIL" },
-            );
+            .field_u64("elapsed_micros", self.elapsed_micros);
+        if let Some(r) = self.redundancy {
+            root.field_raw("redundancy", &r.to_json(self.ok));
+        }
+        root.field_str(
+            "zero_escape",
+            if self.escapes == 0 { "PASS" } else { "FAIL" },
+        );
         root.finish()
     }
 }
@@ -285,6 +390,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                     id,
                     op: gen.mixed_operation(&mix),
                     deadline_micros: cfg.deadline_micros,
+                    critical: cfg.critical_every > 0 && id % cfg.critical_every == 0,
                 },
             }
         })
@@ -330,6 +436,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         report.malformed_on_clean += conn.malformed;
         report.unanswered += conn.unanswered;
         report.escapes += conn.escapes;
+        report.critical_sent += conn.critical_sent;
         latencies.extend(conn.latencies);
         queue.extend(conn.queue_micros);
         exec.extend(conn.exec_micros);
@@ -359,6 +466,9 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         report.p99_micros = q(0.99);
         report.mean_micros = (latencies.iter().sum::<u64>() as f64 / latencies.len() as f64) as u64;
     }
+    if let Some(addr) = &cfg.statusz_addr {
+        report.redundancy = scrape_statusz(addr).map(|b| RedundancyStats::from_statusz(&b));
+    }
     report
 }
 
@@ -371,6 +481,7 @@ struct ConnReport {
     malformed: u64,
     unanswered: u64,
     escapes: u64,
+    critical_sent: u64,
     latencies: Vec<u64>,
     queue_micros: Vec<u64>,
     exec_micros: Vec<u64>,
@@ -395,6 +506,11 @@ fn run_conn(
         return report;
     }
     let ops: HashMap<u64, Operation> = plan.iter().map(|p| (p.req.id, p.req.op)).collect();
+    let critical_ids: std::collections::HashSet<u64> = plan
+        .iter()
+        .filter(|p| p.req.critical)
+        .map(|p| p.req.id)
+        .collect();
     let stream = match TcpStream::connect(addr) {
         Ok(s) => s,
         Err(_) => {
@@ -499,6 +615,9 @@ fn run_conn(
     let reference = FunctionalUnit::new();
     let hw = (Flags::INVALID | Flags::OVERFLOW | Flags::UNDERFLOW).bits();
     for (id, at) in &sent_at {
+        if critical_ids.contains(id) {
+            report.critical_sent += 1;
+        }
         match answered.get(id) {
             Some((
                 Response::Ok {
@@ -597,12 +716,15 @@ fn run_garbage(addr: &str, n: usize, seed: u64) -> (u64, u64) {
 
 /// A deterministic corpus of malformed frames: truncated header,
 /// oversized length prefix, zero-length body, wrong magic, wrong
-/// version, bad format tag, trailing garbage.
+/// version, bad format tag, trailing garbage, plus the v2→v3
+/// negotiation edge cases (a truncated v2 body, a v2 frame dragging a
+/// stray v3 flags byte, and a v3 frame missing its flags byte).
 fn adversarial_frames(seed: u64) -> Vec<Vec<u8>> {
     let good = encode_request(&Request {
         id: seed,
         op: Operation::int64(seed, 3),
         deadline_micros: 0,
+        critical: false,
     });
     let mut out = Vec::new();
     // Truncated header (2 of 4 length bytes, then close).
@@ -630,6 +752,26 @@ fn adversarial_frames(seed: u64) -> Vec<Vec<u8>> {
     f.extend_from_slice(b"zzz");
     let len = (f.len() - 4) as u32;
     f[..4].copy_from_slice(&len.to_le_bytes());
+    out.push(f);
+    // A valid v2 frame (v3 minus the flags byte) truncated mid-body:
+    // the negotiation path must still salvage the id and answer.
+    let mut v2 = good.clone();
+    v2.truncate(good.len() - 1);
+    let v2_len = (v2.len() - 4) as u32;
+    v2[..4].copy_from_slice(&v2_len.to_le_bytes());
+    v2[6] = 2;
+    let mut f = v2.clone();
+    f.truncate(4 + 20);
+    f[..4].copy_from_slice(&20u32.to_le_bytes());
+    out.push(f);
+    // A v2 frame dragging a stray v3 flags byte (trailing garbage for
+    // that version).
+    let mut f = good.clone();
+    f[6] = 2;
+    out.push(f);
+    // A v3 frame missing its flags byte (truncated body for v3).
+    let mut f = v2;
+    f[6] = 3;
     out.push(f);
     out
 }

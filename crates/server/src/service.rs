@@ -29,6 +29,20 @@
 //! reference — a lane that fails its check is *rescued* through the
 //! engine's event-driven path, never answered from the failed batch.
 //!
+//! # Adaptive redundancy
+//!
+//! On top of the per-lane checks the batch path runs *redundant-lane
+//! execution*: a request carrying the wire-v3 `critical` flag is
+//! replicated across up to three units' fault overlays and the replicas
+//! vote, with the `mfm-softfloat`-backed reference breaking ties; a
+//! replica outvoted by the majority is charged to its unit's breaker
+//! without the wrong answer ever surfacing. The same voting tier
+//! engages automatically for a whole batch when its routed unit is
+//! `Suspect` (DMR-on-suspicion) and for every lane during a recovery
+//! window after any caught would-be escape. Byzantine output-latch
+//! faults armed on the engine corrupt batch lanes *after* their
+//! self-checks — exactly the fault class only redundancy can catch.
+//!
 //! # Tracing and the flight recorder
 //!
 //! Every admitted request carries a [`TraceId`] (minted at frame decode
@@ -54,7 +68,7 @@ use std::time::Instant;
 
 use mfm_gatesim::{CompiledNetlist, CompiledSim, Netlist};
 use mfm_resilient::backoff::{BackoffConfig, SubmitBackoff};
-use mfm_resilient::{Engine, EngineConfig};
+use mfm_resilient::{Engine, EngineConfig, HealthState};
 use mfm_softfloat::Flags;
 use mfm_telemetry::{
     Counter, FlightEvent, FlightRecorder, Gauge, Histogram, IncidentTrigger, Phase, PhaseSpans,
@@ -152,6 +166,10 @@ const TRACE_RING_CAP: usize = 256;
 const FLIGHT_RING_CAP: usize = 128;
 /// Minimum ticks between incident reports of the same trigger kind.
 const INCIDENT_MIN_GAP_TICKS: u64 = 32;
+/// Ticks the TMR voting tier stays engaged for *every* lane after any
+/// caught would-be escape (a masked engine result, a DMR mismatch, a
+/// lost vote, or the belt-and-braces escape guard firing).
+const TMR_RECOVERY_TICKS: u64 = 64;
 
 /// One admitted request waiting for a batch slot.
 #[derive(Debug, Clone, Copy)]
@@ -170,6 +188,8 @@ struct PendingReq {
     spans: PhaseSpans,
     /// Tick the request entered the rescue path (0 = never rescued).
     rescued_at: u64,
+    /// Whether the client asked for TMR voting (wire-v3 flag).
+    critical: bool,
 }
 
 struct ServiceMetrics {
@@ -181,6 +201,9 @@ struct ServiceMetrics {
     check_failures: Counter,
     rescues: Counter,
     speculative: Counter,
+    votes: Counter,
+    vote_mismatches: Counter,
+    dmr_batches: Counter,
     tier: Gauge,
     pending: Gauge,
     latency_ticks: Histogram,
@@ -229,8 +252,23 @@ pub struct Service<'a> {
     last_tier: Tier,
     /// Watchdog-trip counts seen per unit, for edge detection.
     seen_watchdog: Vec<u64>,
-    /// Breaker transitions already forwarded to the flight recorder.
-    seen_transitions: Vec<usize>,
+    /// Per-unit watermark of breaker transitions already forwarded to
+    /// the flight recorder, measured against the tracker's *monotone
+    /// logged total* (the in-memory trail is a bounded ring).
+    seen_transitions: Vec<u64>,
+    /// Tick the post-escape TMR recovery window runs until (exclusive).
+    tmr_until: u64,
+    /// TMR votes held so far.
+    votes: u64,
+    /// Votes where at least one replica disagreed with the majority.
+    vote_mismatches: u64,
+    /// Batches escalated to whole-batch voting because their routed
+    /// unit was `Suspect` (DMR-on-suspicion).
+    dmr_batches: u64,
+    /// Engine `masked` count at the last tick, for escape-edge detection.
+    seen_masked: u64,
+    /// Engine DMR-mismatch count at the last tick, same purpose.
+    seen_dmr_mismatches: u64,
 }
 
 impl<'a> Service<'a> {
@@ -267,13 +305,17 @@ impl<'a> Service<'a> {
             check_failures: registry.counter("service.check_failures"),
             rescues: registry.counter("service.rescues"),
             speculative: registry.counter("service.speculative_checks"),
+            votes: registry.counter("service.tmr_votes"),
+            vote_mismatches: registry.counter("service.tmr_vote_mismatches"),
+            dmr_batches: registry.counter("service.dmr_batches"),
             tier: registry.gauge("service.tier"),
             pending: registry.gauge("service.pending"),
             latency_ticks: registry.histogram_with("service.latency_ticks", &lat_bounds),
             batch_fill: registry.histogram_with("service.batch_fill", &fill_bounds),
             phase_micros,
         };
-        let units_built = cfg.units.max(1);
+        // The pool holds the active units *plus* any cold spares.
+        let units_built = engine.unit_count();
         Service {
             engine,
             ports: ports.clone(),
@@ -298,6 +340,12 @@ impl<'a> Service<'a> {
             last_tier: Tier::Normal,
             seen_watchdog: vec![0; units_built],
             seen_transitions: vec![0; units_built],
+            tmr_until: 0,
+            votes: 0,
+            vote_mismatches: 0,
+            dmr_batches: 0,
+            seen_masked: 0,
+            seen_dmr_mismatches: 0,
             cfg,
         }
     }
@@ -351,6 +399,21 @@ impl<'a> Service<'a> {
         &mut self.engine
     }
 
+    /// TMR votes held on batch lanes so far.
+    pub fn votes(&self) -> u64 {
+        self.votes
+    }
+
+    /// Votes where at least one replica disagreed with the majority.
+    pub fn vote_mismatches(&self) -> u64 {
+        self.vote_mismatches
+    }
+
+    /// Whether the post-escape TMR recovery window is currently open.
+    pub fn tmr_window_active(&self) -> bool {
+        self.engine.now() < self.tmr_until
+    }
+
     /// Admission control for one well-formed request from `client`,
     /// minting a fresh trace id. See [`Service::admit_traced`].
     pub fn admit(&mut self, client: u64, req: &Request) -> Option<Response> {
@@ -401,6 +464,7 @@ impl<'a> Service<'a> {
             trace,
             spans: PhaseSpans::default(),
             rescued_at: 0,
+            critical: req.critical,
         };
         self.queues
             .entry(req.op.format)
@@ -486,14 +550,19 @@ impl<'a> Service<'a> {
                     "{{\"unit\":{i},\"state\":\"{}\",\"watchdog_trips\":{},\"transitions\":{}}}",
                     self.engine.unit_state(i).label(),
                     self.engine.watchdog_trips(i),
-                    self.engine.transitions(i).len()
+                    self.engine.transitions_logged(i)
                 )
             })
             .collect();
+        let (patrol_slices, patrol_failures) = self.engine.patrol_stats();
         format!(
             "{{\"tick\":{},\"tier\":\"{}\",\"backlog\":{},\"pending_cap\":{},\
              \"queues\":{{{}}},\"rescue_depth\":{},\"in_engine\":{},\
              \"answered\":{},\"shed\":{},\"units\":[{}],\
+             \"redundancy\":{{\"votes\":{},\"vote_mismatches\":{},\"dmr_batches\":{},\
+             \"dmr_shadows\":{},\"dmr_mismatches\":{},\"masked\":{},\"promotions\":{},\
+             \"spares_available\":{},\"hw_capacity\":{},\"patrol_slices\":{},\
+             \"patrol_failures\":{},\"tmr_window_active\":{}}},\
              \"flight\":{{\"events\":{},\"dropped\":{},\"incidents\":{}}}}}",
             self.engine.now(),
             self.tier().label(),
@@ -505,6 +574,18 @@ impl<'a> Service<'a> {
             self.answered,
             self.shed,
             units_json.join(","),
+            self.votes,
+            self.vote_mismatches,
+            self.dmr_batches,
+            self.engine.dmr_shadows(),
+            self.engine.dmr_mismatches(),
+            self.engine.masked(),
+            self.engine.promotions(),
+            self.engine.spares_available(),
+            self.engine.hw_capacity(),
+            patrol_slices,
+            patrol_failures,
+            self.tmr_window_active(),
             self.flight.len(),
             self.flight.dropped(),
             self.flight.incidents_emitted(),
@@ -540,6 +621,7 @@ impl<'a> Service<'a> {
         self.flush_unacked_records();
         self.engine.tick();
         self.observe_engine_health();
+        self.note_caught_escapes();
         self.harvest_engine();
         self.expire_stale();
         self.pump_rescue();
@@ -577,15 +659,48 @@ impl<'a> Service<'a> {
         self.traces.push(rec);
     }
 
+    /// Opens (or extends) the TMR recovery window when the redundancy
+    /// layer caught a would-be escape since the last tick — a masked
+    /// engine result or a DMR shadow mismatch. For the next
+    /// [`TMR_RECOVERY_TICKS`] every batch lane is voted, critical or
+    /// not.
+    fn note_caught_escapes(&mut self) {
+        let masked = self.engine.masked();
+        let dmr = self.engine.dmr_mismatches();
+        if masked > self.seen_masked || dmr > self.seen_dmr_mismatches {
+            self.open_tmr_window("engine caught a would-be escape");
+        }
+        self.seen_masked = masked;
+        self.seen_dmr_mismatches = dmr;
+    }
+
+    fn open_tmr_window(&mut self, why: &str) {
+        let now = self.engine.now();
+        let until = now + TMR_RECOVERY_TICKS;
+        if until > self.tmr_until {
+            self.flight.record(FlightEvent {
+                tick: now,
+                trace: None,
+                kind: "tmr_window",
+                detail: format!("{why}; voting every lane until tick {until}"),
+            });
+            self.tmr_until = until;
+        }
+    }
+
     /// Forwards new breaker transitions and watchdog trips from the
     /// engine into the flight recorder; a fresh watchdog trip raises an
-    /// incident.
+    /// incident. Transition watermarks are kept against the tracker's
+    /// monotone logged total, so eviction from the bounded trail never
+    /// replays or skips events.
     fn observe_engine_health(&mut self) {
         let now = self.engine.now();
         for i in 0..self.engine.unit_count() {
+            let logged = self.engine.transitions_logged(i);
+            let fresh = logged.saturating_sub(self.seen_transitions[i]);
             let transitions = self.engine.transitions(i);
-            let n = transitions.len();
-            for tr in &transitions[self.seen_transitions[i].min(n)..] {
+            let tail = (fresh as usize).min(transitions.len());
+            for tr in &transitions[transitions.len() - tail..] {
                 self.flight.record(FlightEvent {
                     tick: now,
                     trace: tr.trace,
@@ -593,7 +708,7 @@ impl<'a> Service<'a> {
                     detail: tr.to_json(),
                 });
             }
-            self.seen_transitions[i] = n;
+            self.seen_transitions[i] = logged;
             let trips = self.engine.watchdog_trips(i);
             if trips > self.seen_watchdog[i] {
                 self.flight.record(FlightEvent {
@@ -693,8 +808,10 @@ impl<'a> Service<'a> {
         if !results_agree(&result, &want) {
             // The engine substitutes the checked fallback before
             // delivery, so this should be unreachable; if it ever fires
-            // we answer from the reference and count the guard.
+            // we answer from the reference, count the guard, and vote
+            // everything for a recovery window.
             self.escape_guard_failures += 1;
+            self.open_tmr_window("escape guard fired on an engine result");
             self.push_ok(p, &want);
             return;
         }
@@ -865,10 +982,8 @@ impl<'a> Service<'a> {
         }
         self.metrics.batch_fill.observe(batch.len() as f64);
         let now = self.engine.now();
-        let queue_micros = |p: &PendingReq| {
-            now.saturating_sub(p.arrived)
-                .saturating_mul(self.cfg.micros_per_tick)
-        };
+        let mpt = self.cfg.micros_per_tick;
+        let queue_micros = move |p: &PendingReq| now.saturating_sub(p.arrived).saturating_mul(mpt);
         let units = self.batch_units();
         let unit = if units.is_empty() {
             None
@@ -908,24 +1023,48 @@ impl<'a> Service<'a> {
         let t_eval = Instant::now();
         let raws = run_raw_compiled(&mut sim, &self.ports, &ops);
         let eval_micros = t_eval.elapsed().as_micros() as u64;
+        // A Byzantine output latch corrupts results *after* the compiled
+        // eval produced its self-checkable raw image: flagged lanes get
+        // the armed pattern XORed into the high product word downstream
+        // of `check_raw`, exactly like the engine's dispatch path.
+        let byz = self.engine.byzantine_lane_mask(unit, batch.len());
+        let byz_pattern = self.engine.byzantine_pattern(unit);
         let t_verify = Instant::now();
+        // Redundant-lane batching: a lane is voted when its request is
+        // critical, when the post-escape recovery window is open, or
+        // when the whole batch routed through a Suspect unit
+        // (DMR-on-suspicion).
+        let dmr_batch = self.engine.unit_state(unit) == HealthState::Suspect;
+        if dmr_batch {
+            self.dmr_batches += 1;
+            self.metrics.dmr_batches.inc();
+        }
+        let vote_all = dmr_batch || now < self.tmr_until;
+        let replicas = if vote_all || batch.iter().any(|p| p.critical) {
+            self.run_replicas(unit, &units, &ops)
+        } else {
+            Vec::new()
+        };
         let mut incidents = 0u32;
         let mut verified: Vec<(PendingReq, Option<mfmult::MultResult>)> =
             Vec::with_capacity(batch.len());
-        for (&p, raw) in batch.iter().zip(&raws) {
+        for (idx, (&p, raw)) in batch.iter().zip(&raws).enumerate() {
             let mut p = p;
             p.spans.add(Phase::QueueWait, queue_micros(&p));
             p.spans.add(Phase::BatchFill, fill_micros);
             p.spans.add(Phase::CompiledEval, eval_micros);
-            let self_check_ok = check_raw(p.op, raw).is_ok();
-            let mut ok = None;
-            if self_check_ok {
-                let got = result_from_raw(p.op, raw);
-                let want = self.reference.execute(p.op);
-                if results_agree(&got, &want) {
-                    ok = Some(got);
+            let mut got = check_raw(p.op, raw).ok().map(|()| {
+                let mut r = result_from_raw(p.op, raw);
+                if byz >> idx & 1 == 1 {
+                    r.ph ^= byz_pattern;
                 }
+                r
+            });
+            let want = self.reference.execute(p.op);
+            if (p.critical || vote_all) && !replicas.is_empty() {
+                got = self.vote_lane(&p, idx, unit, got, &replicas, &want, &mut incidents, now);
             }
+            let ok = got.filter(|g| results_agree(g, &want));
             verified.push((p, ok));
         }
         // The whole batch shares one verification pass; every lane
@@ -978,6 +1117,117 @@ impl<'a> Service<'a> {
                 .then(|| self.rescue.back().map(|p| p.trace))
                 .flatten(),
         );
+    }
+
+    /// Executes the batch's operations under up to two additional
+    /// units' fault overlays, returning per-replica lane results
+    /// (`None` where the replica's own self-check failed). A Byzantine
+    /// latch armed on a replica corrupts its results the same way the
+    /// primary's does, so no single faulty unit can sway a vote
+    /// undetected.
+    fn run_replicas(
+        &mut self,
+        primary: usize,
+        units: &[usize],
+        ops: &[Operation],
+    ) -> Vec<(usize, Vec<Option<mfmult::MultResult>>)> {
+        let mut out = Vec::new();
+        for &ru in units.iter().filter(|&&u| u != primary).take(2) {
+            let overlay = self.engine.unit(ru).sim().stuck_faults();
+            let mut sim = CompiledSim::new(&self.compiled);
+            for (net, value) in overlay {
+                sim.inject_stuck_at(net, !0, value);
+            }
+            let raws = run_raw_compiled(&mut sim, &self.ports, ops);
+            let byz = self.engine.byzantine_lane_mask(ru, ops.len());
+            let pattern = self.engine.byzantine_pattern(ru);
+            let results = ops
+                .iter()
+                .zip(&raws)
+                .enumerate()
+                .map(|(k, (&op, raw))| {
+                    check_raw(op, raw).ok().map(|()| {
+                        let mut r = result_from_raw(op, raw);
+                        if byz >> k & 1 == 1 {
+                            r.ph ^= pattern;
+                        }
+                        r
+                    })
+                })
+                .collect();
+            out.push((ru, results));
+        }
+        out
+    }
+
+    /// Holds the vote for one redundant lane: the primary's result plus
+    /// each replica's, majority wins, and the softfloat-backed reference
+    /// breaks ties. Outvoted replicas are charged to their unit's
+    /// breaker (the primary through this batch's aggregate incident
+    /// count) and every vote leaves a flight-recorder event.
+    #[allow(clippy::too_many_arguments)]
+    fn vote_lane(
+        &mut self,
+        p: &PendingReq,
+        idx: usize,
+        unit: usize,
+        primary: Option<mfmult::MultResult>,
+        replicas: &[(usize, Vec<Option<mfmult::MultResult>>)],
+        want: &mfmult::MultResult,
+        incidents: &mut u32,
+        now: u64,
+    ) -> Option<mfmult::MultResult> {
+        self.votes += 1;
+        self.metrics.votes.inc();
+        let mut ballots: Vec<(usize, Option<mfmult::MultResult>)> = vec![(unit, primary)];
+        for (ru, res) in replicas {
+            ballots.push((*ru, res[idx]));
+        }
+        let mut winner = None;
+        for (_, cand) in &ballots {
+            if let Some(c) = cand {
+                let agree = ballots
+                    .iter()
+                    .filter(|(_, o)| o.as_ref().is_some_and(|v| results_agree(v, c)))
+                    .count();
+                if agree * 2 > ballots.len() {
+                    winner = Some(*c);
+                    break;
+                }
+            }
+        }
+        let tiebreak = winner.is_none();
+        let winner = winner.unwrap_or(*want);
+        let mut outvoted = 0u32;
+        for (bu, cand) in &ballots {
+            if cand.as_ref().is_some_and(|v| results_agree(v, &winner)) {
+                continue;
+            }
+            outvoted += 1;
+            if *bu == unit {
+                *incidents += 1;
+            } else {
+                self.engine
+                    .note_external_service_traced(*bu, 1, Some(p.trace));
+            }
+        }
+        if outvoted > 0 || tiebreak {
+            self.vote_mismatches += 1;
+            self.metrics.vote_mismatches.inc();
+            self.open_tmr_window("a replica lost a TMR vote");
+        }
+        self.flight.record(FlightEvent {
+            tick: now,
+            trace: Some(p.trace.as_u64()),
+            kind: "tmr_vote",
+            detail: format!(
+                "request {} lane {idx} ballots {} outvoted {outvoted}{}",
+                p.id,
+                ballots.len(),
+                if tiebreak { " tiebreak=reference" } else { "" }
+            ),
+        });
+        Some(winner)
     }
 
     /// Speculative self-check: replays a sliding sample of the scrub
@@ -1052,6 +1302,8 @@ mod tests {
                 },
                 watchdog_margin: 4,
                 quad_lanes: false,
+                spares: 0,
+                patrol_slice: 0,
             },
             backoff: BackoffConfig {
                 base_ticks: 2,
@@ -1067,6 +1319,7 @@ mod tests {
             id,
             op,
             deadline_micros: 0,
+            critical: false,
         }
     }
 
@@ -1221,6 +1474,7 @@ mod tests {
             id: 500,
             op: Operation::int64(9, 9),
             deadline_micros: 100,
+            critical: false,
         };
         // Occupy the single-format batch with 64+ lanes so the doomed
         // request (different format) waits a tick.
@@ -1414,6 +1668,104 @@ mod tests {
         // trace of the offending request into /statusz accounting.
         let sz = svc.statusz_json();
         assert!(sz.contains("\"incidents\":"), "{sz}");
+    }
+
+    #[test]
+    fn critical_requests_vote_and_a_byzantine_unit_is_outvoted() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut cfg = small_cfg();
+        cfg.units = 3;
+        cfg.speculative_every = 0;
+        let mut svc = Service::new(&n, &ports, cfg, &reg);
+        // A Byzantine output latch on unit 0: every 2nd served result is
+        // corrupted *after* its self-checks, so only the vote can see it.
+        svc.engine_mut().inject_byzantine(0, 2, 1 << 17);
+        for k in 0..24u64 {
+            let mut r = req(k, Operation::int64(k + 1, 6));
+            r.critical = true;
+            assert!(svc.admit(1, &r).is_none());
+            svc.tick();
+        }
+        for _ in 0..20 {
+            svc.tick();
+        }
+        let out = svc.take_responses();
+        let mut answered = 0;
+        for (_, r) in &out {
+            if let Response::Ok { id, ph, pl, .. } = r {
+                let want = (*id + 1) as u128 * 6;
+                assert_eq!(((*ph as u128) << 64) | *pl as u128, want, "id {id}");
+                answered += 1;
+            }
+        }
+        assert!(answered >= 20, "critical traffic answered: {answered}");
+        assert_eq!(svc.escapes(), 0, "the corrupted replicas never escaped");
+        assert!(svc.votes() > 0, "critical lanes were voted");
+        assert!(
+            svc.vote_mismatches() > 0,
+            "the byzantine replica lost votes"
+        );
+        assert!(
+            reg.counter("service.tmr_votes").get() >= svc.votes(),
+            "votes are scrapeable"
+        );
+        // The lost votes charged unit 0's breaker out of Healthy. The
+        // fault is scrub-clean, so the unit may have already cycled
+        // through quarantine and a passing scrub back to Healthy —
+        // judge the transition log, not the momentary state.
+        assert!(
+            svc.engine_mut().transitions_logged(0) > 0,
+            "unit 0's breaker was charged"
+        );
+        assert!(
+            svc.engine_mut()
+                .transitions(0)
+                .iter()
+                .any(|t| t.from == HealthState::Healthy && t.to == HealthState::Suspect),
+            "the byzantine unit left Healthy at least once"
+        );
+        let sz = svc.statusz_json();
+        mfm_telemetry::json::check(&sz).unwrap();
+        assert!(sz.contains("\"redundancy\":{"), "{sz}");
+        assert!(sz.contains("\"votes\":"), "{sz}");
+        assert!(sz.contains("\"tmr_window_active\":"), "{sz}");
+    }
+
+    #[test]
+    fn recovery_window_votes_every_lane_after_a_caught_escape() {
+        let (n, ports) = build();
+        let reg = Registry::new();
+        let mut cfg = small_cfg();
+        cfg.units = 3;
+        cfg.speculative_every = 0;
+        let mut svc = Service::new(&n, &ports, cfg, &reg);
+        assert!(!svc.tmr_window_active());
+        // A byzantine latch that trips on non-critical traffic: the
+        // first corrupted batch lane loses its reference cross-check,
+        // gets rescued, and the engine's masking vote (on the rescue
+        // path) opens the recovery window; from then on even plain
+        // lanes are voted.
+        svc.engine_mut().inject_byzantine(0, 2, 1 << 9);
+        for k in 0..30u64 {
+            assert!(svc.admit(1, &req(k, Operation::int64(k + 1, 4))).is_none());
+            svc.tick();
+        }
+        for _ in 0..30 {
+            svc.tick();
+        }
+        assert_eq!(svc.escapes(), 0);
+        assert!(
+            svc.votes() > 0,
+            "plain lanes were voted once the window opened"
+        );
+        let out = svc.take_responses();
+        for (_, r) in &out {
+            if let Response::Ok { id, ph, pl, .. } = r {
+                let want = (*id + 1) as u128 * 4;
+                assert_eq!(((*ph as u128) << 64) | *pl as u128, want, "id {id}");
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! ```text
 //! frame    := len:u32le body[len]
 //! request  := magic:u16le ver:u8 kind(1):u8 id:u64le fmt:u8
-//!             deadline_micros:u32le xa:u64le yb:u64le          (33 B)
+//!             deadline_micros:u32le xa:u64le yb:u64le flags:u8 (34 B, v3)
+//!             (v2 requests omit the trailing flags byte — 33 B)
 //! response := magic:u16le ver:u8 kind(2):u8 id:u64le status:u8 payload
 //!   status 0 Ok               payload ph:u64le pl:u64le flags_lo:u8 flags_hi:u8
 //!                                     queue_micros:u32le exec_micros:u32le
@@ -32,9 +33,17 @@ use std::io::{Read, Write};
 /// Frame preamble magic: `"MF"` as a little-endian `u16`.
 pub const MAGIC: u16 = 0x4D46;
 /// Protocol version this build speaks. Version 2 widened the `Ok`
-/// payload with per-request `queue_micros`/`exec_micros` timing so
-/// clients can split queue time from service time without guessing.
-pub const VERSION: u8 = 2;
+/// payload with per-request `queue_micros`/`exec_micros` timing;
+/// version 3 appends a request `flags` byte carrying the `critical`
+/// bit that asks the server for triple-modular-redundant voting.
+pub const VERSION: u8 = 3;
+/// Oldest protocol version still accepted on decode. A v2 request body
+/// has no flags byte; it decodes with `critical = false`, so old
+/// clients negotiate down transparently.
+pub const MIN_VERSION: u8 = 2;
+/// Request flag bit 0: the client marks the operation *critical* and
+/// the server votes it across three units before answering.
+pub const FLAG_CRITICAL: u8 = 0b1;
 /// Message kind: request.
 pub const KIND_REQUEST: u8 = 1;
 /// Message kind: response.
@@ -44,7 +53,7 @@ pub const KIND_RESPONSE: u8 = 2;
 /// 4 GiB length prefix cannot balloon memory.
 pub const MAX_BODY: u32 = 256;
 
-const REQUEST_BODY: usize = 33;
+const REQUEST_BODY: usize = 34;
 const PREAMBLE: usize = 4;
 
 /// One multiply request.
@@ -57,6 +66,9 @@ pub struct Request {
     /// Relative deadline in microseconds from arrival; 0 means "no
     /// deadline" (the server applies its configured default).
     pub deadline_micros: u32,
+    /// Whether the client asked for triple-modular-redundant voting
+    /// (wire-v3 `flags` bit 0). Decodes as `false` from v2 frames.
+    pub critical: bool,
 }
 
 /// One response, correlated by request id.
@@ -162,7 +174,8 @@ pub enum WireError {
         /// The magic actually read.
         got: u16,
     },
-    /// The version byte was not [`VERSION`].
+    /// The version byte was outside the accepted
+    /// [`MIN_VERSION`]`..=`[`VERSION`] negotiation window.
     BadVersion {
         /// The version actually read.
         got: u8,
@@ -302,6 +315,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     body.extend_from_slice(&req.deadline_micros.to_le_bytes());
     body.extend_from_slice(&req.op.xa.to_le_bytes());
     body.extend_from_slice(&req.op.yb.to_le_bytes());
+    body.push(if req.critical { FLAG_CRITICAL } else { 0 });
     frame(body)
 }
 
@@ -405,42 +419,54 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parses the common preamble and returns `(kind, id)`. The id is read
-/// before kind-specific payload so even refused messages correlate.
-fn parse_preamble(c: &mut Cursor<'_>, want_kind: u8) -> Result<u64, WireError> {
+/// Parses the common preamble and returns `(version, id)`. Any version
+/// inside the [`MIN_VERSION`]`..=`[`VERSION`] window is accepted — the
+/// caller shapes the rest of the body by the negotiated version. The id
+/// is read before kind-specific payload so even refused messages
+/// correlate.
+fn parse_preamble(c: &mut Cursor<'_>, want_kind: u8) -> Result<(u8, u64), WireError> {
     let magic = c.u16()?;
     if magic != MAGIC {
         return Err(WireError::BadMagic { got: magic });
     }
     let version = c.u8()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::BadVersion { got: version });
     }
     let kind = c.u8()?;
     if kind != want_kind {
         return Err(WireError::BadKind { got: kind });
     }
-    c.u64()
+    Ok((version, c.u64()?))
 }
 
 /// Strictly parses one request body. Rejects everything that is not an
-/// exact, well-formed request — including trailing bytes.
+/// exact, well-formed request — including trailing bytes. A v2 body
+/// (33 bytes, no flags) decodes with `critical = false`; a v3 body must
+/// carry its flags byte. Reserved flag bits are masked off, not
+/// rejected, so a v4 client degrades gracefully against this build.
 pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
     if body.is_empty() {
         return Err(WireError::EmptyBody);
     }
     let mut c = Cursor { b: body, i: 0 };
-    let id = parse_preamble(&mut c, KIND_REQUEST)?;
+    let (version, id) = parse_preamble(&mut c, KIND_REQUEST)?;
     let tag = c.u8()?;
     let format = format_of(tag).ok_or(WireError::BadFormat { got: tag })?;
     let deadline_micros = c.u32()?;
     let xa = c.u64()?;
     let yb = c.u64()?;
+    let critical = if version >= 3 {
+        c.u8()? & FLAG_CRITICAL != 0
+    } else {
+        false
+    };
     c.done()?;
     Ok(Request {
         id,
         op: Operation { format, xa, yb },
         deadline_micros,
+        critical,
     })
 }
 
@@ -465,7 +491,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
         return Err(WireError::EmptyBody);
     }
     let mut c = Cursor { b: body, i: 0 };
-    let id = parse_preamble(&mut c, KIND_RESPONSE)?;
+    let (_version, id) = parse_preamble(&mut c, KIND_RESPONSE)?;
     let status = c.u8()?;
     let resp = match status {
         0 => Response::Ok {
@@ -557,18 +583,54 @@ mod tests {
             id: 0xDEAD_BEEF_0042,
             op: Operation::dual_binary32(0x3F80_0000, 0x4000_0000, 0x4040_0000, 0x3F00_0000),
             deadline_micros: 1500,
+            critical: false,
         }
+    }
+
+    /// Re-encodes a request as its 33-byte v2 body (no flags byte) —
+    /// what an old client still on the previous protocol emits.
+    fn encode_request_v2(req: &Request) -> Vec<u8> {
+        let mut f = encode_request(req);
+        f.truncate(f.len() - 1); // drop the v3 flags byte
+        f[..4].copy_from_slice(&((REQUEST_BODY - 1) as u32).to_le_bytes());
+        f[6] = 2; // version byte back to v2
+        f
     }
 
     #[test]
     fn request_round_trips() {
+        for critical in [false, true] {
+            let req = Request {
+                critical,
+                ..sample_request()
+            };
+            let f = encode_request(&req);
+            assert_eq!(
+                u32::from_le_bytes(f[..4].try_into().unwrap()) as usize,
+                f.len() - 4
+            );
+            assert_eq!(f.len() - 4, REQUEST_BODY);
+            assert_eq!(decode_request(&f[4..]).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn v2_requests_negotiate_down_to_non_critical() {
+        // A v2 body — one byte shorter, version byte 2 — decodes with
+        // `critical = false` and everything else intact.
         let req = sample_request();
-        let f = encode_request(&req);
-        assert_eq!(
-            u32::from_le_bytes(f[..4].try_into().unwrap()) as usize,
-            f.len() - 4
-        );
-        assert_eq!(decode_request(&f[4..]).unwrap(), req);
+        let f = encode_request_v2(&req);
+        assert_eq!(f.len() - 4, REQUEST_BODY - 1);
+        let got = decode_request(&f[4..]).unwrap();
+        assert_eq!(got, req);
+        assert!(!got.critical);
+        // Reserved v3 flag bits are masked, not rejected.
+        let mut v3 = encode_request(&req);
+        let last = v3.len() - 1;
+        v3[last] = 0b1110; // reserved bits set, critical clear
+        assert!(!decode_request(&v3[4..]).unwrap().critical);
+        v3[last] = 0b1111; // reserved bits set, critical set
+        assert!(decode_request(&v3[4..]).unwrap().critical);
     }
 
     #[test]
@@ -624,10 +686,13 @@ mod tests {
 
     // ---- the adversarial corpus -------------------------------------
 
-    /// Every corpus entry: a raw byte stream and the typed error strict
-    /// parsing must map it to.
-    fn adversarial_corpus() -> Vec<(&'static str, Vec<u8>, WireError)> {
-        let good = encode_request(&sample_request());
+    /// Every corpus entry: a raw byte stream, the typed error strict
+    /// parsing must map it to, and the id [`salvage_id`] must recover
+    /// from the body bytes (0 when the preamble cannot be trusted).
+    fn adversarial_corpus() -> Vec<(&'static str, Vec<u8>, WireError, u64)> {
+        let req = sample_request();
+        let id = req.id;
+        let good = encode_request(&req);
         let body = good[4..].to_vec();
         let mut truncated_header = good.clone();
         truncated_header.truncate(2);
@@ -648,26 +713,43 @@ mod tests {
         bad_magic[4] = 0x58;
         let mut bad_version = good.clone();
         bad_version[6] = 99;
+        let mut ancient_version = good.clone();
+        ancient_version[6] = 1; // below the negotiation window
         let mut bad_kind = good.clone();
         bad_kind[7] = 9;
         let mut bad_format = good.clone();
         bad_format[16] = 200;
+        // v2→v3 negotiation edge cases: a v2 frame truncated mid-body,
+        // a v2 frame oversized by a stray v3 flags byte, and a v3 frame
+        // that lost its flags byte in transit.
+        let v2 = encode_request_v2(&req);
+        let mut v2_truncated = v2.clone();
+        v2_truncated.truncate(4 + 20);
+        let mut v2_oversized = v2.clone();
+        v2_oversized.push(0);
+        v2_oversized[..4].copy_from_slice(&(REQUEST_BODY as u32).to_le_bytes());
+        let mut v3_flagless = good.clone();
+        v3_flagless.truncate(4 + REQUEST_BODY - 1);
+        v3_flagless[..4].copy_from_slice(&((REQUEST_BODY - 1) as u32).to_le_bytes());
         vec![
             (
                 "truncated header",
                 truncated_header,
                 WireError::TruncatedHeader { got: 2 },
+                0,
             ),
             (
                 "oversized length prefix",
                 oversized,
                 WireError::Oversized { len: MAX_BODY + 1 },
+                0,
             ),
-            ("zero-length body", zero_len, WireError::EmptyBody),
+            ("zero-length body", zero_len, WireError::EmptyBody, 0),
             (
                 "truncated body",
                 truncated_body,
-                WireError::TruncatedBody { need: 33, got: 10 },
+                WireError::TruncatedBody { need: 34, got: 10 },
+                0, // only 10 body bytes arrived — not enough for an id
             ),
             (
                 "trailing garbage",
@@ -676,25 +758,63 @@ mod tests {
                     expected: body.len(),
                     got: body.len() + 7,
                 },
+                id,
             ),
-            ("bad magic", bad_magic, WireError::BadMagic { got: 0x4D58 }),
+            (
+                "bad magic",
+                bad_magic,
+                WireError::BadMagic { got: 0x4D58 },
+                0,
+            ),
             (
                 "bad version",
                 bad_version,
                 WireError::BadVersion { got: 99 },
+                id,
             ),
-            ("bad kind", bad_kind, WireError::BadKind { got: 9 }),
+            (
+                "ancient version below the window",
+                ancient_version,
+                WireError::BadVersion { got: 1 },
+                id,
+            ),
+            ("bad kind", bad_kind, WireError::BadKind { got: 9 }, id),
             (
                 "bad format tag",
                 bad_format,
                 WireError::BadFormat { got: 200 },
+                id,
+            ),
+            (
+                "v2 negotiation frame truncated mid-body",
+                v2_truncated,
+                WireError::TruncatedBody { need: 33, got: 20 },
+                id,
+            ),
+            (
+                "v2 negotiation frame oversized by a v3 flags byte",
+                v2_oversized,
+                WireError::TrailingGarbage {
+                    expected: REQUEST_BODY - 1,
+                    got: REQUEST_BODY,
+                },
+                id,
+            ),
+            (
+                "v3 frame missing its flags byte",
+                v3_flagless,
+                WireError::TruncatedBody {
+                    need: REQUEST_BODY,
+                    got: REQUEST_BODY - 1,
+                },
+                id,
             ),
         ]
     }
 
     #[test]
     fn adversarial_frames_map_to_typed_errors_without_panicking() {
-        for (name, bytes, want) in adversarial_corpus() {
+        for (name, bytes, want, want_salvage) in adversarial_corpus() {
             let mut r = std::io::Cursor::new(bytes.clone());
             let got = match read_frame(&mut r) {
                 Err(FrameError::Wire(e)) => e,
@@ -704,6 +824,11 @@ mod tests {
             assert_eq!(got, want, "{name}");
             // The error class has a stable nonzero wire code.
             assert!(got.code() > 0, "{name}");
+            // On every corpus entry the id salvage is exact: recovered
+            // whenever the preamble bytes are intact, 0 otherwise — the
+            // Malformed response always correlates when it can.
+            let body_bytes = bytes.get(4..).unwrap_or(&[]);
+            assert_eq!(salvage_id(body_bytes), want_salvage, "{name}: salvage");
         }
     }
 

@@ -99,13 +99,19 @@ fn no_lost_increments_under_concurrent_scrape() {
             s.spawn(move || {
                 let mut last = 0u64;
                 let mut scrapes = 0u64;
-                while !stop.load(Ordering::Relaxed) {
+                // Scrape-then-check-stop: even if the writers finish and
+                // `stop` flips before this thread is first scheduled, at
+                // least one merged render is exercised.
+                loop {
                     let snap = reg.snapshot_json();
                     mfm_telemetry::json::check(&snap).expect("scrape mid-write is valid JSON");
                     let seen = extract_u64(&snap, "\"work.ops\":").unwrap_or(0);
                     assert!(seen >= last, "counter went backwards: {seen} < {last}");
                     last = seen;
                     scrapes += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
                 scrapes
             })

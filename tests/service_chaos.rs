@@ -167,6 +167,7 @@ fn seeded_chaos_produces_reconstructable_incident_reports() {
             id: k,
             op: Operation::int64(k + 1, 2),
             deadline_micros: 0,
+            critical: false,
         };
         let _ = svc.admit_traced(9, &req, trace);
         svc.tick();
