@@ -1,11 +1,19 @@
 //! Regenerates Table V: power dissipation and power efficiency of the
 //! 3-stage pipelined multi-format unit for each format.
 //!
-//! Usage: `table5 [--ops N] [--seed S] [--quad] [--json <path>]`
+//! Usage: `table5 [--ops N] [--seed S] [--quad] [--compiled]
+//! [--cal-ops N] [--threads N] [--json <path>]`
 //! (default: 300 operations/format).
+//!
+//! With `--compiled` the rows come from the 256-lane compiled activity
+//! engine with per-block glitch-inflation calibration instead of the
+//! event-driven simulator — hundreds of times faster, within the ±5 %
+//! parity contract of `tests/power_parity.rs`. The calibration itself
+//! runs `--cal-ops` event-driven operations per format (the one-time
+//! cost), then every measured row is compiled-only.
 
 use mfm_bench::{cli, paper_values};
-use mfm_evalkit::experiments::table5;
+use mfm_evalkit::experiments::{table5, table5_compiled};
 use mfm_evalkit::montecarlo::measure_unit_traced;
 use mfm_evalkit::runreport::RunReport;
 use mfm_gatesim::report::Table;
@@ -19,13 +27,34 @@ fn main() {
     let ops = cli::arg_value(&args, "--ops", 300) as usize;
     let seed = cli::arg_value(&args, "--seed", 2017);
     let want_quad = cli::has_flag(&args, "--quad");
+    let compiled = cli::has_flag(&args, "--compiled");
     let registry = Registry::new();
-    let t = {
+    let (t, cal) = {
         let _span = registry.span("table5");
-        table5(ops, seed)
+        if compiled {
+            let cal_ops = cli::arg_value(&args, "--cal-ops", (ops / 4).max(8) as u64) as usize;
+            let threads = cli::arg_value(&args, "--threads", 4).max(1) as usize;
+            let (t, cal) = table5_compiled(ops, cal_ops, seed, 4, threads);
+            (t, Some(cal))
+        } else {
+            (table5(ops, seed), None)
+        }
     };
     println!("=== Table V: power and power efficiency per format ===\n");
     println!("{t}");
+    if let Some(cal) = &cal {
+        println!("--- compiled activity engine, glitch-inflation calibration ({} event-driven ops/format) ---", cal.ops);
+        for fc in &cal.formats {
+            println!(
+                "  {:18} inflation {:.3}  (event-driven {:.2} pJ/op, zero-delay {:.2} pJ/op)",
+                fc.format.label(),
+                fc.default_factor,
+                fc.event_driven_pj_per_op,
+                fc.zero_delay_pj_per_op
+            );
+        }
+        println!();
+    }
     println!(
         "--- paper (fmax = {:.0} MHz, cycle {:.0} ps) ---",
         paper_values::PIPE.1,

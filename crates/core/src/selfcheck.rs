@@ -76,7 +76,7 @@
 //! assert_eq!(unit.stats().checked_ok, 1);
 //! ```
 
-use mfm_gatesim::{CompiledNetlist, CompiledSim, NetId, Netlist, Simulator};
+use mfm_gatesim::{CompiledNetlist, CompiledSim, NetId, Netlist, Simulator, ALL_LANES, LANES};
 use mfm_softfloat::Flags;
 use mfm_telemetry::{json::JsonObject, Counter, Registry};
 
@@ -563,8 +563,9 @@ fn read_raw_lane(sim: &CompiledSim<'_>, ports: &StructuralPorts, lane: usize) ->
     }
 }
 
-/// Compiled-engine counterpart of [`run_raw`]: drives up to 64
-/// operations — one per lane — through a bit-parallel
+/// Compiled-engine counterpart of [`run_raw`]: drives up to
+/// [`mfm_gatesim::LANES`] (256) operations — one per lane — through a
+/// bit-parallel
 /// [`CompiledSim`] and returns one [`RawOutputs`] per operation, in
 /// order. Combinational builds take a single propagation pass for the
 /// whole batch; pipelined builds take `latency + 1` clock passes
@@ -579,13 +580,13 @@ fn read_raw_lane(sim: &CompiledSim<'_>, ports: &StructuralPorts, lane: usize) ->
 ///
 /// # Panics
 ///
-/// Panics if more than 64 operations are passed.
+/// Panics if more than [`mfm_gatesim::LANES`] operations are passed.
 pub fn run_raw_compiled(
     sim: &mut CompiledSim<'_>,
     ports: &StructuralPorts,
     ops: &[Operation],
 ) -> Vec<RawOutputs> {
-    assert!(ops.len() <= 64, "at most 64 lanes per pass");
+    assert!(ops.len() <= LANES, "at most {LANES} lanes per pass");
     let Some(&first) = ops.first() else {
         return Vec::new();
     };
@@ -629,8 +630,9 @@ pub fn run_raw_compiled(
 
 /// Replays a scrub battery on the compiled bit-parallel engine under a
 /// stuck-at overlay, returning the first vector that trips
-/// [`check_raw`]. All 64 lanes share the same fault set, so one
-/// propagation pass verifies up to 64 battery vectors.
+/// [`check_raw`]. All [`mfm_gatesim::LANES`] (256) lanes share the same
+/// fault set, so one propagation pass verifies up to 256 battery
+/// vectors.
 ///
 /// A compiled **failure is conclusive** — the compiled values equal the
 /// event-driven settled values, so the event-driven battery would
@@ -647,9 +649,9 @@ pub fn run_scrub_compiled(
 ) -> Result<(), (Operation, CheckError)> {
     let mut sim = CompiledSim::new(prog);
     for &(net, forced) in faults {
-        sim.inject_stuck_at(net, !0, forced);
+        sim.inject_stuck_at(net, ALL_LANES, forced);
     }
-    for chunk in battery.chunks(64) {
+    for chunk in battery.chunks(LANES) {
         let raws = run_raw_compiled(&mut sim, ports, chunk);
         for (&op, raw) in chunk.iter().zip(&raws) {
             check_raw(op, raw).map_err(|e| (op, e))?;

@@ -2,12 +2,14 @@
 //! a serializable report whose `Display` prints rows in the paper's
 //! layout; the `table*` binaries in `mfm-bench` are thin wrappers.
 
+use crate::calibrate::GlitchCalibration;
 use crate::montecarlo::{
     measure_multiplier_combinational, measure_multiplier_pipelined, measure_unit,
+    measure_unit_compiled_sharded,
 };
 use mfm_arith::{build_multiplier, MultiplierConfig, Radix};
 use mfm_gatesim::report::Table;
-use mfm_gatesim::{Netlist, TechLibrary, TimingAnalysis};
+use mfm_gatesim::{CompiledNetlist, Netlist, TechLibrary, TimingAnalysis};
 use mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
 use mfmult::Format;
 use std::fmt;
@@ -289,6 +291,78 @@ pub fn table5(ops: usize, seed: u64) -> Table5 {
     }
 }
 
+/// Runs the Table V experiment through the compiled 256-lane activity
+/// engine: calibrates per-format glitch inflation on `cal_ops`
+/// event-driven operations (a PRNG stream distinct from every
+/// measurement shard), then measures each format with
+/// [`measure_unit_compiled_sharded`] over `shards` logical shards on up
+/// to `threads` worker threads. Returns the table plus the calibration
+/// used, so callers can persist it next to the results.
+///
+/// The row values are the calibrated compiled estimates; they agree
+/// with [`table5`] to within Monte-Carlo noise (±5 % is asserted in
+/// `tests/power_parity.rs`) while the measurement itself runs two
+/// orders of magnitude faster.
+pub fn table5_compiled(
+    ops: usize,
+    cal_ops: usize,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+) -> (Table5, GlitchCalibration) {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let u = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+    let prog = CompiledNetlist::compile(&n).expect("pipelined unit is acyclic");
+    let sta = TimingAnalysis::new(&n).report();
+    let fmax = sta.max_freq_mhz();
+    // A shard index far above any real shard count keeps the calibration
+    // stream disjoint from the measurement streams for the same seed.
+    let cal_seed = crate::shard::shard_seed(seed, 1 << 32);
+    let cal = GlitchCalibration::run(&n, &prog, &u, cal_ops, cal_seed);
+
+    let name = |f: Format| match f {
+        Format::Int64 => "int64",
+        Format::Binary64 => "binary64",
+        Format::DualBinary32 => "binary32 (dual)",
+        Format::SingleBinary32 => "binary32 (single)",
+        Format::QuadBinary16 => "binary16 (quad)",
+    };
+    let rows = Format::ALL
+        .iter()
+        .map(|&fmt| {
+            let p = measure_unit_compiled_sharded(
+                &n,
+                &prog,
+                &u,
+                fmt,
+                ops,
+                seed,
+                shards,
+                threads,
+                Some(&cal),
+            );
+            let p100 = p.total_mw_at(100.0);
+            let pfmax = p.total_mw_at(fmax);
+            let throughput = fmt.ops_per_cycle() as f64 * fmax * 1e-3; // GFLOPS
+            Table5Row {
+                format: name(fmt).to_owned(),
+                power_mw_100: p100,
+                power_mw_fmax: pfmax,
+                throughput_gflops: throughput,
+                efficiency_gflops_w: throughput / (pfmax * 1e-3),
+            }
+        })
+        .collect();
+    (
+        Table5 {
+            ops,
+            fmax_mhz: fmax,
+            rows,
+        },
+        cal,
+    )
+}
+
 /// Fig. 5 ablation: per-placement minimum period and register count.
 #[derive(Debug, Clone)]
 pub struct PlacementStudy {
@@ -510,6 +584,20 @@ mod tests {
             assert!(r4 > &0.0 && r16 > &0.0, "{name}");
             assert!((ratio - r16 / r4).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn table5_compiled_small_run_shape() {
+        let (t, cal) = table5_compiled(12, 6, 3, 2, 2);
+        assert_eq!(t.rows.len(), Format::ALL.len());
+        assert_eq!(cal.formats.len(), Format::ALL.len());
+        assert!(t.fmax_mhz > 0.0);
+        for r in &t.rows {
+            assert!(r.power_mw_100 > 0.0, "{}", r.format);
+            assert!(r.efficiency_gflops_w > 0.0, "{}", r.format);
+        }
+        // The calibration rode along so it can be persisted with the table.
+        assert!(GlitchCalibration::parse(&cal.to_json()).is_ok());
     }
 
     #[test]

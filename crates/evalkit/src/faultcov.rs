@@ -26,7 +26,7 @@ use mfm_gatesim::fault::{enumerate_stuck_sites, sample_sites, CampaignRunner, Ca
 use mfm_gatesim::netlist::Netlist;
 use mfm_gatesim::report::Table;
 use mfm_gatesim::tech::TechLibrary;
-use mfm_gatesim::{CompiledFaultSim, CompiledNetlist, FaultKind, FaultOutcome};
+use mfm_gatesim::{CompiledFaultSim, CompiledNetlist, FaultKind, FaultOutcome, LANES};
 use mfm_telemetry::Registry;
 use mfmult::selfcheck::{check_raw, run_raw, run_raw_compiled, CheckError, RawOutputs};
 use mfmult::{structural, Format, FunctionalUnit, MultResult, Operation};
@@ -326,9 +326,9 @@ pub fn fault_coverage_observed(
 /// [`fault_coverage`] accelerated by the compiled bit-parallel engine
 /// and deterministic thread sharding.
 ///
-/// Sites are packed 64 to a shard — one stuck-at fault machine per
-/// `u64` lane — so a single propagation pass classifies up to 64 faults
-/// against one vector. Shards run on up to `threads` scoped worker
+/// Sites are packed [`LANES`] (256) to a shard — one stuck-at fault
+/// machine per lane of the `[u64; 4]` word — so a single propagation
+/// pass classifies up to 256 faults against one vector. Shards run on up to `threads` scoped worker
 /// threads ([`crate::shard::run_shards`]) and their partial statistics
 /// merge in shard order.
 ///
@@ -369,9 +369,9 @@ pub fn fault_coverage_parallel(
         BTreeMap<&'static str, OutcomeCounts>,
         BTreeMap<&'static str, u64>,
     );
-    let shard_count = sites.len().div_ceil(64);
+    let shard_count = sites.len().div_ceil(LANES);
     let partials: Vec<Partial> = run_shards(shard_count, threads, |k| {
-        let shard_sites = &sites[k * 64..((k + 1) * 64).min(sites.len())];
+        let shard_sites = &sites[k * LANES..((k + 1) * LANES).min(sites.len())];
         let mut fsim = CompiledFaultSim::new(&prog);
         let mut stats = CampaignStats::default();
         let mut gens: Vec<OperandGen> = Vec::with_capacity(shard_sites.len());
@@ -387,7 +387,7 @@ pub fn fault_coverage_parallel(
             fsim.assign_fault(lane, site.net, forced);
             // Same per-site stream as the sequential campaign: global
             // 1-based site index mixed into the campaign seed.
-            let site_idx = (k * 64 + lane) as u64 + 1;
+            let site_idx = (k * LANES + lane) as u64 + 1;
             gens.push(OperandGen::new(
                 config.seed ^ site_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             ));

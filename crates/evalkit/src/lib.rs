@@ -6,7 +6,10 @@
 //!   paper's "Monte Carlo simulation by generating pseudo-random input
 //!   patterns"), plus generators for reducible binary64 values (Sec. IV).
 //! - [`montecarlo`] — drives a gate-level netlist with a workload and
-//!   derives a [`mfm_gatesim::PowerBreakdown`].
+//!   derives a [`mfm_gatesim::PowerBreakdown`], either event-driven or
+//!   through the 256-lane compiled activity engine.
+//! - [`calibrate`] — per-block glitch-inflation calibration tying the
+//!   compiled zero-delay toggle counts to the event-driven reference.
 //! - [`experiments`] — regenerates every table: each function returns a
 //!   serializable report struct with a `Display` that prints the same
 //!   rows the paper reports.
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod calibrate;
 pub mod chaos;
 pub mod experiments;
 pub mod faultcov;

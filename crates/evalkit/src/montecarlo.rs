@@ -1,10 +1,15 @@
 //! Monte-Carlo power measurement: drive a netlist with a workload and
 //! derive activity-based power figures, optionally with a windowed
-//! convergence trace ([`measure_unit_traced`]).
+//! convergence trace ([`measure_unit_traced`]) or through the 256-lane
+//! compiled activity engine ([`measure_unit_compiled_sharded`]).
 
+use crate::calibrate::GlitchCalibration;
 use crate::workload::OperandGen;
 use mfm_arith::MultiplierPorts;
-use mfm_gatesim::{LivePowerTrace, Netlist, PowerBreakdown, PowerEstimator, Simulator};
+use mfm_gatesim::{
+    CompiledNetlist, CompiledSim, LivePowerTrace, Netlist, PowerBreakdown, PowerEstimator,
+    Simulator, LANES,
+};
 use mfm_telemetry::Registry;
 use mfmult::{Format, StructuralPorts};
 
@@ -196,6 +201,176 @@ pub fn measure_unit_sharded(
         ops as u64
     };
     PowerEstimator::from_toggles(netlist, &toggles, events, cycles, measured_ops)
+}
+
+/// Raw activity counters from one compiled measurement run — the merged
+/// sums of several runs are valid inputs to
+/// [`PowerEstimator::from_toggles`], which is how
+/// [`measure_unit_compiled_sharded`] combines its shards.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityCounts {
+    /// Per-net zero-delay toggle counts summed over lanes.
+    pub toggles: Vec<u64>,
+    /// Total zero-delay toggles across all nets.
+    pub events: u64,
+    /// Clock cycles charged to the measurement (one per measured
+    /// operation for pipelined units, zero for combinational ones).
+    pub cycles: u64,
+}
+
+/// Measures the multi-format unit through the compiled 256-lane
+/// activity engine: drives `ops` operations across [`LANES`] parallel
+/// lanes (each lane carries an independent operand stream) and
+/// accumulates **zero-delay** per-net toggle counts in
+/// [`LANES`]-at-a-time XOR/popcount sweeps.
+///
+/// The counts see only settled-state transitions — glitches filtered by
+/// real gate delays never appear — so they underestimate event-driven
+/// activity by a workload-dependent factor; see
+/// [`GlitchCalibration`](crate::calibrate::GlitchCalibration) for the
+/// correction. Pipelined units stream one batch per clock edge after a
+/// pipeline-depth warm-up and charge one clock cycle per measured
+/// operation (each active lane is an independent sample of the same
+/// physical unit, so lane-cycles are operation-cycles). Combinational
+/// units charge no clock.
+///
+/// # Panics
+///
+/// Panics if `ops == 0`.
+pub fn compiled_activity(
+    prog: &CompiledNetlist,
+    ports: &StructuralPorts,
+    format: Format,
+    ops: usize,
+    seed: u64,
+) -> ActivityCounts {
+    assert!(ops > 0, "need at least one operation");
+    let mut gen = OperandGen::new(seed);
+    let mut sim = CompiledSim::new(prog);
+    let width = ops.min(LANES);
+    sim.set_bus_all(&ports.frmt, u128::from(format.encoding()));
+    let mut drive = |sim: &mut CompiledSim<'_>, n: usize| {
+        for lane in 0..n {
+            let op = gen.operation(format);
+            sim.set_bus_lane(&ports.xa, lane, op.xa as u128);
+            sim.set_bus_lane(&ports.yb, lane, op.yb as u128);
+        }
+    };
+    let pipelined = ports.latency > 0;
+    // Warm-up: pipeline fill (pipelined) or one settled batch
+    // (combinational), so the first measured transition set is typical —
+    // the compiled analogue of `measure_unit`'s warm-up.
+    if pipelined {
+        for _ in 0..ports.latency {
+            drive(&mut sim, width);
+            sim.step_cycle();
+        }
+    } else {
+        drive(&mut sim, width);
+        sim.propagate();
+    }
+    sim.enable_activity(width);
+    let mut active = width;
+    let mut remaining = ops;
+    while remaining > 0 {
+        let n = remaining.min(width);
+        if n != active {
+            // Partial final round: stop counting the idle lanes.
+            sim.set_active_lanes(n);
+            active = n;
+        }
+        drive(&mut sim, n);
+        if pipelined {
+            sim.step_cycle();
+        } else {
+            sim.propagate();
+        }
+        remaining -= n;
+    }
+    ActivityCounts {
+        toggles: sim.toggles().to_vec(),
+        events: sim.activity_events(),
+        cycles: if pipelined { ops as u64 } else { 0 },
+    }
+}
+
+/// Compiled, thread-sharded [`measure_unit`]: the 256-lane analogue of
+/// [`measure_unit_sharded`]. The `ops` budget is split over a **fixed**
+/// shard count, each shard runs [`compiled_activity`] with its own PRNG
+/// stream ([`crate::shard::shard_seed`]`(seed, k)`), and the per-net
+/// toggle counters are merged by integer addition before a single
+/// estimator call — so the result is **bit-identical for any `threads`
+/// value**.
+///
+/// With `cal = None` the breakdown is built from raw zero-delay counts
+/// ([`PowerEstimator::from_toggles`]) and underestimates glitch power;
+/// pass a [`GlitchCalibration`] holding this `format` to scale each
+/// block by its calibrated glitch-inflation factor
+/// ([`PowerEstimator::from_toggles_calibrated`]).
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `ops == 0`.
+#[allow(clippy::too_many_arguments)] // mirrors measure_unit_sharded plus the program and calibration
+pub fn measure_unit_compiled_sharded(
+    netlist: &Netlist,
+    prog: &CompiledNetlist,
+    ports: &StructuralPorts,
+    format: Format,
+    ops: usize,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+    cal: Option<&GlitchCalibration>,
+) -> PowerBreakdown {
+    assert!(shards > 0, "need at least one shard");
+    assert!(ops > 0, "need at least one operation");
+    let base = ops / shards;
+    let extra = ops % shards;
+    // Shards [0, extra) run base+1 ops, the rest base — a pure function
+    // of (ops, shards), independent of scheduling.
+    let shard_ops = |k: usize| base + usize::from(k < extra);
+    let parts = crate::shard::run_shards(shards, threads, |k| {
+        let my_ops = shard_ops(k);
+        if my_ops == 0 {
+            return ActivityCounts::default();
+        }
+        compiled_activity(
+            prog,
+            ports,
+            format,
+            my_ops,
+            crate::shard::shard_seed(seed, k),
+        )
+    });
+    let mut toggles = vec![0u64; netlist.net_count()];
+    let mut events = 0u64;
+    let mut cycles = 0u64;
+    for part in parts {
+        for (sum, v) in toggles.iter_mut().zip(&part.toggles) {
+            *sum += v;
+        }
+        events += part.events;
+        cycles += part.cycles;
+    }
+    let measured_ops = if ports.latency > 0 {
+        cycles
+    } else {
+        ops as u64
+    };
+    match cal.and_then(|c| c.for_format(format)) {
+        Some(fc) => PowerEstimator::from_toggles_calibrated(
+            netlist,
+            &toggles,
+            events,
+            cycles,
+            measured_ops,
+            &fc.per_block,
+            fc.default_factor,
+            fc.event_factor,
+        ),
+        None => PowerEstimator::from_toggles(netlist, &toggles, events, cycles, measured_ops),
+    }
 }
 
 /// One point of a Monte-Carlo convergence trace: the pJ/op observed in

@@ -3,35 +3,99 @@
 //! [`CompiledNetlist::compile`] lowers a [`Netlist`] once into a flat,
 //! levelized program: gates sorted by logic level with their net indices
 //! resolved, plus the DFF D→Q pairs. [`CompiledSim`] then evaluates the
-//! program over `u64` words — bit `l` of every word is an independent
-//! simulation *lane*, so one pass over the gate array evaluates **64
-//! input vectors (or 64 fault machines) at once** with no event queue, no
-//! heap allocation and perfect streaming access over the op array.
+//! program over [`LaneWord`] chunks (`[u64; 4]`) — bit `l` of the chunk
+//! is an independent simulation *lane*, so one pass over the gate array
+//! evaluates **[`LANES`] (256) input vectors (or 256 fault machines) at
+//! once** with no event queue, no heap allocation and perfect streaming
+//! access over the op array.
 //!
 //! # Division of labour
 //!
 //! The event-driven [`crate::sim::Simulator`] stays the source of truth
-//! for everything *timing-dependent*: toggle counts, glitch power, settle
-//! budgets and transient (SEU) faults. The compiled engine serves
-//! *correctness-only* paths — fault classification, recompute checks,
-//! scrub batteries, equivalence sweeps — where only the settled value
-//! matters. For acyclic two-valued logic the settled state of the
-//! event-driven simulator is a pure function of the primary inputs,
-//! register state and stuck-at overlay (inertial delays only filter
-//! transient glitches, never change the fixed point), so the two engines
-//! agree bit-for-bit on final values; `tests/compiled_equivalence.rs`
-//! checks this differentially.
+//! for everything *timing-dependent*: glitch power, settle budgets and
+//! transient (SEU) faults. The compiled engine serves value-level paths
+//! — fault classification, recompute checks, scrub batteries,
+//! equivalence sweeps — where only the settled value matters. For
+//! acyclic two-valued logic the settled state of the event-driven
+//! simulator is a pure function of the primary inputs, register state
+//! and stuck-at overlay (inertial delays only filter transient glitches,
+//! never change the fixed point), so the two engines agree bit-for-bit
+//! on final values; `tests/compiled_equivalence.rs` checks this
+//! differentially.
+//!
+//! # Activity engine
+//!
+//! [`CompiledSim::enable_activity`] turns on bit-parallel toggle
+//! counting: after every [`CompiledSim::propagate`] the simulator XORs
+//! each net's new chunk against its previous chunk and popcounts the
+//! active lanes, accumulating **zero-delay** toggle counts for up to 256
+//! vectors in a single sweep. Zero-delay counts see only settled-state
+//! transitions — glitches filtered by real gate delays never appear —
+//! so power estimation scales them by a per-block glitch-inflation
+//! factor calibrated against the event-driven simulator (see
+//! `mfm_evalkit::calibrate`). The exact-parity contract — compiled
+//! toggle counts equal an event-driven run with zero delays on the same
+//! vectors — is asserted in `tests/power_parity.rs`.
 //!
 //! # Fault overlay
 //!
-//! [`CompiledSim::inject_stuck_at`] forces a net per *lane*: a 64-bit
-//! mask selects the lanes in which the net is stuck, so a single pass can
-//! carry 64 different fault machines (one per lane) next to a fault-free
-//! reference lane. [`CompiledFaultSim`] packages the one-fault-per-lane
-//! pattern used by fault-coverage campaigns.
+//! [`CompiledSim::inject_stuck_at`] forces a net per *lane*: a 256-bit
+//! [`LaneWord`] mask selects the lanes in which the net is stuck, so a
+//! single pass can carry 256 different fault machines (one per lane)
+//! next to a fault-free reference lane. [`CompiledFaultSim`] packages
+//! the one-fault-per-lane pattern used by fault-coverage campaigns.
 
 use crate::netlist::{NetId, Netlist, NetlistError};
 use crate::tech::CellKind;
+
+/// Lanes evaluated per pass (bits in a [`LaneWord`]).
+pub const LANES: usize = 256;
+
+/// `u64` chunks in a [`LaneWord`].
+pub const LANE_WORDS: usize = LANES / 64;
+
+/// One 256-lane machine word: bit `l` (chunk `l / 64`, bit `l % 64`) is
+/// lane `l`. Used both for per-net values and for lane masks.
+pub type LaneWord = [u64; LANE_WORDS];
+
+/// Mask selecting no lanes.
+pub const NO_LANES: LaneWord = [0; LANE_WORDS];
+
+/// Mask selecting all [`LANES`] lanes.
+pub const ALL_LANES: LaneWord = [!0; LANE_WORDS];
+
+/// Mask selecting exactly `lane`.
+///
+/// # Panics
+///
+/// Panics if `lane >= LANES`.
+#[must_use]
+pub fn lane_mask(lane: usize) -> LaneWord {
+    assert!(lane < LANES, "lane {lane} out of range");
+    let mut m = NO_LANES;
+    m[lane / 64] = 1u64 << (lane % 64);
+    m
+}
+
+/// Mask selecting lanes `0..n`.
+///
+/// # Panics
+///
+/// Panics if `n > LANES`.
+#[must_use]
+pub fn first_lanes(n: usize) -> LaneWord {
+    assert!(n <= LANES, "lane count {n} out of range");
+    let mut m = NO_LANES;
+    for (k, chunk) in m.iter_mut().enumerate() {
+        let lo = k * 64;
+        if n >= lo + 64 {
+            *chunk = !0;
+        } else if n > lo {
+            *chunk = (1u64 << (n - lo)) - 1;
+        }
+    }
+    m
+}
 
 /// One lowered gate: resolved input/output net indices, in level order.
 #[derive(Debug, Clone, Copy)]
@@ -113,7 +177,7 @@ impl CompiledNetlist {
 }
 
 #[inline]
-fn eval_word(kind: CellKind, a: u64, b: u64, c: u64, d: u64) -> u64 {
+fn eval_chunk(kind: CellKind, a: u64, b: u64, c: u64, d: u64) -> u64 {
     match kind {
         CellKind::Inv => !a,
         CellKind::Buf | CellKind::Dff => a,
@@ -136,35 +200,61 @@ fn eval_word(kind: CellKind, a: u64, b: u64, c: u64, d: u64) -> u64 {
     }
 }
 
-/// Bit-parallel evaluator over a [`CompiledNetlist`]: 64 lanes per pass.
+#[inline]
+fn eval_word(kind: CellKind, a: LaneWord, b: LaneWord, c: LaneWord, d: LaneWord) -> LaneWord {
+    std::array::from_fn(|i| eval_chunk(kind, a[i], b[i], c[i], d[i]))
+}
+
+/// Per-net zero-delay toggle accumulation (see the module docs).
+#[derive(Debug, Clone)]
+struct Activity {
+    /// Each net's chunk as of the previous settled state.
+    prev: Vec<LaneWord>,
+    /// Lanes whose transitions are counted.
+    mask: LaneWord,
+    /// Per-net toggle counts summed over active lanes.
+    toggles: Vec<u64>,
+    /// Total toggles across all nets (Σ `toggles`).
+    events: u64,
+}
+
+/// Bit-parallel evaluator over a [`CompiledNetlist`]: [`LANES`] (256)
+/// lanes per pass.
 ///
-/// All state is plain `u64` words, all evaluation is pure integer
-/// arithmetic in a deterministic order — results are bit-identical
-/// across runs, thread counts and machines.
+/// All state is plain [`LaneWord`] chunks, all evaluation is pure
+/// integer arithmetic in a deterministic order — results are
+/// bit-identical across runs, thread counts and machines.
 #[derive(Debug, Clone)]
 pub struct CompiledSim<'p> {
     prog: &'p CompiledNetlist,
-    /// One word per net; bit `l` is lane `l`'s value.
-    words: Vec<u64>,
-    /// Per-net stuck lane mask (0 = unfaulted) and forced values.
-    fault_mask: Vec<u64>,
-    fault_value: Vec<u64>,
+    /// One chunk per net; bit `l` is lane `l`'s value.
+    words: Vec<LaneWord>,
+    /// Per-net stuck lane mask (all-zero = unfaulted) and forced values.
+    fault_mask: Vec<LaneWord>,
+    fault_value: Vec<LaneWord>,
     /// Nets with a non-zero fault mask, for cheap clearing/pre-forcing.
     faulted: Vec<u32>,
+    /// Clock edges since construction (or the last activity reset).
+    cycles: u64,
+    /// Toggle accumulation, when enabled.
+    activity: Option<Activity>,
 }
 
 impl<'p> CompiledSim<'p> {
     /// Creates a simulator with all-zero inputs and register state,
-    /// settled (constants applied, one propagation pass done).
+    /// settled (constants applied, one propagation pass done), with
+    /// activity counting disabled.
     pub fn new(prog: &'p CompiledNetlist) -> Self {
         let mut sim = CompiledSim {
             prog,
-            words: vec![0; prog.net_count],
-            fault_mask: vec![0; prog.net_count],
-            fault_value: vec![0; prog.net_count],
+            words: vec![NO_LANES; prog.net_count],
+            fault_mask: vec![NO_LANES; prog.net_count],
+            fault_value: vec![NO_LANES; prog.net_count],
             faulted: Vec::new(),
+            cycles: 0,
+            activity: None,
         };
-        sim.words[prog.one as usize] = !0;
+        sim.words[prog.one as usize] = ALL_LANES;
         sim.propagate();
         sim
     }
@@ -176,9 +266,10 @@ impl<'p> CompiledSim<'p> {
 
     /// Sets one net in one lane.
     pub fn set_net_lane(&mut self, net: NetId, lane: usize, value: bool) {
-        debug_assert!(lane < 64);
-        let w = &mut self.words[net.index()];
-        *w = (*w & !(1 << lane)) | ((value as u64) << lane);
+        debug_assert!(lane < LANES);
+        let w = &mut self.words[net.index()][lane / 64];
+        let bit = 1u64 << (lane % 64);
+        *w = (*w & !bit) | if value { bit } else { 0 };
     }
 
     /// Drives an integer onto a bus (LSB first) in one lane.
@@ -188,17 +279,21 @@ impl<'p> CompiledSim<'p> {
         }
     }
 
-    /// Drives the same integer onto a bus in **all** 64 lanes.
+    /// Drives the same integer onto a bus in **all** lanes.
     pub fn set_bus_all(&mut self, bus: &[NetId], value: u128) {
         for (i, &net) in bus.iter().enumerate() {
-            self.words[net.index()] = if (value >> i) & 1 == 1 { !0 } else { 0 };
+            self.words[net.index()] = if (value >> i) & 1 == 1 {
+                ALL_LANES
+            } else {
+                NO_LANES
+            };
         }
     }
 
     /// Reads one net in one lane.
     pub fn read_net_lane(&self, net: NetId, lane: usize) -> bool {
-        debug_assert!(lane < 64);
-        (self.words[net.index()] >> lane) & 1 == 1
+        debug_assert!(lane < LANES);
+        (self.words[net.index()][lane / 64] >> (lane % 64)) & 1 == 1
     }
 
     /// Reads a bus (LSB first) in one lane.
@@ -221,16 +316,18 @@ impl<'p> CompiledSim<'p> {
     /// [`CompiledSim::clear_faults`]. Faults on the same net merge: each
     /// lane keeps the most recent forced value, so one net can be
     /// stuck-at-0 in one lane and stuck-at-1 in another.
-    pub fn inject_stuck_at(&mut self, net: NetId, lanes: u64, value: bool) {
+    pub fn inject_stuck_at(&mut self, net: NetId, lanes: LaneWord, value: bool) {
         let ni = net.index();
-        if self.fault_mask[ni] == 0 && lanes != 0 {
+        if self.fault_mask[ni] == NO_LANES && lanes != NO_LANES {
             self.faulted.push(ni as u32);
         }
-        self.fault_mask[ni] |= lanes;
-        if value {
-            self.fault_value[ni] |= lanes;
-        } else {
-            self.fault_value[ni] &= !lanes;
+        for (k, &lane_bits) in lanes.iter().enumerate() {
+            self.fault_mask[ni][k] |= lane_bits;
+            if value {
+                self.fault_value[ni][k] |= lane_bits;
+            } else {
+                self.fault_value[ni][k] &= !lane_bits;
+            }
         }
     }
 
@@ -238,21 +335,24 @@ impl<'p> CompiledSim<'p> {
     /// [`CompiledSim::propagate`]).
     pub fn clear_faults(&mut self) {
         for &ni in &self.faulted {
-            self.fault_mask[ni as usize] = 0;
-            self.fault_value[ni as usize] = 0;
+            self.fault_mask[ni as usize] = NO_LANES;
+            self.fault_value[ni as usize] = NO_LANES;
         }
         self.faulted.clear();
     }
 
     #[inline]
     fn overlay(&mut self, ni: usize) {
-        let m = self.fault_mask[ni];
-        self.words[ni] = (self.words[ni] & !m) | (self.fault_value[ni] & m);
+        for k in 0..LANE_WORDS {
+            let m = self.fault_mask[ni][k];
+            self.words[ni][k] = (self.words[ni][k] & !m) | (self.fault_value[ni][k] & m);
+        }
     }
 
     /// One full pass over the levelized gate array: recomputes every
-    /// combinational net in all 64 lanes from the current inputs,
-    /// register words and fault overlay. DFF outputs are left untouched.
+    /// combinational net in all lanes from the current inputs, register
+    /// words and fault overlay. DFF outputs are left untouched. With
+    /// activity enabled, finishes with the XOR/popcount toggle sweep.
     pub fn propagate(&mut self) {
         // Force faulted source nets (inputs, constants, DFF outputs)
         // first; gate outputs are blended as they are produced.
@@ -270,7 +370,26 @@ impl<'p> CompiledSim<'p> {
             );
             let out = op.out as usize;
             let m = self.fault_mask[out];
-            self.words[out] = (w & !m) | (self.fault_value[out] & m);
+            let f = self.fault_value[out];
+            self.words[out] = std::array::from_fn(|k| (w[k] & !m[k]) | (f[k] & m[k]));
+        }
+        let Self {
+            words, activity, ..
+        } = self;
+        if let Some(act) = activity {
+            for (t, (w, p)) in act
+                .toggles
+                .iter_mut()
+                .zip(words.iter().zip(act.prev.iter_mut()))
+            {
+                let mut n = 0u64;
+                for k in 0..LANE_WORDS {
+                    n += u64::from(((w[k] ^ p[k]) & act.mask[k]).count_ones());
+                }
+                *t += n;
+                act.events += n;
+                *p = *w;
+            }
         }
     }
 
@@ -279,8 +398,9 @@ impl<'p> CompiledSim<'p> {
     /// whatever per-lane values were last driven — the compiled analogue
     /// of holding the input buses constant across the edge.
     pub fn step_cycle(&mut self) {
+        self.cycles += 1;
         // Sample all D words before writing any Q (same-edge semantics).
-        let sampled: Vec<u64> = self
+        let sampled: Vec<LaneWord> = self
             .prog
             .dffs
             .iter()
@@ -292,23 +412,107 @@ impl<'p> CompiledSim<'p> {
         self.propagate();
     }
 
-    /// Evaluates up to 64 input vectors in one pass.
-    ///
-    /// `inputs` pairs each driven bus with one value per lane; every
-    /// value slice must have the same length `n ≤ 64` (lanes `n..64` are
-    /// driven with vector 0 as a harmless filler). Returns, per output
-    /// bus, the `n` per-lane results.
+    /// Clock edges since construction or the last
+    /// [`CompiledSim::reset_activity`].
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Turns on zero-delay toggle counting over lanes `0..lanes`,
+    /// baselined at the current settled state. Counters (toggles,
+    /// events, cycles) start at zero. Each subsequent
+    /// [`CompiledSim::propagate`] adds one settled-state transition per
+    /// changed net per active lane.
     ///
     /// # Panics
     ///
-    /// Panics if value slices disagree in length or exceed 64 lanes.
+    /// Panics if `lanes > LANES`.
+    pub fn enable_activity(&mut self, lanes: usize) {
+        self.activity = Some(Activity {
+            prev: self.words.clone(),
+            mask: first_lanes(lanes),
+            toggles: vec![0; self.prog.net_count],
+            events: 0,
+        });
+        self.cycles = 0;
+    }
+
+    /// Restricts toggle counting to lanes `0..lanes` (for a partial
+    /// final round). The baseline state of the newly-masked lanes keeps
+    /// tracking the simulator, so re-widening later never counts stale
+    /// transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if activity counting is not enabled or `lanes > LANES`.
+    pub fn set_active_lanes(&mut self, lanes: usize) {
+        let act = self.activity.as_mut().expect("activity not enabled");
+        act.mask = first_lanes(lanes);
+    }
+
+    /// Zeroes toggle/event/cycle counters and rebases the activity
+    /// baseline at the current settled state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if activity counting is not enabled.
+    pub fn reset_activity(&mut self) {
+        let Self {
+            words, activity, ..
+        } = self;
+        let act = activity.as_mut().expect("activity not enabled");
+        act.prev.copy_from_slice(words);
+        act.toggles.iter_mut().for_each(|t| *t = 0);
+        act.events = 0;
+        self.cycles = 0;
+    }
+
+    /// Per-net zero-delay toggle counts summed over active lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if activity counting is not enabled.
+    pub fn toggles(&self) -> &[u64] {
+        &self
+            .activity
+            .as_ref()
+            .expect("activity not enabled")
+            .toggles
+    }
+
+    /// Total zero-delay toggles across all nets (Σ of
+    /// [`CompiledSim::toggles`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if activity counting is not enabled.
+    pub fn activity_events(&self) -> u64 {
+        self.activity.as_ref().expect("activity not enabled").events
+    }
+
+    /// Whether toggle counting is enabled.
+    pub fn activity_enabled(&self) -> bool {
+        self.activity.is_some()
+    }
+
+    /// Evaluates up to [`LANES`] input vectors in one pass.
+    ///
+    /// `inputs` pairs each driven bus with one value per lane; every
+    /// value slice must have the same length `n ≤ LANES` (lanes
+    /// `n..LANES` are driven with vector 0 as a harmless filler).
+    /// Returns, per output bus, the `n` per-lane results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if value slices disagree in length or exceed [`LANES`]
+    /// lanes.
     pub fn run_batch(
         &mut self,
         inputs: &[(&[NetId], &[u128])],
         outputs: &[&[NetId]],
     ) -> Vec<Vec<u128>> {
         let n = inputs.first().map_or(0, |(_, v)| v.len());
-        assert!(n <= 64, "at most 64 lanes per pass");
+        assert!(n <= LANES, "at most {LANES} lanes per pass");
         for (bus, values) in inputs {
             assert_eq!(values.len(), n, "lane count mismatch across buses");
             self.set_bus_all(bus, values.first().copied().unwrap_or(0));
@@ -326,8 +530,8 @@ impl<'p> CompiledSim<'p> {
 
 /// One-fault-per-lane packaging of [`CompiledSim`] for fault campaigns:
 /// lane `l` carries fault machine `l`, so a single propagation pass
-/// classifies up to 64 faulty machines against their shared input vector
-/// (or a per-lane vector — lanes are fully independent).
+/// classifies up to [`LANES`] faulty machines against their shared input
+/// vector (or a per-lane vector — lanes are fully independent).
 #[derive(Debug, Clone)]
 pub struct CompiledFaultSim<'p> {
     sim: CompiledSim<'p>,
@@ -343,8 +547,8 @@ impl<'p> CompiledFaultSim<'p> {
 
     /// Assigns a stuck-at fault to one lane.
     pub fn assign_fault(&mut self, lane: usize, net: NetId, forced: bool) {
-        debug_assert!(lane < 64);
-        self.sim.inject_stuck_at(net, 1u64 << lane, forced);
+        debug_assert!(lane < LANES);
+        self.sim.inject_stuck_at(net, lane_mask(lane), forced);
     }
 }
 
@@ -373,21 +577,30 @@ mod tests {
     }
 
     #[test]
+    fn lane_mask_helpers_cover_all_chunks() {
+        assert_eq!(first_lanes(0), NO_LANES);
+        assert_eq!(first_lanes(LANES), ALL_LANES);
+        assert_eq!(first_lanes(64), [!0, 0, 0, 0]);
+        assert_eq!(first_lanes(65), [!0, 1, 0, 0]);
+        assert_eq!(first_lanes(200), [!0, !0, !0, (1u64 << 8) - 1]);
+        for lane in [0usize, 1, 63, 64, 127, 128, 200, 255] {
+            let m = lane_mask(lane);
+            assert_eq!(m[lane / 64], 1u64 << (lane % 64), "lane {lane}");
+            assert_eq!(m.iter().map(|c| c.count_ones()).sum::<u32>(), 1);
+        }
+    }
+
+    #[test]
     fn eval_word_matches_scalar_eval_for_all_kinds() {
         for kind in CellKind::ALL {
             for bits in 0..16u64 {
                 let (a, b, c, d) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
                 let scalar = kind.eval(a, b, c, d);
-                let word = eval_word(
-                    kind,
-                    if a { !0 } else { 0 },
-                    if b { !0 } else { 0 },
-                    if c { !0 } else { 0 },
-                    if d { !0 } else { 0 },
-                );
+                let to_word = |v: bool| if v { ALL_LANES } else { NO_LANES };
+                let word = eval_word(kind, to_word(a), to_word(b), to_word(c), to_word(d));
                 assert_eq!(
                     word,
-                    if scalar { !0 } else { 0 },
+                    if scalar { ALL_LANES } else { NO_LANES },
                     "{kind:?} bits={bits:04b}"
                 );
             }
@@ -403,15 +616,16 @@ mod tests {
         let (s, co) = n.full_adder(a, b, cin);
         let prog = CompiledNetlist::compile(&n).unwrap();
         let mut sim = CompiledSim::new(&prog);
-        // All 8 input combinations in 8 lanes of one pass.
+        // All 8 input combinations in 8 lanes of one pass — placed in
+        // the top chunk to exercise cross-chunk lane addressing.
         for v in 0..8usize {
-            sim.set_bus_lane(&[a, b, cin], v, v as u128);
+            sim.set_bus_lane(&[a, b, cin], 192 + v, v as u128);
         }
         sim.propagate();
         for v in 0..8usize {
             let ones = (v as u32).count_ones();
-            assert_eq!(sim.read_net_lane(s, v), ones & 1 == 1, "v={v}");
-            assert_eq!(sim.read_net_lane(co, v), ones >= 2, "v={v}");
+            assert_eq!(sim.read_net_lane(s, 192 + v), ones & 1 == 1, "v={v}");
+            assert_eq!(sim.read_net_lane(co, 192 + v), ones >= 2, "v={v}");
         }
     }
 
@@ -433,16 +647,16 @@ mod tests {
         };
         let prog = CompiledNetlist::compile(&n).unwrap();
         let mut csim = CompiledSim::new(&prog);
-        let av: Vec<u128> = (0..64).map(|i| (i * 37 + 11) as u128 & 0xFF).collect();
-        let bv: Vec<u128> = (0..64).map(|i| (i * 101 + 3) as u128 & 0xFF).collect();
+        let av: Vec<u128> = (0..LANES).map(|i| (i * 37 + 11) as u128 & 0xFF).collect();
+        let bv: Vec<u128> = (0..LANES).map(|i| (i * 101 + 3) as u128 & 0xFF).collect();
         let got = csim.run_batch(&[(&a, &av), (&b, &bv)], &[&sum]);
         let mut esim = Simulator::new(&n);
-        for lane in 0..64 {
+        for lane in 0..LANES {
             esim.set_bus(&a, av[lane]);
             esim.set_bus(&b, bv[lane]);
             esim.settle();
             assert_eq!(got[0][lane], esim.read_bus(&sum), "lane {lane}");
-            assert_eq!(got[0][lane], av[lane] + bv[lane]);
+            assert_eq!(got[0][lane], (av[lane] + bv[lane]) & 0x1FF);
         }
     }
 
@@ -455,8 +669,9 @@ mod tests {
         let z = n.not(y);
         let prog = CompiledNetlist::compile(&n).unwrap();
         let mut fsim = CompiledFaultSim::new(&prog);
+        // Faults across chunk boundaries: lanes 1 and 200.
         fsim.assign_fault(1, y, false); // lane 1: y stuck-at-0
-        fsim.assign_fault(2, y, true); // lane 2: y stuck-at-1
+        fsim.assign_fault(200, y, true); // lane 200: y stuck-at-1
         fsim.set_bus_all(&[a, b], 0b11);
         fsim.propagate();
         assert!(fsim.read_net_lane(y, 0), "lane 0 fault-free");
@@ -465,13 +680,13 @@ mod tests {
         assert!(fsim.read_net_lane(z, 1));
         fsim.set_bus_all(&[a, b], 0b00);
         fsim.propagate();
-        assert!(fsim.read_net_lane(y, 2), "lane 2 stuck at 1");
-        assert!(!fsim.read_net_lane(z, 2));
+        assert!(fsim.read_net_lane(y, 200), "lane 200 stuck at 1");
+        assert!(!fsim.read_net_lane(z, 200));
         assert!(!fsim.read_net_lane(y, 0));
         fsim.clear_faults();
         fsim.set_bus_all(&[a, b], 0b11);
         fsim.propagate();
-        assert!(fsim.read_net_lane(y, 1) && fsim.read_net_lane(y, 2));
+        assert!(fsim.read_net_lane(y, 1) && fsim.read_net_lane(y, 200));
     }
 
     #[test]
@@ -490,5 +705,58 @@ mod tests {
             sim.read_net_lane(q2, 0),
             "value reaches stage 2 one cycle later"
         );
+        assert_eq!(sim.cycles(), 2);
+    }
+
+    #[test]
+    fn activity_counts_settled_transitions_in_active_lanes_only() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.xor2(a, b);
+        let prog = CompiledNetlist::compile(&n).unwrap();
+        let mut sim = CompiledSim::new(&prog);
+        sim.enable_activity(LANES);
+        // a rises in lanes 0 and 100: a toggles twice, y toggles twice.
+        sim.set_net_lane(a, 0, true);
+        sim.set_net_lane(a, 100, true);
+        sim.propagate();
+        assert_eq!(sim.toggles()[a.index()], 2);
+        assert_eq!(sim.toggles()[y.index()], 2);
+        assert_eq!(sim.toggles()[b.index()], 0);
+        assert_eq!(sim.activity_events(), 4);
+        // Restrict to lane 0 only: lane 100 transitions stop counting.
+        sim.set_active_lanes(1);
+        sim.set_net_lane(b, 0, true);
+        sim.set_net_lane(b, 100, true);
+        sim.propagate();
+        assert_eq!(sim.toggles()[b.index()], 1);
+        assert_eq!(sim.toggles()[y.index()], 3);
+        // Reset rebases the baseline: an identical state adds nothing.
+        sim.reset_activity();
+        sim.propagate();
+        assert_eq!(sim.activity_events(), 0);
+    }
+
+    #[test]
+    fn activity_baseline_tracks_masked_lanes() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let y = n.buf(a);
+        let prog = CompiledNetlist::compile(&n).unwrap();
+        let mut sim = CompiledSim::new(&prog);
+        sim.enable_activity(1);
+        // Lane 5 is masked: its transition must never be counted, even
+        // after the mask is widened to include it again.
+        sim.set_net_lane(a, 5, true);
+        sim.propagate();
+        assert_eq!(sim.activity_events(), 0);
+        sim.set_active_lanes(64);
+        sim.propagate();
+        assert_eq!(sim.activity_events(), 0, "stale transition not counted");
+        sim.set_net_lane(a, 5, false);
+        sim.propagate();
+        assert_eq!(sim.toggles()[a.index()], 1);
+        assert_eq!(sim.toggles()[y.index()], 1);
     }
 }

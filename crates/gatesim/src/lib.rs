@@ -61,7 +61,10 @@ pub mod tech;
 pub mod trace;
 pub mod vector;
 
-pub use compiled::{CompiledFaultSim, CompiledNetlist, CompiledSim};
+pub use compiled::{
+    first_lanes, lane_mask, CompiledFaultSim, CompiledNetlist, CompiledSim, LaneWord, ALL_LANES,
+    LANES, LANE_WORDS, NO_LANES,
+};
 pub use fault::{CampaignRunner, CampaignStats, FaultKind, FaultOutcome, FaultSite};
 pub use netlist::{
     BlockId, Cell, CellId, Driver, Levelization, NetId, Netlist, NetlistError, UndrivenRef,

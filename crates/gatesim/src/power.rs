@@ -7,6 +7,7 @@
 //! at 100 MHz and scaling linearly ("to have an easily scalable value to
 //! any frequency").
 
+use crate::compiled::CompiledSim;
 use crate::netlist::Netlist;
 use crate::sim::Simulator;
 use crate::tech::CellKind;
@@ -147,6 +148,91 @@ impl PowerEstimator {
             transitions_per_op: events as f64 / ops as f64,
         }
     }
+
+    /// [`PowerEstimator::from_toggles`] with per-block glitch-inflation
+    /// factors applied — the estimator half of the compiled power path.
+    ///
+    /// `toggles` here are **zero-delay** counts (a [`CompiledSim`]
+    /// activity sweep, or a zero-delay [`Simulator`] run); each cell's
+    /// switched energy is multiplied by the calibration factor of its
+    /// top-level block (`block_factors`, falling back to
+    /// `default_factor` for unlisted blocks), recovering the
+    /// glitch-inclusive energy the event-driven reference would report.
+    /// `event_factor` scales the transition count the same way. Clock
+    /// energy is exact under zero delay (one edge per cycle) and is
+    /// **not** inflated.
+    ///
+    /// Factors come from `mfm_evalkit::calibrate`; this function lives
+    /// here so the estimator stays dependency-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops == 0` or `toggles` is shorter than the net array.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_toggles_calibrated(
+        netlist: &Netlist,
+        toggles: &[u64],
+        events: u64,
+        cycles: u64,
+        ops: u64,
+        block_factors: &[(String, f64)],
+        default_factor: f64,
+        event_factor: f64,
+    ) -> PowerBreakdown {
+        assert!(ops > 0, "power estimation needs at least one operation");
+        assert!(
+            toggles.len() >= netlist.net_count(),
+            "toggle counters must cover every net"
+        );
+        let tech = netlist.tech();
+        let factors: HashMap<&str, f64> = block_factors
+            .iter()
+            .map(|(name, f)| (name.as_str(), *f))
+            .collect();
+
+        let mut total_fj = 0.0f64;
+        let mut per_block: HashMap<&str, f64> = HashMap::new();
+        let mut per_kind: HashMap<CellKind, f64> = HashMap::new();
+        for cell in netlist.cells() {
+            let t = toggles[cell.output.index()] as f64;
+            let mut e = t * tech.params(cell.kind).energy_fj;
+            let in_fj = tech.params(cell.kind).input_fj;
+            for &inp in &cell.inputs[..cell.kind.arity()] {
+                e += toggles[inp.index()] as f64 * in_fj;
+            }
+            if e == 0.0 {
+                continue;
+            }
+            let block = netlist.top_level_block_name(cell.block);
+            e *= factors.get(block).copied().unwrap_or(default_factor);
+            total_fj += e;
+            *per_block.entry(block).or_insert(0.0) += e;
+            *per_kind.entry(cell.kind).or_insert(0.0) += e;
+        }
+
+        let clock_fj = cycles as f64 * netlist.dff_count() as f64 * tech.dff_clock_energy_fj;
+
+        let mut per_block_pj: Vec<(String, f64)> = per_block
+            .into_iter()
+            .map(|(k, fj)| (k.to_owned(), fj / 1000.0 / ops as f64))
+            .collect();
+        per_block_pj.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut per_kind_pj: Vec<(CellKind, f64)> = per_kind
+            .into_iter()
+            .map(|(k, fj)| (k, fj / 1000.0 / ops as f64))
+            .collect();
+        per_kind_pj.sort_by_key(|(k, _)| format!("{k:?}"));
+
+        PowerBreakdown {
+            ops,
+            dynamic_pj_per_op: total_fj / 1000.0 / ops as f64,
+            clock_pj_per_op: clock_fj / 1000.0 / ops as f64,
+            leakage_mw: netlist.area_um2() * tech.leakage_nw_per_um2 * 1e-6,
+            per_block_pj,
+            per_kind_pj,
+            transitions_per_op: events as f64 * event_factor / ops as f64,
+        }
+    }
 }
 
 /// One window of the live power trace.
@@ -175,12 +261,26 @@ pub struct PowerSample {
 /// The baseline is the simulator's activity state at construction time:
 /// build the tracer after warm-up (or after
 /// [`Simulator::reset_activity`]).
+///
+/// The tracer is source-agnostic: it consumes raw counters
+/// ([`LivePowerTrace::sample_counts`]), so the same instance can be fed
+/// from an event-driven [`Simulator`], from a [`CompiledSim`] activity
+/// sweep ([`LivePowerTrace::sample_compiled`]) or from merged shard
+/// counters — no event-driven simulation is required to keep a live
+/// power gauge next to a compiled service core. Compiled (zero-delay)
+/// toggles undercount glitch energy; chain
+/// [`LivePowerTrace::with_scale`] with a calibrated inflation factor to
+/// report calibrated pJ/op.
 #[derive(Debug)]
 pub struct LivePowerTrace {
     /// Energy charged per toggle of each net, fJ.
     weights_fj: Vec<f64>,
     /// Clock energy per cycle (all DFFs), fJ.
     clock_fj_per_cycle: f64,
+    /// Multiplier applied to each window's switched energy (clock
+    /// energy included — at one op per cycle the paper's accounting —
+    /// scale only makes sense ≥ 1 from glitch inflation).
+    scale: f64,
     last_toggles: Vec<u64>,
     last_cycles: u64,
     last_ops: u64,
@@ -191,6 +291,24 @@ pub struct LivePowerTrace {
 impl LivePowerTrace {
     /// Builds a tracer baselined on `sim`'s current activity counters.
     pub fn new(netlist: &Netlist, sim: &Simulator<'_>) -> Self {
+        Self::from_counts(netlist, sim.toggles(), sim.cycles())
+    }
+
+    /// Builds a tracer baselined on a compiled simulator's activity
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` has activity counting disabled (see
+    /// [`CompiledSim::enable_activity`]).
+    pub fn new_compiled(netlist: &Netlist, sim: &CompiledSim<'_>) -> Self {
+        Self::from_counts(netlist, sim.toggles(), sim.cycles())
+    }
+
+    /// Builds a tracer baselined on raw activity counters (any toggle
+    /// source: an event-driven simulator, a compiled activity sweep, or
+    /// merged shard counters).
+    pub fn from_counts(netlist: &Netlist, toggles: &[u64], cycles: u64) -> Self {
         let tech = netlist.tech();
         let mut weights_fj = vec![0.0f64; netlist.net_count()];
         for cell in netlist.cells() {
@@ -203,8 +321,9 @@ impl LivePowerTrace {
         LivePowerTrace {
             weights_fj,
             clock_fj_per_cycle: netlist.dff_count() as f64 * tech.dff_clock_energy_fj,
-            last_toggles: sim.toggles().to_vec(),
-            last_cycles: sim.cycles(),
+            scale: 1.0,
+            last_toggles: toggles.to_vec(),
+            last_cycles: cycles,
             last_ops: 0,
             samples: Vec::new(),
             gauge: None,
@@ -218,6 +337,15 @@ impl LivePowerTrace {
         self
     }
 
+    /// Multiplies every window's energy by `scale` — the live-gauge
+    /// analogue of the per-block glitch-inflation calibration (use a
+    /// netlist-level factor from `mfm_evalkit::calibrate` when sampling
+    /// zero-delay toggle sources).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
     /// Closes the current window at `ops_total` operations (the
     /// caller's cumulative count) and returns its sample, or `None`
     /// when no operation completed since the last call.
@@ -225,23 +353,50 @@ impl LivePowerTrace {
     /// If the simulator's activity was reset since the last sample, the
     /// window is unmeasurable: the tracer rebases and returns `None`.
     pub fn sample(&mut self, sim: &Simulator<'_>, ops_total: u64) -> Option<PowerSample> {
+        let (toggles, cycles) = (sim.toggles(), sim.cycles());
+        self.sample_counts(toggles, cycles, ops_total)
+    }
+
+    /// [`LivePowerTrace::sample`] for a compiled toggle source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` has activity counting disabled.
+    pub fn sample_compiled(
+        &mut self,
+        sim: &CompiledSim<'_>,
+        ops_total: u64,
+    ) -> Option<PowerSample> {
+        let (toggles, cycles) = (sim.toggles(), sim.cycles());
+        self.sample_counts(toggles, cycles, ops_total)
+    }
+
+    /// Closes the current window from raw cumulative counters. `toggles`
+    /// and `cycles` must be monotone between calls (a decrease is
+    /// treated as an activity reset: the tracer rebases and returns
+    /// `None`).
+    pub fn sample_counts(
+        &mut self,
+        toggles: &[u64],
+        cycles: u64,
+        ops_total: u64,
+    ) -> Option<PowerSample> {
         let window_ops = ops_total.saturating_sub(self.last_ops);
-        let toggles = sim.toggles();
-        let reset_detected = sim.cycles() < self.last_cycles
+        let reset_detected = cycles < self.last_cycles
             || toggles
                 .iter()
                 .zip(&self.last_toggles)
                 .any(|(&now, &last)| now < last);
         if reset_detected {
             self.last_toggles.copy_from_slice(toggles);
-            self.last_cycles = sim.cycles();
+            self.last_cycles = cycles;
             self.last_ops = ops_total;
             return None;
         }
         if window_ops == 0 {
             return None;
         }
-        let mut fj = (sim.cycles() - self.last_cycles) as f64 * self.clock_fj_per_cycle;
+        let mut fj = (cycles - self.last_cycles) as f64 * self.clock_fj_per_cycle;
         for (i, (&now, last)) in toggles.iter().zip(self.last_toggles.iter_mut()).enumerate() {
             let delta = now - *last;
             if delta != 0 {
@@ -249,7 +404,8 @@ impl LivePowerTrace {
                 *last = now;
             }
         }
-        self.last_cycles = sim.cycles();
+        fj *= self.scale;
+        self.last_cycles = cycles;
         self.last_ops = ops_total;
         let s = PowerSample {
             ops_end: ops_total,
@@ -400,6 +556,42 @@ mod tests {
         sim.set_net(a, true);
         sim.settle();
         assert!(trace.sample(&sim, 3).is_some());
+    }
+
+    #[test]
+    fn compiled_trace_matches_event_driven_on_glitch_free_logic() {
+        // A single-gate circuit has no glitches, so the compiled
+        // (zero-delay) toggle source and the event-driven source must
+        // produce identical windows with scale 1.0.
+        use crate::compiled::CompiledNetlist;
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let a = n.input("a");
+        let y = n.not(a);
+        n.output_bus("y", &[y]);
+        let prog = CompiledNetlist::compile(&n).unwrap();
+        let mut csim = CompiledSim::new(&prog);
+        csim.enable_activity(1);
+        let mut ctrace = LivePowerTrace::new_compiled(&n, &csim);
+        let mut esim = Simulator::new(&n);
+        let mut etrace = LivePowerTrace::new(&n, &esim);
+        for i in 0..6u64 {
+            csim.set_net_lane(a, 0, i % 2 == 0);
+            csim.propagate();
+            esim.set_net(a, i % 2 == 0);
+            esim.settle();
+        }
+        let cs = ctrace.sample_compiled(&csim, 6).unwrap();
+        let es = etrace.sample(&esim, 6).unwrap();
+        assert_eq!(cs, es, "compiled and event-driven windows agree");
+        assert!(cs.pj_per_op > 0.0);
+        // The scale hook inflates the window linearly.
+        let zeros = vec![0u64; n.net_count()];
+        let scaled = LivePowerTrace::from_counts(&n, &zeros, 0).with_scale(2.0);
+        let mut scaled = scaled;
+        let s = scaled
+            .sample_counts(csim.toggles(), csim.cycles(), 6)
+            .unwrap();
+        assert!((s.pj_per_op - 2.0 * cs.pj_per_op).abs() < 1e-12);
     }
 
     #[test]

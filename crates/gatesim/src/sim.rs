@@ -125,6 +125,10 @@ pub struct Simulator<'a> {
     /// Faults overlaid on nets, keyed by net index. A `BTreeMap` keeps
     /// iteration (and thus event ordering on clear) deterministic.
     faults: BTreeMap<u32, ActiveFault>,
+    /// When set, [`Simulator::settle`] runs the zero-delay semantics of
+    /// [`Simulator::set_zero_delay`] instead of inertial-delay event
+    /// propagation.
+    zero_delay: bool,
     /// Committed-transition ceiling per settle pass, when set (see
     /// [`Simulator::set_settle_budget`]).
     settle_budget: Option<u64>,
@@ -177,6 +181,7 @@ impl<'a> Simulator<'a> {
             trace: None,
             trace_initial: Vec::new(),
             faults: BTreeMap::new(),
+            zero_delay: false,
             settle_budget: None,
             budget_exceeded: false,
             telemetry: None,
@@ -455,9 +460,103 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Switches the simulator between inertial-delay event propagation
+    /// (the default) and **zero-delay** settling.
+    ///
+    /// Under zero delay a [`Simulator::settle`] applies every pending
+    /// source event (primary inputs, DFF Q writes, fault forces) —
+    /// newest schedule per net wins, as under inertial cancellation —
+    /// and then re-evaluates the combinational logic in one topological
+    /// pass, counting exactly one toggle per net whose settled value
+    /// changed. No intermediate (glitch) transitions exist, so per-net
+    /// toggle counts equal the XOR/popcount activity sweep of the
+    /// compiled engine on the same vectors (`tests/power_parity.rs`
+    /// pins this bit-level vs word-level parity). This is the reference
+    /// semantics the glitch-inflation calibration divides by.
+    ///
+    /// Transient (SEU) faults are timing-dependent and meaningless at
+    /// zero delay; injecting one while the mode is active is
+    /// unsupported (debug builds assert).
+    pub fn set_zero_delay(&mut self, on: bool) {
+        self.zero_delay = on;
+    }
+
+    /// Whether zero-delay settling is active.
+    pub fn zero_delay(&self) -> bool {
+        self.zero_delay
+    }
+
+    /// Zero-delay settle: drain pending source events, then one
+    /// topological re-evaluation counting settled-state deltas.
+    fn settle_zero_delay(&mut self) -> u64 {
+        let mut committed = 0u64;
+        // Apply pending source events in schedule order; per net the
+        // newest schedule wins, mirroring inertial cancellation.
+        let mut pending: Vec<(u64, u32, bool)> = Vec::with_capacity(self.heap.len());
+        while let Some(Reverse((_, seq, net, val))) = self.heap.pop() {
+            pending.push((seq, net, val));
+        }
+        pending.sort_unstable();
+        for (seq, net, val) in pending {
+            let ni = net as usize;
+            let mut val = val;
+            if let Some(&f) = self.faults.get(&net) {
+                debug_assert!(
+                    f.expires.is_none(),
+                    "transient faults are timing-dependent; unsupported at zero delay"
+                );
+                val = f.forced;
+            } else if self.newest[ni] != seq {
+                continue; // superseded by a newer schedule
+            }
+            if self.values[ni] != val {
+                self.values[ni] = val;
+                self.toggles[ni] += 1;
+                committed += 1;
+                if let Some(tr) = &mut self.trace {
+                    tr.push((self.now, net, val));
+                }
+            }
+        }
+        // Each combinational net settles directly to its fixed point:
+        // at most one counted transition per net, never a glitch.
+        for &cell_id in self.lev.order() {
+            let cell = &self.netlist.cells()[cell_id.index()];
+            let out = cell.output;
+            let v = match self.faults.get(&out.0) {
+                Some(f) => f.forced,
+                None => self.eval_cell(cell_id.index()),
+            };
+            if self.values[out.index()] != v {
+                self.values[out.index()] = v;
+                self.toggles[out.index()] += 1;
+                committed += 1;
+                if let Some(tr) = &mut self.trace {
+                    tr.push((self.now, out.0, v));
+                }
+            }
+        }
+        self.events += committed;
+        if let Some(t) = &mut self.telemetry {
+            t.settles.inc();
+            t.events.add(committed);
+            t.settle_events.observe(committed as f64);
+            t.settles_in_window += 1;
+            if t.settles_in_window >= t.window {
+                t.flush_blocks(&self.toggles);
+            }
+        }
+        committed
+    }
+
     /// Propagates all pending events until the netlist is quiescent.
-    /// Returns the number of committed transitions (including glitches).
+    /// Returns the number of committed transitions (including glitches
+    /// — unless zero-delay mode is active, see
+    /// [`Simulator::set_zero_delay`]).
     pub fn settle(&mut self) -> u64 {
+        if self.zero_delay {
+            return self.settle_zero_delay();
+        }
         let mut committed = 0u64;
         let mut touched: Vec<u32> = Vec::new();
         let mut affected: Vec<u32> = Vec::new();
@@ -626,6 +725,68 @@ mod tests {
 
     fn fresh() -> Netlist {
         Netlist::new(TechLibrary::cmos45lp())
+    }
+
+    #[test]
+    fn zero_delay_counts_settled_transitions_without_glitches() {
+        // Hazard circuit: y = a AND delay3(!a). Under inertial delays a
+        // rising edge on `a` raises y briefly before the slow inverted
+        // path pulls it back down — a glitch the toggle counters see.
+        // Under zero delay only settled-state transitions exist, so y
+        // (which settles to 0 for every input) never toggles.
+        let mut n = fresh();
+        let a = n.input("a");
+        let na = n.not(a);
+        let nb = n.not(na);
+        let nc = n.not(nb);
+        let y = n.and2(a, nc);
+        let mut zd = Simulator::new(&n);
+        zd.set_zero_delay(true);
+        assert!(zd.zero_delay());
+        zd.set_net(a, true);
+        zd.settle();
+        assert!(!zd.read_net(y));
+        assert_eq!(zd.toggles()[y.index()], 0, "no glitch at zero delay");
+        assert_eq!(zd.toggles()[a.index()], 1);
+        assert_eq!(zd.toggles()[na.index()], 1);
+        // The inertial-delay run on the same stimulus sees the hazard.
+        let mut ed = Simulator::new(&n);
+        ed.set_net(a, true);
+        ed.settle();
+        assert!(!ed.read_net(y), "same fixed point");
+        assert!(
+            ed.toggles()[y.index()] >= 2,
+            "inertial run counts the glitch (got {})",
+            ed.toggles()[y.index()]
+        );
+    }
+
+    #[test]
+    fn zero_delay_respects_stuck_faults_and_newest_event_wins() {
+        let mut n = fresh();
+        let a = n.input("a");
+        let y = n.not(a);
+        let mut sim = Simulator::new(&n);
+        sim.set_zero_delay(true);
+        // Two schedules before one settle: only the newest lands, so
+        // `a` counts a single toggle, exactly like one compiled pass.
+        sim.set_net(a, true);
+        sim.set_net(a, false);
+        sim.set_net(a, true);
+        sim.settle();
+        assert!(sim.read_net(a) && !sim.read_net(y));
+        assert_eq!(sim.toggles()[a.index()], 1);
+        assert_eq!(sim.toggles()[y.index()], 1);
+        // Stuck-at forces override both events and drivers.
+        sim.inject_stuck_at(y, true);
+        sim.settle();
+        assert!(sim.read_net(y));
+        sim.set_net(a, false);
+        sim.settle();
+        assert!(sim.read_net(y), "fault holds against the driver");
+        sim.clear_fault(y);
+        sim.settle();
+        assert!(sim.read_net(y), "!a with a=0 drives 1 anyway");
     }
 
     #[test]

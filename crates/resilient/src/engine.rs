@@ -13,7 +13,7 @@
 //! pool gauges. There is no wall-clock anywhere, so a seeded run is
 //! bit-reproducible.
 
-use mfm_gatesim::{CompiledNetlist, NetId, Netlist};
+use mfm_gatesim::{CompiledNetlist, LaneWord, NetId, Netlist, LANES, NO_LANES};
 use mfm_softfloat::Flags;
 use mfm_telemetry::{Counter, Gauge, Registry, TraceId};
 use mfmult::selfcheck::{run_scrub_compiled, scrub_battery, SelfCheckingUnit};
@@ -694,19 +694,20 @@ impl<'a> Engine<'a> {
     }
 
     /// Advances unit `i`'s Byzantine latch across `lanes` externally
-    /// served results, returning the bitmask (bit k = lane k) of lanes
-    /// the latch corrupts. Zero when the unit carries no Byzantine
-    /// fault. External batch paths call this once per batch so latch
-    /// wear is shared between pool dispatch and batched service.
-    pub fn byzantine_lane_mask(&mut self, i: usize, lanes: usize) -> u64 {
+    /// served results, returning the lane mask (bit k = lane k of the
+    /// 256-lane batch word) of lanes the latch corrupts. All-zero when
+    /// the unit carries no Byzantine fault. External batch paths call
+    /// this once per batch so latch wear is shared between pool
+    /// dispatch and batched service.
+    pub fn byzantine_lane_mask(&mut self, i: usize, lanes: usize) -> LaneWord {
         let Some(b) = &mut self.units[i].byzantine else {
-            return 0;
+            return NO_LANES;
         };
-        let mut hit = 0u64;
-        for k in 0..lanes.min(64) {
+        let mut hit = NO_LANES;
+        for k in 0..lanes.min(LANES) {
             b.served += 1;
             if b.served % b.period == 0 {
-                hit |= 1 << k;
+                hit[k / 64] |= 1 << (k % 64);
             }
         }
         hit

@@ -1,5 +1,5 @@
 //! The deterministic service core: admission control, degradation
-//! tiers, deadline bookkeeping, 64-lane batch execution through the
+//! tiers, deadline bookkeeping, 256-lane batch execution through the
 //! circuit-breaker pool, and typed responses for everything.
 //!
 //! The core is tick-driven and samples no wall clock, so it is testable
@@ -66,7 +66,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Instant;
 
-use mfm_gatesim::{CompiledNetlist, CompiledSim, Netlist};
+use mfm_gatesim::{CompiledNetlist, CompiledSim, LivePowerTrace, Netlist};
 use mfm_resilient::backoff::{BackoffConfig, SubmitBackoff};
 use mfm_resilient::{Engine, EngineConfig, HealthState};
 use mfm_softfloat::Flags;
@@ -222,7 +222,7 @@ pub struct Service<'a> {
     compiled: CompiledNetlist,
     reference: FunctionalUnit,
     battery: Vec<Operation>,
-    /// Per-format admission queues, batched 64 lanes at a time.
+    /// Per-format admission queues, batched up to 256 lanes at a time.
     queues: HashMap<Format, VecDeque<PendingReq>>,
     /// Lanes whose batch check failed, awaiting event-driven rescue.
     rescue: VecDeque<PendingReq>,
@@ -269,6 +269,19 @@ pub struct Service<'a> {
     seen_masked: u64,
     /// Engine DMR-mismatch count at the last tick, same purpose.
     seen_dmr_mismatches: u64,
+    /// Per-net zero-delay toggle counts accumulated over every primary
+    /// compiled batch evaluation (active lanes only) — the service's
+    /// power accounting runs on the compiled activity engine, with no
+    /// event-driven simulation alongside the serving path.
+    power_toggles: Vec<u64>,
+    /// Clock edges charged to the accumulator (per batch, shared by all
+    /// lanes of that batch).
+    power_cycles: u64,
+    /// Operations measured through the accumulator.
+    power_ops: u64,
+    /// Windowed pJ/op tracer over the accumulator; mirrors each tick's
+    /// window into the `service.pj_per_op` gauge.
+    power_trace: LivePowerTrace,
 }
 
 impl<'a> Service<'a> {
@@ -346,6 +359,11 @@ impl<'a> Service<'a> {
             dmr_batches: 0,
             seen_masked: 0,
             seen_dmr_mismatches: 0,
+            power_toggles: vec![0; netlist.net_count()],
+            power_cycles: 0,
+            power_ops: 0,
+            power_trace: LivePowerTrace::from_counts(netlist, &vec![0; netlist.net_count()], 0)
+                .with_gauge(registry.gauge("service.pj_per_op")),
             cfg,
         }
     }
@@ -636,6 +654,10 @@ impl<'a> Service<'a> {
         self.note_tier_change();
         self.metrics.tier.set(self.tier().level() as f64);
         self.metrics.pending.set(self.backlog() as f64);
+        // Close this tick's power window from the compiled-toggle
+        // accumulator (no-op when no batch ran since the last tick).
+        self.power_trace
+            .sample_counts(&self.power_toggles, self.power_cycles, self.power_ops);
     }
 
     /// Completes records whose write-back the front-end never reported
@@ -963,14 +985,14 @@ impl<'a> Service<'a> {
         for (format, _) in formats {
             let batch: Vec<PendingReq> = {
                 let q = self.queues.get_mut(&format).expect("non-empty queue");
-                let n = q.len().min(64);
+                let n = q.len().min(mfm_gatesim::LANES);
                 q.drain(..n).collect()
             };
             self.run_one_batch(&batch);
         }
     }
 
-    /// Executes up to 64 same-format lanes through the compiled
+    /// Executes up to [`mfm_gatesim::LANES`] same-format lanes through the compiled
     /// bit-parallel engine under one pool unit's fault overlay. Every
     /// lane is self-checked (`check_raw`) *and* cross-checked against
     /// the bit-exact reference before it may answer; a failing lane is
@@ -1017,12 +1039,20 @@ impl<'a> Service<'a> {
         let ops: Vec<Operation> = batch.iter().map(|p| p.op).collect();
         let mut sim = CompiledSim::new(&self.compiled);
         for (net, value) in overlay {
-            sim.inject_stuck_at(net, !0, value);
+            sim.inject_stuck_at(net, mfm_gatesim::ALL_LANES, value);
         }
+        // Count this batch's zero-delay toggles in the occupied lanes
+        // only: the power gauge rides on the same evaluation pass.
+        sim.enable_activity(batch.len());
         let fill_micros = t_fill.elapsed().as_micros() as u64;
         let t_eval = Instant::now();
         let raws = run_raw_compiled(&mut sim, &self.ports, &ops);
         let eval_micros = t_eval.elapsed().as_micros() as u64;
+        for (sum, &t) in self.power_toggles.iter_mut().zip(sim.toggles()) {
+            *sum += t;
+        }
+        self.power_cycles += sim.cycles();
+        self.power_ops += batch.len() as u64;
         // A Byzantine output latch corrupts results *after* the compiled
         // eval produced its self-checkable raw image: flagged lanes get
         // the armed pattern XORed into the high product word downstream
@@ -1055,7 +1085,7 @@ impl<'a> Service<'a> {
             p.spans.add(Phase::CompiledEval, eval_micros);
             let mut got = check_raw(p.op, raw).ok().map(|()| {
                 let mut r = result_from_raw(p.op, raw);
-                if byz >> idx & 1 == 1 {
+                if byz[idx / 64] >> (idx % 64) & 1 == 1 {
                     r.ph ^= byz_pattern;
                 }
                 r
@@ -1136,7 +1166,7 @@ impl<'a> Service<'a> {
             let overlay = self.engine.unit(ru).sim().stuck_faults();
             let mut sim = CompiledSim::new(&self.compiled);
             for (net, value) in overlay {
-                sim.inject_stuck_at(net, !0, value);
+                sim.inject_stuck_at(net, mfm_gatesim::ALL_LANES, value);
             }
             let raws = run_raw_compiled(&mut sim, &self.ports, ops);
             let byz = self.engine.byzantine_lane_mask(ru, ops.len());
@@ -1148,7 +1178,7 @@ impl<'a> Service<'a> {
                 .map(|(k, (&op, raw))| {
                     check_raw(op, raw).ok().map(|()| {
                         let mut r = result_from_raw(op, raw);
-                        if byz >> k & 1 == 1 {
+                        if byz[k / 64] >> (k % 64) & 1 == 1 {
                             r.ph ^= pattern;
                         }
                         r
@@ -1248,7 +1278,7 @@ impl<'a> Service<'a> {
         let overlay = self.engine.unit(unit).sim().stuck_faults();
         let mut sim = CompiledSim::new(&self.compiled);
         for (net, value) in overlay {
-            sim.inject_stuck_at(net, !0, value);
+            sim.inject_stuck_at(net, mfm_gatesim::ALL_LANES, value);
         }
         let raws = run_raw_compiled(&mut sim, &self.ports, &sample);
         let incidents = sample
@@ -1348,6 +1378,12 @@ mod tests {
         }
         assert_eq!(svc.escapes(), 0);
         assert_eq!(reg.counter("service.answered").get(), 10);
+        // The power gauge rode along on the compiled batch evaluations:
+        // no event-driven simulation ran, yet pJ/op is live.
+        assert!(
+            reg.gauge("service.pj_per_op").get() > 0.0,
+            "compiled-toggle power gauge never sampled"
+        );
     }
 
     #[test]

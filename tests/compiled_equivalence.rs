@@ -1,4 +1,4 @@
-//! Differential tests: the compiled 64-lane bit-parallel engine against
+//! Differential tests: the compiled 256-lane bit-parallel engine against
 //! the event-driven simulator and the bit-exact functional reference.
 //!
 //! Three claims are pinned here:
@@ -27,13 +27,14 @@ use mfm_repro::evalkit::workload::OperandGen;
 use mfm_repro::gatesim::fault::enumerate_stuck_sites;
 use mfm_repro::gatesim::{
     CompiledFaultSim, CompiledNetlist, CompiledSim, FaultKind, Netlist, Simulator, TechLibrary,
+    LANES,
 };
 use mfm_repro::mfmult::selfcheck::{run_raw, run_raw_compiled};
 use mfm_repro::mfmult::structural::build_unit;
 use mfm_repro::mfmult::{Format, FunctionalUnit, Operation};
 
-/// Vectors per format through the compiled engine (64 per pass, so this
-/// stays cheap even in debug builds).
+/// Vectors per format through the compiled engine (LANES = 256 per
+/// pass, so this stays cheap even in debug builds).
 const COMPILED_VECTORS: usize = 10_240;
 
 /// Of those, how many are also replayed on the event-driven simulator.
@@ -67,7 +68,7 @@ fn compiled_matches_reference_and_event_driven_per_format() {
             .collect();
         let mut checked = 0usize;
         let mut direct = 0usize;
-        for (chunk_idx, chunk) in ops.chunks(64).enumerate() {
+        for (chunk_idx, chunk) in ops.chunks(LANES).enumerate() {
             let raws = run_raw_compiled(&mut compiled, &ports, chunk);
             for (lane, (&op, raw)) in chunk.iter().zip(&raws).enumerate() {
                 let golden = hardware_view(&reference.execute(op));
@@ -75,16 +76,16 @@ fn compiled_matches_reference_and_event_driven_per_format() {
                     (raw.ph, raw.pl, raw.flags),
                     golden,
                     "{format:?} vector {}: compiled vs reference",
-                    chunk_idx * 64 + lane
+                    chunk_idx * LANES + lane
                 );
                 checked += 1;
-                if (chunk_idx * 64 + lane) % sample_every == 0 {
+                if (chunk_idx * LANES + lane).is_multiple_of(sample_every) {
                     let ev = run_raw(&mut event, &ports, op);
                     assert_eq!(
                         (raw.ph, raw.pl, raw.flags, raw.p0, raw.p1),
                         (ev.ph, ev.pl, ev.flags, ev.p0, ev.p1),
                         "{format:?} vector {}: compiled vs event-driven",
-                        chunk_idx * 64 + lane
+                        chunk_idx * LANES + lane
                     );
                     direct += 1;
                 }
@@ -123,7 +124,7 @@ fn fault_overlay_matches_event_driven_on_spec_block() {
     ];
     let mut event = Simulator::new(&n);
 
-    for chunk in sites.chunks(64) {
+    for chunk in sites.chunks(LANES) {
         let mut fsim = CompiledFaultSim::new(&prog);
         for (lane, site) in chunk.iter().enumerate() {
             let forced = match site.kind {
@@ -160,7 +161,7 @@ fn fault_overlay_matches_event_driven_on_spec_block() {
 fn fault_campaign_is_shard_and_thread_invariant() {
     let cfg = FaultCoverageConfig {
         seed: 424242,
-        sites: 130, // three shards, last one partial
+        sites: 130, // a single partial 256-lane shard
         vectors_per_format: 1,
         quad_lanes: false,
     };
@@ -169,6 +170,25 @@ fn fault_campaign_is_shard_and_thread_invariant() {
     assert_eq!(one, four, "thread count changed the campaign report");
     assert_eq!(one.sites_run, 130);
     assert_eq!(one.blocks.totals().ops(), 130 * 4);
+}
+
+#[test]
+fn fault_campaign_is_thread_invariant_across_shard_boundaries() {
+    // 520 sites decompose into three 256-lane shards (256/256/8), so the
+    // campaign exercises full-word shards, the partial tail shard and the
+    // merge across all three — at the widened [u64; 4] lane word. The
+    // campaign is all-compiled, so this stays cheap even in debug builds.
+    let cfg = FaultCoverageConfig {
+        seed: 515151,
+        sites: 520,
+        vectors_per_format: 1,
+        quad_lanes: false,
+    };
+    let one = fault_coverage_parallel(&cfg, 1);
+    let four = fault_coverage_parallel(&cfg, 4);
+    assert_eq!(one, four, "thread count changed the campaign report");
+    assert_eq!(one.sites_run, 520);
+    assert_eq!(one.blocks.totals().ops(), 520 * 4);
 }
 
 #[test]

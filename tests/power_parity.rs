@@ -1,0 +1,198 @@
+//! The activity-engine contracts behind the compiled power path.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. **Exact toggle parity** — the compiled engine's per-net zero-delay
+//!    toggle counts equal an event-driven run in zero-delay mode
+//!    ([`Simulator::set_zero_delay`]) over the same per-lane vector
+//!    sequences, bit for bit, for every paper format at 1, 64 and 256
+//!    lanes. This is the definition of what the activity engine counts;
+//!    everything else (calibration, estimation) builds on it.
+//! 2. **Calibrated accuracy** — per-block glitch-inflation calibration
+//!    on one seed brings the compiled estimate within ±5 % of the
+//!    event-driven reference on a seed the calibration never saw, for
+//!    every Table V mode of the pipelined unit.
+//! 3. **Thread invariance** — the compiled sharded measurement is
+//!    bit-identical at 1 and 4 worker threads (same fixed logical shard
+//!    decomposition, merge in shard order).
+//!
+//! The event-driven halves use fewer operations in debug builds, as
+//! everywhere else in this suite.
+
+use mfm_repro::evalkit::calibrate::GlitchCalibration;
+use mfm_repro::evalkit::montecarlo::{measure_unit_compiled_sharded, measure_unit_sharded};
+use mfm_repro::evalkit::shard::shard_seed;
+use mfm_repro::evalkit::workload::OperandGen;
+use mfm_repro::gatesim::{CompiledNetlist, CompiledSim, Netlist, Simulator, TechLibrary, LANES};
+use mfm_repro::mfmult::pipeline::{build_pipelined_unit, PipelinePlacement};
+use mfm_repro::mfmult::structural::build_unit;
+use mfm_repro::mfmult::{Format, Operation};
+
+fn rounds() -> usize {
+    if cfg!(debug_assertions) {
+        1
+    } else {
+        3
+    }
+}
+
+#[test]
+fn compiled_toggles_equal_zero_delay_event_driven_per_net() {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = build_unit(&mut n);
+    let prog = CompiledNetlist::compile(&n).expect("acyclic");
+    let rounds = rounds();
+
+    for (format, lanes) in Format::ALL
+        .iter()
+        .flat_map(|&f| [1usize, 64, LANES].map(|l| (f, l)))
+    {
+        // Per-lane operand sequences, fixed up front so both engines see
+        // the identical workload.
+        let mut gen = OperandGen::new(0xAC71_0000 ^ format.encoding() ^ lanes as u64);
+        let ops: Vec<Vec<Operation>> = (0..rounds)
+            .map(|_| (0..lanes).map(|_| gen.operation(format)).collect())
+            .collect();
+
+        // Compiled: baseline at the frmt-configured zero-operand state,
+        // then one propagation per round with all lanes driven.
+        let mut csim = CompiledSim::new(&prog);
+        csim.set_bus_all(&ports.frmt, u128::from(format.encoding()));
+        csim.propagate();
+        csim.enable_activity(lanes);
+        for round in &ops {
+            for (lane, op) in round.iter().enumerate() {
+                csim.set_bus_lane(&ports.xa, lane, op.xa as u128);
+                csim.set_bus_lane(&ports.yb, lane, op.yb as u128);
+            }
+            csim.propagate();
+        }
+
+        // Event-driven replay in zero-delay mode: each lane's sequence
+        // runs from the same zero-operand baseline; per-net toggle
+        // deltas summed over lanes must equal the compiled counts
+        // exactly.
+        let mut esim = Simulator::new(&n);
+        esim.set_zero_delay(true);
+        let mut expected = vec![0u64; n.net_count()];
+        for lane in 0..lanes {
+            esim.set_bus(&ports.frmt, u128::from(format.encoding()));
+            esim.set_bus(&ports.xa, 0);
+            esim.set_bus(&ports.yb, 0);
+            esim.settle();
+            let before = esim.toggles().to_vec();
+            for round in &ops {
+                let op = &round[lane];
+                esim.set_bus(&ports.xa, op.xa as u128);
+                esim.set_bus(&ports.yb, op.yb as u128);
+                esim.settle();
+            }
+            for (sum, (&now, &then)) in expected.iter_mut().zip(esim.toggles().iter().zip(&before))
+            {
+                *sum += now - then;
+            }
+        }
+
+        let mismatches: Vec<usize> = (0..n.net_count())
+            .filter(|&i| csim.toggles()[i] != expected[i])
+            .take(5)
+            .collect();
+        assert!(
+            mismatches.is_empty(),
+            "{format:?} at {lanes} lanes: per-net toggle mismatch at nets {mismatches:?} \
+             (compiled {:?} vs event-driven {:?})",
+            mismatches
+                .iter()
+                .map(|&i| csim.toggles()[i])
+                .collect::<Vec<_>>(),
+            mismatches.iter().map(|&i| expected[i]).collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            csim.activity_events(),
+            expected.iter().sum::<u64>(),
+            "{format:?} at {lanes} lanes: total event count"
+        );
+        assert!(
+            csim.activity_events() > 0,
+            "{format:?} at {lanes} lanes: workload produced no activity"
+        );
+    }
+}
+
+#[test]
+fn calibrated_compiled_power_within_5_percent_of_event_driven() {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+    let prog = CompiledNetlist::compile(&n).expect("acyclic");
+    let (cal_ops, ops, shards) = if cfg!(debug_assertions) {
+        (24, 48, 4)
+    } else {
+        (96, 192, 8)
+    };
+    // Calibrate on a stream disjoint from every measurement shard.
+    let cal = GlitchCalibration::run(&n, &prog, &ports, cal_ops, shard_seed(0xCA1, 1 << 32));
+
+    for &format in &Format::ALL {
+        // The event-driven reference measures the *same* sharded operand
+        // population (identical shard seeds and decomposition), so the
+        // comparison isolates engine + calibration error from sampling
+        // error.
+        let ed = measure_unit_sharded(&n, &ports, format, ops, 0xCA1, shards, 4);
+        let compiled = measure_unit_compiled_sharded(
+            &n,
+            &prog,
+            &ports,
+            format,
+            ops,
+            0xCA1,
+            shards,
+            4,
+            Some(&cal),
+        );
+        let err =
+            (compiled.energy_pj_per_op() - ed.energy_pj_per_op()).abs() / ed.energy_pj_per_op();
+        assert!(
+            err < 0.05,
+            "{format:?}: calibrated compiled {:.2} pJ/op vs event-driven {:.2} pJ/op \
+             ({:.2}% error, budget 5%)",
+            compiled.energy_pj_per_op(),
+            ed.energy_pj_per_op(),
+            err * 100.0
+        );
+        // Uncalibrated zero-delay counts must undershoot: if they ever
+        // exceed the reference the zero-delay contract is broken.
+        let raw =
+            measure_unit_compiled_sharded(&n, &prog, &ports, format, ops, 0xCA1, shards, 4, None);
+        assert!(
+            raw.dynamic_pj_per_op < ed.dynamic_pj_per_op,
+            "{format:?}: zero-delay dynamic {:.2} not below event-driven {:.2}",
+            raw.dynamic_pj_per_op,
+            ed.dynamic_pj_per_op
+        );
+        assert_eq!(
+            raw.clock_pj_per_op, ed.clock_pj_per_op,
+            "{format:?}: clock energy is exact under zero delay"
+        );
+    }
+}
+
+#[test]
+fn compiled_sharded_measurement_is_thread_invariant_at_256_lanes() {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = build_pipelined_unit(&mut n, PipelinePlacement::Fig5);
+    let prog = CompiledNetlist::compile(&n).expect("acyclic");
+    // Enough ops that shards span multiple 256-lane rounds in release.
+    let ops = if cfg!(debug_assertions) { 40 } else { 600 };
+    let cal = GlitchCalibration::run(&n, &prog, &ports, 8, 5);
+    for cal in [None, Some(&cal)] {
+        let one =
+            measure_unit_compiled_sharded(&n, &prog, &ports, Format::Int64, ops, 3, 5, 1, cal);
+        let four =
+            measure_unit_compiled_sharded(&n, &prog, &ports, Format::Int64, ops, 3, 5, 4, cal);
+        assert_eq!(one.dynamic_pj_per_op, four.dynamic_pj_per_op);
+        assert_eq!(one.clock_pj_per_op, four.clock_pj_per_op);
+        assert_eq!(one.transitions_per_op, four.transitions_per_op);
+        assert_eq!(one.per_block_pj, four.per_block_pj);
+        assert_eq!(one.per_kind_pj, four.per_kind_pj);
+    }
+}
