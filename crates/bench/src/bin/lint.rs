@@ -3,7 +3,7 @@
 //! and exits non-zero on any finding not covered by the committed
 //! allowlist.
 //!
-//! Usage: `lint [--unit NAME] [--baseline <path>] [--write-baseline] [--json <path>]`
+//! Usage: `lint [--unit NAME] [--pass NAME]... [--baseline <path>] [--write-baseline] [--json <path>]`
 //!
 //! - `--baseline` defaults to `lint_baseline.json` at the repo root (next
 //!   to the workspace `Cargo.toml`); pass an explicit path in CI.
@@ -12,12 +12,15 @@
 //!   committing (the parser rejects `TODO` reasons).
 //! - `--unit` restricts the run to one unit (the gate is still applied,
 //!   against that unit's slice of the baseline).
+//! - `--pass` restricts the run to the named passes (repeatable, or
+//!   comma-separated: `hygiene`, `constants`, `redundancy`, `isolation`);
+//!   the gate then only covers the selected passes' findings.
 
 use mfm_bench::cli;
 use mfm_evalkit::runreport::RunReport;
 use mfm_gatesim::report::Table;
 use mfm_lint::baseline::{self, Baseline};
-use mfm_lint::{lint_unit, standard_units, UnitReport};
+use mfm_lint::{lint_unit_passes, standard_units, PassSet, UnitReport};
 use mfm_telemetry::json::{JsonArray, JsonObject};
 use mfm_telemetry::Registry;
 use std::collections::BTreeMap;
@@ -33,20 +36,47 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--unit" | "--baseline" | "--json" => {
+            "--unit" | "--baseline" | "--json" | "--pass" => {
                 it.next();
             }
             "--write-baseline" => {}
             other => {
                 eprintln!(
-                    "unknown argument {other}; usage: lint [--unit NAME] [--baseline <path>] \
-                     [--write-baseline] [--json <path>]"
+                    "unknown argument {other}; usage: lint [--unit NAME] [--pass NAME]... \
+                     [--baseline <path>] [--write-baseline] [--json <path>]"
                 );
                 std::process::exit(2);
             }
         }
     }
     let unit_filter = cli::arg_str(&args, "--unit");
+    let pass_names: Vec<String> = {
+        let mut names = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--pass" {
+                if let Some(v) = it.next() {
+                    names.extend(v.split(',').map(str::to_owned));
+                }
+            }
+        }
+        names
+    };
+    let passes = if pass_names.is_empty() {
+        PassSet::all()
+    } else {
+        let mut set = PassSet::none();
+        for name in &pass_names {
+            if !set.enable(name) {
+                eprintln!(
+                    "unknown pass {name:?}; available: {}",
+                    PassSet::names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+        set
+    };
     let baseline_path = cli::arg_str(&args, "--baseline")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(default_baseline_path);
@@ -59,7 +89,7 @@ fn main() {
         standard_units()
             .iter()
             .filter(|u| unit_filter.as_deref().is_none_or(|f| u.name == f))
-            .map(lint_unit)
+            .map(|u| lint_unit_passes(u, passes))
             .collect()
     };
     if reports.is_empty() {

@@ -101,7 +101,10 @@ fn main() {
         let u = build_pipelined_unit_opts(
             &mut n,
             PipelinePlacement::Fig5,
-            UnitOptions { quad_lanes: true },
+            UnitOptions {
+                quad_lanes: true,
+                ..UnitOptions::default()
+            },
         );
         let fmax = TimingAnalysis::new(&n).report().max_freq_mhz();
         let p = measure_unit(&n, &u, Format::QuadBinary16, ops, seed);

@@ -191,6 +191,13 @@ pub struct UnitOptions {
     /// every quad gate constant-folds away and the netlist is exactly the
     /// paper-faithful unit; `frmt = 3` is then undefined.
     pub quad_lanes: bool,
+    /// Plant a recode-table defect: swap the magnitude-3 and magnitude-4
+    /// selectors of recoded digit 5, as a buggy recode-table generator
+    /// would. The defect is structural, so the event-driven and compiled
+    /// simulators agree on the wrong products — only a check against an
+    /// independent reference (sampling if lucky, the SAT prover always)
+    /// can see it. Test-only; never enable in a shipping unit.
+    pub recode_defect: bool,
 }
 
 /// Registers a bus, skipping constant bits.
@@ -246,7 +253,20 @@ pub fn build_unit(n: &mut Netlist) -> StructuralPorts {
 /// Builds the combinational unit with the quad-binary16 extension lanes
 /// enabled (`frmt = 3` computes four binary16 products).
 pub fn build_unit_quad(n: &mut Netlist) -> StructuralPorts {
-    build_unit_full(n, StageCuts::default(), UnitOptions { quad_lanes: true })
+    build_unit_full(
+        n,
+        StageCuts::default(),
+        UnitOptions {
+            quad_lanes: true,
+            ..UnitOptions::default()
+        },
+    )
+}
+
+/// Builds the combinational unit with explicit [`UnitOptions`] — the
+/// entry point for test harnesses that plant seeded defects.
+pub fn build_unit_with_options(n: &mut Netlist, opts: UnitOptions) -> StructuralPorts {
+    build_unit_full(n, StageCuts::default(), opts)
 }
 
 pub(crate) fn build_unit_with_cuts(n: &mut Netlist, cuts: StageCuts) -> StructuralPorts {
@@ -473,6 +493,11 @@ pub(crate) fn build_unit_full(
     // the unit uses parallel-prefix adders for the odd multiples ("fast
     // carry-propagate adders", Sec. II).
     let mut digits = n.in_block("recode", |n| radix16_recoder(n, &y_sig));
+    if opts.recode_defect {
+        // Seeded defect (see `UnitOptions::recode_defect`): digit 5 now
+        // selects 4X when the recoded magnitude is 3 and vice versa.
+        digits[5].sel.swap(2, 3);
+    }
     // The packed lanes of the effective multiplicand meet at bit 32 in
     // dual mode (and additionally at bits 16/48 in quad mode): the 7X
     // subtractor's borrow chain is cut there so no lower-lane mantissa

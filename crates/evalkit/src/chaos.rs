@@ -315,6 +315,7 @@ pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig, registry: Option<&Registry>
             PipelinePlacement::Fig5,
             UnitOptions {
                 quad_lanes: cfg.quad_lanes,
+                ..UnitOptions::default()
             },
         )
     } else if cfg.quad_lanes {

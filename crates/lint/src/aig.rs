@@ -1,0 +1,508 @@
+//! Hash-consed And-Inverter Graph (AIG) with complemented edges.
+//!
+//! The shared structural core of the redundancy pass and the SAT-based
+//! equivalence prover. Every node is a two-input AND; inversion lives on
+//! the edges ([`Lit`]), so hash-consing canonicalizes modulo commutativity
+//! (operands are sorted) *and* inverter push-through (`Inv(And(a,b))` and
+//! `Nand(a,b)` are the same node reached through a complemented edge).
+//! Construction applies the standard local simplifications — constant
+//! folding, idempotence `a∧a = a`, and complement annihilation
+//! `a∧¬a = 0` — so structurally distinct but trivially equal netlist
+//! cells converge on one node.
+//!
+//! [`NetlistAig`] folds a [`Netlist`] into the graph under a
+//! [`TernaryValues`] sweep: nets with a known ternary value become
+//! constants (this is what specializes the multi-format datapath to one
+//! mode when the `frmt` inputs are tied), free inputs become AIG inputs,
+//! and flip-flops pass through combinationally (steady state, matching the
+//! ternary sweep's `Q := D` fixpoint).
+//!
+//! The graph also evaluates itself 64 patterns at a time
+//! ([`Aig::simulate`]), which the prover uses both to seed candidate
+//! equivalence classes for SAT sweeping and to refute miters without ever
+//! calling the solver.
+
+use std::collections::HashMap;
+
+use mfm_gatesim::{CellKind, NetId, Netlist, NetlistError};
+
+use crate::ternary::TernaryValues;
+
+/// An AIG literal: a node index plus a complement bit.
+///
+/// Node 0 is the constant-false node, so [`Lit::FALSE`] is node 0 plain
+/// and [`Lit::TRUE`] node 0 complemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant false.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    fn of(node: usize, complement: bool) -> Lit {
+        Lit((node as u32) << 1 | u32::from(complement))
+    }
+
+    /// The plain (non-complemented) literal of a node.
+    pub fn positive(node: usize) -> Lit {
+        Lit::of(node, false)
+    }
+
+    /// The node this literal points at.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The constant literal for `value`.
+    pub fn constant(value: bool) -> Lit {
+        if value {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        }
+    }
+
+    /// This literal's constant value, if it is one of the two constants.
+    pub fn const_value(self) -> Option<bool> {
+        match self {
+            Lit::FALSE => Some(false),
+            Lit::TRUE => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Same node, requested polarity relative to this literal.
+    pub fn xor_sign(self, flip: bool) -> Lit {
+        Lit(self.0 ^ u32::from(flip))
+    }
+
+    /// The raw encoding (`node << 1 | complement`).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Const,
+    /// Input with its ordinal.
+    Input(u32),
+    And(Lit, Lit),
+}
+
+/// A hash-consed And-Inverter Graph.
+#[derive(Debug, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    strash: HashMap<(Lit, Lit), u32>,
+    num_inputs: usize,
+}
+
+impl Aig {
+    /// An empty graph (just the constant node).
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![Node::Const],
+            strash: HashMap::new(),
+            num_inputs: 0,
+        }
+    }
+
+    /// Number of nodes (constant and inputs included).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs created so far.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And(..)))
+            .count()
+    }
+
+    /// Creates a fresh primary input.
+    pub fn input(&mut self) -> Lit {
+        let ix = self.num_inputs as u32;
+        self.num_inputs += 1;
+        self.nodes.push(Node::Input(ix));
+        Lit::of(self.nodes.len() - 1, false)
+    }
+
+    /// The input ordinal of `node`, if it is an input node.
+    pub fn input_index(&self, node: usize) -> Option<usize> {
+        match self.nodes[node] {
+            Node::Input(ix) => Some(ix as usize),
+            _ => None,
+        }
+    }
+
+    /// The AND fanins of `node`, if it is an AND node.
+    pub fn and_fanin(&self, node: usize) -> Option<(Lit, Lit)> {
+        match self.nodes[node] {
+            Node::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// `a ∧ b`, hash-consed and locally simplified.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE || a == b {
+            return b;
+        }
+        if b == Lit::TRUE {
+            return a;
+        }
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if let Some(&n) = self.strash.get(&(a, b)) {
+            return Lit::of(n as usize, false);
+        }
+        self.nodes.push(Node::And(a, b));
+        let n = (self.nodes.len() - 1) as u32;
+        self.strash.insert((a, b), n);
+        Lit::of(n as usize, false)
+    }
+
+    /// `a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// `a ⊕ b` (three AND nodes, or fewer after simplification).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(a, !b);
+        let t1 = self.and(!a, b);
+        self.or(t0, t1)
+    }
+
+    /// `sel ? a1 : a0`.
+    pub fn mux(&mut self, sel: Lit, a0: Lit, a1: Lit) -> Lit {
+        let t1 = self.and(sel, a1);
+        let t0 = self.and(!sel, a0);
+        self.or(t0, t1)
+    }
+
+    /// 3-input majority (full-adder carry).
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Evaluates the whole graph on 64 input patterns at once.
+    ///
+    /// `input_words[i]` carries 64 boolean values for input `i` (one per
+    /// bit lane); the result has one word per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words` is shorter than the number of inputs.
+    pub fn simulate(&self, input_words: &[u64]) -> Vec<u64> {
+        assert!(input_words.len() >= self.num_inputs, "missing input words");
+        let mut w = vec![0u64; self.nodes.len()];
+        for (ix, node) in self.nodes.iter().enumerate() {
+            w[ix] = match *node {
+                Node::Const => 0,
+                Node::Input(i) => input_words[i as usize],
+                Node::And(a, b) => {
+                    let wa = w[a.node()] ^ if a.is_complemented() { !0 } else { 0 };
+                    let wb = w[b.node()] ^ if b.is_complemented() { !0 } else { 0 };
+                    wa & wb
+                }
+            };
+        }
+        w
+    }
+
+    /// The value of `lit` given per-node simulation words from
+    /// [`Aig::simulate`].
+    pub fn lit_word(words: &[u64], lit: Lit) -> u64 {
+        words[lit.node()] ^ if lit.is_complemented() { !0 } else { 0 }
+    }
+
+    /// Evaluates `lit` on a single boolean input assignment.
+    pub fn eval(&self, inputs: &[bool], lit: Lit) -> bool {
+        let words: Vec<u64> = inputs.iter().map(|&b| u64::from(b)).collect();
+        let w = self.simulate(&words);
+        Self::lit_word(&w, lit) & 1 == 1
+    }
+}
+
+/// A netlist folded into an [`Aig`] under a ternary sweep.
+#[derive(Debug)]
+pub struct NetlistAig {
+    /// The graph. More nodes may be added by callers (e.g. the reference
+    /// circuit and miters share this graph so hash-consing crosses sides).
+    pub aig: Aig,
+    /// Per-net literal (indexed by `NetId::index()`).
+    pub lit_of_net: Vec<Lit>,
+    /// Netlist net for each AIG input ordinal.
+    pub free_inputs: Vec<NetId>,
+}
+
+impl NetlistAig {
+    /// The AIG literal of a netlist net.
+    pub fn lit(&self, net: NetId) -> Lit {
+        self.lit_of_net[net.index()]
+    }
+
+    /// Folds `netlist` into a fresh AIG under `values`.
+    ///
+    /// Nets with a known ternary value become constants; free primary
+    /// inputs become AIG inputs (in netlist input order); flip-flops pass
+    /// their D input through (combinational steady state). Returns an
+    /// error only if the netlist has no valid levelization.
+    pub fn build(netlist: &Netlist, values: &TernaryValues) -> Result<NetlistAig, NetlistError> {
+        let lev = netlist.levelization()?;
+        let mut aig = Aig::new();
+        const UNSET: Lit = Lit(u32::MAX);
+        let mut lit_of_net = vec![UNSET; netlist.net_count()];
+        let mut free_inputs = Vec::new();
+        lit_of_net[netlist.zero().index()] = Lit::FALSE;
+        lit_of_net[netlist.one().index()] = Lit::TRUE;
+        for &net in netlist.inputs() {
+            lit_of_net[net.index()] = match values.value(net).known() {
+                Some(v) => Lit::constant(v),
+                None => {
+                    free_inputs.push(net);
+                    aig.input()
+                }
+            };
+        }
+        let cells = netlist.cells();
+        // Multi-pass: the levelization orders combinational cells only, so
+        // logic behind flip-flops resolves on a later pass (feed-forward
+        // pipelines settle in `depth` passes; the ternary sweep iterates
+        // the same way).
+        loop {
+            let mut progress = false;
+            let mut pending = false;
+            for &cid in lev.order() {
+                let cell = &cells[cid.index()];
+                if lit_of_net[cell.output.index()] != UNSET {
+                    continue;
+                }
+                if let Some(v) = values.value(cell.output).known() {
+                    lit_of_net[cell.output.index()] = Lit::constant(v);
+                    progress = true;
+                    continue;
+                }
+                let arity = cell.kind.arity();
+                if cell.inputs[..arity]
+                    .iter()
+                    .any(|n| lit_of_net[n.index()] == UNSET)
+                {
+                    pending = true;
+                    continue;
+                }
+                let l = |p: usize| lit_of_net[cell.inputs[p].index()];
+                let out = build_cell(
+                    &mut aig,
+                    cell.kind,
+                    l(0),
+                    l(1.min(arity - 1)),
+                    l(2.min(arity - 1)),
+                    l(3.min(arity - 1)),
+                );
+                lit_of_net[cell.output.index()] = out;
+                progress = true;
+            }
+            for (_, cell) in netlist.dffs() {
+                if lit_of_net[cell.output.index()] != UNSET {
+                    continue;
+                }
+                let d = lit_of_net[cell.inputs[0].index()];
+                if d == UNSET {
+                    pending = true;
+                } else {
+                    lit_of_net[cell.output.index()] = d;
+                    progress = true;
+                }
+            }
+            if !pending {
+                break;
+            }
+            assert!(
+                progress,
+                "netlist has a sequential cycle the AIG fold cannot order"
+            );
+        }
+        debug_assert!(
+            !lit_of_net.contains(&UNSET),
+            "every net is a constant, an input, or a cell output"
+        );
+        Ok(NetlistAig {
+            aig,
+            lit_of_net,
+            free_inputs,
+        })
+    }
+}
+
+/// Builds one cell function over literals. `Mux2` input order is
+/// `[a0, a1, sel]`, matching [`CellKind::eval`].
+fn build_cell(aig: &mut Aig, kind: CellKind, a: Lit, b: Lit, c: Lit, d: Lit) -> Lit {
+    match kind {
+        CellKind::Inv => !a,
+        CellKind::Buf | CellKind::Dff => a,
+        CellKind::And2 => aig.and(a, b),
+        CellKind::Nand2 => !aig.and(a, b),
+        CellKind::Or2 => aig.or(a, b),
+        CellKind::Nor2 => !aig.or(a, b),
+        CellKind::And3 => {
+            let t = aig.and(a, b);
+            aig.and(t, c)
+        }
+        CellKind::Nand3 => {
+            let t = aig.and(a, b);
+            !aig.and(t, c)
+        }
+        CellKind::Or3 => {
+            let t = aig.or(a, b);
+            aig.or(t, c)
+        }
+        CellKind::Nor3 => {
+            let t = aig.or(a, b);
+            !aig.or(t, c)
+        }
+        CellKind::Xor2 => aig.xor(a, b),
+        CellKind::Xnor2 => !aig.xor(a, b),
+        CellKind::Mux2 => aig.mux(c, a, b),
+        CellKind::Aoi21 => {
+            let t = aig.and(a, b);
+            !aig.or(t, c)
+        }
+        CellKind::Aoi22 => {
+            let t0 = aig.and(a, b);
+            let t1 = aig.and(c, d);
+            !aig.or(t0, t1)
+        }
+        CellKind::Oai21 => {
+            let t = aig.or(a, b);
+            !aig.and(t, c)
+        }
+        CellKind::Maj3 => aig.maj(a, b, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_gatesim::{Netlist, Simulator, TechLibrary};
+
+    #[test]
+    fn hashing_identities() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        assert_eq!(g.and(a, b), g.and(b, a));
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        // Inverter push-through: NAND and INV∘AND share a node.
+        let n1 = !g.and(a, b);
+        let n2 = g.and(a, b);
+        assert_eq!(n1, !n2);
+        // Same OR reached through complemented edges shares a node.
+        let o1 = g.or(a, b);
+        let o2 = !g.and(!a, !b);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn simulate_matches_eval() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let m = g.maj(a, b, c);
+        let x = g.xor(a, b);
+        let s = g.xor(x, c);
+        for combo in 0..8u32 {
+            let bits = [combo & 1 == 1, combo & 2 != 0, combo & 4 != 0];
+            let maj = (bits[0] & bits[1]) | (bits[0] & bits[2]) | (bits[1] & bits[2]);
+            let sum = bits[0] ^ bits[1] ^ bits[2];
+            assert_eq!(g.eval(&bits, m), maj);
+            assert_eq!(g.eval(&bits, s), sum);
+        }
+    }
+
+    #[test]
+    fn netlist_fold_agrees_with_simulator() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let xs = n.input_bus("x", 4);
+        let ys = n.input_bus("y", 4);
+        let mut outs = Vec::new();
+        let mut carry = n.zero();
+        for i in 0..4 {
+            let (s, c) = n.full_adder(xs[i], ys[i], carry);
+            outs.push(s);
+            carry = c;
+        }
+        outs.push(carry);
+        n.output_bus("s", &outs);
+        n.check().unwrap();
+        let vals = crate::ternary::sweep(&n, &[]).unwrap();
+        let fold = NetlistAig::build(&n, &vals).unwrap();
+        let mut sim = Simulator::new(&n);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..50 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = state & 0xf;
+            let y = (state >> 8) & 0xf;
+            sim.set_bus(&xs, u128::from(x));
+            sim.set_bus(&ys, u128::from(y));
+            sim.settle();
+            let inputs: Vec<bool> = fold
+                .free_inputs
+                .iter()
+                .map(|&net| sim.read_net(net))
+                .collect();
+            for &o in &outs {
+                assert_eq!(fold.aig.eval(&inputs, fold.lit(o)), sim.read_net(o));
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_folding_specializes_tied_inputs() {
+        let mut n = Netlist::new(TechLibrary::cmos45lp());
+        let sel = n.input("sel");
+        let a = n.input("a");
+        let b = n.input("b");
+        let m = n.mux2(sel, a, b);
+        n.output_bus("o", &[m]);
+        n.check().unwrap();
+        let vals = crate::ternary::sweep(&n, &[(sel, true)]).unwrap();
+        let fold = NetlistAig::build(&n, &vals).unwrap();
+        // With sel tied high the mux collapses to `b`'s literal.
+        assert_eq!(fold.lit(m), fold.lit(b));
+    }
+}

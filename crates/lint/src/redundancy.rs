@@ -1,102 +1,80 @@
-//! Structural redundancy pass: hash-consing sweep for duplicate gates.
+//! Structural redundancy pass: AIG hash-consing sweep for duplicate gates.
 //!
-//! Two cells are duplicates when they have the same kind and the same
-//! *canonicalized* inputs: inputs are first rewritten through the
-//! equivalence map built so far (so chains of duplicates collapse), then
-//! sorted per the gate's commutativity (full symmetry for AND/OR/XOR
-//! families and MAJ3; pairwise + pair symmetry for AOI22; the select leg
-//! of a mux is never commuted). Flip-flops participate too — two
-//! registers clocked from the same D are one register.
+//! The whole netlist is folded into the shared [`crate::aig`] AIG with no
+//! ties (every primary input stays free; flip-flops pass their D input
+//! through, i.e. combinational steady state). Hash-consing canonicalizes
+//! operand order, double inversion and constant absorption on the way in,
+//! so two cells are reported as duplicates exactly when their outputs
+//! fold to the *same literal* — same function, same polarity — regardless
+//! of gate kind: an `Or2` fed by inverted nets duplicates the `Nand2`
+//! next door, and a register chain re-deriving an existing net collapses
+//! through the D pass-through without any fixpoint iteration.
 //!
-//! The sweep iterates to a fixpoint: combinational cells in topological
-//! order, then DFFs, repeated until the equivalence map stops growing —
-//! this lets duplicate registers unlock duplicate logic in the next
-//! stage and vice versa.
+//! Pass-through cells never mint a fresh literal, so they are grouped
+//! separately by `(kind, input literal)`: two `Buf`s of one driver, two
+//! `Inv`s of one net, two flip-flops latching the same D function.
+//! Cells whose output literal collapses to a constant or onto one of
+//! their own inputs (`And2(a,a)`, a mux with equal legs) belong to the
+//! constants pass and are skipped here rather than reported as
+//! "duplicating" their own driver.
 
+use crate::aig::{Lit, NetlistAig};
 use crate::finding::{Finding, Rule};
+use crate::ternary;
 use mfm_gatesim::{CellKind, Netlist, NetlistError};
 use std::collections::HashMap;
 
-/// Unused-slot filler that cannot collide with a real canonical net.
-const NONE: u32 = u32::MAX;
-
-fn canonical_key(cell: &mfm_gatesim::Cell, canon: &[u32]) -> (CellKind, [u32; 4]) {
-    let arity = cell.kind.arity();
-    let mut k = [NONE; 4];
-    for (p, slot) in k.iter_mut().enumerate().take(arity) {
-        *slot = canon[cell.inputs[p].index()];
-    }
-    match cell.kind {
-        CellKind::Nand2
-        | CellKind::Nor2
-        | CellKind::And2
-        | CellKind::Or2
-        | CellKind::Xor2
-        | CellKind::Xnor2 => k[..2].sort_unstable(),
-        CellKind::Nand3 | CellKind::Nor3 | CellKind::And3 | CellKind::Or3 | CellKind::Maj3 => {
-            k[..3].sort_unstable()
-        }
-        // !((a&b) | c) and !((a|b) & c): a, b commute; c does not.
-        CellKind::Aoi21 | CellKind::Oai21 => k[..2].sort_unstable(),
-        // !((a&b) | (c&d)): sort within each pair, then sort the pairs.
-        CellKind::Aoi22 => {
-            k[..2].sort_unstable();
-            k[2..4].sort_unstable();
-            if (k[2], k[3]) < (k[0], k[1]) {
-                k.swap(0, 2);
-                k.swap(1, 3);
-            }
-        }
-        CellKind::Inv | CellKind::Buf | CellKind::Mux2 | CellKind::Dff => {}
-    }
-    (cell.kind, k)
-}
-
 /// Runs the redundancy pass.
 pub fn run(netlist: &Netlist) -> Result<Vec<Finding>, NetlistError> {
+    let values = ternary::sweep(netlist, &[])?;
+    let fold = NetlistAig::build(netlist, &values)?;
     let lev = netlist.levelization()?;
     let cells = netlist.cells();
 
-    // canon[net] = the canonical representative net index.
-    let mut canon: Vec<u32> = (0..netlist.net_count() as u32).collect();
-    let mut map: HashMap<(CellKind, [u32; 4]), (u32, u32)> = HashMap::new();
+    // First producer of each function, and of each passed-through wire.
+    let mut rep_of_lit: HashMap<Lit, usize> = HashMap::new();
+    let mut rep_of_wire: HashMap<(CellKind, Lit), usize> = HashMap::new();
     // duplicates: (duplicate cell index, representative cell index).
     let mut duplicates: Vec<(usize, usize)> = Vec::new();
 
-    loop {
-        let mut changed = false;
-        map.clear();
-        duplicates.clear();
-        let mut visit = |ci: usize, canon: &mut Vec<u32>| {
-            let cell = &cells[ci];
-            let key = canonical_key(cell, canon);
-            let out = cell.output.index();
-            match map.get(&key) {
-                Some(&(rep_net, rep_cell)) => {
-                    if rep_cell as usize != ci {
-                        duplicates.push((ci, rep_cell as usize));
-                        if canon[out] != rep_net {
-                            canon[out] = rep_net;
-                            return true;
-                        }
-                    }
-                    false
-                }
+    let mut visit = |ci: usize| {
+        let cell = &cells[ci];
+        if matches!(cell.kind, CellKind::Buf | CellKind::Inv | CellKind::Dff) {
+            let key = (cell.kind, fold.lit(cell.inputs[0]));
+            match rep_of_wire.get(&key) {
+                Some(&rep) => duplicates.push((ci, rep)),
                 None => {
-                    map.insert(key, (canon[out], ci as u32));
-                    false
+                    rep_of_wire.insert(key, ci);
                 }
             }
-        };
-        for &cid in lev.order() {
-            changed |= visit(cid.index(), &mut canon);
+            return;
         }
-        for (cid, _) in netlist.dffs() {
-            changed |= visit(cid.index(), &mut canon);
+        let out = fold.lit(cell.output);
+        if out.const_value().is_some() {
+            // Statically-constant cells are the constants pass's findings.
+            return;
         }
-        if !changed {
-            break;
+        let arity = cell.kind.arity();
+        if cell.inputs[..arity]
+            .iter()
+            .any(|n| fold.lit(*n).node() == out.node())
+        {
+            // Degenerate pass-through of one of its own inputs — also the
+            // constants pass's territory, not a duplicate of its driver.
+            return;
         }
+        match rep_of_lit.get(&out) {
+            Some(&rep) => duplicates.push((ci, rep)),
+            None => {
+                rep_of_lit.insert(out, ci);
+            }
+        }
+    };
+    for &cid in lev.order() {
+        visit(cid.index());
+    }
+    for (cid, _) in netlist.dffs() {
+        visit(cid.index());
     }
 
     Ok(duplicates

@@ -1,0 +1,958 @@
+//! The reference half of the equivalence miters: a bit-blasted,
+//! *mode-resolved* replay of the multi-format datapath.
+//!
+//! [`build_reference`] reconstructs the computation of
+//! `mfmult::structural::build_unit_full` for **one** format mode, with the
+//! mode-select booleans resolved to compile-time constants, over the
+//! generic [`BitOps`] builder of `mfm_softfloat::blast`. The same code
+//! therefore runs in two worlds:
+//!
+//! - on [`Words`](mfm_softfloat::blast::Words), where this module's tests
+//!   anchor every mode to the executable specification
+//!   [`paper_mul_bits`](mfm_softfloat::paper::paper_mul_bits) (and, for
+//!   int64, to native widening multiplication) over thousands of operand
+//!   pairs — this is the *soundness* anchor;
+//! - on the lint [`Aig`] (via [`AigBits`]), where it becomes the
+//!   reference circuit the SAT prover miters against the folded netlist.
+//!
+//! The construction deliberately mirrors the netlist generators
+//! statement-for-statement (recode equations, partial-product insertion
+//! order including mode-masked constant bits, Dadda schedule, seam-gated
+//! carries, injection rounding, output formatting) so that most reference
+//! nodes hash-cons onto the very nodes the netlist folded to, and the
+//! prover discharges the bulk of each miter structurally. Where the
+//! netlist uses fast adders (Kogge–Stone multiples, carry-select rounding
+//! CPAs, CLA exponent sums) the reference keeps plain ripple forms — the
+//! SAT sweep proves those equivalences. Structural closeness is a
+//! performance device only; correctness rests solely on the word-level
+//! anchor tests.
+
+use crate::aig::{Aig, Lit};
+use mfm_softfloat::blast::{
+    self, BitOps, LaneClass, LaneGeometry, NormalPath, PpMatrix, RecodedDigit,
+};
+
+/// One format mode of the multi-format unit, as selected by the `frmt`
+/// input bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `frmt = 0`: one 64×64 → 128 integer product (`PH ∥ PL`).
+    Int64,
+    /// `frmt = 1`: one binary64 product in `PH`.
+    Binary64,
+    /// `frmt = 2`: two binary32 products packed in `PH`.
+    DualBinary32,
+    /// `frmt = 3` (extension units only): four binary16 products in `PH`.
+    QuadBinary16,
+}
+
+impl Mode {
+    /// The `frmt` bus encoding of the mode.
+    pub fn frmt(self) -> u64 {
+        match self {
+            Mode::Int64 => 0,
+            Mode::Binary64 => 1,
+            Mode::DualBinary32 => 2,
+            Mode::QuadBinary16 => 3,
+        }
+    }
+
+    /// The mode name used by `mfmult::meta::mode_specs`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Int64 => "int64",
+            Mode::Binary64 => "binary64",
+            Mode::DualBinary32 => "dual-binary32",
+            Mode::QuadBinary16 => "quad-binary16",
+        }
+    }
+
+    /// Parses a [`Mode::name`] string.
+    pub fn from_name(name: &str) -> Option<Mode> {
+        match name {
+            "int64" => Some(Mode::Int64),
+            "binary64" => Some(Mode::Binary64),
+            "dual-binary32" => Some(Mode::DualBinary32),
+            "quad-binary16" => Some(Mode::QuadBinary16),
+            _ => None,
+        }
+    }
+
+    /// All four modes, in `frmt` order.
+    pub fn all() -> [Mode; 4] {
+        [
+            Mode::Int64,
+            Mode::Binary64,
+            Mode::DualBinary32,
+            Mode::QuadBinary16,
+        ]
+    }
+
+    /// Whether the partial-product mode mask (bit 0 = full, bit 1 = dual,
+    /// bit 2 = quad) covers this mode — the resolved form of the
+    /// netlist's `mode_net`.
+    fn in_mask(self, mask: u8) -> bool {
+        let bit = match self {
+            Mode::Int64 | Mode::Binary64 => 0b001,
+            Mode::DualBinary32 => 0b010,
+            Mode::QuadBinary16 => 0b100,
+        };
+        mask & bit != 0
+    }
+}
+
+/// [`BitOps`] over the lint [`Aig`]: the adapter that lets the generic
+/// reference construction build AIG nodes, hash-consed against the folded
+/// netlist sharing the same graph.
+pub struct AigBits<'a> {
+    /// The shared graph (typically `NetlistAig::aig`).
+    pub aig: &'a mut Aig,
+}
+
+impl BitOps for AigBits<'_> {
+    type Bit = Lit;
+    fn constant(&mut self, value: bool) -> Lit {
+        Lit::constant(value)
+    }
+    fn not(&mut self, a: Lit) -> Lit {
+        !a
+    }
+    fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        self.aig.and(a, b)
+    }
+    fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.aig.or(a, b)
+    }
+    fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.aig.xor(a, b)
+    }
+    fn mux(&mut self, sel: Lit, a0: Lit, a1: Lit) -> Lit {
+        self.aig.mux(sel, a0, a1)
+    }
+    fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        self.aig.maj(a, b, c)
+    }
+}
+
+/// The reference unit outputs for one mode, in the netlist's port shape.
+#[derive(Debug, Clone)]
+pub struct RefOutputs<T> {
+    /// The 64-bit `PH` result word.
+    pub ph: Vec<T>,
+    /// The 64-bit `PL` result word (int64 low half; zero otherwise).
+    pub pl: Vec<T>,
+    /// `[inv_lo, ovf_lo, unf_lo, inv_hi, ovf_hi, unf_hi]`.
+    pub flags: Vec<T>,
+    /// The 128-bit non-incremented rounding CPA output (`chk_p0`).
+    pub p0: Vec<T>,
+    /// The 128-bit incremented rounding CPA output (`chk_p1`).
+    pub p1: Vec<T>,
+}
+
+/// OR reduction in the netlist's chunks-of-3 shape (`or_tree`).
+fn or_tree3<B: BitOps>(b: &mut B, bits: &[B::Bit]) -> B::Bit {
+    debug_assert!(!bits.is_empty());
+    let mut v = bits.to_vec();
+    while v.len() > 1 {
+        let mut next = Vec::with_capacity(v.len().div_ceil(3));
+        for ch in v.chunks(3) {
+            next.push(match ch {
+                [x] => *x,
+                [x, y] => b.or(*x, *y),
+                [x, y, z] => {
+                    let t = b.or(*x, *y);
+                    b.or(t, *z)
+                }
+                _ => unreachable!("chunks(3)"),
+            });
+        }
+        v = next;
+    }
+    v[0]
+}
+
+/// AND reduction in the netlist's chunks-of-3 shape (`and_tree`).
+fn and_tree3<B: BitOps>(b: &mut B, bits: &[B::Bit]) -> B::Bit {
+    debug_assert!(!bits.is_empty());
+    let mut v = bits.to_vec();
+    while v.len() > 1 {
+        let mut next = Vec::with_capacity(v.len().div_ceil(3));
+        for ch in v.chunks(3) {
+            next.push(match ch {
+                [x] => *x,
+                [x, y] => b.and(*x, *y),
+                [x, y, z] => {
+                    let t = b.and(*x, *y);
+                    b.and(t, *z)
+                }
+                _ => unreachable!("chunks(3)"),
+            });
+        }
+        v = next;
+    }
+    v[0]
+}
+
+fn or_range<B: BitOps>(b: &mut B, bus: &[B::Bit], lo: usize, hi: usize) -> B::Bit {
+    or_tree3(b, &bus[lo..=hi])
+}
+
+fn and_range<B: BitOps>(b: &mut B, bus: &[B::Bit], lo: usize, hi: usize) -> B::Bit {
+    and_tree3(b, &bus[lo..=hi])
+}
+
+/// The netlist's per-lane special-value classifier, over absolute field
+/// positions in the 64-bit operand buses.
+#[allow(clippy::too_many_arguments)]
+fn classify<B: BitOps>(
+    b: &mut B,
+    exp: (usize, usize),
+    frac: (usize, usize),
+    sign: usize,
+    a_norm: B::Bit,
+    b_norm: B::Bit,
+    xa: &[B::Bit],
+    yb: &[B::Bit],
+) -> LaneClass<B::Bit> {
+    let a_ones = and_range(b, xa, exp.0, exp.1);
+    let b_ones = and_range(b, yb, exp.0, exp.1);
+    let a_frac_nz = or_range(b, xa, frac.0, frac.1);
+    let b_frac_nz = or_range(b, yb, frac.0, frac.1);
+    let a_nan = b.and(a_ones, a_frac_nz);
+    let b_nan = b.and(b_ones, b_frac_nz);
+    let any_nan = b.or(a_nan, b_nan);
+    let na_frac = b.not(a_frac_nz);
+    let nb_frac = b.not(b_frac_nz);
+    let a_inf = b.and(a_ones, na_frac);
+    let b_inf = b.and(b_ones, nb_frac);
+    let any_inf = b.or(a_inf, b_inf);
+    let a_zero = b.not(a_norm);
+    let b_zero = b.not(b_norm);
+    let any_zero = b.or(a_zero, b_zero);
+    let iz1 = b.and(a_inf, b_zero);
+    let iz2 = b.and(b_inf, a_zero);
+    let inf_zero = b.or(iz1, iz2);
+    let na_quiet = b.not(xa[frac.1]);
+    let nb_quiet = b.not(yb[frac.1]);
+    let a_snan = b.and(a_nan, na_quiet);
+    let b_snan = b.and(b_nan, nb_quiet);
+    let snan = b.or(a_snan, b_snan);
+    let invalid = b.or(inf_zero, snan);
+    let sign_p = b.xor(xa[sign], yb[sign]);
+    LaneClass {
+        a_nan,
+        any_nan,
+        invalid,
+        any_inf,
+        any_zero,
+        sign_p,
+    }
+}
+
+/// The netlist's stage-3 `exponent_select`: speculative `+1`, per-candidate
+/// range checks against `max_field`, then a single mux rank on `sel`.
+fn exponent_select<B: BitOps>(
+    b: &mut B,
+    e0: &[B::Bit],
+    sel: B::Bit,
+    max_field: u64,
+) -> (Vec<B::Bit>, B::Bit, B::Bit) {
+    let width = e0.len();
+    let f = b.constant(false);
+    let e1 = blast::increment(b, e0);
+    let limit = (1u128 << width) - u128::from(max_field);
+    let mut unf_c = [f; 2];
+    let mut ovf_c = [f; 2];
+    for (k, e) in [e0, &e1[..]].into_iter().enumerate() {
+        let neg = e[width - 1];
+        let any = or_tree3(b, e);
+        let nany = b.not(any);
+        unf_c[k] = b.or(neg, nany);
+        let lc = blast::const_word(b, limit, width);
+        let (t, _) = blast::ripple_add(b, e, &lc, f);
+        ovf_c[k] = b.not(t[width - 1]);
+    }
+    let e: Vec<B::Bit> = (0..width).map(|i| b.mux(sel, e0[i], e1[i])).collect();
+    let unf = b.mux(sel, unf_c[0], unf_c[1]);
+    let ovf = b.mux(sel, ovf_c[0], ovf_c[1]);
+    (e, unf, ovf)
+}
+
+/// `ea + eb + (2^w − bias)` over `width` bits, both exponent fields
+/// zero-extended — the stage-2 exponent sum.
+fn exponent_sum<B: BitOps>(
+    b: &mut B,
+    ea: &[B::Bit],
+    eb: &[B::Bit],
+    width: usize,
+    bias: u64,
+) -> Vec<B::Bit> {
+    let f = b.constant(false);
+    let mut ea_ext = ea.to_vec();
+    ea_ext.resize(width, f);
+    let mut eb_ext = eb.to_vec();
+    eb_ext.resize(width, f);
+    let (s, _) = blast::ripple_add(b, &ea_ext, &eb_ext, f);
+    let bias_c = blast::const_word(b, (1u128 << width) - u128::from(bias), width);
+    blast::ripple_add(b, &s, &bias_c, f).0
+}
+
+/// The input formatter resolved to one mode: the effective 64-bit
+/// multiplicand/multiplier word (per-lane significands with subnormal
+/// flush and implicit bit, or the raw word for int64).
+fn format_operand<B: BitOps>(b: &mut B, w: &[B::Bit], mode: Mode) -> Vec<B::Bit> {
+    let f = b.constant(false);
+    match mode {
+        Mode::Int64 => w.to_vec(),
+        Mode::Binary64 => {
+            let norm = or_range(b, w, 52, 62);
+            (0..64)
+                .map(|j| match j {
+                    0..=51 => b.and(w[j], norm),
+                    52 => norm,
+                    _ => f,
+                })
+                .collect()
+        }
+        Mode::DualBinary32 => {
+            let norm_lo = or_range(b, w, 23, 30);
+            let norm_hi = or_range(b, w, 55, 62);
+            (0..64)
+                .map(|j| match j {
+                    0..=22 => b.and(w[j], norm_lo),
+                    23 => norm_lo,
+                    32..=54 => b.and(w[j], norm_hi),
+                    55 => norm_hi,
+                    _ => f,
+                })
+                .collect()
+        }
+        Mode::QuadBinary16 => {
+            let norm_q: Vec<B::Bit> = (0..4)
+                .map(|k| or_range(b, w, 16 * k + 10, 16 * k + 14))
+                .collect();
+            (0..64)
+                .map(|j| {
+                    let lane = j / 16;
+                    match j % 16 {
+                        0..=9 => b.and(w[j], norm_q[lane]),
+                        10 => norm_q[lane],
+                        _ => f,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// The mode-resolved partial-product array: the exact insertion sequence
+/// of the netlist's PPGEN block (windowed rows, two's-complement `+s` and
+/// sign-replacement `¬s` bits, wrapped correction constants), with bits
+/// the mode masks away inserted as constant zeros so the Dadda schedule's
+/// column counts match the netlist's bit for bit.
+fn build_array<B: BitOps>(
+    b: &mut B,
+    buses: &[Vec<B::Bit>],
+    digits: &[RecodedDigit<B::Bit>],
+    mode: Mode,
+    quad_lanes: bool,
+) -> PpMatrix<B::Bit> {
+    use mfmult::lanes::{FULL_WINDOW, LOWER_ROWS, LOWER_WINDOW, UPPER_ROWS, UPPER_WINDOW};
+    let f = b.constant(false);
+    let tr = b.constant(true);
+    let mut arr = PpMatrix::new(128);
+    let row_w = FULL_WINDOW.1;
+    for (i, digit) in digits.iter().enumerate() {
+        let offset = 4 * i;
+        let is_transfer = i == 16;
+        let dual_window = if LOWER_ROWS.contains(&i) {
+            Some(LOWER_WINDOW)
+        } else if UPPER_ROWS.contains(&i) {
+            Some(UPPER_WINDOW)
+        } else {
+            None
+        };
+        let quad_window = if quad_lanes && i < 16 && i % 4 != 3 {
+            let lane = i / 4;
+            Some((16 * lane, 16 * lane + 14))
+        } else {
+            None
+        };
+        let contains =
+            |w: Option<(usize, usize)>, j: usize| w.is_some_and(|(lo, hi)| j >= lo && j < hi);
+        // `j` walks bit positions across *every* multiple bus at once, so
+        // an iterator over one bus would misread the loop's shape.
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..row_w {
+            let terms: Vec<B::Bit> = digit
+                .sel
+                .iter()
+                .enumerate()
+                .map(|(k, &sel)| b.and(sel, buses[k][j]))
+                .collect();
+            let acc = blast::or_any(b, &terms);
+            let bit = b.xor(acc, digit.sign);
+            let mask: u8 = 0b001
+                | if contains(dual_window, j) { 0b010 } else { 0 }
+                | if contains(quad_window, j) { 0b100 } else { 0 };
+            let bit = if mode.in_mask(mask) { bit } else { f };
+            arr.add_bit(offset + j, bit);
+        }
+        if !is_transfer {
+            let mut plus_s: Vec<(usize, u8)> = vec![(offset, 0b001)];
+            let mut not_s: Vec<(usize, u8)> = vec![(offset + FULL_WINDOW.1, 0b001)];
+            if let Some((lo, hi)) = dual_window {
+                plus_s.push((offset + lo, 0b010));
+                not_s.push((offset + hi, 0b010));
+            }
+            if let Some((lo, hi)) = quad_window {
+                plus_s.push((offset + lo, 0b100));
+                not_s.push((offset + hi, 0b100));
+            }
+            let merge = |mut v: Vec<(usize, u8)>| -> Vec<(usize, u8)> {
+                v.sort_unstable();
+                let mut out: Vec<(usize, u8)> = Vec::new();
+                for (pos, m) in v {
+                    match out.last_mut() {
+                        Some((p, mm)) if *p == pos => *mm |= m,
+                        _ => out.push((pos, m)),
+                    }
+                }
+                out
+            };
+            for (pos, mask) in merge(plus_s) {
+                if pos < 128 {
+                    let bit = if mode.in_mask(mask) { digit.sign } else { f };
+                    arr.add_bit(pos, bit);
+                }
+            }
+            let ns = b.not(digit.sign);
+            for (pos, mask) in merge(not_s) {
+                if pos < 128 {
+                    let bit = if mode.in_mask(mask) { ns } else { f };
+                    arr.add_bit(pos, bit);
+                }
+            }
+        }
+    }
+    let k_full = mfmult::lanes::full_correction();
+    let k_dual = u128::from(mfmult::lanes::dual_correction_low())
+        .wrapping_add(mfmult::lanes::dual_correction_high());
+    let k_quad: u128 = if quad_lanes {
+        (0..4).fold(0u128, |acc, k| {
+            acc.wrapping_add(mfmult::quad::lane_correction(k))
+        })
+    } else {
+        0
+    };
+    for col in 0..128 {
+        let mask: u8 = u8::from((k_full >> col) & 1 == 1)
+            | if (k_dual >> col) & 1 == 1 { 0b010 } else { 0 }
+            | if (k_quad >> col) & 1 == 1 { 0b100 } else { 0 };
+        if mask == 0 {
+            continue;
+        }
+        arr.add_bit(col, if mode.in_mask(mask) { tr } else { f });
+    }
+    arr
+}
+
+/// Builds the mode-resolved reference datapath over 64-bit operand buses
+/// `xa`/`yb` (LSB first), returning the netlist-shaped outputs.
+///
+/// `quad_lanes` selects the quad-extension build (it changes the precomp
+/// and tree seams and the array windowing even in non-quad modes, exactly
+/// as the netlist option does).
+///
+/// # Panics
+///
+/// Panics if the buses are not 64 bits, or if [`Mode::QuadBinary16`] is
+/// requested without `quad_lanes`.
+pub fn build_reference<B: BitOps>(
+    b: &mut B,
+    xa: &[B::Bit],
+    yb: &[B::Bit],
+    mode: Mode,
+    quad_lanes: bool,
+) -> RefOutputs<B::Bit> {
+    assert_eq!(xa.len(), 64, "xa must be 64 bits");
+    assert_eq!(yb.len(), 64, "yb must be 64 bits");
+    assert!(
+        quad_lanes || mode != Mode::QuadBinary16,
+        "frmt = 3 is undefined without the quad extension"
+    );
+    let f = b.constant(false);
+    let tr = b.constant(true);
+
+    // Mode booleans, resolved (see build_unit_full's decode).
+    let sectioned = matches!(mode, Mode::DualBinary32 | Mode::QuadBinary16);
+    let is_full = !sectioned;
+    let is_dual = if quad_lanes {
+        mode == Mode::DualBinary32
+    } else {
+        sectioned
+    };
+    let is_quad = mode == Mode::QuadBinary16;
+    let not_dual = is_full; // the col-64 seam pass
+    let not_quad = !is_quad;
+    let cd = b.constant(not_dual);
+    let cq = b.constant(not_quad);
+    debug_assert!(is_dual == (mode == Mode::DualBinary32) || !quad_lanes);
+
+    // Stage 1: formatted significands, recode, multiples.
+    let x_sig = format_operand(b, xa, mode);
+    let y_sig = format_operand(b, yb, mode);
+    let digits = blast::recode16(b, &y_sig);
+    let precomp_seams: Vec<(usize, B::Bit)> = if quad_lanes {
+        vec![(16, cq), (32, cd), (48, cq)]
+    } else {
+        vec![(32, cd)]
+    };
+    let buses = blast::multiples8(b, &x_sig, &precomp_seams);
+
+    // Stage 2: the array and its reduction to two rows.
+    let mut arr = build_array(b, &buses, &digits, mode, quad_lanes);
+    let seams = [(32usize, cq), (64usize, cd), (96usize, cq)];
+    let (s_vec, c_vec) = blast::dadda_reduce_two(b, &mut arr, &seams);
+
+    // Stage 3: injection rounding CPAs.
+    let mut r1 = vec![f; 128];
+    let mut r0 = vec![f; 128];
+    match mode {
+        Mode::Int64 => {}
+        Mode::Binary64 => {
+            r1[52] = tr;
+            r0[51] = tr;
+        }
+        Mode::DualBinary32 => {
+            r1[23] = tr;
+            r0[22] = tr;
+            r1[87] = tr;
+            r0[86] = tr;
+        }
+        Mode::QuadBinary16 => {
+            for k in 0..4 {
+                r1[32 * k + 10] = tr;
+                r0[32 * k + 9] = tr;
+            }
+        }
+    }
+    let p1 = blast::csa_then_cpa(b, &s_vec, &c_vec, &r1, &seams);
+    let p0 = blast::csa_then_cpa(b, &s_vec, &c_vec, &r0, &seams);
+
+    // Mode-specific normalization, exponent and output formatting.
+    let zeros64 = vec![f; 64];
+    let zero_flags = vec![f; 6];
+    match mode {
+        Mode::Int64 => RefOutputs {
+            ph: p0[64..128].to_vec(),
+            pl: p0[..64].to_vec(),
+            flags: zero_flags,
+            p0,
+            p1,
+        },
+        Mode::Binary64 => {
+            let norm_a = or_range(b, xa, 52, 62);
+            let norm_b = or_range(b, yb, 52, 62);
+            let cls = classify(b, (52, 62), (0, 51), 63, norm_a, norm_b, xa, yb);
+            let sel = p0[105];
+            let frac = blast::normalized_fraction(b, sel, &p0, &p1, 105, 53);
+            let ea: Vec<B::Bit> = (0..11).map(|i| xa[52 + i]).collect();
+            let eb: Vec<B::Bit> = (0..11).map(|i| yb[52 + i]).collect();
+            let e0 = exponent_sum(b, &ea, &eb, 13, 1023);
+            let (e, unf, ovf) = exponent_select(b, &e0, sel, 2047);
+            let geo = LaneGeometry {
+                lane_lo: 0,
+                exp_lo: 52,
+                exp_hi: 62,
+                frac_msb: 51,
+                sign_pos: 63,
+            };
+            let np = NormalPath {
+                frac: &frac,
+                e_field: &e[..11],
+                underflow: unf,
+                overflow: ovf,
+            };
+            let ph = blast::lane_output(b, &cls, &geo, xa, yb, &np);
+            let (inv, o, u) = blast::lane_flags(b, &cls, unf, ovf);
+            RefOutputs {
+                ph,
+                pl: zeros64,
+                flags: vec![inv, o, u, f, f, f],
+                p0,
+                p1,
+            }
+        }
+        Mode::DualBinary32 => {
+            let a_lo = or_range(b, xa, 23, 30);
+            let b_lo = or_range(b, yb, 23, 30);
+            let a_hi = or_range(b, xa, 55, 62);
+            let b_hi = or_range(b, yb, 55, 62);
+            let cls_lo = classify(b, (23, 30), (0, 22), 31, a_lo, b_lo, xa, yb);
+            let cls_hi = classify(b, (55, 62), (32, 54), 63, a_hi, b_hi, xa, yb);
+            let sel_lo = p0[47];
+            let sel_hi = p0[111];
+            let frac_lo = blast::normalized_fraction(b, sel_lo, &p0, &p1, 47, 24);
+            let frac_hi = blast::normalized_fraction(b, sel_hi, &p0, &p1, 111, 24);
+            // The "main" exponent path serves the upper lane in dual mode.
+            let ea_hi: Vec<B::Bit> = (0..11)
+                .map(|i| if i < 8 { xa[55 + i] } else { f })
+                .collect();
+            let eb_hi: Vec<B::Bit> = (0..11)
+                .map(|i| if i < 8 { yb[55 + i] } else { f })
+                .collect();
+            let e0_hi = exponent_sum(b, &ea_hi, &eb_hi, 13, 127);
+            let (e_hi, unf_hi, ovf_hi) = exponent_select(b, &e0_hi, sel_hi, 255);
+            let ea_lo: Vec<B::Bit> = (0..8).map(|i| xa[23 + i]).collect();
+            let eb_lo: Vec<B::Bit> = (0..8).map(|i| yb[23 + i]).collect();
+            let e0_lo = exponent_sum(b, &ea_lo, &eb_lo, 10, 127);
+            let (e_lo, unf_lo, ovf_lo) = exponent_select(b, &e0_lo, sel_lo, 255);
+            let geo_lo = LaneGeometry {
+                lane_lo: 0,
+                exp_lo: 23,
+                exp_hi: 30,
+                frac_msb: 22,
+                sign_pos: 31,
+            };
+            let geo_hi = LaneGeometry {
+                lane_lo: 32,
+                exp_lo: 55,
+                exp_hi: 62,
+                frac_msb: 54,
+                sign_pos: 63,
+            };
+            let np_lo = NormalPath {
+                frac: &frac_lo,
+                e_field: &e_lo[..8],
+                underflow: unf_lo,
+                overflow: ovf_lo,
+            };
+            let np_hi = NormalPath {
+                frac: &frac_hi,
+                e_field: &e_hi[..8],
+                underflow: unf_hi,
+                overflow: ovf_hi,
+            };
+            let mut ph = blast::lane_output(b, &cls_lo, &geo_lo, xa, yb, &np_lo);
+            ph.extend(blast::lane_output(b, &cls_hi, &geo_hi, xa, yb, &np_hi));
+            let (inv_l, o_l, u_l) = blast::lane_flags(b, &cls_lo, unf_lo, ovf_lo);
+            let (inv_h, o_h, u_h) = blast::lane_flags(b, &cls_hi, unf_hi, ovf_hi);
+            RefOutputs {
+                ph,
+                pl: zeros64,
+                flags: vec![inv_l, o_l, u_l, inv_h, o_h, u_h],
+                p0,
+                p1,
+            }
+        }
+        Mode::QuadBinary16 => {
+            let mut ph = Vec::with_capacity(64);
+            for k in 0..4 {
+                let base = 16 * k;
+                let a = &xa[base..base + 16];
+                let bb = &yb[base..base + 16];
+                let a_norm = or_range(b, xa, base + 10, base + 14);
+                let b_norm = or_range(b, yb, base + 10, base + 14);
+                let cls = classify(
+                    b,
+                    (base + 10, base + 14),
+                    (base, base + 9),
+                    base + 15,
+                    a_norm,
+                    b_norm,
+                    xa,
+                    yb,
+                );
+                let sel = p0[32 * k + 21];
+                let frac = blast::normalized_fraction(b, sel, &p0, &p1, 32 * k + 21, 11);
+                let ea: Vec<B::Bit> = (0..5).map(|i| xa[base + 10 + i]).collect();
+                let eb: Vec<B::Bit> = (0..5).map(|i| yb[base + 10 + i]).collect();
+                let e0 = exponent_sum(b, &ea, &eb, 8, 15);
+                let (e, unf, ovf) = exponent_select(b, &e0, sel, 31);
+                // The classifier above indexed the full buses (like the
+                // netlist's SPEC stage); the formatter works on the
+                // 16-bit lane slice with lane-local geometry.
+                let geo = LaneGeometry {
+                    lane_lo: 0,
+                    exp_lo: 10,
+                    exp_hi: 14,
+                    frac_msb: 9,
+                    sign_pos: 15,
+                };
+                let np = NormalPath {
+                    frac: &frac,
+                    e_field: &e[..5],
+                    underflow: unf,
+                    overflow: ovf,
+                };
+                ph.extend(blast::lane_output(b, &cls, &geo, a, bb, &np));
+            }
+            RefOutputs {
+                ph,
+                pl: zeros64,
+                flags: zero_flags,
+                p0,
+                p1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfm_softfloat::blast::Words;
+    use mfm_softfloat::format::BinaryFormat;
+    use mfm_softfloat::paper::paper_mul_bits;
+    use mfm_softfloat::{BINARY16, BINARY32, BINARY64};
+
+    fn next(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Transposes 64 lane values into 64 bit-planes.
+    fn planes(vals: &[u64; 64]) -> Vec<u64> {
+        (0..64)
+            .map(|bit| {
+                let mut w = 0u64;
+                for (lane, &v) in vals.iter().enumerate() {
+                    w |= ((v >> bit) & 1) << lane;
+                }
+                w
+            })
+            .collect()
+    }
+
+    fn lane_bits(words: &[u64], lane: usize) -> u64 {
+        words
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (bit, &w)| acc | ((w >> lane) & 1) << bit)
+    }
+
+    /// Interesting per-format corner encodings.
+    fn corners(fmt: &BinaryFormat) -> Vec<u64> {
+        let sign = 1u64 << fmt.sign_bit();
+        let mut v = vec![
+            0,
+            sign,
+            1,
+            fmt.significand_mask(),
+            fmt.implicit_bit(),
+            fmt.implicit_bit() - 1,
+            fmt.implicit_bit() | 1,
+            fmt.implicit_bit() << 1,
+            fmt.max_finite_bits(false),
+            fmt.inf_bits(),
+            fmt.qnan_bits(),
+            fmt.inf_bits() | 1, // signaling NaN
+        ];
+        let extra: Vec<u64> = v.iter().map(|x| x | sign).collect();
+        v.extend(extra);
+        v
+    }
+
+    fn run_mode(xa: &[u64; 64], yb: &[u64; 64], mode: Mode, quad: bool) -> RefOutputs<u64> {
+        let mut w = Words;
+        build_reference(&mut w, &planes(xa), &planes(yb), mode, quad)
+    }
+
+    #[test]
+    fn int64_matches_widening_product() {
+        let mut s = 0x8913_55c7_0b11_aa21u64;
+        for quad in [false, true] {
+            for _ in 0..16 {
+                let mut xa = [0u64; 64];
+                let mut yb = [0u64; 64];
+                for k in 0..64 {
+                    xa[k] = next(&mut s);
+                    yb[k] = next(&mut s);
+                }
+                let out = run_mode(&xa, &yb, Mode::Int64, quad);
+                for lane in 0..64 {
+                    let p = u128::from(xa[lane]) * u128::from(yb[lane]);
+                    assert_eq!(lane_bits(&out.pl, lane), p as u64, "pl lane {lane}");
+                    assert_eq!(lane_bits(&out.ph, lane), (p >> 64) as u64, "ph lane {lane}");
+                    assert_eq!(lane_bits(&out.flags, lane), 0, "flags lane {lane}");
+                }
+            }
+        }
+    }
+
+    fn check_b64(xa: &[u64; 64], yb: &[u64; 64], quad: bool) {
+        let out = run_mode(xa, yb, Mode::Binary64, quad);
+        for lane in 0..64 {
+            let (want, fl) = paper_mul_bits(&BINARY64, xa[lane], yb[lane]);
+            assert_eq!(
+                lane_bits(&out.ph, lane),
+                want,
+                "b64 lane {lane}: {:#x} × {:#x}",
+                xa[lane],
+                yb[lane]
+            );
+            let flags = lane_bits(&out.flags, lane);
+            assert_eq!(flags & 1 != 0, fl.invalid(), "inv lane {lane}");
+            assert_eq!(flags & 2 != 0, fl.overflow(), "ovf lane {lane}");
+            assert_eq!(flags & 4 != 0, fl.underflow(), "unf lane {lane}");
+            assert_eq!(flags >> 3, 0, "hi flags clear, lane {lane}");
+            assert_eq!(lane_bits(&out.pl, lane), 0, "pl zero, lane {lane}");
+        }
+    }
+
+    #[test]
+    fn binary64_matches_paper() {
+        let mut s = 0x11d3_c211_7ab3_0905u64;
+        for quad in [false, true] {
+            for round in 0..24 {
+                let mut xa = [0u64; 64];
+                let mut yb = [0u64; 64];
+                for k in 0..64 {
+                    if round % 2 == 0 {
+                        xa[k] = next(&mut s);
+                        yb[k] = next(&mut s);
+                    } else {
+                        // Bias-centred exponents so products stay in range.
+                        let e1 = 1023 + (next(&mut s) % 64) - 32;
+                        let e2 = 1023 + (next(&mut s) % 64) - 32;
+                        xa[k] = (next(&mut s) & BINARY64.significand_mask())
+                            | (e1 << 52)
+                            | (next(&mut s) << 63);
+                        yb[k] = (next(&mut s) & BINARY64.significand_mask())
+                            | (e2 << 52)
+                            | (next(&mut s) << 63);
+                    }
+                }
+                check_b64(&xa, &yb, quad);
+            }
+        }
+    }
+
+    #[test]
+    fn binary64_corner_grid_matches_paper() {
+        let cs = corners(&BINARY64);
+        let pairs: Vec<(u64, u64)> = cs
+            .iter()
+            .flat_map(|&a| cs.iter().map(move |&b| (a, b)))
+            .collect();
+        for chunk in pairs.chunks(64) {
+            let mut xa = [0u64; 64];
+            let mut yb = [0u64; 64];
+            for (k, &(a, b)) in chunk.iter().enumerate() {
+                xa[k] = a;
+                yb[k] = b;
+            }
+            check_b64(&xa, &yb, false);
+        }
+    }
+
+    fn check_dual(xa: &[u64; 64], yb: &[u64; 64], quad: bool) {
+        let out = run_mode(xa, yb, Mode::DualBinary32, quad);
+        for lane in 0..64 {
+            let ph = lane_bits(&out.ph, lane);
+            let flags = lane_bits(&out.flags, lane);
+            let (lo, fl_lo) =
+                paper_mul_bits(&BINARY32, xa[lane] & 0xffff_ffff, yb[lane] & 0xffff_ffff);
+            let (hi, fl_hi) = paper_mul_bits(&BINARY32, xa[lane] >> 32, yb[lane] >> 32);
+            assert_eq!(ph & 0xffff_ffff, lo, "dual lo lane {lane}");
+            assert_eq!(ph >> 32, hi, "dual hi lane {lane}");
+            assert_eq!(flags & 1 != 0, fl_lo.invalid(), "lo inv {lane}");
+            assert_eq!(flags & 2 != 0, fl_lo.overflow(), "lo ovf {lane}");
+            assert_eq!(flags & 4 != 0, fl_lo.underflow(), "lo unf {lane}");
+            assert_eq!(flags & 8 != 0, fl_hi.invalid(), "hi inv {lane}");
+            assert_eq!(flags & 16 != 0, fl_hi.overflow(), "hi ovf {lane}");
+            assert_eq!(flags & 32 != 0, fl_hi.underflow(), "hi unf {lane}");
+            assert_eq!(lane_bits(&out.pl, lane), 0, "pl zero lane {lane}");
+        }
+    }
+
+    #[test]
+    fn dual_binary32_matches_paper() {
+        let mut s = 0x7c0a_91ff_3301_dd2bu64;
+        for quad in [false, true] {
+            for round in 0..24 {
+                let mut xa = [0u64; 64];
+                let mut yb = [0u64; 64];
+                for k in 0..64 {
+                    if round % 2 == 0 {
+                        xa[k] = next(&mut s);
+                        yb[k] = next(&mut s);
+                    } else {
+                        let pack = |s: &mut u64| {
+                            let e1 = 127 + (next(s) % 32) - 16;
+                            let e2 = 127 + (next(s) % 32) - 16;
+                            let lo = (next(s) & 0x007f_ffff) | (e1 << 23) | (next(s) & 0x8000_0000);
+                            let hi = (next(s) & 0x007f_ffff) | (e2 << 23) | (next(s) & 0x8000_0000);
+                            lo | (hi << 32)
+                        };
+                        xa[k] = pack(&mut s);
+                        yb[k] = pack(&mut s);
+                    }
+                }
+                check_dual(&xa, &yb, quad);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_corner_grid_matches_paper() {
+        let cs = corners(&BINARY32);
+        let mut s = 0x517c_c1b7_2722_0a95u64;
+        let pairs: Vec<(u64, u64)> = cs
+            .iter()
+            .flat_map(|&a| cs.iter().map(move |&b| (a, b)))
+            .collect();
+        for chunk in pairs.chunks(64) {
+            let mut xa = [0u64; 64];
+            let mut yb = [0u64; 64];
+            for (k, &(a, b)) in chunk.iter().enumerate() {
+                // Corner pair in one lane, random partner in the other.
+                xa[k] = a | (next(&mut s) << 32);
+                yb[k] = b | (next(&mut s) << 32);
+            }
+            check_dual(&xa, &yb, false);
+        }
+    }
+
+    #[test]
+    fn quad_binary16_matches_paper() {
+        let mut s = 0xaa12_fe23_9c01_4417u64;
+        for round in 0..24 {
+            let mut xa = [0u64; 64];
+            let mut yb = [0u64; 64];
+            for k in 0..64 {
+                if round % 2 == 0 {
+                    xa[k] = next(&mut s);
+                    yb[k] = next(&mut s);
+                } else {
+                    let cs = corners(&BINARY16);
+                    let pick = |s: &mut u64| {
+                        (0..4).fold(0u64, |acc, lane| {
+                            acc | (cs[(next(s) % cs.len() as u64) as usize] << (16 * lane))
+                        })
+                    };
+                    xa[k] = pick(&mut s);
+                    yb[k] = pick(&mut s);
+                }
+            }
+            let out = run_mode(&xa, &yb, Mode::QuadBinary16, true);
+            for lane in 0..64 {
+                let ph = lane_bits(&out.ph, lane);
+                for q in 0..4 {
+                    let a = (xa[lane] >> (16 * q)) & 0xffff;
+                    let b = (yb[lane] >> (16 * q)) & 0xffff;
+                    let (want, _) = paper_mul_bits(&BINARY16, a, b);
+                    assert_eq!(
+                        (ph >> (16 * q)) & 0xffff,
+                        want,
+                        "quad lane {q} of word-lane {lane} (round {round}): {a:#x} × {b:#x}"
+                    );
+                }
+                assert_eq!(lane_bits(&out.flags, lane), 0, "quad flags gated off");
+            }
+        }
+    }
+}

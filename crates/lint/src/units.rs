@@ -123,25 +123,97 @@ pub fn standard_units() -> Vec<BuiltUnit> {
     units
 }
 
-/// Runs all four passes over one netlist.
+/// A selection of lint passes to run, for `bench --bin lint --pass`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassSet {
+    /// Structural hygiene (undriven nets, dead cells, loops).
+    pub hygiene: bool,
+    /// Ternary constant propagation.
+    pub constants: bool,
+    /// AIG structural-duplicate detection.
+    pub redundancy: bool,
+    /// Cone-of-influence lane-isolation proofs.
+    pub isolation: bool,
+}
+
+impl PassSet {
+    /// Every pass enabled.
+    pub fn all() -> PassSet {
+        PassSet {
+            hygiene: true,
+            constants: true,
+            redundancy: true,
+            isolation: true,
+        }
+    }
+
+    /// No pass enabled (combine with [`PassSet::enable`]).
+    pub fn none() -> PassSet {
+        PassSet {
+            hygiene: false,
+            constants: false,
+            redundancy: false,
+            isolation: false,
+        }
+    }
+
+    /// Enables the named pass; returns `false` for an unknown name.
+    pub fn enable(&mut self, name: &str) -> bool {
+        match name {
+            "hygiene" => self.hygiene = true,
+            "constants" => self.constants = true,
+            "redundancy" => self.redundancy = true,
+            "isolation" => self.isolation = true,
+            _ => return false,
+        }
+        true
+    }
+
+    /// The recognized pass names.
+    pub fn names() -> &'static [&'static str] {
+        &["hygiene", "constants", "redundancy", "isolation"]
+    }
+}
+
+/// Runs all lint passes over one netlist.
 ///
 /// Structural hygiene runs first; if it finds the netlist unindexable
 /// (undriven references or a combinational loop), the deeper passes are
 /// skipped — their findings would be meaningless on a broken graph.
 pub fn lint_unit(unit: &BuiltUnit) -> UnitReport {
+    lint_unit_passes(unit, PassSet::all())
+}
+
+/// Runs the selected lint passes over one netlist.
+///
+/// The hygiene fatality check (undriven references, combinational loops)
+/// always runs — deeper passes would panic or mislead on a broken graph —
+/// but its findings are only reported when the hygiene pass is selected.
+pub fn lint_unit_passes(unit: &BuiltUnit, passes: PassSet) -> UnitReport {
     let n = &unit.netlist;
-    let mut findings = hygiene::run(n);
-    let mut proofs = Vec::new();
-    let fatal = findings
+    let hygiene_findings = hygiene::run(n);
+    let fatal = hygiene_findings
         .iter()
         .any(|f| matches!(f.rule, Rule::UndrivenNet | Rule::CombLoop));
+    let mut findings = if passes.hygiene {
+        hygiene_findings
+    } else {
+        Vec::new()
+    };
+    let mut proofs = Vec::new();
     if !fatal {
-        findings.extend(constants::run(n).expect("levelization verified by hygiene pass"));
-        findings.extend(redundancy::run(n).expect("levelization verified by hygiene pass"));
-        let (iso, pr) =
-            isolation::check_modes(n, &unit.specs).expect("levelization verified by hygiene pass");
-        findings.extend(iso);
-        proofs = pr;
+        if passes.constants {
+            findings.extend(constants::run(n).expect("levelization verified by hygiene pass"));
+        }
+        if passes.redundancy {
+            findings.extend(redundancy::run(n).expect("levelization verified by hygiene pass"));
+        }
+        if passes.isolation {
+            let (iso, pr) = isolation::check_modes(n, &unit.specs)
+                .expect("levelization verified by hygiene pass");
+            findings.extend(iso);
+            proofs = pr;
+        }
     }
     UnitReport {
         unit: unit.name.clone(),

@@ -1,0 +1,102 @@
+//! Counterexample-replay fixture for the SAT prover: a recode-table bug
+//! planted in the unit builder is *identical* on the event-driven and the
+//! compiled simulator (it is one netlist), so no amount of cross-backend
+//! differential testing can see it. The prover miters the netlist against
+//! the independent `mfm-softfloat` reference and must refute the cone
+//! with a concrete operand pair that both simulators then confirm.
+
+use mfm_gatesim::{Netlist, TechLibrary};
+use mfm_lint::{prove_unit, BuiltUnit, ConeVerdict, Mode, ProveOptions};
+use mfmult::meta::mode_specs;
+use mfmult::structural::{build_unit_with_options, UnitOptions};
+
+fn unit_with(opts: UnitOptions, name: &str) -> BuiltUnit {
+    let mut n = Netlist::new(TechLibrary::cmos45lp());
+    let ports = build_unit_with_options(&mut n, opts);
+    let specs = mode_specs(&ports);
+    BuiltUnit {
+        name: name.to_owned(),
+        netlist: n,
+        specs,
+    }
+}
+
+/// Prover options scoped to one cheap int64 product bit. Recoded digit 5
+/// carries weight 16^5 = 2^20, and swapping its 3X/4X selectors flips the
+/// parity of that row's contribution whenever X is odd, so `pl[20]` is
+/// the first observably wrong bit.
+///
+/// Refutation does not need the fraig sweep (a single differing operand
+/// pair falls out of the simulation rounds or one SAT call), and skipping
+/// it keeps the fixture honest: the defect is caught by the miter itself,
+/// not by a sweep-time merge refusal. Proving the pristine cone *does*
+/// need the sweep — bit-level multiplier equivalence is exactly the case
+/// raw CDCL cannot close.
+fn scoped_options(outputs: &[&str], sweep: bool) -> ProveOptions {
+    ProveOptions {
+        modes: Some(vec![Mode::Int64]),
+        outputs: Some(outputs.iter().map(|s| s.to_string()).collect()),
+        sweep,
+        budget: 100_000,
+        rounds: 4,
+        ..ProveOptions::default()
+    }
+}
+
+#[test]
+fn planted_recode_defect_is_refuted_and_replays_on_both_backends() {
+    let unit = unit_with(
+        UnitOptions {
+            recode_defect: true,
+            ..UnitOptions::default()
+        },
+        "mfmult-recode-defect",
+    );
+    let report = prove_unit(&unit, &scoped_options(&["pl[20]"], false));
+
+    assert_eq!(report.modes.len(), 1, "one mode requested");
+    let mode = &report.modes[0];
+    assert_eq!(mode.cones.len(), 1, "one output cone requested");
+    let cone = &mode.cones[0];
+    assert_eq!(
+        cone.verdict,
+        ConeVerdict::Refuted,
+        "the prover must refute the defective cone, got {:?}",
+        cone.verdict
+    );
+
+    let cex = cone
+        .cex
+        .as_ref()
+        .expect("refuted cone carries an operand pair");
+    // The defect is a netlist property: both simulation backends compute
+    // the same wrong bit, and the reference disagrees with both.
+    assert_eq!(cex.event_value, cex.netlist_value, "event replay");
+    assert_eq!(cex.compiled_value, cex.netlist_value, "compiled replay");
+    assert_ne!(cex.netlist_value, cex.reference_value, "reference differs");
+    assert!(
+        cex.confirmed(),
+        "counterexample must replay on both backends"
+    );
+
+    // The concrete operands really exercise the planted swap: digit 5 of
+    // the recoded multiplier has magnitude 3 or 4, and X is odd.
+    let digits = mfm_arith::recode::radix16_digits(cex.yb);
+    let mag = digits[5].unsigned_abs();
+    assert!(
+        (mag == 3 || mag == 4) && cex.xa & 1 == 1,
+        "cex should hit the swapped selectors: digit5 = {}, xa = {:#x}",
+        digits[5],
+        cex.xa
+    );
+}
+
+#[test]
+fn pristine_unit_proves_the_same_cone() {
+    let unit = unit_with(UnitOptions::default(), "mfmult-pristine");
+    let report = prove_unit(&unit, &scoped_options(&["pl[20]", "pl[0]"], true));
+
+    assert_eq!(report.refuted(), 0, "nothing to refute in the real unit");
+    assert_eq!(report.unknown(), 0, "cones this small must not time out");
+    assert_eq!(report.proved(), 2, "both requested cones proved");
+}

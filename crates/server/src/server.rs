@@ -399,6 +399,7 @@ fn service_loop(cfg: ServerConfig, rx: Receiver<Event>, stop: Arc<AtomicBool>) {
             PipelinePlacement::Fig5,
             UnitOptions {
                 quad_lanes: cfg.service.engine.quad_lanes,
+                ..UnitOptions::default()
             },
         )
     } else {

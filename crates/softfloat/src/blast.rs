@@ -1,0 +1,1216 @@
+//! Generic bit-blasted reference circuits for the paper-mode datapath.
+//!
+//! Everything here is written against the tiny [`BitOps`] builder trait so
+//! the *same* construction can run in two worlds:
+//!
+//! - [`Words`] — 64-lane bit-parallel `u64` simulation, used by this
+//!   module's own tests to validate every reference circuit against the
+//!   executable specification [`crate::paper::paper_mul_bits`] over
+//!   thousands of operand pairs per format;
+//! - an AIG builder (in `mfm-lint`), where the identical construction
+//!   becomes the reference half of a SAT equivalence miter against the
+//!   gate-level netlist.
+//!
+//! The second use is why several helpers mirror the *structure* of the
+//! netlist generators in `mfm-arith` (Dadda scheduling order, seam-gated
+//! carries, the exact radix-16 recode equations): a structurally close
+//! reference lets the prover discharge most of the miter by hash-consing
+//! and cheap incremental equivalences instead of one monolithic SAT call.
+//! Structural closeness is *never* relied upon for soundness — the word
+//! tests below anchor every circuit to `paper_mul_bits`, which is itself
+//! tested against the independent IEEE implementation.
+
+use crate::format::BinaryFormat;
+
+/// A builder of single-bit logic. `Bit` is whatever the backend uses to
+/// name a signal: a `u64` of 64 parallel lanes for [`Words`], an AIG
+/// literal for the prover.
+pub trait BitOps {
+    /// Backend signal handle.
+    type Bit: Copy;
+    /// The constant `false`/`true` signal.
+    fn constant(&mut self, value: bool) -> Self::Bit;
+    /// Logical NOT.
+    fn not(&mut self, a: Self::Bit) -> Self::Bit;
+    /// Logical AND.
+    fn and(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit;
+    /// Logical OR.
+    fn or(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit;
+    /// Logical XOR.
+    fn xor(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit;
+    /// 2:1 multiplexer, `sel ? a1 : a0` (the netlist's `mux2` convention).
+    fn mux(&mut self, sel: Self::Bit, a0: Self::Bit, a1: Self::Bit) -> Self::Bit {
+        let ns = self.not(sel);
+        let t = self.and(sel, a1);
+        let f = self.and(ns, a0);
+        self.or(t, f)
+    }
+    /// 3-input majority, expanded as `(a&b) | (a&c) | (b&c)` — the same
+    /// shape [`mfm_gatesim`](https://example.invalid)'s full adder and the
+    /// lint AIG use, so both worlds agree node-for-node.
+    fn maj(&mut self, a: Self::Bit, b: Self::Bit, c: Self::Bit) -> Self::Bit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+}
+
+/// The 64-lane word backend: every `Bit` is a `u64` whose bit `k` is the
+/// signal's value in lane `k`. Used to validate the constructions against
+/// the executable specification on 64 operand pairs per pass.
+pub struct Words;
+
+impl BitOps for Words {
+    type Bit = u64;
+    fn constant(&mut self, value: bool) -> u64 {
+        if value {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+    fn not(&mut self, a: u64) -> u64 {
+        !a
+    }
+    fn and(&mut self, a: u64, b: u64) -> u64 {
+        a & b
+    }
+    fn or(&mut self, a: u64, b: u64) -> u64 {
+        a | b
+    }
+    fn xor(&mut self, a: u64, b: u64) -> u64 {
+        a ^ b
+    }
+}
+
+/// Blasts a constant into `width` bits, LSB first.
+pub fn const_word<B: BitOps>(b: &mut B, value: u128, width: usize) -> Vec<B::Bit> {
+    (0..width)
+        .map(|i| b.constant(value >> i & 1 == 1))
+        .collect()
+}
+
+/// Balanced pairwise OR over a slice; the empty OR is `false`.
+pub fn or_any<B: BitOps>(b: &mut B, bits: &[B::Bit]) -> B::Bit {
+    if bits.is_empty() {
+        return b.constant(false);
+    }
+    let mut layer = bits.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for ch in layer.chunks(2) {
+            next.push(match ch {
+                [x] => *x,
+                [x, y] => b.or(*x, *y),
+                _ => unreachable!("chunks(2)"),
+            });
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Balanced pairwise AND over a slice; the empty AND is `true`.
+pub fn and_any<B: BitOps>(b: &mut B, bits: &[B::Bit]) -> B::Bit {
+    if bits.is_empty() {
+        return b.constant(true);
+    }
+    let mut layer = bits.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for ch in layer.chunks(2) {
+            next.push(match ch {
+                [x] => *x,
+                [x, y] => b.and(*x, *y),
+                _ => unreachable!("chunks(2)"),
+            });
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Half adder: `(sum, carry) = (a ⊕ x, a ∧ x)`.
+pub fn half_add<B: BitOps>(b: &mut B, a: B::Bit, x: B::Bit) -> (B::Bit, B::Bit) {
+    (b.xor(a, x), b.and(a, x))
+}
+
+/// Full adder with the netlist's gate shape: `sum = (a ⊕ x) ⊕ c`,
+/// `carry = maj(a, x, c)`.
+pub fn full_add<B: BitOps>(b: &mut B, a: B::Bit, x: B::Bit, c: B::Bit) -> (B::Bit, B::Bit) {
+    let ax = b.xor(a, x);
+    (b.xor(ax, c), b.maj(a, x, c))
+}
+
+/// Ripple-carry addition; returns `(sum, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_add<B: BitOps>(
+    b: &mut B,
+    a: &[B::Bit],
+    x: &[B::Bit],
+    cin: B::Bit,
+) -> (Vec<B::Bit>, B::Bit) {
+    assert_eq!(a.len(), x.len(), "operand widths must match");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&ai, &xi) in a.iter().zip(x) {
+        let (s, c) = full_add(b, ai, xi, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Ripple-carry addition with lane seams: the carry *into* each seam
+/// column becomes `pass ? carry : forced` — `forced` is `false` for plain
+/// adders (cut lanes restart from no carry) and `true` for the
+/// two's-complement subtractor (cut lanes restart from no borrow),
+/// exactly the netlist's `CarrySeam` semantics.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_add_seamed<B: BitOps>(
+    b: &mut B,
+    a: &[B::Bit],
+    x: &[B::Bit],
+    cin: B::Bit,
+    seams: &[(usize, B::Bit)],
+    forced: B::Bit,
+) -> (Vec<B::Bit>, B::Bit) {
+    assert_eq!(a.len(), x.len(), "operand widths must match");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (i, (&ai, &xi)) in a.iter().zip(x).enumerate() {
+        if let Some(&(_, pass)) = seams.iter().find(|&&(col, _)| col == i) {
+            carry = b.mux(pass, forced, carry);
+        }
+        let (s, c) = full_add(b, ai, xi, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Increment mod 2^w: `a + 1` dropped carry.
+pub fn increment<B: BitOps>(b: &mut B, a: &[B::Bit]) -> Vec<B::Bit> {
+    let mut carry = b.constant(true);
+    let mut out = Vec::with_capacity(a.len());
+    for &ai in a {
+        out.push(b.xor(ai, carry));
+        carry = b.and(ai, carry);
+    }
+    out
+}
+
+/// Left shift by `k` within the same width (top bits fall off).
+pub fn shl<T: Copy>(bus: &[T], k: usize, zero: T) -> Vec<T> {
+    let mut out = vec![zero; k.min(bus.len())];
+    out.extend_from_slice(&bus[..bus.len() - out.len()]);
+    out
+}
+
+/// One radix-16 recoded digit: a one-hot multiple select over 1X…8X plus
+/// a sign. A zero digit selects nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct RecodedDigit<T> {
+    /// Digit sign (1 = the selected multiple is subtracted).
+    pub sign: T,
+    /// One-hot select, `sel[m-1]` ⇒ magnitude `m`.
+    pub sel: [T; 8],
+}
+
+/// The radix-16 recoding of a 64-bit multiplier into 17 digits in
+/// `{-8..8}` — bit-exact mirror of `mfm-arith`'s `radix16_recoder`: each
+/// 4-bit group absorbs the transfer (the previous group's MSB), a 3-bit
+/// conditional increment yields the magnitude one-hot, and digit 16 is
+/// the final transfer (`+1·X` at weight 64 when `y[63]` is set).
+///
+/// # Panics
+///
+/// Panics if `y` is not 64 bits.
+pub fn recode16<B: BitOps>(b: &mut B, y: &[B::Bit]) -> Vec<RecodedDigit<B::Bit>> {
+    assert_eq!(y.len(), 64, "radix-16 recoder is 64-bit");
+    let f = b.constant(false);
+    let mut out = Vec::with_capacity(17);
+    for i in 0..16 {
+        let g = &y[4 * i..4 * i + 4];
+        let t_in = if i > 0 { y[4 * i - 1] } else { f };
+        let u0 = b.xor(g[0], t_in);
+        let c0 = b.and(g[0], t_in);
+        let u1 = b.xor(g[1], c0);
+        let c1 = b.and(g[1], c0);
+        let u2 = b.xor(g[2], c1);
+        let u3 = b.and(g[2], c1);
+        let nu0 = b.not(u0);
+        let nu1 = b.not(u1);
+        let nu2 = b.not(u2);
+        let nu3 = b.not(u3);
+        let m01 = [
+            b.and(nu0, nu1),
+            b.and(u0, nu1),
+            b.and(nu0, u1),
+            b.and(u0, u1),
+        ];
+        let mut eq = [f; 9];
+        for (k, e) in eq.iter_mut().take(8).enumerate() {
+            let hi = if k & 4 != 0 { u2 } else { nu2 };
+            let t = b.and(m01[k & 3], hi);
+            *e = b.and(t, nu3);
+        }
+        eq[8] = u3;
+        let sign = g[3];
+        let nsign = b.not(sign);
+        let mut sel = [f; 8];
+        for m in 1..=8usize {
+            let pos = b.and(nsign, eq[m]);
+            let neg = b.and(sign, eq[8 - m]);
+            sel[m - 1] = b.or(pos, neg);
+        }
+        out.push(RecodedDigit { sign, sel });
+    }
+    let mut sel = [f; 8];
+    sel[0] = y[63];
+    out.push(RecodedDigit { sign: f, sel });
+    out
+}
+
+/// One-hot bus select: OR of `sel[k] ∧ buses[k]` per bit position, with
+/// the balanced pairwise OR the netlist's AOI/NAND ladder computes.
+///
+/// # Panics
+///
+/// Panics if `sel` and `buses` lengths differ.
+pub fn one_hot_select<B: BitOps>(b: &mut B, sel: &[B::Bit], buses: &[Vec<B::Bit>]) -> Vec<B::Bit> {
+    assert_eq!(sel.len(), buses.len(), "select/bus count mismatch");
+    let width = buses.first().map_or(0, Vec::len);
+    (0..width)
+        .map(|j| {
+            let terms: Vec<B::Bit> = sel
+                .iter()
+                .zip(buses)
+                .map(|(&s, bus)| b.and(s, bus[j]))
+                .collect();
+            or_any(b, &terms)
+        })
+        .collect()
+}
+
+/// The eight positive multiples 1X…8X of an operand, each `x.len() + 3`
+/// bits, mirroring `mfm-arith`'s precompute block: 3X = X + 2X and
+/// 5X = X + 4X as monolithic adders, 6X = 3X << 1, and 7X = 8X − X as a
+/// *sectioned* two's-complement subtractor whose borrow chain is forced
+/// to 1 (no borrow) at every cut seam.
+pub fn multiples8<B: BitOps>(
+    b: &mut B,
+    x: &[B::Bit],
+    seams: &[(usize, B::Bit)],
+) -> Vec<Vec<B::Bit>> {
+    let f = b.constant(false);
+    let width = x.len() + 3;
+    let mut m1 = x.to_vec();
+    m1.resize(width, f);
+    let m2 = shl(&m1, 1, f);
+    let (m3, _) = ripple_add(b, &m1, &m2, f);
+    let m4 = shl(&m1, 2, f);
+    let (m5, _) = ripple_add(b, &m1, &m4, f);
+    let m6 = shl(&m3, 1, f);
+    let m8 = shl(&m1, 3, f);
+    let m7 = {
+        let nb: Vec<B::Bit> = m1.iter().map(|&v| b.not(v)).collect();
+        let t = b.constant(true);
+        ripple_add_seamed(b, &m8, &nb, t, seams, t).0
+    };
+    vec![m1, m2, m3, m4, m5, m6, m7, m8]
+}
+
+/// A column-oriented partial-product matrix, mirroring `mfm-arith`'s
+/// `PpArray`: bits beyond the width are silently dropped (arithmetic is
+/// mod 2^width).
+#[derive(Debug, Clone)]
+pub struct PpMatrix<T> {
+    cols: Vec<Vec<T>>,
+}
+
+impl<T: Copy> PpMatrix<T> {
+    /// An empty matrix of `width` columns.
+    pub fn new(width: usize) -> Self {
+        PpMatrix {
+            cols: vec![Vec::new(); width],
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Adds a bit of weight 2^col; drops bits beyond the width.
+    pub fn add_bit(&mut self, col: usize, bit: T) {
+        if col < self.cols.len() {
+            self.cols[col].push(bit);
+        }
+    }
+
+    /// Adds a row of consecutive bits starting at `offset`.
+    pub fn add_row(&mut self, offset: usize, bits: &[T]) {
+        for (i, &bit) in bits.iter().enumerate() {
+            self.add_bit(offset + i, bit);
+        }
+    }
+
+    /// Adds the set bits of a constant as copies of the `one` signal.
+    pub fn add_constant(&mut self, one: T, value: u128) {
+        for col in 0..self.cols.len().min(128) {
+            if (value >> col) & 1 == 1 {
+                self.add_bit(col, one);
+            }
+        }
+    }
+
+    /// Current maximum column height.
+    pub fn max_height(&self) -> usize {
+        self.cols.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// The Dadda target-height sequence 2, 3, 4, 6, 9, 13, 19, 28, …
+fn dadda_targets(max: usize) -> Vec<usize> {
+    let mut t = vec![2usize];
+    while *t.last().expect("non-empty") < max {
+        let last = *t.last().expect("non-empty");
+        t.push(last * 3 / 2);
+    }
+    t
+}
+
+fn gate_carry<B: BitOps>(
+    b: &mut B,
+    seams: &[(usize, B::Bit)],
+    carry: B::Bit,
+    into_col: usize,
+) -> B::Bit {
+    match seams.iter().find(|&&(col, _)| col == into_col) {
+        Some(&(_, pass)) => b.and(carry, pass),
+        None => carry,
+    }
+}
+
+/// Compresses the matrix in place to height ≤ `target_height` on Dadda's
+/// schedule — statement-for-statement the schedule of `mfm-arith`'s
+/// `reduce_to_height`, including the top-column carry drop and the
+/// seam-gated carries, so an AIG backend reproduces the netlist's tree
+/// node-for-node.
+///
+/// # Panics
+///
+/// Panics if `target_height < 2`.
+pub fn reduce_to_height<B: BitOps>(
+    b: &mut B,
+    arr: &mut PpMatrix<B::Bit>,
+    target_height: usize,
+    seams: &[(usize, B::Bit)],
+) {
+    assert!(target_height >= 2);
+    let width = arr.width();
+    let mut height = arr.max_height();
+    if height <= target_height {
+        return;
+    }
+    let targets = dadda_targets(height - 1);
+    for &target in targets.iter().rev() {
+        if target >= height || target < target_height {
+            continue;
+        }
+        for col in 0..width {
+            let top = col + 1 >= width;
+            while arr.cols[col].len() > target {
+                let excess = arr.cols[col].len() - target;
+                if excess == 1 {
+                    let x = arr.cols[col].remove(0);
+                    let y = arr.cols[col].remove(0);
+                    let s = if top {
+                        b.xor(x, y)
+                    } else {
+                        let (s, c) = half_add(b, x, y);
+                        let c = gate_carry(b, seams, c, col + 1);
+                        arr.add_bit(col + 1, c);
+                        s
+                    };
+                    arr.cols[col].push(s);
+                } else {
+                    let x = arr.cols[col].remove(0);
+                    let y = arr.cols[col].remove(0);
+                    let z = arr.cols[col].remove(0);
+                    let s = if top {
+                        let xy = b.xor(x, y);
+                        b.xor(xy, z)
+                    } else {
+                        let (s, c) = full_add(b, x, y, z);
+                        let c = gate_carry(b, seams, c, col + 1);
+                        arr.add_bit(col + 1, c);
+                        s
+                    };
+                    arr.cols[col].push(s);
+                }
+            }
+        }
+        height = arr.max_height().max(2);
+        if height <= target_height {
+            break;
+        }
+    }
+}
+
+/// Reduces the matrix to two rows (`row_a + row_b ≡ Σ matrix mod
+/// 2^width`), filling empty positions with constant zero.
+pub fn dadda_reduce_two<B: BitOps>(
+    b: &mut B,
+    arr: &mut PpMatrix<B::Bit>,
+    seams: &[(usize, B::Bit)],
+) -> (Vec<B::Bit>, Vec<B::Bit>) {
+    let width = arr.width();
+    reduce_to_height(b, arr, 2, seams);
+    let zero = b.constant(false);
+    let mut row_a = Vec::with_capacity(width);
+    let mut row_b = Vec::with_capacity(width);
+    for col in &arr.cols {
+        row_a.push(col.first().copied().unwrap_or(zero));
+        row_b.push(col.get(1).copied().unwrap_or(zero));
+    }
+    (row_a, row_b)
+}
+
+/// The ROUND block's 3:2-then-CPA structure: a per-bit full-adder row
+/// folds the injection row `r` into the two carry-save rows, the carry
+/// row shifts left one (seam-gated), and a seamed carry-propagate adder
+/// produces the rounded sum. Seam carries are forced to 0 when cut.
+///
+/// # Panics
+///
+/// Panics if the row widths differ.
+pub fn csa_then_cpa<B: BitOps>(
+    b: &mut B,
+    s_row: &[B::Bit],
+    c_row: &[B::Bit],
+    r: &[B::Bit],
+    seams: &[(usize, B::Bit)],
+) -> Vec<B::Bit> {
+    assert_eq!(s_row.len(), c_row.len(), "row widths must match");
+    assert_eq!(s_row.len(), r.len(), "injection width must match");
+    let width = s_row.len();
+    let mut sums = Vec::with_capacity(width);
+    let mut carries = Vec::with_capacity(width);
+    for ((&si, &ci), &ri) in s_row.iter().zip(c_row).zip(r) {
+        let (s, c) = full_add(b, si, ci, ri);
+        sums.push(s);
+        carries.push(c);
+    }
+    let f = b.constant(false);
+    let mut shifted = vec![f];
+    for (i, &cy) in carries[..width - 1].iter().enumerate() {
+        shifted.push(gate_carry(b, seams, cy, i + 1));
+    }
+    ripple_add_seamed(b, &sums, &shifted, f, seams, f).0
+}
+
+/// Classification of one operand pair, lane-local — the same predicates
+/// the netlist's CLASSIFY stage derives per lane.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneClass<T> {
+    /// First operand is NaN (payload-propagation priority).
+    pub a_nan: T,
+    /// Either operand is NaN.
+    pub any_nan: T,
+    /// IEEE invalid: ∞ × 0 or a signaling NaN operand.
+    pub invalid: T,
+    /// Either operand is infinite.
+    pub any_inf: T,
+    /// Either operand is zero (subnormals count: inputs are flushed).
+    pub any_zero: T,
+    /// Product sign, `sign(a) ⊕ sign(b)`.
+    pub sign_p: T,
+}
+
+struct OperandClass<T> {
+    nan: T,
+    snan: T,
+    inf: T,
+    zero: T,
+    sign: T,
+}
+
+fn classify_operand<B: BitOps>(
+    b: &mut B,
+    fmt: &BinaryFormat,
+    op: &[B::Bit],
+) -> OperandClass<B::Bit> {
+    let t = fmt.trailing_significand as usize;
+    let w = fmt.exponent_bits as usize;
+    let exp = &op[t..t + w];
+    let frac = &op[..t];
+    let ones = and_any(b, exp);
+    let norm = or_any(b, exp);
+    let frac_nz = or_any(b, frac);
+    let nan = b.and(ones, frac_nz);
+    let nfr = b.not(frac_nz);
+    let inf = b.and(ones, nfr);
+    let zero = b.not(norm);
+    let nq = b.not(frac[t - 1]);
+    let snan = b.and(nan, nq);
+    OperandClass {
+        nan,
+        snan,
+        inf,
+        zero,
+        sign: op[t + w],
+    }
+}
+
+/// Classifies an operand pair (each `fmt.storage` bits, LSB first).
+///
+/// # Panics
+///
+/// Panics if an operand is narrower than the format's storage width.
+pub fn classify_lane<B: BitOps>(
+    b: &mut B,
+    fmt: &BinaryFormat,
+    a: &[B::Bit],
+    bb: &[B::Bit],
+) -> LaneClass<B::Bit> {
+    assert!(a.len() >= fmt.storage as usize && bb.len() >= fmt.storage as usize);
+    let ca = classify_operand(b, fmt, a);
+    let cb = classify_operand(b, fmt, bb);
+    let az_bi = b.and(cb.inf, ca.zero);
+    let bz_ai = b.and(ca.inf, cb.zero);
+    let inf_zero = b.or(az_bi, bz_ai);
+    let any_snan = b.or(ca.snan, cb.snan);
+    let invalid = b.or(inf_zero, any_snan);
+    LaneClass {
+        a_nan: ca.nan,
+        any_nan: b.or(ca.nan, cb.nan),
+        invalid,
+        any_inf: b.or(ca.inf, cb.inf),
+        any_zero: b.or(ca.zero, cb.zero),
+        sign_p: b.xor(ca.sign, cb.sign),
+    }
+}
+
+/// The p-bit significand of an operand: the fraction field masked by the
+/// "exponent nonzero" normal bit (subnormal flush), with that normal bit
+/// as the implicit MSB — exactly the netlist's input formatter.
+pub fn significand_bits<B: BitOps>(b: &mut B, fmt: &BinaryFormat, op: &[B::Bit]) -> Vec<B::Bit> {
+    let t = fmt.trailing_significand as usize;
+    let w = fmt.exponent_bits as usize;
+    let norm = or_any(b, &op[t..t + w]);
+    let mut sig: Vec<B::Bit> = op[..t].iter().map(|&x| b.and(x, norm)).collect();
+    sig.push(norm);
+    sig
+}
+
+/// The stored fraction selected from the two speculatively rounded
+/// products: `sel ? p1[msb-p+1+k] : p0[msb-p+k]` for `k` in `0..p-1`,
+/// where `msb` is the product's top bit position (`2p−1` for a full
+/// lane) — the netlist's `norm_frac`.
+pub fn normalized_fraction<B: BitOps>(
+    b: &mut B,
+    sel: B::Bit,
+    p0: &[B::Bit],
+    p1: &[B::Bit],
+    msb: usize,
+    p: usize,
+) -> Vec<B::Bit> {
+    (0..p - 1)
+        .map(|k| b.mux(sel, p0[msb - p + k], p1[msb - p + 1 + k]))
+        .collect()
+}
+
+/// Exponent-path result: the full internal field plus range predicates.
+#[derive(Debug, Clone)]
+pub struct ExponentResult<T> {
+    /// The biased result exponent, `we` bits two's complement; the low
+    /// `w` bits are the stored field when in range.
+    pub field: Vec<T>,
+    /// Result exponent ≤ 0: flush to zero.
+    pub underflow: T,
+    /// Result exponent ≥ the all-ones field: saturate to infinity.
+    pub overflow: T,
+}
+
+/// The exponent datapath: `e = ea + eb − bias (+1 if sel)` in `we`-bit
+/// two's complement, with underflow (`e ≤ 0`) and overflow
+/// (`e ≥ max_field`) computed per speculative candidate and selected by
+/// the normalization bit — the netlist's EXPONENT stage with its
+/// add-the-modular-complement constants.
+///
+/// # Panics
+///
+/// Panics if `we < ea.len()` or the operand widths differ.
+pub fn exponent_path<B: BitOps>(
+    b: &mut B,
+    we: usize,
+    ea: &[B::Bit],
+    eb: &[B::Bit],
+    bias: u64,
+    max_field: u64,
+    sel: B::Bit,
+) -> ExponentResult<B::Bit> {
+    assert_eq!(ea.len(), eb.len(), "exponent widths must match");
+    assert!(we >= ea.len() + 2, "internal width too narrow");
+    let f = b.constant(false);
+    let mut ea_ext = ea.to_vec();
+    ea_ext.resize(we, f);
+    let mut eb_ext = eb.to_vec();
+    eb_ext.resize(we, f);
+    let (s1, _) = ripple_add(b, &ea_ext, &eb_ext, f);
+    let bias_c = const_word(b, (1u128 << we) - u128::from(bias), we);
+    let (e0, _) = ripple_add(b, &s1, &bias_c, f);
+    let e1 = increment(b, &e0);
+    let limit = (1u128 << we) - u128::from(max_field);
+    let mut unf_c = [f; 2];
+    let mut ovf_c = [f; 2];
+    for (k, e) in [&e0, &e1].into_iter().enumerate() {
+        let neg = e[we - 1];
+        let nz = or_any(b, e);
+        let nnz = b.not(nz);
+        unf_c[k] = b.or(neg, nnz);
+        let lc = const_word(b, limit, we);
+        let (t, _) = ripple_add(b, e, &lc, f);
+        ovf_c[k] = b.not(t[we - 1]);
+    }
+    let field = e0
+        .iter()
+        .zip(&e1)
+        .map(|(&x0, &x1)| b.mux(sel, x0, x1))
+        .collect();
+    ExponentResult {
+        field,
+        underflow: b.mux(sel, unf_c[0], unf_c[1]),
+        overflow: b.mux(sel, ovf_c[0], ovf_c[1]),
+    }
+}
+
+/// Where a lane's fields sit inside the operand/result buses, in
+/// absolute bit positions.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneGeometry {
+    /// Lowest bit position of the lane.
+    pub lane_lo: usize,
+    /// Lowest exponent-field position.
+    pub exp_lo: usize,
+    /// Highest exponent-field position.
+    pub exp_hi: usize,
+    /// Highest fraction-field position.
+    pub frac_msb: usize,
+    /// Sign position (the lane's top bit).
+    pub sign_pos: usize,
+}
+
+impl LaneGeometry {
+    /// The geometry of a format occupying bits `0..storage`.
+    pub fn of(fmt: &BinaryFormat) -> Self {
+        let t = fmt.trailing_significand as usize;
+        let w = fmt.exponent_bits as usize;
+        LaneGeometry {
+            lane_lo: 0,
+            exp_lo: t,
+            exp_hi: t + w - 1,
+            frac_msb: t - 1,
+            sign_pos: t + w,
+        }
+    }
+}
+
+/// The normal-path result bundle feeding the output formatter: the
+/// rounded fraction, the stored exponent field and its range predicates.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalPath<'a, T> {
+    /// The rounded stored fraction (`p − 1` bits).
+    pub frac: &'a [T],
+    /// The stored exponent field (`w` bits).
+    pub e_field: &'a [T],
+    /// Result exponent ≤ 0: flush to zero.
+    pub underflow: T,
+    /// Result exponent saturated: infinity.
+    pub overflow: T,
+}
+
+/// The output formatter for one lane: selects per bit between the normal
+/// result, signed zero, signed infinity and NaN with the netlist's mux
+/// chain (NaN strongest, then infinity-like `inf ∨ ovf`, then zero-like
+/// `zero ∨ unf`). NaN outputs propagate the quieted payload of the first
+/// NaN operand, or the canonical quiet NaN for ∞ × 0.
+///
+/// `a`/`bb` are indexed at absolute positions, so a sub-lane of a wider
+/// bus passes the whole bus with its geometry.
+pub fn lane_output<B: BitOps>(
+    b: &mut B,
+    cls: &LaneClass<B::Bit>,
+    geo: &LaneGeometry,
+    a: &[B::Bit],
+    bb: &[B::Bit],
+    np: &NormalPath<'_, B::Bit>,
+) -> Vec<B::Bit> {
+    let frac = np.frac;
+    let e_field = np.e_field;
+    let f = b.constant(false);
+    let tr = b.constant(true);
+    let inf_like = b.or(cls.any_inf, np.overflow);
+    let zero_like = b.or(cls.any_zero, np.underflow);
+    let is_nan = b.or(cls.any_nan, cls.invalid);
+    let frac_lo = geo.frac_msb + 1 - frac.len();
+    let mut out = Vec::with_capacity(geo.sign_pos + 1 - geo.lane_lo);
+    for j in geo.lane_lo..=geo.sign_pos {
+        let in_exp = j >= geo.exp_lo && j <= geo.exp_hi;
+        let normal = if j == geo.sign_pos {
+            cls.sign_p
+        } else if in_exp {
+            e_field[j - geo.exp_lo]
+        } else if j >= frac_lo && j <= geo.frac_msb {
+            frac[j - frac_lo]
+        } else {
+            f
+        };
+        let zero_bit = if j == geo.sign_pos { cls.sign_p } else { f };
+        let inf_bit = if in_exp {
+            tr
+        } else if j == geo.sign_pos {
+            cls.sign_p
+        } else {
+            f
+        };
+        let a_q = if j == geo.frac_msb { tr } else { a[j] };
+        let b_q = if j == geo.frac_msb { tr } else { bb[j] };
+        let prop = b.mux(cls.a_nan, b_q, a_q);
+        let qnan = if in_exp || j == geo.frac_msb { tr } else { f };
+        let nan_bit = b.mux(cls.any_nan, qnan, prop);
+        let t1 = b.mux(zero_like, normal, zero_bit);
+        let t2 = b.mux(inf_like, t1, inf_bit);
+        out.push(b.mux(is_nan, t2, nan_bit));
+    }
+    out
+}
+
+/// The lane's exception flags `(invalid, overflow, underflow)`: range
+/// flags fire only for finite nonzero operands (specials take the IEEE
+/// special results with no range exception).
+pub fn lane_flags<B: BitOps>(
+    b: &mut B,
+    cls: &LaneClass<B::Bit>,
+    unf: B::Bit,
+    ovf: B::Bit,
+) -> (B::Bit, B::Bit, B::Bit) {
+    let special = b.or(cls.any_nan, cls.any_inf);
+    let special = b.or(special, cls.any_zero);
+    let normal = b.not(special);
+    let o = b.and(ovf, normal);
+    let u = b.and(unf, normal);
+    (cls.invalid, o, u)
+}
+
+/// A blasted lane result: the product encoding plus exception flags.
+#[derive(Debug, Clone)]
+pub struct BlastedLane<T> {
+    /// The result encoding, `fmt.storage` bits LSB first.
+    pub bits: Vec<T>,
+    /// IEEE invalid-operation flag.
+    pub invalid: T,
+    /// Overflow flag (result saturated to infinity).
+    pub overflow: T,
+    /// Underflow flag (result flushed to zero).
+    pub underflow: T,
+}
+
+/// A complete self-contained paper-mode multiplier lane, built from a
+/// **schoolbook** AND-matrix partial-product array — deliberately
+/// independent of the radix-16 recode path, so equivalence between this
+/// circuit and the recoded netlist is a real cross-check, not a shared
+/// construction.
+///
+/// # Panics
+///
+/// Panics if the operands are narrower than `fmt.storage` bits.
+pub fn paper_lane<B: BitOps>(
+    b: &mut B,
+    fmt: &BinaryFormat,
+    a: &[B::Bit],
+    bb: &[B::Bit],
+) -> BlastedLane<B::Bit> {
+    let p = fmt.precision as usize;
+    let t = fmt.trailing_significand as usize;
+    let w = fmt.exponent_bits as usize;
+    let cls = classify_lane(b, fmt, a, bb);
+    let sig_a = significand_bits(b, fmt, a);
+    let sig_b = significand_bits(b, fmt, bb);
+    let mut m = PpMatrix::new(2 * p);
+    for (i, &ai) in sig_a.iter().enumerate() {
+        for (j, &bj) in sig_b.iter().enumerate() {
+            let pp = b.and(ai, bj);
+            m.add_bit(i + j, pp);
+        }
+    }
+    let (ra, rb) = dadda_reduce_two(b, &mut m, &[]);
+    let r0 = const_word(b, 1u128 << (p - 2), 2 * p);
+    let r1 = const_word(b, 1u128 << (p - 1), 2 * p);
+    let p0 = csa_then_cpa(b, &ra, &rb, &r0, &[]);
+    let p1 = csa_then_cpa(b, &ra, &rb, &r1, &[]);
+    let sel = p0[2 * p - 1];
+    let frac = normalized_fraction(b, sel, &p0, &p1, 2 * p - 1, p);
+    let exp = exponent_path(
+        b,
+        w + 2,
+        &a[t..t + w],
+        &bb[t..t + w],
+        fmt.bias as u64,
+        fmt.exponent_mask(),
+        sel,
+    );
+    let geo = LaneGeometry::of(fmt);
+    let bits = lane_output(
+        b,
+        &cls,
+        &geo,
+        a,
+        bb,
+        &NormalPath {
+            frac: &frac,
+            e_field: &exp.field[..w],
+            underflow: exp.underflow,
+            overflow: exp.overflow,
+        },
+    );
+    let (invalid, overflow, underflow) = lane_flags(b, &cls, exp.underflow, exp.overflow);
+    BlastedLane {
+        bits,
+        invalid,
+        overflow,
+        underflow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{BINARY16, BINARY32, BINARY64};
+    use crate::paper::paper_mul_bits;
+
+    /// Transposes per-lane values into bit planes: plane `j`, bit `k` is
+    /// bit `j` of `vals[k]`.
+    fn planes(vals: &[u64], width: usize) -> Vec<u64> {
+        (0..width)
+            .map(|j| {
+                vals.iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (k, &v)| acc | ((v >> j & 1) << k))
+            })
+            .collect()
+    }
+
+    /// Reads lane `k` back out of bit planes.
+    fn lane_bits(planes: &[u64], lane: usize) -> u64 {
+        planes
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (j, &p)| acc | ((p >> lane & 1) << j))
+    }
+
+    fn next(s: &mut u64) -> u64 {
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *s >> 1
+    }
+
+    /// Runs `paper_lane` on up to 64 operand pairs at once and checks
+    /// every lane against the executable specification, bits and
+    /// invalid/overflow/underflow flags.
+    fn check_lanes(fmt: &BinaryFormat, pairs: &[(u64, u64)]) {
+        let width = fmt.storage as usize;
+        for chunk in pairs.chunks(64) {
+            let avals: Vec<u64> = chunk.iter().map(|&(a, _)| a).collect();
+            let bvals: Vec<u64> = chunk.iter().map(|&(_, b)| b).collect();
+            let mut b = Words;
+            let ap = planes(&avals, width);
+            let bp = planes(&bvals, width);
+            let lane = paper_lane(&mut b, fmt, &ap, &bp);
+            for (k, &(x, y)) in chunk.iter().enumerate() {
+                let (want, wf) = paper_mul_bits(fmt, x, y);
+                let got = lane_bits(&lane.bits, k);
+                assert_eq!(got, want, "{x:#x} * {y:#x} (storage {})", fmt.storage);
+                assert_eq!(
+                    lane.invalid >> k & 1 == 1,
+                    wf.invalid(),
+                    "{x:#x}*{y:#x} inv"
+                );
+                assert_eq!(
+                    lane.overflow >> k & 1 == 1,
+                    wf.overflow(),
+                    "{x:#x}*{y:#x} ovf"
+                );
+                assert_eq!(
+                    lane.underflow >> k & 1 == 1,
+                    wf.underflow(),
+                    "{x:#x}*{y:#x} unf"
+                );
+            }
+        }
+    }
+
+    fn corner_values(fmt: &BinaryFormat) -> Vec<u64> {
+        let s = 1u64 << fmt.sign_bit();
+        let t = fmt.trailing_significand;
+        let one = (fmt.bias as u64) << t;
+        vec![
+            0,
+            s,
+            1,                      // smallest subnormal: flushed
+            fmt.significand_mask(), // largest subnormal: flushed
+            s | fmt.significand_mask(),
+            fmt.implicit_bit(), // min normal
+            fmt.implicit_bit() | 7,
+            fmt.max_finite_bits(false),
+            fmt.max_finite_bits(true),
+            one,
+            one | 1,
+            s | one,
+            one | fmt.significand_mask(),         // just under 2
+            ((fmt.exponent_mask() - 1) << t) | 3, // huge: overflow bait
+            (2u64 << t) | 5,                      // tiny: underflow bait
+            fmt.inf_bits(),
+            s | fmt.inf_bits(),
+            fmt.qnan_bits(),
+            s | fmt.qnan_bits() | 5,
+            fmt.inf_bits() | 1, // signaling NaN
+            s | fmt.inf_bits() | (fmt.significand_mask() >> 1),
+        ]
+    }
+
+    fn check_corner_grid(fmt: &BinaryFormat) {
+        let vals = corner_values(fmt);
+        let mut pairs = Vec::new();
+        for &a in &vals {
+            for &b in &vals {
+                pairs.push((a, b));
+            }
+        }
+        check_lanes(fmt, &pairs);
+    }
+
+    fn check_random(fmt: &BinaryFormat, count: usize, seed: u64) {
+        let mask = if fmt.storage == 64 {
+            u64::MAX
+        } else {
+            (1u64 << fmt.storage) - 1
+        };
+        let t = fmt.trailing_significand;
+        let w = fmt.exponent_bits as u64;
+        let mut s = seed;
+        let mut pairs = Vec::with_capacity(count);
+        for i in 0..count {
+            if i % 2 == 0 {
+                // Fully random encodings: specials, subnormals, extremes.
+                pairs.push((next(&mut s) & mask, next(&mut s) & mask));
+            } else {
+                // Exponents centered on the bias: mostly normal products.
+                let quarter = 1u64 << (w - 2);
+                let ea = (fmt.bias as u64).wrapping_sub(quarter / 2) + next(&mut s) % quarter;
+                let eb = (fmt.bias as u64).wrapping_sub(quarter / 2) + next(&mut s) % quarter;
+                let a = (ea << t) | (next(&mut s) & fmt.significand_mask());
+                let b = (eb << t) | (next(&mut s) & fmt.significand_mask());
+                let sgn = next(&mut s) & 1 << fmt.sign_bit() & mask;
+                pairs.push((a | sgn, b));
+            }
+        }
+        check_lanes(fmt, &pairs);
+    }
+
+    #[test]
+    fn binary16_corner_grid_matches_spec() {
+        check_corner_grid(&BINARY16);
+    }
+
+    #[test]
+    fn binary32_corner_grid_matches_spec() {
+        check_corner_grid(&BINARY32);
+    }
+
+    #[test]
+    fn binary64_corner_grid_matches_spec() {
+        check_corner_grid(&BINARY64);
+    }
+
+    #[test]
+    fn binary16_random_matches_spec() {
+        check_random(&BINARY16, 2048, 0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[test]
+    fn binary32_random_matches_spec() {
+        check_random(&BINARY32, 2048, 0x517C_C1B7_2722_0A95);
+    }
+
+    #[test]
+    fn binary64_random_matches_spec() {
+        check_random(&BINARY64, 1024, 0x2545_F491_4F6C_DD1D);
+    }
+
+    #[test]
+    fn recode_digits_sum_back_to_multiplier() {
+        // Σ dᵢ·16^i over the 17 recoded digits must reconstruct the
+        // unsigned 64-bit multiplier (digit 16 carries weight 2^64).
+        let mut s = 0xA076_1D64_78BD_642Fu64;
+        let ys: Vec<u64> = (0..64).map(|_| next(&mut s)).collect();
+        let mut b = Words;
+        let yp = planes(&ys, 64);
+        let digits = recode16(&mut b, &yp);
+        assert_eq!(digits.len(), 17);
+        for (lane, &y) in ys.iter().enumerate() {
+            let mut total: i128 = 0;
+            for (i, d) in digits.iter().enumerate() {
+                let sign = d.sign >> lane & 1 == 1;
+                let mut mag = 0i128;
+                for (m, &sel) in d.sel.iter().enumerate() {
+                    if sel >> lane & 1 == 1 {
+                        assert_eq!(mag, 0, "one-hot violated, lane {lane} digit {i}");
+                        mag = m as i128 + 1;
+                    }
+                }
+                let digit = if sign { -mag } else { mag };
+                assert!((-8..=8).contains(&digit));
+                total += digit << (4 * i);
+            }
+            assert_eq!(total, i128::from(y), "lane {lane}: y = {y:#x}");
+        }
+    }
+
+    #[test]
+    fn recoded_array_matches_widening_product() {
+        // The full recode → multiples → one-hot select → sign-extension
+        // array → Dadda → CPA pipeline, against a widening u128 multiply.
+        // Negative digits place ¬M at the row, +s at the row's LSB and ¬s
+        // at the column above the row's top, with the closed-form
+        // correction constant −Σ 2^(4i+67) absorbing the ¬s bias.
+        let mut s = 0x0DDB_38F2_8AA1_77B5u64;
+        let xs: Vec<u64> = (0..64).map(|_| next(&mut s)).collect();
+        let ys: Vec<u64> = (0..64).map(|_| next(&mut s)).collect();
+        let mut b = Words;
+        let xp = planes(&xs, 64);
+        let yp = planes(&ys, 64);
+        let digits = recode16(&mut b, &yp);
+        let mults = multiples8(&mut b, &xp, &[]);
+        for m in &mults {
+            assert_eq!(m.len(), 67);
+        }
+        let one = b.constant(true);
+        let mut m = PpMatrix::new(128);
+        for (i, d) in digits.iter().enumerate() {
+            let row = one_hot_select(&mut b, &d.sel, &mults);
+            for (j, &bit) in row.iter().enumerate() {
+                let v = b.xor(bit, d.sign);
+                m.add_bit(4 * i + j, v);
+            }
+            m.add_bit(4 * i, d.sign);
+            if i < 16 {
+                let ns = b.not(d.sign);
+                m.add_bit(4 * i + 67, ns);
+            }
+        }
+        let correction = (0..16).fold(0u128, |acc, i| acc.wrapping_sub(1u128 << (4 * i + 67)));
+        m.add_constant(one, correction);
+        let (ra, rb) = dadda_reduce_two(&mut b, &mut m, &[]);
+        let f = b.constant(false);
+        let (sum, _) = ripple_add(&mut b, &ra, &rb, f);
+        for (lane, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+            let lo = lane_bits(&sum[..64], lane);
+            let hi = lane_bits(&sum[64..], lane);
+            let got = u128::from(hi) << 64 | u128::from(lo);
+            let want = u128::from(x) * u128::from(y);
+            assert_eq!(got, want, "lane {lane}: {x:#x} * {y:#x}");
+        }
+    }
+
+    #[test]
+    fn sectioned_7x_preserves_packed_lanes() {
+        // 7X = 8X − X with a borrow seam at bit 32: when each packed
+        // half's difference is locally non-negative the forced no-borrow
+        // carry leaves the value identical whether the seam is cut or
+        // open. Half the lanes cut, half open, same expected values.
+        let pass = 0xFFFF_FFFF_0000_0000u64; // lanes 32..64 keep the chain
+        let mut s = 0x6C62_272E_07BB_0142u64;
+        let xs: Vec<u64> = (0..64)
+            .map(|_| {
+                let lo = next(&mut s) & 0x1FFF_FFFF;
+                let hi = next(&mut s) & 0x1FFF_FFFF;
+                lo | hi << 32
+            })
+            .collect();
+        let mut b = Words;
+        let xp = planes(&xs, 64);
+        let mults = multiples8(&mut b, &xp, &[(32, pass)]);
+        let m7 = &mults[6];
+        for (lane, &x) in xs.iter().enumerate() {
+            let lo = lane_bits(&m7[..64], lane);
+            let hi = lane_bits(&m7[64..], lane);
+            let got = u128::from(hi) << 64 | u128::from(lo);
+            let lo32 = x & 0xFFFF_FFFF;
+            let hi32 = x >> 32;
+            let want = u128::from(7 * lo32) | u128::from(7 * hi32) << 32;
+            assert_eq!(got, want, "lane {lane}: 7 * {x:#x}");
+        }
+    }
+
+    #[test]
+    fn dadda_seam_isolates_halves() {
+        // Three rows summed with a seam at column 4 and a mixed pass
+        // plane: open lanes sum across, cut lanes sum each nibble mod 16.
+        let pass = 0xFFFF_FFFF_0000_0000u64;
+        let mut s = 0x27D4_EB2F_1656_67C5u64;
+        let rows: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..64).map(|_| next(&mut s) & 0xFF).collect())
+            .collect();
+        let mut b = Words;
+        let mut m = PpMatrix::new(8);
+        let row_planes: Vec<Vec<u64>> = rows.iter().map(|r| planes(r, 8)).collect();
+        for rp in &row_planes {
+            m.add_row(0, rp);
+        }
+        let (ra, rb) = dadda_reduce_two(&mut b, &mut m, &[(4, pass)]);
+        let f = b.constant(false);
+        let (sum, _) = ripple_add_seamed(&mut b, &ra, &rb, f, &[(4, pass)], f);
+        for lane in 0..64 {
+            let got = lane_bits(&sum, lane);
+            let vals: Vec<u64> = rows.iter().map(|r| r[lane]).collect();
+            if pass >> lane & 1 == 1 {
+                let want = (vals[0] + vals[1] + vals[2]) & 0xFF;
+                assert_eq!(got, want, "open lane {lane}");
+            } else {
+                let lo = (vals[0] + vals[1] + vals[2]) & 0xF;
+                let hi = ((vals[0] >> 4) + (vals[1] >> 4) + (vals[2] >> 4)) & 0xF;
+                assert_eq!(got, lo | hi << 4, "cut lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiples_are_exact() {
+        let mut s = 0x14_65_7E_2Bu64;
+        let xs: Vec<u64> = (0..64).map(|_| next(&mut s)).collect();
+        let mut b = Words;
+        let xp = planes(&xs, 64);
+        let mults = multiples8(&mut b, &xp, &[]);
+        for (mi, m) in mults.iter().enumerate() {
+            for (lane, &x) in xs.iter().enumerate() {
+                let lo = lane_bits(&m[..64], lane);
+                let hi = lane_bits(&m[64..], lane);
+                let got = u128::from(hi) << 64 | u128::from(lo);
+                let want = u128::from(x) * (mi as u128 + 1);
+                assert_eq!(got, want, "{}X of {x:#x}, lane {lane}", mi + 1);
+            }
+        }
+    }
+}

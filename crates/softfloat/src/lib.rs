@@ -16,6 +16,11 @@
 //!   tie-to-even) and no subnormal rounding (subnormals are flushed).
 //! - [`convert`] — format conversions, including the error-free
 //!   binary64→binary32 reduction predicate of the paper's Algorithm 1.
+//! - [`blast`] — generic bit-blasted reference circuits for the paper-mode
+//!   datapath (recode, multiples, Dadda tree, injection rounding, output
+//!   formatting), validated here word-level against [`paper`] and reused
+//!   by `mfm-lint`'s SAT equivalence prover as the reference half of its
+//!   miters.
 //!
 //! # Example
 //!
@@ -33,6 +38,7 @@
 #![deny(missing_docs)]
 
 pub mod bits;
+pub mod blast;
 pub mod convert;
 pub mod flags;
 pub mod format;

@@ -42,7 +42,14 @@ fn three_stage_unit_streams_every_format() {
     for placement in PipelinePlacement::ALL {
         let mut n = Netlist::new(TechLibrary::cmos45lp());
         // Quad lanes enabled so all four formats stream through one unit.
-        let u = build_pipelined_unit_opts(&mut n, placement, UnitOptions { quad_lanes: true });
+        let u = build_pipelined_unit_opts(
+            &mut n,
+            placement,
+            UnitOptions {
+                quad_lanes: true,
+                ..UnitOptions::default()
+            },
+        );
         assert_eq!(u.latency, 3);
         let func = FunctionalUnit::new();
 

@@ -88,7 +88,10 @@ fn pipelined_soak_stream() {
     let u = build_pipelined_unit_opts(
         &mut n,
         PipelinePlacement::Fig5,
-        UnitOptions { quad_lanes: true },
+        UnitOptions {
+            quad_lanes: true,
+            ..UnitOptions::default()
+        },
     );
     let func = FunctionalUnit::new();
     let seed = soak_seed(0xFEED);
